@@ -1,0 +1,405 @@
+//! The approximate aggregate query engine (Algorithm 2) and the
+//! decomposition–assembly planner for complex shapes (§V).
+
+use crate::config::EngineConfig;
+use crate::result::QueryAnswer;
+use crate::session::InteractiveSession;
+use kg_core::{EntityId, KgResult, KnowledgeGraph};
+use kg_embed::PredicateSimilarity;
+use kg_query::{
+    AggregateQuery, QuerySpec, ResolvedAggregate, ResolvedChainQuery, ResolvedComplexQuery,
+    ResolvedComponent, ResolvedFilter, ResolvedSimpleQuery,
+};
+use kg_sampling::{prepare, PreparedSampler};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How the correctness of a sampled answer is checked for one component of
+/// the (possibly decomposed) query.
+pub(crate) enum ComponentValidator {
+    /// A single-edge component: validate against the component's query with
+    /// the greedy π-guided search.
+    Simple {
+        query: ResolvedSimpleQuery,
+        sampler: Arc<PreparedSampler>,
+    },
+    /// A chain component: each final answer is validated against the last
+    /// hop's query anchored at the intermediate that contributed most of its
+    /// probability (hop-level decomposition of §V-B).
+    Chain {
+        final_queries: HashMap<EntityId, (ResolvedSimpleQuery, usize)>,
+        samplers: Vec<Arc<PreparedSampler>>,
+    },
+}
+
+/// One decomposed component: its answer distribution and validator.
+pub(crate) struct ComponentPlan {
+    pub(crate) distribution: HashMap<EntityId, f64>,
+    pub(crate) validator: ComponentValidator,
+    pub(crate) candidate_count: usize,
+}
+
+/// A fully-planned query ready for iterative sampling–estimation.
+pub(crate) struct QueryPlan {
+    /// Combined answer distribution (intersection of component supports,
+    /// probabilities multiplied and re-normalised).
+    pub(crate) distribution: Vec<(EntityId, f64)>,
+    pub(crate) cumulative: Vec<f64>,
+    pub(crate) components: Vec<ComponentPlan>,
+    pub(crate) aggregate: ResolvedAggregate,
+    pub(crate) filters: Vec<ResolvedFilter>,
+    pub(crate) group_by: Option<(kg_core::AttrId, f64)>,
+    pub(crate) candidate_count: usize,
+    pub(crate) plan_ms: f64,
+}
+
+/// The approximate aggregate query engine.
+#[derive(Clone, Debug)]
+pub struct AqpEngine {
+    config: EngineConfig,
+}
+
+impl AqpEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Executes an aggregate query, iterating until the error-bound guarantee
+    /// of Theorem 2 holds or the round/sample caps are reached.
+    pub fn execute<S: PredicateSimilarity + ?Sized>(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &AggregateQuery,
+        similarity: &S,
+    ) -> KgResult<QueryAnswer> {
+        let mut session = self.open_session(graph, query, similarity)?;
+        Ok(session.refine_to(graph, similarity, self.config.error_bound))
+    }
+
+    /// Opens an interactive session for a query: the plan and sample are kept
+    /// so the error bound can be tightened incrementally (Fig. 6(a)).
+    pub fn open_session<S: PredicateSimilarity + ?Sized>(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &AggregateQuery,
+        similarity: &S,
+    ) -> KgResult<InteractiveSession> {
+        let plan = self.plan(graph, query, similarity)?;
+        Ok(InteractiveSession::new(self.config.clone(), plan))
+    }
+
+    // ------------------------------------------------------------------
+    // Planning (decomposition–assembly)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn plan<S: PredicateSimilarity + ?Sized>(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &AggregateQuery,
+        similarity: &S,
+    ) -> KgResult<QueryPlan> {
+        let start = Instant::now();
+        let aggregate = query.function.resolve(graph)?;
+        let filters = query.resolve_filters(graph)?;
+        let group_by = match &query.group_by {
+            None => None,
+            Some(gb) => Some(gb.resolve(graph)?),
+        };
+
+        let components = match &query.query {
+            QuerySpec::Simple(simple) => {
+                let resolved = simple.resolve(graph)?;
+                vec![self.plan_simple(graph, &resolved, similarity)]
+            }
+            QuerySpec::Complex(complex) => {
+                let resolved: ResolvedComplexQuery = complex.resolve(graph)?;
+                resolved
+                    .components
+                    .iter()
+                    .map(|c| match c {
+                        ResolvedComponent::Simple(q) => self.plan_simple(graph, q, similarity),
+                        ResolvedComponent::Chain(q) => self.plan_chain(graph, q, similarity),
+                    })
+                    .collect()
+            }
+        };
+
+        // Assemble: intersect supports, multiply probabilities, re-normalise.
+        let mut combined: HashMap<EntityId, f64> = components
+            .first()
+            .map(|c| c.distribution.clone())
+            .unwrap_or_default();
+        for c in components.iter().skip(1) {
+            combined.retain(|e, _| c.distribution.contains_key(e));
+            for (e, p) in combined.iter_mut() {
+                *p *= c.distribution[e];
+            }
+        }
+        let total: f64 = combined.values().sum();
+        let mut distribution: Vec<(EntityId, f64)> = combined.into_iter().collect();
+        distribution.sort_by_key(|(e, _)| *e);
+        if total > 0.0 {
+            for (_, p) in &mut distribution {
+                *p /= total;
+            }
+        } else if !distribution.is_empty() {
+            let uniform = 1.0 / distribution.len() as f64;
+            for (_, p) in &mut distribution {
+                *p = uniform;
+            }
+        }
+        let mut cumulative = Vec::with_capacity(distribution.len());
+        let mut acc = 0.0;
+        for (_, p) in &distribution {
+            acc += p;
+            cumulative.push(acc);
+        }
+        let candidate_count = components
+            .iter()
+            .map(|c| c.candidate_count)
+            .max()
+            .unwrap_or(0);
+
+        Ok(QueryPlan {
+            distribution,
+            cumulative,
+            components,
+            aggregate,
+            filters,
+            group_by,
+            candidate_count,
+            plan_ms: start.elapsed().as_secs_f64() * 1e3,
+        })
+    }
+
+    fn plan_simple<S: PredicateSimilarity + ?Sized>(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &ResolvedSimpleQuery,
+        similarity: &S,
+    ) -> ComponentPlan {
+        let sampler = prepare(
+            graph,
+            query,
+            similarity,
+            self.config.strategy,
+            &self.config.sampler_config(),
+        );
+        let distribution = sampler
+            .answer_distribution()
+            .iter()
+            .map(|a| (a.entity, a.probability))
+            .collect();
+        ComponentPlan {
+            distribution,
+            candidate_count: sampler.candidate_count(),
+            validator: ComponentValidator::Simple {
+                query: query.clone(),
+                sampler: Arc::new(sampler),
+            },
+        }
+    }
+
+    fn plan_chain<S: PredicateSimilarity + ?Sized>(
+        &self,
+        graph: &KnowledgeGraph,
+        chain: &ResolvedChainQuery,
+        similarity: &S,
+    ) -> ComponentPlan {
+        // First-level sampling from the specific node towards the first hop.
+        let mut anchors: Vec<(EntityId, f64)> = vec![(chain.specific, 1.0)];
+        let mut samplers: Vec<Arc<PreparedSampler>> = Vec::new();
+        let mut final_queries: HashMap<EntityId, (ResolvedSimpleQuery, usize)> = HashMap::new();
+        let mut distribution: HashMap<EntityId, f64> = HashMap::new();
+        let mut candidate_count = 0usize;
+
+        for hop in 0..chain.hops.len() {
+            let is_last = hop + 1 == chain.hops.len();
+            // Second and later levels run one sampling per anchor, in parallel
+            // (the paper runs each second sampling as a thread).
+            let hop_results: Vec<(EntityId, f64, ResolvedSimpleQuery, PreparedSampler)> = anchors
+                .par_iter()
+                .map(|(anchor, anchor_prob)| {
+                    let hop_query = chain.hop_as_simple(hop, *anchor);
+                    let sampler = prepare(
+                        graph,
+                        &hop_query,
+                        similarity,
+                        self.config.strategy,
+                        &self.config.sampler_config(),
+                    );
+                    (*anchor, *anchor_prob, hop_query, sampler)
+                })
+                .collect();
+
+            let mut next_anchors: HashMap<EntityId, f64> = HashMap::new();
+            for (_anchor, anchor_prob, hop_query, sampler) in hop_results {
+                candidate_count = candidate_count.max(sampler.candidate_count());
+                let sampler = Arc::new(sampler);
+                let sampler_index = samplers.len();
+                samplers.push(Arc::clone(&sampler));
+                for a in sampler.answer_distribution() {
+                    let combined = anchor_prob * a.probability;
+                    if is_last {
+                        let entry = distribution.entry(a.entity).or_insert(0.0);
+                        *entry += combined;
+                        // Remember the strongest-contributing anchor for validation.
+                        let replace = match final_queries.get(&a.entity) {
+                            None => true,
+                            Some(_) => *entry <= combined + f64::EPSILON,
+                        };
+                        if replace {
+                            final_queries
+                                .insert(a.entity, (hop_query.clone(), sampler_index));
+                        }
+                    } else {
+                        *next_anchors.entry(a.entity).or_insert(0.0) += combined;
+                    }
+                }
+            }
+            if !is_last {
+                // Keep the most probable anchors, re-normalised.
+                let mut sorted: Vec<(EntityId, f64)> = next_anchors.into_iter().collect();
+                sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+                sorted.truncate(self.config.chain_anchor_limit.max(1));
+                let total: f64 = sorted.iter().map(|(_, p)| p).sum();
+                if total > 0.0 {
+                    for (_, p) in &mut sorted {
+                        *p /= total;
+                    }
+                }
+                anchors = sorted;
+                if anchors.is_empty() {
+                    break;
+                }
+            }
+        }
+
+        // Normalise the final distribution.
+        let total: f64 = distribution.values().sum();
+        if total > 0.0 {
+            for p in distribution.values_mut() {
+                *p /= total;
+            }
+        }
+        ComponentPlan {
+            distribution,
+            candidate_count,
+            validator: ComponentValidator::Chain {
+                final_queries,
+                samplers,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_datagen::{domains, generate, DatasetScale, GeneratorConfig};
+    use kg_query::{AggregateFunction, ChainHop, ChainQuery, ComplexQuery, SimpleQuery};
+
+    fn dataset() -> kg_datagen::GeneratedDataset {
+        generate(&GeneratorConfig::new(
+            "engine-test",
+            DatasetScale::tiny(),
+            vec![domains::automotive(&["Germany", "China", "Korea"])],
+            23,
+        ))
+    }
+
+    #[test]
+    fn count_estimate_tracks_tau_ground_truth() {
+        let d = dataset();
+        let engine = AqpEngine::new(EngineConfig {
+            error_bound: 0.05,
+            ..EngineConfig::default()
+        });
+        let query = AggregateQuery::simple(
+            SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+            AggregateFunction::Count,
+        );
+        let answer = engine.execute(&d.graph, &query, &d.oracle).unwrap();
+        // Exact τ-GT via SSB.
+        let ssb = kg_query::SsbEngine::new(kg_query::GroundTruthConfig::default());
+        let truth = ssb.evaluate(&d.graph, &query, &d.oracle).unwrap().value;
+        assert!(truth > 0.0);
+        let rel = answer.relative_error(truth);
+        assert!(rel < 0.25, "estimate {} truth {truth} rel {rel}", answer.estimate);
+        assert!(answer.sample_size > 0);
+        assert!(answer.candidate_count > 0);
+        assert!(!answer.rounds.is_empty());
+        assert!(answer.timings.total_ms() >= 0.0);
+    }
+
+    #[test]
+    fn avg_estimate_is_reasonable() {
+        let d = dataset();
+        let engine = AqpEngine::new(EngineConfig {
+            error_bound: 0.05,
+            ..EngineConfig::default()
+        });
+        let query = AggregateQuery::simple(
+            SimpleQuery::new("China", &["Country"], "product", &["Automobile"]),
+            AggregateFunction::Avg("price".into()),
+        );
+        let answer = engine.execute(&d.graph, &query, &d.oracle).unwrap();
+        let ssb = kg_query::SsbEngine::new(kg_query::GroundTruthConfig::default());
+        let truth = ssb.evaluate(&d.graph, &query, &d.oracle).unwrap().value;
+        assert!(answer.relative_error(truth) < 0.15, "est {} truth {truth}", answer.estimate);
+    }
+
+    #[test]
+    fn chain_and_star_queries_execute() {
+        let d = dataset();
+        let engine = AqpEngine::new(EngineConfig {
+            error_bound: 0.10,
+            ..EngineConfig::default()
+        });
+        let chain = AggregateQuery::complex(
+            ComplexQuery::chain(ChainQuery::new(
+                "Germany",
+                &["Country"],
+                vec![
+                    ChainHop::new("country", &["Company"]),
+                    ChainHop::new("manufacturer", &["Automobile"]),
+                ],
+            )),
+            AggregateFunction::Count,
+        );
+        let answer = engine.execute(&d.graph, &chain, &d.oracle).unwrap();
+        assert!(answer.estimate > 0.0);
+
+        let star = AggregateQuery::complex(
+            ComplexQuery::star(vec![
+                SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+                SimpleQuery::new("China", &["Country"], "product", &["Automobile"]),
+            ]),
+            AggregateFunction::Count,
+        );
+        let answer = engine.execute(&d.graph, &star, &d.oracle).unwrap();
+        // Some cars are planted with both hubs, so the intersection is non-empty.
+        assert!(answer.estimate >= 0.0);
+        assert!(answer.candidate_count > 0);
+    }
+
+    #[test]
+    fn unknown_entities_fail_cleanly() {
+        let d = dataset();
+        let engine = AqpEngine::new(EngineConfig::default());
+        let query = AggregateQuery::simple(
+            SimpleQuery::new("Atlantis", &["Country"], "product", &["Automobile"]),
+            AggregateFunction::Count,
+        );
+        assert!(engine.execute(&d.graph, &query, &d.oracle).is_err());
+        assert_eq!(engine.config().n_bound, 3);
+    }
+}

@@ -1,0 +1,51 @@
+//! # kg-aqp — approximate aggregate queries on knowledge graphs
+//!
+//! The paper's primary contribution (Algorithm 2): an online
+//! "sampling–estimation" engine that answers aggregate queries
+//! (COUNT / SUM / AVG, best-effort MAX / MIN) over a knowledge graph with an
+//! accuracy guarantee, without evaluating the underlying factoid query.
+//!
+//! The engine composes the substrates of this workspace:
+//!
+//! * `kg-sampling` — semantic-aware random walk and continuous sampling (S1),
+//! * `kg-estimate` — correctness validation and Horvitz–Thompson estimation
+//!   (S2) plus CLT/BLB confidence intervals and Eq. 12 refinement (S3),
+//! * `kg-query` — query model, filters, GROUP-BY and complex shapes.
+//!
+//! ```
+//! use kg_aqp::{AqpEngine, EngineConfig};
+//! use kg_datagen::{generate, DatasetScale, GeneratorConfig, domains};
+//! use kg_query::{AggregateFunction, AggregateQuery, SimpleQuery};
+//!
+//! let dataset = generate(&GeneratorConfig::new(
+//!     "demo", DatasetScale::tiny(), vec![domains::automotive(&["Germany", "China"])], 7));
+//! let engine = AqpEngine::new(EngineConfig::default());
+//! let query = AggregateQuery::simple(
+//!     SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+//!     AggregateFunction::Count);
+//! let answer = engine.execute(&dataset.graph, &query, &dataset.oracle).unwrap();
+//! assert!(answer.estimate > 0.0);
+//! assert!(answer.moe >= 0.0);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod result;
+pub mod session;
+
+pub use config::EngineConfig;
+pub use engine::AqpEngine;
+pub use result::{QueryAnswer, RoundTrace, StepTimings};
+pub use session::InteractiveSession;
+
+/// Convenience re-exports for downstream users of the public API.
+pub mod prelude {
+    pub use crate::{AqpEngine, EngineConfig, InteractiveSession, QueryAnswer};
+    pub use kg_core::{GraphBuilder, KnowledgeGraph};
+    pub use kg_embed::{EmbeddingModelKind, PredicateSimilarity, PredicateVectorStore, TrainerConfig};
+    pub use kg_query::{
+        AggregateFunction, AggregateQuery, ChainHop, ChainQuery, ComplexQuery, Filter, GroupBy,
+        QueryShape, SimpleQuery,
+    };
+    pub use kg_sampling::SamplingStrategy;
+}

@@ -1,0 +1,359 @@
+//! The iterative sampling–estimation loop (Algorithm 2 lines 2–14) and the
+//! interactive error-bound refinement of §IV-C.
+
+use crate::config::EngineConfig;
+use crate::engine::{ComponentValidator, QueryPlan};
+use crate::result::{QueryAnswer, RoundTrace, StepTimings};
+use kg_core::{EntityId, KnowledgeGraph};
+use kg_embed::PredicateSimilarity;
+use kg_estimate::{
+    additional_sample_size, blb_moe, estimate, satisfies_error_bound, validate_answer,
+    ValidatedAnswer, ValidationConfig,
+};
+use kg_query::matches_all;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+/// An interactive query session: keeps the plan, the drawn sample and the
+/// validation cache so that the user can tighten the error bound at runtime
+/// and pay only the incremental cost (Fig. 6(a)).
+pub struct InteractiveSession {
+    config: EngineConfig,
+    plan: QueryPlan,
+    rng: SmallRng,
+    /// The drawn sample: entity plus its combined sampling probability.
+    sample: Vec<(EntityId, f64)>,
+    /// Validation cache: entity → (correct, similarity).
+    validation_cache: HashMap<EntityId, (bool, f64)>,
+    timings: StepTimings,
+    rounds: Vec<RoundTrace>,
+}
+
+impl InteractiveSession {
+    pub(crate) fn new(config: EngineConfig, plan: QueryPlan) -> Self {
+        let seed = config.seed;
+        let mut timings = StepTimings::default();
+        timings.sampling_ms += plan.plan_ms;
+        Self {
+            config,
+            plan,
+            rng: SmallRng::seed_from_u64(seed),
+            sample: Vec::new(),
+            validation_cache: HashMap::new(),
+            timings,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Number of candidate answers the plan found.
+    pub fn candidate_count(&self) -> usize {
+        self.plan.candidate_count
+    }
+
+    /// Current total sample size.
+    pub fn sample_size(&self) -> usize {
+        self.sample.len()
+    }
+
+    fn draw(&mut self, count: usize) {
+        if self.plan.distribution.is_empty() {
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..count {
+            let x: f64 = self.rng.gen();
+            let idx = match self
+                .plan
+                .cumulative
+                .binary_search_by(|c| c.partial_cmp(&x).unwrap())
+            {
+                Ok(i) => i,
+                Err(i) => i.min(self.plan.distribution.len() - 1),
+            };
+            self.sample.push(self.plan.distribution[idx]);
+        }
+        self.timings.sampling_ms += start.elapsed().as_secs_f64() * 1e3;
+    }
+
+    fn validate(&mut self, graph: &KnowledgeGraph, similarity: &(impl PredicateSimilarity + ?Sized)) {
+        let start = Instant::now();
+        let validation = ValidationConfig {
+            tau: self.config.tau,
+            repeat_factor: self.config.repeat_factor,
+            max_path_len: self.config.n_bound as usize,
+            aggregation: self.config.aggregation,
+            ..ValidationConfig::default()
+        };
+        let entities: Vec<EntityId> = self
+            .sample
+            .iter()
+            .map(|(e, _)| *e)
+            .filter(|e| !self.validation_cache.contains_key(e))
+            .collect();
+        for entity in entities {
+            let outcome = if !self.config.validate {
+                // Fig. 5(b) ablation: trust every sampled answer.
+                (true, 1.0)
+            } else {
+                let mut correct = true;
+                let mut sim = 1.0_f64;
+                for component in &self.plan.components {
+                    let (c, s) = match &component.validator {
+                        ComponentValidator::Simple { query, sampler } => {
+                            let out = validate_answer(graph, query, entity, sampler, similarity, &validation);
+                            (out.correct, out.best_similarity)
+                        }
+                        ComponentValidator::Chain {
+                            final_queries,
+                            samplers,
+                        } => match final_queries.get(&entity) {
+                            None => (false, 0.0),
+                            Some((query, sampler_index)) => {
+                                let out = validate_answer(
+                                    graph,
+                                    query,
+                                    entity,
+                                    &samplers[*sampler_index],
+                                    similarity,
+                                    &validation,
+                                );
+                                (out.correct, out.best_similarity)
+                            }
+                        },
+                    };
+                    correct &= c;
+                    sim = sim.min(s);
+                    if !correct {
+                        break;
+                    }
+                }
+                (correct, sim)
+            };
+            self.validation_cache.insert(entity, outcome);
+        }
+        self.timings.estimation_ms += start.elapsed().as_secs_f64() * 1e3;
+    }
+
+    fn validated_sample(&self, graph: &KnowledgeGraph) -> Vec<(EntityId, ValidatedAnswer)> {
+        self.sample
+            .iter()
+            .map(|(entity, probability)| {
+                let (valid, similarity) = self
+                    .validation_cache
+                    .get(entity)
+                    .copied()
+                    .unwrap_or((false, 0.0));
+                let passes_filters = matches_all(graph, *entity, &self.plan.filters);
+                (
+                    *entity,
+                    ValidatedAnswer {
+                        probability: *probability,
+                        value: self.plan.aggregate.value_of(graph, *entity),
+                        correct: valid && passes_filters,
+                        similarity,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Runs (or continues) the sampling–estimation loop until the guarantee
+    /// of Theorem 2 holds for `error_bound` or the caps are reached, reusing
+    /// any sample already drawn in this session.
+    pub fn refine_to<S: PredicateSimilarity + ?Sized>(
+        &mut self,
+        graph: &KnowledgeGraph,
+        similarity: &S,
+        error_bound: f64,
+    ) -> QueryAnswer {
+        let wall = Instant::now();
+        if self.sample.is_empty() {
+            let initial = self.config.initial_sample_size(self.plan.candidate_count);
+            self.draw(initial);
+        }
+
+        let mut estimate_value = 0.0;
+        let mut moe = 0.0;
+        let mut guarantee_met = false;
+
+        for _round in 0..self.config.max_rounds.max(1) {
+            self.validate(graph, similarity);
+            let validated: Vec<ValidatedAnswer> = self
+                .validated_sample(graph)
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect();
+
+            let est_start = Instant::now();
+            estimate_value = estimate(&self.plan.aggregate, &validated);
+            self.timings.estimation_ms += est_start.elapsed().as_secs_f64() * 1e3;
+
+            let guar_start = Instant::now();
+            moe = blb_moe(
+                &self.plan.aggregate,
+                &validated,
+                self.config.confidence,
+                &self.config.bootstrap,
+                &mut self.rng,
+            );
+            let satisfied = satisfies_error_bound(estimate_value, moe, error_bound);
+            self.timings.guarantee_ms += guar_start.elapsed().as_secs_f64() * 1e3;
+
+            self.rounds.push(RoundTrace {
+                round: self.rounds.len() + 1,
+                estimate: estimate_value,
+                moe,
+                sample_size: self.sample.len(),
+                correct_size: validated.iter().filter(|v| v.correct).count(),
+            });
+
+            if satisfied || self.plan.distribution.is_empty() {
+                guarantee_met = satisfied;
+                break;
+            }
+            if self.sample.len() >= self.config.max_sample_size {
+                break;
+            }
+            let delta = match self.config.fixed_increment {
+                Some(fixed) => fixed,
+                None => additional_sample_size(
+                    self.sample.len(),
+                    moe,
+                    estimate_value,
+                    error_bound,
+                    self.config.bootstrap.blb_exponent,
+                    self.config.max_sample_size - self.sample.len(),
+                ),
+            };
+            if delta == 0 {
+                guarantee_met = true;
+                break;
+            }
+            self.draw(delta.min(self.config.max_sample_size - self.sample.len()));
+        }
+
+        // GROUP-BY: estimate per bucket over the validated sample.
+        let groups = match self.plan.group_by {
+            None => BTreeMap::new(),
+            Some((attr, width)) => {
+                let validated = self.validated_sample(graph);
+                let mut buckets: BTreeMap<i64, Vec<ValidatedAnswer>> = BTreeMap::new();
+                for (entity, answer) in validated {
+                    if !answer.correct {
+                        continue;
+                    }
+                    if let Some(v) = graph.attribute_value(entity, attr) {
+                        buckets
+                            .entry((v / width).floor() as i64)
+                            .or_default()
+                            .push(answer);
+                    }
+                }
+                buckets
+                    .into_iter()
+                    .map(|(k, members)| (k, estimate(&self.plan.aggregate, &members)))
+                    .collect()
+            }
+        };
+
+        QueryAnswer {
+            estimate: estimate_value,
+            moe,
+            confidence: self.config.confidence,
+            guarantee_met,
+            rounds: self.rounds.clone(),
+            groups,
+            timings: self.timings,
+            sample_size: self.sample.len(),
+            candidate_count: self.plan.candidate_count,
+            elapsed_ms: wall.elapsed().as_secs_f64() * 1e3 + self.plan.plan_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AqpEngine;
+    use kg_datagen::{domains, generate, DatasetScale, GeneratorConfig};
+    use kg_query::{AggregateFunction, AggregateQuery, Filter, GroupBy, SimpleQuery};
+
+    fn dataset() -> kg_datagen::GeneratedDataset {
+        generate(&GeneratorConfig::new(
+            "session-test",
+            DatasetScale::tiny(),
+            vec![domains::automotive(&["Germany", "China"])],
+            31,
+        ))
+    }
+
+    #[test]
+    fn interactive_refinement_reuses_the_sample() {
+        let d = dataset();
+        let engine = AqpEngine::new(EngineConfig::default());
+        let query = AggregateQuery::simple(
+            SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+            AggregateFunction::Count,
+        );
+        let mut session = engine.open_session(&d.graph, &query, &d.oracle).unwrap();
+        let coarse = session.refine_to(&d.graph, &d.oracle, 0.10);
+        let coarse_sample = session.sample_size();
+        let fine = session.refine_to(&d.graph, &d.oracle, 0.02);
+        assert!(session.sample_size() >= coarse_sample);
+        assert!(fine.moe <= coarse.moe * 1.5, "tightening should not blow up the MoE");
+        assert!(session.candidate_count() > 0);
+        assert!(fine.rounds.len() >= coarse.rounds.len());
+    }
+
+    #[test]
+    fn filters_and_group_by_are_applied() {
+        let d = dataset();
+        let engine = AqpEngine::new(EngineConfig {
+            error_bound: 0.05,
+            ..EngineConfig::default()
+        });
+        let plain = AggregateQuery::simple(
+            SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+            AggregateFunction::Count,
+        );
+        let filtered = plain
+            .clone()
+            .with_filter(Filter::range("price", 15_000.0, 60_000.0));
+        let grouped = plain.clone().with_group_by(GroupBy::new("price", 30_000.0));
+
+        let all = engine.execute(&d.graph, &plain, &d.oracle).unwrap();
+        let some = engine.execute(&d.graph, &filtered, &d.oracle).unwrap();
+        assert!(some.estimate <= all.estimate * 1.1);
+        let with_groups = engine.execute(&d.graph, &grouped, &d.oracle).unwrap();
+        assert!(!with_groups.groups.is_empty());
+        let group_total: f64 = with_groups.groups.values().sum();
+        assert!(group_total > 0.0);
+    }
+
+    #[test]
+    fn disabling_validation_inflates_the_estimate() {
+        let d = dataset();
+        let query = AggregateQuery::simple(
+            SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+            AggregateFunction::Count,
+        );
+        let with = AqpEngine::new(EngineConfig {
+            error_bound: 0.05,
+            ..EngineConfig::default()
+        })
+        .execute(&d.graph, &query, &d.oracle)
+        .unwrap();
+        let without = AqpEngine::new(EngineConfig {
+            error_bound: 0.05,
+            validate: false,
+            ..EngineConfig::default()
+        })
+        .execute(&d.graph, &query, &d.oracle)
+        .unwrap();
+        // Without validation every sampled answer counts, so the COUNT
+        // estimate moves towards |A| (all candidates) and above the τ-GT.
+        assert!(without.estimate >= with.estimate);
+    }
+}

@@ -1,0 +1,35 @@
+//! Latency of the comparator engines and SSB on the same simple query
+//! (the comparator side of Table VIII).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg_datagen::{profiles, DatasetScale};
+use kg_query::{
+    evaluate_with_engine, AggregateFunction, AggregateQuery, FactoidEngineKind, GroundTruthConfig,
+    SimpleQuery, SsbEngine,
+};
+
+fn bench_baselines(c: &mut Criterion) {
+    let dataset = kg_datagen::generate(&profiles::dbpedia_like(DatasetScale::tiny(), 13));
+    let query = AggregateQuery::simple(
+        SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+        AggregateFunction::Count,
+    );
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    for kind in FactoidEngineKind::all() {
+        let engine = kind.build();
+        group.bench_with_input(
+            BenchmarkId::new("factoid", kind.paper_name()),
+            &query,
+            |b, q| b.iter(|| evaluate_with_engine(engine.as_ref(), &dataset.graph, q, &dataset.oracle).unwrap()),
+        );
+    }
+    let ssb = SsbEngine::new(GroundTruthConfig::default());
+    group.bench_function("SSB", |b| {
+        b.iter(|| ssb.evaluate(&dataset.graph, &query, &dataset.oracle).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Offline embedding training cost per model (the time column of Table XIII).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg_datagen::{domains, generate, DatasetScale, GeneratorConfig};
+use kg_embed::{train, EmbeddingModelKind, TrainerConfig};
+
+fn bench_embedding(c: &mut Criterion) {
+    let dataset = generate(&GeneratorConfig::new(
+        "bench",
+        DatasetScale::tiny(),
+        vec![domains::automotive(&["Germany", "China"])],
+        3,
+    ));
+    let cfg = TrainerConfig {
+        dimension: 16,
+        epochs: 3,
+        ..TrainerConfig::default()
+    };
+    let mut group = c.benchmark_group("embedding");
+    group.sample_size(10);
+    for kind in EmbeddingModelKind::all() {
+        group.bench_with_input(BenchmarkId::new("train", kind.name()), &kind, |b, k| {
+            b.iter(|| train(&dataset.graph, *k, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_embedding);
+criterion_main!(benches);

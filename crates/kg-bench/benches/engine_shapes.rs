@@ -1,0 +1,33 @@
+//! End-to-end engine latency per query shape (the latency side of Table VIII).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg_aqp::{AqpEngine, EngineConfig};
+use kg_bench::harness::QueryCategory;
+use kg_datagen::{build_workload, profiles, DatasetScale, WorkloadConfig};
+use kg_query::QueryShape;
+
+fn bench_engine_shapes(c: &mut Criterion) {
+    let dataset = kg_datagen::generate(&profiles::dbpedia_like(DatasetScale::tiny(), 9));
+    let workload = build_workload(&dataset, &WorkloadConfig::default());
+    let engine = AqpEngine::new(EngineConfig {
+        error_bound: 0.05,
+        ..EngineConfig::default()
+    });
+    let mut group = c.benchmark_group("engine_shapes");
+    group.sample_size(10);
+    for shape in QueryShape::all() {
+        let Some(query) = workload
+            .iter()
+            .find(|q| q.shape == shape && q.category == QueryCategory::Plain)
+        else {
+            continue;
+        };
+        group.bench_with_input(BenchmarkId::new("execute", shape.name()), query, |b, q| {
+            b.iter(|| engine.execute(&dataset.graph, &q.query, &dataset.oracle).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_shapes);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Micro-benchmarks of the estimators, bootstrap and BLB (Table XII's S2/S3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kg_estimate::{blb_moe, bootstrap_moe, estimate, BootstrapConfig, ValidatedAnswer};
+use kg_query::{AggregateFunction, ResolvedAggregate};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn sample(n: usize) -> Vec<ValidatedAnswer> {
+    let mut rng = SmallRng::seed_from_u64(7);
+    (0..n)
+        .map(|_| ValidatedAnswer {
+            probability: rng.gen_range(0.001..0.01),
+            value: Some(rng.gen_range(10_000.0..100_000.0)),
+            correct: rng.gen_bool(0.9),
+            similarity: 0.9,
+        })
+        .collect()
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let agg = ResolvedAggregate {
+        function: AggregateFunction::Avg("price".into()),
+        attribute: None,
+    };
+    let s = sample(2_000);
+    let mut group = c.benchmark_group("estimators");
+    group.sample_size(20);
+    group.bench_function("ht_avg_2000", |b| b.iter(|| estimate(&agg, &s)));
+    group.bench_function("bootstrap_moe_2000", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| bootstrap_moe(&agg, &s, 0.95, 50, &mut rng))
+    });
+    group.bench_function("blb_moe_2000", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| blb_moe(&agg, &s, 0.95, &BootstrapConfig::default(), &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

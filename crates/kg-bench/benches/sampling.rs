@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the sampling substrate: transition-matrix
+//! construction, random-walk convergence and i.i.d. draws.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg_datagen::{domains, generate, DatasetScale, GeneratorConfig};
+use kg_query::{QuerySpec, SimpleQuery};
+use kg_sampling::{prepare, SamplerConfig, SamplingStrategy};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_sampling(c: &mut Criterion) {
+    let dataset = generate(&GeneratorConfig::new(
+        "bench",
+        DatasetScale::tiny(),
+        vec![domains::automotive(&["Germany", "China", "Korea"])],
+        5,
+    ));
+    let query = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"])
+        .resolve(&dataset.graph)
+        .unwrap();
+    let _ = QuerySpec::Simple(SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]));
+
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(10);
+    for strategy in [
+        SamplingStrategy::SemanticAware,
+        SamplingStrategy::Cnarw,
+        SamplingStrategy::Uniform,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("prepare", strategy.name()),
+            &strategy,
+            |b, s| {
+                b.iter(|| prepare(&dataset.graph, &query, &dataset.oracle, *s, &SamplerConfig::default()))
+            },
+        );
+    }
+    let prepared = prepare(
+        &dataset.graph,
+        &query,
+        &dataset.oracle,
+        SamplingStrategy::SemanticAware,
+        &SamplerConfig::default(),
+    );
+    group.bench_function("draw_1000", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| prepared.draw(&mut rng, 1000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

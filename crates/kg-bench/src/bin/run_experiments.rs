@@ -1,0 +1,59 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p kg-bench --release --bin run_experiments -- all
+//! cargo run -p kg-bench --release --bin run_experiments -- table6 fig5a
+//! ```
+//!
+//! Environment variables:
+//! * `KG_BENCH_SCALE` = `tiny` (default) | `default` | `large`
+//! * `KG_BENCH_QUERIES_PER_CELL` = queries evaluated per (shape, dataset) cell
+
+use kg_bench::experiments::{run, ALL_EXPERIMENTS};
+use kg_bench::BenchContext;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let requested: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+
+    eprintln!("building dataset profiles (scale from KG_BENCH_SCALE, default tiny)...");
+    let ctx = BenchContext::build(BenchContext::scale_from_env(), 2022);
+    for bundle in &ctx.bundles {
+        eprintln!(
+            "  {}: {} ({} workload queries)",
+            bundle.kind.name(),
+            kg_core::GraphStats::compute(&bundle.dataset.graph),
+            bundle.workload.len()
+        );
+    }
+
+    let mut json_tables = Vec::new();
+    for id in requested {
+        eprintln!("running {id} ...");
+        let start = std::time::Instant::now();
+        let tables = run(id, &ctx);
+        for table in &tables {
+            println!("{table}");
+            json_tables.push(table.to_json());
+        }
+        eprintln!("  {id} done in {:.1}s", start.elapsed().as_secs_f64());
+    }
+
+    let out_dir = std::path::Path::new("experiments_output");
+    if std::fs::create_dir_all(out_dir).is_ok() {
+        let path = out_dir.join("results.json");
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = writeln!(
+                f,
+                "{}",
+                serde_json::to_string_pretty(&serde_json::Value::Array(json_tables)).unwrap()
+            );
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

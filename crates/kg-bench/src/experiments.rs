@@ -1,0 +1,738 @@
+//! One function per table / figure of the paper's evaluation (§VII).
+//!
+//! Each experiment returns one or more [`Table`]s; `run_experiments` prints
+//! them and dumps JSON for `EXPERIMENTS.md`. Experiments share a single
+//! [`BenchContext`] (the three dataset profiles and their workloads).
+
+use crate::harness::{relative_error_pct, BenchContext, Method, QueryCategory};
+use crate::report::{fmt_num, Table};
+use kg_aqp::{AqpEngine, EngineConfig};
+use kg_datagen::WorkloadQuery;
+use kg_embed::{EmbeddingModelKind, PredicateSimilarity, TrainerConfig};
+use kg_query::{jaccard, GroundTruthConfig, QueryShape, QuerySpec};
+use kg_sampling::SamplingStrategy;
+
+/// The ids of every experiment, in paper order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "table5", "table6", "table7", "table8", "table9", "table10", "table11", "table12", "table13",
+    "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f",
+];
+
+/// Runs one experiment by id.
+pub fn run(id: &str, ctx: &BenchContext) -> Vec<Table> {
+    match id {
+        "table5" => table5(ctx),
+        "table6" => table6_7_8(ctx, Grid::TauError),
+        "table7" => table6_7_8(ctx, Grid::HaError),
+        "table8" => table6_7_8(ctx, Grid::Time),
+        "table9" => table9(ctx),
+        "table10" => table10_11(ctx, true),
+        "table11" => table10_11(ctx, false),
+        "table12" => table12(ctx),
+        "table13" => table13(ctx),
+        "fig5a" => fig5a(ctx),
+        "fig5b" => fig5b(ctx),
+        "fig5c" => fig5c(ctx),
+        "fig6a" => fig6a(ctx),
+        "fig6b" => fig6b(ctx),
+        "fig6c" => fig6c(ctx),
+        "fig6d" => fig6d(ctx),
+        "fig6e" => fig6e(ctx),
+        "fig6f" => fig6f(ctx),
+        other => panic!("unknown experiment id {other:?}"),
+    }
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table V — AJS between human-annotated and τ-relevant correct answers.
+// ---------------------------------------------------------------------------
+fn table5(ctx: &BenchContext) -> Vec<Table> {
+    let taus = [0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95];
+    let mut table = Table::new(
+        "table5",
+        "Average Jaccard similarity (AJS) between HA and τ-relevant answers, and its variance",
+        &["Dataset", "metric", "0.60", "0.65", "0.70", "0.75", "0.80", "0.85", "0.90", "0.95"],
+    );
+    for bundle in &ctx.bundles {
+        let queries = bundle.queries(QueryShape::Simple, QueryCategory::Plain, ctx.queries_per_cell.max(3));
+        let mut ajs_row = vec![bundle.kind.name().to_string(), "AJS".to_string()];
+        let mut var_row = vec![bundle.kind.name().to_string(), "Var".to_string()];
+        for tau in taus {
+            let mut sims = Vec::new();
+            for q in &queries {
+                let QuerySpec::Simple(simple) = &q.query.query else { continue };
+                let resolved = simple.resolve(&bundle.dataset.graph).unwrap();
+                let gt = kg_query::simple_ground_truth(
+                    &bundle.dataset.graph,
+                    &resolved,
+                    &bundle.dataset.oracle,
+                    &GroundTruthConfig {
+                        tau,
+                        ..GroundTruthConfig::default()
+                    },
+                );
+                let ha = q.ha_answers(&bundle.dataset);
+                sims.push(jaccard(&gt.correct, &ha));
+            }
+            let m = mean(&sims);
+            let var = mean(&sims.iter().map(|s| (s - m) * (s - m)).collect::<Vec<_>>());
+            ajs_row.push(fmt_num(m));
+            var_row.push(fmt_num(var));
+        }
+        table.push_row(ajs_row);
+        table.push_row(var_row);
+    }
+    vec![table]
+}
+
+// ---------------------------------------------------------------------------
+// Tables VI / VII / VIII — error vs τ-GT, error vs HA-GT, response time,
+// per shape × dataset × method.
+// ---------------------------------------------------------------------------
+enum Grid {
+    TauError,
+    HaError,
+    Time,
+}
+
+fn table6_7_8(ctx: &BenchContext, grid: Grid) -> Vec<Table> {
+    let (id, title) = match grid {
+        Grid::TauError => ("table6", "Relative error (%) w.r.t. τ-GT per query shape"),
+        Grid::HaError => ("table7", "Relative error (%) w.r.t. HA-GT per query shape"),
+        Grid::Time => ("table8", "Average response time (ms) per query shape"),
+    };
+    let mut tables = Vec::new();
+    for bundle in &ctx.bundles {
+        let mut table = Table::new(
+            id,
+            &format!("{title} — {}", bundle.kind.name()),
+            &["Method", "Simple", "Chain", "Star", "Cycle", "Flower"],
+        );
+        for method in Method::all() {
+            let mut row = vec![method.name().to_string()];
+            for shape in QueryShape::all() {
+                let queries = bundle.queries(shape, QueryCategory::Plain, ctx.queries_per_cell);
+                if queries.is_empty() {
+                    row.push("-".into());
+                    continue;
+                }
+                let mut cells = Vec::new();
+                let mut unsupported = false;
+                for q in queries {
+                    let outcome = run_method_cached(method, bundle, q, &ctx.engine_config);
+                    if !outcome.supported {
+                        unsupported = true;
+                        break;
+                    }
+                    let cell = match grid {
+                        Grid::TauError => relative_error_pct(outcome.value, bundle.tau_gt(q)),
+                        Grid::HaError => relative_error_pct(outcome.value, bundle.ha_gt(q)),
+                        Grid::Time => outcome.elapsed_ms,
+                    };
+                    cells.push(cell);
+                }
+                row.push(if unsupported { "-".into() } else { fmt_num(mean(&cells)) });
+            }
+            table.push_row(row);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+fn run_method_cached(
+    method: Method,
+    bundle: &crate::harness::DatasetBundle,
+    query: &WorkloadQuery,
+    cfg: &EngineConfig,
+) -> crate::harness::MethodOutcome {
+    crate::harness::run_method(method, bundle, query, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Table IX — per-round refinement case study.
+// ---------------------------------------------------------------------------
+fn table9(ctx: &BenchContext) -> Vec<Table> {
+    let mut table = Table::new(
+        "table9",
+        "Case study: per-round refinement (V̂, MoE ε, relative error %) until eb = 1% is met",
+        &["Query", "Round", "V̂", "MoE ε", "error %"],
+    );
+    let bundle = &ctx.bundles[0];
+    let queries = bundle.queries(QueryShape::Simple, QueryCategory::Plain, 3);
+    for q in queries {
+        let truth = bundle.tau_gt(q);
+        let engine = AqpEngine::new(ctx.engine_config.clone());
+        if let Ok(answer) = engine.execute(&bundle.dataset.graph, &q.query, &bundle.dataset.oracle) {
+            for round in &answer.rounds {
+                table.push_row(vec![
+                    q.id.clone(),
+                    round.round.to_string(),
+                    fmt_num(round.estimate),
+                    fmt_num(round.moe),
+                    fmt_num(relative_error_pct(round.estimate, truth)),
+                ]);
+            }
+        }
+    }
+    vec![table]
+}
+
+// ---------------------------------------------------------------------------
+// Tables X / XI — operators (Filter, GROUP-BY, MAX/MIN): time and error.
+// ---------------------------------------------------------------------------
+fn table10_11(ctx: &BenchContext, time: bool) -> Vec<Table> {
+    let bundle = &ctx.bundles[0];
+    let (id, title) = if time {
+        ("table10", "Efficiency (ms) for Filter / GROUP-BY / MAX-MIN operators (DBpedia-like)")
+    } else {
+        ("table11", "Relative error (%) for Filter / GROUP-BY / MAX-MIN operators (DBpedia-like)")
+    };
+    let headers = if time {
+        vec!["Method", "Filter", "GROUP-BY", "MAX/MIN"]
+    } else {
+        vec!["Method", "Filter (τ-GT)", "MAX/MIN (τ-GT)", "Filter (HA-GT)", "MAX/MIN (HA-GT)"]
+    };
+    let headers: Vec<&str> = headers.iter().map(|s| &**s).collect();
+    let mut table = Table::new(id, title, &headers);
+    let categories = [QueryCategory::Filtered, QueryCategory::Grouped, QueryCategory::Extreme];
+    for method in Method::all() {
+        let mut row = vec![method.name().to_string()];
+        if time {
+            for category in categories {
+                let queries = bundle.queries(QueryShape::Simple, category, ctx.queries_per_cell);
+                // GROUP-BY is only supported by Ours, SSB, JENA/Virtuoso (paper Table X).
+                if category == QueryCategory::Grouped
+                    && !matches!(method, Method::Ours | Method::Ssb | Method::Jena | Method::Virtuoso)
+                {
+                    row.push("-".into());
+                    continue;
+                }
+                let times: Vec<f64> = queries
+                    .iter()
+                    .map(|q| run_method_cached(method, bundle, q, &ctx.engine_config).elapsed_ms)
+                    .collect();
+                row.push(fmt_num(mean(&times)));
+            }
+        } else {
+            for category in [QueryCategory::Filtered, QueryCategory::Extreme] {
+                let queries = bundle.queries(QueryShape::Simple, category, ctx.queries_per_cell);
+                let errs: Vec<f64> = queries
+                    .iter()
+                    .map(|q| {
+                        let o = run_method_cached(method, bundle, q, &ctx.engine_config);
+                        relative_error_pct(o.value, bundle.tau_gt(q))
+                    })
+                    .collect();
+                row.push(fmt_num(mean(&errs)));
+            }
+            for category in [QueryCategory::Filtered, QueryCategory::Extreme] {
+                let queries = bundle.queries(QueryShape::Simple, category, ctx.queries_per_cell);
+                let errs: Vec<f64> = queries
+                    .iter()
+                    .map(|q| {
+                        let o = run_method_cached(method, bundle, q, &ctx.engine_config);
+                        relative_error_pct(o.value, bundle.ha_gt(q))
+                    })
+                    .collect();
+                row.push(fmt_num(mean(&errs)));
+            }
+        }
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+// ---------------------------------------------------------------------------
+// Table XII — per-step time (S1 sampling, S2 estimation, S3 guarantee).
+// ---------------------------------------------------------------------------
+fn table12(ctx: &BenchContext) -> Vec<Table> {
+    let mut table = Table::new(
+        "table12",
+        "Per-step time (ms): S1 sampling, S2 estimation, S3 guarantee (DBpedia-like, simple)",
+        &["Operator", "S1", "S2", "S3"],
+    );
+    let bundle = &ctx.bundles[0];
+    for wanted in ["COUNT", "AVG", "SUM"] {
+        let queries: Vec<&WorkloadQuery> = bundle
+            .workload
+            .iter()
+            .filter(|q| {
+                q.shape == QueryShape::Simple
+                    && q.category == QueryCategory::Plain
+                    && q.query.function.name() == wanted
+            })
+            .take(ctx.queries_per_cell)
+            .collect();
+        let mut s1 = Vec::new();
+        let mut s2 = Vec::new();
+        let mut s3 = Vec::new();
+        for q in queries {
+            let engine = AqpEngine::new(ctx.engine_config.clone());
+            if let Ok(a) = engine.execute(&bundle.dataset.graph, &q.query, &bundle.dataset.oracle) {
+                s1.push(a.timings.sampling_ms);
+                s2.push(a.timings.estimation_ms);
+                s3.push(a.timings.guarantee_ms);
+            }
+        }
+        table.push_row(vec![
+            wanted.to_string(),
+            fmt_num(mean(&s1)),
+            fmt_num(mean(&s2)),
+            fmt_num(mean(&s3)),
+        ]);
+    }
+    vec![table]
+}
+
+// ---------------------------------------------------------------------------
+// Table XIII — effect of the KG embedding model.
+// ---------------------------------------------------------------------------
+fn table13(ctx: &BenchContext) -> Vec<Table> {
+    let mut table = Table::new(
+        "table13",
+        "Effect of KG embedding models (DBpedia-like, simple, HA-GT): train time, parameters, error",
+        &["Model", "Embed time (ms)", "Parameters", "Relative error (%)"],
+    );
+    let bundle = &ctx.bundles[0];
+    let queries = bundle.queries(QueryShape::Simple, QueryCategory::Plain, ctx.queries_per_cell);
+    let trainer = TrainerConfig {
+        dimension: 24,
+        epochs: 12,
+        ..TrainerConfig::default()
+    };
+    for kind in EmbeddingModelKind::all() {
+        let trained = kg_embed::train(&bundle.dataset.graph, kind, &trainer);
+        let errs: Vec<f64> = queries
+            .iter()
+            .map(|q| {
+                let engine = AqpEngine::new(ctx.engine_config.clone());
+                match engine.execute(&bundle.dataset.graph, &q.query, &trained.store) {
+                    Ok(a) => relative_error_pct(a.estimate, bundle.ha_gt(q)),
+                    Err(_) => 100.0,
+                }
+            })
+            .collect();
+        table.push_row(vec![
+            kind.name().to_string(),
+            fmt_num(trained.stats.train_time_ms),
+            trained.stats.parameters.to_string(),
+            fmt_num(mean(&errs)),
+        ]);
+    }
+    // Extra ablation called out in DESIGN.md: the oracle embedding.
+    let errs: Vec<f64> = queries
+        .iter()
+        .map(|q| {
+            let engine = AqpEngine::new(ctx.engine_config.clone());
+            match engine.execute(&bundle.dataset.graph, &q.query, &bundle.dataset.oracle) {
+                Ok(a) => relative_error_pct(a.estimate, bundle.ha_gt(q)),
+                Err(_) => 100.0,
+            }
+        })
+        .collect();
+    table.push_row(vec![
+        "Oracle".to_string(),
+        "0".to_string(),
+        bundle.dataset.oracle.stored_floats().to_string(),
+        fmt_num(mean(&errs)),
+    ]);
+    vec![table]
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5(a) — S1 ablation: semantic-aware vs CNARW vs Node2Vec.
+// ---------------------------------------------------------------------------
+fn run_with_config<S: PredicateSimilarity + ?Sized>(
+    bundle: &crate::harness::DatasetBundle,
+    query: &WorkloadQuery,
+    cfg: &EngineConfig,
+    similarity: &S,
+) -> (f64, f64) {
+    let engine = AqpEngine::new(cfg.clone());
+    let start = std::time::Instant::now();
+    match engine.execute(&bundle.dataset.graph, &query.query, similarity) {
+        Ok(a) => (a.estimate, start.elapsed().as_secs_f64() * 1e3),
+        Err(_) => (0.0, start.elapsed().as_secs_f64() * 1e3),
+    }
+}
+
+fn aggregate_ablation(
+    ctx: &BenchContext,
+    id: &str,
+    title: &str,
+    variants: Vec<(String, EngineConfig)>,
+) -> Vec<Table> {
+    let mut error_table = Table::new(id, &format!("{title} — relative error (%)"), &["Variant", "COUNT", "AVG", "SUM"]);
+    let mut time_table = Table::new(id, &format!("{title} — response time (ms)"), &["Variant", "COUNT", "AVG", "SUM"]);
+    let bundle = &ctx.bundles[0];
+    for (name, cfg) in variants {
+        let mut err_row = vec![name.clone()];
+        let mut time_row = vec![name.clone()];
+        for wanted in ["COUNT", "AVG", "SUM"] {
+            let queries: Vec<&WorkloadQuery> = bundle
+                .workload
+                .iter()
+                .filter(|q| {
+                    q.shape == QueryShape::Simple
+                        && q.category == QueryCategory::Plain
+                        && q.query.function.name() == wanted
+                })
+                .take(ctx.queries_per_cell)
+                .collect();
+            let mut errs = Vec::new();
+            let mut times = Vec::new();
+            for q in queries {
+                let (value, ms) = run_with_config(bundle, q, &cfg, &bundle.dataset.oracle);
+                errs.push(relative_error_pct(value, bundle.ha_gt(q)));
+                times.push(ms);
+            }
+            err_row.push(fmt_num(mean(&errs)));
+            time_row.push(fmt_num(mean(&times)));
+        }
+        error_table.push_row(err_row);
+        time_table.push_row(time_row);
+    }
+    vec![error_table, time_table]
+}
+
+fn fig5a(ctx: &BenchContext) -> Vec<Table> {
+    aggregate_ablation(
+        ctx,
+        "fig5a",
+        "Effect of S1: semantic-aware sampling vs CNARW vs Node2Vec",
+        vec![
+            ("semantic-aware".into(), ctx.engine_config.clone()),
+            (
+                "CNARW".into(),
+                EngineConfig {
+                    strategy: SamplingStrategy::Cnarw,
+                    ..ctx.engine_config.clone()
+                },
+            ),
+            (
+                "Node2Vec".into(),
+                EngineConfig {
+                    strategy: SamplingStrategy::Node2Vec { p: 4.0, q: 0.5 },
+                    ..ctx.engine_config.clone()
+                },
+            ),
+        ],
+    )
+}
+
+fn fig5b(ctx: &BenchContext) -> Vec<Table> {
+    aggregate_ablation(
+        ctx,
+        "fig5b",
+        "Effect of S2: with vs without correctness validation",
+        vec![
+            ("w/ validation".into(), ctx.engine_config.clone()),
+            (
+                "w/o validation".into(),
+                EngineConfig {
+                    validate: false,
+                    ..ctx.engine_config.clone()
+                },
+            ),
+        ],
+    )
+}
+
+fn fig5c(ctx: &BenchContext) -> Vec<Table> {
+    aggregate_ablation(
+        ctx,
+        "fig5c",
+        "Effect of S3: error-based Δ|S_A| vs fixed increment",
+        vec![
+            ("error-based".into(), ctx.engine_config.clone()),
+            (
+                "fixed (50)".into(),
+                EngineConfig {
+                    fixed_increment: Some(50),
+                    ..ctx.engine_config.clone()
+                },
+            ),
+        ],
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6(a) — interactive error-bound refinement.
+// ---------------------------------------------------------------------------
+fn fig6a(ctx: &BenchContext) -> Vec<Table> {
+    let mut table = Table::new(
+        "fig6a",
+        "Interactive performance: incremental time (ms) as eb is tightened 5%→4%→3%→2%→1%",
+        &["Aggregate", "5%→4%", "4%→3%", "3%→2%", "2%→1%"],
+    );
+    let bundle = &ctx.bundles[0];
+    for wanted in ["COUNT", "AVG", "SUM"] {
+        let query = bundle.workload.iter().find(|q| {
+            q.shape == QueryShape::Simple
+                && q.category == QueryCategory::Plain
+                && q.query.function.name() == wanted
+        });
+        let Some(query) = query else { continue };
+        let engine = AqpEngine::new(EngineConfig {
+            error_bound: 0.05,
+            ..ctx.engine_config.clone()
+        });
+        let mut session = engine
+            .open_session(&bundle.dataset.graph, &query.query, &bundle.dataset.oracle)
+            .unwrap();
+        session.refine_to(&bundle.dataset.graph, &bundle.dataset.oracle, 0.05);
+        let mut row = vec![wanted.to_string()];
+        for eb in [0.04, 0.03, 0.02, 0.01] {
+            let start = std::time::Instant::now();
+            session.refine_to(&bundle.dataset.graph, &bundle.dataset.oracle, eb);
+            row.push(fmt_num(start.elapsed().as_secs_f64() * 1e3));
+        }
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6(b)–(f) — parameter sensitivity sweeps.
+// ---------------------------------------------------------------------------
+fn sweep<F>(ctx: &BenchContext, id: &str, title: &str, axis: &str, values: Vec<(String, EngineConfig)>, mut truth: F) -> Vec<Table>
+where
+    F: FnMut(&crate::harness::DatasetBundle, &WorkloadQuery) -> f64,
+{
+    let mut error_table = Table::new(id, &format!("{title} — relative error (%)"), &[axis, "COUNT", "AVG", "SUM"]);
+    let mut time_table = Table::new(id, &format!("{title} — response time (ms)"), &[axis, "COUNT", "AVG", "SUM"]);
+    let bundle = &ctx.bundles[0];
+    for (label, cfg) in values {
+        let mut err_row = vec![label.clone()];
+        let mut time_row = vec![label.clone()];
+        for wanted in ["COUNT", "AVG", "SUM"] {
+            let queries: Vec<&WorkloadQuery> = bundle
+                .workload
+                .iter()
+                .filter(|q| {
+                    q.shape == QueryShape::Simple
+                        && q.category == QueryCategory::Plain
+                        && q.query.function.name() == wanted
+                })
+                .take(ctx.queries_per_cell)
+                .collect();
+            let mut errs = Vec::new();
+            let mut times = Vec::new();
+            for q in queries {
+                let (value, ms) = run_with_config(bundle, q, &cfg, &bundle.dataset.oracle);
+                errs.push(relative_error_pct(value, truth(bundle, q)));
+                times.push(ms);
+            }
+            err_row.push(fmt_num(mean(&errs)));
+            time_row.push(fmt_num(mean(&times)));
+        }
+        error_table.push_row(err_row);
+        time_table.push_row(time_row);
+    }
+    vec![error_table, time_table]
+}
+
+fn fig6b(ctx: &BenchContext) -> Vec<Table> {
+    let values = [0.86, 0.89, 0.92, 0.95, 0.98]
+        .into_iter()
+        .map(|c| {
+            (
+                format!("{:.0}%", c * 100.0),
+                EngineConfig {
+                    confidence: c,
+                    ..ctx.engine_config.clone()
+                },
+            )
+        })
+        .collect();
+    sweep(ctx, "fig6b", "Effect of confidence level 1−α", "1−α", values, |b, q| b.ha_gt(q))
+}
+
+fn fig6c(ctx: &BenchContext) -> Vec<Table> {
+    let values = (1..=5)
+        .map(|r| {
+            (
+                r.to_string(),
+                EngineConfig {
+                    repeat_factor: r,
+                    ..ctx.engine_config.clone()
+                },
+            )
+        })
+        .collect();
+    sweep(ctx, "fig6c", "Effect of repeat factor r", "r", values, |b, q| b.ha_gt(q))
+}
+
+fn fig6d(ctx: &BenchContext) -> Vec<Table> {
+    let values = [0.1, 0.2, 0.3, 0.4, 0.5]
+        .into_iter()
+        .map(|l| {
+            (
+                format!("{l:.1}"),
+                EngineConfig {
+                    desired_sample_ratio: l,
+                    ..ctx.engine_config.clone()
+                },
+            )
+        })
+        .collect();
+    sweep(ctx, "fig6d", "Effect of desired sample ratio λ", "λ", values, |b, q| b.ha_gt(q))
+}
+
+fn fig6e(ctx: &BenchContext) -> Vec<Table> {
+    let values = (1..=5)
+        .map(|n| {
+            (
+                n.to_string(),
+                EngineConfig {
+                    n_bound: n,
+                    ..ctx.engine_config.clone()
+                },
+            )
+        })
+        .collect();
+    sweep(ctx, "fig6e", "Effect of the n-bounded subgraph", "n", values, |b, q| b.ha_gt(q))
+}
+
+fn fig6f(ctx: &BenchContext) -> Vec<Table> {
+    let taus = [0.70, 0.75, 0.80, 0.85, 0.90];
+    // Left panel: error w.r.t. τ-GT (the ground truth moves with τ).
+    let left_values: Vec<(String, EngineConfig)> = taus
+        .iter()
+        .map(|t| {
+            (
+                format!("{t:.2}"),
+                EngineConfig {
+                    tau: *t,
+                    ..ctx.engine_config.clone()
+                },
+            )
+        })
+        .collect();
+    let mut tables = Vec::new();
+    {
+        let bundle = &ctx.bundles[0];
+        let mut tau_tables = sweep(
+            ctx,
+            "fig6f",
+            "Effect of τ — error w.r.t. τ-GT",
+            "τ",
+            left_values,
+            |b, q| {
+                // Recompute τ-GT with the engine's τ for the left panel.
+                let _ = b;
+                let _ = q;
+                0.0
+            },
+        );
+        // The closure above cannot see the current τ, so recompute properly here.
+        tau_tables[0].rows.clear();
+        for t in taus {
+            let cfg = EngineConfig {
+                tau: t,
+                ..ctx.engine_config.clone()
+            };
+            let mut err_row = vec![format!("{t:.2}")];
+            for wanted in ["COUNT", "AVG", "SUM"] {
+                let queries: Vec<&WorkloadQuery> = bundle
+                    .workload
+                    .iter()
+                    .filter(|q| {
+                        q.shape == QueryShape::Simple
+                            && q.category == QueryCategory::Plain
+                            && q.query.function.name() == wanted
+                    })
+                    .take(ctx.queries_per_cell)
+                    .collect();
+                let mut errs = Vec::new();
+                for q in queries {
+                    let QuerySpec::Simple(simple) = &q.query.query else { continue };
+                    let resolved = simple.resolve(&bundle.dataset.graph).unwrap();
+                    let gt = kg_query::simple_ground_truth(
+                        &bundle.dataset.graph,
+                        &resolved,
+                        &bundle.dataset.oracle,
+                        &GroundTruthConfig {
+                            tau: t,
+                            ..GroundTruthConfig::default()
+                        },
+                    );
+                    let aggregate = q.query.function.resolve(&bundle.dataset.graph).unwrap();
+                    let truth = gt.value(&bundle.dataset.graph, &aggregate);
+                    let (value, _) = run_with_config(bundle, q, &cfg, &bundle.dataset.oracle);
+                    errs.push(relative_error_pct(value, truth));
+                }
+                err_row.push(fmt_num(mean(&errs)));
+            }
+            tau_tables[0].push_row(err_row);
+        }
+        tau_tables[0].title = "Effect of τ — error w.r.t. τ-GT (left panel)".into();
+        tables.push(tau_tables.remove(0));
+    }
+    // Right panel: error w.r.t. HA-GT (fixed ground truth).
+    let right_values: Vec<(String, EngineConfig)> = taus
+        .iter()
+        .map(|t| {
+            (
+                format!("{t:.2}"),
+                EngineConfig {
+                    tau: *t,
+                    ..ctx.engine_config.clone()
+                },
+            )
+        })
+        .collect();
+    let mut right = sweep(
+        ctx,
+        "fig6f",
+        "Effect of τ — error w.r.t. HA-GT (right panel)",
+        "τ",
+        right_values,
+        |b, q| b.ha_gt(q),
+    );
+    tables.push(right.remove(0));
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_datagen::DatasetScale;
+
+    fn tiny_ctx() -> BenchContext {
+        std::env::set_var("KG_BENCH_QUERIES_PER_CELL", "1");
+        BenchContext::build(DatasetScale::tiny(), 3)
+    }
+
+    #[test]
+    fn experiment_registry_is_complete() {
+        assert_eq!(ALL_EXPERIMENTS.len(), 18);
+    }
+
+    #[test]
+    fn table5_and_table9_run_on_tiny_context() {
+        let ctx = tiny_ctx();
+        let t5 = run("table5", &ctx);
+        assert_eq!(t5.len(), 1);
+        assert!(!t5[0].rows.is_empty());
+        let t9 = run("table9", &ctx);
+        assert!(!t9[0].rows.is_empty());
+    }
+
+    #[test]
+    fn fig5b_shows_validation_benefit_shape() {
+        let ctx = tiny_ctx();
+        let tables = run("fig5b", &ctx);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 2);
+    }
+}

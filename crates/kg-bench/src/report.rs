@@ -1,0 +1,109 @@
+//! Plain-text and JSON reporting of experiment results.
+
+use serde::Serialize;
+use std::fmt;
+
+/// A printable experiment table (one per paper table / figure panel).
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    /// Experiment id, e.g. `table6`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Serialises the table to a JSON value.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("table serialises")
+    }
+}
+
+/// Formats a float with sensible precision for reports.
+pub fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        "-".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {} — {}", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        writeln!(f, "{}", line(&self.headers, &widths))?;
+        writeln!(f, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-|-"))?;
+        for row in &self.rows {
+            writeln!(f, "{}", line(row, &widths))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formatting() {
+        let mut t = Table::new("table6", "Relative error", &["Method", "Simple", "Chain"]);
+        t.push_row(vec!["Ours".into(), "0.84".into(), "0.33".into()]);
+        t.push_row(vec!["EAQ".into(), "20.02".into(), "-".into()]);
+        let text = t.to_string();
+        assert!(text.contains("table6"));
+        assert!(text.contains("Ours"));
+        assert!(text.contains("EAQ"));
+        let json = t.to_json();
+        assert_eq!(json["headers"].as_array().unwrap().len(), 3);
+        assert_eq!(json["rows"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_num(12345.678), "12345.7");
+        assert_eq!(fmt_num(12.345), "12.35");
+        assert_eq!(fmt_num(0.01234), "0.0123");
+        assert_eq!(fmt_num(f64::INFINITY), "-");
+    }
+}

@@ -1,0 +1,142 @@
+//! Numerical attributes attached to entities.
+//!
+//! Definition 1 of the paper equips every node with a set of numerical
+//! attributes `A_G(u) = {a_1 … a_n}`; the aggregate function of a query is
+//! applied to one of them (e.g. `AVG(price)`). Most entities carry only a few
+//! attributes, so the set is stored as a sorted `Vec<(AttrId, AttrValue)>`
+//! rather than a hash map.
+
+use crate::ids::AttrId;
+use serde::{Deserialize, Serialize};
+
+/// A single numerical attribute value.
+///
+/// Wrapped in a newtype so that downstream code is explicit about reading an
+/// attribute (as opposed to arbitrary floats such as similarities or
+/// probabilities).
+#[derive(Copy, Clone, Debug, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+pub struct AttrValue(pub f64);
+
+impl AttrValue {
+    /// Returns the raw `f64`.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue(v)
+    }
+}
+
+/// The numerical attributes of one entity, sorted by [`AttrId`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AttributeSet {
+    entries: Vec<(AttrId, AttrValue)>,
+}
+
+impl AttributeSet {
+    /// Creates an empty attribute set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets (or overwrites) the value of `attr`.
+    pub fn set(&mut self, attr: AttrId, value: f64) {
+        match self.entries.binary_search_by_key(&attr, |(a, _)| *a) {
+            Ok(pos) => self.entries[pos].1 = AttrValue(value),
+            Err(pos) => self.entries.insert(pos, (attr, AttrValue(value))),
+        }
+    }
+
+    /// Returns the value of `attr`, if present.
+    pub fn get(&self, attr: AttrId) -> Option<AttrValue> {
+        self.entries
+            .binary_search_by_key(&attr, |(a, _)| *a)
+            .ok()
+            .map(|pos| self.entries[pos].1)
+    }
+
+    /// True if the entity carries `attr`.
+    pub fn contains(&self, attr: AttrId) -> bool {
+        self.get(attr).is_some()
+    }
+
+    /// Removes `attr`, returning its previous value.
+    pub fn remove(&mut self, attr: AttrId) -> Option<AttrValue> {
+        match self.entries.binary_search_by_key(&attr, |(a, _)| *a) {
+            Ok(pos) => Some(self.entries.remove(pos).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Number of attributes on this entity.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the entity has no numerical attributes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(attribute, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, AttrValue)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+impl FromIterator<(AttrId, f64)> for AttributeSet {
+    fn from_iter<T: IntoIterator<Item = (AttrId, f64)>>(iter: T) -> Self {
+        let mut set = AttributeSet::new();
+        for (a, v) in iter {
+            set.set(a, v);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_overwrite() {
+        let mut s = AttributeSet::new();
+        s.set(AttrId::new(3), 64_300.0);
+        s.set(AttrId::new(1), 335.0);
+        assert_eq!(s.get(AttrId::new(3)), Some(AttrValue(64_300.0)));
+        s.set(AttrId::new(3), 65_000.0);
+        assert_eq!(s.get(AttrId::new(3)), Some(AttrValue(65_000.0)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(AttrId::new(1)));
+        assert!(!s.contains(AttrId::new(2)));
+    }
+
+    #[test]
+    fn entries_stay_sorted() {
+        let s: AttributeSet = [(AttrId::new(5), 1.0), (AttrId::new(2), 2.0), (AttrId::new(9), 3.0)]
+            .into_iter()
+            .collect();
+        let ids: Vec<u32> = s.iter().map(|(a, _)| a.raw()).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn remove_returns_previous_value() {
+        let mut s = AttributeSet::new();
+        s.set(AttrId::new(0), 7.0);
+        assert_eq!(s.remove(AttrId::new(0)), Some(AttrValue(7.0)));
+        assert_eq!(s.remove(AttrId::new(0)), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn attr_value_conversions() {
+        let v: AttrValue = 4.5.into();
+        assert_eq!(v.get(), 4.5);
+        assert!(AttrValue(1.0) < AttrValue(2.0));
+    }
+}

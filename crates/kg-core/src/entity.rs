@@ -1,0 +1,81 @@
+//! Entity (node) records.
+
+use crate::attributes::AttributeSet;
+use crate::ids::TypeId;
+use serde::{Deserialize, Serialize};
+
+/// A node of the knowledge graph: a named entity with one or more types and a
+/// set of numerical attributes (Definition 1).
+///
+/// Names are assumed unique within a graph — the paper relies on entity
+/// disambiguation having been applied upstream, and [`crate::GraphBuilder`]
+/// enforces uniqueness.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Entity {
+    /// Unique human-readable name, e.g. `"BMW_320"`.
+    pub name: String,
+    /// Type ids, sorted ascending (e.g. `Automobile`, `MeanOfTransportation`).
+    pub types: Vec<TypeId>,
+    /// Numerical attributes, e.g. `price`, `horsepower`.
+    pub attributes: AttributeSet,
+}
+
+impl Entity {
+    /// Creates an entity with the given name and sorted, de-duplicated types.
+    pub fn new(name: impl Into<String>, mut types: Vec<TypeId>) -> Self {
+        types.sort_unstable();
+        types.dedup();
+        Self {
+            name: name.into(),
+            types,
+            attributes: AttributeSet::new(),
+        }
+    }
+
+    /// True if the entity carries type `ty`.
+    pub fn has_type(&self, ty: TypeId) -> bool {
+        self.types.binary_search(&ty).is_ok()
+    }
+
+    /// True if the entity shares at least one type with `types`
+    /// (the candidate-answer condition of Definition 4).
+    pub fn shares_type(&self, types: &[TypeId]) -> bool {
+        types.iter().any(|t| self.has_type(*t))
+    }
+
+    /// Adds a type, keeping the list sorted and de-duplicated.
+    pub fn add_type(&mut self, ty: TypeId) {
+        if let Err(pos) = self.types.binary_search(&ty) {
+            self.types.insert(pos, ty);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types_sorted_and_deduped() {
+        let e = Entity::new("BMW_X6", vec![TypeId::new(3), TypeId::new(1), TypeId::new(3)]);
+        assert_eq!(e.types, vec![TypeId::new(1), TypeId::new(3)]);
+        assert!(e.has_type(TypeId::new(1)));
+        assert!(!e.has_type(TypeId::new(2)));
+    }
+
+    #[test]
+    fn shares_type_checks_intersection() {
+        let e = Entity::new("Audi_TT", vec![TypeId::new(5)]);
+        assert!(e.shares_type(&[TypeId::new(4), TypeId::new(5)]));
+        assert!(!e.shares_type(&[TypeId::new(4)]));
+        assert!(!e.shares_type(&[]));
+    }
+
+    #[test]
+    fn add_type_keeps_order() {
+        let mut e = Entity::new("Porsche_911", vec![TypeId::new(7)]);
+        e.add_type(TypeId::new(2));
+        e.add_type(TypeId::new(7));
+        assert_eq!(e.types, vec![TypeId::new(2), TypeId::new(7)]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Strongly-typed identifiers for the four vocabularies of a knowledge graph.
+//!
+//! All identifiers are thin `u32` newtypes: the datasets targeted by the paper
+//! (DBpedia / Freebase / YAGO2) have at most a few million nodes, and `u32`
+//! keeps adjacency lists and samples compact (see the type-size guidance in
+//! the Rust performance book).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index, usable to address parallel arrays.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(raw: usize) -> Self {
+                debug_assert!(raw <= u32::MAX as usize, "id overflow");
+                Self(raw as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an entity (a node of the knowledge graph).
+    EntityId,
+    "e"
+);
+define_id!(
+    /// Identifier of an edge predicate (e.g. `product`, `assembly`).
+    PredicateId,
+    "p"
+);
+define_id!(
+    /// Identifier of an entity type (e.g. `Automobile`, `Country`).
+    TypeId,
+    "t"
+);
+define_id!(
+    /// Identifier of a numerical attribute (e.g. `price`, `horsepower`).
+    AttrId,
+    "a"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn roundtrip_raw_index() {
+        let id = EntityId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(EntityId::from(42usize), id);
+        assert_eq!(EntityId::from(42u32), id);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let a = PredicateId::new(1);
+        let b = PredicateId::new(2);
+        assert!(a < b);
+        let set: HashSet<PredicateId> = [a, b, a].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(format!("{}", EntityId::new(7)), "e7");
+        assert_eq!(format!("{}", PredicateId::new(7)), "p7");
+        assert_eq!(format!("{}", TypeId::new(7)), "t7");
+        assert_eq!(format!("{}", AttrId::new(7)), "a7");
+        assert_eq!(format!("{:?}", AttrId::new(7)), "a7");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(EntityId::default().raw(), 0);
+    }
+}

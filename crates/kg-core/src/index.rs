@@ -1,0 +1,127 @@
+//! Secondary indexes: name → entity and type → entities.
+
+use crate::entity::Entity;
+use crate::ids::{EntityId, TypeId};
+use std::collections::HashMap;
+
+/// Unique-name index over entities.
+///
+/// The paper assumes each node has a unique name (entity disambiguation is
+/// applied upstream); `get` therefore returns at most one entity.
+#[derive(Debug, Clone, Default)]
+pub struct NameIndex {
+    map: HashMap<String, EntityId>,
+}
+
+impl NameIndex {
+    /// Builds the index from a slice of entities (indexed by position).
+    pub fn build(entities: &[Entity]) -> Self {
+        let mut map = HashMap::with_capacity(entities.len());
+        for (i, e) in entities.iter().enumerate() {
+            map.insert(e.name.clone(), EntityId::from(i));
+        }
+        Self { map }
+    }
+
+    /// Looks up an entity by exact name.
+    pub fn get(&self, name: &str) -> Option<EntityId> {
+        self.map.get(name).copied()
+    }
+
+    /// Inserts a mapping; returns the previous id when the name already existed.
+    pub fn insert(&mut self, name: String, id: EntityId) -> Option<EntityId> {
+        self.map.insert(name, id)
+    }
+
+    /// Number of indexed names.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Type → entity-list index used to enumerate candidate answers of a type and
+/// to seed baseline engines.
+#[derive(Debug, Clone, Default)]
+pub struct TypeIndex {
+    map: HashMap<TypeId, Vec<EntityId>>,
+}
+
+impl TypeIndex {
+    /// Builds the index from a slice of entities (indexed by position).
+    pub fn build(entities: &[Entity]) -> Self {
+        let mut map: HashMap<TypeId, Vec<EntityId>> = HashMap::new();
+        for (i, e) in entities.iter().enumerate() {
+            for &ty in &e.types {
+                map.entry(ty).or_default().push(EntityId::from(i));
+            }
+        }
+        Self { map }
+    }
+
+    /// All entities carrying type `ty` (empty slice when none).
+    pub fn entities_with_type(&self, ty: TypeId) -> &[EntityId] {
+        self.map.get(&ty).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All entities carrying at least one of `types`, de-duplicated.
+    pub fn entities_with_any_type(&self, types: &[TypeId]) -> Vec<EntityId> {
+        let mut out: Vec<EntityId> = types
+            .iter()
+            .flat_map(|t| self.entities_with_type(*t).iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of distinct indexed types.
+    pub fn type_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entities() -> Vec<Entity> {
+        vec![
+            Entity::new("Germany", vec![TypeId::new(0)]),
+            Entity::new("BMW_320", vec![TypeId::new(1), TypeId::new(2)]),
+            Entity::new("Audi_TT", vec![TypeId::new(1)]),
+        ]
+    }
+
+    #[test]
+    fn name_index_lookup() {
+        let idx = NameIndex::build(&entities());
+        assert_eq!(idx.get("Germany"), Some(EntityId::new(0)));
+        assert_eq!(idx.get("Audi_TT"), Some(EntityId::new(2)));
+        assert_eq!(idx.get("France"), None);
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn type_index_lists_entities() {
+        let idx = TypeIndex::build(&entities());
+        assert_eq!(
+            idx.entities_with_type(TypeId::new(1)),
+            &[EntityId::new(1), EntityId::new(2)]
+        );
+        assert_eq!(idx.entities_with_type(TypeId::new(9)), &[] as &[EntityId]);
+        assert_eq!(idx.type_count(), 3);
+    }
+
+    #[test]
+    fn any_type_union_is_deduped() {
+        let idx = TypeIndex::build(&entities());
+        let got = idx.entities_with_any_type(&[TypeId::new(1), TypeId::new(2)]);
+        assert_eq!(got, vec![EntityId::new(1), EntityId::new(2)]);
+    }
+}

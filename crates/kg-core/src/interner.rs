@@ -1,0 +1,113 @@
+//! A small string interner mapping names to dense `u32` ids.
+//!
+//! Names (entity names, predicates, types, attribute names) are stored once
+//! and referenced by id everywhere else. Lookup is by `HashMap`, resolution by
+//! index into a `Vec<String>`.
+
+use std::collections::HashMap;
+
+/// Bidirectional map between strings and dense ids.
+#[derive(Debug, Clone, Default)]
+pub struct StringInterner {
+    lookup: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl StringInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interner with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            lookup: HashMap::with_capacity(cap),
+            strings: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Interns `name`, returning its id. Re-interning an existing name returns
+    /// the previously assigned id.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.lookup.get(name) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.strings.push(name.to_owned());
+        self.lookup.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Returns the id of `name` if it was previously interned.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.lookup.get(name).copied()
+    }
+
+    /// Resolves an id back to its string. Panics if the id was not produced by
+    /// this interner.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Resolves an id, returning `None` when it is out of range.
+    pub fn try_resolve(&self, id: u32) -> Option<&str> {
+        self.strings.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = StringInterner::new();
+        let a = i.intern("product");
+        let b = i.intern("assembly");
+        let a2 = i.intern("product");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i = StringInterner::with_capacity(4);
+        let id = i.intern("Germany");
+        assert_eq!(i.resolve(id), "Germany");
+        assert_eq!(i.get("Germany"), Some(id));
+        assert_eq!(i.get("France"), None);
+        assert_eq!(i.try_resolve(id), Some("Germany"));
+        assert_eq!(i.try_resolve(99), None);
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut i = StringInterner::new();
+        i.intern("a");
+        i.intern("b");
+        i.intern("c");
+        let names: Vec<&str> = i.iter().map(|(_, s)| s).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert!(!i.is_empty());
+    }
+}

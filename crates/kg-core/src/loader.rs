@@ -1,0 +1,181 @@
+//! Plain-text serialisation of knowledge graphs.
+//!
+//! The format is a line-oriented TSV, one record per line:
+//!
+//! ```text
+//! E<TAB>name<TAB>type1,type2,...            # entity
+//! A<TAB>name<TAB>attr<TAB>value             # numerical attribute
+//! T<TAB>subject<TAB>predicate<TAB>object    # triple
+//! # comment
+//! ```
+//!
+//! It is deliberately simple — the real datasets of the paper ship as RDF
+//! dumps, but nothing downstream depends on RDF specifics, only on the data
+//! model of Definition 1.
+
+use crate::builder::GraphBuilder;
+use crate::error::{KgError, KgResult};
+use crate::graph::KnowledgeGraph;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Parses a knowledge graph from a reader in the TSV format described in the
+/// module docs.
+pub fn read_tsv<R: Read>(reader: R) -> KgResult<KnowledgeGraph> {
+    let mut builder = GraphBuilder::new();
+    let buf = BufReader::new(reader);
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let tag = parts.next().unwrap_or_default();
+        let err = |message: &str| KgError::Parse {
+            line: lineno + 1,
+            message: message.to_owned(),
+        };
+        match tag {
+            "E" => {
+                let name = parts.next().ok_or_else(|| err("missing entity name"))?;
+                let types = parts.next().unwrap_or("");
+                let type_names: Vec<&str> =
+                    types.split(',').filter(|t| !t.is_empty()).collect();
+                builder.add_entity(name, &type_names);
+            }
+            "A" => {
+                let name = parts.next().ok_or_else(|| err("missing entity name"))?;
+                let attr = parts.next().ok_or_else(|| err("missing attribute name"))?;
+                let value: f64 = parts
+                    .next()
+                    .ok_or_else(|| err("missing attribute value"))?
+                    .parse()
+                    .map_err(|_| err("attribute value is not a number"))?;
+                let id = builder
+                    .entity_id(name)
+                    .ok_or_else(|| err("attribute references unknown entity"))?;
+                builder.set_attribute(id, attr, value);
+            }
+            "T" => {
+                let s = parts.next().ok_or_else(|| err("missing subject"))?;
+                let p = parts.next().ok_or_else(|| err("missing predicate"))?;
+                let o = parts.next().ok_or_else(|| err("missing object"))?;
+                builder.add_edge_by_name(s, p, o);
+            }
+            other => {
+                return Err(KgError::Parse {
+                    line: lineno + 1,
+                    message: format!("unknown record tag {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Serialises a knowledge graph to a writer in the TSV format.
+pub fn write_tsv<W: Write>(graph: &KnowledgeGraph, writer: W) -> KgResult<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# kg-core TSV dump: {} entities, {} triples", graph.entity_count(), graph.edge_count())?;
+    for id in graph.entity_ids() {
+        let e = graph.entity(id);
+        let types: Vec<&str> = e.types.iter().map(|t| graph.type_name(*t)).collect();
+        writeln!(w, "E\t{}\t{}", e.name, types.join(","))?;
+    }
+    for id in graph.entity_ids() {
+        let e = graph.entity(id);
+        for (attr, value) in e.attributes.iter() {
+            writeln!(w, "A\t{}\t{}\t{}", e.name, graph.attr_name(attr), value.get())?;
+        }
+    }
+    for t in graph.triples() {
+        writeln!(
+            w,
+            "T\t{}\t{}\t{}",
+            graph.entity(t.subject).name,
+            graph.predicate_name(t.predicate),
+            graph.entity(t.object).name
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a graph from a TSV file on disk.
+pub fn load_tsv<P: AsRef<Path>>(path: P) -> KgResult<KnowledgeGraph> {
+    let file = std::fs::File::open(path)?;
+    read_tsv(file)
+}
+
+/// Saves a graph to a TSV file on disk.
+pub fn save_tsv<P: AsRef<Path>>(graph: &KnowledgeGraph, path: P) -> KgResult<()> {
+    let file = std::fs::File::create(path)?;
+    write_tsv(graph, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let germany = b.add_entity("Germany", &["Country"]);
+        let bmw = b.add_entity("BMW_320", &["Automobile", "MeanOfTransportation"]);
+        b.set_attribute(bmw, "price", 41_500.5);
+        b.set_attribute(bmw, "horsepower", 180.0);
+        b.add_edge(bmw, "assembly", germany);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_tsv(&g, &mut buf).unwrap();
+        let g2 = read_tsv(buf.as_slice()).unwrap();
+        assert_eq!(g2.entity_count(), g.entity_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        let bmw = g2.entity_by_name("BMW_320").unwrap();
+        let price = g2.attr_id("price").unwrap();
+        assert_eq!(g2.attribute_value(bmw, price), Some(41_500.5));
+        assert_eq!(g2.entity(bmw).types.len(), 2);
+        let germany = g2.entity_by_name("Germany").unwrap();
+        assert_eq!(g2.neighbors(bmw)[0].neighbor, germany);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\nE\tGermany\tCountry\nE\tBMW\tAutomobile\nT\tBMW\tassembly\tGermany\n";
+        let g = read_tsv(text.as_bytes()).unwrap();
+        assert_eq!(g.entity_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "E\tGermany\tCountry\nX\tnope\n";
+        let err = read_tsv(text.as_bytes()).unwrap_err();
+        match err {
+            KgError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let text = "A\tGermany\tprice\tnot_a_number\n";
+        assert!(read_tsv(text.as_bytes()).is_err());
+        let text = "A\tUnknown\tprice\t1.0\n";
+        assert!(read_tsv(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("kg_core_loader_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.tsv");
+        save_tsv(&g, &path).unwrap();
+        let g2 = load_tsv(&path).unwrap();
+        assert_eq!(g2.entity_count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

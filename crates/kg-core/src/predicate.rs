@@ -1,0 +1,87 @@
+//! Predicate vocabulary.
+//!
+//! Predicates are the edge labels of the knowledge graph (`product`,
+//! `assembly`, `nationality`, …). The vocabulary is a thin wrapper over a
+//! [`crate::StringInterner`] that hands out [`PredicateId`]s; the embedding
+//! crate attaches a `d`-dimensional vector to each id.
+
+use crate::ids::PredicateId;
+use crate::interner::StringInterner;
+
+/// The set of predicate names known to a graph.
+#[derive(Debug, Clone, Default)]
+pub struct PredicateVocabulary {
+    interner: StringInterner,
+}
+
+impl PredicateVocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a predicate name, returning its id.
+    pub fn intern(&mut self, name: &str) -> PredicateId {
+        PredicateId::new(self.interner.intern(name))
+    }
+
+    /// Looks up a predicate by name.
+    pub fn get(&self, name: &str) -> Option<PredicateId> {
+        self.interner.get(name).map(PredicateId::new)
+    }
+
+    /// Resolves a predicate id to its name.
+    pub fn name(&self, id: PredicateId) -> &str {
+        self.interner.resolve(id.raw())
+    }
+
+    /// Number of distinct predicates.
+    pub fn len(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// True when the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.interner.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PredicateId, &str)> {
+        self.interner.iter().map(|(i, s)| (PredicateId::new(i), s))
+    }
+
+    /// All predicate ids in the vocabulary.
+    pub fn ids(&self) -> impl Iterator<Item = PredicateId> + '_ {
+        (0..self.interner.len() as u32).map(PredicateId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_and_lookup() {
+        let mut v = PredicateVocabulary::new();
+        let p = v.intern("product");
+        let a = v.intern("assembly");
+        assert_eq!(v.intern("product"), p);
+        assert_eq!(v.get("assembly"), Some(a));
+        assert_eq!(v.get("designer"), None);
+        assert_eq!(v.name(p), "product");
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn ids_enumerate_all_predicates() {
+        let mut v = PredicateVocabulary::new();
+        v.intern("a");
+        v.intern("b");
+        v.intern("c");
+        let ids: Vec<PredicateId> = v.ids().collect();
+        assert_eq!(ids.len(), 3);
+        let names: Vec<&str> = v.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Descriptive statistics of a knowledge graph (the quantities of Table III
+//! in the paper: node count, edge count, node types, edge predicates).
+
+use crate::graph::KnowledgeGraph;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics for a [`KnowledgeGraph`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of entities.
+    pub nodes: usize,
+    /// Number of triples.
+    pub edges: usize,
+    /// Number of distinct node types.
+    pub node_types: usize,
+    /// Number of distinct edge predicates.
+    pub edge_predicates: usize,
+    /// Number of distinct numerical attribute names.
+    pub attributes: usize,
+    /// Average (undirected) degree.
+    pub average_degree: f64,
+    /// Maximum (undirected) degree.
+    pub max_degree: usize,
+    /// Fraction of entities with at least one numerical attribute.
+    pub attributed_fraction: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    pub fn compute(graph: &KnowledgeGraph) -> Self {
+        let nodes = graph.entity_count();
+        let mut max_degree = 0usize;
+        let mut attributed = 0usize;
+        for id in graph.entity_ids() {
+            max_degree = max_degree.max(graph.degree(id));
+            if !graph.entity(id).attributes.is_empty() {
+                attributed += 1;
+            }
+        }
+        Self {
+            nodes,
+            edges: graph.edge_count(),
+            node_types: graph.type_count(),
+            edge_predicates: graph.predicate_count(),
+            attributes: graph.attribute_count(),
+            average_degree: graph.average_degree(),
+            max_degree,
+            attributed_fraction: if nodes == 0 {
+                0.0
+            } else {
+                attributed as f64 / nodes as f64
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} edges, {} types, {} predicates, {} attributes, avg degree {:.2}, max degree {}, {:.1}% attributed",
+            self.nodes,
+            self.edges,
+            self.node_types,
+            self.edge_predicates,
+            self.attributes,
+            self.average_degree,
+            self.max_degree,
+            self.attributed_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_entity("a", &["T1"]);
+        let c = b.add_entity("c", &["T2"]);
+        let d = b.add_entity("d", &["T2"]);
+        b.set_attribute(c, "x", 3.0);
+        b.add_edge(a, "p", c);
+        b.add_edge(a, "q", d);
+        let g = b.build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.node_types, 2);
+        assert_eq!(s.edge_predicates, 2);
+        assert_eq!(s.attributes, 1);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.average_degree - 4.0 / 3.0).abs() < 1e-12);
+        assert!((s.attributed_fraction - 1.0 / 3.0).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("3 nodes"));
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let g = GraphBuilder::new().build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.average_degree, 0.0);
+        assert_eq!(s.attributed_fraction, 0.0);
+    }
+}

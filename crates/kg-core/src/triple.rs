@@ -1,0 +1,82 @@
+//! Edge records (subject, predicate, object).
+
+use crate::ids::{EntityId, PredicateId};
+use serde::{Deserialize, Serialize};
+
+/// A directed, labelled edge of the knowledge graph.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Triple {
+    /// Source entity.
+    pub subject: EntityId,
+    /// Edge label.
+    pub predicate: PredicateId,
+    /// Target entity.
+    pub object: EntityId,
+}
+
+impl Triple {
+    /// Creates a new triple.
+    pub fn new(subject: EntityId, predicate: PredicateId, object: EntityId) -> Self {
+        Self {
+            subject,
+            predicate,
+            object,
+        }
+    }
+
+    /// Returns the triple with subject and object swapped (same predicate).
+    pub fn reversed(self) -> Self {
+        Self {
+            subject: self.object,
+            predicate: self.predicate,
+            object: self.subject,
+        }
+    }
+
+    /// True if this edge touches `node` on either end.
+    pub fn touches(&self, node: EntityId) -> bool {
+        self.subject == node || self.object == node
+    }
+
+    /// Given one endpoint, returns the other; `None` when `node` is not an
+    /// endpoint of this triple.
+    pub fn other_endpoint(&self, node: EntityId) -> Option<EntityId> {
+        if self.subject == node {
+            Some(self.object)
+        } else if self.object == node {
+            Some(self.subject)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(EntityId::new(s), PredicateId::new(p), EntityId::new(o))
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let tr = t(1, 2, 3);
+        let rev = tr.reversed();
+        assert_eq!(rev.subject, EntityId::new(3));
+        assert_eq!(rev.object, EntityId::new(1));
+        assert_eq!(rev.predicate, PredicateId::new(2));
+        assert_eq!(rev.reversed(), tr);
+    }
+
+    #[test]
+    fn touches_and_other_endpoint() {
+        let tr = t(1, 0, 2);
+        assert!(tr.touches(EntityId::new(1)));
+        assert!(tr.touches(EntityId::new(2)));
+        assert!(!tr.touches(EntityId::new(3)));
+        assert_eq!(tr.other_endpoint(EntityId::new(1)), Some(EntityId::new(2)));
+        assert_eq!(tr.other_endpoint(EntityId::new(2)), Some(EntityId::new(1)));
+        assert_eq!(tr.other_endpoint(EntityId::new(9)), None);
+    }
+}

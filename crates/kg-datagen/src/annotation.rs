@@ -1,0 +1,217 @@
+//! Simulated human annotation (HA ground truth).
+//!
+//! The paper obtains human-annotated ground truth by crowdsourcing schema
+//! annotations for every query. Here the generator *plants* the correct
+//! schemas, so the annotation is known exactly; a configurable noise model
+//! (annotators occasionally missing a correct answer or accepting an
+//! incorrect one) keeps HA-GT from being trivially identical to the planted
+//! truth, mirroring the imperfect agreement visible in Table V.
+
+use kg_core::EntityId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Annotator noise model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnnotationNoise {
+    /// Probability that a genuinely correct answer is missed by annotators.
+    pub miss_rate: f64,
+    /// Probability that an incorrect (but related) answer is accepted.
+    pub false_positive_rate: f64,
+}
+
+impl Default for AnnotationNoise {
+    fn default() -> Self {
+        Self {
+            miss_rate: 0.02,
+            false_positive_rate: 0.02,
+        }
+    }
+}
+
+type Key = (String, String); // (domain, hub name)
+type SchemaKey = (String, String, String); // (domain, hub name, schema name)
+
+/// The planted annotation of a generated dataset.
+#[derive(Clone, Debug, Default)]
+pub struct Annotation {
+    correct: BTreeMap<Key, BTreeSet<EntityId>>,
+    incorrect: BTreeMap<Key, BTreeSet<EntityId>>,
+    by_schema: BTreeMap<SchemaKey, BTreeSet<EntityId>>,
+    schema_correct: BTreeMap<(String, String), bool>, // (domain, schema) -> correct
+    schema_via: BTreeMap<(String, String), Option<String>>, // (domain, schema) -> via type
+    noise: AnnotationNoise,
+    seed: u64,
+}
+
+fn hash01(entity: EntityId, salt: u64) -> f64 {
+    let mut x = u64::from(entity.raw()).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x as f64) / (u64::MAX as f64)
+}
+
+impl Annotation {
+    /// Creates an empty annotation with the given noise model and seed.
+    pub fn new(noise: AnnotationNoise, seed: u64) -> Self {
+        Self {
+            noise,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Declares a schema of a domain (its correctness and intermediate type).
+    pub fn declare_schema(&mut self, domain: &str, schema: &str, correct: bool, via: Option<&str>) {
+        self.schema_correct
+            .insert((domain.to_string(), schema.to_string()), correct);
+        self.schema_via.insert(
+            (domain.to_string(), schema.to_string()),
+            via.map(|s| s.to_string()),
+        );
+    }
+
+    /// Records that `entity` was planted as an answer of `(domain, hub)` via
+    /// `schema`.
+    pub fn record(&mut self, domain: &str, hub: &str, schema: &str, correct: bool, entity: EntityId) {
+        let key = (domain.to_string(), hub.to_string());
+        if correct {
+            self.correct.entry(key.clone()).or_default().insert(entity);
+        } else {
+            self.incorrect.entry(key.clone()).or_default().insert(entity);
+        }
+        self.by_schema
+            .entry((domain.to_string(), hub.to_string(), schema.to_string()))
+            .or_default()
+            .insert(entity);
+    }
+
+    /// The planted correct answers of the domain's query intent at `hub`,
+    /// without annotator noise.
+    pub fn planted_correct(&self, domain: &str, hub: &str) -> Vec<EntityId> {
+        self.correct
+            .get(&(domain.to_string(), hub.to_string()))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Human-annotated answers for the simple query intent of `(domain, hub)`:
+    /// planted correct answers minus deterministic misses, plus deterministic
+    /// false positives drawn from the incorrectly-connected answers.
+    pub fn ha_simple(&self, domain: &str, hub: &str) -> Vec<EntityId> {
+        let key = (domain.to_string(), hub.to_string());
+        let mut out: BTreeSet<EntityId> = BTreeSet::new();
+        if let Some(correct) = self.correct.get(&key) {
+            for &e in correct {
+                if hash01(e, self.seed ^ 0xA11CE) >= self.noise.miss_rate {
+                    out.insert(e);
+                }
+            }
+        }
+        if let Some(incorrect) = self.incorrect.get(&key) {
+            for &e in incorrect {
+                if hash01(e, self.seed ^ 0xB0B) < self.noise.false_positive_rate {
+                    out.insert(e);
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Human-annotated answers for a chain query whose intermediate node type
+    /// is `via_type`: the union of the planted answers of every *correct*
+    /// schema of the domain with that intermediate type.
+    pub fn ha_chain(&self, domain: &str, hub: &str, via_type: &str) -> Vec<EntityId> {
+        let mut out: BTreeSet<EntityId> = BTreeSet::new();
+        for ((d, h, schema), entities) in &self.by_schema {
+            if d != domain || h != hub {
+                continue;
+            }
+            let skey = (domain.to_string(), schema.clone());
+            let correct = self.schema_correct.get(&skey).copied().unwrap_or(false);
+            let via = self.schema_via.get(&skey).cloned().flatten();
+            if correct && via.as_deref() == Some(via_type) {
+                for &e in entities {
+                    if hash01(e, self.seed ^ 0xA11CE) >= self.noise.miss_rate {
+                        out.insert(e);
+                    }
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Planted answers of one specific schema (regardless of correctness).
+    pub fn schema_answers(&self, domain: &str, hub: &str, schema: &str) -> Vec<EntityId> {
+        self.by_schema
+            .get(&(domain.to_string(), hub.to_string(), schema.to_string()))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// All `(domain, hub)` pairs that have at least one planted correct answer.
+    pub fn populated_hubs(&self) -> Vec<(String, String)> {
+        self.correct.keys().cloned().collect()
+    }
+
+    /// The configured noise model.
+    pub fn noise(&self) -> AnnotationNoise {
+        self.noise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    #[test]
+    fn record_and_query_planted_truth() {
+        let mut a = Annotation::new(AnnotationNoise { miss_rate: 0.0, false_positive_rate: 0.0 }, 1);
+        a.declare_schema("automotive", "direct_product", true, None);
+        a.declare_schema("automotive", "via_company", true, Some("Company"));
+        a.declare_schema("automotive", "designer", false, Some("Person"));
+        a.record("automotive", "Germany", "direct_product", true, e(1));
+        a.record("automotive", "Germany", "via_company", true, e(2));
+        a.record("automotive", "Germany", "designer", false, e(3));
+        assert_eq!(a.planted_correct("automotive", "Germany"), vec![e(1), e(2)]);
+        assert_eq!(a.ha_simple("automotive", "Germany"), vec![e(1), e(2)]);
+        assert_eq!(a.ha_chain("automotive", "Germany", "Company"), vec![e(2)]);
+        assert!(a.ha_chain("automotive", "Germany", "Person").is_empty());
+        assert_eq!(a.schema_answers("automotive", "Germany", "designer"), vec![e(3)]);
+        assert!(a.planted_correct("automotive", "France").is_empty());
+        assert_eq!(a.populated_hubs().len(), 1);
+    }
+
+    #[test]
+    fn noise_misses_some_and_adds_some() {
+        let mut a = Annotation::new(
+            AnnotationNoise {
+                miss_rate: 0.3,
+                false_positive_rate: 0.3,
+            },
+            42,
+        );
+        a.declare_schema("d", "good", true, None);
+        a.declare_schema("d", "bad", false, None);
+        for i in 0..200 {
+            a.record("d", "H", "good", true, e(i));
+        }
+        for i in 200..400 {
+            a.record("d", "H", "bad", false, e(i));
+        }
+        let ha = a.ha_simple("d", "H");
+        let correct_kept = ha.iter().filter(|x| x.raw() < 200).count();
+        let incorrect_added = ha.iter().filter(|x| x.raw() >= 200).count();
+        assert!(correct_kept > 100 && correct_kept < 200);
+        assert!(incorrect_added > 20 && incorrect_added < 120);
+        // Deterministic given the seed.
+        assert_eq!(ha, a.ha_simple("d", "H"));
+        assert_eq!(a.noise().miss_rate, 0.3);
+    }
+}

@@ -1,0 +1,114 @@
+//! Generator configuration: scale knobs and global settings.
+
+use crate::domains::DomainSpec;
+use serde::{Deserialize, Serialize};
+
+/// How large the generated dataset should be.
+///
+/// The defaults produce a graph of a few tens of thousands of nodes — large
+/// enough that exhaustive enumeration (SSB) is visibly slower than sampling,
+/// small enough that the full experiment suite runs on a laptop.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DatasetScale {
+    /// Target entities (answers) generated per hub entity per domain.
+    pub targets_per_hub: usize,
+    /// Intermediate entities (companies, clubs, studios, …) per hub.
+    pub intermediates_per_hub: usize,
+    /// Number of unrelated "background" entities per domain, connected by
+    /// noise predicates only.
+    pub noise_entities_per_domain: usize,
+    /// Extra random noise edges per target entity.
+    pub noise_edges_per_target: f64,
+    /// Probability that a target is additionally connected to a second hub.
+    pub secondary_hub_probability: f64,
+    /// Probability that a target is additionally connected to a third hub.
+    pub tertiary_hub_probability: f64,
+}
+
+impl Default for DatasetScale {
+    fn default() -> Self {
+        Self {
+            targets_per_hub: 220,
+            intermediates_per_hub: 18,
+            noise_entities_per_domain: 400,
+            noise_edges_per_target: 1.2,
+            secondary_hub_probability: 0.35,
+            tertiary_hub_probability: 0.10,
+        }
+    }
+}
+
+impl DatasetScale {
+    /// A small scale for unit tests (hundreds of nodes).
+    pub fn tiny() -> Self {
+        Self {
+            targets_per_hub: 40,
+            intermediates_per_hub: 6,
+            noise_entities_per_domain: 40,
+            noise_edges_per_target: 0.8,
+            secondary_hub_probability: 0.35,
+            tertiary_hub_probability: 0.10,
+        }
+    }
+
+    /// A larger scale for benchmarks.
+    pub fn large() -> Self {
+        Self {
+            targets_per_hub: 600,
+            intermediates_per_hub: 30,
+            noise_entities_per_domain: 1_500,
+            noise_edges_per_target: 1.5,
+            secondary_hub_probability: 0.35,
+            tertiary_hub_probability: 0.10,
+        }
+    }
+}
+
+/// Full generator configuration: a named profile, a scale, the domain specs
+/// and the random seed.
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// Profile name (`dbpedia-like`, …), used in reports.
+    pub name: String,
+    /// Scale knobs.
+    pub scale: DatasetScale,
+    /// The domains to generate.
+    pub domains: Vec<DomainSpec>,
+    /// RNG seed; generation is deterministic given the seed.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// Creates a configuration.
+    pub fn new(name: &str, scale: DatasetScale, domains: Vec<DomainSpec>, seed: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            scale,
+            domains,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let tiny = DatasetScale::tiny();
+        let default = DatasetScale::default();
+        let large = DatasetScale::large();
+        assert!(tiny.targets_per_hub < default.targets_per_hub);
+        assert!(default.targets_per_hub < large.targets_per_hub);
+        assert!(tiny.noise_entities_per_domain < large.noise_entities_per_domain);
+    }
+
+    #[test]
+    fn config_construction() {
+        let cfg = GeneratorConfig::new("test", DatasetScale::tiny(), Vec::new(), 7);
+        assert_eq!(cfg.name, "test");
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.domains.is_empty());
+    }
+}

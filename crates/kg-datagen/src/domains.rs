@@ -1,0 +1,411 @@
+//! Domain templates: the vocabulary and connection schemas of each subject
+//! area (automotive, soccer, movies, geography, languages).
+//!
+//! A *domain* captures one query intent family of the paper's workload, e.g.
+//! "cars produced in a country" (Q1–Q3), "soccer players of a club / country"
+//! (Q4, Q9), "movies by a director" (Q6), "museums / cities of a country"
+//! (Q7, Q8), "languages spoken in a country" (Q5). Each domain lists the
+//! *connection schemas* through which a target entity can be linked to a hub
+//! entity; schemas marked `correct` correspond to what a human annotator
+//! would accept for the query intent, the others are semantically related but
+//! wrong (or outright noise).
+
+use serde::{Deserialize, Serialize};
+
+/// A numerical attribute of a domain's target entities, drawn from a
+/// log-uniform-ish range `[low, high]`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AttributeSpec {
+    /// Attribute name (e.g. `price`).
+    pub name: String,
+    /// Lower bound of generated values.
+    pub low: f64,
+    /// Upper bound of generated values.
+    pub high: f64,
+    /// Fraction of targets that carry the attribute (the real KGs are
+    /// incomplete; missing attributes exercise the estimators' skip logic).
+    pub coverage: f64,
+}
+
+impl AttributeSpec {
+    /// Creates a spec with full coverage.
+    pub fn new(name: &str, low: f64, high: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            low,
+            high,
+            coverage: 0.97,
+        }
+    }
+}
+
+/// One hop of a connection schema, read from the *target* towards the *hub*.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SchemaHop {
+    /// Predicate of the hop.
+    pub predicate: String,
+    /// Type of the intermediate node this hop leads to; `None` for the final
+    /// hop, which reaches the hub itself.
+    pub via_type: Option<String>,
+}
+
+impl SchemaHop {
+    /// A hop to an intermediate node of the given type.
+    pub fn via(predicate: &str, via_type: &str) -> Self {
+        Self {
+            predicate: predicate.to_string(),
+            via_type: Some(via_type.to_string()),
+        }
+    }
+
+    /// The final hop, reaching the hub.
+    pub fn to_hub(predicate: &str) -> Self {
+        Self {
+            predicate: predicate.to_string(),
+            via_type: None,
+        }
+    }
+}
+
+/// A way a target entity can be connected to a hub entity.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConnectionSchema {
+    /// Schema name (used to key chain-query ground truth).
+    pub name: String,
+    /// Hops from the target towards the hub; the last hop reaches the hub.
+    pub hops: Vec<SchemaHop>,
+    /// Whether a human annotator would accept answers connected this way for
+    /// the domain's query intent.
+    pub correct: bool,
+    /// Relative probability of a target using this schema.
+    pub weight: f64,
+}
+
+impl ConnectionSchema {
+    /// Creates a schema.
+    pub fn new(name: &str, hops: Vec<SchemaHop>, correct: bool, weight: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            hops,
+            correct,
+            weight,
+        }
+    }
+}
+
+/// A full domain template.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DomainSpec {
+    /// Domain name (e.g. `automotive`).
+    pub name: String,
+    /// Type of the hub entities (e.g. `Country`).
+    pub hub_type: String,
+    /// Names of the hub entities (e.g. `Germany`, `China`, …).
+    pub hub_names: Vec<String>,
+    /// Type of the target entities (e.g. `Automobile`).
+    pub target_type: String,
+    /// Prefix for generated target names.
+    pub target_prefix: String,
+    /// The query predicate of the domain's intent (e.g. `product`).
+    pub query_predicate: String,
+    /// Numerical attributes carried by targets.
+    pub attributes: Vec<AttributeSpec>,
+    /// Connection schemas with their semantic-group affinities.
+    pub schemas: Vec<ConnectionSchema>,
+    /// Predicate → affinity within this domain's semantic group. Predicates
+    /// not listed here fall into an "unrelated" group.
+    pub predicate_affinities: Vec<(String, f64)>,
+}
+
+impl DomainSpec {
+    /// Names of all intermediate types used by the schemas.
+    pub fn intermediate_types(&self) -> Vec<String> {
+        let mut types: Vec<String> = self
+            .schemas
+            .iter()
+            .flat_map(|s| s.hops.iter().filter_map(|h| h.via_type.clone()))
+            .collect();
+        types.sort();
+        types.dedup();
+        types
+    }
+
+    /// The affinity of `predicate` within this domain's semantic group, if
+    /// the predicate belongs to the domain.
+    pub fn affinity(&self, predicate: &str) -> Option<f64> {
+        self.predicate_affinities
+            .iter()
+            .find(|(p, _)| p == predicate)
+            .map(|(_, a)| *a)
+    }
+
+    /// The schema with the given name.
+    pub fn schema(&self, name: &str) -> Option<&ConnectionSchema> {
+        self.schemas.iter().find(|s| s.name == name)
+    }
+}
+
+/// The automotive domain: "cars produced in a country" (Fig. 1, Q1–Q3).
+pub fn automotive(hubs: &[&str]) -> DomainSpec {
+    DomainSpec {
+        name: "automotive".into(),
+        hub_type: "Country".into(),
+        hub_names: hubs.iter().map(|s| s.to_string()).collect(),
+        target_type: "Automobile".into(),
+        target_prefix: "car".into(),
+        query_predicate: "product".into(),
+        attributes: vec![
+            AttributeSpec::new("price", 15_000.0, 120_000.0),
+            AttributeSpec::new("horsepower", 90.0, 650.0),
+            AttributeSpec::new("fuel_economy", 18.0, 45.0),
+        ],
+        schemas: vec![
+            ConnectionSchema::new("direct_product", vec![SchemaHop::to_hub("product")], true, 0.25),
+            ConnectionSchema::new("direct_assembly", vec![SchemaHop::to_hub("assembly")], true, 0.2),
+            ConnectionSchema::new(
+                "via_company",
+                vec![SchemaHop::via("manufacturer", "Company"), SchemaHop::to_hub("country")],
+                true,
+                0.25,
+            ),
+            ConnectionSchema::new(
+                "via_assembly_company",
+                vec![SchemaHop::via("assembly", "Company"), SchemaHop::to_hub("country")],
+                true,
+                0.15,
+            ),
+            ConnectionSchema::new(
+                "designer",
+                vec![SchemaHop::via("designer", "Person"), SchemaHop::to_hub("nationality")],
+                false,
+                0.1,
+            ),
+            ConnectionSchema::new(
+                "exhibition",
+                vec![SchemaHop::via("exhibitedAt", "Museum"), SchemaHop::to_hub("situatedIn")],
+                false,
+                0.05,
+            ),
+        ],
+        predicate_affinities: vec![
+            ("product".into(), 1.0),
+            ("assembly".into(), 0.97),
+            ("manufacturer".into(), 0.95),
+            ("country".into(), 0.90),
+            ("designer".into(), 0.62),
+            ("nationality".into(), 0.66),
+            ("exhibitedAt".into(), 0.30),
+            ("situatedIn".into(), 0.45),
+        ],
+    }
+}
+
+/// The soccer domain: "players of a club / country" (Q4, Q9).
+pub fn soccer(hubs: &[&str]) -> DomainSpec {
+    DomainSpec {
+        name: "soccer".into(),
+        hub_type: "SoccerClub".into(),
+        hub_names: hubs.iter().map(|s| s.to_string()).collect(),
+        target_type: "SoccerPlayer".into(),
+        target_prefix: "player".into(),
+        query_predicate: "team".into(),
+        attributes: vec![
+            AttributeSpec::new("age", 17.0, 39.0),
+            AttributeSpec::new("transfer_value", 0.5, 120.0),
+            AttributeSpec::new("goals", 0.0, 300.0),
+        ],
+        schemas: vec![
+            ConnectionSchema::new("direct_team", vec![SchemaHop::to_hub("team")], true, 0.45),
+            ConnectionSchema::new("plays_for", vec![SchemaHop::to_hub("playsFor")], true, 0.2),
+            ConnectionSchema::new(
+                "via_squad",
+                vec![SchemaHop::via("memberOf", "Squad"), SchemaHop::to_hub("squadOf")],
+                true,
+                0.2,
+            ),
+            ConnectionSchema::new(
+                "trained_at",
+                vec![SchemaHop::via("trainedAt", "Academy"), SchemaHop::to_hub("affiliatedWith")],
+                false,
+                0.1,
+            ),
+            ConnectionSchema::new("supports", vec![SchemaHop::to_hub("supports")], false, 0.05),
+        ],
+        predicate_affinities: vec![
+            ("team".into(), 1.0),
+            ("playsFor".into(), 0.96),
+            ("memberOf".into(), 0.92),
+            ("squadOf".into(), 0.90),
+            ("trainedAt".into(), 0.60),
+            ("affiliatedWith".into(), 0.64),
+            ("supports".into(), 0.28),
+        ],
+    }
+}
+
+/// The movie domain: "movies directed by a person" (Q6).
+pub fn movies(hubs: &[&str]) -> DomainSpec {
+    DomainSpec {
+        name: "movies".into(),
+        hub_type: "Director".into(),
+        hub_names: hubs.iter().map(|s| s.to_string()).collect(),
+        target_type: "Movie".into(),
+        target_prefix: "movie".into(),
+        query_predicate: "director".into(),
+        attributes: vec![
+            AttributeSpec::new("box_office", 1.0, 1_200.0),
+            AttributeSpec::new("rating", 3.0, 9.5),
+            AttributeSpec::new("runtime", 70.0, 200.0),
+        ],
+        schemas: vec![
+            ConnectionSchema::new("direct_director", vec![SchemaHop::to_hub("director")], true, 0.4),
+            ConnectionSchema::new("directed_by", vec![SchemaHop::to_hub("directedBy")], true, 0.2),
+            ConnectionSchema::new(
+                "via_studio",
+                vec![SchemaHop::via("producedBy", "Studio"), SchemaHop::to_hub("founder")],
+                false,
+                0.15,
+            ),
+            ConnectionSchema::new(
+                "via_franchise",
+                vec![SchemaHop::via("partOf", "Franchise"), SchemaHop::to_hub("createdBy")],
+                true,
+                0.15,
+            ),
+            ConnectionSchema::new("screened_at", vec![SchemaHop::to_hub("screenedAt")], false, 0.1),
+        ],
+        predicate_affinities: vec![
+            ("director".into(), 1.0),
+            ("directedBy".into(), 0.97),
+            ("createdBy".into(), 0.91),
+            ("partOf".into(), 0.92),
+            ("producedBy".into(), 0.72),
+            ("founder".into(), 0.55),
+            ("screenedAt".into(), 0.30),
+        ],
+    }
+}
+
+/// The geography domain: "cities / museums of a country" (Q7, Q8).
+pub fn geography(hubs: &[&str]) -> DomainSpec {
+    DomainSpec {
+        name: "geography".into(),
+        hub_type: "Country".into(),
+        hub_names: hubs.iter().map(|s| s.to_string()).collect(),
+        target_type: "City".into(),
+        target_prefix: "city".into(),
+        query_predicate: "locatedIn".into(),
+        attributes: vec![
+            AttributeSpec::new("population", 20_000.0, 25_000_000.0),
+            AttributeSpec::new("area", 10.0, 9_000.0),
+        ],
+        schemas: vec![
+            ConnectionSchema::new("direct_located", vec![SchemaHop::to_hub("locatedIn")], true, 0.45),
+            ConnectionSchema::new("country_of", vec![SchemaHop::to_hub("inCountry")], true, 0.25),
+            ConnectionSchema::new(
+                "via_region",
+                vec![SchemaHop::via("inRegion", "Region"), SchemaHop::to_hub("partOfCountry")],
+                true,
+                0.2,
+            ),
+            ConnectionSchema::new("twinned", vec![SchemaHop::to_hub("twinnedWith")], false, 0.1),
+        ],
+        predicate_affinities: vec![
+            ("locatedIn".into(), 1.0),
+            ("inCountry".into(), 0.95),
+            ("inRegion".into(), 0.93),
+            ("partOfCountry".into(), 0.94),
+            ("twinnedWith".into(), 0.35),
+        ],
+    }
+}
+
+/// The language domain: "languages spoken in a country" (Q5) — a
+/// high-selectivity domain (most languages qualify).
+pub fn languages(hubs: &[&str]) -> DomainSpec {
+    DomainSpec {
+        name: "languages".into(),
+        hub_type: "Country".into(),
+        hub_names: hubs.iter().map(|s| s.to_string()).collect(),
+        target_type: "Language".into(),
+        target_prefix: "language".into(),
+        query_predicate: "spokenIn".into(),
+        attributes: vec![AttributeSpec::new("speakers", 10_000.0, 90_000_000.0)],
+        schemas: vec![
+            ConnectionSchema::new("direct_spoken", vec![SchemaHop::to_hub("spokenIn")], true, 0.55),
+            ConnectionSchema::new("official", vec![SchemaHop::to_hub("officialLanguageOf")], true, 0.3),
+            ConnectionSchema::new("studied", vec![SchemaHop::to_hub("studiedIn")], false, 0.15),
+        ],
+        predicate_affinities: vec![
+            ("spokenIn".into(), 1.0),
+            ("officialLanguageOf".into(), 0.95),
+            ("studiedIn".into(), 0.40),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn automotive_schema_sanity() {
+        let d = automotive(&["Germany", "China"]);
+        assert_eq!(d.hub_names.len(), 2);
+        assert!(d.schema("direct_product").unwrap().correct);
+        assert!(!d.schema("designer").unwrap().correct);
+        assert!(d.schema("missing").is_none());
+        assert_eq!(d.affinity("product"), Some(1.0));
+        assert!(d.affinity("unknown_pred").is_none());
+        let types = d.intermediate_types();
+        assert!(types.contains(&"Company".to_string()));
+        assert!(types.contains(&"Person".to_string()));
+    }
+
+    #[test]
+    fn correct_schemas_use_high_affinity_predicates() {
+        // The geometric mean of affinities along every `correct` schema must
+        // clear the default τ = 0.85, and every incorrect schema must not —
+        // otherwise τ-GT and HA-GT could not agree for any τ (Table V).
+        for d in [
+            automotive(&["Germany"]),
+            soccer(&["Barcelona_FC"]),
+            movies(&["Steven_Spielberg"]),
+            geography(&["China"]),
+            languages(&["Nigeria"]),
+        ] {
+            for s in &d.schemas {
+                let sims: Vec<f64> = s
+                    .hops
+                    .iter()
+                    .map(|h| d.affinity(&h.predicate).unwrap_or(0.0))
+                    .collect();
+                let product: f64 = sims.iter().product();
+                let geo = product.powf(1.0 / sims.len() as f64);
+                if s.correct {
+                    assert!(geo >= 0.88, "{}:{} has geo {geo}", d.name, s.name);
+                } else {
+                    assert!(geo < 0.83, "{}:{} has geo {geo}", d.name, s.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schema_hop_constructors() {
+        let h = SchemaHop::via("manufacturer", "Company");
+        assert_eq!(h.via_type.as_deref(), Some("Company"));
+        let h = SchemaHop::to_hub("country");
+        assert!(h.via_type.is_none());
+        let a = AttributeSpec::new("price", 1.0, 2.0);
+        assert!(a.coverage > 0.9);
+    }
+
+    #[test]
+    fn schema_weights_sum_to_one_ish() {
+        for d in [automotive(&["Germany"]), soccer(&["X"]), movies(&["Y"])] {
+            let total: f64 = d.schemas.iter().map(|s| s.weight).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}: {total}", d.name);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The dataset generator: materialises domains into a knowledge graph,
+//! builds the oracle predicate vectors and records the planted annotation.
+
+use crate::annotation::{Annotation, AnnotationNoise};
+use crate::config::GeneratorConfig;
+use crate::domains::{ConnectionSchema, DomainSpec};
+use kg_core::{EntityId, GraphBuilder, KnowledgeGraph};
+use kg_embed::{PredicateVectorStore, SyntheticOracle};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A generated dataset: the graph, the oracle embedding, the planted
+/// annotation and the domain specs it was generated from.
+#[derive(Clone, Debug)]
+pub struct GeneratedDataset {
+    /// Profile name (`dbpedia-like`, …).
+    pub name: String,
+    /// The knowledge graph.
+    pub graph: KnowledgeGraph,
+    /// Oracle predicate vectors derived from the planted semantic groups.
+    pub oracle: PredicateVectorStore,
+    /// Planted (simulated human) annotation.
+    pub annotation: Annotation,
+    /// The domain specs used.
+    pub domains: Vec<DomainSpec>,
+}
+
+impl GeneratedDataset {
+    /// The domain spec with the given name.
+    pub fn domain(&self, name: &str) -> Option<&DomainSpec> {
+        self.domains.iter().find(|d| d.name == name)
+    }
+}
+
+fn pick_schema<'a>(schemas: &'a [ConnectionSchema], rng: &mut SmallRng) -> &'a ConnectionSchema {
+    let total: f64 = schemas.iter().map(|s| s.weight).sum();
+    let mut x = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for s in schemas {
+        if x < s.weight {
+            return s;
+        }
+        x -= s.weight;
+    }
+    schemas.last().expect("domain has at least one schema")
+}
+
+fn attr_value(low: f64, high: f64, rng: &mut SmallRng) -> f64 {
+    // Squared-uniform skews towards the lower end, giving the long-tailed
+    // distributions typical of prices / populations / box office.
+    let r: f64 = rng.gen::<f64>();
+    low + (high - low) * r * r
+}
+
+/// Generates a dataset from a configuration. Deterministic given the seed.
+pub fn generate(config: &GeneratorConfig) -> GeneratedDataset {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut b = GraphBuilder::new();
+    let mut annotation = Annotation::new(AnnotationNoise::default(), config.seed);
+
+    // (domain index, schema name, hub name) -> intermediate entity pool.
+    let mut intermediates: HashMap<(usize, String, String), Vec<EntityId>> = HashMap::new();
+    let mut all_targets: Vec<EntityId> = Vec::new();
+    let mut noise_pool: Vec<EntityId> = Vec::new();
+
+    for (di, domain) in config.domains.iter().enumerate() {
+        for schema in &domain.schemas {
+            let via = schema.hops.first().and_then(|h| h.via_type.as_deref());
+            annotation.declare_schema(&domain.name, &schema.name, schema.correct, via);
+        }
+        // Hubs.
+        let hub_ids: Vec<EntityId> = domain
+            .hub_names
+            .iter()
+            .map(|name| b.add_entity(name, &[domain.hub_type.as_str()]))
+            .collect();
+
+        // Intermediate pools per (schema, hub): each intermediate is created
+        // with its hub-facing edge so that routing a target through it
+        // realises the schema's full path.
+        for schema in &domain.schemas {
+            if schema.hops.len() < 2 {
+                continue;
+            }
+            let via_type = schema.hops[0]
+                .via_type
+                .clone()
+                .unwrap_or_else(|| "Entity".to_string());
+            let final_pred = &schema.hops[1].predicate;
+            for (hi, hub) in hub_ids.iter().enumerate() {
+                let pool: Vec<EntityId> = (0..config.scale.intermediates_per_hub.max(2))
+                    .map(|k| {
+                        let name = format!(
+                            "{}_{}_{}_{}_{}",
+                            domain.name, schema.name, via_type, domain.hub_names[hi], k
+                        );
+                        let id = b.add_entity(&name, &[via_type.as_str()]);
+                        b.add_edge(id, final_pred, *hub);
+                        id
+                    })
+                    .collect();
+                intermediates.insert(
+                    (di, schema.name.clone(), domain.hub_names[hi].clone()),
+                    pool,
+                );
+            }
+        }
+
+        // Targets.
+        for (hi, _hub) in hub_ids.iter().enumerate() {
+            let hub_name = &domain.hub_names[hi];
+            for t in 0..config.scale.targets_per_hub {
+                let name = format!("{}_{}_{}", domain.target_prefix, hub_name, t);
+                let target = b.add_entity(&name, &[domain.target_type.as_str()]);
+                all_targets.push(target);
+                for attr in &domain.attributes {
+                    if rng.gen::<f64>() < attr.coverage {
+                        b.set_attribute(target, &attr.name, attr_value(attr.low, attr.high, &mut rng));
+                    }
+                }
+                // Primary hub connection plus probabilistic secondary/tertiary hubs.
+                let mut hubs_for_target = vec![hi];
+                if hub_ids.len() > 1 && rng.gen::<f64>() < config.scale.secondary_hub_probability {
+                    let other = (hi + 1 + rng.gen_range(0..hub_ids.len() - 1)) % hub_ids.len();
+                    hubs_for_target.push(other);
+                }
+                if hub_ids.len() > 2 && rng.gen::<f64>() < config.scale.tertiary_hub_probability {
+                    let other = (hi + 1 + rng.gen_range(0..hub_ids.len() - 1)) % hub_ids.len();
+                    if !hubs_for_target.contains(&other) {
+                        hubs_for_target.push(other);
+                    }
+                }
+                for &target_hub_index in &hubs_for_target {
+                    let schema = pick_schema(&domain.schemas, &mut rng).clone();
+                    let target_hub = hub_ids[target_hub_index];
+                    let target_hub_name = &domain.hub_names[target_hub_index];
+                    if schema.hops.len() == 1 {
+                        b.add_edge(target, &schema.hops[0].predicate, target_hub);
+                    } else {
+                        let pool = intermediates
+                            .get(&(di, schema.name.clone(), target_hub_name.clone()))
+                            .expect("intermediate pool exists for every 2-hop schema");
+                        let mid = pool[rng.gen_range(0..pool.len())];
+                        b.add_edge(target, &schema.hops[0].predicate, mid);
+                    }
+                    annotation.record(&domain.name, target_hub_name, &schema.name, schema.correct, target);
+                }
+            }
+        }
+
+        // Background noise entities for this domain.
+        for k in 0..config.scale.noise_entities_per_domain {
+            let id = b.add_entity(
+                &format!("{}_misc_{}", domain.name, k),
+                &[&format!("Misc{}", di)],
+            );
+            noise_pool.push(id);
+            if let Some(&hub) = hub_ids.get(k % hub_ids.len().max(1)) {
+                if rng.gen::<f64>() < 0.5 {
+                    b.add_edge(id, "relatedTo", hub);
+                }
+            }
+        }
+    }
+
+    // Noise edges incident to targets.
+    let noise_predicates = ["relatedTo", "seeAlso", "linksTo"];
+    if !noise_pool.is_empty() {
+        for &target in &all_targets {
+            let mut budget = config.scale.noise_edges_per_target;
+            while budget > 0.0 {
+                if budget >= 1.0 || rng.gen::<f64>() < budget {
+                    let other = noise_pool[rng.gen_range(0..noise_pool.len())];
+                    let pred = noise_predicates[rng.gen_range(0..noise_predicates.len())];
+                    if rng.gen_bool(0.5) {
+                        b.add_edge(target, pred, other);
+                    } else {
+                        b.add_edge(other, pred, target);
+                    }
+                }
+                budget -= 1.0;
+            }
+        }
+    }
+
+    let graph = b.build();
+
+    // Oracle: one semantic group per domain, plus one for the noise predicates.
+    let mut oracle = SyntheticOracle::new();
+    let noise_group = config.domains.len();
+    for (di, domain) in config.domains.iter().enumerate() {
+        for (pred, affinity) in &domain.predicate_affinities {
+            if let Some(pid) = graph.predicate_id(pred) {
+                oracle.assign(pid, di, *affinity);
+            }
+        }
+    }
+    for pred in noise_predicates {
+        if let Some(pid) = graph.predicate_id(pred) {
+            oracle.assign(pid, noise_group, 0.9);
+        }
+    }
+    let oracle = oracle.build();
+
+    GeneratedDataset {
+        name: config.name.clone(),
+        graph,
+        oracle,
+        annotation,
+        domains: config.domains.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetScale;
+    use crate::domains::automotive;
+    use kg_embed::PredicateSimilarity;
+
+    fn tiny_dataset() -> GeneratedDataset {
+        let cfg = GeneratorConfig::new(
+            "test",
+            DatasetScale::tiny(),
+            vec![automotive(&["Germany", "China", "Korea"])],
+            7,
+        );
+        generate(&cfg)
+    }
+
+    #[test]
+    fn generated_graph_has_expected_shape() {
+        let d = tiny_dataset();
+        let g = &d.graph;
+        assert!(g.entity_count() > 150, "{}", g.entity_count());
+        assert!(g.edge_count() > g.entity_count() / 2);
+        assert!(g.entity_by_name("Germany").is_some());
+        let auto = g.type_id("Automobile").unwrap();
+        assert_eq!(g.entities_with_type(auto).len(), 3 * DatasetScale::tiny().targets_per_hub);
+        assert!(g.attr_id("price").is_some());
+        assert_eq!(d.domain("automotive").unwrap().name, "automotive");
+        assert!(d.domain("nope").is_none());
+    }
+
+    #[test]
+    fn oracle_similarities_follow_affinities() {
+        let d = tiny_dataset();
+        let g = &d.graph;
+        let product = g.predicate_id("product").unwrap();
+        let assembly = g.predicate_id("assembly").unwrap();
+        let designer = g.predicate_id("designer").unwrap();
+        let related = g.predicate_id("relatedTo").unwrap();
+        assert!(d.oracle.similarity(product, assembly) > 0.9);
+        assert!(d.oracle.similarity(product, designer) < 0.7);
+        assert!(d.oracle.similarity(product, related) < 0.1);
+    }
+
+    #[test]
+    fn planted_annotation_is_consistent_with_graph() {
+        let d = tiny_dataset();
+        let correct = d.annotation.planted_correct("automotive", "Germany");
+        assert!(!correct.is_empty());
+        let auto = d.graph.type_id("Automobile").unwrap();
+        for e in &correct {
+            assert!(d.graph.entity(*e).has_type(auto));
+        }
+        // A target planted for Germany should reach Germany within 2 hops.
+        let germany = d.graph.entity_by_name("Germany").unwrap();
+        let scope = kg_core::bounded_subgraph(&d.graph, germany, 2);
+        let reachable = correct.iter().filter(|e| scope.contains(**e)).count();
+        assert_eq!(reachable, correct.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny_dataset();
+        let b = tiny_dataset();
+        assert_eq!(a.graph.entity_count(), b.graph.entity_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(
+            a.annotation.planted_correct("automotive", "China"),
+            b.annotation.planted_correct("automotive", "China")
+        );
+    }
+}

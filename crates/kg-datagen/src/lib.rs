@@ -1,0 +1,39 @@
+//! # kg-datagen — synthetic schema-flexible knowledge graphs and workloads
+//!
+//! The paper evaluates on DBpedia, Freebase and YAGO2 with crawled numerical
+//! attributes and crowdsourced human annotation. Those resources are not
+//! available here, so this crate generates **synthetic datasets that exercise
+//! the same phenomena** (see the substitution table in `DESIGN.md`):
+//!
+//! * **Schema flexibility** — the same query intent ("car produced in
+//!   Germany") is materialised through many structurally different connection
+//!   schemas (direct `product` edge, `assembly` via a company, `designer` via
+//!   a person, …), some semantically correct and some not.
+//! * **Latent predicate semantics** — every predicate belongs to a semantic
+//!   group with an affinity; the [`kg_embed::SyntheticOracle`] turns these
+//!   assignments into predicate vectors, and the trained embedding models can
+//!   rediscover them from the graph structure.
+//! * **Planted ground truth** — the generator records which answers are
+//!   connected through semantically correct schemas, which simulates the
+//!   paper's human annotation (HA-GT) including configurable annotator noise.
+//! * **Workloads** — COUNT/SUM/AVG/MAX/MIN queries of every shape (simple,
+//!   chain, star, cycle, flower) with filters and GROUP-BY, mirroring the
+//!   paper's 400-query workload derived from QALD-4 / WebQuestions seeds.
+//!
+//! Three dataset profiles (`dbpedia-like`, `freebase-like`, `yago-like`)
+//! differ in domain mix, density and noise, standing in for the three
+//! real-world KGs of Table III at laptop scale.
+
+pub mod annotation;
+pub mod config;
+pub mod domains;
+pub mod generator;
+pub mod profiles;
+pub mod workload;
+
+pub use annotation::{Annotation, AnnotationNoise};
+pub use config::{DatasetScale, GeneratorConfig};
+pub use domains::{AttributeSpec, ConnectionSchema, DomainSpec, SchemaHop};
+pub use generator::{generate, GeneratedDataset};
+pub use profiles::{dbpedia_like, freebase_like, yago_like, DatasetProfileKind};
+pub use workload::{build_workload, QueryCategory, WorkloadConfig, WorkloadQuery};

@@ -1,0 +1,136 @@
+//! The three dataset profiles standing in for DBpedia, Freebase and YAGO2.
+//!
+//! The real datasets differ in domain breadth, edge density and noise
+//! (Table III); the profiles mirror those *relative* differences at laptop
+//! scale: `freebase-like` is densest and noisiest, `yago-like` has the most
+//! entities per domain, `dbpedia-like` sits in between.
+
+use crate::config::{DatasetScale, GeneratorConfig};
+use crate::domains;
+
+/// Which real-world KG a generated profile imitates.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetProfileKind {
+    /// Open-domain, moderate density (stands in for DBpedia).
+    DbpediaLike,
+    /// Many predicates, densest and noisiest (stands in for Freebase).
+    FreebaseLike,
+    /// Largest entity count, fewest predicates (stands in for YAGO2).
+    YagoLike,
+}
+
+impl DatasetProfileKind {
+    /// All profiles in the order used by the paper's tables.
+    pub fn all() -> [DatasetProfileKind; 3] {
+        [
+            DatasetProfileKind::DbpediaLike,
+            DatasetProfileKind::FreebaseLike,
+            DatasetProfileKind::YagoLike,
+        ]
+    }
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetProfileKind::DbpediaLike => "DBpedia-like",
+            DatasetProfileKind::FreebaseLike => "Freebase-like",
+            DatasetProfileKind::YagoLike => "YAGO2-like",
+        }
+    }
+
+    /// Builds the generator configuration at the given scale.
+    pub fn config(self, scale: DatasetScale, seed: u64) -> GeneratorConfig {
+        match self {
+            DatasetProfileKind::DbpediaLike => dbpedia_like(scale, seed),
+            DatasetProfileKind::FreebaseLike => freebase_like(scale, seed),
+            DatasetProfileKind::YagoLike => yago_like(scale, seed),
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetProfileKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const COUNTRIES: &[&str] = &[
+    "Germany", "China", "Korea", "Japan", "France", "Italy", "Spain", "England",
+];
+const CLUBS: &[&str] = &["Barcelona_FC", "Real_Madrid", "Bayern_Munich", "Arsenal", "Juventus"];
+const DIRECTORS: &[&str] = &["Steven_Spielberg", "Ang_Lee", "Bong_Joon-ho", "Greta_Gerwig"];
+
+/// DBpedia-like: automotive + geography + soccer.
+pub fn dbpedia_like(scale: DatasetScale, seed: u64) -> GeneratorConfig {
+    GeneratorConfig::new(
+        "DBpedia-like",
+        scale,
+        vec![
+            domains::automotive(COUNTRIES),
+            domains::geography(&COUNTRIES[..6]),
+            domains::soccer(CLUBS),
+        ],
+        seed,
+    )
+}
+
+/// Freebase-like: all five domains, denser noise.
+pub fn freebase_like(mut scale: DatasetScale, seed: u64) -> GeneratorConfig {
+    scale.noise_edges_per_target *= 1.5;
+    scale.noise_entities_per_domain = (scale.noise_entities_per_domain as f64 * 1.4) as usize;
+    GeneratorConfig::new(
+        "Freebase-like",
+        scale,
+        vec![
+            domains::automotive(&COUNTRIES[..6]),
+            domains::movies(DIRECTORS),
+            domains::soccer(CLUBS),
+            domains::languages(&COUNTRIES[..5]),
+            domains::geography(&COUNTRIES[..5]),
+        ],
+        seed,
+    )
+}
+
+/// YAGO2-like: fewer domains but more targets per hub.
+pub fn yago_like(mut scale: DatasetScale, seed: u64) -> GeneratorConfig {
+    scale.targets_per_hub = (scale.targets_per_hub as f64 * 1.3) as usize;
+    GeneratorConfig::new(
+        "YAGO2-like",
+        scale,
+        vec![
+            domains::geography(COUNTRIES),
+            domains::automotive(&COUNTRIES[..5]),
+            domains::movies(&DIRECTORS[..3]),
+        ],
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+
+    #[test]
+    fn profiles_build_and_differ() {
+        let scale = DatasetScale::tiny();
+        let db = generate(&dbpedia_like(scale.clone(), 1));
+        let fb = generate(&freebase_like(scale.clone(), 1));
+        let yago = generate(&yago_like(scale, 1));
+        assert!(fb.graph.predicate_count() > db.graph.predicate_count());
+        assert!(db.graph.entity_count() > 0 && yago.graph.entity_count() > 0);
+        assert_eq!(db.name, "DBpedia-like");
+        assert_eq!(DatasetProfileKind::all().len(), 3);
+        assert_eq!(DatasetProfileKind::FreebaseLike.to_string(), "Freebase-like");
+    }
+
+    #[test]
+    fn profile_kind_dispatch() {
+        for kind in DatasetProfileKind::all() {
+            let cfg = kind.config(DatasetScale::tiny(), 3);
+            assert!(!cfg.domains.is_empty());
+            assert_eq!(cfg.name, kind.name());
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! Workload generation: aggregate queries of every shape and operator class
+//! over a generated dataset (the stand-in for the paper's 400-query workload
+//! seeded from QALD-4 / WebQuestions).
+
+use crate::generator::GeneratedDataset;
+use kg_core::EntityId;
+use kg_query::{
+    AggregateFunction, AggregateQuery, ChainHop, ChainQuery, ComplexQuery, Filter, GroupBy,
+    QueryComponent, QueryShape, SimpleQuery,
+};
+use std::collections::BTreeSet;
+
+/// Operator class of a workload query.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum QueryCategory {
+    /// Plain COUNT/SUM/AVG.
+    Plain,
+    /// With a range filter.
+    Filtered,
+    /// With GROUP-BY.
+    Grouped,
+    /// MAX/MIN (no accuracy guarantee).
+    Extreme,
+}
+
+impl QueryCategory {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryCategory::Plain => "Plain",
+            QueryCategory::Filtered => "Filter",
+            QueryCategory::Grouped => "GROUP-BY",
+            QueryCategory::Extreme => "MAX/MIN",
+        }
+    }
+}
+
+/// One component of a workload query, described at the level the planted
+/// annotation understands (domain + hub + optional intermediate type).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HaComponent {
+    /// Domain name.
+    pub domain: String,
+    /// Hub entity name.
+    pub hub: String,
+    /// Intermediate type for chain components (None for simple components).
+    pub via_type: Option<String>,
+}
+
+/// A generated workload query.
+#[derive(Clone, Debug)]
+pub struct WorkloadQuery {
+    /// Identifier, e.g. `Q17`.
+    pub id: String,
+    /// Natural-language rendering (for reports).
+    pub text: String,
+    /// Domain the query targets.
+    pub domain: String,
+    /// Query shape.
+    pub shape: QueryShape,
+    /// Operator class.
+    pub category: QueryCategory,
+    /// The executable aggregate query.
+    pub query: AggregateQuery,
+    /// Components as the annotation sees them (for HA ground truth).
+    pub ha_components: Vec<HaComponent>,
+}
+
+impl WorkloadQuery {
+    /// Human-annotated answers: per-component HA sets intersected
+    /// (decomposition–assembly on the annotation side).
+    pub fn ha_answers(&self, dataset: &GeneratedDataset) -> Vec<EntityId> {
+        let mut acc: Option<BTreeSet<EntityId>> = None;
+        for c in &self.ha_components {
+            let answers: BTreeSet<EntityId> = match &c.via_type {
+                None => dataset
+                    .annotation
+                    .ha_simple(&c.domain, &c.hub)
+                    .into_iter()
+                    .collect(),
+                Some(via) => dataset
+                    .annotation
+                    .ha_chain(&c.domain, &c.hub, via)
+                    .into_iter()
+                    .collect(),
+            };
+            acc = Some(match acc {
+                None => answers,
+                Some(prev) => prev.intersection(&answers).copied().collect(),
+            });
+        }
+        acc.unwrap_or_default().into_iter().collect()
+    }
+
+    /// Human-annotated ground-truth aggregate value (with filters applied).
+    pub fn ha_value(&self, dataset: &GeneratedDataset) -> f64 {
+        let graph = &dataset.graph;
+        let aggregate = self
+            .query
+            .function
+            .resolve(graph)
+            .expect("workload aggregates resolve on their own dataset");
+        let filters = self
+            .query
+            .resolve_filters(graph)
+            .expect("workload filters resolve on their own dataset");
+        let answers: Vec<EntityId> = self
+            .ha_answers(dataset)
+            .into_iter()
+            .filter(|&e| kg_query::matches_all(graph, e, &filters))
+            .collect();
+        aggregate.apply_exact(graph, &answers)
+    }
+}
+
+/// Workload generation knobs.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Queries generated per shape (before operator variants).
+    pub queries_per_shape: usize,
+    /// Whether to add filter / GROUP-BY / MAX-MIN variants of simple queries.
+    pub include_operator_variants: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            queries_per_shape: 6,
+            include_operator_variants: true,
+        }
+    }
+}
+
+fn aggregate_for(index: usize, attrs: &[crate::domains::AttributeSpec]) -> AggregateFunction {
+    let attr = attrs.first().map(|a| a.name.clone()).unwrap_or_default();
+    match index % 3 {
+        0 => AggregateFunction::Count,
+        1 => AggregateFunction::Avg(attr),
+        _ => AggregateFunction::Sum(attr),
+    }
+}
+
+/// Builds a workload over `dataset`.
+pub fn build_workload(dataset: &GeneratedDataset, config: &WorkloadConfig) -> Vec<WorkloadQuery> {
+    let mut out = Vec::new();
+
+    for domain in &dataset.domains {
+        let hubs = &domain.hub_names;
+        if hubs.is_empty() {
+            continue;
+        }
+        let correct_2hop: Vec<_> = domain
+            .schemas
+            .iter()
+            .filter(|s| s.correct && s.hops.len() == 2)
+            .collect();
+
+        // ---- Simple queries (plus operator variants) ----
+        for (i, hub) in hubs.iter().take(config.queries_per_shape).enumerate() {
+            let function = aggregate_for(i, &domain.attributes);
+            let simple = SimpleQuery::new(
+                hub,
+                &[domain.hub_type.as_str()],
+                &domain.query_predicate,
+                &[domain.target_type.as_str()],
+            );
+            let ha = vec![HaComponent {
+                domain: domain.name.clone(),
+                hub: hub.clone(),
+                via_type: None,
+            }];
+            out.push(WorkloadQuery {
+                id: format!("Q{}", out.len() + 1),
+                text: format!(
+                    "{} of {} entities with {} {}",
+                    function.name(),
+                    domain.target_type,
+                    domain.query_predicate,
+                    hub
+                ),
+                domain: domain.name.clone(),
+                shape: QueryShape::Simple,
+                category: QueryCategory::Plain,
+                query: AggregateQuery::simple(simple.clone(), function.clone()),
+                ha_components: ha.clone(),
+            });
+
+            if config.include_operator_variants && domain.attributes.len() >= 2 {
+                let filter_attr = &domain.attributes[1];
+                let span = filter_attr.high - filter_attr.low;
+                let filter = Filter::range(
+                    &filter_attr.name,
+                    filter_attr.low + 0.25 * span,
+                    filter_attr.low + 0.75 * span,
+                );
+                out.push(WorkloadQuery {
+                    id: format!("Q{}", out.len() + 1),
+                    text: format!(
+                        "{} of {} with {} {} and {} in range",
+                        function.name(),
+                        domain.target_type,
+                        domain.query_predicate,
+                        hub,
+                        filter_attr.name
+                    ),
+                    domain: domain.name.clone(),
+                    shape: QueryShape::Simple,
+                    category: QueryCategory::Filtered,
+                    query: AggregateQuery::simple(simple.clone(), function.clone())
+                        .with_filter(filter),
+                    ha_components: ha.clone(),
+                });
+
+                let group_attr = &domain.attributes[0];
+                out.push(WorkloadQuery {
+                    id: format!("Q{}", out.len() + 1),
+                    text: format!(
+                        "{} of {} with {} {} grouped by {}",
+                        function.name(),
+                        domain.target_type,
+                        domain.query_predicate,
+                        hub,
+                        group_attr.name
+                    ),
+                    domain: domain.name.clone(),
+                    shape: QueryShape::Simple,
+                    category: QueryCategory::Grouped,
+                    query: AggregateQuery::simple(simple.clone(), AggregateFunction::Count)
+                        .with_group_by(GroupBy::new(
+                            &group_attr.name,
+                            (group_attr.high - group_attr.low) / 5.0,
+                        )),
+                    ha_components: ha.clone(),
+                });
+
+                let extreme_attr = &domain.attributes[0];
+                let extreme = if i % 2 == 0 {
+                    AggregateFunction::Max(extreme_attr.name.clone())
+                } else {
+                    AggregateFunction::Min(extreme_attr.name.clone())
+                };
+                out.push(WorkloadQuery {
+                    id: format!("Q{}", out.len() + 1),
+                    text: format!(
+                        "{} {} of {} with {} {}",
+                        extreme.name(),
+                        extreme_attr.name,
+                        domain.target_type,
+                        domain.query_predicate,
+                        hub
+                    ),
+                    domain: domain.name.clone(),
+                    shape: QueryShape::Simple,
+                    category: QueryCategory::Extreme,
+                    query: AggregateQuery::simple(simple.clone(), extreme),
+                    ha_components: ha.clone(),
+                });
+            }
+        }
+
+        // ---- Chain queries ----
+        if let Some(schema) = correct_2hop.first() {
+            let via_type = schema.hops[0].via_type.clone().unwrap_or_default();
+            for (i, hub) in hubs.iter().take(config.queries_per_shape.min(3)).enumerate() {
+                let function = aggregate_for(i, &domain.attributes);
+                let chain = ChainQuery::new(
+                    hub,
+                    &[domain.hub_type.as_str()],
+                    vec![
+                        ChainHop::new(&schema.hops[1].predicate, &[via_type.as_str()]),
+                        ChainHop::new(&schema.hops[0].predicate, &[domain.target_type.as_str()]),
+                    ],
+                );
+                out.push(WorkloadQuery {
+                    id: format!("Q{}", out.len() + 1),
+                    text: format!(
+                        "{} of {} reached from {} via {}",
+                        function.name(),
+                        domain.target_type,
+                        hub,
+                        via_type
+                    ),
+                    domain: domain.name.clone(),
+                    shape: QueryShape::Chain,
+                    category: QueryCategory::Plain,
+                    query: AggregateQuery::complex(ComplexQuery::chain(chain), function),
+                    ha_components: vec![HaComponent {
+                        domain: domain.name.clone(),
+                        hub: hub.clone(),
+                        via_type: Some(via_type.clone()),
+                    }],
+                });
+            }
+        }
+
+        // ---- Star / cycle / flower queries over hub pairs ----
+        if hubs.len() >= 2 {
+            let pair_count = config.queries_per_shape.min(hubs.len() - 1).max(1);
+            for i in 0..pair_count {
+                let hub_a = &hubs[i % hubs.len()];
+                let hub_b = &hubs[(i + 1) % hubs.len()];
+                let function = aggregate_for(i, &domain.attributes);
+                let simple_a = SimpleQuery::new(
+                    hub_a,
+                    &[domain.hub_type.as_str()],
+                    &domain.query_predicate,
+                    &[domain.target_type.as_str()],
+                );
+                let simple_b = SimpleQuery::new(
+                    hub_b,
+                    &[domain.hub_type.as_str()],
+                    &domain.query_predicate,
+                    &[domain.target_type.as_str()],
+                );
+                let ha_pair = vec![
+                    HaComponent {
+                        domain: domain.name.clone(),
+                        hub: hub_a.clone(),
+                        via_type: None,
+                    },
+                    HaComponent {
+                        domain: domain.name.clone(),
+                        hub: hub_b.clone(),
+                        via_type: None,
+                    },
+                ];
+
+                out.push(WorkloadQuery {
+                    id: format!("Q{}", out.len() + 1),
+                    text: format!(
+                        "{} of {} related to both {} and {}",
+                        function.name(),
+                        domain.target_type,
+                        hub_a,
+                        hub_b
+                    ),
+                    domain: domain.name.clone(),
+                    shape: QueryShape::Star,
+                    category: QueryCategory::Plain,
+                    query: AggregateQuery::complex(
+                        ComplexQuery::star(vec![simple_a.clone(), simple_b.clone()]),
+                        function.clone(),
+                    ),
+                    ha_components: ha_pair.clone(),
+                });
+
+                out.push(WorkloadQuery {
+                    id: format!("Q{}", out.len() + 1),
+                    text: format!(
+                        "{} of {} in a cycle through {} and {}",
+                        function.name(),
+                        domain.target_type,
+                        hub_a,
+                        hub_b
+                    ),
+                    domain: domain.name.clone(),
+                    shape: QueryShape::Cycle,
+                    category: QueryCategory::Plain,
+                    query: AggregateQuery::complex(
+                        ComplexQuery::cycle(vec![
+                            QueryComponent::Simple(simple_a.clone()),
+                            QueryComponent::Simple(simple_b.clone()),
+                        ]),
+                        function.clone(),
+                    ),
+                    ha_components: ha_pair.clone(),
+                });
+
+                if let Some(schema) = correct_2hop.first() {
+                    let via_type = schema.hops[0].via_type.clone().unwrap_or_default();
+                    let chain = ChainQuery::new(
+                        hub_b,
+                        &[domain.hub_type.as_str()],
+                        vec![
+                            ChainHop::new(&schema.hops[1].predicate, &[via_type.as_str()]),
+                            ChainHop::new(&schema.hops[0].predicate, &[domain.target_type.as_str()]),
+                        ],
+                    );
+                    out.push(WorkloadQuery {
+                        id: format!("Q{}", out.len() + 1),
+                        text: format!(
+                            "{} of {} related to {} and reached from {} via {}",
+                            function.name(),
+                            domain.target_type,
+                            hub_a,
+                            hub_b,
+                            via_type
+                        ),
+                        domain: domain.name.clone(),
+                        shape: QueryShape::Flower,
+                        category: QueryCategory::Plain,
+                        query: AggregateQuery::complex(
+                            ComplexQuery::flower(vec![
+                                QueryComponent::Simple(simple_a.clone()),
+                                QueryComponent::Chain(chain),
+                            ]),
+                            function,
+                        ),
+                        ha_components: vec![
+                            ha_pair[0].clone(),
+                            HaComponent {
+                                domain: domain.name.clone(),
+                                hub: hub_b.clone(),
+                                via_type: Some(via_type),
+                            },
+                        ],
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DatasetScale, GeneratorConfig};
+    use crate::domains::automotive;
+    use crate::generator::generate;
+
+    fn dataset() -> GeneratedDataset {
+        generate(&GeneratorConfig::new(
+            "test",
+            DatasetScale::tiny(),
+            vec![automotive(&["Germany", "China", "Korea"])],
+            11,
+        ))
+    }
+
+    #[test]
+    fn workload_covers_all_shapes_and_categories() {
+        let d = dataset();
+        let wl = build_workload(&d, &WorkloadConfig::default());
+        assert!(wl.len() >= 20, "{}", wl.len());
+        for shape in QueryShape::all() {
+            assert!(
+                wl.iter().any(|q| q.shape == shape),
+                "missing shape {shape}"
+            );
+        }
+        for cat in [
+            QueryCategory::Plain,
+            QueryCategory::Filtered,
+            QueryCategory::Grouped,
+            QueryCategory::Extreme,
+        ] {
+            assert!(wl.iter().any(|q| q.category == cat), "missing {}", cat.name());
+        }
+        // Ids are unique.
+        let ids: std::collections::HashSet<_> = wl.iter().map(|q| q.id.clone()).collect();
+        assert_eq!(ids.len(), wl.len());
+    }
+
+    #[test]
+    fn workload_queries_resolve_and_have_ha_answers() {
+        let d = dataset();
+        let wl = build_workload(&d, &WorkloadConfig::default());
+        let mut nonempty = 0;
+        for q in &wl {
+            // Every query must resolve against its own dataset.
+            match &q.query.query {
+                kg_query::QuerySpec::Simple(s) => {
+                    s.resolve(&d.graph).unwrap();
+                }
+                kg_query::QuerySpec::Complex(c) => {
+                    c.resolve(&d.graph).unwrap();
+                }
+            }
+            if !q.ha_answers(&d).is_empty() {
+                nonempty += 1;
+            }
+            let _ = q.ha_value(&d);
+        }
+        // The vast majority of queries have non-empty annotated answers.
+        assert!(nonempty * 10 >= wl.len() * 7, "{nonempty}/{}", wl.len());
+    }
+
+    #[test]
+    fn simple_plain_ha_value_matches_planted_count() {
+        let d = dataset();
+        let wl = build_workload(&d, &WorkloadConfig { include_operator_variants: false, ..Default::default() });
+        let q = wl
+            .iter()
+            .find(|q| q.shape == QueryShape::Simple && matches!(q.query.function, AggregateFunction::Count))
+            .unwrap();
+        let ha = q.ha_value(&d);
+        assert!(ha > 0.0);
+        assert_eq!(ha, q.ha_answers(&d).len() as f64);
+        assert_eq!(q.category.name(), "Plain");
+    }
+}

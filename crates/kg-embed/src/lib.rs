@@ -1,0 +1,59 @@
+//! # kg-embed — knowledge graph embedding substrate
+//!
+//! The paper's sampling–estimation engine consumes KG embeddings only through
+//! one operation: the **predicate similarity** `sim(L_G(e'), L_Q(e))` of Eq. 4
+//! — the cosine similarity between the learned vectors of two predicates.
+//! This crate provides:
+//!
+//! * the offline embedding phase of Algorithm 2 (line 1): from-scratch
+//!   implementations of the translation-based models **TransE**, **TransH**
+//!   and **TransD**, the tensor-factorisation model **RESCAL**, and the
+//!   relation-specific projection model **SE**, trained with margin-based SGD
+//!   and negative sampling ([`trainer`]);
+//! * a [`PredicateVectorStore`] holding one vector per predicate and
+//!   implementing the [`PredicateSimilarity`] trait that every downstream
+//!   crate consumes;
+//! * a [`SyntheticOracle`] that derives predicate vectors directly from the
+//!   latent semantic groups planted by the synthetic data generator — this
+//!   plays the role of the "high-quality embedding model" the paper assumes
+//!   when comparing against human-annotated ground truth.
+//!
+//! ```
+//! use kg_core::GraphBuilder;
+//! use kg_embed::{EmbeddingModelKind, TrainerConfig, PredicateSimilarity};
+//!
+//! let mut b = GraphBuilder::new();
+//! let de = b.add_entity("Germany", &["Country"]);
+//! let bmw = b.add_entity("BMW_320", &["Automobile"]);
+//! let vw = b.add_entity("Volkswagen", &["Company"]);
+//! b.add_edge(de, "product", bmw);
+//! b.add_edge(bmw, "assembly", de);
+//! b.add_edge(vw, "country", de);
+//! let g = b.build();
+//!
+//! let cfg = TrainerConfig { dimension: 16, epochs: 30, ..TrainerConfig::default() };
+//! let trained = kg_embed::train(&g, EmbeddingModelKind::TransE, &cfg);
+//! let product = g.predicate_id("product").unwrap();
+//! let sim = trained.store.similarity(product, product);
+//! assert!((sim - 1.0).abs() < 1e-9);
+//! ```
+
+pub mod model;
+pub mod negative;
+pub mod oracle;
+pub mod rescal;
+pub mod se;
+pub mod similarity;
+pub mod store;
+pub mod trainer;
+pub mod transd;
+pub mod transe;
+pub mod transh;
+pub mod vector;
+
+pub use model::{EmbeddingModelKind, TripleScorer};
+pub use oracle::SyntheticOracle;
+pub use similarity::{cosine_similarity, PredicateSimilarity};
+pub use store::PredicateVectorStore;
+pub use trainer::{train, TrainedEmbedding, TrainerConfig, TrainingStats};
+pub use vector::{Matrix, Vector};

@@ -1,0 +1,101 @@
+//! The interface shared by all embedding models.
+
+use crate::vector::Vector;
+use kg_core::{PredicateId, Triple};
+
+/// Which embedding model to train (Table XIII of the paper compares these).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum EmbeddingModelKind {
+    /// Translation in the entity space: `h + r ≈ t` (Bordes et al., NIPS'13).
+    TransE,
+    /// Translation on a relation-specific hyperplane (Wang et al., AAAI'14).
+    TransH,
+    /// Translation with dynamic projection vectors (Ji et al., ACL'15).
+    TransD,
+    /// Bilinear tensor factorisation `hᵀ M_r t` (Nickel et al., ICML'11).
+    Rescal,
+    /// Structured embeddings `‖M_r¹ h − M_r² t‖` (Bordes et al., AAAI'11).
+    SE,
+}
+
+impl EmbeddingModelKind {
+    /// All model kinds, in the order of Table XIII.
+    pub fn all() -> [EmbeddingModelKind; 5] {
+        [
+            EmbeddingModelKind::TransE,
+            EmbeddingModelKind::TransD,
+            EmbeddingModelKind::TransH,
+            EmbeddingModelKind::Rescal,
+            EmbeddingModelKind::SE,
+        ]
+    }
+
+    /// Human-readable model name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EmbeddingModelKind::TransE => "TransE",
+            EmbeddingModelKind::TransH => "TransH",
+            EmbeddingModelKind::TransD => "TransD",
+            EmbeddingModelKind::Rescal => "RESCAL",
+            EmbeddingModelKind::SE => "SE",
+        }
+    }
+
+    /// True for the translation-based family, which the paper finds to
+    /// perform best on its query workloads.
+    pub fn is_translation_based(self) -> bool {
+        matches!(
+            self,
+            EmbeddingModelKind::TransE | EmbeddingModelKind::TransH | EmbeddingModelKind::TransD
+        )
+    }
+}
+
+impl std::fmt::Display for EmbeddingModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A trainable triple-scoring model.
+///
+/// Models assign an *energy* to a triple — lower energy means the triple is
+/// more plausible. Training minimises a margin ranking loss
+/// `max(0, γ + E(pos) − E(neg))` over observed triples and corrupted
+/// negatives (see [`crate::trainer`]).
+pub trait TripleScorer {
+    /// Model name (for reports).
+    fn model_name(&self) -> &'static str;
+
+    /// Energy of a triple; lower is more plausible.
+    fn energy(&self, triple: Triple) -> f64;
+
+    /// Performs one stochastic gradient step on a (positive, negative) pair
+    /// if the margin constraint is violated. Returns the incurred loss.
+    fn update(&mut self, positive: Triple, negative: Triple, learning_rate: f64, margin: f64)
+        -> f64;
+
+    /// Hook called after every epoch (e.g. to re-normalise entity vectors).
+    fn post_epoch(&mut self);
+
+    /// One representative vector per predicate, used for cosine predicate
+    /// similarity (Eq. 4). Matrix-based models flatten their operators.
+    fn predicate_vectors(&self) -> Vec<(PredicateId, Vector)>;
+
+    /// Total number of learned parameters (memory proxy of Table XIII).
+    fn parameter_count(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_and_families() {
+        assert_eq!(EmbeddingModelKind::TransE.name(), "TransE");
+        assert_eq!(EmbeddingModelKind::Rescal.to_string(), "RESCAL");
+        assert!(EmbeddingModelKind::TransH.is_translation_based());
+        assert!(!EmbeddingModelKind::SE.is_translation_based());
+        assert_eq!(EmbeddingModelKind::all().len(), 5);
+    }
+}

@@ -1,0 +1,115 @@
+//! Negative sampling for margin-based training.
+
+use kg_core::{EntityId, KnowledgeGraph, Triple};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Generates corrupted triples by replacing the head or the tail of a
+/// positive triple with a random entity, avoiding (when cheaply possible)
+/// corruptions that are themselves observed triples.
+#[derive(Debug)]
+pub struct NegativeSampler {
+    observed: HashSet<(u32, u32, u32)>,
+    entity_count: u32,
+}
+
+impl NegativeSampler {
+    /// Builds a sampler over the triples of `graph`.
+    pub fn new(graph: &KnowledgeGraph) -> Self {
+        let observed = graph
+            .triples()
+            .iter()
+            .map(|t| (t.subject.raw(), t.predicate.raw(), t.object.raw()))
+            .collect();
+        Self {
+            observed,
+            entity_count: graph.entity_count() as u32,
+        }
+    }
+
+    /// True when the triple exists in the graph.
+    pub fn is_observed(&self, t: Triple) -> bool {
+        self.observed
+            .contains(&(t.subject.raw(), t.predicate.raw(), t.object.raw()))
+    }
+
+    /// Corrupts `positive` by replacing its head or tail (with equal
+    /// probability) with a uniformly random entity. Tries a few times to
+    /// avoid producing an observed triple; gives up after 10 attempts, which
+    /// follows standard practice (a rare false negative only adds noise).
+    pub fn corrupt<R: Rng>(&self, positive: Triple, rng: &mut R) -> Triple {
+        if self.entity_count <= 1 {
+            return positive;
+        }
+        for _ in 0..10 {
+            let candidate = EntityId::new(rng.gen_range(0..self.entity_count));
+            let corrupted = if rng.gen_bool(0.5) {
+                Triple::new(candidate, positive.predicate, positive.object)
+            } else {
+                Triple::new(positive.subject, positive.predicate, candidate)
+            };
+            if corrupted != positive && !self.is_observed(corrupted) {
+                return corrupted;
+            }
+        }
+        // Fall back to an arbitrary corruption.
+        let candidate = EntityId::new(rng.gen_range(0..self.entity_count));
+        Triple::new(candidate, positive.predicate, positive.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::GraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..20).map(|i| b.add_entity(&format!("e{i}"), &["T"])).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], "p", w[1]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn corruptions_differ_from_positives() {
+        let g = graph();
+        let sampler = NegativeSampler::new(&g);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for &t in g.triples() {
+            assert!(sampler.is_observed(t));
+            for _ in 0..5 {
+                let neg = sampler.corrupt(t, &mut rng);
+                assert_ne!(neg, t);
+                assert_eq!(neg.predicate, t.predicate);
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_mostly_avoids_observed_triples() {
+        let g = graph();
+        let sampler = NegativeSampler::new(&g);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let observed_hits = (0..500)
+            .filter(|_| sampler.is_observed(sampler.corrupt(g.triples()[0], &mut rng)))
+            .count();
+        // The retry loop makes observed corruptions very rare.
+        assert!(observed_hits < 10, "too many observed corruptions: {observed_hits}");
+    }
+
+    #[test]
+    fn degenerate_single_entity_graph() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_entity("only", &["T"]);
+        b.add_edge(u, "p", u);
+        let g = b.build();
+        let sampler = NegativeSampler::new(&g);
+        let mut rng = SmallRng::seed_from_u64(5);
+        // With a single entity the sampler cannot corrupt; it returns the input.
+        assert_eq!(sampler.corrupt(g.triples()[0], &mut rng), g.triples()[0]);
+    }
+}

@@ -1,0 +1,162 @@
+//! SE — Structured Embeddings with two relation-specific projection matrices
+//! (Bordes et al., AAAI 2011).
+
+use crate::model::TripleScorer;
+use crate::vector::{Matrix, Vector};
+use kg_core::{PredicateId, Triple};
+use rand::Rng;
+
+/// SE scores a triple by projecting head and tail with two relation-specific
+/// matrices and measuring the distance: `E = ‖M_r¹ h − M_r² t‖²`.
+#[derive(Clone, Debug)]
+pub struct StructuredEmbedding {
+    entities: Vec<Vector>,
+    left: Vec<Matrix>,
+    right: Vec<Matrix>,
+    dimension: usize,
+}
+
+impl StructuredEmbedding {
+    /// Random initialisation; projection matrices start near the identity so
+    /// early training behaves like plain distance matching.
+    pub fn new<R: Rng>(entity_count: usize, relation_count: usize, dimension: usize, rng: &mut R) -> Self {
+        let bound = 0.1 / (dimension as f64).sqrt();
+        let entities = (0..entity_count)
+            .map(|_| {
+                let mut v = Vector::random(dimension, 6.0 / (dimension as f64).sqrt(), rng);
+                v.normalize();
+                v
+            })
+            .collect();
+        let near_identity = |rng: &mut R| {
+            let mut m = Matrix::random(dimension, dimension, bound, rng);
+            for i in 0..dimension {
+                m.add_to(i, i, 1.0);
+            }
+            m
+        };
+        let left = (0..relation_count).map(|_| near_identity(rng)).collect();
+        let right = (0..relation_count).map(|_| near_identity(rng)).collect();
+        Self {
+            entities,
+            left,
+            right,
+            dimension,
+        }
+    }
+
+    fn difference(&self, t: Triple) -> Vector {
+        let h = &self.entities[t.subject.index()];
+        let tt = &self.entities[t.object.index()];
+        let l = &self.left[t.predicate.index()];
+        let r = &self.right[t.predicate.index()];
+        l.matvec(h).sub(&r.matvec(tt))
+    }
+
+    fn apply_gradient(&mut self, triple: Triple, sign: f64, lr: f64) {
+        let diff = self.difference(triple);
+        let step = 2.0 * lr * sign;
+        let (hi, ri, ti) = (
+            triple.subject.index(),
+            triple.predicate.index(),
+            triple.object.index(),
+        );
+        let h = self.entities[hi].clone();
+        let t = self.entities[ti].clone();
+        // ∂E/∂h = 2·M¹ᵀ diff ; ∂E/∂t = −2·M²ᵀ diff.
+        let grad_h = self.left[ri].matvec_t(&diff);
+        let grad_t = self.right[ri].matvec_t(&diff);
+        self.entities[hi].add_scaled(&grad_h, -step);
+        self.entities[ti].add_scaled(&grad_t, step);
+        // ∂E/∂M¹ = 2·diff hᵀ ; ∂E/∂M² = −2·diff tᵀ.
+        for r in 0..self.dimension {
+            for c in 0..self.dimension {
+                let d_r = diff.as_slice()[r];
+                self.left[ri].add_to(r, c, -step * d_r * h.as_slice()[c]);
+                self.right[ri].add_to(r, c, step * d_r * t.as_slice()[c]);
+            }
+        }
+    }
+}
+
+impl TripleScorer for StructuredEmbedding {
+    fn model_name(&self) -> &'static str {
+        "SE"
+    }
+
+    fn energy(&self, triple: Triple) -> f64 {
+        let d = self.difference(triple);
+        d.dot(&d)
+    }
+
+    fn update(&mut self, positive: Triple, negative: Triple, lr: f64, margin: f64) -> f64 {
+        let loss = margin + self.energy(positive) - self.energy(negative);
+        if loss <= 0.0 {
+            return 0.0;
+        }
+        self.apply_gradient(positive, 1.0, lr);
+        self.apply_gradient(negative, -1.0, lr);
+        loss
+    }
+
+    fn post_epoch(&mut self) {
+        for e in &mut self.entities {
+            e.normalize();
+        }
+    }
+
+    fn predicate_vectors(&self) -> Vec<(PredicateId, Vector)> {
+        // Concatenate both projection matrices as the relation signature.
+        self.left
+            .iter()
+            .zip(&self.right)
+            .enumerate()
+            .map(|(i, (l, r))| {
+                let mut v = l.flatten().0;
+                v.extend_from_slice(r.flatten().as_slice());
+                (PredicateId::from(i), Vector(v))
+            })
+            .collect()
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.entities.len() * self.dimension
+            + 2 * self.left.len() * self.dimension * self.dimension
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::EntityId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn triple(h: u32, r: u32, t: u32) -> Triple {
+        Triple::new(EntityId::new(h), PredicateId::new(r), EntityId::new(t))
+    }
+
+    #[test]
+    fn training_separates_positive_from_negative() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut m = StructuredEmbedding::new(6, 2, 6, &mut rng);
+        let pos = triple(2, 1, 3);
+        let neg = triple(2, 1, 5);
+        for _ in 0..200 {
+            m.update(pos, neg, 0.01, 1.0);
+            m.post_epoch();
+        }
+        assert!(m.energy(pos) < m.energy(neg));
+    }
+
+    #[test]
+    fn predicate_vectors_concatenate_both_matrices() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let m = StructuredEmbedding::new(4, 2, 5, &mut rng);
+        let vecs = m.predicate_vectors();
+        assert_eq!(vecs.len(), 2);
+        assert_eq!(vecs[0].1.dim(), 2 * 5 * 5);
+        assert_eq!(m.parameter_count(), 4 * 5 + 2 * 2 * 25);
+        assert_eq!(m.model_name(), "SE");
+    }
+}

@@ -1,0 +1,94 @@
+//! Predicate similarity (Eq. 4 of the paper).
+
+use kg_core::PredicateId;
+
+/// Cosine similarity between two raw vectors, clamped to `[0, 1]`.
+///
+/// Eq. 4 defines predicate similarity as the cosine of the two predicate
+/// vectors. The downstream uses — geometric-mean path similarity (Eq. 2) and
+/// transition probabilities (Eq. 5) — both require values in `[0, 1]`, and the
+/// paper's examples use positive similarities throughout, so negative cosines
+/// are clamped to 0. Consumers that need strictly positive transition
+/// probabilities apply their own small floor (see `kg-sampling`).
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na <= 1e-24 || nb <= 1e-24 {
+        return 0.0;
+    }
+    (dot / (na.sqrt() * nb.sqrt())).clamp(0.0, 1.0)
+}
+
+/// The single operation through which the rest of the system consumes a KG
+/// embedding: similarity between two predicates, in `[0, 1]`.
+///
+/// Implemented by [`crate::PredicateVectorStore`] (trained or oracle vectors)
+/// and usable behind `&dyn PredicateSimilarity` by the query, sampling and
+/// engine crates.
+pub trait PredicateSimilarity: Send + Sync {
+    /// Similarity of predicate `a` to predicate `b` in `[0, 1]`; 1.0 for
+    /// identical predicates.
+    fn similarity(&self, a: PredicateId, b: PredicateId) -> f64;
+}
+
+impl<T: PredicateSimilarity + ?Sized> PredicateSimilarity for &T {
+    fn similarity(&self, a: PredicateId, b: PredicateId) -> f64 {
+        (**self).similarity(a, b)
+    }
+}
+
+impl<T: PredicateSimilarity + ?Sized> PredicateSimilarity for std::sync::Arc<T> {
+    fn similarity(&self, a: PredicateId, b: PredicateId) -> f64 {
+        (**self).similarity(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_basic_cases() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-12);
+        // Opposite vectors clamp to zero rather than going negative.
+        assert_eq!(cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]), 0.0);
+        // Scale invariance.
+        let s = cosine_similarity(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vectors_have_zero_similarity() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn trait_object_and_arc_forwarding() {
+        struct Fixed;
+        impl PredicateSimilarity for Fixed {
+            fn similarity(&self, a: PredicateId, b: PredicateId) -> f64 {
+                if a == b {
+                    1.0
+                } else {
+                    0.5
+                }
+            }
+        }
+        let f = Fixed;
+        let as_ref: &dyn PredicateSimilarity = &f;
+        assert_eq!(as_ref.similarity(PredicateId::new(1), PredicateId::new(1)), 1.0);
+        let arc: std::sync::Arc<dyn PredicateSimilarity> = std::sync::Arc::new(Fixed);
+        assert_eq!(arc.similarity(PredicateId::new(1), PredicateId::new(2)), 0.5);
+        let nested = &arc;
+        assert_eq!(nested.similarity(PredicateId::new(3), PredicateId::new(4)), 0.5);
+    }
+}

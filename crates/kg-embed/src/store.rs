@@ -1,0 +1,149 @@
+//! Storage of one vector per predicate plus cached pairwise similarities.
+
+use crate::similarity::{cosine_similarity, PredicateSimilarity};
+use crate::vector::Vector;
+use kg_core::PredicateId;
+use serde::{Deserialize, Serialize};
+
+/// One embedding vector per predicate.
+///
+/// The store is the hand-off point between the offline embedding phase and
+/// the online query phase: the trainer (or the synthetic oracle) produces it,
+/// the query/sampling/engine crates consume it through
+/// [`PredicateSimilarity`]. Pairwise similarities are precomputed, which makes
+/// `similarity` an O(1) table lookup — the same cost model as the paper, where
+/// predicate vectors come from an offline model.
+#[derive(Clone, Debug, Serialize, Deserialize, Default)]
+pub struct PredicateVectorStore {
+    vectors: Vec<Vector>,
+    /// Row-major |P| × |P| similarity table.
+    table: Vec<f64>,
+    count: usize,
+}
+
+impl PredicateVectorStore {
+    /// Builds a store from `(predicate, vector)` pairs. Predicates missing
+    /// from the input get a zero vector (similarity 0 to everything).
+    pub fn from_vectors(pairs: Vec<(PredicateId, Vector)>) -> Self {
+        let count = pairs
+            .iter()
+            .map(|(p, _)| p.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let dim = pairs.first().map(|(_, v)| v.dim()).unwrap_or(0);
+        let mut vectors = vec![Vector::zeros(dim); count];
+        for (p, v) in pairs {
+            vectors[p.index()] = v;
+        }
+        let mut store = Self {
+            vectors,
+            table: Vec::new(),
+            count,
+        };
+        store.rebuild_table();
+        store
+    }
+
+    fn rebuild_table(&mut self) {
+        let n = self.count;
+        let mut table = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let s = if i == j {
+                    1.0
+                } else {
+                    cosine_similarity(self.vectors[i].as_slice(), self.vectors[j].as_slice())
+                };
+                table[i * n + j] = s;
+                table[j * n + i] = s;
+            }
+        }
+        self.table = table;
+    }
+
+    /// Number of predicates covered by the store.
+    pub fn predicate_count(&self) -> usize {
+        self.count
+    }
+
+    /// The vector of a predicate, if in range.
+    pub fn vector(&self, p: PredicateId) -> Option<&Vector> {
+        self.vectors.get(p.index())
+    }
+
+    /// Embedding dimension (0 for an empty store).
+    pub fn dimension(&self) -> usize {
+        self.vectors.first().map(Vector::dim).unwrap_or(0)
+    }
+
+    /// Total number of stored floats — the memory proxy used in Table XIII
+    /// alongside model parameters.
+    pub fn stored_floats(&self) -> usize {
+        self.vectors.iter().map(Vector::dim).sum::<usize>() + self.table.len()
+    }
+}
+
+impl PredicateSimilarity for PredicateVectorStore {
+    fn similarity(&self, a: PredicateId, b: PredicateId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let (i, j) = (a.index(), b.index());
+        if i >= self.count || j >= self.count {
+            return 0.0;
+        }
+        self.table[i * self.count + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PredicateId {
+        PredicateId::new(i)
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_reflexive() {
+        let store = PredicateVectorStore::from_vectors(vec![
+            (p(0), Vector(vec![1.0, 0.0])),
+            (p(1), Vector(vec![0.9, 0.1])),
+            (p(2), Vector(vec![0.0, 1.0])),
+        ]);
+        assert_eq!(store.similarity(p(0), p(0)), 1.0);
+        assert_eq!(store.similarity(p(0), p(1)), store.similarity(p(1), p(0)));
+        assert!(store.similarity(p(0), p(1)) > store.similarity(p(0), p(2)));
+        assert_eq!(store.predicate_count(), 3);
+        assert_eq!(store.dimension(), 2);
+        assert!(store.stored_floats() >= 6);
+    }
+
+    #[test]
+    fn out_of_range_predicates_have_zero_similarity() {
+        let store = PredicateVectorStore::from_vectors(vec![(p(0), Vector(vec![1.0]))]);
+        assert_eq!(store.similarity(p(0), p(5)), 0.0);
+        // Identical ids are always 1.0, even out of range (same predicate).
+        assert_eq!(store.similarity(p(5), p(5)), 1.0);
+        assert!(store.vector(p(5)).is_none());
+    }
+
+    #[test]
+    fn missing_predicates_get_zero_vectors() {
+        let store = PredicateVectorStore::from_vectors(vec![
+            (p(2), Vector(vec![1.0, 1.0])),
+            (p(0), Vector(vec![1.0, 0.0])),
+        ]);
+        assert_eq!(store.predicate_count(), 3);
+        assert_eq!(store.similarity(p(1), p(0)), 0.0);
+        assert_eq!(store.similarity(p(2), p(2)), 1.0);
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = PredicateVectorStore::from_vectors(vec![]);
+        assert_eq!(store.predicate_count(), 0);
+        assert_eq!(store.dimension(), 0);
+        assert_eq!(store.similarity(p(0), p(1)), 0.0);
+    }
+}

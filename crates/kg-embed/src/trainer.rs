@@ -1,0 +1,244 @@
+//! Margin-based SGD training with negative sampling — the offline phase of
+//! Algorithm 2 (line 1).
+
+use crate::model::{EmbeddingModelKind, TripleScorer};
+use crate::negative::NegativeSampler;
+use crate::rescal::Rescal;
+use crate::se::StructuredEmbedding;
+use crate::store::PredicateVectorStore;
+use crate::transd::TransD;
+use crate::transe::TransE;
+use crate::transh::TransH;
+use kg_core::KnowledgeGraph;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Hyper-parameters of the embedding trainer.
+#[derive(Clone, Debug)]
+pub struct TrainerConfig {
+    /// Embedding dimension `d`.
+    pub dimension: usize,
+    /// Number of passes over the triple set.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Margin γ of the ranking loss.
+    pub margin: f64,
+    /// Negative samples per positive triple per epoch.
+    pub negatives_per_positive: usize,
+    /// RNG seed (training is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            dimension: 32,
+            epochs: 50,
+            learning_rate: 0.02,
+            margin: 1.0,
+            negatives_per_positive: 2,
+            seed: 0x5eed_e33d,
+        }
+    }
+}
+
+/// Summary statistics of a training run (drives Table XIII).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainingStats {
+    /// Which model was trained.
+    pub model: &'static str,
+    /// Wall-clock training time in milliseconds.
+    pub train_time_ms: f64,
+    /// Number of learned parameters (memory proxy).
+    pub parameters: usize,
+    /// Mean margin loss of the final epoch.
+    pub final_loss: f64,
+    /// Number of epochs actually run.
+    pub epochs: usize,
+}
+
+/// The result of the offline embedding phase: the predicate-vector store used
+/// by the online engine plus training statistics.
+#[derive(Clone, Debug)]
+pub struct TrainedEmbedding {
+    /// Predicate vectors and cached pairwise similarities.
+    pub store: PredicateVectorStore,
+    /// Training statistics.
+    pub stats: TrainingStats,
+}
+
+fn build_model(
+    kind: EmbeddingModelKind,
+    entities: usize,
+    relations: usize,
+    dim: usize,
+    rng: &mut SmallRng,
+) -> Box<dyn TripleScorer> {
+    match kind {
+        EmbeddingModelKind::TransE => Box::new(TransE::new(entities, relations, dim, rng)),
+        EmbeddingModelKind::TransH => Box::new(TransH::new(entities, relations, dim, rng)),
+        EmbeddingModelKind::TransD => Box::new(TransD::new(entities, relations, dim, rng)),
+        EmbeddingModelKind::Rescal => Box::new(Rescal::new(entities, relations, dim, rng)),
+        EmbeddingModelKind::SE => Box::new(StructuredEmbedding::new(entities, relations, dim, rng)),
+    }
+}
+
+/// Trains `kind` on `graph` and returns the predicate-vector store plus stats.
+pub fn train(graph: &KnowledgeGraph, kind: EmbeddingModelKind, config: &TrainerConfig) -> TrainedEmbedding {
+    let start = Instant::now();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut model = build_model(
+        kind,
+        graph.entity_count().max(1),
+        graph.predicate_count().max(1),
+        config.dimension.max(2),
+        &mut rng,
+    );
+    let sampler = NegativeSampler::new(graph);
+    let mut order: Vec<usize> = (0..graph.triples().len()).collect();
+    let mut final_loss = 0.0;
+    for _epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut updates = 0usize;
+        for &i in &order {
+            let positive = graph.triples()[i];
+            for _ in 0..config.negatives_per_positive.max(1) {
+                let negative = sampler.corrupt(positive, &mut rng);
+                epoch_loss +=
+                    model.update(positive, negative, config.learning_rate, config.margin);
+                updates += 1;
+            }
+        }
+        model.post_epoch();
+        final_loss = if updates == 0 {
+            0.0
+        } else {
+            epoch_loss / updates as f64
+        };
+    }
+    let store = PredicateVectorStore::from_vectors(model.predicate_vectors());
+    TrainedEmbedding {
+        store,
+        stats: TrainingStats {
+            model: kind.name(),
+            train_time_ms: start.elapsed().as_secs_f64() * 1e3,
+            parameters: model.parameter_count(),
+            final_loss,
+            epochs: config.epochs,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::PredicateSimilarity;
+    use kg_core::GraphBuilder;
+
+    /// A toy KG with two clusters of predicates: "production-like" predicates
+    /// connect countries to cars, "person-like" predicates connect people to
+    /// countries. A good embedding separates the clusters.
+    fn toy_graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let countries: Vec<_> = (0..4)
+            .map(|i| b.add_entity(&format!("Country{i}"), &["Country"]))
+            .collect();
+        let cars: Vec<_> = (0..12)
+            .map(|i| b.add_entity(&format!("Car{i}"), &["Automobile"]))
+            .collect();
+        let people: Vec<_> = (0..8)
+            .map(|i| b.add_entity(&format!("Person{i}"), &["Person"]))
+            .collect();
+        for (i, &car) in cars.iter().enumerate() {
+            let c = countries[i % countries.len()];
+            if i % 2 == 0 {
+                b.add_edge(c, "product", car);
+            } else {
+                b.add_edge(car, "assembly", c);
+            }
+        }
+        for (i, &p) in people.iter().enumerate() {
+            b.add_edge(p, "nationality", countries[i % countries.len()]);
+            b.add_edge(cars[i % cars.len()], "designer", p);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn transe_training_runs_and_gives_reflexive_similarity() {
+        let g = toy_graph();
+        let cfg = TrainerConfig {
+            dimension: 16,
+            epochs: 20,
+            ..TrainerConfig::default()
+        };
+        let trained = train(&g, EmbeddingModelKind::TransE, &cfg);
+        assert_eq!(trained.stats.model, "TransE");
+        assert!(trained.stats.train_time_ms >= 0.0);
+        assert!(trained.stats.parameters > 0);
+        assert_eq!(trained.store.predicate_count(), g.predicate_count());
+        let product = g.predicate_id("product").unwrap();
+        assert_eq!(trained.store.similarity(product, product), 1.0);
+    }
+
+    #[test]
+    fn all_models_train_without_panicking() {
+        let g = toy_graph();
+        let cfg = TrainerConfig {
+            dimension: 8,
+            epochs: 3,
+            ..TrainerConfig::default()
+        };
+        for kind in EmbeddingModelKind::all() {
+            let trained = train(&g, kind, &cfg);
+            assert_eq!(trained.stats.epochs, 3);
+            assert_eq!(trained.store.predicate_count(), g.predicate_count());
+        }
+    }
+
+    #[test]
+    fn matrix_models_have_more_parameters_than_transe() {
+        let g = toy_graph();
+        let cfg = TrainerConfig {
+            dimension: 8,
+            epochs: 1,
+            ..TrainerConfig::default()
+        };
+        let transe = train(&g, EmbeddingModelKind::TransE, &cfg);
+        let rescal = train(&g, EmbeddingModelKind::Rescal, &cfg);
+        let se = train(&g, EmbeddingModelKind::SE, &cfg);
+        assert!(rescal.stats.parameters > transe.stats.parameters);
+        assert!(se.stats.parameters > transe.stats.parameters);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let g = toy_graph();
+        let cfg = TrainerConfig {
+            dimension: 8,
+            epochs: 5,
+            ..TrainerConfig::default()
+        };
+        let a = train(&g, EmbeddingModelKind::TransE, &cfg);
+        let b = train(&g, EmbeddingModelKind::TransE, &cfg);
+        let p0 = g.predicate_id("product").unwrap();
+        let p1 = g.predicate_id("nationality").unwrap();
+        assert!((a.store.similarity(p0, p1) - b.store.similarity(p0, p1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_trains_trivially() {
+        let g = GraphBuilder::new().build();
+        let cfg = TrainerConfig {
+            dimension: 4,
+            epochs: 2,
+            ..TrainerConfig::default()
+        };
+        let trained = train(&g, EmbeddingModelKind::TransE, &cfg);
+        assert_eq!(trained.stats.final_loss, 0.0);
+    }
+}

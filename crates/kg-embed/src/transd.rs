@@ -1,0 +1,179 @@
+//! TransD: translation with dynamic mapping vectors (Ji et al., ACL 2015).
+
+use crate::model::TripleScorer;
+use crate::vector::Vector;
+use kg_core::{PredicateId, Triple};
+use rand::Rng;
+
+/// TransD associates a *projection vector* with every entity (`e_p`) and
+/// relation (`r_p`); an entity is projected into the relation space as
+/// `e_⊥ = e + (e_pᵀ e)·r_p` (the equal-dimension simplification of the
+/// original `M = r_p e_pᵀ + I` mapping matrix), and the energy is
+/// `‖h_⊥ + r − t_⊥‖²`.
+#[derive(Clone, Debug)]
+pub struct TransD {
+    entities: Vec<Vector>,
+    entity_proj: Vec<Vector>,
+    relations: Vec<Vector>,
+    relation_proj: Vec<Vector>,
+    dimension: usize,
+}
+
+impl TransD {
+    /// Random initialisation; entity and relation vectors start unit-norm,
+    /// projection vectors start small.
+    pub fn new<R: Rng>(entity_count: usize, relation_count: usize, dimension: usize, rng: &mut R) -> Self {
+        let bound = 6.0 / (dimension as f64).sqrt();
+        let unit = |rng: &mut R| {
+            let mut v = Vector::random(dimension, bound, rng);
+            v.normalize();
+            v
+        };
+        let entities = (0..entity_count).map(|_| unit(rng)).collect();
+        let relations = (0..relation_count).map(|_| unit(rng)).collect();
+        let entity_proj = (0..entity_count)
+            .map(|_| Vector::random(dimension, 0.1, rng))
+            .collect();
+        let relation_proj = (0..relation_count)
+            .map(|_| Vector::random(dimension, 0.1, rng))
+            .collect();
+        Self {
+            entities,
+            entity_proj,
+            relations,
+            relation_proj,
+            dimension,
+        }
+    }
+
+    fn project(&self, entity: usize, relation: usize) -> Vector {
+        let e = &self.entities[entity];
+        let ep = &self.entity_proj[entity];
+        let rp = &self.relation_proj[relation];
+        let mut out = e.clone();
+        out.add_scaled(rp, ep.dot(e));
+        out
+    }
+
+    fn difference(&self, t: Triple) -> Vector {
+        let h = self.project(t.subject.index(), t.predicate.index());
+        let tt = self.project(t.object.index(), t.predicate.index());
+        let r = &self.relations[t.predicate.index()];
+        h.add(r).sub(&tt)
+    }
+
+    fn apply_pair_gradient(&mut self, triple: Triple, sign: f64, lr: f64) {
+        let diff = self.difference(triple);
+        let step = 2.0 * lr * sign;
+        let (hi, ri, ti) = (
+            triple.subject.index(),
+            triple.predicate.index(),
+            triple.object.index(),
+        );
+        let rp = self.relation_proj[ri].clone();
+        let h = self.entities[hi].clone();
+        let t = self.entities[ti].clone();
+        let hp = self.entity_proj[hi].clone();
+        let tp = self.entity_proj[ti].clone();
+
+        // ∂E/∂r = 2·diff
+        self.relations[ri].add_scaled(&diff, -step);
+        // ∂E/∂h = 2·(diff + (diffᵀ r_p)·h_p), ∂E/∂t symmetric with flipped sign.
+        let diff_dot_rp = diff.dot(&rp);
+        let mut grad_h = diff.clone();
+        grad_h.add_scaled(&hp, diff_dot_rp);
+        self.entities[hi].add_scaled(&grad_h, -step);
+        let mut grad_t = diff.clone();
+        grad_t.add_scaled(&tp, diff_dot_rp);
+        self.entities[ti].add_scaled(&grad_t, step);
+        // ∂E/∂h_p = 2·(diffᵀ r_p)·h, ∂E/∂t_p symmetric.
+        let mut grad_hp = h;
+        grad_hp.scale(diff_dot_rp);
+        self.entity_proj[hi].add_scaled(&grad_hp, -step);
+        let mut grad_tp = t;
+        grad_tp.scale(diff_dot_rp);
+        self.entity_proj[ti].add_scaled(&grad_tp, step);
+        // ∂E/∂r_p = 2·((h_pᵀh)·diff − (t_pᵀt)·diff)
+        let scale = hp.dot(&self.entities[hi]) - tp.dot(&self.entities[ti]);
+        let mut grad_rp = diff;
+        grad_rp.scale(scale);
+        self.relation_proj[ri].add_scaled(&grad_rp, -step);
+    }
+}
+
+impl TripleScorer for TransD {
+    fn model_name(&self) -> &'static str {
+        "TransD"
+    }
+
+    fn energy(&self, triple: Triple) -> f64 {
+        let d = self.difference(triple);
+        d.dot(&d)
+    }
+
+    fn update(&mut self, positive: Triple, negative: Triple, lr: f64, margin: f64) -> f64 {
+        let loss = margin + self.energy(positive) - self.energy(negative);
+        if loss <= 0.0 {
+            return 0.0;
+        }
+        self.apply_pair_gradient(positive, 1.0, lr);
+        self.apply_pair_gradient(negative, -1.0, lr);
+        loss
+    }
+
+    fn post_epoch(&mut self) {
+        for e in &mut self.entities {
+            e.normalize();
+        }
+        for r in &mut self.relations {
+            r.normalize();
+        }
+    }
+
+    fn predicate_vectors(&self) -> Vec<(PredicateId, Vector)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (PredicateId::from(i), v.clone()))
+            .collect()
+    }
+
+    fn parameter_count(&self) -> usize {
+        2 * (self.entities.len() + self.relations.len()) * self.dimension
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::EntityId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn triple(h: u32, r: u32, t: u32) -> Triple {
+        Triple::new(EntityId::new(h), PredicateId::new(r), EntityId::new(t))
+    }
+
+    #[test]
+    fn training_separates_positive_from_negative() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut m = TransD::new(8, 2, 8, &mut rng);
+        let pos = triple(1, 0, 2);
+        let neg = triple(1, 0, 6);
+        for _ in 0..300 {
+            m.update(pos, neg, 0.01, 1.0);
+            m.post_epoch();
+        }
+        assert!(m.energy(pos) < m.energy(neg));
+    }
+
+    #[test]
+    fn parameter_count_and_vectors() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let m = TransD::new(5, 3, 4, &mut rng);
+        assert_eq!(m.parameter_count(), 2 * (5 + 3) * 4);
+        assert_eq!(m.predicate_vectors().len(), 3);
+        assert_eq!(m.model_name(), "TransD");
+        assert!(m.energy(triple(0, 0, 1)) >= 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! TransE: translation-based embedding `h + r ≈ t` (Bordes et al., NIPS 2013).
+
+use crate::model::TripleScorer;
+use crate::vector::Vector;
+use kg_core::{PredicateId, Triple};
+use rand::Rng;
+
+/// The TransE model: every entity and predicate is a `d`-dimensional vector
+/// and the energy of a triple is the squared L2 distance `‖h + r − t‖²`.
+#[derive(Clone, Debug)]
+pub struct TransE {
+    pub(crate) entities: Vec<Vector>,
+    pub(crate) relations: Vec<Vector>,
+    dimension: usize,
+}
+
+impl TransE {
+    /// Random initialisation with entries in `[-6/√d, 6/√d]` (as in the
+    /// original paper), entity vectors normalised to unit norm.
+    pub fn new<R: Rng>(entity_count: usize, relation_count: usize, dimension: usize, rng: &mut R) -> Self {
+        let bound = 6.0 / (dimension as f64).sqrt();
+        let mut entities: Vec<Vector> = (0..entity_count)
+            .map(|_| Vector::random(dimension, bound, rng))
+            .collect();
+        for e in &mut entities {
+            e.normalize();
+        }
+        let relations = (0..relation_count)
+            .map(|_| {
+                let mut v = Vector::random(dimension, bound, rng);
+                v.normalize();
+                v
+            })
+            .collect();
+        Self {
+            entities,
+            relations,
+            dimension,
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    fn difference(&self, t: Triple) -> Vector {
+        let h = &self.entities[t.subject.index()];
+        let r = &self.relations[t.predicate.index()];
+        let tt = &self.entities[t.object.index()];
+        h.add(r).sub(tt)
+    }
+}
+
+impl TripleScorer for TransE {
+    fn model_name(&self) -> &'static str {
+        "TransE"
+    }
+
+    fn energy(&self, triple: Triple) -> f64 {
+        let d = self.difference(triple);
+        d.dot(&d)
+    }
+
+    fn update(&mut self, positive: Triple, negative: Triple, lr: f64, margin: f64) -> f64 {
+        let e_pos = self.energy(positive);
+        let e_neg = self.energy(negative);
+        let loss = margin + e_pos - e_neg;
+        if loss <= 0.0 {
+            return 0.0;
+        }
+        // Gradient of the squared L2 energy: 2·(h + r − t) w.r.t. h and r,
+        // −2·(h + r − t) w.r.t. t. The positive triple is pushed down, the
+        // negative triple pushed up.
+        let d_pos = self.difference(positive);
+        let d_neg = self.difference(negative);
+        let step = 2.0 * lr;
+
+        self.entities[positive.subject.index()].add_scaled(&d_pos, -step);
+        self.entities[positive.object.index()].add_scaled(&d_pos, step);
+        self.relations[positive.predicate.index()].add_scaled(&d_pos, -step);
+
+        self.entities[negative.subject.index()].add_scaled(&d_neg, step);
+        self.entities[negative.object.index()].add_scaled(&d_neg, -step);
+        self.relations[negative.predicate.index()].add_scaled(&d_neg, step);
+        loss
+    }
+
+    fn post_epoch(&mut self) {
+        for e in &mut self.entities {
+            e.normalize();
+        }
+    }
+
+    fn predicate_vectors(&self) -> Vec<(PredicateId, Vector)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (PredicateId::from(i), v.clone()))
+            .collect()
+    }
+
+    fn parameter_count(&self) -> usize {
+        (self.entities.len() + self.relations.len()) * self.dimension
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::EntityId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn triple(h: u32, r: u32, t: u32) -> Triple {
+        Triple::new(EntityId::new(h), PredicateId::new(r), EntityId::new(t))
+    }
+
+    #[test]
+    fn update_reduces_positive_energy_relative_to_negative() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut m = TransE::new(6, 2, 8, &mut rng);
+        let pos = triple(0, 0, 1);
+        let neg = triple(0, 0, 4);
+        let before = m.energy(pos) - m.energy(neg);
+        for _ in 0..200 {
+            m.update(pos, neg, 0.01, 1.0);
+        }
+        let after = m.energy(pos) - m.energy(neg);
+        assert!(after < before, "margin should improve: {before} -> {after}");
+        assert!(m.energy(pos) < m.energy(neg));
+    }
+
+    #[test]
+    fn update_is_noop_when_margin_satisfied() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut m = TransE::new(4, 1, 4, &mut rng);
+        let pos = triple(0, 0, 1);
+        let neg = triple(0, 0, 2);
+        // Drive the pair until the margin is comfortably satisfied.
+        for _ in 0..500 {
+            m.update(pos, neg, 0.05, 1.0);
+        }
+        let snapshot = m.energy(pos);
+        let loss = m.update(pos, neg, 0.05, 0.0);
+        if loss == 0.0 {
+            assert_eq!(m.energy(pos), snapshot);
+        }
+    }
+
+    #[test]
+    fn post_epoch_normalises_entities() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut m = TransE::new(3, 1, 5, &mut rng);
+        m.entities[0].scale(10.0);
+        m.post_epoch();
+        assert!((m.entities[0].norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exposes_predicate_vectors_and_parameters() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = TransE::new(3, 2, 5, &mut rng);
+        assert_eq!(m.predicate_vectors().len(), 2);
+        assert_eq!(m.parameter_count(), (3 + 2) * 5);
+        assert_eq!(m.model_name(), "TransE");
+        assert_eq!(m.dimension(), 5);
+    }
+}

@@ -1,0 +1,177 @@
+//! TransH: translation on relation-specific hyperplanes (Wang et al., AAAI 2014).
+
+use crate::model::TripleScorer;
+use crate::vector::Vector;
+use kg_core::{PredicateId, Triple};
+use rand::Rng;
+
+/// TransH represents each relation by a hyperplane normal `w_r` and a
+/// translation vector `d_r` lying (approximately) in the hyperplane. Entities
+/// are projected onto the hyperplane before translation:
+/// `E = ‖(h − (wᵀh)w) + d − (t − (wᵀt)w)‖²`.
+#[derive(Clone, Debug)]
+pub struct TransH {
+    entities: Vec<Vector>,
+    normals: Vec<Vector>,
+    translations: Vec<Vector>,
+    dimension: usize,
+}
+
+impl TransH {
+    /// Random initialisation; entity vectors and hyperplane normals are
+    /// normalised to unit norm.
+    pub fn new<R: Rng>(entity_count: usize, relation_count: usize, dimension: usize, rng: &mut R) -> Self {
+        let bound = 6.0 / (dimension as f64).sqrt();
+        let mut mk = |normalise: bool| {
+            let mut v = Vector::random(dimension, bound, rng);
+            if normalise {
+                v.normalize();
+            }
+            v
+        };
+        let entities = (0..entity_count).map(|_| mk(true)).collect();
+        let normals = (0..relation_count).map(|_| mk(true)).collect();
+        let translations = (0..relation_count).map(|_| mk(false)).collect();
+        Self {
+            entities,
+            normals,
+            translations,
+            dimension,
+        }
+    }
+
+    fn project(v: &Vector, w: &Vector) -> Vector {
+        let mut out = v.clone();
+        out.add_scaled(w, -v.dot(w));
+        out
+    }
+
+    fn difference(&self, t: Triple) -> Vector {
+        let w = &self.normals[t.predicate.index()];
+        let d = &self.translations[t.predicate.index()];
+        let h_perp = Self::project(&self.entities[t.subject.index()], w);
+        let t_perp = Self::project(&self.entities[t.object.index()], w);
+        h_perp.add(d).sub(&t_perp)
+    }
+
+    fn apply_pair_gradient(&mut self, triple: Triple, sign: f64, lr: f64) {
+        // First-order update treating the hyperplane normal as fixed for the
+        // projection of h and t (standard simplification); the normal itself
+        // receives the gradient of the (wᵀ(t − h)) term.
+        let diff = self.difference(triple);
+        let step = 2.0 * lr * sign;
+        let w = self.normals[triple.predicate.index()].clone();
+        let grad_entity = {
+            // d‖·‖²/dh = 2·P_w(diff) where P_w projects onto the hyperplane.
+            let mut g = diff.clone();
+            g.add_scaled(&w, -diff.dot(&w));
+            g
+        };
+        self.entities[triple.subject.index()].add_scaled(&grad_entity, -step);
+        self.entities[triple.object.index()].add_scaled(&grad_entity, step);
+        self.translations[triple.predicate.index()].add_scaled(&diff, -step);
+
+        // Gradient w.r.t. the normal: 2·diff · d((wᵀt)w − (wᵀh)w)/dw
+        //   ≈ 2·[ (tᵀw)·diff + (diffᵀt)·w − (hᵀw)·diff − (diffᵀh)·w ].
+        let h = &self.entities[triple.subject.index()];
+        let t_vec = &self.entities[triple.object.index()];
+        let mut grad_w = Vector::zeros(self.dimension);
+        grad_w.add_scaled(&diff, t_vec.dot(&w) - h.dot(&w));
+        grad_w.add_scaled(&w, diff.dot(t_vec) - diff.dot(h));
+        self.normals[triple.predicate.index()].add_scaled(&grad_w, -step);
+    }
+}
+
+impl TripleScorer for TransH {
+    fn model_name(&self) -> &'static str {
+        "TransH"
+    }
+
+    fn energy(&self, triple: Triple) -> f64 {
+        let d = self.difference(triple);
+        d.dot(&d)
+    }
+
+    fn update(&mut self, positive: Triple, negative: Triple, lr: f64, margin: f64) -> f64 {
+        let loss = margin + self.energy(positive) - self.energy(negative);
+        if loss <= 0.0 {
+            return 0.0;
+        }
+        self.apply_pair_gradient(positive, 1.0, lr);
+        self.apply_pair_gradient(negative, -1.0, lr);
+        loss
+    }
+
+    fn post_epoch(&mut self) {
+        for e in &mut self.entities {
+            e.normalize();
+        }
+        for w in &mut self.normals {
+            w.normalize();
+        }
+    }
+
+    fn predicate_vectors(&self) -> Vec<(PredicateId, Vector)> {
+        // The translation vector d_r carries the relation semantics; two
+        // relations with similar meaning translate entities similarly.
+        self.translations
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (PredicateId::from(i), v.clone()))
+            .collect()
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.entities.len() * self.dimension + 2 * self.translations.len() * self.dimension
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::EntityId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn triple(h: u32, r: u32, t: u32) -> Triple {
+        Triple::new(EntityId::new(h), PredicateId::new(r), EntityId::new(t))
+    }
+
+    #[test]
+    fn projection_is_orthogonal_to_normal() {
+        let w = {
+            let mut w = Vector(vec![1.0, 1.0, 0.0]);
+            w.normalize();
+            w
+        };
+        let v = Vector(vec![2.0, 0.0, 3.0]);
+        let p = TransH::project(&v, &w);
+        assert!(p.dot(&w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_separates_positive_from_negative() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut m = TransH::new(6, 2, 8, &mut rng);
+        let pos = triple(0, 1, 2);
+        let neg = triple(0, 1, 5);
+        for _ in 0..300 {
+            m.update(pos, neg, 0.01, 1.0);
+            m.post_epoch();
+        }
+        assert!(m.energy(pos) < m.energy(neg));
+    }
+
+    #[test]
+    fn post_epoch_keeps_normals_unit_length() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut m = TransH::new(4, 3, 6, &mut rng);
+        m.post_epoch();
+        for r in 0..3 {
+            assert!((m.normals[r].norm() - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(m.predicate_vectors().len(), 3);
+        assert_eq!(m.parameter_count(), 4 * 6 + 2 * 3 * 6);
+        assert_eq!(m.model_name(), "TransH");
+    }
+}

@@ -1,0 +1,279 @@
+//! Dense vector and matrix primitives used by the embedding models.
+//!
+//! The models in this crate are small (dimension ≤ 128, a few hundred
+//! predicates), so plain `Vec<f64>`-backed types are simpler and fast enough;
+//! no BLAS dependency is needed.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense `f64` vector.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub struct Vector(pub Vec<f64>);
+
+impl Vector {
+    /// A zero vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Vector(vec![0.0; dim])
+    }
+
+    /// A vector with entries drawn uniformly from `[-bound, bound]`.
+    pub fn random<R: Rng>(dim: usize, bound: f64, rng: &mut R) -> Self {
+        Vector((0..dim).map(|_| rng.gen_range(-bound..=bound)).collect())
+    }
+
+    /// Dimension of the vector.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Raw slice view.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Dot product with `other`.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum()
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// L1 norm.
+    pub fn norm_l1(&self) -> f64 {
+        self.0.iter().map(|x| x.abs()).sum()
+    }
+
+    /// Scales the vector in place.
+    pub fn scale(&mut self, s: f64) {
+        for x in &mut self.0 {
+            *x *= s;
+        }
+    }
+
+    /// Adds `s * other` to `self` in place (axpy).
+    pub fn add_scaled(&mut self, other: &Vector, s: f64) {
+        debug_assert_eq!(self.dim(), other.dim());
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a += s * b;
+        }
+    }
+
+    /// Returns `self - other`.
+    pub fn sub(&self, other: &Vector) -> Vector {
+        debug_assert_eq!(self.dim(), other.dim());
+        Vector(self.0.iter().zip(&other.0).map(|(a, b)| a - b).collect())
+    }
+
+    /// Returns `self + other`.
+    pub fn add(&self, other: &Vector) -> Vector {
+        debug_assert_eq!(self.dim(), other.dim());
+        Vector(self.0.iter().zip(&other.0).map(|(a, b)| a + b).collect())
+    }
+
+    /// Normalises to unit L2 norm in place (no-op on the zero vector).
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 1e-12 {
+            self.scale(1.0 / n);
+        }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    pub fn distance_sq(&self, other: &Vector) -> f64 {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(v: Vec<f64>) -> Self {
+        Vector(v)
+    }
+}
+
+/// A dense row-major matrix, used by the RESCAL and SE relation operators.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// A matrix with entries drawn uniformly from `[-bound, bound]`.
+    pub fn random<R: Rng>(rows: usize, cols: usize, bound: f64, rng: &mut R) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: (0..rows * cols)
+                .map(|_| rng.gen_range(-bound..=bound))
+                .collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Adds `v` to element `(r, c)`.
+    #[inline]
+    pub fn add_to(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Matrix–vector product `M · v`.
+    pub fn matvec(&self, v: &Vector) -> Vector {
+        debug_assert_eq!(self.cols, v.dim());
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            out[r] = row.iter().zip(v.as_slice()).map(|(a, b)| a * b).sum();
+        }
+        Vector(out)
+    }
+
+    /// Transposed matrix–vector product `Mᵀ · v`.
+    pub fn matvec_t(&self, v: &Vector) -> Vector {
+        debug_assert_eq!(self.rows, v.dim());
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, m) in row.iter().enumerate() {
+                out[c] += m * v.as_slice()[r];
+            }
+        }
+        Vector(out)
+    }
+
+    /// Flattens the matrix row-major into a vector (used as the "predicate
+    /// vector" for cosine similarity of matrix-based models).
+    pub fn flatten(&self) -> Vector {
+        Vector(self.data.clone())
+    }
+
+    /// Number of parameters (used as the memory proxy of Table XIII).
+    pub fn parameter_count(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Vector(vec![1.0, 2.0, 2.0]);
+        let b = Vector(vec![0.0, 1.0, 1.0]);
+        assert_eq!(a.dot(&b), 4.0);
+        assert_eq!(a.norm(), 3.0);
+        assert_eq!(a.norm_l1(), 5.0);
+        assert_eq!(a.sub(&b).as_slice(), &[1.0, 1.0, 1.0]);
+        assert_eq!(a.add(&b).as_slice(), &[1.0, 3.0, 3.0]);
+        assert_eq!(a.distance_sq(&b), 1.0 + 1.0 + 1.0);
+        let mut c = a.clone();
+        c.scale(2.0);
+        assert_eq!(c.as_slice(), &[2.0, 4.0, 4.0]);
+        c.add_scaled(&b, -1.0);
+        assert_eq!(c.as_slice(), &[2.0, 3.0, 3.0]);
+        c.normalize();
+        assert!((c.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_normalize_is_noop() {
+        let mut z = Vector::zeros(4);
+        z.normalize();
+        assert_eq!(z.as_slice(), &[0.0; 4]);
+        assert_eq!(z.dim(), 4);
+    }
+
+    #[test]
+    fn random_vector_is_bounded() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let v = Vector::random(100, 0.5, &mut rng);
+        assert!(v.as_slice().iter().all(|x| x.abs() <= 0.5));
+    }
+
+    #[test]
+    fn matrix_products() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(0, 0, 1.0);
+        m.set(0, 2, 2.0);
+        m.set(1, 1, 3.0);
+        let v = Vector(vec![1.0, 1.0, 1.0]);
+        assert_eq!(m.matvec(&v).as_slice(), &[3.0, 3.0]);
+        let u = Vector(vec![1.0, 2.0]);
+        assert_eq!(m.matvec_t(&u).as_slice(), &[1.0, 6.0, 2.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.parameter_count(), 6);
+        assert_eq!(m.flatten().dim(), 6);
+    }
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let m = Matrix::identity(3);
+        let v = Vector(vec![4.0, -1.0, 2.5]);
+        assert_eq!(m.matvec(&v), v);
+        let mut m2 = m.clone();
+        m2.add_to(0, 1, 0.5);
+        assert_eq!(m2.get(0, 1), 0.5);
+    }
+
+    #[test]
+    fn random_matrix_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = Matrix::random(4, 5, 0.1, &mut rng);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 5);
+        assert_eq!(m.parameter_count(), 20);
+    }
+}

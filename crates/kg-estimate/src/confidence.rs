@@ -1,0 +1,274 @@
+//! Confidence intervals: CLT margin of error with bootstrap / Bag of Little
+//! Bootstraps variance estimation (Eq. 10–11).
+
+use crate::estimators::{estimate, ValidatedAnswer};
+use kg_query::ResolvedAggregate;
+use rand::Rng;
+
+/// Parameters of the BLB procedure (following Kleiner et al. and the paper's
+/// recommendations: t ≥ 3, m = 0.6, B ≥ 50).
+#[derive(Clone, Copy, Debug)]
+pub struct BootstrapConfig {
+    /// Number of bootstrap resamples per (sub)sample (B).
+    pub resamples: usize,
+    /// Number of BLB subsamples (t).
+    pub blb_subsamples: usize,
+    /// BLB scale exponent (m): each subsample has size |S_A|^m.
+    pub blb_exponent: f64,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        Self {
+            resamples: 50,
+            blb_subsamples: 3,
+            blb_exponent: 0.6,
+        }
+    }
+}
+
+/// The normal critical value z_{α/2} for a two-sided confidence level
+/// `confidence` (e.g. 1.96 for 95%).
+///
+/// Uses the Acklam rational approximation of the inverse normal CDF, accurate
+/// to ~1e-9 — more than enough for CI computation.
+pub fn normal_critical_value(confidence: f64) -> f64 {
+    let confidence = confidence.clamp(0.0, 0.999_999);
+    let p = 1.0 - (1.0 - confidence) / 2.0; // upper-tail quantile
+    inverse_normal_cdf(p)
+}
+
+fn inverse_normal_cdf(p: f64) -> f64 {
+    // Peter Acklam's algorithm.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p >= 1.0 {
+        return f64::INFINITY;
+    }
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+fn bootstrap_std<R: Rng>(
+    aggregate: &ResolvedAggregate,
+    sample: &[ValidatedAnswer],
+    resamples: usize,
+    resample_size: usize,
+    rng: &mut R,
+) -> f64 {
+    if sample.is_empty() || resamples < 2 {
+        return 0.0;
+    }
+    let mut estimates = Vec::with_capacity(resamples);
+    let mut scratch = Vec::with_capacity(resample_size);
+    for _ in 0..resamples {
+        scratch.clear();
+        for _ in 0..resample_size {
+            scratch.push(sample[rng.gen_range(0..sample.len())]);
+        }
+        estimates.push(estimate(aggregate, &scratch));
+    }
+    let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+    let var = estimates
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / (estimates.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Margin of error by a plain bootstrap over the full sample (Eq. 10–11).
+pub fn bootstrap_moe<R: Rng>(
+    aggregate: &ResolvedAggregate,
+    sample: &[ValidatedAnswer],
+    confidence: f64,
+    resamples: usize,
+    rng: &mut R,
+) -> f64 {
+    normal_critical_value(confidence)
+        * bootstrap_std(aggregate, sample, resamples, sample.len().max(1), rng)
+}
+
+/// Margin of error by the Bag of Little Bootstraps: the sample is split into
+/// `t` subsamples of size `|S_A|^m`, each bootstrapped with resamples of the
+/// *full* sample size, and the per-subsample MoEs are averaged.
+pub fn blb_moe<R: Rng>(
+    aggregate: &ResolvedAggregate,
+    sample: &[ValidatedAnswer],
+    confidence: f64,
+    config: &BootstrapConfig,
+    rng: &mut R,
+) -> f64 {
+    if sample.is_empty() {
+        return 0.0;
+    }
+    let n = sample.len();
+    let sub_size = ((n as f64).powf(config.blb_exponent).ceil() as usize).clamp(1, n);
+    let t = config.blb_subsamples.max(1);
+    let z = normal_critical_value(confidence);
+    let mut total = 0.0;
+    for _ in 0..t {
+        // Draw a subsample without replacement (approximated by index
+        // shuffling over a with-replacement draw for simplicity at small n).
+        let mut subsample = Vec::with_capacity(sub_size);
+        for _ in 0..sub_size {
+            subsample.push(sample[rng.gen_range(0..n)]);
+        }
+        let std = bootstrap_std(aggregate, &subsample, config.resamples, n, rng);
+        total += z * std;
+    }
+    total / t as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_query::AggregateFunction;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn resolved_count() -> ResolvedAggregate {
+        ResolvedAggregate {
+            function: AggregateFunction::Count,
+            attribute: None,
+        }
+    }
+
+    fn uniform_sample(population: usize, draws: usize, seed: u64) -> Vec<ValidatedAnswer> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..draws)
+            .map(|_| {
+                let _item: usize = rng.gen_range(0..population);
+                ValidatedAnswer {
+                    probability: 1.0 / population as f64,
+                    value: Some(1.0),
+                    correct: true,
+                    similarity: 1.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn critical_values_match_standard_table() {
+        assert!((normal_critical_value(0.95) - 1.959964).abs() < 1e-4);
+        assert!((normal_critical_value(0.90) - 1.644854).abs() < 1e-4);
+        assert!((normal_critical_value(0.99) - 2.575829).abs() < 1e-4);
+        assert!(normal_critical_value(0.98) > normal_critical_value(0.86));
+    }
+
+    #[test]
+    fn inverse_cdf_edge_cases() {
+        assert_eq!(inverse_normal_cdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(inverse_normal_cdf(1.0), f64::INFINITY);
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        assert!(inverse_normal_cdf(0.01) < 0.0);
+    }
+
+    #[test]
+    fn moe_shrinks_with_sample_size() {
+        let agg = resolved_count();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let small = uniform_sample(100, 30, 1);
+        let large = uniform_sample(100, 300, 2);
+        // COUNT with exactly uniform probabilities has zero bootstrap variance
+        // (every term is identical), so perturb values via SUM instead.
+        let agg_sum = ResolvedAggregate {
+            function: AggregateFunction::Sum("x".into()),
+            attribute: None,
+        };
+        let small_vals: Vec<ValidatedAnswer> = small
+            .iter()
+            .enumerate()
+            .map(|(i, a)| ValidatedAnswer {
+                value: Some((i % 7) as f64),
+                ..*a
+            })
+            .collect();
+        let large_vals: Vec<ValidatedAnswer> = large
+            .iter()
+            .enumerate()
+            .map(|(i, a)| ValidatedAnswer {
+                value: Some((i % 7) as f64),
+                ..*a
+            })
+            .collect();
+        let moe_small = bootstrap_moe(&agg_sum, &small_vals, 0.95, 60, &mut rng);
+        let moe_large = bootstrap_moe(&agg_sum, &large_vals, 0.95, 60, &mut rng);
+        assert!(moe_large < moe_small, "{moe_large} vs {moe_small}");
+        let _ = blb_moe(&agg, &small, 0.95, &BootstrapConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn higher_confidence_gives_wider_interval() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let agg = ResolvedAggregate {
+            function: AggregateFunction::Sum("x".into()),
+            attribute: None,
+        };
+        let sample: Vec<ValidatedAnswer> = (0..200)
+            .map(|i| ValidatedAnswer {
+                probability: 0.01,
+                value: Some((i % 13) as f64),
+                correct: true,
+                similarity: 1.0,
+            })
+            .collect();
+        let lo = blb_moe(&agg, &sample, 0.86, &BootstrapConfig::default(), &mut rng);
+        let hi = blb_moe(&agg, &sample, 0.98, &BootstrapConfig::default(), &mut rng);
+        assert!(hi > lo, "{hi} vs {lo}");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_zero() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(bootstrap_moe(&resolved_count(), &[], 0.95, 50, &mut rng), 0.0);
+        assert_eq!(
+            blb_moe(&resolved_count(), &[], 0.95, &BootstrapConfig::default(), &mut rng),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Horvitz–Thompson style estimators over the validated sample (Eq. 7–9).
+
+use kg_query::{AggregateFunction, ResolvedAggregate};
+
+/// One sampled answer after correctness validation, carrying everything the
+/// estimators need.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ValidatedAnswer {
+    /// Visiting probability π'_i of the answer in π_A.
+    pub probability: f64,
+    /// Attribute value `u.a` (1.0 for COUNT); `None` when the entity lacks
+    /// the attribute.
+    pub value: Option<f64>,
+    /// Whether the answer passed correctness validation (s_i ≥ τ and any
+    /// filters).
+    pub correct: bool,
+    /// The semantic similarity found for the answer (for diagnostics).
+    pub similarity: f64,
+}
+
+impl ValidatedAnswer {
+    /// True when the answer contributes to the estimators (member of S⁺_A
+    /// with a usable value and non-zero probability).
+    pub fn contributes(&self) -> bool {
+        self.correct && self.value.is_some() && self.probability > 0.0
+    }
+}
+
+/// Computes the estimator Ê = f̂_a(S_A) of Eq. 7–9 over a validated sample.
+///
+/// * COUNT: `(1/|S⁺|) Σ 1/π'_i` (unbiased, Lemma 4)
+/// * SUM:   `(1/|S⁺|) Σ u_i.a/π'_i` (unbiased, Lemma 3)
+/// * AVG:   `Σ u_i.a/π'_i / Σ 1/π'_i` (consistent, Lemma 5)
+/// * MAX / MIN: extreme value seen in the sample (no guarantee, §VII).
+///
+/// Returns 0.0 when no sampled answer contributes.
+pub fn estimate(aggregate: &ResolvedAggregate, sample: &[ValidatedAnswer]) -> f64 {
+    let usable: Vec<&ValidatedAnswer> = sample.iter().filter(|a| a.contributes()).collect();
+    if usable.is_empty() {
+        return 0.0;
+    }
+    let n = usable.len() as f64;
+    match aggregate.function {
+        AggregateFunction::Count => usable.iter().map(|a| 1.0 / a.probability).sum::<f64>() / n,
+        AggregateFunction::Sum(_) => {
+            usable
+                .iter()
+                .map(|a| a.value.unwrap_or(0.0) / a.probability)
+                .sum::<f64>()
+                / n
+        }
+        AggregateFunction::Avg(_) => {
+            let num: f64 = usable
+                .iter()
+                .map(|a| a.value.unwrap_or(0.0) / a.probability)
+                .sum();
+            let den: f64 = usable.iter().map(|a| 1.0 / a.probability).sum();
+            if den == 0.0 {
+                0.0
+            } else {
+                num / den
+            }
+        }
+        AggregateFunction::Max(_) => usable
+            .iter()
+            .filter_map(|a| a.value)
+            .fold(f64::NEG_INFINITY, f64::max),
+        AggregateFunction::Min(_) => usable
+            .iter()
+            .filter_map(|a| a.value)
+            .fold(f64::INFINITY, f64::min),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_query::AggregateFunction;
+
+    fn resolved(f: AggregateFunction) -> ResolvedAggregate {
+        ResolvedAggregate {
+            function: f,
+            attribute: None,
+        }
+    }
+
+    fn answer(p: f64, v: f64, correct: bool) -> ValidatedAnswer {
+        ValidatedAnswer {
+            probability: p,
+            value: Some(v),
+            correct,
+            similarity: 1.0,
+        }
+    }
+
+    #[test]
+    fn count_estimator_matches_population_for_full_uniform_sample() {
+        // Population of 4 correct answers sampled uniformly (π = 1/4): the HT
+        // COUNT estimator returns exactly 4 for any sample drawn from it.
+        let sample: Vec<ValidatedAnswer> = (0..10).map(|_| answer(0.25, 1.0, true)).collect();
+        let v = estimate(&resolved(AggregateFunction::Count), &sample);
+        assert!((v - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_and_avg_on_nonuniform_probabilities() {
+        // Two answers: a (π=0.75, value 10), b (π=0.25, value 30).
+        // A sample containing each exactly once estimates:
+        //   SUM = (10/0.75 + 30/0.25)/2 = (13.33 + 120)/2 ≈ 66.67 — an
+        //   unbiased single draw, not the population value.
+        let sample = vec![answer(0.75, 10.0, true), answer(0.25, 30.0, true)];
+        let sum = estimate(&resolved(AggregateFunction::Sum("x".into())), &sample);
+        assert!((sum - (10.0 / 0.75 + 30.0 / 0.25) / 2.0).abs() < 1e-9);
+        let avg = estimate(&resolved(AggregateFunction::Avg("x".into())), &sample);
+        let expected = (10.0 / 0.75 + 30.0 / 0.25) / (1.0 / 0.75 + 1.0 / 0.25);
+        assert!((avg - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_value_of_count_is_unbiased_over_the_distribution() {
+        // Analytic expectation check of Lemma 4: E[1/π_i] over π equals |A⁺|.
+        // Distribution over 3 answers with probabilities 0.5/0.3/0.2.
+        let probs = [0.5, 0.3, 0.2];
+        let expectation: f64 = probs.iter().map(|p| p * (1.0 / p)).sum();
+        assert!((expectation - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incorrect_and_missing_value_answers_are_excluded() {
+        let sample = vec![
+            answer(0.5, 10.0, true),
+            answer(0.5, 999.0, false),
+            ValidatedAnswer {
+                probability: 0.5,
+                value: None,
+                correct: true,
+                similarity: 0.9,
+            },
+        ];
+        let sum = estimate(&resolved(AggregateFunction::Sum("x".into())), &sample);
+        assert!((sum - 20.0).abs() < 1e-9);
+        assert!(!sample[1].contributes());
+        assert!(!sample[2].contributes());
+    }
+
+    #[test]
+    fn extremes_and_empty_samples() {
+        let sample = vec![answer(0.2, 5.0, true), answer(0.3, 11.0, true)];
+        assert_eq!(estimate(&resolved(AggregateFunction::Max("x".into())), &sample), 11.0);
+        assert_eq!(estimate(&resolved(AggregateFunction::Min("x".into())), &sample), 5.0);
+        assert_eq!(estimate(&resolved(AggregateFunction::Count), &[]), 0.0);
+        let all_wrong = vec![answer(0.5, 1.0, false)];
+        assert_eq!(estimate(&resolved(AggregateFunction::Count), &all_wrong), 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Termination test (Theorem 2) and error-based sample-size configuration
+//! (Eq. 12).
+
+/// The MoE threshold of Theorem 2: the query may terminate once
+/// `ε ≤ V̂·eb / (1 + eb)`.
+pub fn moe_threshold(estimate: f64, error_bound: f64) -> f64 {
+    (estimate.abs() * error_bound) / (1.0 + error_bound)
+}
+
+/// True when the current margin of error satisfies the error bound with the
+/// guarantee of Theorem 2.
+pub fn satisfies_error_bound(estimate: f64, moe: f64, error_bound: f64) -> bool {
+    moe <= moe_threshold(estimate, error_bound)
+}
+
+/// Error-based configuration of the additional sample size Δ|S_A| (Eq. 12):
+///
+/// ```text
+/// Δ|S_A| = |S_A| · [ (ε / (V̂·eb/(1+eb)))^(2m) − 1 ]
+/// ```
+///
+/// Returns at least 1 while the bound is unsatisfied, so refinement always
+/// makes progress, and caps the increment at `max_increment`.
+pub fn additional_sample_size(
+    current_sample_size: usize,
+    moe: f64,
+    estimate: f64,
+    error_bound: f64,
+    blb_exponent: f64,
+    max_increment: usize,
+) -> usize {
+    if satisfies_error_bound(estimate, moe, error_bound) {
+        return 0;
+    }
+    let threshold = moe_threshold(estimate, error_bound);
+    if threshold <= 0.0 {
+        return max_increment.min(current_sample_size.max(1));
+    }
+    let ratio = (moe / threshold).max(1.0);
+    let grow = ratio.powf(2.0 * blb_exponent) - 1.0;
+    let delta = (current_sample_size as f64 * grow).ceil() as usize;
+    delta.clamp(1, max_increment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem2_threshold() {
+        // Example 5 of the paper: V̂ = 578, eb = 1% → threshold ≈ 5.72.
+        let thr = moe_threshold(578.0, 0.01);
+        assert!((thr - 578.0 * 0.01 / 1.01).abs() < 1e-9);
+        assert!(!satisfies_error_bound(578.0, 6.5, 0.01));
+        assert!(satisfies_error_bound(578.0, 5.0, 0.01));
+    }
+
+    #[test]
+    fn example_5_sample_growth() {
+        // |S_A| = 100, ε = 6.5, V̂ = 578, eb = 1%, m = 0.6 → Δ ≈ 16.
+        let delta = additional_sample_size(100, 6.5, 578.0, 0.01, 0.6, 10_000);
+        assert!((15..=18).contains(&delta), "delta = {delta}");
+    }
+
+    #[test]
+    fn no_growth_once_satisfied() {
+        assert_eq!(additional_sample_size(100, 1.0, 578.0, 0.01, 0.6, 1_000), 0);
+    }
+
+    #[test]
+    fn growth_is_monotone_in_the_error_gap() {
+        let small_gap = additional_sample_size(200, 3.0, 200.0, 0.01, 0.6, 100_000);
+        let large_gap = additional_sample_size(200, 30.0, 200.0, 0.01, 0.6, 100_000);
+        assert!(large_gap > small_gap);
+        assert!(small_gap >= 1);
+    }
+
+    #[test]
+    fn degenerate_estimate_still_progresses() {
+        let delta = additional_sample_size(50, 10.0, 0.0, 0.01, 0.6, 500);
+        assert!(delta >= 1 && delta <= 500);
+        let capped = additional_sample_size(1_000_000, 50.0, 1.0, 0.01, 0.6, 200);
+        assert_eq!(capped, 200);
+    }
+}

@@ -1,0 +1,230 @@
+//! Correctness validation of sampled answers (§IV-B2).
+//!
+//! A sampled answer may still have a low semantic similarity; estimating over
+//! it unvalidated would bias the result (Fig. 5(b)). Exhaustively enumerating
+//! all subgraph matches is expensive, so validation uses a greedy search
+//! guided by the stationary visiting probabilities π: starting from the
+//! mapping node, it repeatedly expands the candidate node with the highest π
+//! and records paths to the answer; after `repeat_factor` paths (or a step
+//! budget) it keeps the best similarity found. False positives are impossible
+//! (an incorrect answer has *no* match with similarity ≥ τ); false negatives
+//! shrink as `repeat_factor` grows (Fig. 6(c)).
+
+use kg_core::{EntityId, KnowledgeGraph, Path};
+use kg_embed::PredicateSimilarity;
+use kg_query::{path_similarity, PathAggregation, ResolvedSimpleQuery};
+use kg_sampling::PreparedSampler;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Parameters of the greedy correctness validation.
+#[derive(Clone, Copy, Debug)]
+pub struct ValidationConfig {
+    /// Semantic-similarity threshold τ.
+    pub tau: f64,
+    /// Number of distinct paths to the answer to examine (paper: r = 3).
+    pub repeat_factor: usize,
+    /// Maximum path length considered (the hop bound n).
+    pub max_path_len: usize,
+    /// Budget on expanded search states (guards dense neighbourhoods).
+    pub max_expansions: usize,
+    /// Path-similarity aggregation (geometric mean by default).
+    pub aggregation: PathAggregation,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        Self {
+            tau: 0.85,
+            repeat_factor: 3,
+            max_path_len: 3,
+            max_expansions: 5_000,
+            aggregation: PathAggregation::GeometricMean,
+        }
+    }
+}
+
+/// Outcome of validating one sampled answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValidationOutcome {
+    /// Whether the answer is accepted into S⁺_A.
+    pub correct: bool,
+    /// The best semantic similarity found by the greedy search.
+    pub best_similarity: f64,
+    /// How many paths to the answer were examined.
+    pub paths_examined: usize,
+}
+
+struct QueueEntry {
+    priority: f64,
+    path: Path,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority.total_cmp(&other.priority)
+    }
+}
+
+/// Validates one sampled answer with the greedy π-guided search.
+pub fn validate_answer<S: PredicateSimilarity + ?Sized>(
+    graph: &KnowledgeGraph,
+    query: &ResolvedSimpleQuery,
+    answer: EntityId,
+    sampler: &PreparedSampler,
+    similarity: &S,
+    config: &ValidationConfig,
+) -> ValidationOutcome {
+    let mut heap: BinaryHeap<QueueEntry> = BinaryHeap::new();
+    heap.push(QueueEntry {
+        priority: 1.0,
+        path: Path::trivial(query.specific),
+    });
+    let mut best = 0.0_f64;
+    let mut paths_found = 0usize;
+    let mut expansions = 0usize;
+
+    while let Some(entry) = heap.pop() {
+        if paths_found >= config.repeat_factor || expansions >= config.max_expansions {
+            break;
+        }
+        expansions += 1;
+        let tail = entry.path.target();
+        for edge in graph.neighbors(tail) {
+            if entry.path.visits(edge.neighbor) {
+                continue;
+            }
+            let next = entry.path.extended(edge.predicate, edge.neighbor);
+            if edge.neighbor == answer {
+                let s = path_similarity(&next, query.predicate, similarity, config.aggregation);
+                best = best.max(s);
+                paths_found += 1;
+                if paths_found >= config.repeat_factor {
+                    break;
+                }
+                continue;
+            }
+            if next.len() < config.max_path_len {
+                heap.push(QueueEntry {
+                    priority: sampler.stationary_probability(edge.neighbor),
+                    path: next,
+                });
+            }
+        }
+    }
+
+    ValidationOutcome {
+        correct: best >= config.tau,
+        best_similarity: best,
+        paths_examined: paths_found,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::GraphBuilder;
+    use kg_embed::oracle::oracle_store;
+    use kg_query::SimpleQuery;
+    use kg_sampling::{prepare, SamplerConfig, SamplingStrategy};
+
+    fn setup() -> (
+        KnowledgeGraph,
+        ResolvedSimpleQuery,
+        kg_embed::PredicateVectorStore,
+    ) {
+        let mut b = GraphBuilder::new();
+        let de = b.add_entity("Germany", &["Country"]);
+        let vw = b.add_entity("vw", &["Company"]);
+        b.add_edge(vw, "country", de);
+        let direct = b.add_entity("direct", &["Automobile"]);
+        b.add_edge(de, "product", direct);
+        let via = b.add_entity("via", &["Automobile"]);
+        b.add_edge(via, "assembly", vw);
+        let weak = b.add_entity("weak", &["Automobile"]);
+        b.add_edge(weak, "exhibitedAt", de);
+        let g = b.build();
+        let q = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"])
+            .resolve(&g)
+            .unwrap();
+        let store = oracle_store(&[
+            (g.predicate_id("product").unwrap(), 0, 1.0),
+            (g.predicate_id("assembly").unwrap(), 0, 0.97),
+            (g.predicate_id("country").unwrap(), 0, 0.92),
+            (g.predicate_id("exhibitedAt").unwrap(), 0, 0.3),
+        ]);
+        (g, q, store)
+    }
+
+    #[test]
+    fn accepts_correct_answers_and_rejects_incorrect_ones() {
+        let (g, q, store) = setup();
+        let sampler = prepare(&g, &q, &store, SamplingStrategy::SemanticAware, &SamplerConfig::default());
+        let cfg = ValidationConfig::default();
+        let direct = validate_answer(&g, &q, g.entity_by_name("direct").unwrap(), &sampler, &store, &cfg);
+        assert!(direct.correct);
+        assert!((direct.best_similarity - 1.0).abs() < 1e-9);
+        let via = validate_answer(&g, &q, g.entity_by_name("via").unwrap(), &sampler, &store, &cfg);
+        assert!(via.correct, "similarity {}", via.best_similarity);
+        let weak = validate_answer(&g, &q, g.entity_by_name("weak").unwrap(), &sampler, &store, &cfg);
+        assert!(!weak.correct, "no false positives: {}", weak.best_similarity);
+        assert!(weak.best_similarity < cfg.tau);
+        assert!(direct.paths_examined >= 1);
+    }
+
+    #[test]
+    fn unreachable_answer_is_rejected() {
+        let (g, q, store) = setup();
+        let sampler = prepare(&g, &q, &store, SamplingStrategy::SemanticAware, &SamplerConfig::default());
+        // An entity id outside the graph scope of the walk: use the weak one
+        // but with a tiny expansion budget so nothing is found.
+        let cfg = ValidationConfig {
+            max_expansions: 0,
+            ..ValidationConfig::default()
+        };
+        let out = validate_answer(&g, &q, g.entity_by_name("via").unwrap(), &sampler, &store, &cfg);
+        assert!(!out.correct);
+        assert_eq!(out.paths_examined, 0);
+    }
+
+    #[test]
+    fn higher_repeat_factor_never_reduces_similarity() {
+        let (g, q, store) = setup();
+        let sampler = prepare(&g, &q, &store, SamplingStrategy::SemanticAware, &SamplerConfig::default());
+        let via = g.entity_by_name("via").unwrap();
+        let low = validate_answer(
+            &g,
+            &q,
+            via,
+            &sampler,
+            &store,
+            &ValidationConfig {
+                repeat_factor: 1,
+                ..ValidationConfig::default()
+            },
+        );
+        let high = validate_answer(
+            &g,
+            &q,
+            via,
+            &sampler,
+            &store,
+            &ValidationConfig {
+                repeat_factor: 5,
+                ..ValidationConfig::default()
+            },
+        );
+        assert!(high.best_similarity >= low.best_similarity);
+    }
+}

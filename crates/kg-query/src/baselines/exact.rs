@@ -1,0 +1,86 @@
+//! Exact SPARQL-style matching (JENA / Virtuoso / gStore behaviour).
+
+use super::FactoidEngine;
+use crate::query_graph::ResolvedSimpleQuery;
+use kg_core::{EntityId, KnowledgeGraph};
+use kg_embed::PredicateSimilarity;
+
+/// Exact schema matching: an answer must be connected to the mapping node by
+/// an edge carrying *exactly* the query predicate (in either direction) and
+/// carry the target type.
+///
+/// This reproduces the behaviour the paper attributes to SPARQL stores: "they
+/// only found those correct answers matching exactly with the graph schema of
+/// the input SPARQL query, and other correct answers having different schemas
+/// were ignored."
+#[derive(Debug, Default, Clone)]
+pub struct ExactSparqlEngine;
+
+impl FactoidEngine for ExactSparqlEngine {
+    fn name(&self) -> &'static str {
+        "ExactSparql"
+    }
+
+    fn simple_answers(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &ResolvedSimpleQuery,
+        _similarity: &dyn PredicateSimilarity,
+    ) -> Vec<EntityId> {
+        let mut answers: Vec<EntityId> = graph
+            .neighbors(query.specific)
+            .iter()
+            .filter(|e| e.predicate == query.predicate)
+            .map(|e| e.neighbor)
+            .filter(|&n| query.is_candidate(graph, n))
+            .collect();
+        answers.sort_unstable();
+        answers.dedup();
+        answers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_graph::SimpleQuery;
+    use kg_core::GraphBuilder;
+    use kg_embed::oracle::oracle_store;
+
+    #[test]
+    fn only_literal_predicate_edges_match() {
+        let mut b = GraphBuilder::new();
+        let de = b.add_entity("Germany", &["Country"]);
+        let a = b.add_entity("a", &["Automobile"]);
+        let c = b.add_entity("c", &["Automobile"]);
+        let d = b.add_entity("d", &["Company"]);
+        b.add_edge(de, "product", a);
+        b.add_edge(c, "assembly", de); // same meaning, different predicate: missed
+        b.add_edge(de, "product", d); // right predicate, wrong type: excluded
+        let g = b.build();
+        let q = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"])
+            .resolve(&g)
+            .unwrap();
+        let store = oracle_store(&[(g.predicate_id("product").unwrap(), 0, 1.0)]);
+        let engine = ExactSparqlEngine;
+        let answers = engine.simple_answers(&g, &q, &store);
+        assert_eq!(answers, vec![g.entity_by_name("a").unwrap()]);
+        assert_eq!(engine.name(), "ExactSparql");
+        assert!(engine.supports_complex());
+    }
+
+    #[test]
+    fn incoming_edges_with_matching_predicate_count() {
+        let mut b = GraphBuilder::new();
+        let de = b.add_entity("Germany", &["Country"]);
+        let a = b.add_entity("a", &["Automobile"]);
+        b.add_edge(a, "product", de);
+        let g = b.build();
+        let q = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"])
+            .resolve(&g)
+            .unwrap();
+        let store = oracle_store(&[(g.predicate_id("product").unwrap(), 0, 1.0)]);
+        let answers = ExactSparqlEngine.simple_answers(&g, &q, &store);
+        assert_eq!(answers.len(), 1);
+    }
+}

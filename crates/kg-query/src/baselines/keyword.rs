@@ -1,0 +1,114 @@
+//! QGA-style keyword matching over predicate names.
+
+use super::FactoidEngine;
+use crate::query_graph::ResolvedSimpleQuery;
+use kg_core::{enumerate_paths_to, EntityId, KnowledgeGraph};
+use kg_embed::PredicateSimilarity;
+use std::collections::BTreeSet;
+
+/// QGA assembles a query graph from keywords and matches it textually.
+/// The behavioural core we keep: an entity is an answer when it is reachable
+/// by a short path at least one of whose predicate *names* shares a token
+/// with the query predicate's name. Implicit semantics (e.g. `assembly` ≈
+/// `product`) are invisible to token matching, which is the dominant error
+/// source of keyword methods in Tables VI/VII.
+#[derive(Debug, Clone)]
+pub struct KeywordEngine {
+    /// Maximum path length explored.
+    pub max_path_len: usize,
+    /// Budget on explored partial paths (guards dense neighbourhoods).
+    pub path_budget: usize,
+}
+
+impl Default for KeywordEngine {
+    fn default() -> Self {
+        Self {
+            max_path_len: 2,
+            path_budget: 200_000,
+        }
+    }
+}
+
+fn tokens(name: &str) -> Vec<String> {
+    name.split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_ascii_lowercase())
+        .collect()
+}
+
+fn share_token(a: &str, b: &str) -> bool {
+    let ta = tokens(a);
+    let tb = tokens(b);
+    ta.iter().any(|x| tb.contains(x))
+}
+
+impl FactoidEngine for KeywordEngine {
+    fn name(&self) -> &'static str {
+        "Keyword"
+    }
+
+    fn simple_answers(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &ResolvedSimpleQuery,
+        _similarity: &dyn PredicateSimilarity,
+    ) -> Vec<EntityId> {
+        let query_pred_name = graph.predicate_name(query.predicate).to_string();
+        let paths = enumerate_paths_to(
+            graph,
+            query.specific,
+            self.max_path_len,
+            self.path_budget,
+            |n| query.is_candidate(graph, n),
+        );
+        let mut answers = BTreeSet::new();
+        for path in paths {
+            let hit = path
+                .predicates()
+                .any(|p| share_token(graph.predicate_name(p), &query_pred_name));
+            if hit {
+                answers.insert(path.target());
+            }
+        }
+        answers.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_graph::SimpleQuery;
+    use kg_core::GraphBuilder;
+    use kg_embed::oracle::oracle_store;
+
+    #[test]
+    fn token_overlap_drives_matching() {
+        let mut b = GraphBuilder::new();
+        let de = b.add_entity("Germany", &["Country"]);
+        let a = b.add_entity("a", &["Automobile"]);
+        let c = b.add_entity("c", &["Automobile"]);
+        let d = b.add_entity("d", &["Automobile"]);
+        b.add_edge(de, "product", a);
+        b.add_edge(de, "product_line", c); // shares the "product" token
+        b.add_edge(d, "assembly", de); // semantically similar, no shared token: missed
+        let g = b.build();
+        let q = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"])
+            .resolve(&g)
+            .unwrap();
+        let store = oracle_store(&[(g.predicate_id("product").unwrap(), 0, 1.0)]);
+        let engine = KeywordEngine::default();
+        let answers = engine.simple_answers(&g, &q, &store);
+        assert!(answers.contains(&g.entity_by_name("a").unwrap()));
+        assert!(answers.contains(&g.entity_by_name("c").unwrap()));
+        assert!(!answers.contains(&g.entity_by_name("d").unwrap()));
+        assert_eq!(engine.name(), "Keyword");
+    }
+
+    #[test]
+    fn tokenizer_handles_cases_and_separators() {
+        assert!(share_token("designCompany", "designcompany"));
+        assert!(share_token("fuel_economy", "economy"));
+        assert!(!share_token("assembly", "product"));
+        assert_eq!(tokens("a_b-c"), vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,90 @@
+//! GraB-style structural-similarity matching.
+
+use super::FactoidEngine;
+use crate::query_graph::ResolvedSimpleQuery;
+use kg_core::{bounded_subgraph, EntityId, KnowledgeGraph};
+use kg_embed::PredicateSimilarity;
+
+/// GraB ranks matches by *structural* similarity — effectively path length —
+/// without consulting predicate semantics. We keep its behavioural core:
+/// every target-typed entity within `distance_threshold` hops of the mapping
+/// node is an answer, regardless of what the connecting predicates mean.
+///
+/// The result over-approximates on dense neighbourhoods (semantically
+/// unrelated entities that happen to be close) and under-approximates
+/// semantically similar answers that are further away — both error sources
+/// the paper attributes to structure-only methods.
+#[derive(Debug, Clone)]
+pub struct StructuralEngine {
+    /// Maximum hop distance for an entity to count as an answer.
+    pub distance_threshold: u32,
+}
+
+impl Default for StructuralEngine {
+    fn default() -> Self {
+        Self {
+            distance_threshold: 2,
+        }
+    }
+}
+
+impl FactoidEngine for StructuralEngine {
+    fn name(&self) -> &'static str {
+        "Structural"
+    }
+
+    fn simple_answers(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &ResolvedSimpleQuery,
+        _similarity: &dyn PredicateSimilarity,
+    ) -> Vec<EntityId> {
+        let scope = bounded_subgraph(graph, query.specific, self.distance_threshold);
+        scope
+            .sorted_nodes()
+            .into_iter()
+            .filter(|&n| query.is_candidate(graph, n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_graph::SimpleQuery;
+    use kg_core::GraphBuilder;
+    use kg_embed::oracle::oracle_store;
+
+    #[test]
+    fn distance_decides_membership_not_semantics() {
+        let mut b = GraphBuilder::new();
+        let de = b.add_entity("Germany", &["Country"]);
+        let near_unrelated = b.add_entity("museum_piece", &["Automobile"]);
+        let far_related = b.add_entity("Audi_TT", &["Automobile"]);
+        let vw = b.add_entity("Volkswagen", &["Company"]);
+        let hq = b.add_entity("Wolfsburg", &["City"]);
+        b.add_edge(near_unrelated, "exhibitedAt", de);
+        b.add_edge(de, "product", vw); // keeps `product` in the vocabulary; vw is not target-typed
+        b.add_edge(vw, "country", de);
+        b.add_edge(vw, "headquarter", hq);
+        b.add_edge(far_related, "assembly", hq); // 3 hops away from Germany
+        let g = b.build();
+        let q = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"])
+            .resolve(&g)
+            .unwrap();
+        let store = oracle_store(&[(g.predicate_id("product").unwrap(), 0, 1.0)]);
+        let engine = StructuralEngine::default();
+        let answers = engine.simple_answers(&g, &q, &store);
+        assert!(answers.contains(&g.entity_by_name("museum_piece").unwrap()));
+        assert!(!answers.contains(&g.entity_by_name("Audi_TT").unwrap()));
+        assert_eq!(engine.name(), "Structural");
+
+        // A larger threshold recovers the far answer.
+        let wide = StructuralEngine {
+            distance_threshold: 3,
+        };
+        assert!(wide
+            .simple_answers(&g, &q, &store)
+            .contains(&g.entity_by_name("Audi_TT").unwrap()));
+    }
+}

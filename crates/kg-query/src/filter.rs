@@ -1,0 +1,147 @@
+//! Range filters on numerical attributes (Definition 6).
+
+use kg_core::{AttrId, EntityId, KgError, KgResult, KnowledgeGraph};
+use serde::{Deserialize, Serialize};
+
+/// A filter `L ≤ b ≤ U` on attribute `b` of each answer (Definition 6).
+/// Either bound may be open.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Filter {
+    /// Attribute name, e.g. `fuel_economy`.
+    pub attribute: String,
+    /// Lower bound `L` (inclusive), if any.
+    pub lower: Option<f64>,
+    /// Upper bound `U` (inclusive), if any.
+    pub upper: Option<f64>,
+}
+
+impl Filter {
+    /// A two-sided range filter.
+    pub fn range(attribute: &str, lower: f64, upper: f64) -> Self {
+        Self {
+            attribute: attribute.to_string(),
+            lower: Some(lower),
+            upper: Some(upper),
+        }
+    }
+
+    /// `attribute ≥ lower`.
+    pub fn at_least(attribute: &str, lower: f64) -> Self {
+        Self {
+            attribute: attribute.to_string(),
+            lower: Some(lower),
+            upper: None,
+        }
+    }
+
+    /// `attribute ≤ upper`.
+    pub fn at_most(attribute: &str, upper: f64) -> Self {
+        Self {
+            attribute: attribute.to_string(),
+            lower: None,
+            upper: Some(upper),
+        }
+    }
+
+    /// Resolves the attribute name against a graph.
+    pub fn resolve(&self, graph: &KnowledgeGraph) -> KgResult<ResolvedFilter> {
+        let attr = graph
+            .attr_id(&self.attribute)
+            .ok_or_else(|| KgError::UnknownAttribute(self.attribute.clone()))?;
+        Ok(ResolvedFilter {
+            attribute: attr,
+            lower: self.lower,
+            upper: self.upper,
+        })
+    }
+}
+
+/// A [`Filter`] with the attribute resolved to an id.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResolvedFilter {
+    /// Attribute to test.
+    pub attribute: AttrId,
+    /// Lower bound (inclusive), if any.
+    pub lower: Option<f64>,
+    /// Upper bound (inclusive), if any.
+    pub upper: Option<f64>,
+}
+
+impl ResolvedFilter {
+    /// True when `entity` satisfies the filter. Entities missing the
+    /// attribute fail the filter (the paper's correctness indicator
+    /// `c(u) = (L ≤ u.b ≤ U && s_i ≥ τ)` requires the attribute).
+    pub fn matches(&self, graph: &KnowledgeGraph, entity: EntityId) -> bool {
+        match graph.attribute_value(entity, self.attribute) {
+            None => false,
+            Some(v) => {
+                self.lower.map_or(true, |l| v >= l) && self.upper.map_or(true, |u| v <= u)
+            }
+        }
+    }
+}
+
+/// Applies a conjunction of filters.
+pub fn matches_all(graph: &KnowledgeGraph, entity: EntityId, filters: &[ResolvedFilter]) -> bool {
+    filters.iter().all(|f| f.matches(graph, entity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::GraphBuilder;
+
+    fn graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_entity("car_a", &["Automobile"]);
+        let c = b.add_entity("car_b", &["Automobile"]);
+        let d = b.add_entity("car_c", &["Automobile"]);
+        b.set_attribute(a, "mpg", 27.0);
+        b.set_attribute(c, "mpg", 35.0);
+        // car_c has no mpg attribute at all.
+        b.set_attribute(d, "price", 10_000.0);
+        b.build()
+    }
+
+    #[test]
+    fn range_filter_matches() {
+        let g = graph();
+        let f = Filter::range("mpg", 25.0, 30.0).resolve(&g).unwrap();
+        let a = g.entity_by_name("car_a").unwrap();
+        let b = g.entity_by_name("car_b").unwrap();
+        let c = g.entity_by_name("car_c").unwrap();
+        assert!(f.matches(&g, a));
+        assert!(!f.matches(&g, b));
+        assert!(!f.matches(&g, c), "missing attribute fails the filter");
+    }
+
+    #[test]
+    fn open_bounds() {
+        let g = graph();
+        let a = g.entity_by_name("car_a").unwrap();
+        let b = g.entity_by_name("car_b").unwrap();
+        assert!(Filter::at_least("mpg", 30.0).resolve(&g).unwrap().matches(&g, b));
+        assert!(!Filter::at_least("mpg", 30.0).resolve(&g).unwrap().matches(&g, a));
+        assert!(Filter::at_most("mpg", 30.0).resolve(&g).unwrap().matches(&g, a));
+    }
+
+    #[test]
+    fn unknown_attribute_fails_resolution() {
+        let g = graph();
+        assert!(Filter::range("weight", 0.0, 1.0).resolve(&g).is_err());
+    }
+
+    #[test]
+    fn conjunction_of_filters() {
+        let g = graph();
+        let a = g.entity_by_name("car_a").unwrap();
+        let filters = vec![
+            Filter::at_least("mpg", 20.0).resolve(&g).unwrap(),
+            Filter::at_most("mpg", 28.0).resolve(&g).unwrap(),
+        ];
+        assert!(matches_all(&g, a, &filters));
+        let b = g.entity_by_name("car_b").unwrap();
+        assert!(!matches_all(&g, b, &filters));
+        assert!(matches_all(&g, b, &[]));
+    }
+}

@@ -1,0 +1,364 @@
+//! Ground-truth computation: candidate answers, τ-relevant correct answers
+//! (`A⁺ = {u ∈ A : s_i ≥ τ}`) and the exact aggregate over them.
+//!
+//! Two notions of ground truth are used in the paper's evaluation:
+//!
+//! * **τ-GT** — the aggregate over the τ-relevant correct answers produced by
+//!   exhaustive enumeration (this module / the SSB baseline);
+//! * **HA-GT** — the aggregate over human-annotated correct answers; in this
+//!   reproduction the annotation is simulated by the data generator
+//!   (`kg-datagen::annotation`) which knows the planted correct schemas.
+//!
+//! Table V compares the two answer sets by average Jaccard similarity, which
+//! [`jaccard`] implements.
+
+use crate::aggregate::ResolvedAggregate;
+use crate::matching::{best_similarity, MatchConfig};
+use crate::query_graph::ResolvedSimpleQuery;
+use crate::shapes::{ResolvedComplexQuery, ResolvedComponent};
+use kg_core::{bounded_subgraph, EntityId, KnowledgeGraph};
+use kg_embed::PredicateSimilarity;
+use std::collections::BTreeSet;
+
+/// Parameters of ground-truth computation.
+#[derive(Clone, Debug)]
+pub struct GroundTruthConfig {
+    /// Semantic-similarity threshold τ.
+    pub tau: f64,
+    /// Hop bound `n` of the n-bounded subgraph.
+    pub n_bound: u32,
+    /// Exhaustive matching parameters.
+    pub match_config: MatchConfig,
+}
+
+impl Default for GroundTruthConfig {
+    fn default() -> Self {
+        Self {
+            tau: 0.85,
+            n_bound: 3,
+            match_config: MatchConfig::default(),
+        }
+    }
+}
+
+/// A candidate answer with its semantic similarity to the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CandidateAnswer {
+    /// The answer entity `u_t`.
+    pub entity: EntityId,
+    /// Its semantic similarity `s_i` (Eq. 3).
+    pub similarity: f64,
+}
+
+/// The result of exhaustive ground-truth computation for one query.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    /// All candidate answers `A` (target-typed entities in the n-bounded
+    /// subgraph) with their similarities.
+    pub candidates: Vec<CandidateAnswer>,
+    /// The τ-relevant correct answers `A⁺`, sorted by entity id.
+    pub correct: Vec<EntityId>,
+}
+
+impl GroundTruth {
+    /// Number of candidate answers |A|.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Number of correct answers |A⁺|.
+    pub fn correct_count(&self) -> usize {
+        self.correct.len()
+    }
+
+    /// Query selectivity: |A⁺| / |A| (the percentage reported in Table IV).
+    pub fn selectivity(&self) -> f64 {
+        if self.candidates.is_empty() {
+            0.0
+        } else {
+            self.correct.len() as f64 / self.candidates.len() as f64
+        }
+    }
+
+    /// The exact aggregate `V = f_a(A⁺)` (the τ-GT of the query).
+    pub fn value(&self, graph: &KnowledgeGraph, aggregate: &ResolvedAggregate) -> f64 {
+        aggregate.apply_exact(graph, &self.correct)
+    }
+
+    /// True when `entity` is a τ-relevant correct answer.
+    pub fn is_correct(&self, entity: EntityId) -> bool {
+        self.correct.binary_search(&entity).is_ok()
+    }
+}
+
+/// Computes the ground truth of a simple query by exhaustively scoring every
+/// candidate in the n-bounded subgraph (the core of SSB, Algorithm 1).
+pub fn simple_ground_truth<S: PredicateSimilarity + ?Sized>(
+    graph: &KnowledgeGraph,
+    query: &ResolvedSimpleQuery,
+    similarity: &S,
+    config: &GroundTruthConfig,
+) -> GroundTruth {
+    let scope = bounded_subgraph(graph, query.specific, config.n_bound);
+    let mut candidates = Vec::new();
+    let mut correct = Vec::new();
+    for node in scope.sorted_nodes() {
+        if !query.is_candidate(graph, node) {
+            continue;
+        }
+        let s = best_similarity(graph, query, node, similarity, &config.match_config);
+        candidates.push(CandidateAnswer {
+            entity: node,
+            similarity: s,
+        });
+        if s >= config.tau {
+            correct.push(node);
+        }
+    }
+    GroundTruth {
+        candidates,
+        correct,
+    }
+}
+
+/// Ground truth of a chain query: the chain is evaluated hop by hop — the
+/// correct answers of hop `i`, anchored at each correct answer of hop `i−1`,
+/// feed the next hop (§V-B). Candidates are accumulated from the final hop.
+pub fn chain_ground_truth<S: PredicateSimilarity + ?Sized>(
+    graph: &KnowledgeGraph,
+    chain: &crate::shapes::ResolvedChainQuery,
+    similarity: &S,
+    config: &GroundTruthConfig,
+) -> GroundTruth {
+    let mut frontier: BTreeSet<EntityId> = BTreeSet::new();
+    frontier.insert(chain.specific);
+    let mut last = GroundTruth::default();
+    for hop_index in 0..chain.hops.len() {
+        let mut next_frontier = BTreeSet::new();
+        let mut candidates = Vec::new();
+        for &anchor in &frontier {
+            let hop_query = chain.hop_as_simple(hop_index, anchor);
+            let gt = simple_ground_truth(graph, &hop_query, similarity, config);
+            for c in gt.candidates {
+                candidates.push(c);
+            }
+            next_frontier.extend(gt.correct);
+        }
+        // De-duplicate candidates keeping the maximum similarity per entity.
+        candidates.sort_by(|a, b| {
+            a.entity
+                .cmp(&b.entity)
+                .then(b.similarity.total_cmp(&a.similarity))
+        });
+        candidates.dedup_by_key(|c| c.entity);
+        last = GroundTruth {
+            candidates,
+            correct: next_frontier.iter().copied().collect(),
+        };
+        frontier = next_frontier;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    last
+}
+
+/// Ground truth of one component of a complex query.
+pub fn component_ground_truth<S: PredicateSimilarity + ?Sized>(
+    graph: &KnowledgeGraph,
+    component: &ResolvedComponent,
+    similarity: &S,
+    config: &GroundTruthConfig,
+) -> GroundTruth {
+    match component {
+        ResolvedComponent::Simple(q) => simple_ground_truth(graph, q, similarity, config),
+        ResolvedComponent::Chain(q) => chain_ground_truth(graph, q, similarity, config),
+    }
+}
+
+/// Ground truth of a complex query: the intersection of the component answer
+/// sets (decomposition–assembly, §V-B).
+pub fn complex_ground_truth<S: PredicateSimilarity + ?Sized>(
+    graph: &KnowledgeGraph,
+    query: &ResolvedComplexQuery,
+    similarity: &S,
+    config: &GroundTruthConfig,
+) -> GroundTruth {
+    let mut iter = query.components.iter();
+    let first = match iter.next() {
+        Some(c) => component_ground_truth(graph, c, similarity, config),
+        None => return GroundTruth::default(),
+    };
+    let mut correct: BTreeSet<EntityId> = first.correct.iter().copied().collect();
+    let mut candidates = first.candidates;
+    for component in iter {
+        let gt = component_ground_truth(graph, component, similarity, config);
+        let other: BTreeSet<EntityId> = gt.correct.iter().copied().collect();
+        correct = correct.intersection(&other).copied().collect();
+        // Keep the candidate pool as the union with per-entity max similarity;
+        // this is only used for selectivity reporting.
+        candidates.extend(gt.candidates);
+    }
+    candidates.sort_by(|a, b| {
+        a.entity
+            .cmp(&b.entity)
+            .then(b.similarity.total_cmp(&a.similarity))
+    });
+    candidates.dedup_by_key(|c| c.entity);
+    GroundTruth {
+        candidates,
+        correct: correct.into_iter().collect(),
+    }
+}
+
+/// Jaccard similarity of two answer sets (Table V's AJS metric).
+pub fn jaccard(a: &[EntityId], b: &[EntityId]) -> f64 {
+    let sa: BTreeSet<EntityId> = a.iter().copied().collect();
+    let sb: BTreeSet<EntityId> = b.iter().copied().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateFunction;
+    use crate::query_graph::SimpleQuery;
+    use crate::shapes::{ChainHop, ChainQuery, ComplexQuery};
+    use kg_core::GraphBuilder;
+    use kg_embed::oracle::oracle_store;
+    use kg_embed::PredicateVectorStore;
+
+    fn setup() -> (KnowledgeGraph, PredicateVectorStore) {
+        let mut b = GraphBuilder::new();
+        let de = b.add_entity("Germany", &["Country"]);
+        let vw = b.add_entity("Volkswagen", &["Company"]);
+        let schreyer = b.add_entity("Peter_Schreyer", &["Person"]);
+        let cars = [
+            ("Porsche_911", 64_300.0),
+            ("BMW_320", 41_500.0),
+            ("Audi_TT", 52_000.0),
+            ("KIA_K5", 24_000.0),
+        ];
+        let ids: Vec<_> = cars
+            .iter()
+            .map(|(n, p)| {
+                let id = b.add_entity(n, &["Automobile"]);
+                b.set_attribute(id, "price", *p);
+                id
+            })
+            .collect();
+        b.add_edge(de, "product", ids[0]);
+        b.add_edge(ids[1], "assembly", de);
+        b.add_edge(ids[2], "assembly", vw);
+        b.add_edge(vw, "country", de);
+        b.add_edge(ids[3], "designer", schreyer);
+        b.add_edge(schreyer, "nationality", de);
+        let g = b.build();
+        let store = oracle_store(&[
+            (g.predicate_id("product").unwrap(), 0, 1.0),
+            (g.predicate_id("assembly").unwrap(), 0, 0.98),
+            (g.predicate_id("country").unwrap(), 0, 0.81),
+            (g.predicate_id("designer").unwrap(), 0, 0.62),
+            (g.predicate_id("nationality").unwrap(), 0, 0.70),
+        ]);
+        (g, store)
+    }
+
+    #[test]
+    fn tau_separates_correct_from_incorrect_answers() {
+        let (g, store) = setup();
+        let q = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"])
+            .resolve(&g)
+            .unwrap();
+        let gt = simple_ground_truth(&g, &q, &store, &GroundTruthConfig::default());
+        assert_eq!(gt.candidate_count(), 4);
+        // With τ = 0.85, KIA_K5 (designer·nationality path) is excluded.
+        let kia = g.entity_by_name("KIA_K5").unwrap();
+        assert!(!gt.is_correct(kia));
+        assert_eq!(gt.correct_count(), 3);
+        assert!(gt.selectivity() > 0.7 && gt.selectivity() < 0.8);
+
+        let avg = AggregateFunction::Avg("price".into()).resolve(&g).unwrap();
+        let v = gt.value(&g, &avg);
+        assert!((v - (64_300.0 + 41_500.0 + 52_000.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lowering_tau_adds_answers() {
+        let (g, store) = setup();
+        let q = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"])
+            .resolve(&g)
+            .unwrap();
+        let strict = simple_ground_truth(&g, &q, &store, &GroundTruthConfig::default());
+        let loose = simple_ground_truth(
+            &g,
+            &q,
+            &store,
+            &GroundTruthConfig {
+                tau: 0.5,
+                ..GroundTruthConfig::default()
+            },
+        );
+        assert!(loose.correct_count() >= strict.correct_count());
+        assert_eq!(loose.correct_count(), 4);
+    }
+
+    #[test]
+    fn chain_ground_truth_follows_hops() {
+        let (g, store) = setup();
+        // "Cars designed by German designers": Germany -nationality- Person -designer- Automobile.
+        let chain = ChainQuery::new(
+            "Germany",
+            &["Country"],
+            vec![
+                ChainHop::new("nationality", &["Person"]),
+                ChainHop::new("designer", &["Automobile"]),
+            ],
+        )
+        .resolve(&g)
+        .unwrap();
+        let cfg = GroundTruthConfig {
+            tau: 0.6,
+            ..GroundTruthConfig::default()
+        };
+        let gt = chain_ground_truth(&g, &chain, &store, &cfg);
+        let kia = g.entity_by_name("KIA_K5").unwrap();
+        assert!(gt.is_correct(kia));
+        assert_eq!(gt.correct_count(), 1);
+    }
+
+    #[test]
+    fn complex_ground_truth_intersects_components() {
+        let (g, store) = setup();
+        let star = ComplexQuery::star(vec![
+            SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+            SimpleQuery::new("Volkswagen", &["Company"], "product", &["Automobile"]),
+        ])
+        .resolve(&g)
+        .unwrap();
+        let cfg = GroundTruthConfig::default();
+        let gt = complex_ground_truth(&g, &star, &store, &cfg);
+        // Only Audi_TT is strongly linked to both Germany and Volkswagen.
+        let audi = g.entity_by_name("Audi_TT").unwrap();
+        assert!(gt.is_correct(audi));
+        for e in &gt.correct {
+            assert!(gt.candidates.iter().any(|c| c.entity == *e));
+        }
+        assert!(gt.correct_count() < 4);
+    }
+
+    #[test]
+    fn jaccard_properties() {
+        let a = [EntityId::new(1), EntityId::new(2), EntityId::new(3)];
+        let b = [EntityId::new(2), EntityId::new(3), EntityId::new(4)];
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        assert_eq!(jaccard(&a, &[]), 0.0);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+    }
+}

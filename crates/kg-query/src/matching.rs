@@ -1,0 +1,187 @@
+//! Subgraph matches and the semantic similarity of a candidate answer
+//! (Definition 5, Eq. 3).
+
+use crate::query_graph::ResolvedSimpleQuery;
+use crate::similarity::{path_similarity, PathAggregation};
+use kg_core::{enumerate_paths, EntityId, KnowledgeGraph, Path};
+use kg_embed::PredicateSimilarity;
+
+/// Parameters of exhaustive match search.
+#[derive(Copy, Clone, Debug)]
+pub struct MatchConfig {
+    /// Maximum path length (the `n` of the n-bounded subgraph; default 3).
+    pub max_path_len: usize,
+    /// Upper bound on enumerated paths per candidate (guards worst cases).
+    pub path_limit: usize,
+    /// How edge similarities are aggregated along a path.
+    pub aggregation: PathAggregation,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        Self {
+            max_path_len: 3,
+            path_limit: 10_000,
+            aggregation: PathAggregation::GeometricMean,
+        }
+    }
+}
+
+/// A subgraph match of a candidate answer: the edge-to-path mapping from the
+/// query edge to a path `u_s ⤳ u_t` (Definition 5), with its semantic
+/// similarity to the query edge.
+#[derive(Clone, Debug)]
+pub struct SubgraphMatch {
+    /// The matched path from the mapping node to the candidate answer.
+    pub path: Path,
+    /// Semantic similarity `s[M(u_t)]` of the match (Eq. 2).
+    pub similarity: f64,
+}
+
+/// Finds the best subgraph match of `candidate` for the query — the path from
+/// `query.specific` to `candidate` with maximum semantic similarity (Eq. 3).
+/// Returns `None` when no path of length ≤ `config.max_path_len` exists.
+pub fn best_match<S: PredicateSimilarity + ?Sized>(
+    graph: &KnowledgeGraph,
+    query: &ResolvedSimpleQuery,
+    candidate: EntityId,
+    similarity: &S,
+    config: &MatchConfig,
+) -> Option<SubgraphMatch> {
+    let paths = enumerate_paths(
+        graph,
+        query.specific,
+        candidate,
+        config.max_path_len,
+        config.path_limit,
+    );
+    paths
+        .into_iter()
+        .map(|path| {
+            let s = path_similarity(&path, query.predicate, similarity, config.aggregation);
+            SubgraphMatch {
+                path,
+                similarity: s,
+            }
+        })
+        .max_by(|a, b| a.similarity.total_cmp(&b.similarity))
+}
+
+/// The semantic similarity `s_i` of a candidate answer: the maximum
+/// similarity over all its subgraph matches (Eq. 3); 0.0 when the candidate
+/// is unreachable within the hop bound.
+pub fn best_similarity<S: PredicateSimilarity + ?Sized>(
+    graph: &KnowledgeGraph,
+    query: &ResolvedSimpleQuery,
+    candidate: EntityId,
+    similarity: &S,
+    config: &MatchConfig,
+) -> f64 {
+    best_match(graph, query, candidate, similarity, config)
+        .map(|m| m.similarity)
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_graph::SimpleQuery;
+    use kg_core::GraphBuilder;
+    use kg_embed::oracle::oracle_store;
+    use kg_embed::PredicateVectorStore;
+
+    /// The Figure-1 style example graph plus an oracle store mirroring the
+    /// paper's predicate similarities.
+    fn setup() -> (KnowledgeGraph, ResolvedSimpleQuery, PredicateVectorStore) {
+        let mut b = GraphBuilder::new();
+        let de = b.add_entity("Germany", &["Country"]);
+        let bmw = b.add_entity("BMW_320", &["Automobile"]);
+        let vw = b.add_entity("Volkswagen", &["Company"]);
+        let audi = b.add_entity("Audi_TT", &["Automobile"]);
+        let kia = b.add_entity("KIA_K5", &["Automobile"]);
+        let schreyer = b.add_entity("Peter_Schreyer", &["Person"]);
+        let p911 = b.add_entity("Porsche_911", &["Automobile"]);
+        b.add_edge(de, "product", p911);
+        b.add_edge(bmw, "assembly", de);
+        b.add_edge(audi, "assembly", vw);
+        b.add_edge(vw, "country", de);
+        b.add_edge(kia, "designer", schreyer);
+        b.add_edge(schreyer, "nationality", de);
+        let g = b.build();
+        let q = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"])
+            .resolve(&g)
+            .unwrap();
+        let store = oracle_store(&[
+            (g.predicate_id("product").unwrap(), 0, 1.0),
+            (g.predicate_id("assembly").unwrap(), 0, 0.98),
+            (g.predicate_id("country").unwrap(), 0, 0.81),
+            (g.predicate_id("designer").unwrap(), 0, 0.62),
+            (g.predicate_id("nationality").unwrap(), 0, 0.70),
+        ]);
+        (g, q, store)
+    }
+
+    #[test]
+    fn exact_match_has_similarity_one() {
+        let (g, q, store) = setup();
+        let p911 = g.entity_by_name("Porsche_911").unwrap();
+        let m = best_match(&g, &q, p911, &store, &MatchConfig::default()).unwrap();
+        assert!((m.similarity - 1.0).abs() < 1e-9);
+        assert_eq!(m.path.len(), 1);
+    }
+
+    #[test]
+    fn similarity_reflects_path_quality_ordering() {
+        let (g, q, store) = setup();
+        let cfg = MatchConfig::default();
+        let bmw = best_similarity(&g, &q, g.entity_by_name("BMW_320").unwrap(), &store, &cfg);
+        let audi = best_similarity(&g, &q, g.entity_by_name("Audi_TT").unwrap(), &store, &cfg);
+        let kia = best_similarity(&g, &q, g.entity_by_name("KIA_K5").unwrap(), &store, &cfg);
+        // Table II ordering: BMW (direct assembly) > Audi (assembly+country) > KIA (designer path).
+        assert!(bmw > audi, "bmw={bmw} audi={audi}");
+        assert!(audi > kia, "audi={audi} kia={kia}");
+        assert!(kia > 0.0);
+    }
+
+    #[test]
+    fn unreachable_candidate_has_zero_similarity() {
+        let (mut_builder_graph, _q, store) = {
+            let (g, q, store) = setup();
+            (g, q, store)
+        };
+        // Add an isolated automobile by rebuilding the graph.
+        let mut b = GraphBuilder::new();
+        for id in mut_builder_graph.entity_ids() {
+            let e = mut_builder_graph.entity(id);
+            let types: Vec<&str> = e.types.iter().map(|t| mut_builder_graph.type_name(*t)).collect();
+            b.add_entity(&e.name, &types);
+        }
+        for t in mut_builder_graph.triples() {
+            b.add_edge_by_name(
+                &mut_builder_graph.entity(t.subject).name,
+                mut_builder_graph.predicate_name(t.predicate),
+                &mut_builder_graph.entity(t.object).name,
+            );
+        }
+        b.add_entity("Isolated_Car", &["Automobile"]);
+        let g = b.build();
+        let q = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"])
+            .resolve(&g)
+            .unwrap();
+        let isolated = g.entity_by_name("Isolated_Car").unwrap();
+        assert_eq!(best_similarity(&g, &q, isolated, &store, &MatchConfig::default()), 0.0);
+        assert_eq!(q.specific, g.entity_by_name("Germany").unwrap());
+    }
+
+    #[test]
+    fn hop_bound_limits_matches() {
+        let (g, q, store) = setup();
+        let audi = g.entity_by_name("Audi_TT").unwrap();
+        let cfg = MatchConfig {
+            max_path_len: 1,
+            ..MatchConfig::default()
+        };
+        // Audi_TT is two hops away; with max_path_len 1 there is no match.
+        assert!(best_match(&g, &q, audi, &store, &cfg).is_none());
+    }
+}

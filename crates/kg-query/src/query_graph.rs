@@ -1,0 +1,185 @@
+//! The query graph of a simple question (Definition 3).
+
+use kg_core::{EntityId, KgError, KgResult, KnowledgeGraph, PredicateId, TypeId};
+use serde::{Deserialize, Serialize};
+
+/// A query node: either the *specific* node (name and types known) or the
+/// *target* node (only types known).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryNode {
+    /// Entity name; `None` for the target node.
+    pub name: Option<String>,
+    /// Type names the node must carry (at least one must match).
+    pub types: Vec<String>,
+}
+
+impl QueryNode {
+    /// A specific node with known name and types, e.g. `Germany : Country`.
+    pub fn specific(name: impl Into<String>, types: &[&str]) -> Self {
+        Self {
+            name: Some(name.into()),
+            types: types.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// A target node with known types only, e.g. `? : Automobile`.
+    pub fn target(types: &[&str]) -> Self {
+        Self {
+            name: None,
+            types: types.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// A simple question's query graph: one specific node `q_s`, one target node
+/// `q_t` and a single query edge with a predicate (Definition 3).
+///
+/// Example (the paper's running example): *"what is the average price of
+/// cars produced in Germany?"* has `q_s = Germany : Country`,
+/// `q_t = ? : Automobile` and predicate `product`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimpleQuery {
+    /// The specific node `q_s`.
+    pub specific: QueryNode,
+    /// The target node `q_t`.
+    pub target: QueryNode,
+    /// The query-edge predicate `L_Q(e)`.
+    pub predicate: String,
+}
+
+impl SimpleQuery {
+    /// Convenience constructor.
+    pub fn new(
+        specific_name: &str,
+        specific_types: &[&str],
+        predicate: &str,
+        target_types: &[&str],
+    ) -> Self {
+        Self {
+            specific: QueryNode::specific(specific_name, specific_types),
+            target: QueryNode::target(target_types),
+            predicate: predicate.to_string(),
+        }
+    }
+
+    /// Resolves names against a concrete knowledge graph.
+    ///
+    /// The specific node maps to the unique entity `u_s` with the same name
+    /// and an overlapping type set; the predicate and target types map to
+    /// their ids. Unknown target-type names are dropped (a query may mention
+    /// a type absent from the graph); resolution fails only when *no* target
+    /// type or the specific entity or the predicate cannot be resolved.
+    pub fn resolve(&self, graph: &KnowledgeGraph) -> KgResult<ResolvedSimpleQuery> {
+        let name = self
+            .specific
+            .name
+            .as_deref()
+            .ok_or_else(|| KgError::UnknownEntity("<specific node without name>".into()))?;
+        let specific = graph.require_entity(name)?;
+        if !self.specific.types.is_empty() {
+            let wanted: Vec<TypeId> = self
+                .specific
+                .types
+                .iter()
+                .filter_map(|t| graph.type_id(t))
+                .collect();
+            if !wanted.is_empty() && !graph.entity(specific).shares_type(&wanted) {
+                return Err(KgError::UnknownEntity(format!(
+                    "{name} exists but carries none of the requested types"
+                )));
+            }
+        }
+        let predicate = graph
+            .predicate_id(&self.predicate)
+            .ok_or_else(|| KgError::UnknownPredicate(self.predicate.clone()))?;
+        let target_types: Vec<TypeId> = self
+            .target
+            .types
+            .iter()
+            .filter_map(|t| graph.type_id(t))
+            .collect();
+        if target_types.is_empty() {
+            return Err(KgError::UnknownType(self.target.types.join(",")));
+        }
+        Ok(ResolvedSimpleQuery {
+            specific,
+            predicate,
+            target_types,
+        })
+    }
+}
+
+/// A [`SimpleQuery`] with all names resolved to graph identifiers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolvedSimpleQuery {
+    /// The mapping node `u_s` of the specific node `q_s`.
+    pub specific: EntityId,
+    /// The query-edge predicate.
+    pub predicate: PredicateId,
+    /// Resolved target types (a candidate answer must share at least one).
+    pub target_types: Vec<TypeId>,
+}
+
+impl ResolvedSimpleQuery {
+    /// True when `entity` satisfies the target-type condition of Definition 4.
+    pub fn is_candidate(&self, graph: &KnowledgeGraph, entity: EntityId) -> bool {
+        entity != self.specific && graph.entity(entity).shares_type(&self.target_types)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::GraphBuilder;
+
+    fn graph() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let de = b.add_entity("Germany", &["Country"]);
+        let bmw = b.add_entity("BMW_320", &["Automobile"]);
+        b.add_edge(de, "product", bmw);
+        b.build()
+    }
+
+    #[test]
+    fn resolve_happy_path() {
+        let g = graph();
+        let q = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]);
+        let r = q.resolve(&g).unwrap();
+        assert_eq!(r.specific, g.entity_by_name("Germany").unwrap());
+        assert_eq!(r.predicate, g.predicate_id("product").unwrap());
+        assert_eq!(r.target_types, vec![g.type_id("Automobile").unwrap()]);
+        let bmw = g.entity_by_name("BMW_320").unwrap();
+        assert!(r.is_candidate(&g, bmw));
+        assert!(!r.is_candidate(&g, r.specific));
+    }
+
+    #[test]
+    fn resolve_unknown_entity_or_predicate_fails() {
+        let g = graph();
+        let q = SimpleQuery::new("France", &["Country"], "product", &["Automobile"]);
+        assert!(q.resolve(&g).is_err());
+        let q = SimpleQuery::new("Germany", &["Country"], "madeIn", &["Automobile"]);
+        assert!(q.resolve(&g).is_err());
+        let q = SimpleQuery::new("Germany", &["Country"], "product", &["Starship"]);
+        assert!(q.resolve(&g).is_err());
+    }
+
+    #[test]
+    fn resolve_checks_specific_type_overlap() {
+        let g = graph();
+        let q = SimpleQuery::new("Germany", &["Automobile"], "product", &["Automobile"]);
+        assert!(q.resolve(&g).is_err());
+        // Unknown specific types are ignored as long as one is absent from the graph entirely.
+        let q = SimpleQuery::new("Germany", &["NotAType"], "product", &["Automobile"]);
+        assert!(q.resolve(&g).is_ok());
+    }
+
+    #[test]
+    fn query_node_constructors() {
+        let s = QueryNode::specific("Germany", &["Country"]);
+        assert_eq!(s.name.as_deref(), Some("Germany"));
+        let t = QueryNode::target(&["Automobile"]);
+        assert!(t.name.is_none());
+        assert_eq!(t.types, vec!["Automobile".to_string()]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # kg-sampling — semantic-aware random-walk sampling on knowledge graphs
+//!
+//! Implementation of §IV-A of the paper, plus the topology-aware baselines it
+//! is compared against in Fig. 5(a):
+//!
+//! 1. **Transition model** ([`transition`]): for every node in the n-bounded
+//!    subgraph `G'` of the mapping node `u_s`, transition probabilities to its
+//!    neighbours are proportional to the predicate similarity of the
+//!    connecting edge to the query edge (Eq. 5). A small self-loop on `u_s`
+//!    makes the chain aperiodic (Lemma 2); similarity floors keep every
+//!    probability non-zero so the chain stays irreducible (Lemma 1).
+//! 2. **Random walk until convergence** ([`sampler`]): the stationary
+//!    distribution π is obtained by iterating Eq. 6 (π ← πP) until it stops
+//!    changing, starting from the indicator distribution on `u_s`.
+//! 3. **Continuous sampling** ([`sampler::PreparedSampler::draw`]): the
+//!    stationary distribution is restricted and re-normalised over the
+//!    candidate answers (π_A), from which answers are drawn i.i.d.
+//!    (Theorem 1); each sampled answer carries its visiting probability π'_i
+//!    for the Horvitz–Thompson estimators of `kg-estimate`.
+//!
+//! The CNARW-, Node2Vec- and uniform-style strategies share the same walk and
+//! sampling machinery but use topology-only transition weights, which is what
+//! makes them collect many semantically dissimilar answers (the ablation of
+//! Fig. 5(a)).
+
+pub mod sampler;
+pub mod strategies;
+pub mod transition;
+
+pub use sampler::{prepare, PreparedSampler, SampledAnswer, SamplerConfig};
+pub use strategies::SamplingStrategy;
+pub use transition::TransitionMatrix;

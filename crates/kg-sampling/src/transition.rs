@@ -1,0 +1,238 @@
+//! The transition matrix of the random walk over the n-bounded subgraph
+//! (Eq. 5) and its stationary distribution (Eq. 6).
+
+use crate::strategies::SamplingStrategy;
+use kg_core::{BoundedSubgraph, EntityId, KnowledgeGraph};
+use kg_embed::PredicateSimilarity;
+use kg_query::ResolvedSimpleQuery;
+use std::collections::HashMap;
+
+/// A row-stochastic transition matrix restricted to the nodes of the
+/// n-bounded subgraph, stored sparsely as per-node neighbour lists.
+#[derive(Clone, Debug)]
+pub struct TransitionMatrix {
+    /// Dense re-indexing of the in-scope nodes.
+    nodes: Vec<EntityId>,
+    index: HashMap<EntityId, usize>,
+    /// `rows[i]` = list of `(target index, probability)`, summing to 1.
+    rows: Vec<Vec<(usize, f64)>>,
+}
+
+impl TransitionMatrix {
+    /// Builds the transition matrix for `query` over the `scope` subgraph,
+    /// using the given strategy's edge weights. A self-loop with weight
+    /// `self_loop_weight` is added on the mapping node (aperiodicity,
+    /// Lemma 2). Edges leaving the scope are ignored, which is equivalent to
+    /// running the walk on the induced subgraph `G'`.
+    pub fn build<S: PredicateSimilarity + ?Sized>(
+        graph: &KnowledgeGraph,
+        query: &ResolvedSimpleQuery,
+        scope: &BoundedSubgraph,
+        similarity: &S,
+        strategy: SamplingStrategy,
+        self_loop_weight: f64,
+    ) -> Self {
+        let nodes = scope.sorted_nodes();
+        let index: HashMap<EntityId, usize> =
+            nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let mut rows = Vec::with_capacity(nodes.len());
+        for &u in &nodes {
+            let mut row: Vec<(usize, f64)> = Vec::new();
+            let du = scope.distance(u);
+            for edge in graph.neighbors(u) {
+                let Some(&j) = index.get(&edge.neighbor) else {
+                    continue;
+                };
+                let w = strategy.weight(
+                    graph,
+                    u,
+                    edge.neighbor,
+                    edge.predicate,
+                    query.predicate,
+                    similarity,
+                    du,
+                    scope.distance(edge.neighbor),
+                );
+                row.push((j, w.max(f64::MIN_POSITIVE)));
+            }
+            if u == query.specific {
+                row.push((index[&u], self_loop_weight.max(f64::MIN_POSITIVE)));
+            }
+            // Normalise the row; isolated nodes get an implicit self-loop.
+            let total: f64 = row.iter().map(|(_, w)| *w).sum();
+            if total <= 0.0 {
+                row = vec![(index[&u], 1.0)];
+            } else {
+                for (_, w) in &mut row {
+                    *w /= total;
+                }
+            }
+            rows.push(row);
+        }
+        Self { nodes, index, rows }
+    }
+
+    /// Number of in-scope nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of non-zero transition entries.
+    pub fn entry_count(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// The in-scope nodes in dense-index order.
+    pub fn nodes(&self) -> &[EntityId] {
+        &self.nodes
+    }
+
+    /// The dense index of a node, if in scope.
+    pub fn index_of(&self, node: EntityId) -> Option<usize> {
+        self.index.get(&node).copied()
+    }
+
+    /// The transition probability `p(u → v)`, 0 when either node is out of
+    /// scope or no edge connects them.
+    pub fn probability(&self, from: EntityId, to: EntityId) -> f64 {
+        let (Some(i), Some(j)) = (self.index_of(from), self.index_of(to)) else {
+            return 0.0;
+        };
+        self.rows[i]
+            .iter()
+            .filter(|(k, _)| *k == j)
+            .map(|(_, w)| *w)
+            .sum()
+    }
+
+    /// One step of Eq. 6: `next = current · P`.
+    pub fn step(&self, current: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(current.len(), self.nodes.len());
+        let mut next = vec![0.0; current.len()];
+        for (i, row) in self.rows.iter().enumerate() {
+            let mass = current[i];
+            if mass == 0.0 {
+                continue;
+            }
+            for &(j, p) in row {
+                next[j] += mass * p;
+            }
+        }
+        next
+    }
+
+    /// Iterates Eq. 6 from the indicator distribution on `start` until the L1
+    /// change drops below `tolerance` or `max_iterations` is reached. Returns
+    /// the stationary distribution (indexed like [`Self::nodes`]) and the
+    /// number of iterations performed.
+    pub fn stationary_distribution(
+        &self,
+        start: EntityId,
+        tolerance: f64,
+        max_iterations: usize,
+    ) -> (Vec<f64>, usize) {
+        let n = self.nodes.len();
+        let mut pi = vec![0.0; n];
+        if n == 0 {
+            return (pi, 0);
+        }
+        let start_index = self.index_of(start).unwrap_or(0);
+        pi[start_index] = 1.0;
+        let mut iterations = 0;
+        for _ in 0..max_iterations {
+            let next = self.step(&pi);
+            iterations += 1;
+            let delta: f64 = next
+                .iter()
+                .zip(&pi)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            pi = next;
+            if delta < tolerance {
+                break;
+            }
+        }
+        (pi, iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_core::{bounded_subgraph, GraphBuilder};
+    use kg_embed::oracle::oracle_store;
+    use kg_query::SimpleQuery;
+
+    fn setup() -> (
+        KnowledgeGraph,
+        ResolvedSimpleQuery,
+        kg_embed::PredicateVectorStore,
+    ) {
+        let mut b = GraphBuilder::new();
+        let de = b.add_entity("Germany", &["Country"]);
+        let car1 = b.add_entity("car1", &["Automobile"]);
+        let car2 = b.add_entity("car2", &["Automobile"]);
+        let company = b.add_entity("vw", &["Company"]);
+        let misc = b.add_entity("misc", &["Misc"]);
+        b.add_edge(de, "product", car1);
+        b.add_edge(company, "country", de);
+        b.add_edge(car2, "assembly", company);
+        b.add_edge(misc, "relatedTo", de);
+        let g = b.build();
+        let q = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"])
+            .resolve(&g)
+            .unwrap();
+        let store = oracle_store(&[
+            (g.predicate_id("product").unwrap(), 0, 1.0),
+            (g.predicate_id("assembly").unwrap(), 0, 0.95),
+            (g.predicate_id("country").unwrap(), 0, 0.9),
+            (g.predicate_id("relatedTo").unwrap(), 1, 1.0),
+        ]);
+        (g, q, store)
+    }
+
+    #[test]
+    fn rows_are_stochastic() {
+        let (g, q, store) = setup();
+        let scope = bounded_subgraph(&g, q.specific, 3);
+        let t = TransitionMatrix::build(&g, &q, &scope, &store, SamplingStrategy::SemanticAware, 0.001);
+        assert_eq!(t.node_count(), g.entity_count());
+        for i in 0..t.node_count() {
+            let row_sum: f64 = t.rows[i].iter().map(|(_, w)| w).sum();
+            assert!((row_sum - 1.0).abs() < 1e-9, "row {i} sums to {row_sum}");
+        }
+        assert!(t.entry_count() >= g.edge_count());
+        // Example-4 style check: the semantic edge gets more probability than
+        // the unrelated one out of the mapping node.
+        let car1 = g.entity_by_name("car1").unwrap();
+        let misc = g.entity_by_name("misc").unwrap();
+        assert!(t.probability(q.specific, car1) > t.probability(q.specific, misc));
+        assert!(t.probability(q.specific, q.specific) > 0.0, "self-loop present");
+    }
+
+    #[test]
+    fn stationary_distribution_sums_to_one_and_favours_semantic_answers() {
+        let (g, q, store) = setup();
+        let scope = bounded_subgraph(&g, q.specific, 3);
+        let t = TransitionMatrix::build(&g, &q, &scope, &store, SamplingStrategy::SemanticAware, 0.001);
+        let (pi, iters) = t.stationary_distribution(q.specific, 1e-12, 500);
+        assert!(iters > 0 && iters <= 500);
+        let total: f64 = pi.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let idx = |name: &str| t.index_of(g.entity_by_name(name).unwrap()).unwrap();
+        assert!(pi[idx("car1")] > pi[idx("misc")]);
+        assert!(pi.iter().all(|p| *p >= 0.0));
+    }
+
+    #[test]
+    fn out_of_scope_probability_is_zero() {
+        let (g, q, store) = setup();
+        let scope = bounded_subgraph(&g, q.specific, 1);
+        let t = TransitionMatrix::build(&g, &q, &scope, &store, SamplingStrategy::Uniform, 0.001);
+        let car2 = g.entity_by_name("car2").unwrap();
+        assert_eq!(t.index_of(car2), None);
+        assert_eq!(t.probability(q.specific, car2), 0.0);
+        assert!(t.node_count() < g.entity_count());
+        assert_eq!(t.nodes().len(), t.node_count());
+    }
+}

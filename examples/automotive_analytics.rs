@@ -1,0 +1,44 @@
+//! Automotive analytics: COUNT / SUM / AVG with filters over cars produced in
+//! several countries, comparing the approximate engine with exact SSB.
+
+use kg_aqp::prelude::*;
+
+fn main() {
+    let dataset = kg_aqp_suite::demo_dataset();
+    let engine = AqpEngine::new(EngineConfig::default());
+    let ssb = kg_query::SsbEngine::new(kg_query::GroundTruthConfig::default());
+
+    for country in ["Germany", "China", "Korea"] {
+        let simple = SimpleQuery::new(country, &["Country"], "product", &["Automobile"]);
+        for (label, function) in [
+            ("COUNT(*)", AggregateFunction::Count),
+            ("AVG(price)", AggregateFunction::Avg("price".into())),
+            ("SUM(price)", AggregateFunction::Sum("price".into())),
+        ] {
+            let query = AggregateQuery::simple(simple.clone(), function);
+            let approx = engine.execute(&dataset.graph, &query, &dataset.oracle).unwrap();
+            let exact = ssb.evaluate(&dataset.graph, &query, &dataset.oracle).unwrap();
+            println!(
+                "{country:8} {label:11} ≈ {:>12.2} ± {:>8.2}   exact {:>12.2}   err {:>5.2}%   {:>6.1} ms vs {:>7.1} ms",
+                approx.estimate,
+                approx.moe,
+                exact.value,
+                100.0 * approx.relative_error(exact.value),
+                approx.elapsed_ms,
+                exact.elapsed_ms,
+            );
+        }
+    }
+
+    // A filtered query: fuel-efficient cars only.
+    let filtered = AggregateQuery::simple(
+        SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+        AggregateFunction::Avg("price".into()),
+    )
+    .with_filter(Filter::range("fuel_economy", 25.0, 35.0));
+    let approx = engine.execute(&dataset.graph, &filtered, &dataset.oracle).unwrap();
+    println!(
+        "Germany  AVG(price) with 25 ≤ fuel_economy ≤ 35 ≈ {:.2} ± {:.2}",
+        approx.estimate, approx.moe
+    );
+}

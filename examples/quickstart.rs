@@ -1,0 +1,42 @@
+//! Quickstart: build a small knowledge graph, ask an approximate aggregate
+//! query and print the confidence interval.
+//!
+//! Run with `cargo run --example quickstart --release`.
+
+use kg_aqp::prelude::*;
+
+fn main() {
+    // A generated DBpedia-like knowledge graph with an oracle embedding.
+    let dataset = kg_aqp_suite::demo_dataset();
+    println!(
+        "dataset: {}",
+        kg_core::GraphStats::compute(&dataset.graph)
+    );
+
+    // "What is the average price of cars produced in Germany?"
+    let query = AggregateQuery::simple(
+        SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+        AggregateFunction::Avg("price".into()),
+    );
+
+    let engine = AqpEngine::new(EngineConfig::default());
+    let answer = engine
+        .execute(&dataset.graph, &query, &dataset.oracle)
+        .expect("query resolves against the demo dataset");
+
+    let (lo, hi) = answer.confidence_interval();
+    println!(
+        "AVG(price) ≈ {:.2}  (95% CI [{:.2}, {:.2}], {} rounds, sample {}, {:.1} ms)",
+        answer.estimate, lo, hi, answer.round_count(), answer.sample_size, answer.elapsed_ms
+    );
+
+    // Compare with the exhaustive SSB baseline (exact w.r.t. τ-GT).
+    let ssb = kg_query::SsbEngine::new(kg_query::GroundTruthConfig::default());
+    let exact = ssb.evaluate(&dataset.graph, &query, &dataset.oracle).unwrap();
+    println!(
+        "SSB exact value = {:.2} in {:.1} ms  (relative error {:.2}%)",
+        exact.value,
+        exact.elapsed_ms,
+        100.0 * answer.relative_error(exact.value)
+    );
+}

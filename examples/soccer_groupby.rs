@@ -1,0 +1,33 @@
+//! GROUP-BY example: how many soccer players does each age group have, per
+//! club — the paper's "How many Spanish soccer players of each age group?"
+//! style of query (§V-A).
+
+use kg_aqp::prelude::*;
+
+fn main() {
+    let dataset = kg_aqp_suite::demo_dataset();
+    let engine = AqpEngine::new(EngineConfig::default());
+
+    let query = AggregateQuery::simple(
+        SimpleQuery::new("Barcelona_FC", &["SoccerClub"], "team", &["SoccerPlayer"]),
+        AggregateFunction::Count,
+    )
+    .with_group_by(GroupBy::new("age", 5.0));
+
+    let answer = engine
+        .execute(&dataset.graph, &query, &dataset.oracle)
+        .expect("query resolves");
+    println!(
+        "players of Barcelona_FC ≈ {:.1} (± {:.1}), by age group:",
+        answer.estimate, answer.moe
+    );
+    for (bucket, value) in &answer.groups {
+        let low = *bucket as f64 * 5.0;
+        println!("  age [{:>2.0}, {:>2.0}) ≈ {:>7.1}", low, low + 5.0, value);
+    }
+
+    // Exact comparison via SSB.
+    let ssb = kg_query::SsbEngine::new(kg_query::GroundTruthConfig::default());
+    let exact = ssb.evaluate(&dataset.graph, &query, &dataset.oracle).unwrap();
+    println!("exact (SSB): total {:.1}, {} groups", exact.value, exact.groups.len());
+}

@@ -1,0 +1,25 @@
+//! Workspace-level façade crate: hosts the runnable examples (`examples/`)
+//! and the cross-crate integration tests (`tests/`), and provides a tiny
+//! helper for building the demonstration dataset they share.
+
+pub use kg_aqp::prelude::*;
+
+/// Builds the demonstration dataset shared by the examples: the DBpedia-like
+/// profile at tiny scale (a few thousand nodes), with its oracle embedding
+/// and planted annotation.
+pub fn demo_dataset() -> kg_datagen::GeneratedDataset {
+    kg_datagen::generate(&kg_datagen::profiles::dbpedia_like(
+        kg_datagen::DatasetScale::tiny(),
+        42,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn demo_dataset_builds() {
+        let d = super::demo_dataset();
+        assert!(d.graph.entity_count() > 500);
+        assert!(d.graph.entity_by_name("Germany").is_some());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests on the core invariants of the system.
+
+use kg_core::{bounded_subgraph, GraphBuilder};
+use kg_embed::oracle::oracle_store;
+use kg_embed::PredicateSimilarity;
+use kg_estimate::{estimate, normal_critical_value, ValidatedAnswer};
+use kg_query::{AggregateFunction, PathAggregation, ResolvedAggregate};
+use kg_sampling::{prepare, SamplerConfig, SamplingStrategy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The HT COUNT estimator equals the population size whenever the sample
+    /// is drawn from a uniform distribution over the population, regardless
+    /// of which answers were drawn.
+    #[test]
+    fn ht_count_is_exact_under_uniform_probabilities(
+        population in 1usize..500,
+        draws in 1usize..50,
+    ) {
+        let p = 1.0 / population as f64;
+        let sample: Vec<ValidatedAnswer> = (0..draws)
+            .map(|_| ValidatedAnswer { probability: p, value: Some(1.0), correct: true, similarity: 1.0 })
+            .collect();
+        let agg = ResolvedAggregate { function: AggregateFunction::Count, attribute: None };
+        let v = estimate(&agg, &sample);
+        prop_assert!((v - population as f64).abs() < 1e-6);
+    }
+
+    /// Path-similarity aggregations stay in [0, 1] and are monotone in each
+    /// edge similarity.
+    #[test]
+    fn path_aggregations_are_bounded_and_monotone(
+        sims in prop::collection::vec(0.0f64..=1.0, 1..6),
+        bump_index in 0usize..6,
+    ) {
+        for agg in [PathAggregation::GeometricMean, PathAggregation::Min, PathAggregation::Product] {
+            let v = agg.aggregate(&sims);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+            let mut bumped = sims.clone();
+            let i = bump_index % bumped.len();
+            bumped[i] = (bumped[i] + 0.1).min(1.0);
+            prop_assert!(agg.aggregate(&bumped) + 1e-12 >= v);
+        }
+    }
+
+    /// Normal critical values grow with the confidence level.
+    #[test]
+    fn critical_value_is_monotone(a in 0.5f64..0.99, delta in 0.001f64..0.009) {
+        prop_assert!(normal_critical_value(a + delta) >= normal_critical_value(a));
+    }
+
+    /// BFS bounded subgraphs are monotone in the radius and always contain
+    /// the origin.
+    #[test]
+    fn bounded_subgraph_monotone(edges in prop::collection::vec((0u32..30, 0u32..30), 1..80), radius in 0u32..4) {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..30).map(|i| b.add_entity(&format!("n{i}"), &["T"])).collect();
+        for (s, o) in &edges {
+            b.add_edge(ids[*s as usize % 30], "p", ids[*o as usize % 30]);
+        }
+        let g = b.build();
+        let small = bounded_subgraph(&g, ids[0], radius);
+        let large = bounded_subgraph(&g, ids[0], radius + 1);
+        prop_assert!(small.contains(ids[0]));
+        prop_assert!(large.len() >= small.len());
+        for node in small.nodes() {
+            prop_assert!(large.contains(node));
+        }
+    }
+
+    /// The sampler's answer distribution always sums to 1 (when any candidate
+    /// exists) and stays within the n-bounded scope.
+    #[test]
+    fn sampler_distribution_is_a_probability_distribution(
+        cars in 1usize..40,
+        noise in 0usize..40,
+    ) {
+        let mut b = GraphBuilder::new();
+        let de = b.add_entity("Germany", &["Country"]);
+        for i in 0..cars {
+            let c = b.add_entity(&format!("car{i}"), &["Automobile"]);
+            b.add_edge(de, "product", c);
+        }
+        for i in 0..noise {
+            let m = b.add_entity(&format!("misc{i}"), &["Misc"]);
+            b.add_edge(m, "relatedTo", de);
+        }
+        let g = b.build();
+        let q = kg_query::SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"])
+            .resolve(&g)
+            .unwrap();
+        let store = oracle_store(&[
+            (g.predicate_id("product").unwrap(), 0, 1.0),
+        ]);
+        let sampler = prepare(&g, &q, &store, SamplingStrategy::SemanticAware, &SamplerConfig::default());
+        prop_assert_eq!(sampler.candidate_count(), cars);
+        let total: f64 = sampler.answer_distribution().iter().map(|a| a.probability).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        for a in sampler.answer_distribution() {
+            prop_assert!(sampler.scope().contains(a.entity));
+        }
+        let _ = store.similarity(g.predicate_id("product").unwrap(), g.predicate_id("product").unwrap());
+    }
+}
