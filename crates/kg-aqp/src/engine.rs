@@ -257,8 +257,7 @@ impl AqpEngine {
                             Some(_) => *entry <= combined + f64::EPSILON,
                         };
                         if replace {
-                            final_queries
-                                .insert(a.entity, (hop_query.clone(), sampler_index));
+                            final_queries.insert(a.entity, (hop_query.clone(), sampler_index));
                         }
                     } else {
                         *next_anchors.entry(a.entity).or_insert(0.0) += combined;
@@ -333,7 +332,11 @@ mod tests {
         let truth = ssb.evaluate(&d.graph, &query, &d.oracle).unwrap().value;
         assert!(truth > 0.0);
         let rel = answer.relative_error(truth);
-        assert!(rel < 0.25, "estimate {} truth {truth} rel {rel}", answer.estimate);
+        assert!(
+            rel < 0.25,
+            "estimate {} truth {truth} rel {rel}",
+            answer.estimate
+        );
         assert!(answer.sample_size > 0);
         assert!(answer.candidate_count > 0);
         assert!(!answer.rounds.is_empty());
@@ -354,7 +357,11 @@ mod tests {
         let answer = engine.execute(&d.graph, &query, &d.oracle).unwrap();
         let ssb = kg_query::SsbEngine::new(kg_query::GroundTruthConfig::default());
         let truth = ssb.evaluate(&d.graph, &query, &d.oracle).unwrap().value;
-        assert!(answer.relative_error(truth) < 0.15, "est {} truth {truth}", answer.estimate);
+        assert!(
+            answer.relative_error(truth) < 0.15,
+            "est {} truth {truth}",
+            answer.estimate
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub use session::InteractiveSession;
 pub mod prelude {
     pub use crate::{AqpEngine, EngineConfig, InteractiveSession, QueryAnswer};
     pub use kg_core::{GraphBuilder, KnowledgeGraph};
-    pub use kg_embed::{EmbeddingModelKind, PredicateSimilarity, PredicateVectorStore, TrainerConfig};
+    pub use kg_embed::{
+        EmbeddingModelKind, PredicateSimilarity, PredicateVectorStore, TrainerConfig,
+    };
     pub use kg_query::{
         AggregateFunction, AggregateQuery, ChainHop, ChainQuery, ComplexQuery, Filter, GroupBy,
         QueryShape, SimpleQuery,

@@ -77,7 +77,11 @@ impl InteractiveSession {
         self.timings.sampling_ms += start.elapsed().as_secs_f64() * 1e3;
     }
 
-    fn validate(&mut self, graph: &KnowledgeGraph, similarity: &(impl PredicateSimilarity + ?Sized)) {
+    fn validate(
+        &mut self,
+        graph: &KnowledgeGraph,
+        similarity: &(impl PredicateSimilarity + ?Sized),
+    ) {
         let start = Instant::now();
         let validation = ValidationConfig {
             tau: self.config.tau,
@@ -102,7 +106,14 @@ impl InteractiveSession {
                 for component in &self.plan.components {
                     let (c, s) = match &component.validator {
                         ComponentValidator::Simple { query, sampler } => {
-                            let out = validate_answer(graph, query, entity, sampler, similarity, &validation);
+                            let out = validate_answer(
+                                graph,
+                                query,
+                                entity,
+                                sampler,
+                                similarity,
+                                &validation,
+                            );
                             (out.correct, out.best_similarity)
                         }
                         ComponentValidator::Chain {
@@ -234,26 +245,41 @@ impl InteractiveSession {
             self.draw(delta.min(self.config.max_sample_size - self.sample.len()));
         }
 
-        // GROUP-BY: estimate per bucket over the validated sample.
+        // GROUP-BY: estimate per bucket over the validated sample. Each
+        // bucket is the subpopulation "correct AND in bucket", so its HT
+        // estimator runs over the *full* draw list with out-of-bucket draws
+        // marked incorrect — keeping the |S_A| normaliser of Eq. 7–8 intact
+        // (per-bucket COUNT/SUM then sum to the top-level estimate, up to
+        // answers missing the grouping attribute).
         let groups = match self.plan.group_by {
             None => BTreeMap::new(),
             Some((attr, width)) => {
                 let validated = self.validated_sample(graph);
-                let mut buckets: BTreeMap<i64, Vec<ValidatedAnswer>> = BTreeMap::new();
-                for (entity, answer) in validated {
-                    if !answer.correct {
-                        continue;
-                    }
-                    if let Some(v) = graph.attribute_value(entity, attr) {
-                        buckets
-                            .entry((v / width).floor() as i64)
-                            .or_default()
-                            .push(answer);
-                    }
-                }
-                buckets
+                let keyed: Vec<(Option<i64>, ValidatedAnswer)> = validated
                     .into_iter()
-                    .map(|(k, members)| (k, estimate(&self.plan.aggregate, &members)))
+                    .map(|(entity, answer)| {
+                        let key = graph
+                            .attribute_value(entity, attr)
+                            .map(|v| (v / width).floor() as i64);
+                        (key, answer)
+                    })
+                    .collect();
+                let keys: std::collections::BTreeSet<i64> = keyed
+                    .iter()
+                    .filter(|(_, a)| a.correct)
+                    .filter_map(|(k, _)| *k)
+                    .collect();
+                keys.into_iter()
+                    .map(|key| {
+                        let bucket_sample: Vec<ValidatedAnswer> = keyed
+                            .iter()
+                            .map(|(k, a)| ValidatedAnswer {
+                                correct: a.correct && *k == Some(key),
+                                ..*a
+                            })
+                            .collect();
+                        (key, estimate(&self.plan.aggregate, &bucket_sample))
+                    })
                     .collect()
             }
         };
@@ -302,7 +328,10 @@ mod tests {
         let coarse_sample = session.sample_size();
         let fine = session.refine_to(&d.graph, &d.oracle, 0.02);
         assert!(session.sample_size() >= coarse_sample);
-        assert!(fine.moe <= coarse.moe * 1.5, "tightening should not blow up the MoE");
+        assert!(
+            fine.moe <= coarse.moe * 1.5,
+            "tightening should not blow up the MoE"
+        );
         assert!(session.candidate_count() > 0);
         assert!(fine.rounds.len() >= coarse.rounds.len());
     }

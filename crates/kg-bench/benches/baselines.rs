@@ -21,12 +21,20 @@ fn bench_baselines(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("factoid", kind.paper_name()),
             &query,
-            |b, q| b.iter(|| evaluate_with_engine(engine.as_ref(), &dataset.graph, q, &dataset.oracle).unwrap()),
+            |b, q| {
+                b.iter(|| {
+                    evaluate_with_engine(engine.as_ref(), &dataset.graph, q, &dataset.oracle)
+                        .unwrap()
+                })
+            },
         );
     }
     let ssb = SsbEngine::new(GroundTruthConfig::default());
     group.bench_function("SSB", |b| {
-        b.iter(|| ssb.evaluate(&dataset.graph, &query, &dataset.oracle).unwrap())
+        b.iter(|| {
+            ssb.evaluate(&dataset.graph, &query, &dataset.oracle)
+                .unwrap()
+        })
     });
     group.finish();
 }

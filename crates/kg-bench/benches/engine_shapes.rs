@@ -23,7 +23,11 @@ fn bench_engine_shapes(c: &mut Criterion) {
             continue;
         };
         group.bench_with_input(BenchmarkId::new("execute", shape.name()), query, |b, q| {
-            b.iter(|| engine.execute(&dataset.graph, &q.query, &dataset.oracle).unwrap())
+            b.iter(|| {
+                engine
+                    .execute(&dataset.graph, &q.query, &dataset.oracle)
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -18,7 +18,12 @@ fn bench_sampling(c: &mut Criterion) {
     let query = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"])
         .resolve(&dataset.graph)
         .unwrap();
-    let _ = QuerySpec::Simple(SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]));
+    let _ = QuerySpec::Simple(SimpleQuery::new(
+        "Germany",
+        &["Country"],
+        "product",
+        &["Automobile"],
+    ));
 
     let mut group = c.benchmark_group("sampling");
     group.sample_size(10);
@@ -31,7 +36,15 @@ fn bench_sampling(c: &mut Criterion) {
             BenchmarkId::new("prepare", strategy.name()),
             &strategy,
             |b, s| {
-                b.iter(|| prepare(&dataset.graph, &query, &dataset.oracle, *s, &SamplerConfig::default()))
+                b.iter(|| {
+                    prepare(
+                        &dataset.graph,
+                        &query,
+                        &dataset.oracle,
+                        *s,
+                        &SamplerConfig::default(),
+                    )
+                })
             },
         );
     }

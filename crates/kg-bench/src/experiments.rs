@@ -59,16 +59,24 @@ fn table5(ctx: &BenchContext) -> Vec<Table> {
     let mut table = Table::new(
         "table5",
         "Average Jaccard similarity (AJS) between HA and τ-relevant answers, and its variance",
-        &["Dataset", "metric", "0.60", "0.65", "0.70", "0.75", "0.80", "0.85", "0.90", "0.95"],
+        &[
+            "Dataset", "metric", "0.60", "0.65", "0.70", "0.75", "0.80", "0.85", "0.90", "0.95",
+        ],
     );
     for bundle in &ctx.bundles {
-        let queries = bundle.queries(QueryShape::Simple, QueryCategory::Plain, ctx.queries_per_cell.max(3));
+        let queries = bundle.queries(
+            QueryShape::Simple,
+            QueryCategory::Plain,
+            ctx.queries_per_cell.max(3),
+        );
         let mut ajs_row = vec![bundle.kind.name().to_string(), "AJS".to_string()];
         let mut var_row = vec![bundle.kind.name().to_string(), "Var".to_string()];
         for tau in taus {
             let mut sims = Vec::new();
             for q in &queries {
-                let QuerySpec::Simple(simple) = &q.query.query else { continue };
+                let QuerySpec::Simple(simple) = &q.query.query else {
+                    continue;
+                };
                 let resolved = simple.resolve(&bundle.dataset.graph).unwrap();
                 let gt = kg_query::simple_ground_truth(
                     &bundle.dataset.graph,
@@ -139,7 +147,11 @@ fn table6_7_8(ctx: &BenchContext, grid: Grid) -> Vec<Table> {
                     };
                     cells.push(cell);
                 }
-                row.push(if unsupported { "-".into() } else { fmt_num(mean(&cells)) });
+                row.push(if unsupported {
+                    "-".into()
+                } else {
+                    fmt_num(mean(&cells))
+                });
             }
             table.push_row(row);
         }
@@ -171,7 +183,8 @@ fn table9(ctx: &BenchContext) -> Vec<Table> {
     for q in queries {
         let truth = bundle.tau_gt(q);
         let engine = AqpEngine::new(ctx.engine_config.clone());
-        if let Ok(answer) = engine.execute(&bundle.dataset.graph, &q.query, &bundle.dataset.oracle) {
+        if let Ok(answer) = engine.execute(&bundle.dataset.graph, &q.query, &bundle.dataset.oracle)
+        {
             for round in &answer.rounds {
                 table.push_row(vec![
                     q.id.clone(),
@@ -192,18 +205,34 @@ fn table9(ctx: &BenchContext) -> Vec<Table> {
 fn table10_11(ctx: &BenchContext, time: bool) -> Vec<Table> {
     let bundle = &ctx.bundles[0];
     let (id, title) = if time {
-        ("table10", "Efficiency (ms) for Filter / GROUP-BY / MAX-MIN operators (DBpedia-like)")
+        (
+            "table10",
+            "Efficiency (ms) for Filter / GROUP-BY / MAX-MIN operators (DBpedia-like)",
+        )
     } else {
-        ("table11", "Relative error (%) for Filter / GROUP-BY / MAX-MIN operators (DBpedia-like)")
+        (
+            "table11",
+            "Relative error (%) for Filter / GROUP-BY / MAX-MIN operators (DBpedia-like)",
+        )
     };
     let headers = if time {
         vec!["Method", "Filter", "GROUP-BY", "MAX/MIN"]
     } else {
-        vec!["Method", "Filter (τ-GT)", "MAX/MIN (τ-GT)", "Filter (HA-GT)", "MAX/MIN (HA-GT)"]
+        vec![
+            "Method",
+            "Filter (τ-GT)",
+            "MAX/MIN (τ-GT)",
+            "Filter (HA-GT)",
+            "MAX/MIN (HA-GT)",
+        ]
     };
     let headers: Vec<&str> = headers.iter().map(|s| &**s).collect();
     let mut table = Table::new(id, title, &headers);
-    let categories = [QueryCategory::Filtered, QueryCategory::Grouped, QueryCategory::Extreme];
+    let categories = [
+        QueryCategory::Filtered,
+        QueryCategory::Grouped,
+        QueryCategory::Extreme,
+    ];
     for method in Method::all() {
         let mut row = vec![method.name().to_string()];
         if time {
@@ -211,7 +240,10 @@ fn table10_11(ctx: &BenchContext, time: bool) -> Vec<Table> {
                 let queries = bundle.queries(QueryShape::Simple, category, ctx.queries_per_cell);
                 // GROUP-BY is only supported by Ours, SSB, JENA/Virtuoso (paper Table X).
                 if category == QueryCategory::Grouped
-                    && !matches!(method, Method::Ours | Method::Ssb | Method::Jena | Method::Virtuoso)
+                    && !matches!(
+                        method,
+                        Method::Ours | Method::Ssb | Method::Jena | Method::Virtuoso
+                    )
                 {
                     row.push("-".into());
                     continue;
@@ -303,7 +335,11 @@ fn table13(ctx: &BenchContext) -> Vec<Table> {
         &["Model", "Embed time (ms)", "Parameters", "Relative error (%)"],
     );
     let bundle = &ctx.bundles[0];
-    let queries = bundle.queries(QueryShape::Simple, QueryCategory::Plain, ctx.queries_per_cell);
+    let queries = bundle.queries(
+        QueryShape::Simple,
+        QueryCategory::Plain,
+        ctx.queries_per_cell,
+    );
     let trainer = TrainerConfig {
         dimension: 24,
         epochs: 12,
@@ -371,8 +407,16 @@ fn aggregate_ablation(
     title: &str,
     variants: Vec<(String, EngineConfig)>,
 ) -> Vec<Table> {
-    let mut error_table = Table::new(id, &format!("{title} — relative error (%)"), &["Variant", "COUNT", "AVG", "SUM"]);
-    let mut time_table = Table::new(id, &format!("{title} — response time (ms)"), &["Variant", "COUNT", "AVG", "SUM"]);
+    let mut error_table = Table::new(
+        id,
+        &format!("{title} — relative error (%)"),
+        &["Variant", "COUNT", "AVG", "SUM"],
+    );
+    let mut time_table = Table::new(
+        id,
+        &format!("{title} — response time (ms)"),
+        &["Variant", "COUNT", "AVG", "SUM"],
+    );
     let bundle = &ctx.bundles[0];
     for (name, cfg) in variants {
         let mut err_row = vec![name.clone()];
@@ -504,12 +548,27 @@ fn fig6a(ctx: &BenchContext) -> Vec<Table> {
 // ---------------------------------------------------------------------------
 // Fig. 6(b)–(f) — parameter sensitivity sweeps.
 // ---------------------------------------------------------------------------
-fn sweep<F>(ctx: &BenchContext, id: &str, title: &str, axis: &str, values: Vec<(String, EngineConfig)>, mut truth: F) -> Vec<Table>
+fn sweep<F>(
+    ctx: &BenchContext,
+    id: &str,
+    title: &str,
+    axis: &str,
+    values: Vec<(String, EngineConfig)>,
+    mut truth: F,
+) -> Vec<Table>
 where
     F: FnMut(&crate::harness::DatasetBundle, &WorkloadQuery) -> f64,
 {
-    let mut error_table = Table::new(id, &format!("{title} — relative error (%)"), &[axis, "COUNT", "AVG", "SUM"]);
-    let mut time_table = Table::new(id, &format!("{title} — response time (ms)"), &[axis, "COUNT", "AVG", "SUM"]);
+    let mut error_table = Table::new(
+        id,
+        &format!("{title} — relative error (%)"),
+        &[axis, "COUNT", "AVG", "SUM"],
+    );
+    let mut time_table = Table::new(
+        id,
+        &format!("{title} — response time (ms)"),
+        &[axis, "COUNT", "AVG", "SUM"],
+    );
     let bundle = &ctx.bundles[0];
     for (label, cfg) in values {
         let mut err_row = vec![label.clone()];
@@ -554,7 +613,14 @@ fn fig6b(ctx: &BenchContext) -> Vec<Table> {
             )
         })
         .collect();
-    sweep(ctx, "fig6b", "Effect of confidence level 1−α", "1−α", values, |b, q| b.ha_gt(q))
+    sweep(
+        ctx,
+        "fig6b",
+        "Effect of confidence level 1−α",
+        "1−α",
+        values,
+        |b, q| b.ha_gt(q),
+    )
 }
 
 fn fig6c(ctx: &BenchContext) -> Vec<Table> {
@@ -569,7 +635,14 @@ fn fig6c(ctx: &BenchContext) -> Vec<Table> {
             )
         })
         .collect();
-    sweep(ctx, "fig6c", "Effect of repeat factor r", "r", values, |b, q| b.ha_gt(q))
+    sweep(
+        ctx,
+        "fig6c",
+        "Effect of repeat factor r",
+        "r",
+        values,
+        |b, q| b.ha_gt(q),
+    )
 }
 
 fn fig6d(ctx: &BenchContext) -> Vec<Table> {
@@ -585,7 +658,14 @@ fn fig6d(ctx: &BenchContext) -> Vec<Table> {
             )
         })
         .collect();
-    sweep(ctx, "fig6d", "Effect of desired sample ratio λ", "λ", values, |b, q| b.ha_gt(q))
+    sweep(
+        ctx,
+        "fig6d",
+        "Effect of desired sample ratio λ",
+        "λ",
+        values,
+        |b, q| b.ha_gt(q),
+    )
 }
 
 fn fig6e(ctx: &BenchContext) -> Vec<Table> {
@@ -600,7 +680,14 @@ fn fig6e(ctx: &BenchContext) -> Vec<Table> {
             )
         })
         .collect();
-    sweep(ctx, "fig6e", "Effect of the n-bounded subgraph", "n", values, |b, q| b.ha_gt(q))
+    sweep(
+        ctx,
+        "fig6e",
+        "Effect of the n-bounded subgraph",
+        "n",
+        values,
+        |b, q| b.ha_gt(q),
+    )
 }
 
 fn fig6f(ctx: &BenchContext) -> Vec<Table> {
@@ -655,7 +742,9 @@ fn fig6f(ctx: &BenchContext) -> Vec<Table> {
                     .collect();
                 let mut errs = Vec::new();
                 for q in queries {
-                    let QuerySpec::Simple(simple) = &q.query.query else { continue };
+                    let QuerySpec::Simple(simple) = &q.query.query else {
+                        continue;
+                    };
                     let resolved = simple.resolve(&bundle.dataset.graph).unwrap();
                     let gt = kg_query::simple_ground_truth(
                         &bundle.dataset.graph,

@@ -15,6 +15,18 @@
 //!
 //! or a single experiment with its id (`table5` … `table13`, `fig5a` …
 //! `fig6f`).
+//!
+//! Result tables render both as aligned text and as JSON:
+//!
+//! ```
+//! use kg_bench::report::fmt_num;
+//! use kg_bench::Table;
+//!
+//! let mut table = Table::new("table6", "Relative error", &["Method", "Simple"]);
+//! table.push_row(vec!["Ours".into(), fmt_num(0.84)]);
+//! assert!(table.to_string().contains("Relative error"));
+//! assert_eq!(table.to_json()["id"].as_str(), Some("table6"));
+//! ```
 
 pub mod experiments;
 pub mod harness;

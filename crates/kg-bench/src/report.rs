@@ -1,10 +1,11 @@
 //! Plain-text and JSON reporting of experiment results.
 
-use serde::Serialize;
 use std::fmt;
 
 /// A printable experiment table (one per paper table / figure panel).
-#[derive(Clone, Debug, Serialize)]
+/// Serialisation is hand-rolled in [`Table::to_json`] (the single JSON
+/// path), not derived.
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Experiment id, e.g. `table6`.
     pub id: String,
@@ -34,7 +35,19 @@ impl Table {
 
     /// Serialises the table to a JSON value.
     pub fn to_json(&self) -> serde_json::Value {
-        serde_json::to_value(self).expect("table serialises")
+        use serde_json::{Map, Value};
+        let strings = |items: &[String]| {
+            Value::Array(items.iter().map(|s| Value::String(s.clone())).collect())
+        };
+        let mut obj = Map::new();
+        obj.insert("id".to_string(), Value::String(self.id.clone()));
+        obj.insert("title".to_string(), Value::String(self.title.clone()));
+        obj.insert("headers".to_string(), strings(&self.headers));
+        obj.insert(
+            "rows".to_string(),
+            Value::Array(self.rows.iter().map(|r| strings(r)).collect()),
+        );
+        Value::Object(obj)
     }
 }
 
@@ -68,12 +81,26 @@ impl fmt::Display for Table {
             cells
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .map(|(i, c)| {
+                    format!(
+                        "{:width$}",
+                        c,
+                        width = widths.get(i).copied().unwrap_or(c.len())
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join(" | ")
         };
         writeln!(f, "{}", line(&self.headers, &widths))?;
-        writeln!(f, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-|-"))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-|-")
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", line(row, &widths))?;
         }

@@ -117,9 +117,13 @@ mod tests {
 
     #[test]
     fn entries_stay_sorted() {
-        let s: AttributeSet = [(AttrId::new(5), 1.0), (AttrId::new(2), 2.0), (AttrId::new(9), 3.0)]
-            .into_iter()
-            .collect();
+        let s: AttributeSet = [
+            (AttrId::new(5), 1.0),
+            (AttrId::new(2), 2.0),
+            (AttrId::new(9), 3.0),
+        ]
+        .into_iter()
+        .collect();
         let ids: Vec<u32> = s.iter().map(|(a, _)| a.raw()).collect();
         assert_eq!(ids, vec![2, 5, 9]);
     }

@@ -57,7 +57,10 @@ mod tests {
 
     #[test]
     fn types_sorted_and_deduped() {
-        let e = Entity::new("BMW_X6", vec![TypeId::new(3), TypeId::new(1), TypeId::new(3)]);
+        let e = Entity::new(
+            "BMW_X6",
+            vec![TypeId::new(3), TypeId::new(1), TypeId::new(3)],
+        );
         assert_eq!(e.types, vec![TypeId::new(1), TypeId::new(3)]);
         assert!(e.has_type(TypeId::new(1)));
         assert!(!e.has_type(TypeId::new(2)));

@@ -46,13 +46,14 @@ pub use attributes::{AttrValue, AttributeSet};
 pub use builder::GraphBuilder;
 pub use entity::Entity;
 pub use error::{KgError, KgResult};
-pub use graph::{EdgeRef, Direction, KnowledgeGraph};
+pub use graph::{Direction, EdgeRef, KnowledgeGraph};
 pub use ids::{AttrId, EntityId, PredicateId, TypeId};
 pub use index::{NameIndex, TypeIndex};
 pub use interner::StringInterner;
 pub use loader::{load_tsv, save_tsv};
 pub use neighborhood::{
-    bounded_nodes, bounded_subgraph, enumerate_paths, enumerate_paths_to, BoundedSubgraph, Path,
+    bounded_nodes, bounded_subgraph, enumerate_paths, enumerate_paths_filtered, enumerate_paths_to,
+    BoundedSubgraph, Path,
 };
 pub use predicate::PredicateVocabulary;
 pub use stats::GraphStats;

@@ -40,8 +40,7 @@ pub fn read_tsv<R: Read>(reader: R) -> KgResult<KnowledgeGraph> {
             "E" => {
                 let name = parts.next().ok_or_else(|| err("missing entity name"))?;
                 let types = parts.next().unwrap_or("");
-                let type_names: Vec<&str> =
-                    types.split(',').filter(|t| !t.is_empty()).collect();
+                let type_names: Vec<&str> = types.split(',').filter(|t| !t.is_empty()).collect();
                 builder.add_entity(name, &type_names);
             }
             "A" => {
@@ -77,7 +76,12 @@ pub fn read_tsv<R: Read>(reader: R) -> KgResult<KnowledgeGraph> {
 /// Serialises a knowledge graph to a writer in the TSV format.
 pub fn write_tsv<W: Write>(graph: &KnowledgeGraph, writer: W) -> KgResult<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# kg-core TSV dump: {} entities, {} triples", graph.entity_count(), graph.edge_count())?;
+    writeln!(
+        w,
+        "# kg-core TSV dump: {} entities, {} triples",
+        graph.entity_count(),
+        graph.edge_count()
+    )?;
     for id in graph.entity_ids() {
         let e = graph.entity(id);
         let types: Vec<&str> = e.types.iter().map(|t| graph.type_name(*t)).collect();
@@ -86,7 +90,13 @@ pub fn write_tsv<W: Write>(graph: &KnowledgeGraph, writer: W) -> KgResult<()> {
     for id in graph.entity_ids() {
         let e = graph.entity(id);
         for (attr, value) in e.attributes.iter() {
-            writeln!(w, "A\t{}\t{}\t{}", e.name, graph.attr_name(attr), value.get())?;
+            writeln!(
+                w,
+                "A\t{}\t{}\t{}",
+                e.name,
+                graph.attr_name(attr),
+                value.get()
+            )?;
         }
     }
     for t in graph.triples() {
@@ -147,7 +157,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let text = "# header\n\nE\tGermany\tCountry\nE\tBMW\tAutomobile\nT\tBMW\tassembly\tGermany\n";
+        let text =
+            "# header\n\nE\tGermany\tCountry\nE\tBMW\tAutomobile\nT\tBMW\tassembly\tGermany\n";
         let g = read_tsv(text.as_bytes()).unwrap();
         assert_eq!(g.entity_count(), 2);
         assert_eq!(g.edge_count(), 1);

@@ -8,6 +8,7 @@
 
 use crate::graph::KnowledgeGraph;
 use crate::ids::{EntityId, PredicateId};
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 
 /// A simple path in the knowledge graph, starting at `source` and following
@@ -135,11 +136,7 @@ impl BoundedSubgraph {
 
 /// Breadth-first search returning every node within `radius` hops of `start`,
 /// paired with its distance. `start` itself is included at distance 0.
-pub fn bounded_nodes(
-    graph: &KnowledgeGraph,
-    start: EntityId,
-    radius: u32,
-) -> Vec<(EntityId, u32)> {
+pub fn bounded_nodes(graph: &KnowledgeGraph, start: EntityId, radius: u32) -> Vec<(EntityId, u32)> {
     let sub = bounded_subgraph(graph, start, radius);
     let mut v: Vec<(EntityId, u32)> = sub.dist.into_iter().collect();
     v.sort_unstable();
@@ -158,8 +155,8 @@ pub fn bounded_subgraph(graph: &KnowledgeGraph, start: EntityId, radius: u32) ->
             continue;
         }
         for edge in graph.neighbors(u) {
-            if !dist.contains_key(&edge.neighbor) {
-                dist.insert(edge.neighbor, d + 1);
+            if let Entry::Vacant(slot) = dist.entry(edge.neighbor) {
+                slot.insert(d + 1);
                 queue.push_back(edge.neighbor);
             }
         }
@@ -183,6 +180,26 @@ pub fn enumerate_paths(
     max_len: usize,
     limit: usize,
 ) -> Vec<Path> {
+    enumerate_paths_filtered(graph, source, target, max_len, limit, |_| true)
+}
+
+/// Like [`enumerate_paths`], but a node may only appear as an *interior*
+/// path node when `allow_intermediate` accepts it (endpoints are exempt).
+///
+/// Pruning during the DFS — rather than filtering the result — matters under
+/// the `limit` budget: a dense graph can otherwise exhaust the budget with
+/// paths the caller would discard, hiding admissible ones.
+pub fn enumerate_paths_filtered<F>(
+    graph: &KnowledgeGraph,
+    source: EntityId,
+    target: EntityId,
+    max_len: usize,
+    limit: usize,
+    mut allow_intermediate: F,
+) -> Vec<Path>
+where
+    F: FnMut(EntityId) -> bool,
+{
     let mut out = Vec::new();
     if limit == 0 || max_len == 0 {
         return out;
@@ -197,14 +214,13 @@ pub fn enumerate_paths(
             if path.visits(edge.neighbor) {
                 continue;
             }
-            let next = path.extended(edge.predicate, edge.neighbor);
             if edge.neighbor == target {
-                out.push(next.clone());
+                out.push(path.extended(edge.predicate, edge.neighbor));
                 if out.len() >= limit {
                     break;
                 }
-            } else if next.len() < max_len {
-                stack.push(next);
+            } else if path.len() + 1 < max_len && allow_intermediate(edge.neighbor) {
+                stack.push(path.extended(edge.predicate, edge.neighbor));
             }
         }
     }
@@ -294,7 +310,10 @@ mod tests {
         let p = p.extended(PredicateId::new(3), EntityId::new(4));
         assert_eq!(p.len(), 2);
         assert_eq!(p.target(), EntityId::new(4));
-        assert_eq!(p.nodes(), vec![EntityId::new(0), EntityId::new(2), EntityId::new(4)]);
+        assert_eq!(
+            p.nodes(),
+            vec![EntityId::new(0), EntityId::new(2), EntityId::new(4)]
+        );
         assert_eq!(
             p.predicates().collect::<Vec<_>>(),
             vec![PredicateId::new(1), PredicateId::new(3)]

@@ -75,12 +75,22 @@ impl Annotation {
 
     /// Records that `entity` was planted as an answer of `(domain, hub)` via
     /// `schema`.
-    pub fn record(&mut self, domain: &str, hub: &str, schema: &str, correct: bool, entity: EntityId) {
+    pub fn record(
+        &mut self,
+        domain: &str,
+        hub: &str,
+        schema: &str,
+        correct: bool,
+        entity: EntityId,
+    ) {
         let key = (domain.to_string(), hub.to_string());
         if correct {
             self.correct.entry(key.clone()).or_default().insert(entity);
         } else {
-            self.incorrect.entry(key.clone()).or_default().insert(entity);
+            self.incorrect
+                .entry(key.clone())
+                .or_default()
+                .insert(entity);
         }
         self.by_schema
             .entry((domain.to_string(), hub.to_string(), schema.to_string()))
@@ -172,7 +182,13 @@ mod tests {
 
     #[test]
     fn record_and_query_planted_truth() {
-        let mut a = Annotation::new(AnnotationNoise { miss_rate: 0.0, false_positive_rate: 0.0 }, 1);
+        let mut a = Annotation::new(
+            AnnotationNoise {
+                miss_rate: 0.0,
+                false_positive_rate: 0.0,
+            },
+            1,
+        );
         a.declare_schema("automotive", "direct_product", true, None);
         a.declare_schema("automotive", "via_company", true, Some("Company"));
         a.declare_schema("automotive", "designer", false, Some("Person"));
@@ -183,7 +199,10 @@ mod tests {
         assert_eq!(a.ha_simple("automotive", "Germany"), vec![e(1), e(2)]);
         assert_eq!(a.ha_chain("automotive", "Germany", "Company"), vec![e(2)]);
         assert!(a.ha_chain("automotive", "Germany", "Person").is_empty());
-        assert_eq!(a.schema_answers("automotive", "Germany", "designer"), vec![e(3)]);
+        assert_eq!(
+            a.schema_answers("automotive", "Germany", "designer"),
+            vec![e(3)]
+        );
         assert!(a.planted_correct("automotive", "France").is_empty());
         assert_eq!(a.populated_hubs().len(), 1);
     }

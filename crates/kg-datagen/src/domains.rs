@@ -160,29 +160,51 @@ pub fn automotive(hubs: &[&str]) -> DomainSpec {
             AttributeSpec::new("fuel_economy", 18.0, 45.0),
         ],
         schemas: vec![
-            ConnectionSchema::new("direct_product", vec![SchemaHop::to_hub("product")], true, 0.25),
-            ConnectionSchema::new("direct_assembly", vec![SchemaHop::to_hub("assembly")], true, 0.2),
+            ConnectionSchema::new(
+                "direct_product",
+                vec![SchemaHop::to_hub("product")],
+                true,
+                0.25,
+            ),
+            ConnectionSchema::new(
+                "direct_assembly",
+                vec![SchemaHop::to_hub("assembly")],
+                true,
+                0.2,
+            ),
             ConnectionSchema::new(
                 "via_company",
-                vec![SchemaHop::via("manufacturer", "Company"), SchemaHop::to_hub("country")],
+                vec![
+                    SchemaHop::via("manufacturer", "Company"),
+                    SchemaHop::to_hub("country"),
+                ],
                 true,
                 0.25,
             ),
             ConnectionSchema::new(
                 "via_assembly_company",
-                vec![SchemaHop::via("assembly", "Company"), SchemaHop::to_hub("country")],
+                vec![
+                    SchemaHop::via("assembly", "Company"),
+                    SchemaHop::to_hub("country"),
+                ],
                 true,
                 0.15,
             ),
             ConnectionSchema::new(
                 "designer",
-                vec![SchemaHop::via("designer", "Person"), SchemaHop::to_hub("nationality")],
+                vec![
+                    SchemaHop::via("designer", "Person"),
+                    SchemaHop::to_hub("nationality"),
+                ],
                 false,
                 0.1,
             ),
             ConnectionSchema::new(
                 "exhibition",
-                vec![SchemaHop::via("exhibitedAt", "Museum"), SchemaHop::to_hub("situatedIn")],
+                vec![
+                    SchemaHop::via("exhibitedAt", "Museum"),
+                    SchemaHop::to_hub("situatedIn"),
+                ],
                 false,
                 0.05,
             ),
@@ -219,13 +241,19 @@ pub fn soccer(hubs: &[&str]) -> DomainSpec {
             ConnectionSchema::new("plays_for", vec![SchemaHop::to_hub("playsFor")], true, 0.2),
             ConnectionSchema::new(
                 "via_squad",
-                vec![SchemaHop::via("memberOf", "Squad"), SchemaHop::to_hub("squadOf")],
+                vec![
+                    SchemaHop::via("memberOf", "Squad"),
+                    SchemaHop::to_hub("squadOf"),
+                ],
                 true,
                 0.2,
             ),
             ConnectionSchema::new(
                 "trained_at",
-                vec![SchemaHop::via("trainedAt", "Academy"), SchemaHop::to_hub("affiliatedWith")],
+                vec![
+                    SchemaHop::via("trainedAt", "Academy"),
+                    SchemaHop::to_hub("affiliatedWith"),
+                ],
                 false,
                 0.1,
             ),
@@ -258,21 +286,42 @@ pub fn movies(hubs: &[&str]) -> DomainSpec {
             AttributeSpec::new("runtime", 70.0, 200.0),
         ],
         schemas: vec![
-            ConnectionSchema::new("direct_director", vec![SchemaHop::to_hub("director")], true, 0.4),
-            ConnectionSchema::new("directed_by", vec![SchemaHop::to_hub("directedBy")], true, 0.2),
+            ConnectionSchema::new(
+                "direct_director",
+                vec![SchemaHop::to_hub("director")],
+                true,
+                0.4,
+            ),
+            ConnectionSchema::new(
+                "directed_by",
+                vec![SchemaHop::to_hub("directedBy")],
+                true,
+                0.2,
+            ),
             ConnectionSchema::new(
                 "via_studio",
-                vec![SchemaHop::via("producedBy", "Studio"), SchemaHop::to_hub("founder")],
+                vec![
+                    SchemaHop::via("producedBy", "Studio"),
+                    SchemaHop::to_hub("founder"),
+                ],
                 false,
                 0.15,
             ),
             ConnectionSchema::new(
                 "via_franchise",
-                vec![SchemaHop::via("partOf", "Franchise"), SchemaHop::to_hub("createdBy")],
+                vec![
+                    SchemaHop::via("partOf", "Franchise"),
+                    SchemaHop::to_hub("createdBy"),
+                ],
                 true,
                 0.15,
             ),
-            ConnectionSchema::new("screened_at", vec![SchemaHop::to_hub("screenedAt")], false, 0.1),
+            ConnectionSchema::new(
+                "screened_at",
+                vec![SchemaHop::to_hub("screenedAt")],
+                false,
+                0.1,
+            ),
         ],
         predicate_affinities: vec![
             ("director".into(), 1.0),
@@ -300,15 +349,33 @@ pub fn geography(hubs: &[&str]) -> DomainSpec {
             AttributeSpec::new("area", 10.0, 9_000.0),
         ],
         schemas: vec![
-            ConnectionSchema::new("direct_located", vec![SchemaHop::to_hub("locatedIn")], true, 0.45),
-            ConnectionSchema::new("country_of", vec![SchemaHop::to_hub("inCountry")], true, 0.25),
+            ConnectionSchema::new(
+                "direct_located",
+                vec![SchemaHop::to_hub("locatedIn")],
+                true,
+                0.45,
+            ),
+            ConnectionSchema::new(
+                "country_of",
+                vec![SchemaHop::to_hub("inCountry")],
+                true,
+                0.25,
+            ),
             ConnectionSchema::new(
                 "via_region",
-                vec![SchemaHop::via("inRegion", "Region"), SchemaHop::to_hub("partOfCountry")],
+                vec![
+                    SchemaHop::via("inRegion", "Region"),
+                    SchemaHop::to_hub("partOfCountry"),
+                ],
                 true,
                 0.2,
             ),
-            ConnectionSchema::new("twinned", vec![SchemaHop::to_hub("twinnedWith")], false, 0.1),
+            ConnectionSchema::new(
+                "twinned",
+                vec![SchemaHop::to_hub("twinnedWith")],
+                false,
+                0.1,
+            ),
         ],
         predicate_affinities: vec![
             ("locatedIn".into(), 1.0),
@@ -332,8 +399,18 @@ pub fn languages(hubs: &[&str]) -> DomainSpec {
         query_predicate: "spokenIn".into(),
         attributes: vec![AttributeSpec::new("speakers", 10_000.0, 90_000_000.0)],
         schemas: vec![
-            ConnectionSchema::new("direct_spoken", vec![SchemaHop::to_hub("spokenIn")], true, 0.55),
-            ConnectionSchema::new("official", vec![SchemaHop::to_hub("officialLanguageOf")], true, 0.3),
+            ConnectionSchema::new(
+                "direct_spoken",
+                vec![SchemaHop::to_hub("spokenIn")],
+                true,
+                0.55,
+            ),
+            ConnectionSchema::new(
+                "official",
+                vec![SchemaHop::to_hub("officialLanguageOf")],
+                true,
+                0.3,
+            ),
             ConnectionSchema::new("studied", vec![SchemaHop::to_hub("studiedIn")], false, 0.15),
         ],
         predicate_affinities: vec![

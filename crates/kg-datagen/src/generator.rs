@@ -115,7 +115,11 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedDataset {
                 all_targets.push(target);
                 for attr in &domain.attributes {
                     if rng.gen::<f64>() < attr.coverage {
-                        b.set_attribute(target, &attr.name, attr_value(attr.low, attr.high, &mut rng));
+                        b.set_attribute(
+                            target,
+                            &attr.name,
+                            attr_value(attr.low, attr.high, &mut rng),
+                        );
                     }
                 }
                 // Primary hub connection plus probabilistic secondary/tertiary hubs.
@@ -143,7 +147,13 @@ pub fn generate(config: &GeneratorConfig) -> GeneratedDataset {
                         let mid = pool[rng.gen_range(0..pool.len())];
                         b.add_edge(target, &schema.hops[0].predicate, mid);
                     }
-                    annotation.record(&domain.name, target_hub_name, &schema.name, schema.correct, target);
+                    annotation.record(
+                        &domain.name,
+                        target_hub_name,
+                        &schema.name,
+                        schema.correct,
+                        target,
+                    );
                 }
             }
         }
@@ -236,7 +246,10 @@ mod tests {
         assert!(g.edge_count() > g.entity_count() / 2);
         assert!(g.entity_by_name("Germany").is_some());
         let auto = g.type_id("Automobile").unwrap();
-        assert_eq!(g.entities_with_type(auto).len(), 3 * DatasetScale::tiny().targets_per_hub);
+        assert_eq!(
+            g.entities_with_type(auto).len(),
+            3 * DatasetScale::tiny().targets_per_hub
+        );
         assert!(g.attr_id("price").is_some());
         assert_eq!(d.domain("automotive").unwrap().name, "automotive");
         assert!(d.domain("nope").is_none());

@@ -23,6 +23,19 @@
 //! Three dataset profiles (`dbpedia-like`, `freebase-like`, `yago-like`)
 //! differ in domain mix, density and noise, standing in for the three
 //! real-world KGs of Table III at laptop scale.
+//!
+//! ```
+//! use kg_datagen::{domains, generate, DatasetScale, GeneratorConfig};
+//!
+//! let dataset = generate(&GeneratorConfig::new(
+//!     "demo",
+//!     DatasetScale::tiny(),
+//!     vec![domains::automotive(&["Germany", "China"])],
+//!     7,
+//! ));
+//! assert!(dataset.graph.entity_by_name("Germany").is_some());
+//! assert!(!dataset.annotation.planted_correct("automotive", "China").is_empty());
+//! ```
 
 pub mod annotation;
 pub mod config;

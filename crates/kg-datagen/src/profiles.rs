@@ -57,8 +57,19 @@ impl std::fmt::Display for DatasetProfileKind {
 const COUNTRIES: &[&str] = &[
     "Germany", "China", "Korea", "Japan", "France", "Italy", "Spain", "England",
 ];
-const CLUBS: &[&str] = &["Barcelona_FC", "Real_Madrid", "Bayern_Munich", "Arsenal", "Juventus"];
-const DIRECTORS: &[&str] = &["Steven_Spielberg", "Ang_Lee", "Bong_Joon-ho", "Greta_Gerwig"];
+const CLUBS: &[&str] = &[
+    "Barcelona_FC",
+    "Real_Madrid",
+    "Bayern_Munich",
+    "Arsenal",
+    "Juventus",
+];
+const DIRECTORS: &[&str] = &[
+    "Steven_Spielberg",
+    "Ang_Lee",
+    "Bong_Joon-ho",
+    "Greta_Gerwig",
+];
 
 /// DBpedia-like: automotive + geography + soccer.
 pub fn dbpedia_like(scale: DatasetScale, seed: u64) -> GeneratorConfig {
@@ -122,7 +133,10 @@ mod tests {
         assert!(db.graph.entity_count() > 0 && yago.graph.entity_count() > 0);
         assert_eq!(db.name, "DBpedia-like");
         assert_eq!(DatasetProfileKind::all().len(), 3);
-        assert_eq!(DatasetProfileKind::FreebaseLike.to_string(), "Freebase-like");
+        assert_eq!(
+            DatasetProfileKind::FreebaseLike.to_string(),
+            "Freebase-like"
+        );
     }
 
     #[test]

@@ -261,7 +261,11 @@ pub fn build_workload(dataset: &GeneratedDataset, config: &WorkloadConfig) -> Ve
         // ---- Chain queries ----
         if let Some(schema) = correct_2hop.first() {
             let via_type = schema.hops[0].via_type.clone().unwrap_or_default();
-            for (i, hub) in hubs.iter().take(config.queries_per_shape.min(3)).enumerate() {
+            for (i, hub) in hubs
+                .iter()
+                .take(config.queries_per_shape.min(3))
+                .enumerate()
+            {
                 let function = aggregate_for(i, &domain.attributes);
                 let chain = ChainQuery::new(
                     hub,
@@ -373,7 +377,10 @@ pub fn build_workload(dataset: &GeneratedDataset, config: &WorkloadConfig) -> Ve
                         &[domain.hub_type.as_str()],
                         vec![
                             ChainHop::new(&schema.hops[1].predicate, &[via_type.as_str()]),
-                            ChainHop::new(&schema.hops[0].predicate, &[domain.target_type.as_str()]),
+                            ChainHop::new(
+                                &schema.hops[0].predicate,
+                                &[domain.target_type.as_str()],
+                            ),
                         ],
                     );
                     out.push(WorkloadQuery {
@@ -434,10 +441,7 @@ mod tests {
         let wl = build_workload(&d, &WorkloadConfig::default());
         assert!(wl.len() >= 20, "{}", wl.len());
         for shape in QueryShape::all() {
-            assert!(
-                wl.iter().any(|q| q.shape == shape),
-                "missing shape {shape}"
-            );
+            assert!(wl.iter().any(|q| q.shape == shape), "missing shape {shape}");
         }
         for cat in [
             QueryCategory::Plain,
@@ -445,7 +449,11 @@ mod tests {
             QueryCategory::Grouped,
             QueryCategory::Extreme,
         ] {
-            assert!(wl.iter().any(|q| q.category == cat), "missing {}", cat.name());
+            assert!(
+                wl.iter().any(|q| q.category == cat),
+                "missing {}",
+                cat.name()
+            );
         }
         // Ids are unique.
         let ids: std::collections::HashSet<_> = wl.iter().map(|q| q.id.clone()).collect();
@@ -479,10 +487,19 @@ mod tests {
     #[test]
     fn simple_plain_ha_value_matches_planted_count() {
         let d = dataset();
-        let wl = build_workload(&d, &WorkloadConfig { include_operator_variants: false, ..Default::default() });
+        let wl = build_workload(
+            &d,
+            &WorkloadConfig {
+                include_operator_variants: false,
+                ..Default::default()
+            },
+        );
         let q = wl
             .iter()
-            .find(|q| q.shape == QueryShape::Simple && matches!(q.query.function, AggregateFunction::Count))
+            .find(|q| {
+                q.shape == QueryShape::Simple
+                    && matches!(q.query.function, AggregateFunction::Count)
+            })
             .unwrap();
         let ha = q.ha_value(&d);
         assert!(ha > 0.0);

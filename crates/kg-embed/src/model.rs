@@ -72,8 +72,13 @@ pub trait TripleScorer {
 
     /// Performs one stochastic gradient step on a (positive, negative) pair
     /// if the margin constraint is violated. Returns the incurred loss.
-    fn update(&mut self, positive: Triple, negative: Triple, learning_rate: f64, margin: f64)
-        -> f64;
+    fn update(
+        &mut self,
+        positive: Triple,
+        negative: Triple,
+        learning_rate: f64,
+        margin: f64,
+    ) -> f64;
 
     /// Hook called after every epoch (e.g. to re-normalise entity vectors).
     fn post_epoch(&mut self);

@@ -67,7 +67,9 @@ mod tests {
 
     fn graph() -> KnowledgeGraph {
         let mut b = GraphBuilder::new();
-        let ids: Vec<_> = (0..20).map(|i| b.add_entity(&format!("e{i}"), &["T"])).collect();
+        let ids: Vec<_> = (0..20)
+            .map(|i| b.add_entity(&format!("e{i}"), &["T"]))
+            .collect();
         for w in ids.windows(2) {
             b.add_edge(w[0], "p", w[1]);
         }
@@ -98,7 +100,10 @@ mod tests {
             .filter(|_| sampler.is_observed(sampler.corrupt(g.triples()[0], &mut rng)))
             .count();
         // The retry loop makes observed corruptions very rare.
-        assert!(observed_hits < 10, "too many observed corruptions: {observed_hits}");
+        assert!(
+            observed_hits < 10,
+            "too many observed corruptions: {observed_hits}"
+        );
     }
 
     #[test]

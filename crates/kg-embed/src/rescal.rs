@@ -18,7 +18,12 @@ pub struct Rescal {
 
 impl Rescal {
     /// Random initialisation.
-    pub fn new<R: Rng>(entity_count: usize, relation_count: usize, dimension: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        entity_count: usize,
+        relation_count: usize,
+        dimension: usize,
+        rng: &mut R,
+    ) -> Self {
         let bound = 1.0 / (dimension as f64).sqrt();
         let entities = (0..entity_count)
             .map(|_| {

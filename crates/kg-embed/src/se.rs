@@ -19,7 +19,12 @@ pub struct StructuredEmbedding {
 impl StructuredEmbedding {
     /// Random initialisation; projection matrices start near the identity so
     /// early training behaves like plain distance matching.
-    pub fn new<R: Rng>(entity_count: usize, relation_count: usize, dimension: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        entity_count: usize,
+        relation_count: usize,
+        dimension: usize,
+        rng: &mut R,
+    ) -> Self {
         let bound = 0.1 / (dimension as f64).sqrt();
         let entities = (0..entity_count)
             .map(|_| {
@@ -120,8 +125,7 @@ impl TripleScorer for StructuredEmbedding {
     }
 
     fn parameter_count(&self) -> usize {
-        self.entities.len() * self.dimension
-            + 2 * self.left.len() * self.dimension * self.dimension
+        self.entities.len() * self.dimension + 2 * self.left.len() * self.dimension * self.dimension
     }
 }
 

@@ -85,10 +85,19 @@ mod tests {
         }
         let f = Fixed;
         let as_ref: &dyn PredicateSimilarity = &f;
-        assert_eq!(as_ref.similarity(PredicateId::new(1), PredicateId::new(1)), 1.0);
+        assert_eq!(
+            as_ref.similarity(PredicateId::new(1), PredicateId::new(1)),
+            1.0
+        );
         let arc: std::sync::Arc<dyn PredicateSimilarity> = std::sync::Arc::new(Fixed);
-        assert_eq!(arc.similarity(PredicateId::new(1), PredicateId::new(2)), 0.5);
+        assert_eq!(
+            arc.similarity(PredicateId::new(1), PredicateId::new(2)),
+            0.5
+        );
         let nested = &arc;
-        assert_eq!(nested.similarity(PredicateId::new(3), PredicateId::new(4)), 0.5);
+        assert_eq!(
+            nested.similarity(PredicateId::new(3), PredicateId::new(4)),
+            0.5
+        );
     }
 }

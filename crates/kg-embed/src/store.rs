@@ -25,11 +25,7 @@ impl PredicateVectorStore {
     /// Builds a store from `(predicate, vector)` pairs. Predicates missing
     /// from the input get a zero vector (similarity 0 to everything).
     pub fn from_vectors(pairs: Vec<(PredicateId, Vector)>) -> Self {
-        let count = pairs
-            .iter()
-            .map(|(p, _)| p.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let count = pairs.iter().map(|(p, _)| p.index() + 1).max().unwrap_or(0);
         let dim = pairs.first().map(|(_, v)| v.dim()).unwrap_or(0);
         let mut vectors = vec![Vector::zeros(dim); count];
         for (p, v) in pairs {

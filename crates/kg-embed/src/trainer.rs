@@ -87,7 +87,11 @@ fn build_model(
 }
 
 /// Trains `kind` on `graph` and returns the predicate-vector store plus stats.
-pub fn train(graph: &KnowledgeGraph, kind: EmbeddingModelKind, config: &TrainerConfig) -> TrainedEmbedding {
+pub fn train(
+    graph: &KnowledgeGraph,
+    kind: EmbeddingModelKind,
+    config: &TrainerConfig,
+) -> TrainedEmbedding {
     let start = Instant::now();
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut model = build_model(
@@ -108,8 +112,7 @@ pub fn train(graph: &KnowledgeGraph, kind: EmbeddingModelKind, config: &TrainerC
             let positive = graph.triples()[i];
             for _ in 0..config.negatives_per_positive.max(1) {
                 let negative = sampler.corrupt(positive, &mut rng);
-                epoch_loss +=
-                    model.update(positive, negative, config.learning_rate, config.margin);
+                epoch_loss += model.update(positive, negative, config.learning_rate, config.margin);
                 updates += 1;
             }
         }

@@ -22,7 +22,12 @@ pub struct TransD {
 impl TransD {
     /// Random initialisation; entity and relation vectors start unit-norm,
     /// projection vectors start small.
-    pub fn new<R: Rng>(entity_count: usize, relation_count: usize, dimension: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        entity_count: usize,
+        relation_count: usize,
+        dimension: usize,
+        rng: &mut R,
+    ) -> Self {
         let bound = 6.0 / (dimension as f64).sqrt();
         let unit = |rng: &mut R| {
             let mut v = Vector::random(dimension, bound, rng);

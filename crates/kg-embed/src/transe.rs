@@ -17,7 +17,12 @@ pub struct TransE {
 impl TransE {
     /// Random initialisation with entries in `[-6/√d, 6/√d]` (as in the
     /// original paper), entity vectors normalised to unit norm.
-    pub fn new<R: Rng>(entity_count: usize, relation_count: usize, dimension: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        entity_count: usize,
+        relation_count: usize,
+        dimension: usize,
+        rng: &mut R,
+    ) -> Self {
         let bound = 6.0 / (dimension as f64).sqrt();
         let mut entities: Vec<Vector> = (0..entity_count)
             .map(|_| Vector::random(dimension, bound, rng))

@@ -20,7 +20,12 @@ pub struct TransH {
 impl TransH {
     /// Random initialisation; entity vectors and hyperplane normals are
     /// normalised to unit norm.
-    pub fn new<R: Rng>(entity_count: usize, relation_count: usize, dimension: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        entity_count: usize,
+        relation_count: usize,
+        dimension: usize,
+        rng: &mut R,
+    ) -> Self {
         let bound = 6.0 / (dimension as f64).sqrt();
         let mut mk = |normalise: bool| {
             let mut v = Vector::random(dimension, bound, rng);

@@ -170,9 +170,9 @@ impl Matrix {
     pub fn matvec(&self, v: &Vector) -> Vector {
         debug_assert_eq!(self.cols, v.dim());
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, slot) in out.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            out[r] = row.iter().zip(v.as_slice()).map(|(a, b)| a * b).sum();
+            *slot = row.iter().zip(v.as_slice()).map(|(a, b)| a * b).sum();
         }
         Vector(out)
     }

@@ -38,6 +38,9 @@ pub fn normal_critical_value(confidence: f64) -> f64 {
     inverse_normal_cdf(p)
 }
 
+// The coefficients are quoted verbatim from Acklam's published tables;
+// keeping the trailing digits makes them checkable against the source.
+#[allow(clippy::excessive_precision)]
 fn inverse_normal_cdf(p: f64) -> f64 {
     // Peter Acklam's algorithm.
     const A: [f64; 6] = [
@@ -265,9 +268,18 @@ mod tests {
     #[test]
     fn degenerate_inputs_return_zero() {
         let mut rng = SmallRng::seed_from_u64(1);
-        assert_eq!(bootstrap_moe(&resolved_count(), &[], 0.95, 50, &mut rng), 0.0);
         assert_eq!(
-            blb_moe(&resolved_count(), &[], 0.95, &BootstrapConfig::default(), &mut rng),
+            bootstrap_moe(&resolved_count(), &[], 0.95, 50, &mut rng),
+            0.0
+        );
+        assert_eq!(
+            blb_moe(
+                &resolved_count(),
+                &[],
+                0.95,
+                &BootstrapConfig::default(),
+                &mut rng
+            ),
             0.0
         );
     }

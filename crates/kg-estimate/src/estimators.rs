@@ -28,10 +28,17 @@ impl ValidatedAnswer {
 
 /// Computes the estimator Ê = f̂_a(S_A) of Eq. 7–9 over a validated sample.
 ///
-/// * COUNT: `(1/|S⁺|) Σ 1/π'_i` (unbiased, Lemma 4)
-/// * SUM:   `(1/|S⁺|) Σ u_i.a/π'_i` (unbiased, Lemma 3)
-/// * AVG:   `Σ u_i.a/π'_i / Σ 1/π'_i` (consistent, Lemma 5)
+/// * COUNT: `(1/|S_A|) Σ_{u_i ∈ S⁺} 1/π'_i` (unbiased, Lemma 4)
+/// * SUM:   `(1/|S_A|) Σ_{u_i ∈ S⁺} u_i.a/π'_i` (unbiased, Lemma 3)
+/// * AVG:   `Σ u_i.a/π'_i / Σ 1/π'_i` over S⁺ (consistent, Lemma 5)
 /// * MAX / MIN: extreme value seen in the sample (no guarantee, §VII).
+///
+/// The Horvitz–Thompson normaliser for COUNT/SUM is the **full** sample size
+/// |S_A|: every draw from π'_A is a trial, and incorrect draws contribute 0
+/// to the numerator. Dividing by |S⁺_A| instead would inflate the estimate by
+/// 1/(correct fraction) — E[1{u∈A⁺}/π'_u] = |A⁺| holds per draw, not per
+/// *correct* draw (Lemma 3–4). AVG is the self-normalising ratio estimator,
+/// where the normaliser cancels.
 ///
 /// Returns 0.0 when no sampled answer contributes.
 pub fn estimate(aggregate: &ResolvedAggregate, sample: &[ValidatedAnswer]) -> f64 {
@@ -39,7 +46,7 @@ pub fn estimate(aggregate: &ResolvedAggregate, sample: &[ValidatedAnswer]) -> f6
     if usable.is_empty() {
         return 0.0;
     }
-    let n = usable.len() as f64;
+    let n = sample.len() as f64;
     match aggregate.function {
         AggregateFunction::Count => usable.iter().map(|a| 1.0 / a.probability).sum::<f64>() / n,
         AggregateFunction::Sum(_) => {
@@ -137,8 +144,10 @@ mod tests {
                 similarity: 0.9,
             },
         ];
+        // Only the first draw enters the numerator, but all three draws form
+        // S_A and normalise the HT sum (Eq. 8 / Lemma 3): (10/0.5) / 3.
         let sum = estimate(&resolved(AggregateFunction::Sum("x".into())), &sample);
-        assert!((sum - 20.0).abs() < 1e-9);
+        assert!((sum - (10.0 / 0.5) / 3.0).abs() < 1e-9);
         assert!(!sample[1].contributes());
         assert!(!sample[2].contributes());
     }
@@ -146,10 +155,19 @@ mod tests {
     #[test]
     fn extremes_and_empty_samples() {
         let sample = vec![answer(0.2, 5.0, true), answer(0.3, 11.0, true)];
-        assert_eq!(estimate(&resolved(AggregateFunction::Max("x".into())), &sample), 11.0);
-        assert_eq!(estimate(&resolved(AggregateFunction::Min("x".into())), &sample), 5.0);
+        assert_eq!(
+            estimate(&resolved(AggregateFunction::Max("x".into())), &sample),
+            11.0
+        );
+        assert_eq!(
+            estimate(&resolved(AggregateFunction::Min("x".into())), &sample),
+            5.0
+        );
         assert_eq!(estimate(&resolved(AggregateFunction::Count), &[]), 0.0);
         let all_wrong = vec![answer(0.5, 1.0, false)];
-        assert_eq!(estimate(&resolved(AggregateFunction::Count), &all_wrong), 0.0);
+        assert_eq!(
+            estimate(&resolved(AggregateFunction::Count), &all_wrong),
+            0.0
+        );
     }
 }

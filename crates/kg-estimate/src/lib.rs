@@ -17,6 +17,19 @@
 //! * **Sample-size refinement** ([`refine`]): Theorem 2's termination test
 //!   `ε ≤ V̂·eb/(1+eb)` and the error-based Δ|S_A| configuration of Eq. 12,
 //!   plus the fixed-increment alternative used as an ablation (Fig. 5(c)).
+//!
+//! ```
+//! use kg_estimate::{estimate, ValidatedAnswer};
+//! use kg_query::{AggregateFunction, ResolvedAggregate};
+//!
+//! // Four answers sampled uniformly from a population of four: the HT COUNT
+//! // estimator recovers the population size exactly (Lemma 4).
+//! let sample: Vec<ValidatedAnswer> = (0..4)
+//!     .map(|_| ValidatedAnswer { probability: 0.25, value: Some(1.0), correct: true, similarity: 1.0 })
+//!     .collect();
+//! let count = ResolvedAggregate { function: AggregateFunction::Count, attribute: None };
+//! assert!((estimate(&count, &sample) - 4.0).abs() < 1e-12);
+//! ```
 
 pub mod confidence;
 pub mod estimators;

@@ -78,7 +78,7 @@ mod tests {
     #[test]
     fn degenerate_estimate_still_progresses() {
         let delta = additional_sample_size(50, 10.0, 0.0, 0.01, 0.6, 500);
-        assert!(delta >= 1 && delta <= 500);
+        assert!((1..=500).contains(&delta));
         let capped = additional_sample_size(1_000_000, 50.0, 1.0, 0.01, 0.6, 200);
         assert_eq!(capped, 200);
     }

@@ -258,7 +258,11 @@ mod tests {
         let avg = AggregateFunction::Avg("price".into()).resolve(&g).unwrap();
         assert_eq!(avg.apply_exact(&g, &answers), 60_000.0);
         let count = AggregateFunction::Count.resolve(&g).unwrap();
-        assert_eq!(count.apply_exact(&g, &answers), 4.0, "COUNT ignores attributes");
+        assert_eq!(
+            count.apply_exact(&g, &answers),
+            4.0,
+            "COUNT ignores attributes"
+        );
     }
 
     #[test]
@@ -266,7 +270,10 @@ mod tests {
         assert!(AggregateFunction::Count.has_accuracy_guarantee());
         assert!(!AggregateFunction::Max("x".into()).has_accuracy_guarantee());
         assert_eq!(AggregateFunction::Avg("price".into()).name(), "AVG");
-        assert_eq!(AggregateFunction::Sum("price".into()).attribute(), Some("price"));
+        assert_eq!(
+            AggregateFunction::Sum("price".into()).attribute(),
+            Some("price")
+        );
         assert!(AggregateFunction::Count.attribute().is_none());
         let g = graph();
         assert!(AggregateFunction::Sum("weight".into()).resolve(&g).is_err());

@@ -92,11 +92,13 @@ impl FactoidEngineKind {
     /// Instantiates the engine with its default parameters.
     pub fn build(self) -> Box<dyn FactoidEngine + Send + Sync> {
         match self {
-            FactoidEngineKind::LinkPrediction => Box::new(linkpred::LinkPredictionEngine::default()),
+            FactoidEngineKind::LinkPrediction => {
+                Box::new(linkpred::LinkPredictionEngine::default())
+            }
             FactoidEngineKind::Structural => Box::new(structural::StructuralEngine::default()),
             FactoidEngineKind::Keyword => Box::new(keyword::KeywordEngine::default()),
             FactoidEngineKind::TopKSemantic => Box::new(topk::TopKSemanticEngine::default()),
-            FactoidEngineKind::ExactSparql => Box::new(exact::ExactSparqlEngine::default()),
+            FactoidEngineKind::ExactSparql => Box::new(exact::ExactSparqlEngine),
         }
     }
 }

@@ -79,7 +79,13 @@ mod tests {
     use kg_core::GraphBuilder;
     use kg_embed::oracle::oracle_store;
 
-    fn setup(step: usize) -> (KnowledgeGraph, kg_embed::PredicateVectorStore, TopKSemanticEngine) {
+    fn setup(
+        step: usize,
+    ) -> (
+        KnowledgeGraph,
+        kg_embed::PredicateVectorStore,
+        TopKSemanticEngine,
+    ) {
         let mut b = GraphBuilder::new();
         let de = b.add_entity("Germany", &["Country"]);
         // 10 strongly-related cars, 30 weakly-related cars.

@@ -74,9 +74,7 @@ impl ResolvedFilter {
     pub fn matches(&self, graph: &KnowledgeGraph, entity: EntityId) -> bool {
         match graph.attribute_value(entity, self.attribute) {
             None => false,
-            Some(v) => {
-                self.lower.map_or(true, |l| v >= l) && self.upper.map_or(true, |u| v <= u)
-            }
+            Some(v) => self.lower.map_or(true, |l| v >= l) && self.upper.map_or(true, |u| v <= u),
         }
     }
 }
@@ -120,9 +118,18 @@ mod tests {
         let g = graph();
         let a = g.entity_by_name("car_a").unwrap();
         let b = g.entity_by_name("car_b").unwrap();
-        assert!(Filter::at_least("mpg", 30.0).resolve(&g).unwrap().matches(&g, b));
-        assert!(!Filter::at_least("mpg", 30.0).resolve(&g).unwrap().matches(&g, a));
-        assert!(Filter::at_most("mpg", 30.0).resolve(&g).unwrap().matches(&g, a));
+        assert!(Filter::at_least("mpg", 30.0)
+            .resolve(&g)
+            .unwrap()
+            .matches(&g, b));
+        assert!(!Filter::at_least("mpg", 30.0)
+            .resolve(&g)
+            .unwrap()
+            .matches(&g, a));
+        assert!(Filter::at_most("mpg", 30.0)
+            .resolve(&g)
+            .unwrap()
+            .matches(&g, a));
     }
 
     #[test]

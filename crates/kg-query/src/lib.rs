@@ -15,6 +15,25 @@
 //!   paper evaluates against (exact SPARQL matching, top-k semantic search,
 //!   structural similarity, keyword search, link prediction) in
 //!   [`baselines`].
+//!
+//! ```
+//! use kg_core::GraphBuilder;
+//! use kg_embed::oracle::oracle_store;
+//! use kg_query::{simple_ground_truth, GroundTruthConfig, SimpleQuery};
+//!
+//! let mut b = GraphBuilder::new();
+//! let germany = b.add_entity("Germany", &["Country"]);
+//! let car = b.add_entity("Porsche_911", &["Automobile"]);
+//! b.add_edge(germany, "product", car);
+//! let graph = b.build();
+//!
+//! let query = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"])
+//!     .resolve(&graph)
+//!     .unwrap();
+//! let oracle = oracle_store(&[(graph.predicate_id("product").unwrap(), 0, 1.0)]);
+//! let gt = simple_ground_truth(&graph, &query, &oracle, &GroundTruthConfig::default());
+//! assert_eq!(gt.correct_count(), 1);
+//! ```
 
 pub mod aggregate;
 pub mod baselines;
@@ -26,22 +45,22 @@ pub mod shapes;
 pub mod similarity;
 pub mod ssb;
 
-pub use aggregate::{
-    AggregateFunction, AggregateQuery, GroupBy, QuerySpec, ResolvedAggregate,
-};
+pub use aggregate::{AggregateFunction, AggregateQuery, GroupBy, QuerySpec, ResolvedAggregate};
 pub use baselines::{
     complex_answers, evaluate_with_engine, BaselineResult, FactoidEngine, FactoidEngineKind,
 };
 pub use filter::{matches_all, Filter, ResolvedFilter};
 pub use ground_truth::{
-    chain_ground_truth, complex_ground_truth, component_ground_truth, jaccard,
-    simple_ground_truth, CandidateAnswer, GroundTruth, GroundTruthConfig,
+    chain_ground_truth, complex_ground_truth, component_ground_truth, jaccard, simple_ground_truth,
+    CandidateAnswer, GroundTruth, GroundTruthConfig,
 };
-pub use matching::{best_match, best_similarity, MatchConfig, SubgraphMatch};
+pub use matching::{
+    admissible_intermediate, best_match, best_similarity, MatchConfig, SubgraphMatch,
+};
 pub use query_graph::{QueryNode, ResolvedSimpleQuery, SimpleQuery};
 pub use shapes::{
     ChainHop, ChainQuery, ComplexQuery, QueryComponent, QueryShape, ResolvedChainHop,
-    ResolvedChainQuery, ResolvedComponent, ResolvedComplexQuery,
+    ResolvedChainQuery, ResolvedComplexQuery, ResolvedComponent,
 };
 pub use similarity::{path_similarity, predicates_similarity, PathAggregation};
 pub use ssb::{SsbEngine, SsbResult};

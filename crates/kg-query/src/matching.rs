@@ -3,7 +3,7 @@
 
 use crate::query_graph::ResolvedSimpleQuery;
 use crate::similarity::{path_similarity, PathAggregation};
-use kg_core::{enumerate_paths, EntityId, KnowledgeGraph, Path};
+use kg_core::{enumerate_paths_filtered, EntityId, KnowledgeGraph, Path};
 use kg_embed::PredicateSimilarity;
 
 /// Parameters of exhaustive match search.
@@ -38,9 +38,34 @@ pub struct SubgraphMatch {
     pub similarity: f64,
 }
 
+/// True when `node` may appear as an *intermediate* node of a subgraph match
+/// for `query`.
+///
+/// The edge-to-path mapping of Definition 5 sends the query edge
+/// `q_s —p→ ?x` to a path whose endpoints play the roles of the mapping node
+/// and the answer; interior nodes stand in for connecting entities (the
+/// `Company` / `Person` intermediates of Fig. 1). A path whose interior
+/// passes through another hub-typed entity re-anchors the query at a
+/// different specific node, and one passing through another answer-typed
+/// entity witnesses that *other* answer, not the endpoint — e.g.
+/// `car_A →product→ Germany ←product← car_B →assembly→ China` is built from
+/// individually strong edges but is not a match of "product of China" for
+/// `car_A`. Both are therefore rejected as intermediates.
+pub fn admissible_intermediate(
+    graph: &KnowledgeGraph,
+    query: &ResolvedSimpleQuery,
+    node: EntityId,
+) -> bool {
+    let entity = graph.entity(node);
+    !entity.shares_type(&query.target_types)
+        && !entity.shares_type(&graph.entity(query.specific).types)
+}
+
 /// Finds the best subgraph match of `candidate` for the query — the path from
-/// `query.specific` to `candidate` with maximum semantic similarity (Eq. 3).
-/// Returns `None` when no path of length ≤ `config.max_path_len` exists.
+/// `query.specific` to `candidate` with maximum semantic similarity (Eq. 3),
+/// considering only paths whose interior nodes are admissible intermediates
+/// (see [`admissible_intermediate`]).
+/// Returns `None` when no such path of length ≤ `config.max_path_len` exists.
 pub fn best_match<S: PredicateSimilarity + ?Sized>(
     graph: &KnowledgeGraph,
     query: &ResolvedSimpleQuery,
@@ -48,12 +73,15 @@ pub fn best_match<S: PredicateSimilarity + ?Sized>(
     similarity: &S,
     config: &MatchConfig,
 ) -> Option<SubgraphMatch> {
-    let paths = enumerate_paths(
+    // Admissibility is enforced *during* enumeration so the path budget is
+    // spent only on paths that can count as matches.
+    let paths = enumerate_paths_filtered(
         graph,
         query.specific,
         candidate,
         config.max_path_len,
         config.path_limit,
+        |node| admissible_intermediate(graph, query, node),
     );
     paths
         .into_iter()
@@ -153,7 +181,11 @@ mod tests {
         let mut b = GraphBuilder::new();
         for id in mut_builder_graph.entity_ids() {
             let e = mut_builder_graph.entity(id);
-            let types: Vec<&str> = e.types.iter().map(|t| mut_builder_graph.type_name(*t)).collect();
+            let types: Vec<&str> = e
+                .types
+                .iter()
+                .map(|t| mut_builder_graph.type_name(*t))
+                .collect();
             b.add_entity(&e.name, &types);
         }
         for t in mut_builder_graph.triples() {
@@ -169,7 +201,10 @@ mod tests {
             .resolve(&g)
             .unwrap();
         let isolated = g.entity_by_name("Isolated_Car").unwrap();
-        assert_eq!(best_similarity(&g, &q, isolated, &store, &MatchConfig::default()), 0.0);
+        assert_eq!(
+            best_similarity(&g, &q, isolated, &store, &MatchConfig::default()),
+            0.0
+        );
         assert_eq!(q.specific, g.entity_by_name("Germany").unwrap());
     }
 

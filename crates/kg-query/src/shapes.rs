@@ -366,7 +366,10 @@ mod tests {
             r.components[0].target_types(),
             &[g.type_id("Automobile").unwrap()]
         );
-        assert_eq!(r.components[1].specific(), g.entity_by_name("China").unwrap());
+        assert_eq!(
+            r.components[1].specific(),
+            g.entity_by_name("China").unwrap()
+        );
     }
 
     #[test]

@@ -147,7 +147,8 @@ mod tests {
         // The paper's remark: a longer path of highly-similar predicates can
         // be more similar than a shorter path with an unrelated predicate.
         let s = store();
-        let long_good = path_similarity(&path(&[1, 2, 1]), p(0), &s, PathAggregation::GeometricMean);
+        let long_good =
+            path_similarity(&path(&[1, 2, 1]), p(0), &s, PathAggregation::GeometricMean);
         let short_bad = path_similarity(&path(&[4]), p(0), &s, PathAggregation::GeometricMean);
         assert!(long_good > short_bad);
     }

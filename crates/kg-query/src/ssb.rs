@@ -100,7 +100,10 @@ fn group_values(
     let mut buckets: BTreeMap<i64, Vec<kg_core::EntityId>> = BTreeMap::new();
     for &a in answers {
         if let Some(v) = graph.attribute_value(a, attr) {
-            buckets.entry((v / width).floor() as i64).or_default().push(a);
+            buckets
+                .entry((v / width).floor() as i64)
+                .or_default()
+                .push(a);
         }
     }
     buckets

@@ -22,6 +22,36 @@
 //! sampling machinery but use topology-only transition weights, which is what
 //! makes them collect many semantically dissimilar answers (the ablation of
 //! Fig. 5(a)).
+//!
+//! ```
+//! use kg_core::GraphBuilder;
+//! use kg_embed::oracle::oracle_store;
+//! use kg_query::SimpleQuery;
+//! use kg_sampling::{prepare, SamplerConfig, SamplingStrategy};
+//!
+//! let mut b = GraphBuilder::new();
+//! let germany = b.add_entity("Germany", &["Country"]);
+//! for i in 0..3 {
+//!     let car = b.add_entity(&format!("car{i}"), &["Automobile"]);
+//!     b.add_edge(germany, "product", car);
+//! }
+//! let graph = b.build();
+//!
+//! let query = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"])
+//!     .resolve(&graph)
+//!     .unwrap();
+//! let oracle = oracle_store(&[(graph.predicate_id("product").unwrap(), 0, 1.0)]);
+//! let sampler = prepare(
+//!     &graph,
+//!     &query,
+//!     &oracle,
+//!     SamplingStrategy::SemanticAware,
+//!     &SamplerConfig::default(),
+//! );
+//! assert_eq!(sampler.candidate_count(), 3);
+//! let total: f64 = sampler.answer_distribution().iter().map(|a| a.probability).sum();
+//! assert!((total - 1.0).abs() < 1e-9);
+//! ```
 
 pub mod sampler;
 pub mod strategies;

@@ -227,9 +227,19 @@ mod tests {
     #[test]
     fn answer_distribution_is_normalised_and_semantic() {
         let (g, q, store) = setup();
-        let sampler = prepare(&g, &q, &store, SamplingStrategy::SemanticAware, &SamplerConfig::default());
+        let sampler = prepare(
+            &g,
+            &q,
+            &store,
+            SamplingStrategy::SemanticAware,
+            &SamplerConfig::default(),
+        );
         assert_eq!(sampler.candidate_count(), 40);
-        let total: f64 = sampler.answer_distribution().iter().map(|a| a.probability).sum();
+        let total: f64 = sampler
+            .answer_distribution()
+            .iter()
+            .map(|a| a.probability)
+            .sum();
         assert!((total - 1.0).abs() < 1e-9);
         assert!(sampler.iterations > 0);
         assert!(sampler.transition_entries > 0);
@@ -245,7 +255,13 @@ mod tests {
     #[test]
     fn drawing_matches_probabilities_empirically() {
         let (g, q, store) = setup();
-        let sampler = prepare(&g, &q, &store, SamplingStrategy::SemanticAware, &SamplerConfig::default());
+        let sampler = prepare(
+            &g,
+            &q,
+            &store,
+            SamplingStrategy::SemanticAware,
+            &SamplerConfig::default(),
+        );
         let mut rng = SmallRng::seed_from_u64(99);
         let sample = sampler.draw(&mut rng, 20_000);
         assert_eq!(sample.len(), 20_000);
@@ -260,14 +276,29 @@ mod tests {
             .map(|a| a.probability)
             .sum();
         let observed = good_hits / 20_000.0;
-        assert!((observed - expected).abs() < 0.03, "obs={observed} exp={expected}");
+        assert!(
+            (observed - expected).abs() < 0.03,
+            "obs={observed} exp={expected}"
+        );
     }
 
     #[test]
     fn uniform_strategy_spreads_probability_more_evenly() {
         let (g, q, store) = setup();
-        let semantic = prepare(&g, &q, &store, SamplingStrategy::SemanticAware, &SamplerConfig::default());
-        let uniform = prepare(&g, &q, &store, SamplingStrategy::Uniform, &SamplerConfig::default());
+        let semantic = prepare(
+            &g,
+            &q,
+            &store,
+            SamplingStrategy::SemanticAware,
+            &SamplerConfig::default(),
+        );
+        let uniform = prepare(
+            &g,
+            &q,
+            &store,
+            SamplingStrategy::Uniform,
+            &SamplerConfig::default(),
+        );
         let weak = g.entity_by_name("weak0").unwrap();
         assert!(uniform.answer_probability(weak) > semantic.answer_probability(weak));
         // CNARW and Node2Vec also prepare without error.
@@ -296,7 +327,13 @@ mod tests {
             target_types: vec![kg_core::TypeId::new(999)],
         };
         let store = oracle_store(&[(g.predicate_id("product").unwrap(), 0, 1.0)]);
-        let sampler = prepare(&g, &q2, &store, SamplingStrategy::SemanticAware, &SamplerConfig::default());
+        let sampler = prepare(
+            &g,
+            &q2,
+            &store,
+            SamplingStrategy::SemanticAware,
+            &SamplerConfig::default(),
+        );
         assert_eq!(sampler.candidate_count(), 0);
         let mut rng = SmallRng::seed_from_u64(1);
         assert!(sampler.draw(&mut rng, 10).is_empty());

@@ -144,9 +144,36 @@ mod tests {
         let p = PredicateId::new(0);
         let store = oracle_store(&[(p, 0, 1.0)]);
         let s = SamplingStrategy::Node2Vec { p: 4.0, q: 0.5 };
-        let back = s.weight(&g, EntityId::new(1), EntityId::new(0), p, p, &store, Some(2), Some(1));
-        let stay = s.weight(&g, EntityId::new(1), EntityId::new(2), p, p, &store, Some(2), Some(2));
-        let out = s.weight(&g, EntityId::new(1), EntityId::new(3), p, p, &store, Some(2), Some(3));
+        let back = s.weight(
+            &g,
+            EntityId::new(1),
+            EntityId::new(0),
+            p,
+            p,
+            &store,
+            Some(2),
+            Some(1),
+        );
+        let stay = s.weight(
+            &g,
+            EntityId::new(1),
+            EntityId::new(2),
+            p,
+            p,
+            &store,
+            Some(2),
+            Some(2),
+        );
+        let out = s.weight(
+            &g,
+            EntityId::new(1),
+            EntityId::new(3),
+            p,
+            p,
+            &store,
+            Some(2),
+            Some(3),
+        );
         assert!(back < stay && stay < out);
         assert_eq!(s.name(), "Node2Vec");
         assert_eq!(SamplingStrategy::Uniform.name(), "uniform");

@@ -142,11 +142,7 @@ impl TransitionMatrix {
         for _ in 0..max_iterations {
             let next = self.step(&pi);
             iterations += 1;
-            let delta: f64 = next
-                .iter()
-                .zip(&pi)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta: f64 = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
             pi = next;
             if delta < tolerance {
                 break;
@@ -195,7 +191,14 @@ mod tests {
     fn rows_are_stochastic() {
         let (g, q, store) = setup();
         let scope = bounded_subgraph(&g, q.specific, 3);
-        let t = TransitionMatrix::build(&g, &q, &scope, &store, SamplingStrategy::SemanticAware, 0.001);
+        let t = TransitionMatrix::build(
+            &g,
+            &q,
+            &scope,
+            &store,
+            SamplingStrategy::SemanticAware,
+            0.001,
+        );
         assert_eq!(t.node_count(), g.entity_count());
         for i in 0..t.node_count() {
             let row_sum: f64 = t.rows[i].iter().map(|(_, w)| w).sum();
@@ -207,14 +210,24 @@ mod tests {
         let car1 = g.entity_by_name("car1").unwrap();
         let misc = g.entity_by_name("misc").unwrap();
         assert!(t.probability(q.specific, car1) > t.probability(q.specific, misc));
-        assert!(t.probability(q.specific, q.specific) > 0.0, "self-loop present");
+        assert!(
+            t.probability(q.specific, q.specific) > 0.0,
+            "self-loop present"
+        );
     }
 
     #[test]
     fn stationary_distribution_sums_to_one_and_favours_semantic_answers() {
         let (g, q, store) = setup();
         let scope = bounded_subgraph(&g, q.specific, 3);
-        let t = TransitionMatrix::build(&g, &q, &scope, &store, SamplingStrategy::SemanticAware, 0.001);
+        let t = TransitionMatrix::build(
+            &g,
+            &q,
+            &scope,
+            &store,
+            SamplingStrategy::SemanticAware,
+            0.001,
+        );
         let (pi, iters) = t.stationary_distribution(q.specific, 1e-12, 500);
         assert!(iters > 0 && iters <= 500);
         let total: f64 = pi.iter().sum();

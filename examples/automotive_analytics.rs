@@ -16,8 +16,12 @@ fn main() {
             ("SUM(price)", AggregateFunction::Sum("price".into())),
         ] {
             let query = AggregateQuery::simple(simple.clone(), function);
-            let approx = engine.execute(&dataset.graph, &query, &dataset.oracle).unwrap();
-            let exact = ssb.evaluate(&dataset.graph, &query, &dataset.oracle).unwrap();
+            let approx = engine
+                .execute(&dataset.graph, &query, &dataset.oracle)
+                .unwrap();
+            let exact = ssb
+                .evaluate(&dataset.graph, &query, &dataset.oracle)
+                .unwrap();
             println!(
                 "{country:8} {label:11} ≈ {:>12.2} ± {:>8.2}   exact {:>12.2}   err {:>5.2}%   {:>6.1} ms vs {:>7.1} ms",
                 approx.estimate,
@@ -36,7 +40,9 @@ fn main() {
         AggregateFunction::Avg("price".into()),
     )
     .with_filter(Filter::range("fuel_economy", 25.0, 35.0));
-    let approx = engine.execute(&dataset.graph, &filtered, &dataset.oracle).unwrap();
+    let approx = engine
+        .execute(&dataset.graph, &filtered, &dataset.oracle)
+        .unwrap();
     println!(
         "Germany  AVG(price) with 25 ≤ fuel_economy ≤ 35 ≈ {:.2} ± {:.2}",
         approx.estimate, approx.moe

@@ -54,10 +54,16 @@ fn main() {
     );
 
     for (label, query) in [("chain", chain), ("star", star), ("flower", flower)] {
-        let answer = engine.execute(&dataset.graph, &query, &dataset.oracle).unwrap();
+        let answer = engine
+            .execute(&dataset.graph, &query, &dataset.oracle)
+            .unwrap();
         println!(
             "{label:6}  estimate {:>12.2} ± {:>8.2}   candidates {:>5}   sample {:>5}   {:>7.1} ms",
-            answer.estimate, answer.moe, answer.candidate_count, answer.sample_size, answer.elapsed_ms
+            answer.estimate,
+            answer.moe,
+            answer.candidate_count,
+            answer.sample_size,
+            answer.elapsed_ms
         );
     }
 }

@@ -8,10 +8,7 @@ use kg_aqp::prelude::*;
 fn main() {
     // A generated DBpedia-like knowledge graph with an oracle embedding.
     let dataset = kg_aqp_suite::demo_dataset();
-    println!(
-        "dataset: {}",
-        kg_core::GraphStats::compute(&dataset.graph)
-    );
+    println!("dataset: {}", kg_core::GraphStats::compute(&dataset.graph));
 
     // "What is the average price of cars produced in Germany?"
     let query = AggregateQuery::simple(
@@ -27,12 +24,19 @@ fn main() {
     let (lo, hi) = answer.confidence_interval();
     println!(
         "AVG(price) ≈ {:.2}  (95% CI [{:.2}, {:.2}], {} rounds, sample {}, {:.1} ms)",
-        answer.estimate, lo, hi, answer.round_count(), answer.sample_size, answer.elapsed_ms
+        answer.estimate,
+        lo,
+        hi,
+        answer.round_count(),
+        answer.sample_size,
+        answer.elapsed_ms
     );
 
     // Compare with the exhaustive SSB baseline (exact w.r.t. τ-GT).
     let ssb = kg_query::SsbEngine::new(kg_query::GroundTruthConfig::default());
-    let exact = ssb.evaluate(&dataset.graph, &query, &dataset.oracle).unwrap();
+    let exact = ssb
+        .evaluate(&dataset.graph, &query, &dataset.oracle)
+        .unwrap();
     println!(
         "SSB exact value = {:.2} in {:.1} ms  (relative error {:.2}%)",
         exact.value,

@@ -28,6 +28,12 @@ fn main() {
 
     // Exact comparison via SSB.
     let ssb = kg_query::SsbEngine::new(kg_query::GroundTruthConfig::default());
-    let exact = ssb.evaluate(&dataset.graph, &query, &dataset.oracle).unwrap();
-    println!("exact (SSB): total {:.1}, {} groups", exact.value, exact.groups.len());
+    let exact = ssb
+        .evaluate(&dataset.graph, &query, &dataset.oracle)
+        .unwrap();
+    println!(
+        "exact (SSB): total {:.1}, {} groups",
+        exact.value,
+        exact.groups.len()
+    );
 }

@@ -1,0 +1,63 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! `par_iter()` returns the plain sequential slice iterator, so the usual
+//! `.par_iter().map(..).collect()` chains compile and produce identical
+//! results — just without the parallel speed-up. The real dependency can
+//! be swapped back in without touching call sites.
+
+/// Mirrors `rayon::prelude`: import to get `.par_iter()` on slices/`Vec`s.
+pub mod prelude {
+    /// Borrowing "parallel" iteration (`rayon::iter::IntoParallelRefIterator`).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type (here: the sequential slice iterator).
+        type Iter: Iterator<Item = Self::Item>;
+        /// The borrowed item type.
+        type Item: 'data;
+
+        /// Returns a sequential iterator standing in for a parallel one.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = core::slice::Iter<'data, T>;
+        type Item = &'data T;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// Consuming "parallel" iteration (`rayon::iter::IntoParallelIterator`).
+    pub trait IntoParallelIterator {
+        /// The iterator type (here: the sequential one).
+        type Iter: Iterator<Item = Self::Item>;
+        /// The item type.
+        type Item;
+
+        /// Returns a sequential iterator standing in for a parallel one.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = v.into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+}

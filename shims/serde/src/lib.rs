@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace uses serde only as passive derive markers
+//! (`#[derive(Serialize, Deserialize)]`) — no generic serialisation is
+//! performed through the trait (JSON output is hand-built against the
+//! `serde_json` shim's [`Value`](../serde_json/enum.Value.html) type). The
+//! traits are therefore blanket-implemented for every type, and the derive
+//! macros expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

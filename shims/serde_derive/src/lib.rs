@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde shim.
+//!
+//! The shim's traits are blanket-implemented in the `serde` crate itself,
+//! so the derives only need to exist and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing (the shim's
+/// `Serialize` trait is blanket-implemented).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing (the shim's
+/// `Deserialize` trait is blanket-implemented).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,260 @@
+//! Offline stand-in for the `serde_json` crate: a JSON [`Value`] tree with
+//! string indexing, accessors, and (pretty) serialisation to text.
+//!
+//! ```
+//! let v = serde_json::Value::Array(vec![
+//!     serde_json::Value::String("a".into()),
+//!     serde_json::Value::Bool(true),
+//! ]);
+//! assert_eq!(serde_json::to_string(&v).unwrap(), "[\"a\",true]");
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Object representation (`serde_json::Map`): key-sorted for stable output.
+pub type Map<K, V> = BTreeMap<K, V>;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number (stored as `f64`; non-finite prints as `null`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered list of values.
+    Array(Vec<Value>),
+    /// A key/value object.
+    Object(Map<String, Value>),
+}
+
+/// Error type mirroring `serde_json::Error`. The shim's serialisers are
+/// total, so it is never produced — it exists so call sites can `?`/`unwrap`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Returns the backing vector if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the backing map if this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the number if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_json_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if let Some(level) = indent {
+                        newline_indent(out, level + 1);
+                        item.write(out, Some(level + 1));
+                    } else {
+                        item.write(out, None);
+                    }
+                }
+                if let Some(level) = indent {
+                    newline_indent(out, level);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if let Some(level) = indent {
+                        newline_indent(out, level + 1);
+                        write_json_string(out, k);
+                        out.push_str(": ");
+                        v.write(out, Some(level + 1));
+                    } else {
+                        write_json_string(out, k);
+                        out.push(':');
+                        v.write(out, None);
+                    }
+                }
+                if let Some(level) = indent {
+                    newline_indent(out, level);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, level: usize) {
+    out.push('\n');
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s, None);
+        f.write_str(&s)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Indexes into an object by key; returns `Value::Null` for missing
+    /// keys or non-object values, like `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(map) => map.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Serialises a value to compact JSON.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut s = String::new();
+    value.write(&mut s, None);
+    Ok(s)
+}
+
+/// Serialises a value to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut s = String::new();
+    value.write(&mut s, Some(0));
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        let mut obj = Map::new();
+        obj.insert("id".to_string(), Value::String("t1".into()));
+        obj.insert(
+            "rows".to_string(),
+            Value::Array(vec![Value::Number(1.0), Value::Number(2.5)]),
+        );
+        Value::Object(obj)
+    }
+
+    #[test]
+    fn compact_roundtrip_shape() {
+        assert_eq!(
+            to_string(&sample()).unwrap(),
+            r#"{"id":"t1","rows":[1,2.5]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_has_indentation() {
+        let text = to_string_pretty(&sample()).unwrap();
+        assert!(text.contains("\n  \"id\": \"t1\""));
+    }
+
+    #[test]
+    fn indexing_missing_keys_yields_null() {
+        let v = sample();
+        assert_eq!(v["nope"], Value::Null);
+        assert_eq!(v["rows"][0].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Value::String("a\"b\\c\nd".into());
+        assert_eq!(to_string(&v).unwrap(), r#""a\"b\\c\nd""#);
+    }
+}
