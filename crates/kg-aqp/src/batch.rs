@@ -1,0 +1,312 @@
+//! Batch execution: answer many aggregate queries over one graph in a
+//! single call, amortising planning work across the batch.
+//!
+//! Much of the per-query cost of [`AqpEngine::execute`] is per-component,
+//! not per-query: preparing a sampler (building the n-bounded scope and
+//! iterating the random walk of Eq. 6 to convergence) and validating each
+//! sampled answer. Realistic workloads repeat components — a plain query
+//! and its filtered / GROUP-BY / aggregate variants all share one
+//! underlying simple query, chain planning re-anchors the same hop
+//! queries, and dashboards re-issue the same shapes with different
+//! operators. [`BatchEngine`] plans the whole batch against a shared
+//! [`SamplerCache`] (each distinct component is prepared exactly once),
+//! shares a validation cache across the batch's sessions, and fans the
+//! per-query sampling–estimation loops out on the rayon pool.
+//!
+//! Batched answers are **bitwise-identical** to the serial per-query loop
+//! for a fixed seed: every query still runs its own
+//! [`InteractiveSession`] seeded from the engine configuration, and the
+//! only shared state — prepared samplers and validation outcomes — is the
+//! result of deterministic computation, so sharing changes who computes a
+//! value, never the value.
+//!
+//! ```
+//! use kg_aqp::{BatchEngine, EngineConfig};
+//! use kg_datagen::{generate, domains, DatasetScale, GeneratorConfig};
+//! use kg_query::{AggregateFunction, AggregateQuery, Filter, SimpleQuery};
+//!
+//! let dataset = generate(&GeneratorConfig::new(
+//!     "batch-demo", DatasetScale::tiny(), vec![domains::automotive(&["Germany", "China"])], 7));
+//! let simple = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]);
+//! let queries = vec![
+//!     AggregateQuery::simple(simple.clone(), AggregateFunction::Count),
+//!     AggregateQuery::simple(simple.clone(), AggregateFunction::Avg("price".into()))
+//!         .with_filter(Filter::range("price", 10_000.0, 80_000.0)),
+//! ];
+//! let batch = BatchEngine::new(EngineConfig::default());
+//! let (answers, stats) = batch.execute_with_stats(&dataset.graph, &queries, &dataset.oracle);
+//! assert_eq!(answers.len(), 2);
+//! assert!(answers.iter().all(|a| a.is_ok()));
+//! // Both queries share one component: it is prepared once and reused.
+//! assert_eq!(stats.sampler_cache.misses, 1);
+//! assert_eq!(stats.sampler_cache.hits, 1);
+//! ```
+
+use crate::config::EngineConfig;
+use crate::engine::AqpEngine;
+use crate::result::QueryAnswer;
+use crate::session::{InteractiveSession, SharedValidationCache};
+use kg_core::{KgResult, KnowledgeGraph};
+use kg_embed::PredicateSimilarity;
+use kg_query::AggregateQuery;
+use kg_sampling::{CacheStats, SamplerCache};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// What the batch planner did, for reporting and regression tests.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct BatchStats {
+    /// Number of queries in the batch.
+    pub queries: usize,
+    /// Number of queries whose planning failed (their slot holds an `Err`).
+    pub failures: usize,
+    /// Sampler-cache hit/miss counters: `misses` is the number of distinct
+    /// simple components actually prepared, `hits` the preparations saved
+    /// relative to the serial per-query loop.
+    pub sampler_cache: CacheStats,
+}
+
+/// Executes slices of aggregate queries with shared planning.
+///
+/// See the [module documentation](self) for the amortisation model and the
+/// determinism guarantee relative to [`AqpEngine::execute`].
+#[derive(Clone, Debug)]
+pub struct BatchEngine {
+    engine: AqpEngine,
+}
+
+impl BatchEngine {
+    /// Creates a batch engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Self {
+            engine: AqpEngine::new(config),
+        }
+    }
+
+    /// Wraps an existing engine (same configuration, batched surface).
+    pub fn from_engine(engine: AqpEngine) -> Self {
+        Self { engine }
+    }
+
+    /// The wrapped per-query engine.
+    pub fn engine(&self) -> &AqpEngine {
+        &self.engine
+    }
+
+    /// Executes every query in `queries`, returning one result per query in
+    /// input order. Equivalent to calling [`AqpEngine::execute`] in a loop,
+    /// but each distinct simple component is prepared once and the per-query
+    /// sampling–estimation loops run on the rayon pool.
+    pub fn execute<S: PredicateSimilarity + ?Sized + Sync>(
+        &self,
+        graph: &KnowledgeGraph,
+        queries: &[AggregateQuery],
+        similarity: &S,
+    ) -> Vec<KgResult<QueryAnswer>> {
+        self.execute_with_stats(graph, queries, similarity).0
+    }
+
+    /// [`Self::execute`] plus the planner's cache statistics.
+    pub fn execute_with_stats<S: PredicateSimilarity + ?Sized + Sync>(
+        &self,
+        graph: &KnowledgeGraph,
+        queries: &[AggregateQuery],
+        similarity: &S,
+    ) -> (Vec<KgResult<QueryAnswer>>, BatchStats) {
+        let (sessions, stats) = self.open_sessions_with_stats(graph, queries, similarity);
+        let error_bound = self.engine.config().error_bound;
+        let answers = sessions
+            .into_par_iter()
+            .map(|session| session.map(|mut s| s.refine_to(graph, similarity, error_bound)))
+            .collect();
+        (answers, stats)
+    }
+
+    /// Opens one interactive session per query with shared planning, so a
+    /// caller can refine the error bound of each query incrementally (the
+    /// batched counterpart of [`AqpEngine::open_session`]).
+    pub fn open_sessions<S: PredicateSimilarity + ?Sized>(
+        &self,
+        graph: &KnowledgeGraph,
+        queries: &[AggregateQuery],
+        similarity: &S,
+    ) -> Vec<KgResult<InteractiveSession>> {
+        self.open_sessions_with_stats(graph, queries, similarity).0
+    }
+
+    fn open_sessions_with_stats<S: PredicateSimilarity + ?Sized>(
+        &self,
+        graph: &KnowledgeGraph,
+        queries: &[AggregateQuery],
+        similarity: &S,
+    ) -> (Vec<KgResult<InteractiveSession>>, BatchStats) {
+        let config = self.engine.config();
+        let cache = SamplerCache::new(config.strategy, config.sampler_config());
+        // One validation cache for the whole batch: queries sharing a
+        // component (hence a cached sampler) validate each sampled entity
+        // once instead of once per query.
+        let shared_validation = SharedValidationCache::default();
+        let sessions: Vec<KgResult<InteractiveSession>> = queries
+            .iter()
+            .map(|query| {
+                self.engine
+                    .plan_with_cache(graph, query, similarity, Some(&cache))
+                    .map(|plan| {
+                        InteractiveSession::with_shared_validation(
+                            config.clone(),
+                            plan,
+                            Some(Arc::clone(&shared_validation)),
+                        )
+                    })
+            })
+            .collect();
+        let stats = BatchStats {
+            queries: queries.len(),
+            failures: sessions.iter().filter(|s| s.is_err()).count(),
+            sampler_cache: cache.stats(),
+        };
+        (sessions, stats)
+    }
+}
+
+impl AqpEngine {
+    /// Executes a slice of queries with shared planning; see [`BatchEngine`].
+    pub fn execute_batch<S: PredicateSimilarity + ?Sized + Sync>(
+        &self,
+        graph: &KnowledgeGraph,
+        queries: &[AggregateQuery],
+        similarity: &S,
+    ) -> Vec<KgResult<QueryAnswer>> {
+        BatchEngine::from_engine(self.clone()).execute(graph, queries, similarity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_datagen::{domains, generate, DatasetScale, GeneratorConfig};
+    use kg_query::{
+        AggregateFunction, ChainHop, ChainQuery, ComplexQuery, Filter, GroupBy, SimpleQuery,
+    };
+
+    fn dataset() -> kg_datagen::GeneratedDataset {
+        generate(&GeneratorConfig::new(
+            "batch-test",
+            DatasetScale::tiny(),
+            vec![domains::automotive(&["Germany", "China"])],
+            17,
+        ))
+    }
+
+    fn workload() -> Vec<AggregateQuery> {
+        let de = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]);
+        let cn = SimpleQuery::new("China", &["Country"], "product", &["Automobile"]);
+        vec![
+            AggregateQuery::simple(de.clone(), AggregateFunction::Count),
+            AggregateQuery::simple(de.clone(), AggregateFunction::Avg("price".into())),
+            AggregateQuery::simple(de.clone(), AggregateFunction::Count)
+                .with_filter(Filter::range("price", 15_000.0, 60_000.0)),
+            AggregateQuery::simple(de.clone(), AggregateFunction::Count)
+                .with_group_by(GroupBy::new("price", 30_000.0)),
+            AggregateQuery::simple(cn.clone(), AggregateFunction::Count),
+            AggregateQuery::simple(cn, AggregateFunction::Sum("price".into())),
+            AggregateQuery::complex(
+                ComplexQuery::chain(ChainQuery::new(
+                    "Germany",
+                    &["Country"],
+                    vec![
+                        ChainHop::new("country", &["Company"]),
+                        ChainHop::new("manufacturer", &["Automobile"]),
+                    ],
+                )),
+                AggregateFunction::Count,
+            ),
+        ]
+    }
+
+    #[test]
+    fn batched_answers_are_bitwise_identical_to_the_serial_loop() {
+        let d = dataset();
+        let config = EngineConfig {
+            error_bound: 0.05,
+            ..EngineConfig::default()
+        };
+        let queries = workload();
+
+        let engine = AqpEngine::new(config.clone());
+        let serial: Vec<_> = queries
+            .iter()
+            .map(|q| engine.execute(&d.graph, q, &d.oracle).unwrap())
+            .collect();
+        let batched = BatchEngine::new(config).execute(&d.graph, &queries, &d.oracle);
+
+        assert_eq!(serial.len(), batched.len());
+        for (s, b) in serial.iter().zip(&batched) {
+            let b = b.as_ref().unwrap();
+            assert_eq!(s.estimate.to_bits(), b.estimate.to_bits());
+            assert_eq!(s.moe.to_bits(), b.moe.to_bits());
+            assert_eq!(s.sample_size, b.sample_size);
+            assert_eq!(s.candidate_count, b.candidate_count);
+            assert_eq!(s.rounds.len(), b.rounds.len());
+            assert_eq!(s.groups.len(), b.groups.len());
+            for (key, value) in &s.groups {
+                assert_eq!(value.to_bits(), b.groups[key].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn shared_components_are_prepared_once() {
+        let d = dataset();
+        let queries = workload();
+        let batch = BatchEngine::new(EngineConfig {
+            error_bound: 0.05,
+            ..EngineConfig::default()
+        });
+        let (answers, stats) = batch.execute_with_stats(&d.graph, &queries, &d.oracle);
+        assert_eq!(stats.queries, queries.len());
+        assert_eq!(stats.failures, 0);
+        assert!(answers.iter().all(|a| a.is_ok()));
+        // Six simple-component plans over two distinct components; the chain
+        // query adds one cached sampler per distinct hop anchor. The four
+        // repeated simple components are served from the cache.
+        assert!(stats.sampler_cache.hits >= 4);
+        assert!(stats.sampler_cache.misses >= 2);
+        assert!(stats.sampler_cache.hits + stats.sampler_cache.misses >= queries.len());
+    }
+
+    #[test]
+    fn failing_queries_keep_their_slot_without_poisoning_the_batch() {
+        let d = dataset();
+        let mut queries = workload();
+        queries.insert(
+            2,
+            AggregateQuery::simple(
+                SimpleQuery::new("Atlantis", &["Country"], "product", &["Automobile"]),
+                AggregateFunction::Count,
+            ),
+        );
+        let batch = BatchEngine::new(EngineConfig {
+            error_bound: 0.05,
+            ..EngineConfig::default()
+        });
+        let (answers, stats) = batch.execute_with_stats(&d.graph, &queries, &d.oracle);
+        assert_eq!(answers.len(), queries.len());
+        assert!(answers[2].is_err());
+        assert_eq!(stats.failures, 1);
+        assert!(answers.iter().filter(|a| a.is_ok()).count() == queries.len() - 1);
+    }
+
+    #[test]
+    fn batched_sessions_support_interactive_refinement() {
+        let d = dataset();
+        let queries = workload();
+        let batch = BatchEngine::new(EngineConfig::default());
+        let sessions = batch.open_sessions(&d.graph, &queries, &d.oracle);
+        assert_eq!(sessions.len(), queries.len());
+        let mut session = sessions.into_iter().next().unwrap().unwrap();
+        let coarse = session.refine_to(&d.graph, &d.oracle, 0.10);
+        let fine = session.refine_to(&d.graph, &d.oracle, 0.02);
+        assert!(fine.sample_size >= coarse.sample_size);
+    }
+}

@@ -10,7 +10,7 @@ use kg_query::{
     AggregateQuery, QuerySpec, ResolvedAggregate, ResolvedChainQuery, ResolvedComplexQuery,
     ResolvedComponent, ResolvedFilter, ResolvedSimpleQuery,
 };
-use kg_sampling::{prepare, PreparedSampler};
+use kg_sampling::{prepare, PreparedSampler, SamplerCache};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -106,6 +106,20 @@ impl AqpEngine {
         query: &AggregateQuery,
         similarity: &S,
     ) -> KgResult<QueryPlan> {
+        self.plan_with_cache(graph, query, similarity, None)
+    }
+
+    /// Plans a query, optionally reusing prepared samplers from `cache` for
+    /// simple components (batch execution prepares each distinct component
+    /// once). Cached and fresh planning produce identical plans: sampler
+    /// preparation is deterministic.
+    pub(crate) fn plan_with_cache<S: PredicateSimilarity + ?Sized>(
+        &self,
+        graph: &KnowledgeGraph,
+        query: &AggregateQuery,
+        similarity: &S,
+        cache: Option<&SamplerCache>,
+    ) -> KgResult<QueryPlan> {
         let start = Instant::now();
         let aggregate = query.function.resolve(graph)?;
         let filters = query.resolve_filters(graph)?;
@@ -117,7 +131,7 @@ impl AqpEngine {
         let components = match &query.query {
             QuerySpec::Simple(simple) => {
                 let resolved = simple.resolve(graph)?;
-                vec![self.plan_simple(graph, &resolved, similarity)]
+                vec![self.plan_simple(graph, &resolved, similarity, cache)]
             }
             QuerySpec::Complex(complex) => {
                 let resolved: ResolvedComplexQuery = complex.resolve(graph)?;
@@ -125,8 +139,10 @@ impl AqpEngine {
                     .components
                     .iter()
                     .map(|c| match c {
-                        ResolvedComponent::Simple(q) => self.plan_simple(graph, q, similarity),
-                        ResolvedComponent::Chain(q) => self.plan_chain(graph, q, similarity),
+                        ResolvedComponent::Simple(q) => {
+                            self.plan_simple(graph, q, similarity, cache)
+                        }
+                        ResolvedComponent::Chain(q) => self.plan_chain(graph, q, similarity, cache),
                     })
                     .collect()
             }
@@ -143,9 +159,12 @@ impl AqpEngine {
                 *p *= c.distribution[e];
             }
         }
-        let total: f64 = combined.values().sum();
+        // Sort before summing: float addition is order-sensitive, and
+        // `HashMap` iteration order varies per instance, so normalising from
+        // an unsorted sum would make repeated runs differ in the last ulp.
         let mut distribution: Vec<(EntityId, f64)> = combined.into_iter().collect();
         distribution.sort_by_key(|(e, _)| *e);
+        let total: f64 = distribution.iter().map(|(_, p)| *p).sum();
         if total > 0.0 {
             for (_, p) in &mut distribution {
                 *p /= total;
@@ -185,14 +204,18 @@ impl AqpEngine {
         graph: &KnowledgeGraph,
         query: &ResolvedSimpleQuery,
         similarity: &S,
+        cache: Option<&SamplerCache>,
     ) -> ComponentPlan {
-        let sampler = prepare(
-            graph,
-            query,
-            similarity,
-            self.config.strategy,
-            &self.config.sampler_config(),
-        );
+        let sampler = match cache {
+            Some(cache) => cache.get_or_prepare(graph, query, similarity),
+            None => Arc::new(prepare(
+                graph,
+                query,
+                similarity,
+                self.config.strategy,
+                &self.config.sampler_config(),
+            )),
+        };
         let distribution = sampler
             .answer_distribution()
             .iter()
@@ -203,7 +226,7 @@ impl AqpEngine {
             candidate_count: sampler.candidate_count(),
             validator: ComponentValidator::Simple {
                 query: query.clone(),
-                sampler: Arc::new(sampler),
+                sampler,
             },
         }
     }
@@ -213,6 +236,7 @@ impl AqpEngine {
         graph: &KnowledgeGraph,
         chain: &ResolvedChainQuery,
         similarity: &S,
+        cache: Option<&SamplerCache>,
     ) -> ComponentPlan {
         // First-level sampling from the specific node towards the first hop.
         let mut anchors: Vec<(EntityId, f64)> = vec![(chain.specific, 1.0)];
@@ -225,25 +249,28 @@ impl AqpEngine {
             let is_last = hop + 1 == chain.hops.len();
             // Second and later levels run one sampling per anchor, in parallel
             // (the paper runs each second sampling as a thread).
-            let hop_results: Vec<(EntityId, f64, ResolvedSimpleQuery, PreparedSampler)> = anchors
-                .par_iter()
-                .map(|(anchor, anchor_prob)| {
-                    let hop_query = chain.hop_as_simple(hop, *anchor);
-                    let sampler = prepare(
-                        graph,
-                        &hop_query,
-                        similarity,
-                        self.config.strategy,
-                        &self.config.sampler_config(),
-                    );
-                    (*anchor, *anchor_prob, hop_query, sampler)
-                })
-                .collect();
+            let hop_results: Vec<(EntityId, f64, ResolvedSimpleQuery, Arc<PreparedSampler>)> =
+                anchors
+                    .par_iter()
+                    .map(|(anchor, anchor_prob)| {
+                        let hop_query = chain.hop_as_simple(hop, *anchor);
+                        let sampler = match cache {
+                            Some(cache) => cache.get_or_prepare(graph, &hop_query, similarity),
+                            None => Arc::new(prepare(
+                                graph,
+                                &hop_query,
+                                similarity,
+                                self.config.strategy,
+                                &self.config.sampler_config(),
+                            )),
+                        };
+                        (*anchor, *anchor_prob, hop_query, sampler)
+                    })
+                    .collect();
 
             let mut next_anchors: HashMap<EntityId, f64> = HashMap::new();
             for (_anchor, anchor_prob, hop_query, sampler) in hop_results {
                 candidate_count = candidate_count.max(sampler.candidate_count());
-                let sampler = Arc::new(sampler);
                 let sampler_index = samplers.len();
                 samplers.push(Arc::clone(&sampler));
                 for a in sampler.answer_distribution() {
@@ -267,7 +294,9 @@ impl AqpEngine {
             if !is_last {
                 // Keep the most probable anchors, re-normalised.
                 let mut sorted: Vec<(EntityId, f64)> = next_anchors.into_iter().collect();
-                sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+                // Tie-break equal probabilities by entity id: without it the
+                // truncation below keeps a `HashMap`-order-dependent subset.
+                sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
                 sorted.truncate(self.config.chain_anchor_limit.max(1));
                 let total: f64 = sorted.iter().map(|(_, p)| p).sum();
                 if total > 0.0 {
@@ -282,8 +311,12 @@ impl AqpEngine {
             }
         }
 
-        // Normalise the final distribution.
-        let total: f64 = distribution.values().sum();
+        // Normalise the final distribution, summing in entity order so the
+        // normaliser does not depend on `HashMap` iteration order.
+        let mut ordered: Vec<(EntityId, f64)> =
+            distribution.iter().map(|(e, p)| (*e, *p)).collect();
+        ordered.sort_by_key(|(e, _)| *e);
+        let total: f64 = ordered.iter().map(|(_, p)| *p).sum();
         if total > 0.0 {
             for p in distribution.values_mut() {
                 *p /= total;

@@ -28,11 +28,15 @@
 //! assert!(answer.moe >= 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod batch;
 pub mod config;
 pub mod engine;
 pub mod result;
 pub mod session;
 
+pub use batch::{BatchEngine, BatchStats};
 pub use config::EngineConfig;
 pub use engine::AqpEngine;
 pub use result::{QueryAnswer, RoundTrace, StepTimings};
@@ -40,7 +44,9 @@ pub use session::InteractiveSession;
 
 /// Convenience re-exports for downstream users of the public API.
 pub mod prelude {
-    pub use crate::{AqpEngine, EngineConfig, InteractiveSession, QueryAnswer};
+    pub use crate::{
+        AqpEngine, BatchEngine, BatchStats, EngineConfig, InteractiveSession, QueryAnswer,
+    };
     pub use kg_core::{GraphBuilder, KnowledgeGraph};
     pub use kg_embed::{
         EmbeddingModelKind, PredicateSimilarity, PredicateVectorStore, TrainerConfig,

@@ -14,7 +14,15 @@ use kg_query::matches_all;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// A validation cache shared by the sessions of one batch: maps a simple
+/// component (identified by its prepared sampler's address, stable for the
+/// lifetime of the batch) and an entity to the validation outcome.
+/// Sound to share because `validate_answer` is deterministic — whichever
+/// session computes an entry first, the value is the same.
+pub(crate) type SharedValidationCache = Arc<Mutex<HashMap<(usize, EntityId), (bool, f64)>>>;
 
 /// An interactive query session: keeps the plan, the drawn sample and the
 /// validation cache so that the user can tighten the error bound at runtime
@@ -27,12 +35,23 @@ pub struct InteractiveSession {
     sample: Vec<(EntityId, f64)>,
     /// Validation cache: entity → (correct, similarity).
     validation_cache: HashMap<EntityId, (bool, f64)>,
+    /// Batch-shared per-component validation cache, when this session was
+    /// opened by a [`crate::BatchEngine`].
+    shared_validation: Option<SharedValidationCache>,
     timings: StepTimings,
     rounds: Vec<RoundTrace>,
 }
 
 impl InteractiveSession {
     pub(crate) fn new(config: EngineConfig, plan: QueryPlan) -> Self {
+        Self::with_shared_validation(config, plan, None)
+    }
+
+    pub(crate) fn with_shared_validation(
+        config: EngineConfig,
+        plan: QueryPlan,
+        shared_validation: Option<SharedValidationCache>,
+    ) -> Self {
         let seed = config.seed;
         let mut timings = StepTimings::default();
         timings.sampling_ms += plan.plan_ms;
@@ -42,6 +61,7 @@ impl InteractiveSession {
             rng: SmallRng::seed_from_u64(seed),
             sample: Vec::new(),
             validation_cache: HashMap::new(),
+            shared_validation,
             timings,
             rounds: Vec::new(),
         }
@@ -106,15 +126,29 @@ impl InteractiveSession {
                 for component in &self.plan.components {
                     let (c, s) = match &component.validator {
                         ComponentValidator::Simple { query, sampler } => {
-                            let out = validate_answer(
-                                graph,
-                                query,
-                                entity,
-                                sampler,
-                                similarity,
-                                &validation,
-                            );
-                            (out.correct, out.best_similarity)
+                            let key = (Arc::as_ptr(sampler) as usize, entity);
+                            let cached = self
+                                .shared_validation
+                                .as_ref()
+                                .and_then(|shared| shared.lock().unwrap().get(&key).copied());
+                            match cached {
+                                Some(outcome) => outcome,
+                                None => {
+                                    let out = validate_answer(
+                                        graph,
+                                        query,
+                                        entity,
+                                        sampler,
+                                        similarity,
+                                        &validation,
+                                    );
+                                    let outcome = (out.correct, out.best_similarity);
+                                    if let Some(shared) = &self.shared_validation {
+                                        shared.lock().unwrap().insert(key, outcome);
+                                    }
+                                    outcome
+                                }
+                            }
                         }
                         ComponentValidator::Chain {
                             final_queries,

@@ -1,0 +1,87 @@
+//! Per-query vs. batched multi-query throughput of the engine.
+//!
+//! The serial baseline answers a workload by calling `AqpEngine::execute`
+//! once per query, re-preparing the sampler every time. The batched path
+//! answers the same workload through `BatchEngine`, which prepares each
+//! distinct simple component once and reuses it across the operator
+//! variants of the workload. Answers are bitwise-identical either way
+//! (asserted in `kg-aqp`'s batch tests); only the throughput differs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg_aqp::{AqpEngine, BatchEngine, EngineConfig};
+use kg_datagen::{
+    build_workload, domains, profiles, DatasetScale, GeneratedDataset, GeneratorConfig,
+    WorkloadConfig,
+};
+use kg_query::AggregateQuery;
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        error_bound: 0.05,
+        ..EngineConfig::default()
+    }
+}
+
+/// The two workloads of the comparison: the SSB-style evaluation workload
+/// over the DBpedia-like profile (every shape and operator variant the
+/// workload generator emits), and a single-domain automotive workload.
+fn workloads() -> Vec<(&'static str, GeneratedDataset, Vec<AggregateQuery>)> {
+    let ssb = kg_datagen::generate(&profiles::dbpedia_like(DatasetScale::tiny(), 11));
+    let ssb_queries: Vec<AggregateQuery> = build_workload(&ssb, &WorkloadConfig::default())
+        .into_iter()
+        .map(|q| q.query)
+        .collect();
+    let auto = kg_datagen::generate(&GeneratorConfig::new(
+        "automotive-bench",
+        DatasetScale::tiny(),
+        vec![domains::automotive(&["Germany", "China", "Korea"])],
+        11,
+    ));
+    let auto_queries: Vec<AggregateQuery> = build_workload(&auto, &WorkloadConfig::default())
+        .into_iter()
+        .map(|q| q.query)
+        .collect();
+    vec![
+        ("ssb", ssb, ssb_queries),
+        ("automotive", auto, auto_queries),
+    ]
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_throughput");
+    group.sample_size(10);
+    for (name, dataset, queries) in workloads() {
+        let engine = AqpEngine::new(engine_config());
+        group.bench_with_input(
+            BenchmarkId::new("serial", format!("{name}/{}q", queries.len())),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    queries
+                        .iter()
+                        .map(|q| engine.execute(&dataset.graph, q, &dataset.oracle))
+                        .filter(|a| a.is_ok())
+                        .count()
+                })
+            },
+        );
+        let batch = BatchEngine::new(engine_config());
+        group.bench_with_input(
+            BenchmarkId::new("batched", format!("{name}/{}q", queries.len())),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    batch
+                        .execute(&dataset.graph, queries, &dataset.oracle)
+                        .iter()
+                        .filter(|a| a.is_ok())
+                        .count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

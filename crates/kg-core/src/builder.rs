@@ -116,28 +116,68 @@ impl GraphBuilder {
     }
 
     /// Freezes the builder into an immutable [`KnowledgeGraph`], constructing
-    /// adjacency lists and secondary indexes.
+    /// the CSR adjacency arrays and secondary indexes.
+    ///
+    /// Adjacency is built with a two-pass counting sort: one pass over the
+    /// triples counts per-entity degrees (the CSR offsets), a second pass
+    /// writes each entry into its slot. Entries within an entity's slice keep
+    /// triple insertion order — the same order the previous nested-`Vec`
+    /// representation produced — so walk and traversal results are unchanged.
     pub fn build(self) -> KnowledgeGraph {
-        let mut adjacency: Vec<Vec<EdgeRef>> = vec![Vec::new(); self.entities.len()];
+        // The CSR offsets are u32 (see `KnowledgeGraph::offsets`): fail loudly
+        // before the counting pass can wrap instead of corrupting adjacency.
+        assert!(
+            self.triples.len() <= (u32::MAX / 2) as usize,
+            "graph exceeds CSR capacity: {} triples produce more than u32::MAX adjacency entries",
+            self.triples.len()
+        );
+        // Pass 1: per-entity degree counts. A self-loop contributes a single
+        // adjacency entry.
+        let mut offsets = vec![0u32; self.entities.len() + 1];
         for t in &self.triples {
-            adjacency[t.subject.index()].push(EdgeRef {
+            offsets[t.subject.index() + 1] += 1;
+            if t.subject != t.object {
+                offsets[t.object.index() + 1] += 1;
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+
+        // Pass 2: write entries into their slices, advancing a per-entity
+        // cursor. `cursor` starts as the slice start offsets.
+        let total = *offsets.last().unwrap_or(&0) as usize;
+        let mut cursor: Vec<u32> = offsets[..offsets.len().saturating_sub(1)].to_vec();
+        let placeholder = EdgeRef {
+            neighbor: EntityId::new(0),
+            predicate: crate::ids::PredicateId::new(0),
+            direction: Direction::Outgoing,
+        };
+        let mut edges = vec![placeholder; total];
+        for t in &self.triples {
+            let s = t.subject.index();
+            edges[cursor[s] as usize] = EdgeRef {
                 neighbor: t.object,
                 predicate: t.predicate,
                 direction: Direction::Outgoing,
-            });
-            // A self-loop contributes a single adjacency entry.
+            };
+            cursor[s] += 1;
             if t.subject != t.object {
-                adjacency[t.object.index()].push(EdgeRef {
+                let o = t.object.index();
+                edges[cursor[o] as usize] = EdgeRef {
                     neighbor: t.subject,
                     predicate: t.predicate,
                     direction: Direction::Incoming,
-                });
+                };
+                cursor[o] += 1;
             }
         }
+
         let type_index = TypeIndex::build(&self.entities);
         KnowledgeGraph {
             entities: self.entities,
-            adjacency,
+            edges,
+            offsets,
             triples: self.triples,
             predicates: self.predicates,
             types: self.types,

@@ -22,7 +22,12 @@ pub enum KgError {
     /// A duplicate entity name was inserted where uniqueness is required.
     DuplicateEntity(String),
     /// A line of a serialized graph file could not be parsed.
-    Parse { line: usize, message: String },
+    Parse {
+        /// 1-based line number in the input file.
+        line: usize,
+        /// What was wrong with the line.
+        message: String,
+    },
     /// Underlying I/O failure while loading or saving.
     Io(io::Error),
 }

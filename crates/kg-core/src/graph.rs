@@ -48,10 +48,21 @@ pub struct EdgeRef {
 ///
 /// Built with [`crate::GraphBuilder`]; once built, the structure is read-only
 /// and cheap to share across threads (`&KnowledgeGraph` is `Sync`).
+///
+/// Adjacency is stored in compressed-sparse-row (CSR) form: one flat edge
+/// array plus a per-entity offset array, so [`Self::neighbors`] is a
+/// zero-cost slice into a single allocation and a full-graph traversal is a
+/// linear scan — the access pattern the random-walk convergence loop
+/// (Eq. 6) is bound by.
 #[derive(Debug, Clone, Default)]
 pub struct KnowledgeGraph {
     pub(crate) entities: Vec<Entity>,
-    pub(crate) adjacency: Vec<Vec<EdgeRef>>,
+    /// All adjacency entries, grouped by owning entity (CSR values).
+    pub(crate) edges: Vec<EdgeRef>,
+    /// CSR offsets: entity `i` owns `edges[offsets[i]..offsets[i + 1]]`.
+    /// Length is `entities.len() + 1`; stored as `u32` to keep the array
+    /// cache-resident (2·|E_G| adjacency entries must fit in `u32`).
+    pub(crate) offsets: Vec<u32>,
     pub(crate) triples: Vec<Triple>,
     pub(crate) predicates: PredicateVocabulary,
     pub(crate) types: StringInterner,
@@ -181,15 +192,18 @@ impl KnowledgeGraph {
     // Topology
     // ------------------------------------------------------------------
 
-    /// The (undirected) adjacency list of `id`.
+    /// The (undirected) adjacency list of `id`: a zero-cost slice into the
+    /// flat CSR edge array.
     pub fn neighbors(&self, id: EntityId) -> &[EdgeRef] {
-        &self.adjacency[id.index()]
+        let i = id.index();
+        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Degree of `id` in the undirected view (each triple counts once per
     /// endpoint).
     pub fn degree(&self, id: EntityId) -> usize {
-        self.adjacency[id.index()].len()
+        let i = id.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 
     /// Average degree over all entities (the `m` of the SSB complexity

@@ -28,6 +28,8 @@
 //! assert_eq!(g.attribute(bmw, g.attr_id("price").unwrap()), Some(AttrValue(41_500.0)));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod attributes;
 pub mod builder;
 pub mod entity;

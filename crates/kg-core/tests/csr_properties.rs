@@ -1,0 +1,115 @@
+//! Property tests for the CSR adjacency construction: for arbitrary triple
+//! sets, the flat edge array + offsets must expose exactly the adjacency the
+//! straightforward nested-`Vec` construction would (the representation the
+//! workspace used before the CSR refactor), entry order included.
+
+use kg_core::{Direction, EdgeRef, EntityId, GraphBuilder, KnowledgeGraph};
+use proptest::prelude::*;
+
+/// Reference adjacency: the pre-CSR nested-`Vec` construction, rebuilt from
+/// the frozen graph's triple list.
+fn reference_adjacency(g: &KnowledgeGraph) -> Vec<Vec<EdgeRef>> {
+    let mut adjacency: Vec<Vec<EdgeRef>> = vec![Vec::new(); g.entity_count()];
+    for t in g.triples() {
+        adjacency[t.subject.index()].push(EdgeRef {
+            neighbor: t.object,
+            predicate: t.predicate,
+            direction: Direction::Outgoing,
+        });
+        // A self-loop contributes a single adjacency entry.
+        if t.subject != t.object {
+            adjacency[t.object.index()].push(EdgeRef {
+                neighbor: t.subject,
+                predicate: t.predicate,
+                direction: Direction::Incoming,
+            });
+        }
+    }
+    adjacency
+}
+
+/// Builds a graph over `entities` isolated nodes plus the given
+/// `(subject, predicate, object)` triples (indices taken modulo `entities`).
+fn build(entities: usize, triples: &[(usize, usize, usize)]) -> KnowledgeGraph {
+    let mut b = GraphBuilder::with_capacity(entities, triples.len());
+    let ids: Vec<EntityId> = (0..entities)
+        .map(|i| b.add_entity(&format!("e{i}"), &["T"]))
+        .collect();
+    for &(s, p, o) in triples {
+        b.add_edge(ids[s % entities], &format!("p{}", p % 5), ids[o % entities]);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR `neighbors(id)` returns exactly the same edge sequence (hence the
+    /// same multiset) as the nested-Vec reference, for every entity.
+    #[test]
+    fn csr_matches_nested_vec_reference(
+        entities in 1usize..40,
+        triples in prop::collection::vec((0usize..40, 0usize..5, 0usize..40), 0..160),
+    ) {
+        let g = build(entities, &triples);
+        let reference = reference_adjacency(&g);
+        for id in g.entity_ids() {
+            let csr = g.neighbors(id);
+            let expected = &reference[id.index()];
+            prop_assert_eq!(csr.len(), g.degree(id));
+            prop_assert_eq!(csr, expected.as_slice());
+            // Multiset equality follows from sequence equality; assert it
+            // independently of entry order anyway, as the documented contract.
+            let mut a: Vec<EdgeRef> = csr.to_vec();
+            let mut b = expected.clone();
+            let key = |e: &EdgeRef| (e.neighbor.raw(), e.predicate.raw(), e.direction == Direction::Outgoing);
+            a.sort_by_key(key);
+            b.sort_by_key(key);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Total CSR entries equal 2·|E| minus the number of self-loops, and the
+    /// offsets are a monotone prefix-sum of degrees.
+    #[test]
+    fn csr_degree_sum_accounts_for_every_entry(
+        entities in 1usize..40,
+        triples in prop::collection::vec((0usize..40, 0usize..5, 0usize..40), 0..160),
+    ) {
+        let g = build(entities, &triples);
+        let self_loops = g
+            .triples()
+            .iter()
+            .filter(|t| t.subject == t.object)
+            .count();
+        let degree_sum: usize = g.entity_ids().map(|id| g.degree(id)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count() - self_loops);
+    }
+}
+
+#[test]
+fn empty_graph_builds_and_has_no_adjacency() {
+    let g = GraphBuilder::new().build();
+    assert_eq!(g.entity_count(), 0);
+    assert_eq!(g.edge_count(), 0);
+    assert_eq!(g.average_degree(), 0.0);
+}
+
+#[test]
+fn isolated_entities_have_empty_neighbor_slices() {
+    let mut b = GraphBuilder::new();
+    let lone = b.add_entity("lone", &["T"]);
+    let u = b.add_entity("u", &["T"]);
+    let v = b.add_entity("v", &["T"]);
+    b.add_edge(u, "p", v);
+    let also_lone = b.add_entity("also_lone", &[]);
+    let g = b.build();
+    for id in [lone, also_lone] {
+        assert_eq!(g.degree(id), 0);
+        assert!(g.neighbors(id).is_empty());
+    }
+    assert_eq!(g.degree(u), 1);
+    assert_eq!(g.neighbors(u)[0].neighbor, v);
+    assert_eq!(g.neighbors(u)[0].direction, Direction::Outgoing);
+    assert_eq!(g.neighbors(v)[0].direction, Direction::Incoming);
+}

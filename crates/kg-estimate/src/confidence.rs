@@ -1,7 +1,7 @@
 //! Confidence intervals: CLT margin of error with bootstrap / Bag of Little
 //! Bootstraps variance estimation (Eq. 10–11).
 
-use crate::estimators::{estimate, ValidatedAnswer};
+use crate::estimators::ValidatedAnswer;
 use kg_query::ResolvedAggregate;
 use rand::Rng;
 
@@ -95,6 +95,83 @@ fn inverse_normal_cdf(p: f64) -> f64 {
     }
 }
 
+/// One answer pre-processed for bootstrap resampling: the per-draw terms of
+/// the estimator (`1/π`, `u.a/π`, or the extreme value) computed once, so
+/// the hot resampling loop performs additions only. The terms are the exact
+/// values the streaming accumulator would compute per draw — division of the
+/// same operands yields the same bits — so resampled estimates are
+/// bitwise-equal to un-prepared evaluation.
+#[derive(Copy, Clone)]
+struct PreparedAnswer {
+    contributes: bool,
+    /// COUNT: 1/π. SUM/AVG: u.a/π. MAX/MIN: u.a.
+    primary: f64,
+    /// AVG only: 1/π (the denominator term); 0 otherwise.
+    secondary: f64,
+}
+
+impl PreparedAnswer {
+    fn of(aggregate: &ResolvedAggregate, a: &ValidatedAnswer) -> Self {
+        use kg_query::AggregateFunction;
+        let contributes = a.contributes();
+        let (primary, secondary) = if !contributes {
+            (0.0, 0.0)
+        } else {
+            match aggregate.function {
+                AggregateFunction::Count => (1.0 / a.probability, 0.0),
+                AggregateFunction::Sum(_) => (a.value.unwrap_or(0.0) / a.probability, 0.0),
+                AggregateFunction::Avg(_) => {
+                    (a.value.unwrap_or(0.0) / a.probability, 1.0 / a.probability)
+                }
+                AggregateFunction::Max(_) | AggregateFunction::Min(_) => {
+                    (a.value.unwrap_or(f64::NAN), 0.0)
+                }
+            }
+        };
+        Self {
+            contributes,
+            primary,
+            secondary,
+        }
+    }
+}
+
+/// How the resampling loop combines prepared terms; mirrors the arms of
+/// [`EstimateAccumulator`].
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum CombineKind {
+    /// COUNT/SUM: Σ primary, then divide by the resample size.
+    Linear,
+    /// AVG: Σ primary / Σ secondary.
+    Ratio,
+    /// MAX: running maximum of primary.
+    Max,
+    /// MIN: running minimum of primary.
+    Min,
+}
+
+impl CombineKind {
+    fn of(aggregate: &ResolvedAggregate) -> Self {
+        use kg_query::AggregateFunction;
+        match aggregate.function {
+            AggregateFunction::Count | AggregateFunction::Sum(_) => CombineKind::Linear,
+            AggregateFunction::Avg(_) => CombineKind::Ratio,
+            AggregateFunction::Max(_) => CombineKind::Max,
+            AggregateFunction::Min(_) => CombineKind::Min,
+        }
+    }
+}
+
+/// Maps one 64-bit draw to an index in `[0, len)` with Lemire's
+/// multiply-shift, avoiding the hardware divide of a modulo reduction in the
+/// resampling hot loop (the bias is ≤ `len`/2⁶⁴ — immaterial). This is the
+/// single point deciding which answers a bootstrap resample picks, so the
+/// serial and batched execution paths stay draw-for-draw identical.
+#[inline]
+fn draw_index<R: Rng>(rng: &mut R, len: usize) -> usize {
+    ((rng.gen::<u64>() as u128 * len as u128) >> 64) as usize
+}
+
 fn bootstrap_std<R: Rng>(
     aggregate: &ResolvedAggregate,
     sample: &[ValidatedAnswer],
@@ -105,14 +182,71 @@ fn bootstrap_std<R: Rng>(
     if sample.is_empty() || resamples < 2 {
         return 0.0;
     }
+    // Hoist the per-draw divisions and the aggregate dispatch out of the
+    // resampling loop: each draw is then an index, a load and an add. The
+    // floating-point operations and their order are unchanged relative to
+    // evaluating the estimator per resample, so the estimates are
+    // bitwise-identical — only faster.
+    let prepared: Vec<PreparedAnswer> = sample
+        .iter()
+        .map(|a| PreparedAnswer::of(aggregate, a))
+        .collect();
+    let kind = CombineKind::of(aggregate);
+    let len = prepared.len();
+    let n = resample_size as f64;
     let mut estimates = Vec::with_capacity(resamples);
-    let mut scratch = Vec::with_capacity(resample_size);
-    for _ in 0..resamples {
-        scratch.clear();
-        for _ in 0..resample_size {
-            scratch.push(sample[rng.gen_range(0..sample.len())]);
+    match kind {
+        // COUNT/SUM and AVG sum branch-free over dense term arrays: a
+        // non-contributing draw adds +0.0, which leaves every partial sum
+        // bitwise-unchanged, and an all-zero resample yields +0.0/n = +0.0
+        // (resp. the den == 0.0 guard) — the same bits the skip-and-flag
+        // formulation produces.
+        CombineKind::Linear => {
+            let terms: Vec<f64> = prepared.iter().map(|p| p.primary).collect();
+            for _ in 0..resamples {
+                let mut sum = 0.0;
+                for _ in 0..resample_size {
+                    sum += terms[draw_index(rng, len)];
+                }
+                estimates.push(sum / n);
+            }
         }
-        estimates.push(estimate(aggregate, &scratch));
+        CombineKind::Ratio => {
+            let nums: Vec<f64> = prepared.iter().map(|p| p.primary).collect();
+            let dens: Vec<f64> = prepared.iter().map(|p| p.secondary).collect();
+            for _ in 0..resamples {
+                let (mut num, mut den) = (0.0, 0.0);
+                for _ in 0..resample_size {
+                    let i = draw_index(rng, len);
+                    num += nums[i];
+                    den += dens[i];
+                }
+                estimates.push(if den == 0.0 { 0.0 } else { num / den });
+            }
+        }
+        CombineKind::Max | CombineKind::Min => {
+            for _ in 0..resamples {
+                let mut any = false;
+                let mut extreme = if kind == CombineKind::Max {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                };
+                for _ in 0..resample_size {
+                    let pa = &prepared[draw_index(rng, len)];
+                    if !pa.contributes {
+                        continue;
+                    }
+                    any = true;
+                    extreme = if kind == CombineKind::Max {
+                        extreme.max(pa.primary)
+                    } else {
+                        extreme.min(pa.primary)
+                    };
+                }
+                estimates.push(if any { extreme } else { 0.0 });
+            }
+        }
     }
     let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
     let var = estimates
@@ -158,7 +292,7 @@ pub fn blb_moe<R: Rng>(
         // shuffling over a with-replacement draw for simplicity at small n).
         let mut subsample = Vec::with_capacity(sub_size);
         for _ in 0..sub_size {
-            subsample.push(sample[rng.gen_range(0..n)]);
+            subsample.push(sample[draw_index(rng, n)]);
         }
         let std = bootstrap_std(aggregate, &subsample, config.resamples, n, rng);
         total += z * std;

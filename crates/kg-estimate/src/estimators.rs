@@ -42,40 +42,97 @@ impl ValidatedAnswer {
 ///
 /// Returns 0.0 when no sampled answer contributes.
 pub fn estimate(aggregate: &ResolvedAggregate, sample: &[ValidatedAnswer]) -> f64 {
-    let usable: Vec<&ValidatedAnswer> = sample.iter().filter(|a| a.contributes()).collect();
-    if usable.is_empty() {
-        return 0.0;
+    let mut acc = EstimateAccumulator::new(aggregate);
+    for a in sample {
+        acc.push(a);
     }
-    let n = sample.len() as f64;
-    match aggregate.function {
-        AggregateFunction::Count => usable.iter().map(|a| 1.0 / a.probability).sum::<f64>() / n,
-        AggregateFunction::Sum(_) => {
-            usable
-                .iter()
-                .map(|a| a.value.unwrap_or(0.0) / a.probability)
-                .sum::<f64>()
-                / n
+    acc.finish(sample.len())
+}
+
+/// Streaming form of [`estimate`]: answers are pushed one at a time and the
+/// estimator value is produced at the end.
+///
+/// The accumulator performs exactly the floating-point operations of
+/// [`estimate`] in the same order, so a streamed estimate is bitwise-equal
+/// to a materialised one. [`estimate`] is implemented on top of it; the
+/// bootstrap resampling hot loop (`confidence::bootstrap_std`) instead uses
+/// a specialised prepared-terms formulation whose per-arm semantics mirror
+/// [`Self::push`]/[`Self::finish`] bit for bit — a change to the aggregate
+/// arms here must be reflected there (and vice versa), which the batch
+/// engine's bitwise serial/batch parity tests enforce.
+#[derive(Clone, Debug)]
+pub struct EstimateAccumulator<'a> {
+    aggregate: &'a ResolvedAggregate,
+    any: bool,
+    /// Primary running value: the HT numerator sum for COUNT/SUM/AVG, the
+    /// running extreme for MAX/MIN.
+    primary: f64,
+    /// Secondary running value: the Σ 1/π'_i denominator (AVG only).
+    secondary: f64,
+}
+
+impl<'a> EstimateAccumulator<'a> {
+    /// Creates an empty accumulator for the given aggregate.
+    pub fn new(aggregate: &'a ResolvedAggregate) -> Self {
+        let primary = match aggregate.function {
+            AggregateFunction::Max(_) => f64::NEG_INFINITY,
+            AggregateFunction::Min(_) => f64::INFINITY,
+            _ => 0.0,
+        };
+        Self {
+            aggregate,
+            any: false,
+            primary,
+            secondary: 0.0,
         }
-        AggregateFunction::Avg(_) => {
-            let num: f64 = usable
-                .iter()
-                .map(|a| a.value.unwrap_or(0.0) / a.probability)
-                .sum();
-            let den: f64 = usable.iter().map(|a| 1.0 / a.probability).sum();
-            if den == 0.0 {
-                0.0
-            } else {
-                num / den
+    }
+
+    /// Accounts one draw. Non-contributing answers still count towards the
+    /// |S_A| normaliser passed to [`Self::finish`], exactly as in
+    /// [`estimate`].
+    pub fn push(&mut self, a: &ValidatedAnswer) {
+        if !a.contributes() {
+            return;
+        }
+        self.any = true;
+        match self.aggregate.function {
+            AggregateFunction::Count => self.primary += 1.0 / a.probability,
+            AggregateFunction::Sum(_) => self.primary += a.value.unwrap_or(0.0) / a.probability,
+            AggregateFunction::Avg(_) => {
+                self.primary += a.value.unwrap_or(0.0) / a.probability;
+                self.secondary += 1.0 / a.probability;
+            }
+            AggregateFunction::Max(_) => {
+                if let Some(v) = a.value {
+                    self.primary = self.primary.max(v);
+                }
+            }
+            AggregateFunction::Min(_) => {
+                if let Some(v) = a.value {
+                    self.primary = self.primary.min(v);
+                }
             }
         }
-        AggregateFunction::Max(_) => usable
-            .iter()
-            .filter_map(|a| a.value)
-            .fold(f64::NEG_INFINITY, f64::max),
-        AggregateFunction::Min(_) => usable
-            .iter()
-            .filter_map(|a| a.value)
-            .fold(f64::INFINITY, f64::min),
+    }
+
+    /// Finalises the estimator over a sample of `sample_size` draws (the
+    /// |S_A| of Eq. 7–8, counting non-contributing draws).
+    pub fn finish(&self, sample_size: usize) -> f64 {
+        if !self.any {
+            return 0.0;
+        }
+        let n = sample_size as f64;
+        match self.aggregate.function {
+            AggregateFunction::Count | AggregateFunction::Sum(_) => self.primary / n,
+            AggregateFunction::Avg(_) => {
+                if self.secondary == 0.0 {
+                    0.0
+                } else {
+                    self.primary / self.secondary
+                }
+            }
+            AggregateFunction::Max(_) | AggregateFunction::Min(_) => self.primary,
+        }
     }
 }
 

@@ -37,6 +37,6 @@ pub mod refine;
 pub mod validation;
 
 pub use confidence::{blb_moe, bootstrap_moe, normal_critical_value, BootstrapConfig};
-pub use estimators::{estimate, ValidatedAnswer};
+pub use estimators::{estimate, EstimateAccumulator, ValidatedAnswer};
 pub use refine::{additional_sample_size, moe_threshold, satisfies_error_bound};
 pub use validation::{validate_answer, ValidationConfig, ValidationOutcome};

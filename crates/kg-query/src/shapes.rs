@@ -10,7 +10,7 @@ use crate::query_graph::{QueryNode, ResolvedSimpleQuery, SimpleQuery};
 use kg_core::{EntityId, KgError, KgResult, KnowledgeGraph, PredicateId, TypeId};
 use serde::{Deserialize, Serialize};
 
-/// The query-graph shapes studied in the paper (Figure 4 and [17]).
+/// The query-graph shapes studied in the paper (Figure 4 and reference \[17\]).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum QueryShape {
     /// One specific node, one edge, one target node.

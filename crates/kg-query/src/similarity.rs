@@ -7,7 +7,7 @@ use kg_embed::PredicateSimilarity;
 /// the path's semantic similarity.
 ///
 /// The paper uses the **geometric mean** (Eq. 2), following its reference
-/// [13], but notes that the method only requires the aggregate to be monotone
+/// \[13\], but notes that the method only requires the aggregate to be monotone
 /// in the per-edge similarities. `Min` and `Product` are provided for the
 /// ablation called out in DESIGN.md.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]

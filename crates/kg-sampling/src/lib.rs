@@ -53,10 +53,14 @@
 //! assert!((total - 1.0).abs() < 1e-9);
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod cache;
 pub mod sampler;
 pub mod strategies;
 pub mod transition;
 
+pub use cache::{CacheStats, SamplerCache};
 pub use sampler::{prepare, PreparedSampler, SampledAnswer, SamplerConfig};
 pub use strategies::SamplingStrategy;
 pub use transition::TransitionMatrix;

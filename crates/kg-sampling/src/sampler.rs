@@ -185,6 +185,19 @@ impl PreparedSampler {
 mod tests {
     use super::*;
     use kg_core::GraphBuilder;
+
+    /// The doc comments on [`SamplerConfig`] cite the paper's defaults
+    /// (n = 3, self-loop weight 0.001, ≤ 500 walk iterations); assert the
+    /// `Default` impl matches so the documentation cannot drift from the
+    /// code.
+    #[test]
+    fn default_config_matches_documented_paper_defaults() {
+        let c = SamplerConfig::default();
+        assert_eq!(c.n_bound, 3);
+        assert_eq!(c.self_loop_weight, 0.001);
+        assert_eq!(c.max_iterations, 500);
+        assert_eq!(c.tolerance, 1e-10);
+    }
     use kg_embed::oracle::oracle_store;
     use kg_query::SimpleQuery;
     use rand::rngs::SmallRng;

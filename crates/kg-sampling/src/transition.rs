@@ -107,8 +107,19 @@ impl TransitionMatrix {
 
     /// One step of Eq. 6: `next = current · P`.
     pub fn step(&self, current: &[f64]) -> Vec<f64> {
-        debug_assert_eq!(current.len(), self.nodes.len());
         let mut next = vec![0.0; current.len()];
+        self.step_into(current, &mut next);
+        next
+    }
+
+    /// One step of Eq. 6 written into a caller-provided buffer, so the
+    /// convergence loop can ping-pong two buffers instead of allocating a
+    /// fresh vector per iteration (up to `max_iterations` allocations per
+    /// [`crate::prepare`] call before this existed).
+    pub fn step_into(&self, current: &[f64], next: &mut Vec<f64>) {
+        debug_assert_eq!(current.len(), self.nodes.len());
+        next.clear();
+        next.resize(current.len(), 0.0);
         for (i, row) in self.rows.iter().enumerate() {
             let mass = current[i];
             if mass == 0.0 {
@@ -118,7 +129,6 @@ impl TransitionMatrix {
                 next[j] += mass * p;
             }
         }
-        next
     }
 
     /// Iterates Eq. 6 from the indicator distribution on `start` until the L1
@@ -139,11 +149,14 @@ impl TransitionMatrix {
         let start_index = self.index_of(start).unwrap_or(0);
         pi[start_index] = 1.0;
         let mut iterations = 0;
+        // Ping-pong between `pi` and one scratch buffer: the loop performs
+        // no allocation after the first iteration.
+        let mut next = Vec::with_capacity(n);
         for _ in 0..max_iterations {
-            let next = self.step(&pi);
+            self.step_into(&pi, &mut next);
             iterations += 1;
             let delta: f64 = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
-            pi = next;
+            std::mem::swap(&mut pi, &mut next);
             if delta < tolerance {
                 break;
             }
