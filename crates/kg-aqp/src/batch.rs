@@ -53,8 +53,22 @@ use kg_sampling::{CacheStats, SamplerCache};
 use rayon::prelude::*;
 use std::sync::Arc;
 
+/// Nearest-rank percentile over latency samples (`q` in `[0, 1]`), tolerant
+/// of unsorted input and returning 0 for an empty set. One code path serves
+/// [`BatchStats`]'s `Display`, the service metrics snapshot and the bench
+/// report, so the three always agree on what "p95" means.
+pub fn latency_percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
 /// What the batch planner did, for reporting and regression tests.
-#[derive(Copy, Clone, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BatchStats {
     /// Number of queries in the batch.
     pub queries: usize,
@@ -64,6 +78,50 @@ pub struct BatchStats {
     /// simple components actually prepared, `hits` the preparations saved
     /// relative to the serial per-query loop.
     pub sampler_cache: CacheStats,
+    /// Wall-clock milliseconds per query, in input order (planning plus the
+    /// sampling–estimation loop). Queries whose planning failed hold `NaN`
+    /// so the slot-to-query alignment survives without zeros dragging the
+    /// percentiles down. Filled by [`BatchEngine::execute_with_stats`];
+    /// empty when only sessions were opened.
+    pub per_query_ms: Vec<f64>,
+}
+
+impl BatchStats {
+    /// Nearest-rank percentile of the per-query latencies (`q` in `[0, 1]`),
+    /// over successful queries only (failure slots hold `NaN`).
+    pub fn percentile_ms(&self, q: f64) -> f64 {
+        let finite: Vec<f64> = self
+            .per_query_ms
+            .iter()
+            .copied()
+            .filter(|ms| ms.is_finite())
+            .collect();
+        latency_percentile(&finite, q)
+    }
+}
+
+impl std::fmt::Display for BatchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} queries ({} failed), sampler cache {} hits / {} misses ({:.0}% hit rate)",
+            self.queries,
+            self.failures,
+            self.sampler_cache.hits,
+            self.sampler_cache.misses,
+            self.sampler_cache.hit_rate() * 100.0,
+        )?;
+        if !self.per_query_ms.is_empty() {
+            write!(
+                f,
+                ", latency ms p50={:.2} p95={:.2} p99={:.2}",
+                self.percentile_ms(0.50),
+                self.percentile_ms(0.95),
+                self.percentile_ms(0.99),
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// Executes slices of aggregate queries with shared planning.
@@ -113,11 +171,39 @@ impl BatchEngine {
         queries: &[AggregateQuery],
         similarity: &S,
     ) -> (Vec<KgResult<QueryAnswer>>, BatchStats) {
-        let (sessions, stats) = self.open_sessions_with_stats(graph, queries, similarity);
+        let config = self.engine.config();
+        let cache = SamplerCache::new(config.strategy, config.sampler_config());
+        self.execute_with_stats_cached(graph, queries, similarity, &cache)
+    }
+
+    /// [`Self::execute_with_stats`] against a caller-owned [`SamplerCache`],
+    /// so prepared components survive beyond one batch (the service keeps a
+    /// cache alive for its whole lifetime). The reported cache stats cover
+    /// only this call, not the cache's history. Answers are identical to the
+    /// fresh-cache path: sampler preparation is deterministic, so a cache
+    /// carried across batches changes who prepares a sampler, never its
+    /// value.
+    pub fn execute_with_stats_cached<S: PredicateSimilarity + ?Sized + Sync>(
+        &self,
+        graph: &KnowledgeGraph,
+        queries: &[AggregateQuery],
+        similarity: &S,
+        cache: &SamplerCache,
+    ) -> (Vec<KgResult<QueryAnswer>>, BatchStats) {
+        let (sessions, mut stats) =
+            self.open_sessions_with_stats(graph, queries, similarity, cache);
         let error_bound = self.engine.config().error_bound;
-        let answers = sessions
+        let answers: Vec<KgResult<QueryAnswer>> = sessions
             .into_par_iter()
             .map(|session| session.map(|mut s| s.refine_to(graph, similarity, error_bound)))
+            .collect();
+        stats.per_query_ms = answers
+            .iter()
+            .map(|a| {
+                a.as_ref()
+                    .map(|answer| answer.elapsed_ms)
+                    .unwrap_or(f64::NAN)
+            })
             .collect();
         (answers, stats)
     }
@@ -131,7 +217,22 @@ impl BatchEngine {
         queries: &[AggregateQuery],
         similarity: &S,
     ) -> Vec<KgResult<InteractiveSession>> {
-        self.open_sessions_with_stats(graph, queries, similarity).0
+        let config = self.engine.config();
+        let cache = SamplerCache::new(config.strategy, config.sampler_config());
+        self.open_sessions_with_stats(graph, queries, similarity, &cache)
+            .0
+    }
+
+    /// [`Self::open_sessions`] against a caller-owned [`SamplerCache`] (see
+    /// [`Self::execute_with_stats_cached`] for why sharing is sound).
+    pub fn open_sessions_cached<S: PredicateSimilarity + ?Sized>(
+        &self,
+        graph: &KnowledgeGraph,
+        queries: &[AggregateQuery],
+        similarity: &S,
+        cache: &SamplerCache,
+    ) -> (Vec<KgResult<InteractiveSession>>, BatchStats) {
+        self.open_sessions_with_stats(graph, queries, similarity, cache)
     }
 
     fn open_sessions_with_stats<S: PredicateSimilarity + ?Sized>(
@@ -139,9 +240,10 @@ impl BatchEngine {
         graph: &KnowledgeGraph,
         queries: &[AggregateQuery],
         similarity: &S,
+        cache: &SamplerCache,
     ) -> (Vec<KgResult<InteractiveSession>>, BatchStats) {
         let config = self.engine.config();
-        let cache = SamplerCache::new(config.strategy, config.sampler_config());
+        let cache_before = cache.stats();
         // One validation cache for the whole batch: queries sharing a
         // component (hence a cached sampler) validate each sampled entity
         // once instead of once per query.
@@ -150,7 +252,7 @@ impl BatchEngine {
             .iter()
             .map(|query| {
                 self.engine
-                    .plan_with_cache(graph, query, similarity, Some(&cache))
+                    .plan_with_cache(graph, query, similarity, Some(cache))
                     .map(|plan| {
                         InteractiveSession::with_shared_validation(
                             config.clone(),
@@ -160,10 +262,15 @@ impl BatchEngine {
                     })
             })
             .collect();
+        let cache_after = cache.stats();
         let stats = BatchStats {
             queries: queries.len(),
             failures: sessions.iter().filter(|s| s.is_err()).count(),
-            sampler_cache: cache.stats(),
+            sampler_cache: CacheStats {
+                hits: cache_after.hits - cache_before.hits,
+                misses: cache_after.misses - cache_before.misses,
+            },
+            per_query_ms: Vec::new(),
         };
         (sessions, stats)
     }
@@ -295,6 +402,68 @@ mod tests {
         assert!(answers[2].is_err());
         assert_eq!(stats.failures, 1);
         assert!(answers.iter().filter(|a| a.is_ok()).count() == queries.len() - 1);
+        // The failed slot is NaN (keeps alignment) and excluded from the
+        // percentiles: the median reflects only real executions.
+        assert!(stats.per_query_ms[2].is_nan());
+        assert!(stats.percentile_ms(0.0) > 0.0);
+    }
+
+    #[test]
+    fn stats_carry_per_query_timings_and_render() {
+        let d = dataset();
+        let queries = workload();
+        let batch = BatchEngine::new(EngineConfig {
+            error_bound: 0.05,
+            ..EngineConfig::default()
+        });
+        let (answers, stats) = batch.execute_with_stats(&d.graph, &queries, &d.oracle);
+        assert_eq!(stats.per_query_ms.len(), queries.len());
+        for (answer, ms) in answers.iter().zip(&stats.per_query_ms) {
+            assert_eq!(*ms, answer.as_ref().unwrap().elapsed_ms);
+            assert!(*ms >= 0.0);
+        }
+        assert!(stats.percentile_ms(0.95) >= stats.percentile_ms(0.50));
+        let rendered = stats.to_string();
+        assert!(rendered.contains("7 queries (0 failed)"), "{rendered}");
+        assert!(rendered.contains("p50="), "{rendered}");
+        assert!(rendered.contains("p99="), "{rendered}");
+    }
+
+    #[test]
+    fn latency_percentile_is_nearest_rank() {
+        let samples = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(latency_percentile(&samples, 0.0), 1.0);
+        assert_eq!(latency_percentile(&samples, 0.5), 3.0);
+        assert_eq!(latency_percentile(&samples, 1.0), 5.0);
+        assert_eq!(latency_percentile(&samples, 0.95), 5.0);
+        assert_eq!(latency_percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn long_lived_cache_reuses_components_across_batches_without_changing_answers() {
+        let d = dataset();
+        let queries = workload();
+        let config = EngineConfig {
+            error_bound: 0.05,
+            ..EngineConfig::default()
+        };
+        let batch = BatchEngine::new(config.clone());
+        let cache = kg_sampling::SamplerCache::new(config.strategy, config.sampler_config());
+
+        let (first, stats_first) =
+            batch.execute_with_stats_cached(&d.graph, &queries, &d.oracle, &cache);
+        let (second, stats_second) =
+            batch.execute_with_stats_cached(&d.graph, &queries, &d.oracle, &cache);
+        // Second pass over the same workload prepares nothing new...
+        assert_eq!(stats_second.sampler_cache.misses, 0);
+        assert!(stats_second.sampler_cache.hits >= queries.len());
+        assert!(stats_first.sampler_cache.misses > 0);
+        // ...and the answers stay bitwise-identical to the first pass.
+        for (a, b) in first.iter().zip(&second) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+            assert_eq!(a.moe.to_bits(), b.moe.to_bits());
+        }
     }
 
     #[test]

@@ -35,8 +35,9 @@ pub mod config;
 pub mod engine;
 pub mod result;
 pub mod session;
+pub mod wire;
 
-pub use batch::{BatchEngine, BatchStats};
+pub use batch::{latency_percentile, BatchEngine, BatchStats};
 pub use config::EngineConfig;
 pub use engine::AqpEngine;
 pub use result::{QueryAnswer, RoundTrace, StepTimings};

@@ -1,10 +1,11 @@
 //! Result types returned by the engine: estimate, confidence interval,
 //! per-round traces and per-step timings.
 
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One refinement round (Table IX's case-study rows).
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RoundTrace {
     /// Round number (1-based).
     pub round: usize,
@@ -21,7 +22,7 @@ pub struct RoundTrace {
 /// Wall-clock time spent in each of the three steps of the online phase
 /// (Table XII): S1 semantic-aware sampling, S2 approximate estimation
 /// (including correctness validation), S3 accuracy guarantee.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct StepTimings {
     /// Sampling time in milliseconds (transition matrix + convergence + draws).
     pub sampling_ms: f64,
@@ -39,7 +40,7 @@ impl StepTimings {
 }
 
 /// The answer to an approximate aggregate query.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct QueryAnswer {
     /// The approximate aggregate V̂.
     pub estimate: f64,

@@ -213,6 +213,22 @@ impl InteractiveSession {
         similarity: &S,
         error_bound: f64,
     ) -> QueryAnswer {
+        self.refine_with(graph, similarity, error_bound, self.config.confidence)
+    }
+
+    /// [`Self::refine_to`] with a per-call confidence level: the margin of
+    /// error is recomputed at `confidence` from this call on, overriding the
+    /// engine configuration. This is how the service layer honours
+    /// per-request (error bound, confidence) targets while resuming a cached
+    /// session that may have been opened under different targets.
+    pub fn refine_with<S: PredicateSimilarity + ?Sized>(
+        &mut self,
+        graph: &KnowledgeGraph,
+        similarity: &S,
+        error_bound: f64,
+        confidence: f64,
+    ) -> QueryAnswer {
+        self.config.confidence = confidence;
         let wall = Instant::now();
         if self.sample.is_empty() {
             let initial = self.config.initial_sample_size(self.plan.candidate_count);
@@ -368,6 +384,31 @@ mod tests {
         );
         assert!(session.candidate_count() > 0);
         assert!(fine.rounds.len() >= coarse.rounds.len());
+    }
+
+    #[test]
+    fn refine_with_overrides_the_confidence_level() {
+        let d = dataset();
+        let engine = AqpEngine::new(EngineConfig::default());
+        let query = AggregateQuery::simple(
+            SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+            AggregateFunction::Count,
+        );
+        let mut session = engine.open_session(&d.graph, &query, &d.oracle).unwrap();
+        let tight = session.refine_with(&d.graph, &d.oracle, 0.10, 0.99);
+        assert_eq!(tight.confidence, 0.99);
+        // Dropping the confidence over the (at least as large) sample cannot
+        // widen the interval: the 80% bootstrap quantile sits inside the 99%
+        // one (small tolerance for bootstrap resampling noise).
+        let loose = session.refine_with(&d.graph, &d.oracle, 0.10, 0.80);
+        assert_eq!(loose.confidence, 0.80);
+        assert!(loose.sample_size >= tight.sample_size);
+        assert!(
+            loose.moe <= tight.moe * 1.05,
+            "{} vs {}",
+            loose.moe,
+            tight.moe
+        );
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! JSON wire format for engine results, mirroring `kg_query::wire`.
+//!
+//! Answers cross process boundaries in the service layer, so
+//! [`QueryAnswer`], [`RoundTrace`] and [`StepTimings`] get the same pinned
+//! encoding treatment as the query types: field names match the struct
+//! fields verbatim (what `serde`'s derive would emit), GROUP-BY keys are
+//! stringified integers (serde's map-key convention), and decoding reports
+//! the path of the first malformed field.
+
+use crate::result::{QueryAnswer, RoundTrace, StepTimings};
+use kg_query::wire::{as_bool, as_f64, as_usize, get_field, object};
+use kg_query::WireError;
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+
+impl StepTimings {
+    /// Encodes as `{"sampling_ms":..,"estimation_ms":..,"guarantee_ms":..}`.
+    pub fn to_json(&self) -> Value {
+        object(vec![
+            ("sampling_ms", Value::Number(self.sampling_ms)),
+            ("estimation_ms", Value::Number(self.estimation_ms)),
+            ("guarantee_ms", Value::Number(self.guarantee_ms)),
+        ])
+    }
+
+    /// Decodes the [`Self::to_json`] encoding.
+    pub fn from_json(value: &Value) -> Result<Self, WireError> {
+        let path = "timings";
+        Ok(Self {
+            sampling_ms: as_f64(
+                get_field(value, path, "sampling_ms")?,
+                &format!("{path}.sampling_ms"),
+            )?,
+            estimation_ms: as_f64(
+                get_field(value, path, "estimation_ms")?,
+                &format!("{path}.estimation_ms"),
+            )?,
+            guarantee_ms: as_f64(
+                get_field(value, path, "guarantee_ms")?,
+                &format!("{path}.guarantee_ms"),
+            )?,
+        })
+    }
+}
+
+impl RoundTrace {
+    /// Encodes as an object with the struct's field names.
+    pub fn to_json(&self) -> Value {
+        object(vec![
+            ("round", Value::Number(self.round as f64)),
+            ("estimate", Value::Number(self.estimate)),
+            ("moe", Value::Number(self.moe)),
+            ("sample_size", Value::Number(self.sample_size as f64)),
+            ("correct_size", Value::Number(self.correct_size as f64)),
+        ])
+    }
+
+    /// Decodes the [`Self::to_json`] encoding.
+    pub fn from_json(value: &Value) -> Result<Self, WireError> {
+        let path = "round";
+        Ok(Self {
+            round: as_usize(get_field(value, path, "round")?, &format!("{path}.round"))?,
+            estimate: as_f64(
+                get_field(value, path, "estimate")?,
+                &format!("{path}.estimate"),
+            )?,
+            moe: as_f64(get_field(value, path, "moe")?, &format!("{path}.moe"))?,
+            sample_size: as_usize(
+                get_field(value, path, "sample_size")?,
+                &format!("{path}.sample_size"),
+            )?,
+            correct_size: as_usize(
+                get_field(value, path, "correct_size")?,
+                &format!("{path}.correct_size"),
+            )?,
+        })
+    }
+}
+
+impl QueryAnswer {
+    /// Encodes as an object with the struct's field names; GROUP-BY keys are
+    /// stringified bucket indices (serde's integer-map-key convention).
+    pub fn to_json(&self) -> Value {
+        let groups: Map<String, Value> = self
+            .groups
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::Number(*v)))
+            .collect();
+        object(vec![
+            ("estimate", Value::Number(self.estimate)),
+            ("moe", Value::Number(self.moe)),
+            ("confidence", Value::Number(self.confidence)),
+            ("guarantee_met", Value::Bool(self.guarantee_met)),
+            (
+                "rounds",
+                Value::Array(self.rounds.iter().map(RoundTrace::to_json).collect()),
+            ),
+            ("groups", Value::Object(groups)),
+            ("timings", self.timings.to_json()),
+            ("sample_size", Value::Number(self.sample_size as f64)),
+            (
+                "candidate_count",
+                Value::Number(self.candidate_count as f64),
+            ),
+            ("elapsed_ms", Value::Number(self.elapsed_ms)),
+        ])
+    }
+
+    /// Decodes the [`Self::to_json`] encoding.
+    pub fn from_json(value: &Value) -> Result<Self, WireError> {
+        let path = "answer";
+        let rounds = get_field(value, path, "rounds")?
+            .as_array()
+            .ok_or_else(|| WireError {
+                path: format!("{path}.rounds"),
+                expected: "an array".to_string(),
+            })?
+            .iter()
+            .map(RoundTrace::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let groups_value = get_field(value, path, "groups")?
+            .as_object()
+            .ok_or_else(|| WireError {
+                path: format!("{path}.groups"),
+                expected: "an object".to_string(),
+            })?;
+        let mut groups = BTreeMap::new();
+        for (key, v) in groups_value {
+            let bucket: i64 = key.parse().map_err(|_| WireError {
+                path: format!("{path}.groups.{key}"),
+                expected: "an integer bucket key".to_string(),
+            })?;
+            groups.insert(bucket, as_f64(v, &format!("{path}.groups.{key}"))?);
+        }
+        Ok(Self {
+            estimate: as_f64(
+                get_field(value, path, "estimate")?,
+                &format!("{path}.estimate"),
+            )?,
+            moe: as_f64(get_field(value, path, "moe")?, &format!("{path}.moe"))?,
+            confidence: as_f64(
+                get_field(value, path, "confidence")?,
+                &format!("{path}.confidence"),
+            )?,
+            guarantee_met: as_bool(
+                get_field(value, path, "guarantee_met")?,
+                &format!("{path}.guarantee_met"),
+            )?,
+            rounds,
+            groups,
+            timings: StepTimings::from_json(get_field(value, path, "timings")?)?,
+            sample_size: as_usize(
+                get_field(value, path, "sample_size")?,
+                &format!("{path}.sample_size"),
+            )?,
+            candidate_count: as_usize(
+                get_field(value, path, "candidate_count")?,
+                &format!("{path}.candidate_count"),
+            )?,
+            elapsed_ms: as_f64(
+                get_field(value, path, "elapsed_ms")?,
+                &format!("{path}.elapsed_ms"),
+            )?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answer() -> QueryAnswer {
+        let mut groups = BTreeMap::new();
+        groups.insert(-2_i64, 12.5);
+        groups.insert(3_i64, 40.0);
+        QueryAnswer {
+            estimate: 578.25,
+            moe: 5.5,
+            confidence: 0.95,
+            guarantee_met: true,
+            rounds: vec![
+                RoundTrace {
+                    round: 1,
+                    estimate: 560.0,
+                    moe: 21.0,
+                    sample_size: 100,
+                    correct_size: 88,
+                },
+                RoundTrace {
+                    round: 2,
+                    estimate: 578.25,
+                    moe: 5.5,
+                    sample_size: 240,
+                    correct_size: 210,
+                },
+            ],
+            groups,
+            timings: StepTimings {
+                sampling_ms: 1.25,
+                estimation_ms: 2.5,
+                guarantee_ms: 0.75,
+            },
+            sample_size: 240,
+            candidate_count: 1900,
+            elapsed_ms: 4.75,
+        }
+    }
+
+    #[test]
+    fn answer_round_trips_through_json_text() {
+        let a = answer();
+        let text = serde_json::to_string(&a.to_json()).unwrap();
+        let parsed: Value = serde_json::from_str(&text).unwrap();
+        let back = QueryAnswer::from_json(&parsed).unwrap();
+        assert_eq!(back.estimate, a.estimate);
+        assert_eq!(back.moe, a.moe);
+        assert_eq!(back.confidence, a.confidence);
+        assert_eq!(back.guarantee_met, a.guarantee_met);
+        assert_eq!(back.rounds, a.rounds);
+        assert_eq!(back.groups, a.groups);
+        assert_eq!(back.timings, a.timings);
+        assert_eq!(back.sample_size, a.sample_size);
+        assert_eq!(back.candidate_count, a.candidate_count);
+        assert_eq!(back.elapsed_ms, a.elapsed_ms);
+    }
+
+    /// Pins the wire field names so a service consumer can rely on them.
+    #[test]
+    fn answer_field_names_are_pinned() {
+        let json = answer().to_json();
+        let obj = json.as_object().unwrap();
+        let keys: Vec<&str> = obj.keys().map(String::as_str).collect();
+        assert_eq!(
+            keys,
+            [
+                "candidate_count",
+                "confidence",
+                "elapsed_ms",
+                "estimate",
+                "groups",
+                "guarantee_met",
+                "moe",
+                "rounds",
+                "sample_size",
+                "timings",
+            ]
+        );
+        let round = &json["rounds"][0];
+        for field in ["round", "estimate", "moe", "sample_size", "correct_size"] {
+            assert!(round.get(field).is_some(), "missing round field {field}");
+        }
+        for field in ["sampling_ms", "estimation_ms", "guarantee_ms"] {
+            assert!(
+                json["timings"].get(field).is_some(),
+                "missing timing field {field}"
+            );
+        }
+        assert_eq!(json["groups"]["-2"].as_f64(), Some(12.5));
+    }
+
+    #[test]
+    fn malformed_answers_fail_with_paths() {
+        let mut json = answer().to_json();
+        if let Value::Object(map) = &mut json {
+            map.remove("moe");
+        }
+        let err = QueryAnswer::from_json(&json).unwrap_err();
+        assert_eq!(err.path, "answer.moe");
+
+        let mut json = answer().to_json();
+        if let Value::Object(map) = &mut json {
+            map.insert("guarantee_met".to_string(), Value::Number(1.0));
+        }
+        let err = QueryAnswer::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("boolean"), "{err}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Throughput of the query service under a mixed closed-loop workload.
+//!
+//! Three measurements over the SSB-style evaluation workload (122 queries,
+//! every shape and operator class):
+//!
+//! * `service/cold` — a fresh service per iteration: every query pays
+//!   planning + sampling + estimation (the result cache never hits).
+//! * `service/warm` — one long-lived service whose confidence-aware result
+//!   cache was filled by a first pass: repeated queries are served from
+//!   dominating cached intervals.
+//! * a printed summary (percentiles, queue depth, shed rate, cache hit
+//!   rate, and the cold/warm throughput ratio) from one instrumented run of
+//!   each mode plus an overload burst against a tiny admission queue.
+//!
+//! Run with `cargo bench -p kg-bench --bench service_throughput`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kg_aqp::EngineConfig;
+use kg_datagen::{
+    build_workload, generate, profiles, DatasetScale, GeneratedDataset, WorkloadConfig,
+};
+use kg_service::{run_in_process, QueryRequest, Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+const ERROR_BOUND: f64 = 0.05;
+const CONFIDENCE: f64 = 0.95;
+const CONCURRENCY: usize = 4;
+
+fn dataset_and_requests() -> (GeneratedDataset, Vec<QueryRequest>) {
+    let dataset = generate(&profiles::dbpedia_like(DatasetScale::tiny(), 11));
+    let requests: Vec<QueryRequest> = build_workload(&dataset, &WorkloadConfig::default())
+        .into_iter()
+        .map(|q| QueryRequest::new(q.query, ERROR_BOUND, CONFIDENCE))
+        .collect();
+    assert!(
+        requests.len() >= 100,
+        "the mixed workload must be ≥100 queries, got {}",
+        requests.len()
+    );
+    (dataset, requests)
+}
+
+fn service(dataset: &GeneratedDataset, queue_capacity: usize, workers: usize) -> Service {
+    Service::new(
+        Arc::new(dataset.graph.clone()),
+        Arc::new(dataset.oracle.clone()),
+        ServiceConfig {
+            engine: EngineConfig {
+                error_bound: ERROR_BOUND,
+                confidence: CONFIDENCE,
+                ..EngineConfig::default()
+            },
+            queue_capacity,
+            workers,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let (dataset, requests) = dataset_and_requests();
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+
+    group.bench_function(format!("service/cold/{}q", requests.len()), |b| {
+        b.iter(|| {
+            let svc = service(&dataset, 1024, CONCURRENCY);
+            let report = run_in_process(&svc, &requests, CONCURRENCY);
+            svc.shutdown();
+            assert_eq!(report.ok, requests.len());
+            report.ok
+        })
+    });
+
+    let warm_svc = service(&dataset, 1024, CONCURRENCY);
+    let warmup = run_in_process(&warm_svc, &requests, CONCURRENCY);
+    assert_eq!(warmup.ok, requests.len());
+    group.bench_function(format!("service/warm/{}q", requests.len()), |b| {
+        b.iter(|| {
+            let report = run_in_process(&warm_svc, &requests, CONCURRENCY);
+            assert_eq!(report.ok, requests.len());
+            report.ok
+        })
+    });
+    group.finish();
+
+    // ------------------------------------------------------------------
+    // Instrumented summary: one cold run, one warm run, one overload burst.
+    // ------------------------------------------------------------------
+    let cold_svc = service(&dataset, 1024, CONCURRENCY);
+    let cold_start = Instant::now();
+    let cold = run_in_process(&cold_svc, &requests, CONCURRENCY);
+    let cold_s = cold_start.elapsed().as_secs_f64();
+    let cold_metrics = cold_svc.metrics();
+    cold_svc.shutdown();
+
+    let warm_start = Instant::now();
+    let warm = run_in_process(&warm_svc, &requests, CONCURRENCY);
+    let warm_s = warm_start.elapsed().as_secs_f64();
+    let warm_metrics = warm_svc.metrics();
+    warm_svc.shutdown();
+
+    // Overload burst: a tiny queue with one worker and many clients must
+    // shed rather than build unbounded backlog.
+    let burst_svc = service(&dataset, 4, 1);
+    let burst = run_in_process(&burst_svc, &requests, 16);
+    let burst_metrics = burst_svc.metrics();
+    burst_svc.shutdown();
+
+    println!("\n=== service_throughput summary ({} queries, eb {ERROR_BOUND}, confidence {CONFIDENCE}, {CONCURRENCY} clients) ===", requests.len());
+    println!(
+        "cold : {:6.2} q/s  latency ms p50={:7.2} p95={:7.2} p99={:7.2}  max queue depth {:3}  shed {:4.1}%  cache reuse {:4.1}%",
+        cold.throughput_qps(),
+        cold.percentile_ms(0.50),
+        cold.percentile_ms(0.95),
+        cold.percentile_ms(0.99),
+        cold_metrics.max_queue_depth,
+        cold.shed_rate() * 100.0,
+        cold_metrics.cache.reuse_rate() * 100.0,
+    );
+    println!(
+        "warm : {:6.2} q/s  latency ms p50={:7.2} p95={:7.2} p99={:7.2}  max queue depth {:3}  shed {:4.1}%  cache reuse {:4.1}%",
+        warm.throughput_qps(),
+        warm.percentile_ms(0.50),
+        warm.percentile_ms(0.95),
+        warm.percentile_ms(0.99),
+        warm_metrics.max_queue_depth,
+        warm.shed_rate() * 100.0,
+        warm_metrics.cache.reuse_rate() * 100.0,
+    );
+    println!(
+        "burst: queue capacity 4, 16 clients, 1 worker → shed rate {:4.1}% ({} of {}), max queue depth {}",
+        burst.shed_rate() * 100.0,
+        burst.shed,
+        burst.total(),
+        burst_metrics.max_queue_depth,
+    );
+    println!(
+        "confidence-aware cache throughput win (warm vs cold): {:.2}x",
+        cold_s / warm_s.max(1e-9),
+    );
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

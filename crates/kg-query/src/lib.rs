@@ -44,6 +44,7 @@ pub mod query_graph;
 pub mod shapes;
 pub mod similarity;
 pub mod ssb;
+pub mod wire;
 
 pub use aggregate::{AggregateFunction, AggregateQuery, GroupBy, QuerySpec, ResolvedAggregate};
 pub use baselines::{
@@ -64,3 +65,4 @@ pub use shapes::{
 };
 pub use similarity::{path_similarity, predicates_similarity, PathAggregation};
 pub use ssb::{SsbEngine, SsbResult};
+pub use wire::WireError;

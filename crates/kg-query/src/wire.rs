@@ -1,0 +1,624 @@
+//! JSON wire format for query specifications.
+//!
+//! The service layer ships queries between processes as JSON. This module
+//! gives every query type an explicit, *pinned* encoding — the field names
+//! and enum tagging mirror exactly what `serde`'s derive would emit
+//! (externally-tagged enums, struct field names verbatim), so swapping the
+//! offline serde shim for the real crate cannot change the structure of
+//! the wire format. One caveat is numbers: the shim stores every number as
+//! `f64` and renders whole values without a fractional part (`1000`),
+//! while real `serde_json` renders an `f64`-sourced number as `1000.0` —
+//! structurally identical JSON, different text. The pinned-string tests
+//! below will flag that rendering shift on swap-back.
+//!
+//! Encoding goes through [`serde_json::Value`]; objects are key-sorted maps,
+//! so the compact rendering of a value is canonical *within one process*:
+//! two structurally equal queries always serialise to the same string.
+//! The service's result cache keys on that string
+//! ([`AggregateQuery::canonical_key`]) — safe, because the cache is
+//! in-memory and never outlives the process that wrote it.
+//!
+//! ```
+//! use kg_query::{AggregateFunction, AggregateQuery, SimpleQuery};
+//!
+//! let q = AggregateQuery::simple(
+//!     SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+//!     AggregateFunction::Count,
+//! );
+//! let round_tripped = AggregateQuery::from_json(&q.to_json()).unwrap();
+//! assert_eq!(q, round_tripped);
+//! ```
+
+use crate::aggregate::{AggregateFunction, AggregateQuery, GroupBy, QuerySpec};
+use crate::filter::Filter;
+use crate::query_graph::{QueryNode, SimpleQuery};
+use crate::shapes::{ChainHop, ChainQuery, ComplexQuery, QueryComponent, QueryShape};
+use serde_json::{Map, Value};
+use std::fmt;
+
+/// A malformed wire value: what was expected and where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Dotted path from the document root to the offending value.
+    pub path: String,
+    /// What the decoder expected there.
+    pub expected: String,
+}
+
+impl WireError {
+    /// An error at `path` where `expected` was required.
+    pub fn new(path: &str, expected: impl Into<String>) -> Self {
+        Self {
+            path: path.to_string(),
+            expected: expected.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at {}: expected {}", self.path, self.expected)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------
+// Decoding helpers — public so every wire module in the workspace
+// (kg-aqp's result encoding, the service request types) shares one set of
+// accessors and one error-path format.
+// ---------------------------------------------------------------------
+
+/// Looks up `field` of an object, erroring with the dotted path.
+pub fn get_field<'a>(value: &'a Value, path: &str, field: &str) -> Result<&'a Value, WireError> {
+    value
+        .get(field)
+        .ok_or_else(|| WireError::new(&format!("{path}.{field}"), "a value"))
+}
+
+/// Decodes a string, erroring with `path`.
+pub fn as_str(value: &Value, path: &str) -> Result<String, WireError> {
+    value
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| WireError::new(path, "a string"))
+}
+
+/// Decodes a number, erroring with `path`.
+pub fn as_f64(value: &Value, path: &str) -> Result<f64, WireError> {
+    value
+        .as_f64()
+        .ok_or_else(|| WireError::new(path, "a number"))
+}
+
+/// Decodes a non-negative integer, erroring with `path`.
+pub fn as_usize(value: &Value, path: &str) -> Result<usize, WireError> {
+    value
+        .as_u64()
+        .map(|n| n as usize)
+        .ok_or_else(|| WireError::new(path, "a non-negative integer"))
+}
+
+/// Decodes a boolean, erroring with `path`.
+pub fn as_bool(value: &Value, path: &str) -> Result<bool, WireError> {
+    value
+        .as_bool()
+        .ok_or_else(|| WireError::new(path, "a boolean"))
+}
+
+/// Borrows an array, erroring with `path`.
+pub fn as_array<'a>(value: &'a Value, path: &str) -> Result<&'a Vec<Value>, WireError> {
+    value
+        .as_array()
+        .ok_or_else(|| WireError::new(path, "an array"))
+}
+
+fn string_vec(value: &Value, path: &str) -> Result<Vec<String>, WireError> {
+    as_array(value, path)?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| as_str(v, &format!("{path}[{i}]")))
+        .collect()
+}
+
+fn strings(items: &[String]) -> Value {
+    Value::Array(items.iter().cloned().map(Value::String).collect())
+}
+
+/// Decodes an externally-tagged enum: `{"Variant": payload}` must be a
+/// one-entry object; returns the tag and payload.
+fn variant<'a>(value: &'a Value, path: &str) -> Result<(&'a str, &'a Value), WireError> {
+    let map = value
+        .as_object()
+        .filter(|m| m.len() == 1)
+        .ok_or_else(|| WireError::new(path, "a single-variant object"))?;
+    let (tag, payload) = map.iter().next().expect("len checked above");
+    Ok((tag.as_str(), payload))
+}
+
+fn tagged(tag: &str, payload: Value) -> Value {
+    let mut map = Map::new();
+    map.insert(tag.to_string(), payload);
+    Value::Object(map)
+}
+
+/// Builds a JSON object from `(field, value)` pairs.
+pub fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Per-type encodings
+// ---------------------------------------------------------------------
+
+impl QueryNode {
+    /// Encodes as `{"name": <string|null>, "types": [..]}`.
+    pub fn to_json(&self) -> Value {
+        object(vec![
+            (
+                "name",
+                match &self.name {
+                    Some(n) => Value::String(n.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("types", strings(&self.types)),
+        ])
+    }
+
+    /// Decodes the [`Self::to_json`] encoding.
+    pub fn from_json(value: &Value) -> Result<Self, WireError> {
+        Self::decode(value, "node")
+    }
+
+    fn decode(value: &Value, path: &str) -> Result<Self, WireError> {
+        let name = match get_field(value, path, "name")? {
+            Value::Null => None,
+            v => Some(as_str(v, &format!("{path}.name"))?),
+        };
+        let types = string_vec(get_field(value, path, "types")?, &format!("{path}.types"))?;
+        Ok(Self { name, types })
+    }
+}
+
+impl SimpleQuery {
+    /// Encodes as `{"specific": node, "target": node, "predicate": <string>}`.
+    pub fn to_json(&self) -> Value {
+        object(vec![
+            ("specific", self.specific.to_json()),
+            ("target", self.target.to_json()),
+            ("predicate", Value::String(self.predicate.clone())),
+        ])
+    }
+
+    /// Decodes the [`Self::to_json`] encoding.
+    pub fn from_json(value: &Value) -> Result<Self, WireError> {
+        Self::decode(value, "simple")
+    }
+
+    fn decode(value: &Value, path: &str) -> Result<Self, WireError> {
+        Ok(Self {
+            specific: QueryNode::decode(
+                get_field(value, path, "specific")?,
+                &format!("{path}.specific"),
+            )?,
+            target: QueryNode::decode(
+                get_field(value, path, "target")?,
+                &format!("{path}.target"),
+            )?,
+            predicate: as_str(
+                get_field(value, path, "predicate")?,
+                &format!("{path}.predicate"),
+            )?,
+        })
+    }
+}
+
+impl ChainHop {
+    /// Encodes as `{"predicate": <string>, "node_types": [..]}`.
+    pub fn to_json(&self) -> Value {
+        object(vec![
+            ("predicate", Value::String(self.predicate.clone())),
+            ("node_types", strings(&self.node_types)),
+        ])
+    }
+
+    fn decode(value: &Value, path: &str) -> Result<Self, WireError> {
+        Ok(Self {
+            predicate: as_str(
+                get_field(value, path, "predicate")?,
+                &format!("{path}.predicate"),
+            )?,
+            node_types: string_vec(
+                get_field(value, path, "node_types")?,
+                &format!("{path}.node_types"),
+            )?,
+        })
+    }
+}
+
+impl ChainQuery {
+    /// Encodes as `{"specific": node, "hops": [hop, ..]}`.
+    pub fn to_json(&self) -> Value {
+        object(vec![
+            ("specific", self.specific.to_json()),
+            (
+                "hops",
+                Value::Array(self.hops.iter().map(ChainHop::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn decode(value: &Value, path: &str) -> Result<Self, WireError> {
+        let hops = as_array(get_field(value, path, "hops")?, &format!("{path}.hops"))?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| ChainHop::decode(v, &format!("{path}.hops[{i}]")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            specific: QueryNode::decode(
+                get_field(value, path, "specific")?,
+                &format!("{path}.specific"),
+            )?,
+            hops,
+        })
+    }
+}
+
+impl QueryShape {
+    /// Encodes as the bare variant name, e.g. `"Star"`.
+    pub fn to_json(&self) -> Value {
+        Value::String(self.name().to_string())
+    }
+
+    fn decode(value: &Value, path: &str) -> Result<Self, WireError> {
+        let text = as_str(value, path)?;
+        QueryShape::all()
+            .into_iter()
+            .find(|s| s.name() == text)
+            .ok_or_else(|| WireError::new(path, "one of Simple|Chain|Star|Cycle|Flower"))
+    }
+}
+
+impl QueryComponent {
+    /// Encodes externally tagged: `{"Simple": ..}` or `{"Chain": ..}`.
+    pub fn to_json(&self) -> Value {
+        match self {
+            QueryComponent::Simple(q) => tagged("Simple", q.to_json()),
+            QueryComponent::Chain(q) => tagged("Chain", q.to_json()),
+        }
+    }
+
+    fn decode(value: &Value, path: &str) -> Result<Self, WireError> {
+        match variant(value, path)? {
+            ("Simple", payload) => Ok(QueryComponent::Simple(SimpleQuery::decode(
+                payload,
+                &format!("{path}.Simple"),
+            )?)),
+            ("Chain", payload) => Ok(QueryComponent::Chain(ChainQuery::decode(
+                payload,
+                &format!("{path}.Chain"),
+            )?)),
+            _ => Err(WireError::new(path, "variant Simple or Chain")),
+        }
+    }
+}
+
+impl ComplexQuery {
+    /// Encodes as `{"shape": <shape>, "components": [component, ..]}`.
+    pub fn to_json(&self) -> Value {
+        object(vec![
+            ("shape", self.shape.to_json()),
+            (
+                "components",
+                Value::Array(
+                    self.components
+                        .iter()
+                        .map(QueryComponent::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn decode(value: &Value, path: &str) -> Result<Self, WireError> {
+        let components = as_array(
+            get_field(value, path, "components")?,
+            &format!("{path}.components"),
+        )?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| QueryComponent::decode(v, &format!("{path}.components[{i}]")))
+        .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            shape: QueryShape::decode(get_field(value, path, "shape")?, &format!("{path}.shape"))?,
+            components,
+        })
+    }
+}
+
+impl AggregateFunction {
+    /// Encodes externally tagged: `"Count"` for the unit variant,
+    /// `{"Sum": "price"}` and friends for the attribute variants.
+    pub fn to_json(&self) -> Value {
+        match self {
+            AggregateFunction::Count => Value::String("Count".to_string()),
+            AggregateFunction::Sum(a) => tagged("Sum", Value::String(a.clone())),
+            AggregateFunction::Avg(a) => tagged("Avg", Value::String(a.clone())),
+            AggregateFunction::Max(a) => tagged("Max", Value::String(a.clone())),
+            AggregateFunction::Min(a) => tagged("Min", Value::String(a.clone())),
+        }
+    }
+
+    fn decode(value: &Value, path: &str) -> Result<Self, WireError> {
+        if value.as_str() == Some("Count") {
+            return Ok(AggregateFunction::Count);
+        }
+        let (tag, payload) = variant(value, path)?;
+        let attribute = as_str(payload, &format!("{path}.{tag}"))?;
+        match tag {
+            "Sum" => Ok(AggregateFunction::Sum(attribute)),
+            "Avg" => Ok(AggregateFunction::Avg(attribute)),
+            "Max" => Ok(AggregateFunction::Max(attribute)),
+            "Min" => Ok(AggregateFunction::Min(attribute)),
+            _ => Err(WireError::new(path, "variant Count|Sum|Avg|Max|Min")),
+        }
+    }
+}
+
+impl Filter {
+    /// Encodes as `{"attribute": <string>, "lower": <num|null>, "upper": <num|null>}`.
+    pub fn to_json(&self) -> Value {
+        let bound = |b: Option<f64>| b.map(Value::Number).unwrap_or(Value::Null);
+        object(vec![
+            ("attribute", Value::String(self.attribute.clone())),
+            ("lower", bound(self.lower)),
+            ("upper", bound(self.upper)),
+        ])
+    }
+
+    fn decode(value: &Value, path: &str) -> Result<Self, WireError> {
+        let bound = |field: &str| -> Result<Option<f64>, WireError> {
+            match get_field(value, path, field)? {
+                Value::Null => Ok(None),
+                v => Ok(Some(as_f64(v, &format!("{path}.{field}"))?)),
+            }
+        };
+        Ok(Self {
+            attribute: as_str(
+                get_field(value, path, "attribute")?,
+                &format!("{path}.attribute"),
+            )?,
+            lower: bound("lower")?,
+            upper: bound("upper")?,
+        })
+    }
+}
+
+impl GroupBy {
+    /// Encodes as `{"attribute": <string>, "bucket_width": <number>}`.
+    pub fn to_json(&self) -> Value {
+        object(vec![
+            ("attribute", Value::String(self.attribute.clone())),
+            ("bucket_width", Value::Number(self.bucket_width)),
+        ])
+    }
+
+    fn decode(value: &Value, path: &str) -> Result<Self, WireError> {
+        Ok(Self {
+            attribute: as_str(
+                get_field(value, path, "attribute")?,
+                &format!("{path}.attribute"),
+            )?,
+            bucket_width: as_f64(
+                get_field(value, path, "bucket_width")?,
+                &format!("{path}.bucket_width"),
+            )?,
+        })
+    }
+}
+
+impl QuerySpec {
+    /// Encodes externally tagged: `{"Simple": ..}` or `{"Complex": ..}`.
+    pub fn to_json(&self) -> Value {
+        match self {
+            QuerySpec::Simple(q) => tagged("Simple", q.to_json()),
+            QuerySpec::Complex(q) => tagged("Complex", q.to_json()),
+        }
+    }
+
+    fn decode(value: &Value, path: &str) -> Result<Self, WireError> {
+        match variant(value, path)? {
+            ("Simple", payload) => Ok(QuerySpec::Simple(SimpleQuery::decode(
+                payload,
+                &format!("{path}.Simple"),
+            )?)),
+            ("Complex", payload) => Ok(QuerySpec::Complex(ComplexQuery::decode(
+                payload,
+                &format!("{path}.Complex"),
+            )?)),
+            _ => Err(WireError::new(path, "variant Simple or Complex")),
+        }
+    }
+}
+
+impl AggregateQuery {
+    /// Encodes as `{"query": spec, "function": fn, "filters": [..], "group_by": <gb|null>}`.
+    pub fn to_json(&self) -> Value {
+        object(vec![
+            ("query", self.query.to_json()),
+            ("function", self.function.to_json()),
+            (
+                "filters",
+                Value::Array(self.filters.iter().map(Filter::to_json).collect()),
+            ),
+            (
+                "group_by",
+                match &self.group_by {
+                    Some(gb) => gb.to_json(),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Decodes the [`Self::to_json`] encoding.
+    pub fn from_json(value: &Value) -> Result<Self, WireError> {
+        let path = "query";
+        let filters = as_array(
+            get_field(value, path, "filters")?,
+            &format!("{path}.filters"),
+        )?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| Filter::decode(v, &format!("{path}.filters[{i}]")))
+        .collect::<Result<Vec<_>, _>>()?;
+        let group_by = match get_field(value, path, "group_by")? {
+            Value::Null => None,
+            v => Some(GroupBy::decode(v, &format!("{path}.group_by"))?),
+        };
+        Ok(Self {
+            query: QuerySpec::decode(get_field(value, path, "query")?, &format!("{path}.query"))?,
+            function: AggregateFunction::decode(
+                get_field(value, path, "function")?,
+                &format!("{path}.function"),
+            )?,
+            filters,
+            group_by,
+        })
+    }
+
+    /// The canonical wire rendering of this query: compact JSON with
+    /// key-sorted objects. Structurally equal queries produce equal strings,
+    /// so this is the result-cache key of the service layer.
+    pub fn canonical_key(&self) -> String {
+        serde_json::to_string(&self.to_json()).expect("shim serialiser is total")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complex_query() -> AggregateQuery {
+        AggregateQuery::complex(
+            ComplexQuery::flower(vec![
+                QueryComponent::Simple(SimpleQuery::new(
+                    "China",
+                    &["Country"],
+                    "product",
+                    &["Automobile"],
+                )),
+                QueryComponent::Chain(ChainQuery::new(
+                    "Germany",
+                    &["Country"],
+                    vec![
+                        ChainHop::new("country", &["Company"]),
+                        ChainHop::new("manufacturer", &["Automobile"]),
+                    ],
+                )),
+            ]),
+            AggregateFunction::Avg("price".into()),
+        )
+        .with_filter(Filter::at_least("price", 10_000.0))
+        .with_group_by(GroupBy::new("price", 25_000.0))
+    }
+
+    #[test]
+    fn simple_query_round_trips() {
+        let q = AggregateQuery::simple(
+            SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+            AggregateFunction::Count,
+        );
+        assert_eq!(AggregateQuery::from_json(&q.to_json()).unwrap(), q);
+    }
+
+    #[test]
+    fn complex_query_round_trips() {
+        let q = complex_query();
+        assert_eq!(AggregateQuery::from_json(&q.to_json()).unwrap(), q);
+    }
+
+    #[test]
+    fn all_aggregate_functions_round_trip() {
+        for f in [
+            AggregateFunction::Count,
+            AggregateFunction::Sum("a".into()),
+            AggregateFunction::Avg("b".into()),
+            AggregateFunction::Max("c".into()),
+            AggregateFunction::Min("d".into()),
+        ] {
+            let text = serde_json::to_string(&f.to_json()).unwrap();
+            let back: Value = serde_json::from_str(&text).unwrap();
+            assert_eq!(AggregateFunction::decode(&back, "f").unwrap(), f);
+        }
+    }
+
+    /// The wire format is a contract: field names and enum tags are pinned
+    /// to the exact rendering `serde`'s derive would produce, so this test
+    /// asserts the full canonical string for a representative query.
+    #[test]
+    fn field_names_are_pinned() {
+        let q = AggregateQuery::simple(
+            SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+            AggregateFunction::Sum("price".into()),
+        )
+        .with_filter(Filter::range("price", 1_000.0, 2_000.0));
+        assert_eq!(
+            q.canonical_key(),
+            concat!(
+                r#"{"filters":[{"attribute":"price","lower":1000,"upper":2000}],"#,
+                r#""function":{"Sum":"price"},"group_by":null,"#,
+                r#""query":{"Simple":{"predicate":"product","#,
+                r#""specific":{"name":"Germany","types":["Country"]},"#,
+                r#""target":{"name":null,"types":["Automobile"]}}}}"#
+            )
+        );
+    }
+
+    #[test]
+    fn canonical_key_is_stable_across_clones_and_round_trips() {
+        let q = complex_query();
+        let round_tripped = AggregateQuery::from_json(&q.to_json()).unwrap();
+        assert_eq!(q.canonical_key(), round_tripped.canonical_key());
+        // A structurally different query gets a different key.
+        let other = AggregateQuery::simple(
+            SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+            AggregateFunction::Count,
+        );
+        assert_ne!(q.canonical_key(), other.canonical_key());
+    }
+
+    #[test]
+    fn malformed_wire_values_decode_to_errors_with_paths() {
+        // Not an object at all.
+        assert!(AggregateQuery::from_json(&Value::Number(3.0)).is_err());
+        // Missing fields name the path of the first absent field.
+        let mut map = Map::new();
+        map.insert("query".to_string(), Value::Null);
+        let err = AggregateQuery::from_json(&Value::Object(map)).unwrap_err();
+        assert_eq!(err.path, "query.filters", "{err}");
+        // Unknown enum tag.
+        let bad = tagged("Median", Value::String("price".into()));
+        let err = AggregateFunction::decode(&bad, "f").unwrap_err();
+        assert!(err.to_string().contains("Count|Sum|Avg|Max|Min"), "{err}");
+        // Wrong payload type deep inside a chain.
+        let mut q = complex_query().to_json();
+        if let Value::Object(top) = &mut q {
+            let spec = top.get_mut("query").unwrap();
+            if let Value::Object(spec) = spec {
+                let complex = spec.get_mut("Complex").unwrap();
+                if let Value::Object(complex) = complex {
+                    complex.insert("shape".to_string(), Value::String("Pentagon".into()));
+                }
+            }
+        }
+        let err = AggregateQuery::from_json(&q).unwrap_err();
+        assert!(err.path.contains("shape"), "{err}");
+    }
+}

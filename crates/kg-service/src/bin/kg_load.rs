@@ -1,0 +1,97 @@
+//! `kg-load`: closed-loop load driver against a running `kg-serve`.
+//!
+//! ```text
+//! kg-load [--addr 127.0.0.1:7878] [--queries 1] [--concurrency 1]
+//!         [--seed 42] [--error-bound 0.05] [--confidence 0.95]
+//! ```
+//!
+//! Regenerates the workload of the DBpedia-like profile with the same seed
+//! `kg-serve` used, so every query resolves against the server's graph. The
+//! first answer is validated field-by-field (the CI smoke contract: HTTP
+//! 200 and a well-formed JSON answer) and printed; the rest run through the
+//! closed-loop driver. Exits non-zero on any failed or malformed response.
+
+use kg_datagen::{build_workload, generate, profiles, DatasetScale, WorkloadConfig};
+use kg_service::{http_query, run_http, QueryRequest};
+use serde_json::Value;
+use std::time::Duration;
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: kg-load [--addr HOST:PORT] [--queries N] [--concurrency N] \
+             [--seed N] [--error-bound EB] [--confidence C]"
+        );
+        return;
+    }
+    let addr: String = parse_flag(&args, "--addr", "127.0.0.1:7878".to_string());
+    let queries: usize = parse_flag(&args, "--queries", 1);
+    let concurrency: usize = parse_flag(&args, "--concurrency", 1);
+    let seed: u64 = parse_flag(&args, "--seed", 42);
+    let error_bound: f64 = parse_flag(&args, "--error-bound", 0.05);
+    let confidence: f64 = parse_flag(&args, "--confidence", 0.95);
+    let timeout = Duration::from_secs(120);
+
+    eprintln!("kg-load: regenerating workload (seed {seed})…");
+    let dataset = generate(&profiles::dbpedia_like(DatasetScale::tiny(), seed));
+    let workload: Vec<QueryRequest> = build_workload(&dataset, &WorkloadConfig::default())
+        .into_iter()
+        .map(|q| QueryRequest::new(q.query, error_bound, confidence))
+        .collect();
+    if workload.is_empty() {
+        eprintln!("kg-load: empty workload");
+        std::process::exit(1);
+    }
+    let requests: Vec<QueryRequest> = (0..queries)
+        .map(|i| workload[i % workload.len()].clone())
+        .collect();
+
+    // First query: assert the smoke contract explicitly.
+    let (status, body) = match http_query(addr.as_str(), &requests[0], timeout) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("kg-load: request failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if status != 200 {
+        eprintln!("kg-load: expected HTTP 200, got {status}: {body}");
+        std::process::exit(1);
+    }
+    let parsed: Value = match serde_json::from_str(&body) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("kg-load: response is not JSON ({e}): {body}");
+            std::process::exit(1);
+        }
+    };
+    let estimate = parsed["answer"]["estimate"].as_f64();
+    let moe = parsed["answer"]["moe"].as_f64();
+    if estimate.is_none() || moe.is_none() || parsed["served_from"].as_str().is_none() {
+        eprintln!("kg-load: answer JSON is missing estimate/moe/served_from: {body}");
+        std::process::exit(1);
+    }
+    println!(
+        "kg-load: first answer ok: estimate={} moe={} served_from={}",
+        estimate.unwrap(),
+        moe.unwrap(),
+        parsed["served_from"].as_str().unwrap(),
+    );
+
+    if requests.len() > 1 {
+        let report = run_http(addr.as_str(), &requests[1..], concurrency, timeout);
+        println!("kg-load: {report}");
+        if report.failed > 0 {
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! `kg-serve`: stand up the query service over a generated dataset and
+//! expose it over HTTP/1.1 + JSON.
+//!
+//! ```text
+//! kg-serve [--addr 127.0.0.1:7878] [--seed 42] [--workers 4]
+//!          [--queue-capacity 256] [--error-bound 0.01] [--confidence 0.95]
+//! ```
+//!
+//! The dataset is the DBpedia-like synthetic profile at tiny scale, so a
+//! client that generates the same profile with the same seed (`kg-load`
+//! does) knows which entities and predicates resolve. Prints one
+//! `kg-serve listening on http://…` line once the socket is bound, then
+//! serves until killed.
+
+use kg_aqp::EngineConfig;
+use kg_datagen::{generate, profiles, DatasetScale};
+use kg_service::{HttpServer, Service, ServiceConfig};
+use std::sync::Arc;
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: kg-serve [--addr HOST:PORT] [--seed N] [--workers N] \
+             [--queue-capacity N] [--error-bound EB] [--confidence C]"
+        );
+        return;
+    }
+    let addr: String = parse_flag(&args, "--addr", "127.0.0.1:7878".to_string());
+    let seed: u64 = parse_flag(&args, "--seed", 42);
+    let workers: usize = parse_flag(&args, "--workers", 4);
+    let queue_capacity: usize = parse_flag(&args, "--queue-capacity", 256);
+    let error_bound: f64 = parse_flag(&args, "--error-bound", 0.01);
+    let confidence: f64 = parse_flag(&args, "--confidence", 0.95);
+
+    eprintln!("kg-serve: generating DBpedia-like dataset (tiny scale, seed {seed})…");
+    let dataset = generate(&profiles::dbpedia_like(DatasetScale::tiny(), seed));
+    let entities = dataset.graph.entity_count();
+
+    let config = ServiceConfig {
+        engine: EngineConfig {
+            error_bound,
+            confidence,
+            ..EngineConfig::default()
+        },
+        queue_capacity,
+        workers: workers.max(1),
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(Service::new(
+        Arc::new(dataset.graph),
+        Arc::new(dataset.oracle),
+        config,
+    ));
+    let server = match HttpServer::serve(Arc::clone(&service), addr.as_str()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("kg-serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The readiness line the CI smoke job and the load driver wait for.
+    println!(
+        "kg-serve listening on http://{} ({} entities, eb {error_bound}, confidence {confidence})",
+        server.local_addr(),
+        entities,
+    );
+
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,271 @@
+//! The confidence-aware result cache.
+//!
+//! Keyed by the canonical wire rendering of a query
+//! ([`kg_query::AggregateQuery::canonical_key`]), the cache stores both the
+//! last answer *and* the live [`InteractiveSession`] that produced it. A
+//! lookup against a request with targets `(eb, confidence)` has three
+//! outcomes:
+//!
+//! * **Hit** — the stored answer [`dominates`] the request: its interval
+//!   already satisfies the requested error bound at (at least) the requested
+//!   confidence, so the answer is served without touching the engine.
+//! * **Resume** — the component is cached but the stored interval is too
+//!   wide (or at too low a confidence). The stored session is handed back to
+//!   the worker, which *continues* refinement from the existing sample
+//!   instead of starting from scratch — the interactive-refinement reuse of
+//!   Fig. 6(a), applied across requests.
+//! * **Miss** — the component is unknown (or the cache generation moved):
+//!   plan fresh.
+//!
+//! Every entry is stamped with the cache **generation**; swapping the graph
+//! or engine configuration bumps the generation ([`ResultCache::invalidate`])
+//! so stale estimates can never be served, and a worker that raced an
+//! invalidation cannot re-insert a stale session ([`ResultCache::finish`]
+//! checks the stamp).
+
+use kg_aqp::{InteractiveSession, QueryAnswer};
+use kg_estimate::satisfies_error_bound;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The cache-reuse rule: can `answer` be served for targets
+/// `(error_bound, confidence)` without further refinement?
+///
+/// Requires all three of:
+/// * the stored guarantee actually held (`guarantee_met`: the session's
+///   refinement loop terminated by Theorem 2, not by hitting a cap);
+/// * the stored confidence level is at least the requested one (an interval
+///   at higher confidence is *wider*, so it covers the truth with at least
+///   the requested probability);
+/// * the stored margin of error passes Theorem 2's relative-error test at
+///   the *requested* bound.
+pub fn dominates(answer: &QueryAnswer, error_bound: f64, confidence: f64) -> bool {
+    answer.guarantee_met
+        && answer.confidence + 1e-12 >= confidence
+        && satisfies_error_bound(answer.estimate, answer.moe, error_bound)
+}
+
+/// Counters of the result cache, for metrics and tests.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Lookups served directly from a dominating cached answer.
+    pub hits: usize,
+    /// Lookups that resumed a cached session for further refinement.
+    pub resumes: usize,
+    /// Lookups that planned from scratch.
+    pub misses: usize,
+    /// Times the cache was invalidated (graph/config generation bumps).
+    pub invalidations: u64,
+}
+
+impl ResultCacheStats {
+    /// Fraction of lookups that avoided planning from scratch.
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.hits + self.resumes + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            (self.hits + self.resumes) as f64 / total as f64
+        }
+    }
+}
+
+/// Outcome of [`ResultCache::begin`].
+pub enum CacheDecision {
+    /// Serve this answer as-is.
+    Hit(QueryAnswer),
+    /// Resume this session (it has been checked out of the cache; return it
+    /// via [`ResultCache::finish`]).
+    Resume(Box<InteractiveSession>),
+    /// Unknown component: plan fresh and insert via [`ResultCache::finish`].
+    Miss,
+}
+
+struct Entry {
+    session: InteractiveSession,
+    answer: QueryAnswer,
+}
+
+/// Confidence-aware result cache; see the [module docs](self).
+#[derive(Default)]
+pub struct ResultCache {
+    entries: Mutex<HashMap<String, Entry>>,
+    stats: Mutex<ResultCacheStats>,
+    generation: Mutex<u64>,
+}
+
+impl ResultCache {
+    /// Creates an empty cache at generation 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current generation stamp. A [`Self::finish`] carrying an older
+    /// stamp is discarded.
+    pub fn generation(&self) -> u64 {
+        *self.generation.lock().unwrap()
+    }
+
+    /// Looks up `key` against the request targets. `generation` must be the
+    /// stamp the caller observed when it snapshotted the graph: if the cache
+    /// has moved on (or the caller is behind), the lookup is a forced miss —
+    /// serving or resuming across generations would mix entity ids from
+    /// different graphs. A `Resume` checks the entry out of the cache
+    /// (concurrent requests for the same key miss and plan fresh rather
+    /// than wait — deliberate: the race is rare and both outcomes are
+    /// correct).
+    pub fn begin(
+        &self,
+        key: &str,
+        generation: u64,
+        error_bound: f64,
+        confidence: f64,
+    ) -> CacheDecision {
+        if *self.generation.lock().unwrap() != generation {
+            self.stats.lock().unwrap().misses += 1;
+            return CacheDecision::Miss;
+        }
+        let mut entries = self.entries.lock().unwrap();
+        match entries.get(key) {
+            None => {
+                self.stats.lock().unwrap().misses += 1;
+                CacheDecision::Miss
+            }
+            Some(entry) if dominates(&entry.answer, error_bound, confidence) => {
+                self.stats.lock().unwrap().hits += 1;
+                CacheDecision::Hit(entry.answer.clone())
+            }
+            Some(_) => {
+                let entry = entries.remove(key).expect("present under lock");
+                self.stats.lock().unwrap().resumes += 1;
+                CacheDecision::Resume(Box::new(entry.session))
+            }
+        }
+    }
+
+    /// Stores (or returns) a session with its freshest answer. `generation`
+    /// must be the stamp observed when work began; if the cache has been
+    /// invalidated in between, the entry is dropped instead of poisoning the
+    /// new generation.
+    pub fn finish(
+        &self,
+        key: String,
+        generation: u64,
+        session: InteractiveSession,
+        answer: QueryAnswer,
+    ) {
+        let current = self.generation.lock().unwrap();
+        if *current != generation {
+            return;
+        }
+        self.entries
+            .lock()
+            .unwrap()
+            .insert(key, Entry { session, answer });
+    }
+
+    /// Drops every entry and bumps the generation: cached intervals were
+    /// computed against a graph/configuration that no longer exists.
+    pub fn invalidate(&self) {
+        let mut generation = self.generation.lock().unwrap();
+        *generation += 1;
+        self.entries.lock().unwrap().clear();
+        self.stats.lock().unwrap().invalidations += 1;
+    }
+
+    /// Number of cached components.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().unwrap().is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ResultCacheStats {
+        *self.stats.lock().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn answer(estimate: f64, moe: f64, confidence: f64, guarantee_met: bool) -> QueryAnswer {
+        QueryAnswer {
+            estimate,
+            moe,
+            confidence,
+            guarantee_met,
+            rounds: Vec::new(),
+            groups: BTreeMap::new(),
+            timings: kg_aqp::StepTimings::default(),
+            sample_size: 100,
+            candidate_count: 1000,
+            elapsed_ms: 1.0,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_guarantee_confidence_and_bound() {
+        // moe 4 on estimate 1000 at eb 1%: threshold ≈ 9.9 → satisfied.
+        let a = answer(1000.0, 4.0, 0.95, true);
+        assert!(dominates(&a, 0.01, 0.95));
+        assert!(dominates(&a, 0.01, 0.90), "lower confidence is dominated");
+        assert!(!dominates(&a, 0.01, 0.99), "higher confidence is not");
+        assert!(!dominates(&a, 0.001, 0.95), "tighter bound is not");
+        let capped = answer(1000.0, 4.0, 0.95, false);
+        assert!(
+            !dominates(&capped, 0.01, 0.95),
+            "capped runs never dominate"
+        );
+    }
+
+    #[test]
+    fn stale_generation_lookups_are_forced_misses() {
+        let cache = ResultCache::new();
+        // A worker that snapshotted generation 0 before an invalidation may
+        // never see entries written at generation 1: resuming its session
+        // would refine graph-1 state against the worker's graph-0 snapshot.
+        cache.invalidate();
+        assert!(matches!(
+            cache.begin("k", 0, 0.05, 0.95),
+            CacheDecision::Miss
+        ));
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn invalidation_discards_racing_inserts() {
+        let cache = ResultCache::new();
+        let generation = cache.generation();
+        // A worker computes against generation 0 while the graph is swapped…
+        cache.invalidate();
+        // …its insert must be dropped.
+        let config = kg_aqp::EngineConfig::default();
+        let engine = kg_aqp::AqpEngine::new(config);
+        // Build a real session for the entry (cheapest available path).
+        let d = kg_datagen::generate(&kg_datagen::GeneratorConfig::new(
+            "cache-test",
+            kg_datagen::DatasetScale::tiny(),
+            vec![kg_datagen::domains::automotive(&["Germany"])],
+            3,
+        ));
+        let q = kg_query::AggregateQuery::simple(
+            kg_query::SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+            kg_query::AggregateFunction::Count,
+        );
+        let session = engine.open_session(&d.graph, &q, &d.oracle).unwrap();
+        cache.finish(
+            "k".to_string(),
+            generation,
+            session,
+            answer(1.0, 0.0, 0.95, true),
+        );
+        assert!(cache.is_empty(), "stale insert survived invalidation");
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! Closed-loop load driver: in-process against a [`Service`], or over the
+//! wire against a running `kg-serve` — the same driver feeds the
+//! `service_throughput` bench and the CI smoke test.
+//!
+//! "Closed loop" means each driver thread issues its next request only when
+//! the previous one completed, so offered load adapts to service capacity
+//! and the recorded latencies are end-to-end client latencies.
+
+use crate::request::{QueryRequest, ServedFrom, ServiceError};
+use crate::service::Service;
+use kg_aqp::latency_percentile;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What one load run observed.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Per-request client latency in milliseconds (completed requests only).
+    pub latencies_ms: Vec<f64>,
+    /// Requests answered successfully.
+    pub ok: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+    /// Requests that failed for any other reason.
+    pub failed: usize,
+    /// How answers were produced (in-process runs only; HTTP runs derive it
+    /// from the `served_from` field of the response body).
+    pub served_from: BTreeMap<&'static str, usize>,
+    /// Wall-clock duration of the whole run in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl LoadReport {
+    /// Requests issued in total.
+    pub fn total(&self) -> usize {
+        self.ok + self.shed + self.failed
+    }
+
+    /// Latency percentile over completed requests (`q` in `[0, 1]`).
+    pub fn percentile_ms(&self, q: f64) -> f64 {
+        latency_percentile(&self.latencies_ms, q)
+    }
+
+    /// Fraction of requests shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.total() as f64
+        }
+    }
+
+    /// Completed requests per second over the run's wall-clock time.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.ok as f64 / (self.wall_ms / 1e3)
+        }
+    }
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ok / {} shed ({:.1}%) / {} failed in {:.0} ms ({:.1} q/s); \
+             latency ms p50={:.2} p95={:.2} p99={:.2}",
+            self.ok,
+            self.shed,
+            self.shed_rate() * 100.0,
+            self.failed,
+            self.wall_ms,
+            self.throughput_qps(),
+            self.percentile_ms(0.50),
+            self.percentile_ms(0.95),
+            self.percentile_ms(0.99),
+        )?;
+        for (source, count) in &self.served_from {
+            write!(f, "; {source}={count}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Drives `requests` through an in-process service from `concurrency`
+/// closed-loop threads (each thread claims the next unclaimed request until
+/// the list is exhausted).
+pub fn run_in_process(
+    service: &Service,
+    requests: &[QueryRequest],
+    concurrency: usize,
+) -> LoadReport {
+    let next = AtomicUsize::new(0);
+    let report = Mutex::new(LoadReport::default());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(request) = requests.get(i) else {
+                    return;
+                };
+                let issued = Instant::now();
+                let outcome = service.execute(request.clone());
+                let latency_ms = issued.elapsed().as_secs_f64() * 1e3;
+                let mut report = report.lock().unwrap();
+                match outcome {
+                    Ok(answer) => {
+                        report.ok += 1;
+                        report.latencies_ms.push(latency_ms);
+                        *report
+                            .served_from
+                            .entry(answer.served_from.name())
+                            .or_insert(0) += 1;
+                    }
+                    Err(ServiceError::Overloaded { .. }) => report.shed += 1,
+                    Err(_) => report.failed += 1,
+                }
+            });
+        }
+    });
+    let mut report = report.into_inner().unwrap();
+    report.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    report
+}
+
+/// Sends one HTTP request with a JSON body and returns `(status, body)`.
+/// Minimal std-only client matching the server in [`crate::http`].
+pub fn http_request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<(u16, String)> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "unparsable status line")
+        })?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// POSTs a wire-encoded query request to a running `kg-serve`.
+pub fn http_query(
+    addr: impl ToSocketAddrs + Copy,
+    request: &QueryRequest,
+    timeout: Duration,
+) -> std::io::Result<(u16, String)> {
+    let body = serde_json::to_string(&request.to_json()).expect("shim serialiser is total");
+    http_request(addr, "POST", "/query", &body, timeout)
+}
+
+/// Drives `requests` against a running `kg-serve` over HTTP from
+/// `concurrency` closed-loop threads.
+pub fn run_http(
+    addr: impl ToSocketAddrs + Copy + Sync,
+    requests: &[QueryRequest],
+    concurrency: usize,
+    timeout: Duration,
+) -> LoadReport {
+    let next = AtomicUsize::new(0);
+    let report = Mutex::new(LoadReport::default());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(request) = requests.get(i) else {
+                    return;
+                };
+                let issued = Instant::now();
+                let outcome = http_query(addr, request, timeout);
+                let latency_ms = issued.elapsed().as_secs_f64() * 1e3;
+                let mut report = report.lock().unwrap();
+                match outcome {
+                    Ok((200, body)) => {
+                        report.ok += 1;
+                        report.latencies_ms.push(latency_ms);
+                        let source = serde_json::from_str(&body)
+                            .ok()
+                            .and_then(|v: Value| {
+                                v["served_from"].as_str().map(|s| {
+                                    [
+                                        ServedFrom::Fresh,
+                                        ServedFrom::CacheHit,
+                                        ServedFrom::CacheResume,
+                                    ]
+                                    .into_iter()
+                                    .find(|sf| sf.name() == s)
+                                })
+                            })
+                            .flatten();
+                        if let Some(source) = source {
+                            *report.served_from.entry(source.name()).or_insert(0) += 1;
+                        }
+                    }
+                    Ok((503, _)) => report.shed += 1,
+                    Ok(_) | Err(_) => report.failed += 1,
+                }
+            });
+        }
+    });
+    let mut report = report.into_inner().unwrap();
+    report.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    report
+}

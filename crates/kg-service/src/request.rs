@@ -1,0 +1,259 @@
+//! Requests, answers and errors of the service API.
+
+use kg_aqp::QueryAnswer;
+use kg_core::KgError;
+use kg_query::{AggregateQuery, WireError};
+use serde_json::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// One query submitted to the service, with its per-request accuracy
+/// contract: the answer's confidence interval must satisfy `error_bound`
+/// (Theorem 2's relative-error test) at `confidence`.
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    /// The aggregate query to answer.
+    pub query: AggregateQuery,
+    /// Relative error bound eb the answer must satisfy.
+    pub error_bound: f64,
+    /// Confidence level 1 − α of the returned interval.
+    pub confidence: f64,
+}
+
+impl QueryRequest {
+    /// A request with explicit targets.
+    pub fn new(query: AggregateQuery, error_bound: f64, confidence: f64) -> Self {
+        Self {
+            query,
+            error_bound,
+            confidence,
+        }
+    }
+
+    /// True when the targets are usable: `error_bound > 0`,
+    /// `confidence ∈ (0, 1)`.
+    pub fn targets_valid(&self) -> bool {
+        self.error_bound > 0.0
+            && self.error_bound.is_finite()
+            && self.confidence > 0.0
+            && self.confidence < 1.0
+    }
+
+    /// Encodes as `{"query": <wire query>, "error_bound": eb, "confidence": c}`.
+    pub fn to_json(&self) -> Value {
+        let mut map = serde_json::Map::new();
+        map.insert("query".to_string(), self.query.to_json());
+        map.insert("error_bound".to_string(), Value::Number(self.error_bound));
+        map.insert("confidence".to_string(), Value::Number(self.confidence));
+        Value::Object(map)
+    }
+
+    /// Decodes the [`Self::to_json`] encoding. `error_bound` / `confidence`
+    /// fall back to `defaults` when absent (the HTTP endpoint lets clients
+    /// omit them).
+    pub fn from_json(value: &Value, defaults: (f64, f64)) -> Result<Self, WireError> {
+        let query_value = value.get("query").ok_or_else(|| WireError {
+            path: "request.query".to_string(),
+            expected: "a wire-encoded aggregate query".to_string(),
+        })?;
+        let query = AggregateQuery::from_json(query_value)?;
+        let number = |field: &str, fallback: f64| -> Result<f64, WireError> {
+            match value.get(field) {
+                None => Ok(fallback),
+                Some(v) => v.as_f64().ok_or_else(|| WireError {
+                    path: format!("request.{field}"),
+                    expected: "a number".to_string(),
+                }),
+            }
+        };
+        Ok(Self {
+            query,
+            error_bound: number("error_bound", defaults.0)?,
+            confidence: number("confidence", defaults.1)?,
+        })
+    }
+}
+
+/// How the service produced an answer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// Planned and refined from scratch.
+    Fresh,
+    /// Served directly from the result cache: the cached interval already
+    /// dominated the request's targets.
+    CacheHit,
+    /// A cached session was resumed and refined to the request's targets.
+    CacheResume,
+}
+
+impl ServedFrom {
+    /// Wire name (`"fresh"`, `"cache_hit"`, `"cache_resume"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServedFrom::Fresh => "fresh",
+            ServedFrom::CacheHit => "cache_hit",
+            ServedFrom::CacheResume => "cache_resume",
+        }
+    }
+}
+
+/// A completed request: the engine answer plus service-level bookkeeping.
+#[derive(Clone, Debug)]
+pub struct ServiceAnswer {
+    /// The engine's answer (estimate, CI, rounds, timings).
+    pub answer: QueryAnswer,
+    /// How the answer was produced.
+    pub served_from: ServedFrom,
+    /// Milliseconds the request spent queued before a worker picked it up.
+    pub queue_ms: f64,
+    /// Milliseconds from admission to completion.
+    pub total_ms: f64,
+}
+
+impl ServiceAnswer {
+    /// Encodes as `{"answer": .., "served_from": .., "queue_ms": .., "total_ms": ..}`.
+    pub fn to_json(&self) -> Value {
+        let mut map = serde_json::Map::new();
+        map.insert("answer".to_string(), self.answer.to_json());
+        map.insert(
+            "served_from".to_string(),
+            Value::String(self.served_from.name().to_string()),
+        );
+        map.insert("queue_ms".to_string(), Value::Number(self.queue_ms));
+        map.insert("total_ms".to_string(), Value::Number(self.total_ms));
+        Value::Object(map)
+    }
+}
+
+/// Why the service did not answer a request.
+#[derive(Clone, Debug)]
+pub enum ServiceError {
+    /// The admission queue was full: the request was shed at the door
+    /// without consuming engine resources. Retry later.
+    Overloaded {
+        /// The configured admission-queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The query cannot be answered against the current graph (unknown
+    /// entity / predicate / type / attribute). Retrying is pointless.
+    /// (`Arc` because `KgError` owns an `io::Error` and cannot be cloned.)
+    Rejected(Arc<KgError>),
+    /// The request's error bound or confidence is out of range.
+    InvalidTargets {
+        /// The offending error bound.
+        error_bound: f64,
+        /// The offending confidence.
+        confidence: f64,
+    },
+    /// The service is shutting down and will not answer.
+    ShuttingDown,
+}
+
+impl ServiceError {
+    /// Stable machine-readable error kind for the wire format.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::Rejected(_) => "unresolvable_query",
+            ServiceError::InvalidTargets { .. } => "invalid_targets",
+            ServiceError::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Encodes as `{"error": {"kind": .., "message": ..}}`.
+    pub fn to_json(&self) -> Value {
+        let mut inner = serde_json::Map::new();
+        inner.insert("kind".to_string(), Value::String(self.kind().to_string()));
+        inner.insert("message".to_string(), Value::String(self.to_string()));
+        let mut map = serde_json::Map::new();
+        map.insert("error".to_string(), Value::Object(inner));
+        Value::Object(map)
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { capacity } => {
+                write!(f, "admission queue full ({capacity} requests); retry later")
+            }
+            ServiceError::Rejected(e) => write!(f, "query cannot be planned: {e}"),
+            ServiceError::InvalidTargets {
+                error_bound,
+                confidence,
+            } => write!(
+                f,
+                "invalid targets: error_bound {error_bound} (want > 0), \
+                 confidence {confidence} (want in (0, 1))"
+            ),
+            ServiceError::ShuttingDown => f.write_str("service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_query::{AggregateFunction, SimpleQuery};
+
+    fn request() -> QueryRequest {
+        QueryRequest::new(
+            AggregateQuery::simple(
+                SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+                AggregateFunction::Count,
+            ),
+            0.05,
+            0.95,
+        )
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let r = request();
+        let back = QueryRequest::from_json(&r.to_json(), (0.01, 0.9)).unwrap();
+        assert_eq!(back.query, r.query);
+        assert_eq!(back.error_bound, 0.05);
+        assert_eq!(back.confidence, 0.95);
+    }
+
+    #[test]
+    fn absent_targets_use_defaults() {
+        let mut json = request().to_json();
+        if let Value::Object(map) = &mut json {
+            map.remove("error_bound");
+            map.remove("confidence");
+        }
+        let back = QueryRequest::from_json(&json, (0.02, 0.9)).unwrap();
+        assert_eq!(back.error_bound, 0.02);
+        assert_eq!(back.confidence, 0.9);
+    }
+
+    #[test]
+    fn target_validation() {
+        let mut r = request();
+        assert!(r.targets_valid());
+        r.error_bound = 0.0;
+        assert!(!r.targets_valid());
+        r.error_bound = 0.05;
+        r.confidence = 1.0;
+        assert!(!r.targets_valid());
+    }
+
+    #[test]
+    fn errors_have_stable_kinds() {
+        assert_eq!(
+            ServiceError::Overloaded { capacity: 4 }.kind(),
+            "overloaded"
+        );
+        let e = ServiceError::Rejected(Arc::new(KgError::UnknownPredicate("made_of".into())));
+        assert_eq!(e.kind(), "unresolvable_query");
+        let json = e.to_json();
+        assert_eq!(json["error"]["kind"].as_str(), Some("unresolvable_query"));
+        assert!(json["error"]["message"]
+            .as_str()
+            .unwrap()
+            .contains("made_of"));
+    }
+}

@@ -1,0 +1,599 @@
+//! The long-running query service: bounded admission, worker pool, result
+//! cache, metrics.
+
+use crate::cache::{CacheDecision, ResultCache, ResultCacheStats};
+use crate::request::{QueryRequest, ServedFrom, ServiceAnswer, ServiceError};
+use kg_aqp::{BatchEngine, EngineConfig, InteractiveSession, QueryAnswer};
+use kg_core::KnowledgeGraph;
+use kg_embed::PredicateSimilarity;
+use kg_query::AggregateQuery;
+use kg_sampling::{CacheStats, SamplerCache};
+use serde_json::{Map, Value};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Service configuration: the engine parameters plus the admission and
+/// worker-pool knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Engine configuration shared by every session the service opens. Its
+    /// `error_bound` / `confidence` double as the per-request defaults when
+    /// a wire request omits them.
+    pub engine: EngineConfig,
+    /// Admission-queue bound: submissions beyond this depth are shed with
+    /// [`ServiceError::Overloaded`] instead of growing the queue without
+    /// limit (load-shedding keeps tail latency bounded under overload).
+    pub queue_capacity: usize,
+    /// Worker threads draining the queue. `0` spawns none: the queue is
+    /// then pumped explicitly with [`Service::drain_once`] (used by tests
+    /// and embedders that bring their own scheduler).
+    pub workers: usize,
+    /// Maximum jobs one worker checks out per drain; jobs drained together
+    /// share batch planning through [`BatchEngine`].
+    pub drain_batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            engine: EngineConfig::default(),
+            queue_capacity: 256,
+            workers: 4,
+            drain_batch: 16,
+        }
+    }
+}
+
+/// One admitted request waiting for a worker.
+struct Job {
+    request: QueryRequest,
+    admitted: Instant,
+    reply: mpsc::Sender<Result<ServiceAnswer, ServiceError>>,
+}
+
+/// Graph-dependent state, swapped atomically on [`Service::swap_graph`].
+struct EngineState {
+    graph: Arc<KnowledgeGraph>,
+    similarity: Arc<dyn PredicateSimilarity>,
+    /// Prepared samplers shared across the service lifetime (one entry per
+    /// distinct simple component ever planned against this graph).
+    samplers: Arc<SamplerCache>,
+}
+
+/// Sliding window size of the latency recorders: old samples are overwritten
+/// so a long-lived service reports recent percentiles, not all-time ones.
+const LATENCY_WINDOW: usize = 16_384;
+
+#[derive(Default)]
+struct MetricsInner {
+    submitted: u64,
+    completed: u64,
+    shed: u64,
+    failed: u64,
+    max_queue_depth: usize,
+    latencies_ms: Vec<f64>,
+    latency_slot: usize,
+    queue_ms: Vec<f64>,
+    queue_slot: usize,
+}
+
+fn record_windowed(samples: &mut Vec<f64>, slot: &mut usize, value: f64) {
+    if samples.len() < LATENCY_WINDOW {
+        samples.push(value);
+    } else {
+        samples[*slot % LATENCY_WINDOW] = value;
+    }
+    *slot += 1;
+}
+
+/// A point-in-time view of the service counters, percentiles and cache
+/// state.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Requests offered to [`Service::submit`] (including shed ones).
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests shed at admission ([`ServiceError::Overloaded`]).
+    pub shed: u64,
+    /// Requests that failed planning or validation of targets.
+    pub failed: u64,
+    /// Current admission-queue depth.
+    pub queue_depth: usize,
+    /// Deepest the queue has been.
+    pub max_queue_depth: usize,
+    /// Result-cache counters.
+    pub cache: ResultCacheStats,
+    /// Prepared-sampler cache counters (current graph generation).
+    pub sampler_cache: CacheStats,
+    /// Median end-to-end latency (admission → answer) in milliseconds.
+    pub latency_p50_ms: f64,
+    /// 95th-percentile end-to-end latency in milliseconds.
+    pub latency_p95_ms: f64,
+    /// 99th-percentile end-to-end latency in milliseconds.
+    pub latency_p99_ms: f64,
+    /// 95th-percentile time spent queued, in milliseconds.
+    pub queue_p95_ms: f64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of submissions shed at admission.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.submitted as f64
+        }
+    }
+
+    /// Encodes the snapshot for the `/metrics` endpoint.
+    pub fn to_json(&self) -> Value {
+        let mut cache = Map::new();
+        cache.insert("hits".into(), Value::Number(self.cache.hits as f64));
+        cache.insert("resumes".into(), Value::Number(self.cache.resumes as f64));
+        cache.insert("misses".into(), Value::Number(self.cache.misses as f64));
+        cache.insert(
+            "invalidations".into(),
+            Value::Number(self.cache.invalidations as f64),
+        );
+        cache.insert("reuse_rate".into(), Value::Number(self.cache.reuse_rate()));
+        let mut samplers = Map::new();
+        samplers.insert("hits".into(), Value::Number(self.sampler_cache.hits as f64));
+        samplers.insert(
+            "misses".into(),
+            Value::Number(self.sampler_cache.misses as f64),
+        );
+        let mut map = Map::new();
+        map.insert("submitted".into(), Value::Number(self.submitted as f64));
+        map.insert("completed".into(), Value::Number(self.completed as f64));
+        map.insert("shed".into(), Value::Number(self.shed as f64));
+        map.insert("failed".into(), Value::Number(self.failed as f64));
+        map.insert("shed_rate".into(), Value::Number(self.shed_rate()));
+        map.insert("queue_depth".into(), Value::Number(self.queue_depth as f64));
+        map.insert(
+            "max_queue_depth".into(),
+            Value::Number(self.max_queue_depth as f64),
+        );
+        map.insert("result_cache".into(), Value::Object(cache));
+        map.insert("sampler_cache".into(), Value::Object(samplers));
+        map.insert("latency_p50_ms".into(), Value::Number(self.latency_p50_ms));
+        map.insert("latency_p95_ms".into(), Value::Number(self.latency_p95_ms));
+        map.insert("latency_p99_ms".into(), Value::Number(self.latency_p99_ms));
+        map.insert("queue_p95_ms".into(), Value::Number(self.queue_p95_ms));
+        Value::Object(map)
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} submitted / {} completed / {} shed ({:.1}%) / {} failed; \
+             queue {} (max {}); cache {} hits + {} resumes / {} misses; \
+             latency ms p50={:.2} p95={:.2} p99={:.2}",
+            self.submitted,
+            self.completed,
+            self.shed,
+            self.shed_rate() * 100.0,
+            self.failed,
+            self.queue_depth,
+            self.max_queue_depth,
+            self.cache.hits,
+            self.cache.resumes,
+            self.cache.misses,
+            self.latency_p50_ms,
+            self.latency_p95_ms,
+            self.latency_p99_ms,
+        )
+    }
+}
+
+struct Inner {
+    config: ServiceConfig,
+    batch: BatchEngine,
+    state: Mutex<EngineState>,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    cache: ResultCache,
+    metrics: Mutex<MetricsInner>,
+}
+
+/// A submitted request's handle: redeem it with [`PendingAnswer::wait`].
+#[derive(Debug)]
+pub struct PendingAnswer {
+    rx: mpsc::Receiver<Result<ServiceAnswer, ServiceError>>,
+}
+
+impl PendingAnswer {
+    /// Blocks until the worker pool answers (or the service shuts down).
+    pub fn wait(self) -> Result<ServiceAnswer, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::ShuttingDown))
+    }
+
+    /// Blocks up to `timeout`; `None` means the request is still in flight
+    /// (the handle is consumed either way).
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Result<ServiceAnswer, ServiceError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServiceError::ShuttingDown)),
+        }
+    }
+}
+
+/// A long-running query service over one knowledge graph.
+///
+/// Owns the graph, a [`BatchEngine`], a lifetime-scoped sampler cache and
+/// the confidence-aware result cache; a pool of worker threads drains the
+/// bounded admission queue. See the [crate docs](crate) for the request
+/// lifecycle.
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Starts a service (spawning `config.workers` worker threads) over
+    /// `graph`, validating answers with `similarity`.
+    pub fn new(
+        graph: Arc<KnowledgeGraph>,
+        similarity: Arc<dyn PredicateSimilarity>,
+        config: ServiceConfig,
+    ) -> Self {
+        let samplers = Arc::new(SamplerCache::new(
+            config.engine.strategy,
+            config.engine.sampler_config(),
+        ));
+        let inner = Arc::new(Inner {
+            batch: BatchEngine::new(config.engine.clone()),
+            config,
+            state: Mutex::new(EngineState {
+                graph,
+                similarity,
+                samplers,
+            }),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cache: ResultCache::new(),
+            metrics: Mutex::new(MetricsInner::default()),
+        });
+        let workers = (0..inner.config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("kg-service-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning a service worker")
+            })
+            .collect();
+        Self {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// Submits a request. Returns immediately: `Ok` carries a handle to
+    /// wait on, `Err(Overloaded)` means the request was shed at the door.
+    pub fn submit(&self, request: QueryRequest) -> Result<PendingAnswer, ServiceError> {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        if !request.targets_valid() {
+            let mut metrics = self.inner.metrics.lock().unwrap();
+            metrics.submitted += 1;
+            metrics.failed += 1;
+            return Err(ServiceError::InvalidTargets {
+                error_bound: request.error_bound,
+                confidence: request.confidence,
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.inner.queue.lock().unwrap();
+            // Re-check under the queue lock: shutdown() drains leftovers
+            // under this lock after setting the flag, so a job enqueued
+            // after that drain would never be answered.
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                return Err(ServiceError::ShuttingDown);
+            }
+            let mut metrics = self.inner.metrics.lock().unwrap();
+            metrics.submitted += 1;
+            if queue.len() >= self.inner.config.queue_capacity {
+                metrics.shed += 1;
+                return Err(ServiceError::Overloaded {
+                    capacity: self.inner.config.queue_capacity,
+                });
+            }
+            queue.push_back(Job {
+                request,
+                admitted: Instant::now(),
+                reply: tx,
+            });
+            metrics.max_queue_depth = metrics.max_queue_depth.max(queue.len());
+        }
+        self.inner.available.notify_one();
+        Ok(PendingAnswer { rx })
+    }
+
+    /// Submits a slice of requests; per-request admission outcomes in input
+    /// order.
+    pub fn submit_batch(
+        &self,
+        requests: Vec<QueryRequest>,
+    ) -> Vec<Result<PendingAnswer, ServiceError>> {
+        requests.into_iter().map(|r| self.submit(r)).collect()
+    }
+
+    /// Submit-and-wait convenience.
+    pub fn execute(&self, request: QueryRequest) -> Result<ServiceAnswer, ServiceError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Drains up to `drain_batch` queued jobs on the calling thread,
+    /// returning how many were processed. The pump for `workers: 0`
+    /// deployments and deterministic tests.
+    pub fn drain_once(&self) -> usize {
+        let jobs: Vec<Job> = {
+            let mut queue = self.inner.queue.lock().unwrap();
+            let n = queue.len().min(self.inner.config.drain_batch.max(1));
+            queue.drain(..n).collect()
+        };
+        let n = jobs.len();
+        if n > 0 {
+            handle_jobs(&self.inner, jobs);
+        }
+        n
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.lock().unwrap().len()
+    }
+
+    /// Atomically replaces the graph (and its similarity provider): the
+    /// sampler cache is recreated and the result cache invalidated, so no
+    /// answer computed against the old graph can be served afterwards.
+    /// Requests already checked out by a worker still complete against the
+    /// graph they started with.
+    pub fn swap_graph(&self, graph: Arc<KnowledgeGraph>, similarity: Arc<dyn PredicateSimilarity>) {
+        let mut state = self.inner.state.lock().unwrap();
+        state.graph = graph;
+        state.similarity = similarity;
+        state.samplers = Arc::new(SamplerCache::new(
+            self.inner.config.engine.strategy,
+            self.inner.config.engine.sampler_config(),
+        ));
+        self.inner.cache.invalidate();
+    }
+
+    /// Explicitly invalidates both caches without changing the graph (for
+    /// external state changes the service cannot observe).
+    pub fn invalidate_caches(&self) {
+        let mut state = self.inner.state.lock().unwrap();
+        state.samplers = Arc::new(SamplerCache::new(
+            self.inner.config.engine.strategy,
+            self.inner.config.engine.sampler_config(),
+        ));
+        self.inner.cache.invalidate();
+    }
+
+    /// Counter / percentile / cache snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let queue_depth = self.inner.queue.lock().unwrap().len();
+        // Copy the sample windows out and drop the metrics guard before
+        // sorting: workers record completions under this lock, and a
+        // scrape must not add sort time to their critical path.
+        let (submitted, completed, shed, failed, max_queue_depth, mut latencies, mut queues) = {
+            let metrics = self.inner.metrics.lock().unwrap();
+            (
+                metrics.submitted,
+                metrics.completed,
+                metrics.shed,
+                metrics.failed,
+                metrics.max_queue_depth,
+                metrics.latencies_ms.clone(),
+                metrics.queue_ms.clone(),
+            )
+        };
+        latencies.sort_by(f64::total_cmp);
+        queues.sort_by(f64::total_cmp);
+        // Nearest-rank over an already-sorted window (same rule as
+        // `latency_percentile`, without the per-call sort).
+        let rank = |sorted: &[f64], q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            sorted[((q * sorted.len() as f64).ceil() as usize).max(1) - 1]
+        };
+        let sampler_cache = self.inner.state.lock().unwrap().samplers.stats();
+        MetricsSnapshot {
+            submitted,
+            completed,
+            shed,
+            failed,
+            queue_depth,
+            max_queue_depth,
+            cache: self.inner.cache.stats(),
+            sampler_cache,
+            latency_p50_ms: rank(&latencies, 0.50),
+            latency_p95_ms: rank(&latencies, 0.95),
+            latency_p99_ms: rank(&latencies, 0.99),
+            queue_p95_ms: rank(&queues, 0.95),
+        }
+    }
+
+    /// Stops accepting work, lets the workers drain the queue, and joins
+    /// them. Jobs still queued when no workers exist (`workers: 0`) are
+    /// answered with [`ServiceError::ShuttingDown`]. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.available.notify_all();
+        let workers: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        let leftovers: Vec<Job> = self.inner.queue.lock().unwrap().drain(..).collect();
+        for job in leftovers {
+            let _ = job.reply.send(Err(ServiceError::ShuttingDown));
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let jobs: Vec<Job> = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = inner.available.wait(queue).unwrap();
+            }
+            // Fair share first, drain_batch as the ceiling: one worker
+            // grabbing a whole burst would refine it serially while the
+            // rest of the pool idles on an empty queue.
+            let fair = queue.len().div_ceil(inner.config.workers.max(1));
+            let n = fair.min(inner.config.drain_batch.max(1));
+            queue.drain(..n).collect()
+        };
+        // A panicking job (an engine invariant violated by one query) must
+        // not take the worker thread down with it: the affected clients see
+        // their reply channel close, everyone else keeps being served.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle_jobs(inner, jobs)));
+        if result.is_err() {
+            // Tolerate a poisoned metrics lock here: this path exists to
+            // keep the worker alive, not to die on bookkeeping.
+            if let Ok(mut metrics) = inner.metrics.lock() {
+                metrics.failed += 1;
+            }
+        }
+    }
+}
+
+/// Answers one checked-out set of jobs: result-cache triage first (hits
+/// answered instantly, resumable sessions refined incrementally), then the
+/// remaining misses planned together through the batch engine against the
+/// lifetime sampler cache.
+fn handle_jobs(inner: &Arc<Inner>, jobs: Vec<Job>) {
+    // Snapshot graph state and the cache generation *together*: swap_graph
+    // bumps the generation under the same lock, so a worker can never pair
+    // a new graph with an old stamp (or vice versa).
+    let (graph, similarity, samplers, generation) = {
+        let state = inner.state.lock().unwrap();
+        (
+            Arc::clone(&state.graph),
+            Arc::clone(&state.similarity),
+            Arc::clone(&state.samplers),
+            inner.cache.generation(),
+        )
+    };
+    let similarity: &dyn PredicateSimilarity = &*similarity;
+
+    let mut fresh: Vec<(Job, String, f64)> = Vec::new();
+    for job in jobs {
+        let queue_ms = job.admitted.elapsed().as_secs_f64() * 1e3;
+        let key = job.request.query.canonical_key();
+        match inner.cache.begin(
+            &key,
+            generation,
+            job.request.error_bound,
+            job.request.confidence,
+        ) {
+            CacheDecision::Hit(answer) => {
+                respond(inner, job, ServedFrom::CacheHit, answer, queue_ms);
+            }
+            CacheDecision::Resume(mut session) => {
+                let answer = session.refine_with(
+                    &graph,
+                    similarity,
+                    job.request.error_bound,
+                    job.request.confidence,
+                );
+                inner
+                    .cache
+                    .finish(key, generation, *session, answer.clone());
+                respond(inner, job, ServedFrom::CacheResume, answer, queue_ms);
+            }
+            CacheDecision::Miss => fresh.push((job, key, queue_ms)),
+        }
+    }
+    if fresh.is_empty() {
+        return;
+    }
+
+    let queries: Vec<AggregateQuery> = fresh
+        .iter()
+        .map(|(job, _, _)| job.request.query.clone())
+        .collect();
+    let (sessions, _) = inner
+        .batch
+        .open_sessions_cached(&graph, &queries, similarity, &samplers);
+    for ((job, key, queue_ms), session) in fresh.into_iter().zip(sessions) {
+        match session {
+            Err(e) => {
+                inner.metrics.lock().unwrap().failed += 1;
+                let _ = job.reply.send(Err(ServiceError::Rejected(Arc::new(e))));
+            }
+            Ok(mut session) => {
+                let answer = session.refine_with(
+                    &graph,
+                    similarity,
+                    job.request.error_bound,
+                    job.request.confidence,
+                );
+                inner.cache.finish(key, generation, session, answer.clone());
+                respond(inner, job, ServedFrom::Fresh, answer, queue_ms);
+            }
+        }
+    }
+}
+
+fn respond(inner: &Inner, job: Job, served_from: ServedFrom, answer: QueryAnswer, queue_ms: f64) {
+    let total_ms = job.admitted.elapsed().as_secs_f64() * 1e3;
+    {
+        let mut metrics = inner.metrics.lock().unwrap();
+        metrics.completed += 1;
+        let MetricsInner {
+            latencies_ms,
+            latency_slot,
+            queue_ms: queue_samples,
+            queue_slot,
+            ..
+        } = &mut *metrics;
+        record_windowed(latencies_ms, latency_slot, total_ms);
+        record_windowed(queue_samples, queue_slot, queue_ms);
+    }
+    // The client may have given up; a dead receiver is not an error.
+    let _ = job.reply.send(Ok(ServiceAnswer {
+        answer,
+        served_from,
+        queue_ms,
+        total_ms,
+    }));
+}
+
+// `InteractiveSession` must stay shippable between the cache and workers.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<InteractiveSession>();
+};

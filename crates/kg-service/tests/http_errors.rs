@@ -1,0 +1,156 @@
+//! Wire-level contract of `kg-serve`'s endpoint: malformed JSON, unknown
+//! predicates and queue overflow all produce structured error responses —
+//! never a panic or a dropped connection.
+
+use kg_aqp::EngineConfig;
+use kg_datagen::{domains, generate, DatasetScale, GeneratorConfig};
+use kg_query::{AggregateFunction, AggregateQuery, SimpleQuery};
+use kg_service::{http_request, HttpServer, QueryRequest, Service, ServiceConfig};
+use serde_json::Value;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn start(workers: usize, queue_capacity: usize) -> (Arc<Service>, HttpServer, SocketAddr) {
+    let d = generate(&GeneratorConfig::new(
+        "http-test",
+        DatasetScale::tiny(),
+        vec![domains::automotive(&["Germany", "China"])],
+        29,
+    ));
+    let service = Arc::new(Service::new(
+        Arc::new(d.graph),
+        Arc::new(d.oracle),
+        ServiceConfig {
+            engine: EngineConfig {
+                error_bound: 0.05,
+                ..EngineConfig::default()
+            },
+            queue_capacity,
+            workers,
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = HttpServer::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr();
+    (service, server, addr)
+}
+
+fn count_query() -> AggregateQuery {
+    AggregateQuery::simple(
+        SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+        AggregateFunction::Count,
+    )
+}
+
+fn post_query(addr: SocketAddr, body: &str) -> (u16, Value) {
+    let (status, body) = http_request(addr, "POST", "/query", body, TIMEOUT).expect("http I/O");
+    let parsed: Value = serde_json::from_str(&body)
+        .unwrap_or_else(|e| panic!("response is not JSON ({e}): {body}"));
+    (status, parsed)
+}
+
+#[test]
+fn well_formed_query_gets_a_well_formed_answer() {
+    let (service, mut server, addr) = start(1, 64);
+    let request = QueryRequest::new(count_query(), 0.05, 0.95);
+    let body = serde_json::to_string(&request.to_json()).unwrap();
+    let (status, answer) = post_query(addr, &body);
+    assert_eq!(status, 200, "{answer}");
+    assert!(answer["answer"]["estimate"].as_f64().unwrap() > 0.0);
+    assert!(answer["answer"]["moe"].as_f64().is_some());
+    assert_eq!(answer["served_from"].as_str(), Some("fresh"));
+    assert!(answer["total_ms"].as_f64().unwrap() >= 0.0);
+
+    // And over the healthz/metrics routes:
+    let (status, body) = http_request(addr, "GET", "/healthz", "", TIMEOUT).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\""));
+    let (status, body) = http_request(addr, "GET", "/metrics", "", TIMEOUT).unwrap();
+    assert_eq!(status, 200);
+    let metrics: Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(metrics["completed"].as_u64(), Some(1));
+
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn malformed_json_is_a_structured_400() {
+    let (service, mut server, addr) = start(1, 64);
+    for bad in ["{not json", "", "[1,2", "{\"query\": }"] {
+        let (status, body) = post_query(addr, bad);
+        assert_eq!(status, 400, "input {bad:?} → {body}");
+        assert_eq!(body["error"]["kind"].as_str(), Some("malformed_json"));
+        assert!(body["error"]["message"].as_str().is_some());
+    }
+    // Valid JSON, invalid wire shape → invalid_query with a path.
+    let (status, body) = post_query(addr, r#"{"query": {"bogus": 1}}"#);
+    assert_eq!(status, 400);
+    assert_eq!(body["error"]["kind"].as_str(), Some("invalid_query"));
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn unknown_predicate_is_a_structured_422() {
+    let (service, mut server, addr) = start(1, 64);
+    let bad = AggregateQuery::simple(
+        SimpleQuery::new("Germany", &["Country"], "teleports_to", &["Automobile"]),
+        AggregateFunction::Count,
+    );
+    let body = serde_json::to_string(&QueryRequest::new(bad, 0.05, 0.95).to_json()).unwrap();
+    let (status, parsed) = post_query(addr, &body);
+    assert_eq!(status, 422, "{parsed}");
+    assert_eq!(parsed["error"]["kind"].as_str(), Some("unresolvable_query"));
+    assert!(parsed["error"]["message"]
+        .as_str()
+        .unwrap()
+        .contains("teleports_to"));
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn queue_overflow_is_a_structured_503() {
+    // No workers and capacity 1: the first request parks in the queue, the
+    // second is shed at admission.
+    let (service, mut server, addr) = start(0, 1);
+    let body =
+        serde_json::to_string(&QueryRequest::new(count_query(), 0.05, 0.95).to_json()).unwrap();
+
+    let filler = service
+        .submit(QueryRequest::new(count_query(), 0.05, 0.95))
+        .expect("fills the queue");
+    let (status, parsed) = post_query(addr, &body);
+    assert_eq!(status, 503, "{parsed}");
+    assert_eq!(parsed["error"]["kind"].as_str(), Some("overloaded"));
+    assert!(parsed["error"]["message"].as_str().unwrap().contains("1"));
+
+    drop(filler);
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn unknown_routes_and_bad_targets() {
+    let (service, mut server, addr) = start(1, 64);
+    let (status, body) = http_request(addr, "GET", "/nope", "", TIMEOUT).unwrap();
+    assert_eq!(status, 404);
+    assert!(body.contains("not_found"));
+    let (status, body) = http_request(addr, "DELETE", "/query", "", TIMEOUT).unwrap();
+    assert_eq!(status, 405);
+    assert!(body.contains("method_not_allowed"));
+
+    let mut json = QueryRequest::new(count_query(), 0.05, 0.95).to_json();
+    if let Value::Object(map) = &mut json {
+        map.insert("error_bound".to_string(), Value::Number(-0.5));
+    }
+    let (status, parsed) = post_query(addr, &serde_json::to_string(&json).unwrap());
+    assert_eq!(status, 400, "{parsed}");
+    assert_eq!(parsed["error"]["kind"].as_str(), Some("invalid_targets"));
+    server.shutdown();
+    service.shutdown();
+}

@@ -1,5 +1,6 @@
 //! Offline stand-in for the `serde_json` crate: a JSON [`Value`] tree with
-//! string indexing, accessors, and (pretty) serialisation to text.
+//! string indexing, accessors, a recursive-descent parser ([`from_str`]) and
+//! (pretty) serialisation to text.
 //!
 //! ```
 //! let v = serde_json::Value::Array(vec![
@@ -7,6 +8,8 @@
 //!     serde_json::Value::Bool(true),
 //! ]);
 //! assert_eq!(serde_json::to_string(&v).unwrap(), "[\"a\",true]");
+//! let back: serde_json::Value = serde_json::from_str("[\"a\",true]").unwrap();
+//! assert_eq!(back, v);
 //! ```
 
 use std::collections::BTreeMap;
@@ -32,14 +35,14 @@ pub enum Value {
     Object(Map<String, Value>),
 }
 
-/// Error type mirroring `serde_json::Error`. The shim's serialisers are
-/// total, so it is never produced — it exists so call sites can `?`/`unwrap`.
+/// Error type mirroring `serde_json::Error`: produced by [`from_str`] on
+/// malformed input (the serialisers are total and never fail).
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("serde_json shim error")
+        f.write_str(&self.0)
     }
 }
 
@@ -76,6 +79,38 @@ impl Value {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as a `u64` if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True if this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Looks up a key if this is an object (`None` otherwise), like
+    /// `serde_json::Value::get`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
             _ => None,
         }
     }
@@ -203,6 +238,232 @@ impl std::ops::Index<usize> for Value {
     }
 }
 
+/// Parses a JSON document into a [`Value`] tree.
+///
+/// Mirrors `serde_json::from_str::<Value>`: the whole input must be one JSON
+/// value (trailing non-whitespace is an error). Annotate the target type at
+/// the call site (`let v: Value = from_str(..)?`) so the real crate's generic
+/// `from_str` resolves identically on swap-back.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_whitespace();
+    let value = p.parse_value(0)?;
+    p.skip_whitespace();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+/// Nesting depth cap of the parser: inputs arrive from the network, so
+/// recursion must be bounded.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> Error {
+        Error(format!("{message} at byte {}", self.pos))
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), Error> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", expected as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("invalid literal, expected {literal:?}")))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("recursion depth exceeded"));
+        }
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut map = Map::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.eat(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = self.peek().ok_or_else(|| self.error("unterminated string"))?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are rejected rather than paired:
+                            // the shim's own serialiser never emits them.
+                            let ch = char::from_u32(code)
+                                .ok_or_else(|| self.error("invalid \\u code point"))?;
+                            out.push(ch);
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ if c < 0x20 => return Err(self.error("control character in string")),
+                _ => {
+                    // Re-sync on UTF-8 boundaries: push the whole multi-byte
+                    // character, not just its first byte.
+                    let start = self.pos - 1;
+                    let len = utf8_len(c);
+                    let slice = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| self.error("invalid UTF-8 in string"))?;
+                    out.push_str(slice);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if let Some(b'e' | b'E') = self.peek() {
+            self.pos += 1;
+            if let Some(b'+' | b'-') = self.peek() {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .ok()
+            .filter(|n| n.is_finite())
+            .map(Value::Number)
+            .ok_or_else(|| self.error("invalid number"))
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
 /// Serialises a value to compact JSON.
 pub fn to_string(value: &Value) -> Result<String, Error> {
     let mut s = String::new();
@@ -256,5 +517,62 @@ mod tests {
     fn strings_are_escaped() {
         let v = Value::String("a\"b\\c\nd".into());
         assert_eq!(to_string(&v).unwrap(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn parser_roundtrips_serialised_values() {
+        for v in [
+            sample(),
+            Value::Null,
+            Value::Bool(false),
+            Value::Number(-12.75),
+            Value::Number(3e10),
+            Value::String("uni \u{00e9}\u{4e16} \"q\" \\ tab\t".into()),
+            Value::Array(vec![]),
+            Value::Object(Map::new()),
+        ] {
+            let text = to_string(&v).unwrap();
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, v, "roundtrip of {text}");
+            let pretty = to_string_pretty(&v).unwrap();
+            let back: Value = from_str(&pretty).unwrap();
+            assert_eq!(back, v, "pretty roundtrip of {pretty}");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_standard_json_forms() {
+        let v: Value = from_str(r#" { "a" : [ 1 , 2.5e2 , true , null ] } "#).unwrap();
+        assert_eq!(v["a"][1].as_f64(), Some(250.0));
+        assert_eq!(v["a"][2].as_bool(), Some(true));
+        assert!(v["a"][3].is_null());
+        assert_eq!(from_str("\"\\u0041\"").unwrap().as_str(), Some("A"));
+        assert_eq!(from_str("42").unwrap().as_u64(), Some(42));
+        assert_eq!(Value::Number(1.5).as_u64(), None);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "01x",
+            "1 2",
+            "{\"a\":1}extra",
+            "nan",
+            "--1",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_bounds_recursion_depth() {
+        let deep = "[".repeat(4000) + &"]".repeat(4000);
+        assert!(from_str(&deep).is_err());
     }
 }
