@@ -46,10 +46,11 @@ use crate::config::EngineConfig;
 use crate::engine::AqpEngine;
 use crate::result::QueryAnswer;
 use crate::session::{InteractiveSession, SharedValidationCache};
-use kg_core::{KgResult, KnowledgeGraph};
+use crate::sharded::{ShardedSession, ShardedStats};
+use kg_core::{KgResult, KnowledgeGraph, ShardedGraph};
 use kg_embed::PredicateSimilarity;
 use kg_query::AggregateQuery;
-use kg_sampling::{CacheStats, SamplerCache};
+use kg_sampling::{CacheStats, SamplerCache, ShardSamplerCache};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -84,6 +85,15 @@ pub struct BatchStats {
     /// percentiles down. Filled by [`BatchEngine::execute_with_stats`];
     /// empty when only sessions were opened.
     pub per_query_ms: Vec<f64>,
+    /// Cumulative sample draws per shard across the batch (indexed by shard
+    /// id), making shard imbalance observable. Empty for unsharded
+    /// execution; filled by [`BatchEngine::execute_sharded_with_stats`].
+    pub shard_samples: Vec<u64>,
+    /// Total milliseconds spent merging per-shard estimates into one
+    /// interval across the batch (the coordination overhead sharded
+    /// execution adds on top of the per-shard refine work). 0 when
+    /// unsharded.
+    pub merge_overhead_ms: f64,
 }
 
 impl BatchStats {
@@ -118,6 +128,13 @@ impl std::fmt::Display for BatchStats {
                 self.percentile_ms(0.50),
                 self.percentile_ms(0.95),
                 self.percentile_ms(0.99),
+            )?;
+        }
+        if !self.shard_samples.is_empty() {
+            write!(
+                f,
+                ", shard samples {:?}, merge overhead {:.2} ms",
+                self.shard_samples, self.merge_overhead_ms,
             )?;
         }
         Ok(())
@@ -270,7 +287,129 @@ impl BatchEngine {
                 hits: cache_after.hits - cache_before.hits,
                 misses: cache_after.misses - cache_before.misses,
             },
-            per_query_ms: Vec::new(),
+            ..BatchStats::default()
+        };
+        (sessions, stats)
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded execution
+    // ------------------------------------------------------------------
+
+    /// Executes every query against a sharded graph, one merged answer per
+    /// query in input order: the sharded counterpart of [`Self::execute`].
+    /// With a single-shard graph the answers are bitwise-identical to
+    /// [`Self::execute`].
+    pub fn execute_sharded<S: PredicateSimilarity + ?Sized + Sync>(
+        &self,
+        sharded: &ShardedGraph,
+        queries: &[AggregateQuery],
+        similarity: &S,
+    ) -> Vec<KgResult<QueryAnswer>> {
+        self.execute_sharded_with_stats(sharded, queries, similarity)
+            .0
+    }
+
+    /// [`Self::execute_sharded`] plus batch statistics, including the
+    /// per-shard sample counts and stratified-merge overhead.
+    pub fn execute_sharded_with_stats<S: PredicateSimilarity + ?Sized + Sync>(
+        &self,
+        sharded: &ShardedGraph,
+        queries: &[AggregateQuery],
+        similarity: &S,
+    ) -> (Vec<KgResult<QueryAnswer>>, BatchStats) {
+        let config = self.engine.config();
+        let cache = SamplerCache::new(config.strategy, config.sampler_config());
+        let shard_cache = ShardSamplerCache::new();
+        self.execute_sharded_with_stats_cached(sharded, queries, similarity, &cache, &shard_cache)
+    }
+
+    /// [`Self::execute_sharded_with_stats`] against caller-owned caches (the
+    /// service keeps both alive for its lifetime; see
+    /// [`Self::execute_with_stats_cached`] for why sharing is sound).
+    pub fn execute_sharded_with_stats_cached<S: PredicateSimilarity + ?Sized + Sync>(
+        &self,
+        sharded: &ShardedGraph,
+        queries: &[AggregateQuery],
+        similarity: &S,
+        cache: &SamplerCache,
+        shard_cache: &ShardSamplerCache,
+    ) -> (Vec<KgResult<QueryAnswer>>, BatchStats) {
+        let (sessions, mut stats) =
+            self.open_sharded_sessions_cached(sharded, queries, similarity, cache, shard_cache);
+        let error_bound = self.engine.config().error_bound;
+        let results: Vec<KgResult<(QueryAnswer, ShardedStats)>> = sessions
+            .into_par_iter()
+            .map(|session| {
+                session.map(|mut s| {
+                    let answer = s.refine_to(sharded, similarity, error_bound);
+                    let sharded_stats = s.sharded_stats();
+                    (answer, sharded_stats)
+                })
+            })
+            .collect();
+        let mut shard_samples = vec![0u64; sharded.shard_count()];
+        let mut merge_overhead_ms = 0.0;
+        let mut answers = Vec::with_capacity(results.len());
+        let mut per_query_ms = Vec::with_capacity(results.len());
+        for result in results {
+            match result {
+                Ok((answer, sharded_stats)) => {
+                    for (shard, &n) in sharded_stats.per_shard_samples.iter().enumerate() {
+                        shard_samples[shard] += n as u64;
+                    }
+                    merge_overhead_ms += sharded_stats.merge_ms;
+                    per_query_ms.push(answer.elapsed_ms);
+                    answers.push(Ok(answer));
+                }
+                Err(e) => {
+                    per_query_ms.push(f64::NAN);
+                    answers.push(Err(e));
+                }
+            }
+        }
+        stats.per_query_ms = per_query_ms;
+        stats.shard_samples = shard_samples;
+        stats.merge_overhead_ms = merge_overhead_ms;
+        (answers, stats)
+    }
+
+    /// Opens one [`ShardedSession`] per query with shared planning, a shared
+    /// validation cache, and shared per-shard restrictions: the sharded
+    /// counterpart of [`Self::open_sessions_cached`].
+    pub fn open_sharded_sessions_cached<S: PredicateSimilarity + ?Sized>(
+        &self,
+        sharded: &ShardedGraph,
+        queries: &[AggregateQuery],
+        similarity: &S,
+        cache: &SamplerCache,
+        shard_cache: &ShardSamplerCache,
+    ) -> (Vec<KgResult<ShardedSession>>, BatchStats) {
+        let cache_before = cache.stats();
+        let shared_validation = SharedValidationCache::default();
+        let sessions: Vec<KgResult<ShardedSession>> = queries
+            .iter()
+            .map(|query| {
+                crate::sharded::open_sharded(
+                    &self.engine,
+                    sharded,
+                    query,
+                    similarity,
+                    Some(cache),
+                    Some(shard_cache),
+                    Some(Arc::clone(&shared_validation)),
+                )
+            })
+            .collect();
+        let cache_after = cache.stats();
+        let stats = BatchStats {
+            queries: queries.len(),
+            failures: sessions.iter().filter(|s| s.is_err()).count(),
+            sampler_cache: CacheStats {
+                hits: cache_after.hits - cache_before.hits,
+                misses: cache_after.misses - cache_before.misses,
+            },
+            ..BatchStats::default()
         };
         (sessions, stats)
     }

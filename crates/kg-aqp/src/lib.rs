@@ -35,6 +35,7 @@ pub mod config;
 pub mod engine;
 pub mod result;
 pub mod session;
+pub mod sharded;
 pub mod wire;
 
 pub use batch::{latency_percentile, BatchEngine, BatchStats};
@@ -42,6 +43,7 @@ pub use config::EngineConfig;
 pub use engine::AqpEngine;
 pub use result::{QueryAnswer, RoundTrace, StepTimings};
 pub use session::InteractiveSession;
+pub use sharded::{ShardedSession, ShardedStats};
 
 /// Convenience re-exports for downstream users of the public API.
 pub mod prelude {

@@ -24,6 +24,84 @@ use std::time::Instant;
 /// session computes an entry first, the value is the same.
 pub(crate) type SharedValidationCache = Arc<Mutex<HashMap<(usize, EntityId), (bool, f64)>>>;
 
+/// The [`ValidationConfig`] implied by an engine configuration (one code
+/// path for the serial, batched and sharded sessions).
+pub(crate) fn validation_config(config: &EngineConfig) -> ValidationConfig {
+    ValidationConfig {
+        tau: config.tau,
+        repeat_factor: config.repeat_factor,
+        max_path_len: config.n_bound as usize,
+        aggregation: config.aggregation,
+        ..ValidationConfig::default()
+    }
+}
+
+/// Validates one sampled entity against every component of a plan: the
+/// greedy π-guided search per component, with outcomes AND-ed and the
+/// weakest similarity kept. Shared by [`InteractiveSession`] and the
+/// sharded session so the two execution paths cannot drift. `validate:
+/// false` is the Fig. 5(b) ablation (trust every sampled answer).
+pub(crate) fn validate_entity<S: PredicateSimilarity + ?Sized>(
+    plan: &QueryPlan,
+    validate: bool,
+    validation: &ValidationConfig,
+    graph: &KnowledgeGraph,
+    similarity: &S,
+    entity: EntityId,
+    shared_validation: Option<&SharedValidationCache>,
+) -> (bool, f64) {
+    if !validate {
+        return (true, 1.0);
+    }
+    let mut correct = true;
+    let mut sim = 1.0_f64;
+    for component in &plan.components {
+        let (c, s) = match &component.validator {
+            ComponentValidator::Simple { query, sampler } => {
+                let key = (Arc::as_ptr(sampler) as usize, entity);
+                let cached = shared_validation
+                    .as_ref()
+                    .and_then(|shared| shared.lock().unwrap().get(&key).copied());
+                match cached {
+                    Some(outcome) => outcome,
+                    None => {
+                        let out =
+                            validate_answer(graph, query, entity, sampler, similarity, validation);
+                        let outcome = (out.correct, out.best_similarity);
+                        if let Some(shared) = shared_validation {
+                            shared.lock().unwrap().insert(key, outcome);
+                        }
+                        outcome
+                    }
+                }
+            }
+            ComponentValidator::Chain {
+                final_queries,
+                samplers,
+            } => match final_queries.get(&entity) {
+                None => (false, 0.0),
+                Some((query, sampler_index)) => {
+                    let out = validate_answer(
+                        graph,
+                        query,
+                        entity,
+                        &samplers[*sampler_index],
+                        similarity,
+                        validation,
+                    );
+                    (out.correct, out.best_similarity)
+                }
+            },
+        };
+        correct &= c;
+        sim = sim.min(s);
+        if !correct {
+            break;
+        }
+    }
+    (correct, sim)
+}
+
 /// An interactive query session: keeps the plan, the drawn sample and the
 /// validation cache so that the user can tighten the error bound at runtime
 /// and pay only the incremental cost (Fig. 6(a)).
@@ -72,6 +150,12 @@ impl InteractiveSession {
         self.plan.candidate_count
     }
 
+    /// The confidence level currently configured for this session (the
+    /// engine default, or the last [`Self::refine_with`] override).
+    pub fn confidence(&self) -> f64 {
+        self.config.confidence
+    }
+
     /// Current total sample size.
     pub fn sample_size(&self) -> usize {
         self.sample.len()
@@ -103,13 +187,7 @@ impl InteractiveSession {
         similarity: &(impl PredicateSimilarity + ?Sized),
     ) {
         let start = Instant::now();
-        let validation = ValidationConfig {
-            tau: self.config.tau,
-            repeat_factor: self.config.repeat_factor,
-            max_path_len: self.config.n_bound as usize,
-            aggregation: self.config.aggregation,
-            ..ValidationConfig::default()
-        };
+        let validation = validation_config(&self.config);
         let entities: Vec<EntityId> = self
             .sample
             .iter()
@@ -117,65 +195,15 @@ impl InteractiveSession {
             .filter(|e| !self.validation_cache.contains_key(e))
             .collect();
         for entity in entities {
-            let outcome = if !self.config.validate {
-                // Fig. 5(b) ablation: trust every sampled answer.
-                (true, 1.0)
-            } else {
-                let mut correct = true;
-                let mut sim = 1.0_f64;
-                for component in &self.plan.components {
-                    let (c, s) = match &component.validator {
-                        ComponentValidator::Simple { query, sampler } => {
-                            let key = (Arc::as_ptr(sampler) as usize, entity);
-                            let cached = self
-                                .shared_validation
-                                .as_ref()
-                                .and_then(|shared| shared.lock().unwrap().get(&key).copied());
-                            match cached {
-                                Some(outcome) => outcome,
-                                None => {
-                                    let out = validate_answer(
-                                        graph,
-                                        query,
-                                        entity,
-                                        sampler,
-                                        similarity,
-                                        &validation,
-                                    );
-                                    let outcome = (out.correct, out.best_similarity);
-                                    if let Some(shared) = &self.shared_validation {
-                                        shared.lock().unwrap().insert(key, outcome);
-                                    }
-                                    outcome
-                                }
-                            }
-                        }
-                        ComponentValidator::Chain {
-                            final_queries,
-                            samplers,
-                        } => match final_queries.get(&entity) {
-                            None => (false, 0.0),
-                            Some((query, sampler_index)) => {
-                                let out = validate_answer(
-                                    graph,
-                                    query,
-                                    entity,
-                                    &samplers[*sampler_index],
-                                    similarity,
-                                    &validation,
-                                );
-                                (out.correct, out.best_similarity)
-                            }
-                        },
-                    };
-                    correct &= c;
-                    sim = sim.min(s);
-                    if !correct {
-                        break;
-                    }
-                }
-                (correct, sim)
-            };
+            let outcome = validate_entity(
+                &self.plan,
+                self.config.validate,
+                &validation,
+                graph,
+                similarity,
+                entity,
+                self.shared_validation.as_ref(),
+            );
             self.validation_cache.insert(entity, outcome);
         }
         self.timings.estimation_ms += start.elapsed().as_secs_f64() * 1e3;

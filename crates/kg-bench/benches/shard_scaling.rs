@@ -1,0 +1,98 @@
+//! Batch-workload throughput as a function of the shard count K.
+//!
+//! The SSB-style evaluation workload runs through
+//! `BatchEngine::execute_sharded` against the same graph partitioned into
+//! K ∈ {1, 2, 4, 8} degree-balanced shards. K = 1 is the identity
+//! configuration (bitwise the unsharded engine, BLB intervals and all), so
+//! the K = 1 row is the baseline the speedup is measured against.
+//!
+//! Where the speedup comes from on a single core (offline rayon shim — no
+//! thread parallelism involved): stratified sampling eliminates the
+//! between-shard component of the estimator variance and Neyman allocation
+//! concentrates refinement draws on high-variance shards, so queries reach
+//! the Theorem-2 guarantee with fewer draws and fewer validations; and the
+//! per-stratum bootstrap costs `B`·n draws per round against the BLB's
+//! t·`B`·n. A real rayon pool adds shard-parallel refinement on top.
+//!
+//! Besides the criterion timings, the bench prints one `q/s` line per K
+//! and a `speedup(K=4 vs K=1)` summary line.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg_aqp::{BatchEngine, EngineConfig};
+use kg_core::{DegreeBalancedPartitioner, ShardedGraph};
+use kg_datagen::{build_workload, profiles, DatasetScale, WorkloadConfig};
+use kg_query::AggregateQuery;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        error_bound: 0.05,
+        ..EngineConfig::default()
+    }
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let dataset = kg_datagen::generate(&profiles::dbpedia_like(DatasetScale::tiny(), 11));
+    let queries: Vec<AggregateQuery> = build_workload(&dataset, &WorkloadConfig::default())
+        .into_iter()
+        .map(|q| q.query)
+        .collect();
+    let graph = Arc::new(dataset.graph.clone());
+
+    let mut group = c.benchmark_group("shard_scaling");
+    group.sample_size(10);
+    let mut throughput: Vec<(usize, f64)> = Vec::new();
+    for k in SHARD_COUNTS {
+        let sharded = ShardedGraph::new(Arc::clone(&graph), &DegreeBalancedPartitioner, k);
+        let stats = sharded.stats();
+        let batch = BatchEngine::new(engine_config());
+
+        // One measured pass outside criterion for the q/s report.
+        let start = Instant::now();
+        let ok = batch
+            .execute_sharded(&sharded, &queries, &dataset.oracle)
+            .iter()
+            .filter(|a| a.is_ok())
+            .count();
+        let elapsed = start.elapsed().as_secs_f64();
+        let qps = ok as f64 / elapsed;
+        println!(
+            "shard_scaling: K={k} → {qps:.1} q/s ({ok} queries in {elapsed:.2}s; \
+             owned {:?}, cut edges {}, replication {:.3})",
+            stats.owned, stats.cut_edges, stats.replication_factor,
+        );
+        throughput.push((k, qps));
+
+        group.bench_with_input(
+            BenchmarkId::new("ssb", format!("K={k}/{}q", queries.len())),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    batch
+                        .execute_sharded(&sharded, queries, &dataset.oracle)
+                        .iter()
+                        .filter(|a| a.is_ok())
+                        .count()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let base = throughput
+        .iter()
+        .find(|(k, _)| *k == 1)
+        .map(|(_, qps)| *qps)
+        .unwrap_or(f64::NAN);
+    for (k, qps) in &throughput {
+        if *k != 1 {
+            println!("shard_scaling: speedup(K={k} vs K=1) = {:.2}×", qps / base);
+        }
+    }
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

@@ -124,55 +124,7 @@ impl GraphBuilder {
     /// triple insertion order — the same order the previous nested-`Vec`
     /// representation produced — so walk and traversal results are unchanged.
     pub fn build(self) -> KnowledgeGraph {
-        // The CSR offsets are u32 (see `KnowledgeGraph::offsets`): fail loudly
-        // before the counting pass can wrap instead of corrupting adjacency.
-        assert!(
-            self.triples.len() <= (u32::MAX / 2) as usize,
-            "graph exceeds CSR capacity: {} triples produce more than u32::MAX adjacency entries",
-            self.triples.len()
-        );
-        // Pass 1: per-entity degree counts. A self-loop contributes a single
-        // adjacency entry.
-        let mut offsets = vec![0u32; self.entities.len() + 1];
-        for t in &self.triples {
-            offsets[t.subject.index() + 1] += 1;
-            if t.subject != t.object {
-                offsets[t.object.index() + 1] += 1;
-            }
-        }
-        for i in 1..offsets.len() {
-            offsets[i] += offsets[i - 1];
-        }
-
-        // Pass 2: write entries into their slices, advancing a per-entity
-        // cursor. `cursor` starts as the slice start offsets.
-        let total = *offsets.last().unwrap_or(&0) as usize;
-        let mut cursor: Vec<u32> = offsets[..offsets.len().saturating_sub(1)].to_vec();
-        let placeholder = EdgeRef {
-            neighbor: EntityId::new(0),
-            predicate: crate::ids::PredicateId::new(0),
-            direction: Direction::Outgoing,
-        };
-        let mut edges = vec![placeholder; total];
-        for t in &self.triples {
-            let s = t.subject.index();
-            edges[cursor[s] as usize] = EdgeRef {
-                neighbor: t.object,
-                predicate: t.predicate,
-                direction: Direction::Outgoing,
-            };
-            cursor[s] += 1;
-            if t.subject != t.object {
-                let o = t.object.index();
-                edges[cursor[o] as usize] = EdgeRef {
-                    neighbor: t.subject,
-                    predicate: t.predicate,
-                    direction: Direction::Incoming,
-                };
-                cursor[o] += 1;
-            }
-        }
-
+        let (edges, offsets) = build_csr(self.entities.len(), &self.triples);
         let type_index = TypeIndex::build(&self.entities);
         KnowledgeGraph {
             entities: self.entities,
@@ -186,6 +138,63 @@ impl GraphBuilder {
             type_index,
         }
     }
+}
+
+/// Builds the CSR adjacency arrays (`edges`, `offsets`) for `entity_count`
+/// entities from a triple list, with the two-pass counting sort described on
+/// [`GraphBuilder::build`]. Shared by the builder and by per-shard graph
+/// construction ([`crate::shard`]), so the two representations cannot drift:
+/// entries within an entity's slice keep triple order, and a self-loop
+/// contributes a single adjacency entry.
+pub(crate) fn build_csr(entity_count: usize, triples: &[Triple]) -> (Vec<EdgeRef>, Vec<u32>) {
+    // The CSR offsets are u32 (see `KnowledgeGraph::offsets`): fail loudly
+    // before the counting pass can wrap instead of corrupting adjacency.
+    assert!(
+        triples.len() <= (u32::MAX / 2) as usize,
+        "graph exceeds CSR capacity: {} triples produce more than u32::MAX adjacency entries",
+        triples.len()
+    );
+    // Pass 1: per-entity degree counts.
+    let mut offsets = vec![0u32; entity_count + 1];
+    for t in triples {
+        offsets[t.subject.index() + 1] += 1;
+        if t.subject != t.object {
+            offsets[t.object.index() + 1] += 1;
+        }
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+
+    // Pass 2: write entries into their slices, advancing a per-entity
+    // cursor. `cursor` starts as the slice start offsets.
+    let total = *offsets.last().unwrap_or(&0) as usize;
+    let mut cursor: Vec<u32> = offsets[..offsets.len().saturating_sub(1)].to_vec();
+    let placeholder = EdgeRef {
+        neighbor: EntityId::new(0),
+        predicate: crate::ids::PredicateId::new(0),
+        direction: Direction::Outgoing,
+    };
+    let mut edges = vec![placeholder; total];
+    for t in triples {
+        let s = t.subject.index();
+        edges[cursor[s] as usize] = EdgeRef {
+            neighbor: t.object,
+            predicate: t.predicate,
+            direction: Direction::Outgoing,
+        };
+        cursor[s] += 1;
+        if t.subject != t.object {
+            let o = t.object.index();
+            edges[cursor[o] as usize] = EdgeRef {
+                neighbor: t.subject,
+                predicate: t.predicate,
+                direction: Direction::Incoming,
+            };
+            cursor[o] += 1;
+        }
+    }
+    (edges, offsets)
 }
 
 #[cfg(test)]

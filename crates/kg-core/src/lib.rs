@@ -40,7 +40,9 @@ pub mod index;
 pub mod interner;
 pub mod loader;
 pub mod neighborhood;
+pub mod partition;
 pub mod predicate;
+pub mod shard;
 pub mod stats;
 pub mod triple;
 
@@ -57,6 +59,8 @@ pub use neighborhood::{
     bounded_nodes, bounded_subgraph, enumerate_paths, enumerate_paths_filtered, enumerate_paths_to,
     BoundedSubgraph, Path,
 };
+pub use partition::{DegreeBalancedPartitioner, HashPartitioner, Partitioner};
 pub use predicate::PredicateVocabulary;
+pub use shard::{GraphShard, ShardedGraph, ShardingStats};
 pub use stats::GraphStats;
 pub use triple::Triple;

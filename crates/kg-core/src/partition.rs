@@ -1,0 +1,170 @@
+//! Entity partitioning strategies for [`crate::ShardedGraph`].
+//!
+//! A [`Partitioner`] maps every entity of a [`KnowledgeGraph`] to one of `k`
+//! shards. Two strategies are provided:
+//!
+//! * [`HashPartitioner`] — stateless hashing of the entity id. O(|V|), no
+//!   balance guarantee beyond what the hash gives, but placement of an
+//!   entity never depends on the rest of the graph (stable under growth).
+//! * [`DegreeBalancedPartitioner`] — greedy balanced assignment: entities
+//!   are visited in decreasing degree order and each goes to the currently
+//!   lightest shard (by accumulated degree). This equalises adjacency-array
+//!   sizes — the quantity per-shard sampling work scales with — at the cost
+//!   of assignment depending on the whole degree sequence.
+//!
+//! Both are fully deterministic: the degree-balanced ordering tie-breaks
+//! equal degrees by entity id and equal loads by shard index, so repeated
+//! runs over the same graph produce byte-identical assignments (and thus
+//! identical per-shard sampling RNG streams downstream).
+
+use crate::graph::KnowledgeGraph;
+
+/// Maps every entity of a graph to one of `k` shards.
+///
+/// Implementations must be **deterministic**: the same graph and the same
+/// `k` must always produce the same assignment, because shard membership
+/// seeds per-shard sampling RNG streams downstream.
+pub trait Partitioner {
+    /// Returns one shard index (`< k`) per entity, indexed by entity id.
+    ///
+    /// # Panics
+    /// Implementations may panic when `k == 0`.
+    fn partition(&self, graph: &KnowledgeGraph, k: usize) -> Vec<u32>;
+
+    /// Human-readable strategy name (for metrics and reports).
+    fn name(&self) -> &'static str;
+}
+
+/// SplitMix64 finaliser: a cheap, well-mixed 64-bit hash.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Stateless hash partitioning: shard = mix64(entity id) mod k.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, graph: &KnowledgeGraph, k: usize) -> Vec<u32> {
+        assert!(k > 0, "cannot partition into zero shards");
+        (0..graph.entity_count())
+            .map(|i| (mix64(i as u64) % k as u64) as u32)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+/// Greedy degree-balanced partitioning.
+///
+/// Entities are assigned in decreasing degree order, each to the shard with
+/// the smallest accumulated degree so far. Ordering tie-breaks equal degrees
+/// by **entity id** and equal shard loads by `(load, entity count, shard
+/// index)`, so the assignment is deterministic run-to-run — zero-degree
+/// entities spread round-robin by the entity-count tie-break instead of
+/// piling onto shard 0.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct DegreeBalancedPartitioner;
+
+impl Partitioner for DegreeBalancedPartitioner {
+    fn partition(&self, graph: &KnowledgeGraph, k: usize) -> Vec<u32> {
+        assert!(k > 0, "cannot partition into zero shards");
+        let n = graph.entity_count();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        // Decreasing degree, ties by ascending entity id: sort_by on the
+        // (degree, id) key is deterministic regardless of sort stability.
+        order.sort_by(|&a, &b| {
+            let da = graph.degree(crate::EntityId::new(a));
+            let db = graph.degree(crate::EntityId::new(b));
+            db.cmp(&da).then_with(|| a.cmp(&b))
+        });
+        let mut assignment = vec![0u32; n];
+        // Per-shard (accumulated degree, entity count).
+        let mut load = vec![(0usize, 0usize); k];
+        for id in order {
+            let degree = graph.degree(crate::EntityId::new(id));
+            let target = (0..k)
+                .min_by_key(|&s| (load[s].0, load[s].1, s))
+                .expect("k > 0");
+            assignment[id as usize] = target as u32;
+            load[target].0 += degree;
+            load[target].1 += 1;
+        }
+        assignment
+    }
+
+    fn name(&self) -> &'static str {
+        "degree-balanced"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn star_graph(leaves: usize) -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_entity("hub", &["Hub"]);
+        for i in 0..leaves {
+            let leaf = b.add_entity(&format!("leaf{i}"), &["Leaf"]);
+            b.add_edge(hub, "spoke", leaf);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn hash_partitioner_covers_all_shards_and_is_in_range() {
+        let g = star_graph(64);
+        let assignment = HashPartitioner.partition(&g, 4);
+        assert_eq!(assignment.len(), g.entity_count());
+        assert!(assignment.iter().all(|&s| s < 4));
+        let mut seen = [false; 4];
+        for &s in &assignment {
+            seen[s as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 entities should touch 4 shards");
+        assert_eq!(HashPartitioner.name(), "hash");
+    }
+
+    #[test]
+    fn degree_balanced_spreads_load() {
+        let g = star_graph(30);
+        let assignment = DegreeBalancedPartitioner.partition(&g, 3);
+        let mut degree_load = [0usize; 3];
+        for (i, &s) in assignment.iter().enumerate() {
+            degree_load[s as usize] += g.degree(crate::EntityId::from(i));
+        }
+        // The hub (degree 30) dominates; the other two shards split the
+        // leaves. No shard may hold more than hub + a couple of leaves.
+        let max = *degree_load.iter().max().unwrap();
+        let min = *degree_load.iter().min().unwrap();
+        assert!(max <= 31, "max degree load {max}");
+        assert!(min >= 10, "min degree load {min}");
+        assert_eq!(DegreeBalancedPartitioner.name(), "degree-balanced");
+    }
+
+    #[test]
+    fn single_shard_assigns_everything_to_zero() {
+        let g = star_graph(5);
+        for p in [
+            &HashPartitioner as &dyn Partitioner,
+            &DegreeBalancedPartitioner,
+        ] {
+            let assignment = p.partition(&g, 1);
+            assert!(assignment.iter().all(|&s| s == 0), "{}", p.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero shards")]
+    fn zero_shards_panics() {
+        let g = star_graph(2);
+        DegreeBalancedPartitioner.partition(&g, 0);
+    }
+}

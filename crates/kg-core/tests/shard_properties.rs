@@ -1,0 +1,160 @@
+//! Property tests for partitioned storage: partitioner determinism, the
+//! global↔local id map, cut-edge replication, and the K=1 identity.
+
+use kg_core::{
+    DegreeBalancedPartitioner, EntityId, GraphBuilder, HashPartitioner, KnowledgeGraph,
+    Partitioner, ShardedGraph,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Builds a deterministic pseudo-random graph from a compact description:
+/// `n` entities, edges derived from a seed with a splitmix-style generator.
+fn synthetic_graph(n: usize, edges: usize, seed: u64) -> KnowledgeGraph {
+    let mut b = GraphBuilder::new();
+    let types = ["Car", "Country", "Company"];
+    let ids: Vec<EntityId> = (0..n)
+        .map(|i| b.add_entity(&format!("e{i}"), &[types[i % types.len()]]))
+        .collect();
+    let mut x = seed | 1;
+    let mut next = || {
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    };
+    let predicates = ["product", "assembly", "country"];
+    for e in 0..edges {
+        let s = ids[(next() % n as u64) as usize];
+        let o = ids[(next() % n as u64) as usize];
+        b.add_edge(s, predicates[e % predicates.len()], o);
+    }
+    for (i, &id) in ids.iter().enumerate() {
+        if i % 2 == 0 {
+            b.set_attribute(id, "price", 1_000.0 + i as f64);
+        }
+    }
+    b.build()
+}
+
+/// Satellite: the degree-balanced partitioner must be deterministic
+/// run-to-run, including under degree ties, because shard assignment seeds
+/// the per-shard sampling RNG streams.
+#[test]
+fn degree_balanced_assignment_is_deterministic_under_ties() {
+    // 12 entities of identical degree (a 12-cycle): every assignment
+    // decision is a tie, resolved by entity id then shard index.
+    let mut b = GraphBuilder::new();
+    let ids: Vec<EntityId> = (0..12)
+        .map(|i| b.add_entity(&format!("v{i}"), &["T"]))
+        .collect();
+    for i in 0..12 {
+        b.add_edge(ids[i], "next", ids[(i + 1) % 12]);
+    }
+    let g = b.build();
+    let first = DegreeBalancedPartitioner.partition(&g, 4);
+    for _ in 0..5 {
+        assert_eq!(DegreeBalancedPartitioner.partition(&g, 4), first);
+    }
+    // With all degrees equal, the id tie-break visits entities in id order
+    // and the load tie-break round-robins the shards: 0,1,2,3,0,1,2,3,…
+    let expected: Vec<u32> = (0..12).map(|i| (i % 4) as u32).collect();
+    assert_eq!(first, expected);
+}
+
+#[test]
+fn partitioners_are_deterministic_on_irregular_graphs() {
+    let g = synthetic_graph(60, 150, 0xDEAD_BEEF);
+    for p in [
+        &HashPartitioner as &dyn Partitioner,
+        &DegreeBalancedPartitioner,
+    ] {
+        let first = p.partition(&g, 7);
+        assert_eq!(p.partition(&g, 7), first, "{} not deterministic", p.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Structural invariants of the sharded view, for arbitrary graph shapes
+    /// and shard counts.
+    #[test]
+    fn sharded_view_preserves_the_graph(
+        n in 1usize..40,
+        edges in 0usize..120,
+        seed in 0u64..u64::MAX,
+        k in 1usize..6,
+    ) {
+        let global = Arc::new(synthetic_graph(n, edges, seed));
+        let sharded = ShardedGraph::new(Arc::clone(&global), &DegreeBalancedPartitioner, k);
+        prop_assert_eq!(sharded.shard_count(), k);
+
+        // Every entity is owned by exactly one shard, and the id map
+        // round-trips.
+        let mut owned_seen = vec![0usize; global.entity_count()];
+        for (s, shard) in sharded.shards().iter().enumerate() {
+            for (local_idx, &g) in shard.owned_global_ids().iter().enumerate() {
+                owned_seen[g.index()] += 1;
+                prop_assert_eq!(sharded.to_local(g), (s, EntityId::from(local_idx)));
+            }
+        }
+        prop_assert!(owned_seen.iter().all(|&c| c == 1));
+
+        // Within a shard, an owned entity's adjacency is the same slice of
+        // edges (predicates, directions, neighbors-as-global-ids, order) it
+        // has in the global graph — the cut-edge replication invariant.
+        for shard in sharded.shards() {
+            for (local_idx, &g) in shard.owned_global_ids().iter().enumerate() {
+                let local = EntityId::from(local_idx);
+                let local_edges = shard.graph().neighbors(local);
+                let global_edges = global.neighbors(g);
+                prop_assert_eq!(local_edges.len(), global_edges.len());
+                for (le, ge) in local_edges.iter().zip(global_edges) {
+                    prop_assert_eq!(le.predicate, ge.predicate);
+                    prop_assert_eq!(le.direction, ge.direction);
+                    prop_assert_eq!(shard.global_id(le.neighbor), ge.neighbor);
+                }
+                // Entity payload (name, types, attributes) is replicated.
+                prop_assert_eq!(
+                    &shard.graph().entity(local).name,
+                    &global.entity(g).name
+                );
+            }
+        }
+
+        // Vocabularies are shared: ids line up across shards.
+        for shard in sharded.shards() {
+            prop_assert_eq!(shard.graph().predicate_count(), global.predicate_count());
+            prop_assert_eq!(shard.graph().type_count(), global.type_count());
+            prop_assert_eq!(shard.graph().attribute_count(), global.attribute_count());
+        }
+
+        // Edge accounting: Σ local triples = global triples + cut triples.
+        let stats = sharded.stats();
+        let local_total: usize = stats.edges.iter().sum();
+        prop_assert_eq!(local_total, global.edge_count() + stats.cut_edges);
+    }
+
+    /// K = 1 is the identity refactor: the single shard's graph is
+    /// structurally identical to the global graph.
+    #[test]
+    fn single_shard_is_structurally_identical(
+        n in 1usize..30,
+        edges in 0usize..80,
+        seed in 0u64..u64::MAX,
+    ) {
+        let global = Arc::new(synthetic_graph(n, edges, seed));
+        let sharded = ShardedGraph::new(Arc::clone(&global), &DegreeBalancedPartitioner, 1);
+        let shard = sharded.shard(0);
+        prop_assert_eq!(shard.ghost_count(), 0);
+        prop_assert_eq!(shard.cut_edge_count(), 0);
+        prop_assert_eq!(shard.graph().entity_count(), global.entity_count());
+        prop_assert_eq!(shard.graph().edge_count(), global.edge_count());
+        for i in 0..global.entity_count() {
+            let id = EntityId::from(i);
+            prop_assert_eq!(shard.global_id(id), id);
+            prop_assert_eq!(shard.graph().neighbors(id), global.neighbors(id));
+        }
+        prop_assert_eq!(shard.graph().triples(), global.triples());
+    }
+}

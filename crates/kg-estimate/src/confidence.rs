@@ -102,16 +102,16 @@ fn inverse_normal_cdf(p: f64) -> f64 {
 /// same operands yields the same bits — so resampled estimates are
 /// bitwise-equal to un-prepared evaluation.
 #[derive(Copy, Clone)]
-struct PreparedAnswer {
-    contributes: bool,
+pub(crate) struct PreparedAnswer {
+    pub(crate) contributes: bool,
     /// COUNT: 1/π. SUM/AVG: u.a/π. MAX/MIN: u.a.
-    primary: f64,
+    pub(crate) primary: f64,
     /// AVG only: 1/π (the denominator term); 0 otherwise.
-    secondary: f64,
+    pub(crate) secondary: f64,
 }
 
 impl PreparedAnswer {
-    fn of(aggregate: &ResolvedAggregate, a: &ValidatedAnswer) -> Self {
+    pub(crate) fn of(aggregate: &ResolvedAggregate, a: &ValidatedAnswer) -> Self {
         use kg_query::AggregateFunction;
         let contributes = a.contributes();
         let (primary, secondary) = if !contributes {
@@ -139,7 +139,7 @@ impl PreparedAnswer {
 /// How the resampling loop combines prepared terms; mirrors the arms of
 /// [`EstimateAccumulator`].
 #[derive(Copy, Clone, PartialEq, Eq)]
-enum CombineKind {
+pub(crate) enum CombineKind {
     /// COUNT/SUM: Σ primary, then divide by the resample size.
     Linear,
     /// AVG: Σ primary / Σ secondary.
@@ -151,7 +151,7 @@ enum CombineKind {
 }
 
 impl CombineKind {
-    fn of(aggregate: &ResolvedAggregate) -> Self {
+    pub(crate) fn of(aggregate: &ResolvedAggregate) -> Self {
         use kg_query::AggregateFunction;
         match aggregate.function {
             AggregateFunction::Count | AggregateFunction::Sum(_) => CombineKind::Linear,
@@ -168,7 +168,7 @@ impl CombineKind {
 /// single point deciding which answers a bootstrap resample picks, so the
 /// serial and batched execution paths stay draw-for-draw identical.
 #[inline]
-fn draw_index<R: Rng>(rng: &mut R, len: usize) -> usize {
+pub(crate) fn draw_index<R: Rng>(rng: &mut R, len: usize) -> usize {
     ((rng.gen::<u64>() as u128 * len as u128) >> 64) as usize
 }
 

@@ -34,9 +34,13 @@
 pub mod confidence;
 pub mod estimators;
 pub mod refine;
+pub mod stratified;
 pub mod validation;
 
 pub use confidence::{blb_moe, bootstrap_moe, normal_critical_value, BootstrapConfig};
 pub use estimators::{estimate, EstimateAccumulator, ValidatedAnswer};
 pub use refine::{additional_sample_size, moe_threshold, satisfies_error_bound};
+pub use stratified::{
+    allocate_proportional, merge_strata, stratified_point, MergedEstimate, StratumEstimate,
+};
 pub use validation::{validate_answer, ValidationConfig, ValidationOutcome};

@@ -1,0 +1,508 @@
+//! Stratified merging of per-shard Horvitz–Thompson estimates.
+//!
+//! Sharded execution partitions the candidate answers A into disjoint
+//! strata A_1 … A_K (one per shard) and samples each stratum independently
+//! from its re-normalised distribution π'_k = π/W_k. Because
+//! `E[1/π'_k] = |A_k⁺|` within a stratum (Lemma 4 applied per stratum), the
+//! per-stratum COUNT/SUM estimates compose by **summation** and — the
+//! strata being sampled independently — their **variances add**, so a
+//! single confidence interval for the merged estimate follows from the
+//! per-stratum bootstrap replicates:
+//!
+//! * COUNT/SUM: `Ê = Σ_k Ê_k`, replicate b of the merged estimator is
+//!   `Σ_k Ê_k^(b)`.
+//! * AVG: the merged ratio `Σ_k Ŝ_k / Σ_k Ĉ_k` of the stratified SUM and
+//!   COUNT estimates; replicates combine numerator and denominator before
+//!   dividing.
+//! * MAX/MIN: extreme of the per-stratum extremes (best-effort, as in the
+//!   unstratified engine).
+//!
+//! The margin of error is `z · std(merged replicates)` — the bootstrap
+//! distribution of the merged statistic, built without ever pooling raw
+//! samples across shards: each shard computes its replicates with its own
+//! RNG stream, and the merge combines them replicate-wise. Theorem 2's
+//! termination test applies to the merged interval unchanged.
+//!
+//! The per-stratum replicate variances also drive **Neyman-style
+//! refinement allocation**: the next round's additional draws go to shards
+//! proportionally to their variance contribution (high-variance strata buy
+//! the most interval shrinkage per draw), via [`allocate_proportional`].
+
+use crate::confidence::{draw_index, normal_critical_value, CombineKind, PreparedAnswer};
+use crate::estimators::ValidatedAnswer;
+use kg_query::ResolvedAggregate;
+use rand::Rng;
+
+/// One stratum's point estimate and bootstrap replicates, in the
+/// `(primary, secondary)` term representation of the estimator family:
+/// COUNT/SUM use only `primary` (the HT sum divided by the stratum sample
+/// size); AVG keeps numerator and denominator separate so the merged ratio
+/// divides once, after summation; MAX/MIN carry the extreme in `primary`
+/// (`NaN` when no sampled answer contributes).
+#[derive(Clone, Debug)]
+pub struct StratumEstimate {
+    /// Point primary term (see type docs).
+    pub primary: f64,
+    /// Point secondary term (AVG denominator; 0 otherwise).
+    pub secondary: f64,
+    /// Bootstrap replicates of `(primary, secondary)`, one per resample.
+    pub replicates: Vec<(f64, f64)>,
+    /// Stratum sample size |S_k| (all draws, contributing or not).
+    pub sample_size: usize,
+    /// Validated subset size |S⁺_k|.
+    pub correct: usize,
+}
+
+impl StratumEstimate {
+    /// Computes the stratum's point terms and `resamples` bootstrap
+    /// replicates over `sample` (whose probabilities must be the
+    /// within-stratum π'_k), using `rng` — the stratum's own stream, so
+    /// per-shard computation stays deterministic and independent.
+    ///
+    /// An empty sample yields zero terms and zero replicates (`NaN` for
+    /// extremes), which merge as "contributes nothing".
+    pub fn compute<R: Rng>(
+        aggregate: &ResolvedAggregate,
+        sample: &[ValidatedAnswer],
+        resamples: usize,
+        rng: &mut R,
+    ) -> Self {
+        let kind = CombineKind::of(aggregate);
+        let prepared: Vec<PreparedAnswer> = sample
+            .iter()
+            .map(|a| PreparedAnswer::of(aggregate, a))
+            .collect();
+        let correct = sample.iter().filter(|a| a.contributes()).count();
+        let n = sample.len();
+
+        let empty_terms = match kind {
+            CombineKind::Max | CombineKind::Min => (f64::NAN, 0.0),
+            _ => (0.0, 0.0),
+        };
+        if n == 0 {
+            return Self {
+                primary: empty_terms.0,
+                secondary: empty_terms.1,
+                replicates: vec![empty_terms; resamples],
+                sample_size: 0,
+                correct: 0,
+            };
+        }
+
+        let combine = |indices: &mut dyn Iterator<Item = usize>| -> (f64, f64) {
+            match kind {
+                // Branch-free sums: a non-contributing draw adds +0.0.
+                CombineKind::Linear => {
+                    let mut sum = 0.0;
+                    for i in indices {
+                        sum += prepared[i].primary;
+                    }
+                    (sum / n as f64, 0.0)
+                }
+                CombineKind::Ratio => {
+                    let (mut num, mut den) = (0.0, 0.0);
+                    for i in indices {
+                        num += prepared[i].primary;
+                        den += prepared[i].secondary;
+                    }
+                    (num / n as f64, den / n as f64)
+                }
+                CombineKind::Max | CombineKind::Min => {
+                    let mut any = false;
+                    let mut extreme = if kind == CombineKind::Max {
+                        f64::NEG_INFINITY
+                    } else {
+                        f64::INFINITY
+                    };
+                    for i in indices {
+                        let pa = &prepared[i];
+                        if !pa.contributes {
+                            continue;
+                        }
+                        any = true;
+                        extreme = if kind == CombineKind::Max {
+                            extreme.max(pa.primary)
+                        } else {
+                            extreme.min(pa.primary)
+                        };
+                    }
+                    (if any { extreme } else { f64::NAN }, 0.0)
+                }
+            }
+        };
+
+        let point = combine(&mut (0..n));
+        let replicates: Vec<(f64, f64)> = (0..resamples)
+            .map(|_| {
+                let mut indices = (0..n).map(|_| draw_index(rng, n));
+                combine(&mut indices)
+            })
+            .collect();
+        Self {
+            primary: point.0,
+            secondary: point.1,
+            replicates,
+            sample_size: n,
+            correct,
+        }
+    }
+}
+
+/// The merged estimate, interval and per-stratum diagnostics produced by
+/// [`merge_strata`].
+#[derive(Clone, Debug)]
+pub struct MergedEstimate {
+    /// The stratified point estimate Ê = merge(Ê_1 … Ê_K).
+    pub estimate: f64,
+    /// Margin of error of the merged interval at the requested confidence.
+    pub moe: f64,
+    /// Per-stratum variance contributions (replicate variance of each
+    /// stratum's own terms), the Neyman allocation weights for the next
+    /// refinement round.
+    pub variances: Vec<f64>,
+    /// Total sample size Σ|S_k|.
+    pub sample_size: usize,
+    /// Total validated subset size Σ|S⁺_k|.
+    pub correct: usize,
+}
+
+/// Combines per-stratum `(primary, secondary)` terms into the merged
+/// statistic for the aggregate kind.
+fn combine_terms(kind: CombineKind, terms: impl Iterator<Item = (f64, f64)>) -> f64 {
+    match kind {
+        CombineKind::Linear => terms.map(|(p, _)| p).sum(),
+        CombineKind::Ratio => {
+            let (num, den) = terms.fold((0.0, 0.0), |(n, d), (p, s)| (n + p, d + s));
+            if den == 0.0 {
+                0.0
+            } else {
+                num / den
+            }
+        }
+        CombineKind::Max => terms
+            .map(|(p, _)| p)
+            .filter(|p| !p.is_nan())
+            .fold(f64::NAN, f64::max),
+        CombineKind::Min => terms
+            .map(|(p, _)| p)
+            .filter(|p| !p.is_nan())
+            .fold(f64::NAN, f64::min),
+    }
+}
+
+fn finite_or_zero(v: f64) -> f64 {
+    if v.is_nan() {
+        0.0
+    } else {
+        v
+    }
+}
+
+fn sample_variance(values: impl Iterator<Item = f64> + Clone) -> f64 {
+    let count = values.clone().count();
+    if count < 2 {
+        return 0.0;
+    }
+    let mean = values.clone().sum::<f64>() / count as f64;
+    values.map(|v| (v - mean) * (v - mean)).sum::<f64>() / (count - 1) as f64
+}
+
+/// Merges per-stratum estimates into one estimate and one confidence
+/// interval; see the [module docs](self) for the statistical model. All
+/// strata must carry the same number of replicates (they share one
+/// [`crate::BootstrapConfig`]).
+///
+/// # Panics
+/// Panics when strata disagree on their replicate count.
+pub fn merge_strata(
+    aggregate: &ResolvedAggregate,
+    strata: &[StratumEstimate],
+    confidence: f64,
+) -> MergedEstimate {
+    let kind = CombineKind::of(aggregate);
+    let estimate = finite_or_zero(combine_terms(
+        kind,
+        strata.iter().map(|s| (s.primary, s.secondary)),
+    ));
+    let resamples = strata.first().map(|s| s.replicates.len()).unwrap_or(0);
+    assert!(
+        strata.iter().all(|s| s.replicates.len() == resamples),
+        "strata carry differing replicate counts"
+    );
+
+    // Replicate-wise merge: replicate b of the merged statistic combines
+    // replicate b of every stratum (independent streams, so any pairing is
+    // valid; index pairing keeps it deterministic).
+    let merged_replicates: Vec<f64> = (0..resamples)
+        .map(|b| finite_or_zero(combine_terms(kind, strata.iter().map(|s| s.replicates[b]))))
+        .collect();
+    let std = sample_variance(merged_replicates.iter().copied()).sqrt();
+    let moe = if resamples < 2 {
+        0.0
+    } else {
+        normal_critical_value(confidence) * std
+    };
+
+    // Per-stratum variance contribution. For the ratio estimator the
+    // delta-method linearisation Var(num_k − R̂·den_k) ranks strata by their
+    // contribution to the ratio's variance (the common 1/D̂² factor cancels
+    // in proportional allocation).
+    let variances: Vec<f64> = strata
+        .iter()
+        .map(|s| match kind {
+            CombineKind::Ratio => {
+                sample_variance(s.replicates.iter().map(|(num, den)| num - estimate * den))
+            }
+            _ => sample_variance(s.replicates.iter().map(|(p, _)| finite_or_zero(*p))),
+        })
+        .collect();
+
+    MergedEstimate {
+        estimate,
+        moe,
+        variances,
+        sample_size: strata.iter().map(|s| s.sample_size).sum(),
+        correct: strata.iter().map(|s| s.correct).sum(),
+    }
+}
+
+/// Merged stratified **point** estimate without interval work — the cheap
+/// path for per-bucket GROUP-BY estimates, where the interval is only
+/// computed for the top-level answer.
+pub fn stratified_point(aggregate: &ResolvedAggregate, strata: &[&[ValidatedAnswer]]) -> f64 {
+    let kind = CombineKind::of(aggregate);
+    let terms = strata.iter().map(|sample| {
+        let n = sample.len();
+        if n == 0 {
+            return match kind {
+                CombineKind::Max | CombineKind::Min => (f64::NAN, 0.0),
+                _ => (0.0, 0.0),
+            };
+        }
+        let mut primary = match kind {
+            CombineKind::Max => f64::NEG_INFINITY,
+            CombineKind::Min => f64::INFINITY,
+            _ => 0.0,
+        };
+        let mut secondary = 0.0;
+        let mut any = false;
+        for a in sample.iter() {
+            let pa = PreparedAnswer::of(aggregate, a);
+            if !pa.contributes {
+                continue;
+            }
+            any = true;
+            match kind {
+                CombineKind::Linear | CombineKind::Ratio => {
+                    primary += pa.primary;
+                    secondary += pa.secondary;
+                }
+                CombineKind::Max => primary = primary.max(pa.primary),
+                CombineKind::Min => primary = primary.min(pa.primary),
+            }
+        }
+        match kind {
+            CombineKind::Linear | CombineKind::Ratio => (primary / n as f64, secondary / n as f64),
+            CombineKind::Max | CombineKind::Min => (if any { primary } else { f64::NAN }, 0.0),
+        }
+    });
+    finite_or_zero(combine_terms(kind, terms))
+}
+
+/// Splits `total` units across strata proportionally to `weights` with the
+/// largest-remainder method: deterministic (remainder ties resolved by
+/// stratum index), exact (allocations sum to `total` whenever some weight
+/// is positive), and zero-weight strata receive nothing. Returns all zeros
+/// when every weight is zero or non-finite — callers fall back to a
+/// different weighting (e.g. stratum mass instead of variance).
+pub fn allocate_proportional(total: usize, weights: &[f64]) -> Vec<usize> {
+    let mut allocation = vec![0usize; weights.len()];
+    let sum: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    if total == 0 || sum <= 0.0 {
+        return allocation;
+    }
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        if !w.is_finite() || w <= 0.0 {
+            continue;
+        }
+        let quota = total as f64 * (w / sum);
+        let floor = quota.floor() as usize;
+        allocation[i] = floor;
+        assigned += floor;
+        remainders.push((i, quota - floor as f64));
+    }
+    // Largest remainder first; ties by stratum index (sort is by key, so
+    // deterministic regardless of stability).
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let mut leftover = total - assigned;
+    for (i, _) in remainders {
+        if leftover == 0 {
+            break;
+        }
+        allocation[i] += 1;
+        leftover -= 1;
+    }
+    allocation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimators::estimate;
+    use kg_query::AggregateFunction;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn resolved(f: AggregateFunction) -> ResolvedAggregate {
+        ResolvedAggregate {
+            function: f,
+            attribute: None,
+        }
+    }
+
+    fn answer(p: f64, v: f64, correct: bool) -> ValidatedAnswer {
+        ValidatedAnswer {
+            probability: p,
+            value: Some(v),
+            correct,
+            similarity: 1.0,
+        }
+    }
+
+    /// Two uniform strata of 4 and 2 answers: stratified COUNT recovers
+    /// |A⁺| = 6 exactly, like the unstratified estimator on a full sample.
+    #[test]
+    fn stratified_count_recovers_the_population() {
+        let agg = resolved(AggregateFunction::Count);
+        let mut rng_a = SmallRng::seed_from_u64(1);
+        let mut rng_b = SmallRng::seed_from_u64(2);
+        let a: Vec<ValidatedAnswer> = (0..8).map(|_| answer(0.25, 1.0, true)).collect();
+        let b: Vec<ValidatedAnswer> = (0..6).map(|_| answer(0.5, 1.0, true)).collect();
+        let strata = vec![
+            StratumEstimate::compute(&agg, &a, 50, &mut rng_a),
+            StratumEstimate::compute(&agg, &b, 50, &mut rng_b),
+        ];
+        let merged = merge_strata(&agg, &strata, 0.95);
+        assert!((merged.estimate - 6.0).abs() < 1e-9, "{}", merged.estimate);
+        // Exactly uniform strata have zero bootstrap variance.
+        assert!(merged.moe.abs() < 1e-9);
+        assert_eq!(merged.sample_size, 14);
+        assert_eq!(merged.correct, 14);
+        assert_eq!(merged.variances.len(), 2);
+    }
+
+    /// A single stratum holding the entire sample must agree with the
+    /// unstratified estimator bit-for-bit on the point estimate.
+    #[test]
+    fn single_stratum_point_matches_unstratified_estimate() {
+        for f in [
+            AggregateFunction::Count,
+            AggregateFunction::Sum("x".into()),
+            AggregateFunction::Avg("x".into()),
+            AggregateFunction::Max("x".into()),
+            AggregateFunction::Min("x".into()),
+        ] {
+            let agg = resolved(f);
+            let sample = vec![
+                answer(0.5, 10.0, true),
+                answer(0.3, 20.0, true),
+                answer(0.2, 30.0, false),
+            ];
+            let mut rng = SmallRng::seed_from_u64(3);
+            let stratum = StratumEstimate::compute(&agg, &sample, 10, &mut rng);
+            let merged = merge_strata(&agg, &[stratum], 0.95);
+            let reference = estimate(&agg, &sample);
+            assert_eq!(
+                merged.estimate.to_bits(),
+                reference.to_bits(),
+                "{:?}",
+                agg.function
+            );
+            assert_eq!(
+                stratified_point(&agg, &[&sample]).to_bits(),
+                reference.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn avg_merges_as_a_ratio_of_stratified_sums() {
+        let agg = resolved(AggregateFunction::Avg("x".into()));
+        // Stratum A: one answer of value 10 at π'=1; stratum B: one answer
+        // of value 30 at π'=1. Merged AVG = (10 + 30)/(1 + 1) = 20 — NOT
+        // the mean of per-stratum AVGs weighted equally by accident; with
+        // unequal probabilities the HT weights decide.
+        let a = vec![answer(1.0, 10.0, true)];
+        let b = vec![answer(1.0, 30.0, true)];
+        let mut rng = SmallRng::seed_from_u64(4);
+        let strata = vec![
+            StratumEstimate::compute(&agg, &a, 10, &mut rng),
+            StratumEstimate::compute(&agg, &b, 10, &mut rng),
+        ];
+        let merged = merge_strata(&agg, &strata, 0.95);
+        assert!((merged.estimate - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extremes_skip_empty_and_all_incorrect_strata() {
+        let agg = resolved(AggregateFunction::Max("x".into()));
+        let a = vec![answer(0.5, 7.0, true)];
+        let empty: Vec<ValidatedAnswer> = Vec::new();
+        let wrong = vec![answer(0.5, 99.0, false)];
+        let mut rng = SmallRng::seed_from_u64(5);
+        let strata = vec![
+            StratumEstimate::compute(&agg, &a, 5, &mut rng),
+            StratumEstimate::compute(&agg, &empty, 5, &mut rng),
+            StratumEstimate::compute(&agg, &wrong, 5, &mut rng),
+        ];
+        let merged = merge_strata(&agg, &strata, 0.95);
+        assert_eq!(merged.estimate, 7.0);
+        // No contributing stratum at all → 0, like the unstratified path.
+        let none = merge_strata(&agg, &strata[1..], 0.95);
+        assert_eq!(none.estimate, 0.0);
+    }
+
+    #[test]
+    fn variance_contributions_rank_noisy_strata_higher() {
+        let agg = resolved(AggregateFunction::Sum("x".into()));
+        // Stratum A: identical terms (zero variance). Stratum B: wildly
+        // varying values (high variance).
+        let a: Vec<ValidatedAnswer> = (0..20).map(|_| answer(0.05, 10.0, true)).collect();
+        let b: Vec<ValidatedAnswer> = (0..20)
+            .map(|i| answer(0.05, if i % 2 == 0 { 1.0 } else { 500.0 }, true))
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let strata = vec![
+            StratumEstimate::compute(&agg, &a, 60, &mut rng),
+            StratumEstimate::compute(&agg, &b, 60, &mut rng),
+        ];
+        let merged = merge_strata(&agg, &strata, 0.95);
+        assert!(
+            merged.variances[1] > merged.variances[0] * 10.0,
+            "{:?}",
+            merged.variances
+        );
+        assert!(merged.moe > 0.0);
+    }
+
+    #[test]
+    fn allocation_is_exact_proportional_and_deterministic() {
+        assert_eq!(allocate_proportional(10, &[1.0, 1.0]), vec![5, 5]);
+        assert_eq!(allocate_proportional(10, &[3.0, 1.0]), vec![8, 2]);
+        // Zero-weight strata get nothing, even via remainders.
+        assert_eq!(allocate_proportional(7, &[1.0, 0.0, 1.0]), vec![4, 0, 3]);
+        // Remainder ties resolve by index: 1/3 each of 10 → 4, 3, 3.
+        assert_eq!(allocate_proportional(10, &[1.0, 1.0, 1.0]), vec![4, 3, 3]);
+        // Degenerate weights → all zeros (caller falls back).
+        assert_eq!(allocate_proportional(5, &[0.0, 0.0]), vec![0, 0]);
+        assert_eq!(allocate_proportional(5, &[f64::NAN, 1.0]), vec![0, 5]);
+        assert_eq!(allocate_proportional(0, &[1.0]), vec![0]);
+        let repeated: Vec<Vec<usize>> = (0..4)
+            .map(|_| allocate_proportional(13, &[0.2, 0.5, 0.3]))
+            .collect();
+        assert!(repeated.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(repeated[0].iter().sum::<usize>(), 13);
+    }
+}

@@ -35,6 +35,8 @@
 //! assert_eq!(gt.correct_count(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod aggregate;
 pub mod baselines;
 pub mod filter;

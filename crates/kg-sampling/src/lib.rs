@@ -57,10 +57,12 @@
 
 pub mod cache;
 pub mod sampler;
+pub mod shard;
 pub mod strategies;
 pub mod transition;
 
 pub use cache::{CacheStats, SamplerCache};
 pub use sampler::{prepare, PreparedSampler, SampledAnswer, SamplerConfig};
+pub use shard::{ShardSampler, ShardSamplerCache};
 pub use strategies::SamplingStrategy;
 pub use transition::TransitionMatrix;

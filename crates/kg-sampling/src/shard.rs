@@ -1,0 +1,257 @@
+//! Per-shard samplers: the answer distribution of a prepared sampler (or of
+//! an assembled query plan) restricted to one shard's owned candidates.
+//!
+//! Sharded execution runs the paper's sampling–estimation loop as a
+//! **stratified** design: the random walk converges once, globally, and the
+//! resulting answer distribution π_A is split by shard ownership into
+//! strata. Stratum `k` keeps the candidates owned by shard `k` with their
+//! probabilities re-normalised to sum to 1 (π'_k = π/W_k, where the
+//! **stratum weight** W_k is the total π mass the shard owns). Each shard
+//! then draws i.i.d. from its own [`ShardSampler`] with its own RNG stream,
+//! and the per-shard Horvitz–Thompson estimates compose by stratified
+//! summation in `kg-estimate`.
+//!
+//! Restriction is cheap (one pass over the distribution) but repeated
+//! across the queries of a batch that share a component, so
+//! [`ShardSamplerCache`] memoises restrictions per (component,
+//! partitioning, shard) — the shard-local counterpart of
+//! [`crate::SamplerCache`].
+
+use crate::sampler::SampledAnswer;
+use kg_core::EntityId;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// One stratum of an answer distribution: the candidates a shard owns, with
+/// probabilities re-normalised within the stratum.
+#[derive(Clone, Debug)]
+pub struct ShardSampler {
+    shard: usize,
+    /// Candidates owned by the shard; probabilities sum to 1 within the
+    /// stratum (global entity ids — translation to shard-local ids is the
+    /// caller's concern).
+    answers: Vec<SampledAnswer>,
+    cumulative: Vec<f64>,
+    /// The stratum weight W_k: total probability mass of the unrestricted
+    /// distribution owned by this shard. Σ_k W_k = 1 over all shards (up to
+    /// float rounding) when every candidate is owned somewhere.
+    weight: f64,
+}
+
+impl ShardSampler {
+    /// Restricts `distribution` (entity, probability) — normalised over the
+    /// *whole* candidate set — to the candidates for which `owned` returns
+    /// true, re-normalising within the stratum.
+    ///
+    /// Probabilities are divided by the stratum weight in entity order (the
+    /// input order), so restriction is deterministic bit-for-bit.
+    pub fn from_distribution(
+        shard: usize,
+        distribution: &[(EntityId, f64)],
+        mut owned: impl FnMut(EntityId) -> bool,
+    ) -> Self {
+        let mut answers: Vec<SampledAnswer> = distribution
+            .iter()
+            .filter(|(e, _)| owned(*e))
+            .map(|&(entity, probability)| SampledAnswer {
+                entity,
+                probability,
+            })
+            .collect();
+        let weight: f64 = answers.iter().map(|a| a.probability).sum();
+        if weight > 0.0 {
+            for a in &mut answers {
+                a.probability /= weight;
+            }
+        } else if !answers.is_empty() {
+            let uniform = 1.0 / answers.len() as f64;
+            for a in &mut answers {
+                a.probability = uniform;
+            }
+        }
+        let mut cumulative = Vec::with_capacity(answers.len());
+        let mut acc = 0.0;
+        for a in &answers {
+            acc += a.probability;
+            cumulative.push(acc);
+        }
+        Self {
+            shard,
+            answers,
+            cumulative,
+            weight,
+        }
+    }
+
+    /// The shard this stratum belongs to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Number of candidates in the stratum.
+    pub fn candidate_count(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// True when the shard owns no candidates of this distribution.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+
+    /// The stratum weight W_k (see the type docs).
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The stratum's candidates with their within-stratum probabilities.
+    pub fn answer_distribution(&self) -> &[SampledAnswer] {
+        &self.answers
+    }
+
+    /// Draws `count` answers i.i.d. from the stratum distribution; each
+    /// carries its within-stratum probability π'_k. Empty when the stratum
+    /// holds no candidates.
+    pub fn draw<R: Rng>(&self, rng: &mut R, count: usize) -> Vec<SampledAnswer> {
+        if self.answers.is_empty() {
+            return Vec::new();
+        }
+        (0..count)
+            .map(|_| {
+                let x: f64 = rng.gen();
+                let idx = match self
+                    .cumulative
+                    .binary_search_by(|c| c.partial_cmp(&x).unwrap())
+                {
+                    Ok(i) => i,
+                    Err(i) => i.min(self.answers.len() - 1),
+                };
+                self.answers[idx]
+            })
+            .collect()
+    }
+}
+
+/// Memoises [`ShardSampler`] restrictions per (component, partitioning,
+/// shard).
+///
+/// Component keys use the prepared sampler's allocation address — stable
+/// for the cache's lifetime because the cache holds each restricted
+/// sampler's source `Arc` alive via [`crate::SamplerCache`]-style sharing
+/// upstream; `partition_id` (a `ShardedGraph`'s process-unique identity)
+/// keeps restrictions from one partitioning from ever being served for
+/// another partitioning of the same graph. Like the sampler cache, entries
+/// are value-identical regardless of who computes them (restriction is
+/// deterministic), so racing inserts are harmless and the first insert
+/// wins.
+#[derive(Debug, Default)]
+pub struct ShardSamplerCache {
+    entries: Mutex<HashMap<(usize, u64, usize), Arc<ShardSampler>>>,
+}
+
+impl ShardSamplerCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the stratum memoised under `(component_key, partition_id,
+    /// shard)`, building it with `build` on first sight. `build` must be a
+    /// pure function of the key — the key must identify the restriction
+    /// input (the component's distribution *and* the partitioning that
+    /// defines ownership) — so racing inserts stay value-identical.
+    pub fn get_or_insert_with(
+        &self,
+        component_key: usize,
+        partition_id: u64,
+        shard: usize,
+        build: impl FnOnce() -> ShardSampler,
+    ) -> Arc<ShardSampler> {
+        let key = (component_key, partition_id, shard);
+        if let Some(found) = self.entries.lock().unwrap().get(&key) {
+            return Arc::clone(found);
+        }
+        let built = Arc::new(build());
+        Arc::clone(self.entries.lock().unwrap().entry(key).or_insert(built))
+    }
+
+    /// Number of memoised restrictions.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True when nothing has been restricted yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn distribution() -> Vec<(EntityId, f64)> {
+        vec![
+            (EntityId::new(0), 0.4),
+            (EntityId::new(1), 0.1),
+            (EntityId::new(2), 0.3),
+            (EntityId::new(3), 0.2),
+        ]
+    }
+
+    #[test]
+    fn restriction_renormalises_and_keeps_weight() {
+        let d = distribution();
+        let even = ShardSampler::from_distribution(0, &d, |e| e.index() % 2 == 0);
+        assert_eq!(even.candidate_count(), 2);
+        assert!((even.weight() - 0.7).abs() < 1e-12);
+        let total: f64 = even
+            .answer_distribution()
+            .iter()
+            .map(|a| a.probability)
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Relative proportions survive the re-normalisation.
+        let p0 = even.answer_distribution()[0].probability;
+        let p2 = even.answer_distribution()[1].probability;
+        assert!((p0 / p2 - 0.4 / 0.3).abs() < 1e-12);
+        assert_eq!(even.shard(), 0);
+    }
+
+    #[test]
+    fn weights_partition_unity_across_shards() {
+        let d = distribution();
+        let strata: Vec<ShardSampler> = (0..2)
+            .map(|s| ShardSampler::from_distribution(s, &d, |e| e.index() % 2 == s))
+            .collect();
+        let total: f64 = strata.iter().map(ShardSampler::weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stratum_draws_nothing() {
+        let d = distribution();
+        let none = ShardSampler::from_distribution(1, &d, |_| false);
+        assert!(none.is_empty());
+        assert_eq!(none.weight(), 0.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert!(none.draw(&mut rng, 5).is_empty());
+    }
+
+    #[test]
+    fn draws_follow_the_stratum_distribution() {
+        let d = distribution();
+        let stratum = ShardSampler::from_distribution(0, &d, |e| e.index() < 2);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let sample = stratum.draw(&mut rng, 20_000);
+        let heavy = sample
+            .iter()
+            .filter(|a| a.entity == EntityId::new(0))
+            .count() as f64
+            / 20_000.0;
+        // π'_0 = 0.4 / 0.5 = 0.8.
+        assert!((heavy - 0.8).abs() < 0.02, "observed {heavy}");
+    }
+}

@@ -4,6 +4,7 @@
 //! ```text
 //! kg-serve [--addr 127.0.0.1:7878] [--seed 42] [--workers 4]
 //!          [--queue-capacity 256] [--error-bound 0.01] [--confidence 0.95]
+//!          [--shards 1]
 //! ```
 //!
 //! The dataset is the DBpedia-like synthetic profile at tiny scale, so a
@@ -30,7 +31,7 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: kg-serve [--addr HOST:PORT] [--seed N] [--workers N] \
-             [--queue-capacity N] [--error-bound EB] [--confidence C]"
+             [--queue-capacity N] [--error-bound EB] [--confidence C] [--shards K]"
         );
         return;
     }
@@ -40,6 +41,7 @@ fn main() {
     let queue_capacity: usize = parse_flag(&args, "--queue-capacity", 256);
     let error_bound: f64 = parse_flag(&args, "--error-bound", 0.01);
     let confidence: f64 = parse_flag(&args, "--confidence", 0.95);
+    let shards: usize = parse_flag(&args, "--shards", 1).max(1);
 
     eprintln!("kg-serve: generating DBpedia-like dataset (tiny scale, seed {seed})…");
     let dataset = generate(&profiles::dbpedia_like(DatasetScale::tiny(), seed));
@@ -53,6 +55,7 @@ fn main() {
         },
         queue_capacity,
         workers: workers.max(1),
+        shards,
         ..ServiceConfig::default()
     };
     let service = Arc::new(Service::new(
@@ -69,7 +72,8 @@ fn main() {
     };
     // The readiness line the CI smoke job and the load driver wait for.
     println!(
-        "kg-serve listening on http://{} ({} entities, eb {error_bound}, confidence {confidence})",
+        "kg-serve listening on http://{} ({} entities, {shards} shard(s), \
+         eb {error_bound}, confidence {confidence})",
         server.local_addr(),
         entities,
     );

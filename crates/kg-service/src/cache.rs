@@ -2,9 +2,12 @@
 //!
 //! Keyed by the canonical wire rendering of a query
 //! ([`kg_query::AggregateQuery::canonical_key`]), the cache stores both the
-//! last answer *and* the live [`InteractiveSession`] that produced it. A
-//! lookup against a request with targets `(eb, confidence)` has three
-//! outcomes:
+//! last answer *and* the live [`ShardedSession`] that produced it (for an
+//! unsharded deployment, `shards: 1`, that session *is* the plain
+//! interactive session). The key is deliberately **independent of
+//! sharding**: it names the query, not the partitioning, so re-sharding a
+//! graph invalidates by generation exactly like swapping it. A lookup
+//! against a request with targets `(eb, confidence)` has three outcomes:
 //!
 //! * **Hit** — the stored answer [`dominates`] the request: its interval
 //!   already satisfies the requested error bound at (at least) the requested
@@ -23,7 +26,7 @@
 //! invalidation cannot re-insert a stale session ([`ResultCache::finish`]
 //! checks the stamp).
 
-use kg_aqp::{InteractiveSession, QueryAnswer};
+use kg_aqp::{QueryAnswer, ShardedSession};
 use kg_estimate::satisfies_error_bound;
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -76,13 +79,13 @@ pub enum CacheDecision {
     Hit(QueryAnswer),
     /// Resume this session (it has been checked out of the cache; return it
     /// via [`ResultCache::finish`]).
-    Resume(Box<InteractiveSession>),
+    Resume(Box<ShardedSession>),
     /// Unknown component: plan fresh and insert via [`ResultCache::finish`].
     Miss,
 }
 
 struct Entry {
-    session: InteractiveSession,
+    session: ShardedSession,
     answer: QueryAnswer,
 }
 
@@ -151,7 +154,7 @@ impl ResultCache {
         &self,
         key: String,
         generation: u64,
-        session: InteractiveSession,
+        session: ShardedSession,
         answer: QueryAnswer,
     ) {
         let current = self.generation.lock().unwrap();
@@ -258,7 +261,10 @@ mod tests {
             kg_query::SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
             kg_query::AggregateFunction::Count,
         );
-        let session = engine.open_session(&d.graph, &q, &d.oracle).unwrap();
+        let sharded = kg_core::ShardedGraph::single(std::sync::Arc::new(d.graph.clone()));
+        let session = engine
+            .open_sharded_session(&sharded, &q, &d.oracle)
+            .unwrap();
         cache.finish(
             "k".to_string(),
             generation,

@@ -3,11 +3,11 @@
 
 use crate::cache::{CacheDecision, ResultCache, ResultCacheStats};
 use crate::request::{QueryRequest, ServedFrom, ServiceAnswer, ServiceError};
-use kg_aqp::{BatchEngine, EngineConfig, InteractiveSession, QueryAnswer};
-use kg_core::KnowledgeGraph;
+use kg_aqp::{BatchEngine, EngineConfig, QueryAnswer, ShardedSession, ShardedStats};
+use kg_core::{DegreeBalancedPartitioner, KnowledgeGraph, ShardedGraph};
 use kg_embed::PredicateSimilarity;
 use kg_query::AggregateQuery;
-use kg_sampling::{CacheStats, SamplerCache};
+use kg_sampling::{CacheStats, SamplerCache, ShardSamplerCache};
 use serde_json::{Map, Value};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,6 +34,12 @@ pub struct ServiceConfig {
     /// Maximum jobs one worker checks out per drain; jobs drained together
     /// share batch planning through [`BatchEngine`].
     pub drain_batch: usize,
+    /// Number of graph shards K. The graph is partitioned with the
+    /// degree-balanced partitioner on startup and on every
+    /// [`Service::swap_graph`]; queries then run shard-parallel with
+    /// stratified estimate merging. `1` (the default) is the identity:
+    /// answers are bitwise those of the unsharded engine.
+    pub shards: usize,
 }
 
 impl Default for ServiceConfig {
@@ -43,6 +49,7 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             workers: 4,
             drain_batch: 16,
+            shards: 1,
         }
     }
 }
@@ -56,11 +63,16 @@ struct Job {
 
 /// Graph-dependent state, swapped atomically on [`Service::swap_graph`].
 struct EngineState {
-    graph: Arc<KnowledgeGraph>,
+    /// The sharded view: the global graph plus K per-shard CSR graphs
+    /// (`K = config.shards`; K = 1 wraps the graph unchanged).
+    sharded: Arc<ShardedGraph>,
     similarity: Arc<dyn PredicateSimilarity>,
     /// Prepared samplers shared across the service lifetime (one entry per
     /// distinct simple component ever planned against this graph).
     samplers: Arc<SamplerCache>,
+    /// Per-(component, shard) restrictions of prepared samplers, recreated
+    /// with the sampler cache on every swap.
+    shard_samplers: Arc<ShardSamplerCache>,
 }
 
 /// Sliding window size of the latency recorders: old samples are overwritten
@@ -78,6 +90,11 @@ struct MetricsInner {
     latency_slot: usize,
     queue_ms: Vec<f64>,
     queue_slot: usize,
+    /// Cumulative sample draws per shard (indexed by shard id), so shard
+    /// imbalance is visible in `/metrics`.
+    shard_samples: Vec<u64>,
+    /// Total milliseconds spent merging per-shard estimates.
+    merge_overhead_ms: f64,
 }
 
 fn record_windowed(samples: &mut Vec<f64>, slot: &mut usize, value: f64) {
@@ -117,6 +134,12 @@ pub struct MetricsSnapshot {
     pub latency_p99_ms: f64,
     /// 95th-percentile time spent queued, in milliseconds.
     pub queue_p95_ms: f64,
+    /// Cumulative sample draws per shard (one slot per configured shard;
+    /// a single slot for an unsharded deployment).
+    pub shard_samples: Vec<u64>,
+    /// Total milliseconds spent merging per-shard estimates into one
+    /// interval (0 for unsharded deployments).
+    pub merge_overhead_ms: f64,
 }
 
 impl MetricsSnapshot {
@@ -163,6 +186,21 @@ impl MetricsSnapshot {
         map.insert("latency_p95_ms".into(), Value::Number(self.latency_p95_ms));
         map.insert("latency_p99_ms".into(), Value::Number(self.latency_p99_ms));
         map.insert("queue_p95_ms".into(), Value::Number(self.queue_p95_ms));
+        let mut shards = Map::new();
+        shards.insert(
+            "samples".into(),
+            Value::Array(
+                self.shard_samples
+                    .iter()
+                    .map(|&n| Value::Number(n as f64))
+                    .collect(),
+            ),
+        );
+        shards.insert(
+            "merge_overhead_ms".into(),
+            Value::Number(self.merge_overhead_ms),
+        );
+        map.insert("shards".into(), Value::Object(shards));
         Value::Object(map)
     }
 }
@@ -248,13 +286,15 @@ impl Service {
             config.engine.strategy,
             config.engine.sampler_config(),
         ));
+        let sharded = Arc::new(partition(graph, config.shards));
         let inner = Arc::new(Inner {
             batch: BatchEngine::new(config.engine.clone()),
             config,
             state: Mutex::new(EngineState {
-                graph,
+                sharded,
                 similarity,
                 samplers,
+                shard_samplers: Arc::new(ShardSamplerCache::new()),
             }),
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
@@ -361,22 +401,25 @@ impl Service {
     }
 
     /// Atomically replaces the graph (and its similarity provider): the
-    /// sampler cache is recreated and the result cache invalidated, so no
-    /// answer computed against the old graph can be served afterwards.
-    /// Requests already checked out by a worker still complete against the
-    /// graph they started with.
+    /// graph is re-partitioned into `config.shards` shards, the sampler
+    /// caches are recreated and the result cache invalidated by generation
+    /// — exactly as for an unsharded swap — so no answer computed against
+    /// the old graph can be served afterwards. Requests already checked out
+    /// by a worker still complete against the graph they started with.
     pub fn swap_graph(&self, graph: Arc<KnowledgeGraph>, similarity: Arc<dyn PredicateSimilarity>) {
+        let sharded = Arc::new(partition(graph, self.inner.config.shards));
         let mut state = self.inner.state.lock().unwrap();
-        state.graph = graph;
+        state.sharded = sharded;
         state.similarity = similarity;
         state.samplers = Arc::new(SamplerCache::new(
             self.inner.config.engine.strategy,
             self.inner.config.engine.sampler_config(),
         ));
+        state.shard_samplers = Arc::new(ShardSamplerCache::new());
         self.inner.cache.invalidate();
     }
 
-    /// Explicitly invalidates both caches without changing the graph (for
+    /// Explicitly invalidates the caches without changing the graph (for
     /// external state changes the service cannot observe).
     pub fn invalidate_caches(&self) {
         let mut state = self.inner.state.lock().unwrap();
@@ -384,6 +427,7 @@ impl Service {
             self.inner.config.engine.strategy,
             self.inner.config.engine.sampler_config(),
         ));
+        state.shard_samplers = Arc::new(ShardSamplerCache::new());
         self.inner.cache.invalidate();
     }
 
@@ -393,7 +437,17 @@ impl Service {
         // Copy the sample windows out and drop the metrics guard before
         // sorting: workers record completions under this lock, and a
         // scrape must not add sort time to their critical path.
-        let (submitted, completed, shed, failed, max_queue_depth, mut latencies, mut queues) = {
+        let (
+            submitted,
+            completed,
+            shed,
+            failed,
+            max_queue_depth,
+            mut latencies,
+            mut queues,
+            mut shard_samples,
+            merge_overhead_ms,
+        ) = {
             let metrics = self.inner.metrics.lock().unwrap();
             (
                 metrics.submitted,
@@ -403,8 +457,13 @@ impl Service {
                 metrics.max_queue_depth,
                 metrics.latencies_ms.clone(),
                 metrics.queue_ms.clone(),
+                metrics.shard_samples.clone(),
+                metrics.merge_overhead_ms,
             )
         };
+        // A scrape before the first completion still reports one (zeroed)
+        // slot per configured shard.
+        shard_samples.resize(shard_samples.len().max(self.inner.config.shards.max(1)), 0);
         latencies.sort_by(f64::total_cmp);
         queues.sort_by(f64::total_cmp);
         // Nearest-rank over an already-sorted window (same rule as
@@ -429,6 +488,8 @@ impl Service {
             latency_p95_ms: rank(&latencies, 0.95),
             latency_p99_ms: rank(&latencies, 0.99),
             queue_p95_ms: rank(&queues, 0.95),
+            shard_samples,
+            merge_overhead_ms,
         }
     }
 
@@ -490,20 +551,49 @@ fn worker_loop(inner: &Arc<Inner>) {
     }
 }
 
+/// Partitions a graph for service execution: degree-balanced for K ≥ 2
+/// (deterministic, so every worker and every restart sees the same
+/// assignment), the identity wrap for K ≤ 1.
+fn partition(graph: Arc<KnowledgeGraph>, shards: usize) -> ShardedGraph {
+    if shards <= 1 {
+        ShardedGraph::single(graph)
+    } else {
+        ShardedGraph::new(graph, &DegreeBalancedPartitioner, shards)
+    }
+}
+
+/// Accumulates the shard draws and merge overhead one refinement performed
+/// (`after` minus `before`, so resumed sessions are not double-counted).
+fn record_shard_stats(inner: &Inner, before: &ShardedStats, after: &ShardedStats) {
+    let mut metrics = inner.metrics.lock().unwrap();
+    if metrics.shard_samples.len() < after.per_shard_samples.len() {
+        metrics
+            .shard_samples
+            .resize(after.per_shard_samples.len(), 0);
+    }
+    for (shard, &n) in after.per_shard_samples.iter().enumerate() {
+        let prior = before.per_shard_samples.get(shard).copied().unwrap_or(0);
+        metrics.shard_samples[shard] += n.saturating_sub(prior) as u64;
+    }
+    metrics.merge_overhead_ms += (after.merge_ms - before.merge_ms).max(0.0);
+}
+
 /// Answers one checked-out set of jobs: result-cache triage first (hits
 /// answered instantly, resumable sessions refined incrementally), then the
 /// remaining misses planned together through the batch engine against the
-/// lifetime sampler cache.
+/// lifetime sampler caches, refined shard-parallel against the sharded
+/// graph snapshot.
 fn handle_jobs(inner: &Arc<Inner>, jobs: Vec<Job>) {
     // Snapshot graph state and the cache generation *together*: swap_graph
     // bumps the generation under the same lock, so a worker can never pair
     // a new graph with an old stamp (or vice versa).
-    let (graph, similarity, samplers, generation) = {
+    let (sharded, similarity, samplers, shard_samplers, generation) = {
         let state = inner.state.lock().unwrap();
         (
-            Arc::clone(&state.graph),
+            Arc::clone(&state.sharded),
             Arc::clone(&state.similarity),
             Arc::clone(&state.samplers),
+            Arc::clone(&state.shard_samplers),
             inner.cache.generation(),
         )
     };
@@ -523,12 +613,14 @@ fn handle_jobs(inner: &Arc<Inner>, jobs: Vec<Job>) {
                 respond(inner, job, ServedFrom::CacheHit, answer, queue_ms);
             }
             CacheDecision::Resume(mut session) => {
+                let before = session.sharded_stats();
                 let answer = session.refine_with(
-                    &graph,
+                    &sharded,
                     similarity,
                     job.request.error_bound,
                     job.request.confidence,
                 );
+                record_shard_stats(inner, &before, &session.sharded_stats());
                 inner
                     .cache
                     .finish(key, generation, *session, answer.clone());
@@ -545,9 +637,14 @@ fn handle_jobs(inner: &Arc<Inner>, jobs: Vec<Job>) {
         .iter()
         .map(|(job, _, _)| job.request.query.clone())
         .collect();
-    let (sessions, _) = inner
-        .batch
-        .open_sessions_cached(&graph, &queries, similarity, &samplers);
+    let (sessions, _) = inner.batch.open_sharded_sessions_cached(
+        &sharded,
+        &queries,
+        similarity,
+        &samplers,
+        &shard_samplers,
+    );
+    let untouched = ShardedStats::default();
     for ((job, key, queue_ms), session) in fresh.into_iter().zip(sessions) {
         match session {
             Err(e) => {
@@ -556,11 +653,12 @@ fn handle_jobs(inner: &Arc<Inner>, jobs: Vec<Job>) {
             }
             Ok(mut session) => {
                 let answer = session.refine_with(
-                    &graph,
+                    &sharded,
                     similarity,
                     job.request.error_bound,
                     job.request.confidence,
                 );
+                record_shard_stats(inner, &untouched, &session.sharded_stats());
                 inner.cache.finish(key, generation, session, answer.clone());
                 respond(inner, job, ServedFrom::Fresh, answer, queue_ms);
             }
@@ -592,8 +690,8 @@ fn respond(inner: &Inner, job: Job, served_from: ServedFrom, answer: QueryAnswer
     }));
 }
 
-// `InteractiveSession` must stay shippable between the cache and workers.
+// `ShardedSession` must stay shippable between the cache and workers.
 const _: fn() = || {
     fn assert_send<T: Send>() {}
-    assert_send::<InteractiveSession>();
+    assert_send::<ShardedSession>();
 };

@@ -310,3 +310,67 @@ fn metrics_and_shutdown_behave() {
         other => panic!("expected ShuttingDown, got {other:?}"),
     }
 }
+
+/// A sharded deployment (`shards: 4`) answers with the Theorem-2 guarantee,
+/// reuses its cache across requests, survives a graph swap (re-partition +
+/// generation invalidation), and reports per-shard sample counts and merge
+/// overhead in the metrics snapshot.
+#[test]
+fn sharded_service_answers_with_guarantees_and_reports_shard_metrics() {
+    let d = dataset();
+    let svc = Service::new(
+        Arc::new(d.graph.clone()),
+        Arc::new(d.oracle.clone()),
+        ServiceConfig {
+            engine: engine_config(),
+            queue_capacity: 64,
+            workers: 2,
+            shards: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    let queries = workload();
+    for q in &queries {
+        let got = svc
+            .execute(QueryRequest::new(q.clone(), 0.05, 0.95))
+            .unwrap();
+        assert_eq!(got.served_from, ServedFrom::Fresh);
+        if got.answer.guarantee_met {
+            assert!(satisfies_error_bound(
+                got.answer.estimate,
+                got.answer.moe,
+                0.05
+            ));
+        }
+        assert!(got.answer.sample_size > 0);
+    }
+    // Same query again: served from the shard-independent result cache.
+    let again = svc
+        .execute(QueryRequest::new(queries[0].clone(), 0.05, 0.95))
+        .unwrap();
+    assert_ne!(again.served_from, ServedFrom::Fresh);
+
+    let m = svc.metrics();
+    assert_eq!(m.shard_samples.len(), 4, "{:?}", m.shard_samples);
+    assert!(
+        m.shard_samples.iter().all(|&n| n > 0),
+        "every shard should have sampled: {:?}",
+        m.shard_samples
+    );
+    assert!(m.merge_overhead_ms >= 0.0);
+    let json = m.to_json();
+    assert_eq!(
+        json["shards"]["samples"].as_array().unwrap().len(),
+        4,
+        "{json:?}"
+    );
+    assert!(!json["shards"]["merge_overhead_ms"].is_null());
+
+    // Swap: re-partitions and invalidates; the old cached answers are gone.
+    svc.swap_graph(Arc::new(d.graph.clone()), Arc::new(d.oracle.clone()));
+    let after_swap = svc
+        .execute(QueryRequest::new(queries[0].clone(), 0.05, 0.95))
+        .unwrap();
+    assert_eq!(after_swap.served_from, ServedFrom::Fresh);
+    svc.shutdown();
+}

@@ -27,6 +27,37 @@ pub mod prelude {
         }
     }
 
+    /// Mutably borrowing "parallel" iteration
+    /// (`rayon::iter::IntoParallelRefMutIterator`).
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The iterator type (here: the sequential mutable slice iterator).
+        type Iter: Iterator<Item = Self::Item>;
+        /// The mutably borrowed item type.
+        type Item: 'data;
+
+        /// Returns a sequential mutable iterator standing in for a parallel
+        /// one.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Iter = core::slice::IterMut<'data, T>;
+        type Item = &'data mut T;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Iter = core::slice::IterMut<'data, T>;
+        type Item = &'data mut T;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
     /// Consuming "parallel" iteration (`rayon::iter::IntoParallelIterator`).
     pub trait IntoParallelIterator {
         /// The iterator type (here: the sequential one).
