@@ -10,7 +10,7 @@ use kg_query::{
     AggregateQuery, QuerySpec, ResolvedAggregate, ResolvedChainQuery, ResolvedComplexQuery,
     ResolvedComponent, ResolvedFilter, ResolvedSimpleQuery,
 };
-use kg_sampling::{prepare, PreparedSampler, SamplerCache};
+use kg_sampling::{prepare, AliasTable, PreparedSampler, SamplerCache};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -46,7 +46,10 @@ pub(crate) struct QueryPlan {
     /// Combined answer distribution (intersection of component supports,
     /// probabilities multiplied and re-normalised).
     pub(crate) distribution: Vec<(EntityId, f64)>,
-    pub(crate) cumulative: Vec<f64>,
+    /// O(1) draw table over the combined distribution (`None` when the
+    /// distribution is empty), built once at plan time and shared by every
+    /// round of the sampling–estimation loop.
+    pub(crate) table: Option<AliasTable>,
     pub(crate) components: Vec<ComponentPlan>,
     pub(crate) aggregate: ResolvedAggregate,
     pub(crate) filters: Vec<ResolvedFilter>,
@@ -131,7 +134,7 @@ impl AqpEngine {
         let components = match &query.query {
             QuerySpec::Simple(simple) => {
                 let resolved = simple.resolve(graph)?;
-                vec![self.plan_simple(graph, &resolved, similarity, cache)]
+                vec![self.plan_simple(graph, &resolved, similarity, cache)?]
             }
             QuerySpec::Complex(complex) => {
                 let resolved: ResolvedComplexQuery = complex.resolve(graph)?;
@@ -144,7 +147,7 @@ impl AqpEngine {
                         }
                         ResolvedComponent::Chain(q) => self.plan_chain(graph, q, similarity, cache),
                     })
-                    .collect()
+                    .collect::<KgResult<Vec<_>>>()?
             }
         };
 
@@ -175,12 +178,17 @@ impl AqpEngine {
                 *p = uniform;
             }
         }
-        let mut cumulative = Vec::with_capacity(distribution.len());
-        let mut acc = 0.0;
-        for (_, p) in &distribution {
-            acc += p;
-            cumulative.push(acc);
-        }
+        // Build the O(1) draw table once per plan. Component weights were
+        // validated at prepare time, but the assembly above multiplies and
+        // re-normalises — the table build re-validates the products, so a
+        // degenerate combined distribution is still a structured plan error
+        // rather than a draw-time panic.
+        let table = if distribution.is_empty() {
+            None
+        } else {
+            let weights: Vec<f64> = distribution.iter().map(|(_, p)| *p).collect();
+            Some(AliasTable::new(&weights).map_err(kg_core::KgError::from)?)
+        };
         let candidate_count = components
             .iter()
             .map(|c| c.candidate_count)
@@ -189,7 +197,7 @@ impl AqpEngine {
 
         Ok(QueryPlan {
             distribution,
-            cumulative,
+            table,
             components,
             aggregate,
             filters,
@@ -205,30 +213,30 @@ impl AqpEngine {
         query: &ResolvedSimpleQuery,
         similarity: &S,
         cache: Option<&SamplerCache>,
-    ) -> ComponentPlan {
+    ) -> KgResult<ComponentPlan> {
         let sampler = match cache {
-            Some(cache) => cache.get_or_prepare(graph, query, similarity),
+            Some(cache) => cache.get_or_prepare(graph, query, similarity)?,
             None => Arc::new(prepare(
                 graph,
                 query,
                 similarity,
                 self.config.strategy,
                 &self.config.sampler_config(),
-            )),
+            )?),
         };
         let distribution = sampler
             .answer_distribution()
             .iter()
             .map(|a| (a.entity, a.probability))
             .collect();
-        ComponentPlan {
+        Ok(ComponentPlan {
             distribution,
             candidate_count: sampler.candidate_count(),
             validator: ComponentValidator::Simple {
                 query: query.clone(),
                 sampler,
             },
-        }
+        })
     }
 
     fn plan_chain<S: PredicateSimilarity + ?Sized>(
@@ -237,7 +245,7 @@ impl AqpEngine {
         chain: &ResolvedChainQuery,
         similarity: &S,
         cache: Option<&SamplerCache>,
-    ) -> ComponentPlan {
+    ) -> KgResult<ComponentPlan> {
         // First-level sampling from the specific node towards the first hop.
         let mut anchors: Vec<(EntityId, f64)> = vec![(chain.specific, 1.0)];
         let mut samplers: Vec<Arc<PreparedSampler>> = Vec::new();
@@ -249,27 +257,28 @@ impl AqpEngine {
             let is_last = hop + 1 == chain.hops.len();
             // Second and later levels run one sampling per anchor, in parallel
             // (the paper runs each second sampling as a thread).
-            let hop_results: Vec<(EntityId, f64, ResolvedSimpleQuery, Arc<PreparedSampler>)> =
-                anchors
-                    .par_iter()
-                    .map(|(anchor, anchor_prob)| {
-                        let hop_query = chain.hop_as_simple(hop, *anchor);
-                        let sampler = match cache {
-                            Some(cache) => cache.get_or_prepare(graph, &hop_query, similarity),
-                            None => Arc::new(prepare(
-                                graph,
-                                &hop_query,
-                                similarity,
-                                self.config.strategy,
-                                &self.config.sampler_config(),
-                            )),
-                        };
-                        (*anchor, *anchor_prob, hop_query, sampler)
-                    })
-                    .collect();
+            type HopResult = KgResult<(EntityId, f64, ResolvedSimpleQuery, Arc<PreparedSampler>)>;
+            let hop_results: Vec<HopResult> = anchors
+                .par_iter()
+                .map(|(anchor, anchor_prob)| {
+                    let hop_query = chain.hop_as_simple(hop, *anchor);
+                    let sampler = match cache {
+                        Some(cache) => cache.get_or_prepare(graph, &hop_query, similarity)?,
+                        None => Arc::new(prepare(
+                            graph,
+                            &hop_query,
+                            similarity,
+                            self.config.strategy,
+                            &self.config.sampler_config(),
+                        )?),
+                    };
+                    Ok((*anchor, *anchor_prob, hop_query, sampler))
+                })
+                .collect();
 
             let mut next_anchors: HashMap<EntityId, f64> = HashMap::new();
-            for (_anchor, anchor_prob, hop_query, sampler) in hop_results {
+            for hop_result in hop_results {
+                let (_anchor, anchor_prob, hop_query, sampler) = hop_result?;
                 candidate_count = candidate_count.max(sampler.candidate_count());
                 let sampler_index = samplers.len();
                 samplers.push(Arc::clone(&sampler));
@@ -322,14 +331,14 @@ impl AqpEngine {
                 *p /= total;
             }
         }
-        ComponentPlan {
+        Ok(ComponentPlan {
             distribution,
             candidate_count,
             validator: ComponentValidator::Chain {
                 final_queries,
                 samplers,
             },
-        }
+        })
     }
 }
 

@@ -1,0 +1,172 @@
+//! Draw-path microbenchmark: the shared [`AliasTable`] (expected O(1) per
+//! draw) against the inverse-CDF binary search it replaced (O(log n)), on
+//! the answer distributions the SSB-style workload actually produces.
+//!
+//! The two draw rules are bit-identical (pinned by kg-sampling's property
+//! tests); only the cost differs. The bench prepares the samplers of every
+//! distinct simple component of the SSB workload, times `draws` uniform
+//! variates through each rule over each distribution, prints ns/draw, and
+//! merges a `alias_draw` section into `BENCH_5.json` — the acceptance bar
+//! is `ratio ≤ 1` (alias no slower than search) on this workload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kg_bench::bench_record::{num, record_section, row};
+use kg_query::QuerySpec;
+use kg_sampling::alias::{reference_cdf_index, AliasTable};
+use kg_sampling::{prepare, SamplerConfig, SamplingStrategy};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde_json::Value;
+use std::time::Instant;
+
+const DRAWS_PER_TABLE: usize = 200_000;
+
+/// The answer distributions of the SSB workload's distinct simple
+/// components (one prepared sampler each).
+fn workload_distributions() -> Vec<Vec<f64>> {
+    let dataset = kg_datagen::generate(&kg_datagen::profiles::dbpedia_like(
+        DatasetScale::tiny(),
+        11,
+    ));
+    let mut seen = std::collections::HashSet::new();
+    let mut distributions = Vec::new();
+    for item in kg_datagen::build_workload(&dataset, &kg_datagen::WorkloadConfig::default()) {
+        let QuerySpec::Simple(simple) = &item.query.query else {
+            continue;
+        };
+        let Ok(resolved) = simple.resolve(&dataset.graph) else {
+            continue;
+        };
+        if !seen.insert((resolved.specific, resolved.predicate)) {
+            continue;
+        }
+        let sampler = prepare(
+            &dataset.graph,
+            &resolved,
+            &dataset.oracle,
+            SamplingStrategy::SemanticAware,
+            &SamplerConfig::default(),
+        )
+        .expect("SSB components have well-formed weights");
+        if sampler.candidate_count() > 0 {
+            distributions.push(
+                sampler
+                    .answer_distribution()
+                    .iter()
+                    .map(|a| a.probability)
+                    .collect(),
+            );
+        }
+    }
+    assert!(
+        !distributions.is_empty(),
+        "the SSB workload must yield at least one simple component"
+    );
+    distributions
+}
+
+use kg_datagen::DatasetScale;
+
+fn bench_alias_draw(c: &mut Criterion) {
+    let distributions = workload_distributions();
+    let tables: Vec<AliasTable> = distributions
+        .iter()
+        .map(|weights| AliasTable::new(weights).unwrap())
+        .collect();
+    let sizes: Vec<usize> = tables.iter().map(AliasTable::len).collect();
+    println!(
+        "alias_draw: {} SSB component distributions, sizes {:?}",
+        tables.len(),
+        sizes
+    );
+
+    let mut group = c.benchmark_group("alias_draw");
+    group.sample_size(20);
+    group.bench_function(format!("alias/{}tables", tables.len()), |b| {
+        let mut rng = SmallRng::seed_from_u64(7);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for table in &tables {
+                for _ in 0..1000 {
+                    acc += table.sample(&mut rng);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(format!("binary_search/{}tables", tables.len()), |b| {
+        let mut rng = SmallRng::seed_from_u64(7);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for table in &tables {
+                for _ in 0..1000 {
+                    let x: f64 = rng.gen();
+                    acc += reference_cdf_index(table.cumulative(), x);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+
+    // One long measured pass per rule for the ns/draw summary (same
+    // variate transcript for both, so the work is identical).
+    let mut total_alias_ns = 0.0;
+    let mut total_search_ns = 0.0;
+    let mut total_draws = 0usize;
+    let mut per_table: Vec<Value> = Vec::new();
+    for table in &tables {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let start = Instant::now();
+        let mut acc = 0usize;
+        for _ in 0..DRAWS_PER_TABLE {
+            acc += table.sample(&mut rng);
+        }
+        let alias_ns = start.elapsed().as_nanos() as f64 / DRAWS_PER_TABLE as f64;
+        black_box(acc);
+
+        let mut rng = SmallRng::seed_from_u64(42);
+        let start = Instant::now();
+        let mut acc = 0usize;
+        for _ in 0..DRAWS_PER_TABLE {
+            let x: f64 = rng.gen();
+            acc += reference_cdf_index(table.cumulative(), x);
+        }
+        let search_ns = start.elapsed().as_nanos() as f64 / DRAWS_PER_TABLE as f64;
+        black_box(acc);
+
+        total_alias_ns += alias_ns * DRAWS_PER_TABLE as f64;
+        total_search_ns += search_ns * DRAWS_PER_TABLE as f64;
+        total_draws += DRAWS_PER_TABLE;
+        per_table.push(row(&[
+            ("answers", num(table.len() as f64)),
+            ("alias_ns_per_draw", num(alias_ns)),
+            ("binary_search_ns_per_draw", num(search_ns)),
+            ("ratio", num(alias_ns / search_ns)),
+        ]));
+    }
+    let alias_ns = total_alias_ns / total_draws as f64;
+    let search_ns = total_search_ns / total_draws as f64;
+    println!(
+        "alias_draw: alias {alias_ns:.1} ns/draw vs binary search {search_ns:.1} ns/draw \
+         (ratio {:.2}, {} draws over {} SSB distributions)",
+        alias_ns / search_ns,
+        total_draws,
+        tables.len(),
+    );
+    record_section(
+        "alias_draw",
+        row(&[
+            ("workload", Value::String("ssb".to_string())),
+            ("distributions", num(tables.len() as f64)),
+            ("draws_per_distribution", num(DRAWS_PER_TABLE as f64)),
+            ("alias_ns_per_draw", num(alias_ns)),
+            ("binary_search_ns_per_draw", num(search_ns)),
+            ("ratio_alias_vs_search", num(alias_ns / search_ns)),
+            ("per_distribution", Value::Array(per_table)),
+        ]),
+    );
+}
+
+criterion_group!(benches, bench_alias_draw);
+criterion_main!(benches);

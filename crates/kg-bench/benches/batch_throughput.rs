@@ -1,19 +1,47 @@
-//! Per-query vs. batched multi-query throughput of the engine.
+//! Per-query vs. batched multi-query throughput of the engine, across a
+//! thread-count matrix.
 //!
 //! The serial baseline answers a workload by calling `AqpEngine::execute`
 //! once per query, re-preparing the sampler every time. The batched path
 //! answers the same workload through `BatchEngine`, which prepares each
-//! distinct simple component once and reuses it across the operator
-//! variants of the workload. Answers are bitwise-identical either way
-//! (asserted in `kg-aqp`'s batch tests); only the throughput differs.
+//! distinct simple component once and fans the per-query refine loops out
+//! on the rayon pool — so besides the serial/batched comparison, the bench
+//! replays the batched path under 1-, 2-, 4- and 8-thread pools and
+//! reports a `threads × workload` q/s matrix (merged into `BENCH_5.json`
+//! together with the 4-vs-1-thread speedup). Answers are
+//! bitwise-identical in every cell (asserted in `kg-aqp`'s batch and
+//! thread-determinism tests); only the throughput differs.
+//!
+//! `KG_BENCH_QUICK=1` shrinks the matrix to {1, 2} threads for smoke runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kg_aqp::{AqpEngine, BatchEngine, EngineConfig};
+use kg_bench::bench_record::{num, record_section, row};
 use kg_datagen::{
     build_workload, domains, profiles, DatasetScale, GeneratedDataset, GeneratorConfig,
     WorkloadConfig,
 };
 use kg_query::AggregateQuery;
+use serde_json::Value;
+use std::time::Instant;
+
+/// The thread counts of the matrix (shrunk under `KG_BENCH_QUICK`).
+fn thread_counts() -> Vec<usize> {
+    if std::env::var("KG_BENCH_QUICK").is_ok() {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4, 8]
+    }
+}
+
+/// Runs `op` under a dedicated rayon pool of `threads` workers.
+fn at_threads<R>(threads: usize, op: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(op)
+}
 
 fn engine_config() -> EngineConfig {
     EngineConfig {
@@ -50,6 +78,8 @@ fn workloads() -> Vec<(&'static str, GeneratedDataset, Vec<AggregateQuery>)> {
 fn bench_batch_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("batch_throughput");
     group.sample_size(10);
+    let mut matrix: Vec<Value> = Vec::new();
+    let mut speedups: Vec<Value> = Vec::new();
     for (name, dataset, queries) in workloads() {
         let engine = AqpEngine::new(engine_config());
         group.bench_with_input(
@@ -79,8 +109,81 @@ fn bench_batch_throughput(c: &mut Criterion) {
                 })
             },
         );
+
+        // Thread-count matrix: one measured pass of the batched path per
+        // pool size (plus the 1-thread serial loop as the absolute
+        // baseline), reported as q/s and merged into BENCH_5.json.
+        let serial_start = Instant::now();
+        let serial_ok = at_threads(1, || {
+            queries
+                .iter()
+                .map(|q| engine.execute(&dataset.graph, q, &dataset.oracle))
+                .filter(|a| a.is_ok())
+                .count()
+        });
+        let serial_s = serial_start.elapsed().as_secs_f64();
+        matrix.push(row(&[
+            ("workload", Value::String(name.to_string())),
+            ("mode", Value::String("serial".to_string())),
+            ("threads", num(1.0)),
+            ("queries", num(queries.len() as f64)),
+            ("seconds", num(serial_s)),
+            ("qps", num(serial_ok as f64 / serial_s)),
+        ]));
+        let mut per_thread_qps: Vec<(usize, f64)> = Vec::new();
+        for threads in thread_counts() {
+            let start = Instant::now();
+            let ok = at_threads(threads, || {
+                batch
+                    .execute(&dataset.graph, &queries, &dataset.oracle)
+                    .iter()
+                    .filter(|a| a.is_ok())
+                    .count()
+            });
+            let elapsed = start.elapsed().as_secs_f64();
+            let qps = ok as f64 / elapsed;
+            println!(
+                "batch_throughput: {name} batched threads={threads} → {qps:.1} q/s \
+                 ({ok} queries in {elapsed:.2}s)"
+            );
+            per_thread_qps.push((threads, qps));
+            matrix.push(row(&[
+                ("workload", Value::String(name.to_string())),
+                ("mode", Value::String("batched".to_string())),
+                ("threads", num(threads as f64)),
+                ("queries", num(queries.len() as f64)),
+                ("seconds", num(elapsed)),
+                ("qps", num(qps)),
+            ]));
+        }
+        let base = per_thread_qps
+            .iter()
+            .find(|(t, _)| *t == 1)
+            .map(|(_, q)| *q)
+            .unwrap_or(f64::NAN);
+        for (threads, qps) in &per_thread_qps {
+            if *threads != 1 {
+                println!(
+                    "batch_throughput: {name} speedup({threads}t vs 1t) = {:.2}×",
+                    qps / base
+                );
+            }
+        }
+        if let Some((_, qps4)) = per_thread_qps.iter().find(|(t, _)| *t == 4) {
+            speedups.push(row(&[
+                ("workload", Value::String(name.to_string())),
+                ("speedup_4t_vs_1t", num(qps4 / base)),
+            ]));
+        }
     }
     group.finish();
+    record_section(
+        "batch_throughput",
+        row(&[
+            ("matrix", Value::Array(matrix)),
+            ("speedups", Value::Array(speedups)),
+        ]),
+    );
 }
 
 criterion_group!(benches, bench_batch_throughput);

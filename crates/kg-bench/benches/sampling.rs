@@ -54,7 +54,8 @@ fn bench_sampling(c: &mut Criterion) {
         &dataset.oracle,
         SamplingStrategy::SemanticAware,
         &SamplerConfig::default(),
-    );
+    )
+    .unwrap();
     group.bench_function("draw_1000", |b| {
         let mut rng = SmallRng::seed_from_u64(1);
         b.iter(|| prepared.draw(&mut rng, 1000))

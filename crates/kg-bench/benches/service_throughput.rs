@@ -16,10 +16,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use kg_aqp::EngineConfig;
+use kg_bench::bench_record::{num, record_section, row};
 use kg_datagen::{
     build_workload, generate, profiles, DatasetScale, GeneratedDataset, WorkloadConfig,
 };
 use kg_service::{run_in_process, QueryRequest, Service, ServiceConfig};
+use serde_json::Value;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -42,6 +44,15 @@ fn dataset_and_requests() -> (GeneratedDataset, Vec<QueryRequest>) {
 }
 
 fn service(dataset: &GeneratedDataset, queue_capacity: usize, workers: usize) -> Service {
+    sharded_service(dataset, queue_capacity, workers, 1)
+}
+
+fn sharded_service(
+    dataset: &GeneratedDataset,
+    queue_capacity: usize,
+    workers: usize,
+    shards: usize,
+) -> Service {
     Service::new(
         Arc::new(dataset.graph.clone()),
         Arc::new(dataset.oracle.clone()),
@@ -53,9 +64,22 @@ fn service(dataset: &GeneratedDataset, queue_capacity: usize, workers: usize) ->
             },
             queue_capacity,
             workers,
+            shards,
             ..ServiceConfig::default()
         },
     )
+}
+
+/// The `workers × shards` matrix swept by the bench: each worker is a real
+/// OS thread draining the queue, and each request additionally fans its
+/// per-shard refine steps out on the (now threaded) rayon pool. Shrunk
+/// under `KG_BENCH_QUICK`.
+fn worker_shard_matrix() -> Vec<(usize, usize)> {
+    if std::env::var("KG_BENCH_QUICK").is_ok() {
+        vec![(1, 1), (2, 1)]
+    } else {
+        vec![(1, 1), (1, 4), (4, 1), (4, 4)]
+    }
 }
 
 fn bench_service_throughput(c: &mut Criterion) {
@@ -139,6 +163,53 @@ fn bench_service_throughput(c: &mut Criterion) {
     println!(
         "confidence-aware cache throughput win (warm vs cold): {:.2}x",
         cold_s / warm_s.max(1e-9),
+    );
+
+    // ------------------------------------------------------------------
+    // workers × shards matrix: one cold pass per cell, merged into
+    // BENCH_5.json next to the cold/warm/burst headline numbers.
+    // ------------------------------------------------------------------
+    let mut matrix: Vec<Value> = Vec::new();
+    for (workers, shards) in worker_shard_matrix() {
+        let svc = sharded_service(&dataset, 1024, workers, shards);
+        let start = Instant::now();
+        let report = run_in_process(&svc, &requests, workers.max(1));
+        let elapsed = start.elapsed().as_secs_f64();
+        svc.shutdown();
+        assert_eq!(report.ok, requests.len());
+        let qps = report.ok as f64 / elapsed;
+        println!(
+            "service_throughput: workers={workers} shards={shards} (cold) → {qps:.1} q/s \
+             ({} queries in {elapsed:.2}s, p95 {:.2} ms)",
+            report.ok,
+            report.percentile_ms(0.95),
+        );
+        matrix.push(row(&[
+            ("workers", num(workers as f64)),
+            ("shards", num(shards as f64)),
+            ("queries", num(report.ok as f64)),
+            ("seconds", num(elapsed)),
+            ("qps", num(qps)),
+            ("p50_ms", num(report.percentile_ms(0.50))),
+            ("p95_ms", num(report.percentile_ms(0.95))),
+        ]));
+    }
+    record_section(
+        "service_throughput",
+        row(&[
+            ("queries", num(requests.len() as f64)),
+            ("cold_qps", num(cold.throughput_qps())),
+            ("warm_qps", num(warm.throughput_qps())),
+            ("warm_vs_cold", num(cold_s / warm_s.max(1e-9))),
+            ("cold_cache_reuse", num(cold_metrics.cache.reuse_rate())),
+            ("warm_cache_reuse", num(warm_metrics.cache.reuse_rate())),
+            ("burst_shed_rate", num(burst.shed_rate())),
+            (
+                "burst_max_queue_depth",
+                num(burst_metrics.max_queue_depth as f64),
+            ),
+            ("matrix", Value::Array(matrix)),
+        ]),
     );
 }
 

@@ -6,26 +6,56 @@
 //! configuration (bitwise the unsharded engine, BLB intervals and all), so
 //! the K = 1 row is the baseline the speedup is measured against.
 //!
-//! Where the speedup comes from on a single core (offline rayon shim — no
-//! thread parallelism involved): stratified sampling eliminates the
-//! between-shard component of the estimator variance and Neyman allocation
-//! concentrates refinement draws on high-variance shards, so queries reach
-//! the Theorem-2 guarantee with fewer draws and fewer validations; and the
-//! per-stratum bootstrap costs `B`·n draws per round against the BLB's
-//! t·`B`·n. A real rayon pool adds shard-parallel refinement on top.
+//! Where the single-thread speedup comes from: stratified sampling
+//! eliminates the between-shard component of the estimator variance and
+//! Neyman allocation concentrates refinement draws on high-variance
+//! shards, so queries reach the Theorem-2 guarantee with fewer draws and
+//! fewer validations; and the per-stratum bootstrap costs `B`·n draws per
+//! round against the BLB's t·`B`·n. The rayon pool is **threaded** (the
+//! per-shard refine steps genuinely fan out), so the bench sweeps a
+//! `threads × K` matrix — every cell is one measured pass, printed as
+//! `q/s` and merged into `BENCH_5.json`; results are bitwise-identical
+//! across the thread axis (pinned by kg-aqp's thread-determinism tests).
 //!
-//! Besides the criterion timings, the bench prints one `q/s` line per K
-//! and a `speedup(K=4 vs K=1)` summary line.
+//! `KG_BENCH_QUICK=1` shrinks the matrix ({1, 2} threads × {1, 2} shards)
+//! for smoke runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kg_aqp::{BatchEngine, EngineConfig};
+use kg_bench::bench_record::{num, record_section, row};
 use kg_core::{DegreeBalancedPartitioner, ShardedGraph};
 use kg_datagen::{build_workload, profiles, DatasetScale, WorkloadConfig};
 use kg_query::AggregateQuery;
+use serde_json::Value;
 use std::sync::Arc;
 use std::time::Instant;
 
-const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Shard counts of the matrix (shrunk under `KG_BENCH_QUICK`).
+fn shard_counts() -> Vec<usize> {
+    if std::env::var("KG_BENCH_QUICK").is_ok() {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4, 8]
+    }
+}
+
+/// Thread counts of the matrix (shrunk under `KG_BENCH_QUICK`).
+fn thread_counts() -> Vec<usize> {
+    if std::env::var("KG_BENCH_QUICK").is_ok() {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4]
+    }
+}
+
+/// Runs `op` under a dedicated rayon pool of `threads` workers.
+fn at_threads<R>(threads: usize, op: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(op)
+}
 
 fn engine_config() -> EngineConfig {
     EngineConfig {
@@ -44,27 +74,42 @@ fn bench_shard_scaling(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("shard_scaling");
     group.sample_size(10);
-    let mut throughput: Vec<(usize, f64)> = Vec::new();
-    for k in SHARD_COUNTS {
+    let mut matrix: Vec<Value> = Vec::new();
+    // (threads, k) → qps, for the speedup summary lines.
+    let mut throughput: Vec<(usize, usize, f64)> = Vec::new();
+    for k in shard_counts() {
         let sharded = ShardedGraph::new(Arc::clone(&graph), &DegreeBalancedPartitioner, k);
         let stats = sharded.stats();
         let batch = BatchEngine::new(engine_config());
 
-        // One measured pass outside criterion for the q/s report.
-        let start = Instant::now();
-        let ok = batch
-            .execute_sharded(&sharded, &queries, &dataset.oracle)
-            .iter()
-            .filter(|a| a.is_ok())
-            .count();
-        let elapsed = start.elapsed().as_secs_f64();
-        let qps = ok as f64 / elapsed;
-        println!(
-            "shard_scaling: K={k} → {qps:.1} q/s ({ok} queries in {elapsed:.2}s; \
-             owned {:?}, cut edges {}, replication {:.3})",
-            stats.owned, stats.cut_edges, stats.replication_factor,
-        );
-        throughput.push((k, qps));
+        // One measured pass per matrix cell, outside criterion.
+        for threads in thread_counts() {
+            let start = Instant::now();
+            let ok = at_threads(threads, || {
+                batch
+                    .execute_sharded(&sharded, &queries, &dataset.oracle)
+                    .iter()
+                    .filter(|a| a.is_ok())
+                    .count()
+            });
+            let elapsed = start.elapsed().as_secs_f64();
+            let qps = ok as f64 / elapsed;
+            println!(
+                "shard_scaling: K={k} threads={threads} → {qps:.1} q/s \
+                 ({ok} queries in {elapsed:.2}s; owned {:?}, cut edges {}, replication {:.3})",
+                stats.owned, stats.cut_edges, stats.replication_factor,
+            );
+            throughput.push((threads, k, qps));
+            matrix.push(row(&[
+                ("k", num(k as f64)),
+                ("threads", num(threads as f64)),
+                ("queries", num(queries.len() as f64)),
+                ("seconds", num(elapsed)),
+                ("qps", num(qps)),
+                ("cut_edges", num(stats.cut_edges as f64)),
+                ("replication_factor", num(stats.replication_factor)),
+            ]));
+        }
 
         group.bench_with_input(
             BenchmarkId::new("ssb", format!("K={k}/{}q", queries.len())),
@@ -82,16 +127,39 @@ fn bench_shard_scaling(c: &mut Criterion) {
     }
     group.finish();
 
-    let base = throughput
-        .iter()
-        .find(|(k, _)| *k == 1)
-        .map(|(_, qps)| *qps)
-        .unwrap_or(f64::NAN);
-    for (k, qps) in &throughput {
-        if *k != 1 {
-            println!("shard_scaling: speedup(K={k} vs K=1) = {:.2}×", qps / base);
+    let cell = |threads: usize, k: usize| {
+        throughput
+            .iter()
+            .find(|(t, kk, _)| *t == threads && *kk == k)
+            .map(|(_, _, qps)| *qps)
+            .unwrap_or(f64::NAN)
+    };
+    let base = cell(1, 1);
+    let mut speedups: Vec<Value> = Vec::new();
+    for &(threads, k, qps) in &throughput {
+        if threads == 1 && k == 1 {
+            continue;
         }
+        let vs_base = qps / base;
+        let vs_1t_same_k = qps / cell(1, k);
+        println!(
+            "shard_scaling: speedup(K={k},{threads}t vs K=1,1t) = {vs_base:.2}× \
+             (vs 1t at same K: {vs_1t_same_k:.2}×)"
+        );
+        speedups.push(row(&[
+            ("k", num(k as f64)),
+            ("threads", num(threads as f64)),
+            ("speedup_vs_k1_1t", num(vs_base)),
+            ("speedup_vs_1t_same_k", num(vs_1t_same_k)),
+        ]));
     }
+    record_section(
+        "shard_scaling",
+        row(&[
+            ("matrix", Value::Array(matrix)),
+            ("speedups", Value::Array(speedups)),
+        ]),
+    );
 }
 
 criterion_group!(benches, bench_shard_scaling);

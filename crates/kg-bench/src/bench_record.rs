@@ -1,0 +1,124 @@
+//! Machine-readable bench output: every throughput bench merges its
+//! section into one `BENCH_5.json` at the workspace root, so the perf
+//! story of a run (thread-count × shard-count matrices, alias-vs-search
+//! draw costs, service throughput) is a single committed artifact instead
+//! of scrollback.
+//!
+//! The file is a JSON object keyed by section name; a bench run replaces
+//! only its own section, so `batch_throughput`, `shard_scaling` and
+//! `service_throughput` can be (re-)run independently and accumulate into
+//! the same file. `KG_BENCH_OUTPUT` overrides the path (CI's bench-smoke
+//! job writes to a scratch file and validates it).
+
+use serde_json::{Map, Value};
+use std::env;
+use std::path::PathBuf;
+
+/// Where bench sections are merged: `$KG_BENCH_OUTPUT` if set, else
+/// `BENCH_5.json` at the workspace root.
+pub fn bench_output_path() -> PathBuf {
+    if let Ok(path) = env::var("KG_BENCH_OUTPUT") {
+        return PathBuf::from(path);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_5.json")
+}
+
+/// Context every section carries so recorded numbers are interpretable:
+/// the host's core count bounds any thread-scaling claim (a 1-core
+/// container cannot show multi-core speedup, however real the threads).
+pub fn host_context() -> Value {
+    let mut obj = Map::new();
+    obj.insert(
+        "available_parallelism".to_string(),
+        Value::Number(std::thread::available_parallelism().map_or(1, |n| n.get()) as f64),
+    );
+    obj.insert(
+        "rayon_num_threads_env".to_string(),
+        match env::var("RAYON_NUM_THREADS") {
+            Ok(v) => Value::String(v),
+            Err(_) => Value::Null,
+        },
+    );
+    Value::Object(obj)
+}
+
+/// Merges `section` into the bench output file, replacing any previous
+/// value under the same key and stamping the file's `bench` id. Errors are
+/// printed, not propagated — a read-only checkout must not fail a bench.
+pub fn record_section(section: &str, value: Value) {
+    let path = bench_output_path();
+    let mut root = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok())
+        .and_then(|v: Value| match v {
+            Value::Object(map) => Some(map),
+            _ => None,
+        })
+        .unwrap_or_default();
+    root.insert("bench".to_string(), Value::String("5".to_string()));
+    root.insert("host".to_string(), host_context());
+    root.insert(section.to_string(), value);
+    let text = serde_json::to_string_pretty(&Value::Object(root)).expect("serialising is total");
+    match std::fs::write(&path, text + "\n") {
+        Ok(()) => println!("bench section {section:?} recorded in {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Builds one row of a matrix section from `(key, value)` pairs; numbers
+/// go in as-is, everything else via `Value`.
+pub fn row(pairs: &[(&str, Value)]) -> Value {
+    let mut obj = Map::new();
+    for (key, value) in pairs {
+        obj.insert((*key).to_string(), value.clone());
+    }
+    Value::Object(obj)
+}
+
+/// Shorthand for a JSON number.
+pub fn num(v: f64) -> Value {
+    Value::Number(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_merge_and_replace() {
+        let dir = std::env::temp_dir().join(format!("bench_record_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        // Not via the env var (tests share a process): exercise the merge
+        // logic directly against a scratch file.
+        let write = |section: &str, value: Value| {
+            let mut root = std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|t| serde_json::from_str(&t).ok())
+                .and_then(|v: Value| match v {
+                    Value::Object(map) => Some(map),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            root.insert(section.to_string(), value);
+            std::fs::write(
+                &path,
+                serde_json::to_string_pretty(&Value::Object(root)).unwrap(),
+            )
+            .unwrap();
+        };
+        write("a", num(1.0));
+        write("b", num(2.0));
+        write("a", num(3.0));
+        let parsed: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.get("a").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(parsed.get("b").and_then(Value::as_f64), Some(2.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn host_context_reports_parallelism() {
+        let host = host_context();
+        assert!(host.get("available_parallelism").and_then(Value::as_f64) >= Some(1.0));
+    }
+}

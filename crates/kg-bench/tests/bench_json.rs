@@ -1,0 +1,85 @@
+//! The committed `BENCH_5.json` at the workspace root is the
+//! machine-readable perf record of this revision (thread-count ×
+//! shard-count matrices, alias-vs-search draw costs, service throughput).
+//! This test keeps it present and well-formed: regenerating it with
+//! `cargo bench -p kg-bench --bench <name>` must always produce a file
+//! this schema check accepts, and a stale/corrupt commit fails tier-1.
+
+use serde_json::Value;
+use std::path::PathBuf;
+
+fn committed_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_5.json")
+}
+
+fn section<'doc>(doc: &'doc Value, name: &str) -> &'doc Value {
+    doc.get(name)
+        .unwrap_or_else(|| panic!("BENCH_5.json is missing the {name:?} section"))
+}
+
+fn positive_qps_rows(matrix: &Value, context: &str) {
+    let rows = matrix.as_array().unwrap_or_else(|| {
+        panic!("{context}: matrix must be an array");
+    });
+    assert!(!rows.is_empty(), "{context}: matrix must not be empty");
+    for row in rows {
+        let qps = row.get("qps").and_then(Value::as_f64).unwrap_or(f64::NAN);
+        assert!(qps.is_finite() && qps > 0.0, "{context}: bad qps in {row}");
+        let threads_or_workers = row
+            .get("threads")
+            .or(row.get("workers"))
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::NAN);
+        assert!(threads_or_workers >= 1.0, "{context}: bad row {row}");
+    }
+}
+
+#[test]
+fn committed_bench_json_is_well_formed() {
+    let path = committed_path();
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "BENCH_5.json must be committed at the workspace root ({}): {e}",
+            path.display()
+        )
+    });
+    let doc: Value = serde_json::from_str(&text).expect("BENCH_5.json parses as JSON");
+
+    assert_eq!(doc.get("bench").and_then(Value::as_str), Some("5"));
+    let host = section(&doc, "host");
+    assert!(
+        host.get("available_parallelism")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+            >= 1.0
+    );
+
+    positive_qps_rows(
+        section(&doc, "batch_throughput")
+            .get("matrix")
+            .unwrap_or(&Value::Null),
+        "batch_throughput",
+    );
+    positive_qps_rows(
+        section(&doc, "shard_scaling")
+            .get("matrix")
+            .unwrap_or(&Value::Null),
+        "shard_scaling",
+    );
+    positive_qps_rows(
+        section(&doc, "service_throughput")
+            .get("matrix")
+            .unwrap_or(&Value::Null),
+        "service_throughput",
+    );
+
+    let alias = section(&doc, "alias_draw");
+    for key in [
+        "alias_ns_per_draw",
+        "binary_search_ns_per_draw",
+        "ratio_alias_vs_search",
+    ] {
+        let v = alias.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN);
+        assert!(v.is_finite() && v > 0.0, "alias_draw.{key} = {v}");
+    }
+}

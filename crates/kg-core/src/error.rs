@@ -28,6 +28,16 @@ pub enum KgError {
         /// What was wrong with the line.
         message: String,
     },
+    /// A sampling weight was NaN, infinite or negative, so no draw
+    /// distribution can be built from the answer set. Raised at *prepare*
+    /// time (sampler preparation / query planning) so the draw hot path
+    /// never has to compare against a NaN cumulative weight.
+    DegenerateWeights {
+        /// Index of the offending weight within the answer distribution.
+        index: usize,
+        /// The offending weight value.
+        weight: f64,
+    },
     /// Underlying I/O failure while loading or saving.
     Io(io::Error),
 }
@@ -42,6 +52,11 @@ impl fmt::Display for KgError {
             KgError::UnknownAttribute(name) => write!(f, "unknown attribute: {name:?}"),
             KgError::DuplicateEntity(name) => write!(f, "duplicate entity name: {name:?}"),
             KgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            KgError::DegenerateWeights { index, weight } => write!(
+                f,
+                "degenerate sampling weight at answer index {index}: {weight} \
+                 (weights must be finite and non-negative)"
+            ),
             KgError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -75,6 +90,12 @@ mod tests {
             message: "bad triple".into(),
         };
         assert!(e.to_string().contains("line 12"));
+        let e = KgError::DegenerateWeights {
+            index: 3,
+            weight: f64::NAN,
+        };
+        assert!(e.to_string().contains("index 3"), "{e}");
+        assert!(e.to_string().contains("NaN"), "{e}");
     }
 
     #[test]

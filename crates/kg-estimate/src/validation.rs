@@ -181,7 +181,8 @@ mod tests {
             &store,
             SamplingStrategy::SemanticAware,
             &SamplerConfig::default(),
-        );
+        )
+        .unwrap();
         let cfg = ValidationConfig::default();
         let direct = validate_answer(
             &g,
@@ -228,7 +229,8 @@ mod tests {
             &store,
             SamplingStrategy::SemanticAware,
             &SamplerConfig::default(),
-        );
+        )
+        .unwrap();
         // An entity id outside the graph scope of the walk: use the weak one
         // but with a tiny expansion budget so nothing is found.
         let cfg = ValidationConfig {
@@ -256,7 +258,8 @@ mod tests {
             &store,
             SamplingStrategy::SemanticAware,
             &SamplerConfig::default(),
-        );
+        )
+        .unwrap();
         let via = g.entity_by_name("via").unwrap();
         let low = validate_answer(
             &g,

@@ -12,7 +12,7 @@
 
 use crate::sampler::{prepare, PreparedSampler, SamplerConfig};
 use crate::strategies::SamplingStrategy;
-use kg_core::{EntityId, KnowledgeGraph, PredicateId, TypeId};
+use kg_core::{EntityId, KgResult, KnowledgeGraph, PredicateId, TypeId};
 use kg_embed::PredicateSimilarity;
 use kg_query::ResolvedSimpleQuery;
 use std::collections::HashMap;
@@ -88,17 +88,19 @@ impl SamplerCache {
     }
 
     /// Returns the prepared sampler for `query`, preparing and memoising it
-    /// on first sight of the component.
+    /// on first sight of the component. Preparation failures (degenerate
+    /// weights) are returned, not cached: a broken component errors on
+    /// every lookup rather than poisoning the cache.
     pub fn get_or_prepare<S: PredicateSimilarity + ?Sized>(
         &self,
         graph: &KnowledgeGraph,
         query: &ResolvedSimpleQuery,
         similarity: &S,
-    ) -> Arc<PreparedSampler> {
+    ) -> KgResult<Arc<PreparedSampler>> {
         let key = SamplerKey::of(query);
         if let Some(sampler) = self.entries.lock().unwrap().get(&key) {
             self.stats.lock().unwrap().hits += 1;
-            return Arc::clone(sampler);
+            return Ok(Arc::clone(sampler));
         }
         // Prepare outside the lock; racing preparations of the same key
         // produce identical values, and the first insert wins.
@@ -108,9 +110,11 @@ impl SamplerCache {
             similarity,
             self.strategy,
             &self.config,
-        ));
+        )?);
         self.stats.lock().unwrap().misses += 1;
-        Arc::clone(self.entries.lock().unwrap().entry(key).or_insert(sampler))
+        Ok(Arc::clone(
+            self.entries.lock().unwrap().entry(key).or_insert(sampler),
+        ))
     }
 
     /// Number of distinct components prepared so far.
@@ -151,8 +155,8 @@ mod tests {
         let store = oracle_store(&[(g.predicate_id("product").unwrap(), 0, 1.0)]);
 
         let cache = SamplerCache::new(SamplingStrategy::SemanticAware, SamplerConfig::default());
-        let first = cache.get_or_prepare(&g, &q, &store);
-        let second = cache.get_or_prepare(&g, &q, &store);
+        let first = cache.get_or_prepare(&g, &q, &store).unwrap();
+        let second = cache.get_or_prepare(&g, &q, &store).unwrap();
         assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
         assert_eq!(cache.len(), 1);
@@ -165,7 +169,8 @@ mod tests {
             &store,
             SamplingStrategy::SemanticAware,
             &SamplerConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(first.answer_distribution(), fresh.answer_distribution());
         assert_eq!(first.iterations, fresh.iterations);
     }

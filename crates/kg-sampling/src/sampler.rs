@@ -1,9 +1,10 @@
 //! Random-walk convergence and continuous sampling of candidate answers
 //! (§IV-A2, steps 2 and 3).
 
+use crate::alias::AliasTable;
 use crate::strategies::SamplingStrategy;
 use crate::transition::TransitionMatrix;
-use kg_core::{bounded_subgraph, BoundedSubgraph, EntityId, KnowledgeGraph};
+use kg_core::{bounded_subgraph, BoundedSubgraph, EntityId, KgResult, KnowledgeGraph};
 use kg_embed::PredicateSimilarity;
 use kg_query::ResolvedSimpleQuery;
 use rand::Rng;
@@ -52,7 +53,9 @@ pub struct PreparedSampler {
     stationary: HashMap<EntityId, f64>,
     /// Candidate answers with their π_A probabilities (sums to 1).
     answers: Vec<SampledAnswer>,
-    cumulative: Vec<f64>,
+    /// O(1) draw table over the answer probabilities; `None` when the
+    /// scope holds no candidate answers.
+    table: Option<AliasTable>,
     /// Number of Eq. 6 iterations until convergence.
     pub iterations: usize,
     /// Number of transition-matrix entries (the |E_G'| of the cost model).
@@ -62,13 +65,21 @@ pub struct PreparedSampler {
 /// Runs the offline part of sampling for a simple query: builds the
 /// n-bounded scope, the transition matrix (Eq. 5) and the stationary
 /// distribution (Eq. 6), and restricts it to the candidate answers (π_A).
+///
+/// # Errors
+///
+/// Returns [`kg_core::KgError::DegenerateWeights`] when the stationary mass
+/// of an answer is NaN, infinite or negative (e.g. a broken similarity
+/// store drove the walk to overflow) — the degenerate answer set is
+/// rejected here, at prepare time, instead of panicking later in the draw
+/// hot path.
 pub fn prepare<S: PredicateSimilarity + ?Sized>(
     graph: &KnowledgeGraph,
     query: &ResolvedSimpleQuery,
     similarity: &S,
     strategy: SamplingStrategy,
     config: &SamplerConfig,
-) -> PreparedSampler {
+) -> KgResult<PreparedSampler> {
     let scope = bounded_subgraph(graph, query.specific, config.n_bound);
     let matrix = TransitionMatrix::build(
         graph,
@@ -98,6 +109,17 @@ pub fn prepare<S: PredicateSimilarity + ?Sized>(
             probability: stationary.get(&n).copied().unwrap_or(0.0),
         })
         .collect();
+    // Reject non-finite / negative stationary mass *before* normalising:
+    // NaN or ±inf here means the walk itself degenerated, and silently
+    // renormalising would launder it into wrong (or panicking) draws.
+    for (index, a) in answers.iter().enumerate() {
+        if !a.probability.is_finite() || a.probability < 0.0 {
+            return Err(kg_core::KgError::DegenerateWeights {
+                index,
+                weight: a.probability,
+            });
+        }
+    }
     let total: f64 = answers.iter().map(|a| a.probability).sum();
     if total > 0.0 {
         for a in &mut answers {
@@ -111,20 +133,23 @@ pub fn prepare<S: PredicateSimilarity + ?Sized>(
             a.probability = uniform;
         }
     }
-    let mut cumulative = Vec::with_capacity(answers.len());
-    let mut acc = 0.0;
-    for a in &answers {
-        acc += a.probability;
-        cumulative.push(acc);
-    }
-    PreparedSampler {
+    let table = if answers.is_empty() {
+        None
+    } else {
+        // Validated and normalised above, so the build cannot fail.
+        Some(
+            AliasTable::new(&answers.iter().map(|a| a.probability).collect::<Vec<f64>>())
+                .expect("validated, normalised answer weights"),
+        )
+    };
+    Ok(PreparedSampler {
         scope,
         stationary,
         answers,
-        cumulative,
+        table,
         iterations,
         transition_entries: matrix.entry_count(),
-    }
+    })
 }
 
 impl PreparedSampler {
@@ -159,24 +184,15 @@ impl PreparedSampler {
     }
 
     /// Draws `count` answers i.i.d. from π_A (continuous sampling after
-    /// convergence, Theorem 1). Returns an empty vector when the scope holds
-    /// no candidate answers.
+    /// convergence, Theorem 1) via the prepared [`AliasTable`] — expected
+    /// O(1) per draw, bit-identical to the binary-search draw it replaced.
+    /// Returns an empty vector when the scope holds no candidate answers.
     pub fn draw<R: Rng>(&self, rng: &mut R, count: usize) -> Vec<SampledAnswer> {
-        if self.answers.is_empty() {
+        let Some(table) = &self.table else {
             return Vec::new();
-        }
+        };
         (0..count)
-            .map(|_| {
-                let x: f64 = rng.gen();
-                let idx = match self
-                    .cumulative
-                    .binary_search_by(|c| c.partial_cmp(&x).unwrap())
-                {
-                    Ok(i) => i,
-                    Err(i) => i.min(self.answers.len() - 1),
-                };
-                self.answers[idx]
-            })
+            .map(|_| self.answers[table.sample(rng)])
             .collect()
     }
 }
@@ -246,7 +262,8 @@ mod tests {
             &store,
             SamplingStrategy::SemanticAware,
             &SamplerConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(sampler.candidate_count(), 40);
         let total: f64 = sampler
             .answer_distribution()
@@ -274,7 +291,8 @@ mod tests {
             &store,
             SamplingStrategy::SemanticAware,
             &SamplerConfig::default(),
-        );
+        )
+        .unwrap();
         let mut rng = SmallRng::seed_from_u64(99);
         let sample = sampler.draw(&mut rng, 20_000);
         assert_eq!(sample.len(), 20_000);
@@ -304,14 +322,16 @@ mod tests {
             &store,
             SamplingStrategy::SemanticAware,
             &SamplerConfig::default(),
-        );
+        )
+        .unwrap();
         let uniform = prepare(
             &g,
             &q,
             &store,
             SamplingStrategy::Uniform,
             &SamplerConfig::default(),
-        );
+        )
+        .unwrap();
         let weak = g.entity_by_name("weak0").unwrap();
         assert!(uniform.answer_probability(weak) > semantic.answer_probability(weak));
         // CNARW and Node2Vec also prepare without error.
@@ -319,7 +339,7 @@ mod tests {
             SamplingStrategy::Cnarw,
             SamplingStrategy::Node2Vec { p: 4.0, q: 0.25 },
         ] {
-            let s = prepare(&g, &q, &store, strategy, &SamplerConfig::default());
+            let s = prepare(&g, &q, &store, strategy, &SamplerConfig::default()).unwrap();
             assert_eq!(s.candidate_count(), 40);
         }
     }
@@ -346,9 +366,40 @@ mod tests {
             &store,
             SamplingStrategy::SemanticAware,
             &SamplerConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(sampler.candidate_count(), 0);
         let mut rng = SmallRng::seed_from_u64(1);
         assert!(sampler.draw(&mut rng, 10).is_empty());
+    }
+
+    /// Regression: a similarity store that emits non-finite scores drives
+    /// the transition rows to `inf/inf = NaN`, which used to be laundered
+    /// into a uniform fallback (or, downstream, panic inside the draw's
+    /// `partial_cmp(..).unwrap()`). It must now surface as a structured
+    /// error at prepare time — draws never see non-finite weights.
+    #[test]
+    fn degenerate_weights_error_at_prepare_time_instead_of_panicking_at_draw() {
+        struct BrokenSimilarity;
+        impl kg_embed::PredicateSimilarity for BrokenSimilarity {
+            fn similarity(&self, _: kg_core::PredicateId, _: kg_core::PredicateId) -> f64 {
+                f64::INFINITY
+            }
+        }
+        let (g, q, _) = setup();
+        let err = prepare(
+            &g,
+            &q,
+            &BrokenSimilarity,
+            SamplingStrategy::SemanticAware,
+            &SamplerConfig::default(),
+        )
+        .unwrap_err();
+        match err {
+            kg_core::KgError::DegenerateWeights { weight, .. } => {
+                assert!(!weight.is_finite(), "weight={weight}");
+            }
+            other => panic!("expected DegenerateWeights, got {other:?}"),
+        }
     }
 }

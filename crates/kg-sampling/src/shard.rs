@@ -17,6 +17,7 @@
 //! partitioning, shard) — the shard-local counterpart of
 //! [`crate::SamplerCache`].
 
+use crate::alias::AliasTable;
 use crate::sampler::SampledAnswer;
 use kg_core::EntityId;
 use rand::Rng;
@@ -32,7 +33,9 @@ pub struct ShardSampler {
     /// stratum (global entity ids — translation to shard-local ids is the
     /// caller's concern).
     answers: Vec<SampledAnswer>,
-    cumulative: Vec<f64>,
+    /// O(1) draw table over the within-stratum probabilities; `None` when
+    /// the shard owns no candidates.
+    table: Option<AliasTable>,
     /// The stratum weight W_k: total probability mass of the unrestricted
     /// distribution owned by this shard. Σ_k W_k = 1 over all shards (up to
     /// float rounding) when every candidate is owned somewhere.
@@ -46,6 +49,15 @@ impl ShardSampler {
     ///
     /// Probabilities are divided by the stratum weight in entity order (the
     /// input order), so restriction is deterministic bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// The input probabilities must be finite and non-negative. Every
+    /// distribution handed to this function comes from a plan whose weights
+    /// were already validated at prepare time ([`crate::prepare`] /
+    /// `kg-aqp` planning reject degenerate weights with a structured
+    /// error), so the internal draw-table build asserts rather than
+    /// propagating a second error path.
     pub fn from_distribution(
         shard: usize,
         distribution: &[(EntityId, f64)],
@@ -70,16 +82,16 @@ impl ShardSampler {
                 a.probability = uniform;
             }
         }
-        let mut cumulative = Vec::with_capacity(answers.len());
-        let mut acc = 0.0;
-        for a in &answers {
-            acc += a.probability;
-            cumulative.push(acc);
-        }
+        let table = if answers.is_empty() {
+            None
+        } else {
+            let weights: Vec<f64> = answers.iter().map(|a| a.probability).collect();
+            Some(AliasTable::new(&weights).expect("restriction of a validated distribution"))
+        };
         Self {
             shard,
             answers,
-            cumulative,
+            table,
             weight,
         }
     }
@@ -109,25 +121,16 @@ impl ShardSampler {
         &self.answers
     }
 
-    /// Draws `count` answers i.i.d. from the stratum distribution; each
-    /// carries its within-stratum probability π'_k. Empty when the stratum
-    /// holds no candidates.
+    /// Draws `count` answers i.i.d. from the stratum distribution via the
+    /// prepared [`AliasTable`] (expected O(1) per draw, bit-identical to
+    /// the binary search it replaced); each carries its within-stratum
+    /// probability π'_k. Empty when the stratum holds no candidates.
     pub fn draw<R: Rng>(&self, rng: &mut R, count: usize) -> Vec<SampledAnswer> {
-        if self.answers.is_empty() {
+        let Some(table) = &self.table else {
             return Vec::new();
-        }
+        };
         (0..count)
-            .map(|_| {
-                let x: f64 = rng.gen();
-                let idx = match self
-                    .cumulative
-                    .binary_search_by(|c| c.partial_cmp(&x).unwrap())
-                {
-                    Ok(i) => i,
-                    Err(i) => i.min(self.answers.len() - 1),
-                };
-                self.answers[idx]
-            })
+            .map(|_| self.answers[table.sample(rng)])
             .collect()
     }
 }

@@ -1,0 +1,148 @@
+//! Property tests for the shared [`AliasTable`] draw path: for arbitrary
+//! weight vectors, the expected-O(1) table must reproduce the reference
+//! inverse-CDF binary search **draw for draw** under a shared RNG
+//! transcript — the compatibility contract that keeps the engine's results
+//! bitwise-identical to its pre-table revisions — and degenerate weights
+//! must fail at build (prepare) time with a structured error instead of
+//! panicking at draw time.
+
+use kg_sampling::alias::{reference_cdf_index, AliasTable, WeightError};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Scales raw magnitudes into a normalised weight vector, zeroing entries
+/// flagged by `zero_mask` so tables routinely contain zero-probability
+/// answers (duplicate cumulative values — the hard case for draw parity).
+fn normalised_weights(raw: &[f64], zero_mask: &[bool]) -> Option<Vec<f64>> {
+    let mut weights: Vec<f64> = raw
+        .iter()
+        .zip(zero_mask.iter().chain(std::iter::repeat(&false)))
+        .map(|(w, &z)| if z { 0.0 } else { *w })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    for w in &mut weights {
+        *w /= total;
+    }
+    Some(weights)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Draw-for-draw parity: alias draw ≡ binary-search draw for every
+    /// variate of a shared RNG transcript, across wildly skewed weights
+    /// (six orders of magnitude) with interspersed zero weights.
+    #[test]
+    fn alias_equals_binary_search_draw_for_draw(
+        raw in prop::collection::vec(1e-6f64..1.0, 1..48),
+        zero_mask in prop::collection::vec(0usize..2, 1..48),
+        seed in 0u64..1_000_000,
+    ) {
+        let mask: Vec<bool> = zero_mask.iter().map(|&z| z == 1).collect();
+        // `None` only when the mask zeroed every weight — nothing to test.
+        if let Some(weights) = normalised_weights(&raw, &mask) {
+            let table = AliasTable::new(&weights).unwrap();
+            prop_assert_eq!(table.len(), weights.len());
+            // Two RNGs from one seed = one shared transcript.
+            let mut rng_a = SmallRng::seed_from_u64(seed);
+            let mut rng_b = SmallRng::seed_from_u64(seed);
+            for _ in 0..512 {
+                let via_table = table.sample(&mut rng_a);
+                let x: f64 = rng_b.gen();
+                let via_search = reference_cdf_index(table.cumulative(), x);
+                prop_assert_eq!(via_table, via_search, "x={}", x);
+            }
+        }
+    }
+
+    /// The table's cumulative mass reaches 1 (up to float rounding) for
+    /// normalised inputs, and every draw lands on a positive-weight answer
+    /// in range.
+    #[test]
+    fn cumulative_mass_is_one_and_draws_are_in_range(
+        raw in prop::collection::vec(1e-6f64..1.0, 1..48),
+        seed in 0u64..1_000_000,
+    ) {
+        let weights = normalised_weights(&raw, &[]).unwrap();
+        let table = AliasTable::new(&weights).unwrap();
+        let total = *table.cumulative().last().unwrap();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total={}", total);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..256 {
+            let idx = table.sample(&mut rng);
+            prop_assert!(idx < weights.len());
+            prop_assert!(weights[idx] > 0.0, "drew zero-weight index {}", idx);
+        }
+    }
+
+    /// A single-answer table always draws index 0, whatever the weight.
+    #[test]
+    fn single_answer_edge_case(weight in 1e-9f64..10.0, seed in 0u64..1_000_000) {
+        let table = AliasTable::new(&[weight]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    /// All-equal weights: parity with the reference plus an even empirical
+    /// spread (each answer within ±50% of its expected share).
+    #[test]
+    fn all_equal_weights_edge_case(n in 1usize..64, seed in 0u64..1_000_000) {
+        let weights = vec![1.0 / n as f64; n];
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng_a = SmallRng::seed_from_u64(seed);
+        let mut rng_b = SmallRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; n];
+        let draws = 256 * n;
+        for _ in 0..draws {
+            let idx = table.sample(&mut rng_a);
+            let x: f64 = rng_b.gen();
+            prop_assert_eq!(idx, reference_cdf_index(table.cumulative(), x));
+            counts[idx] += 1;
+        }
+        for &c in &counts {
+            prop_assert!((c as f64) < 2.0 * 256.0 && (c as f64) > 0.5 * 256.0,
+                "counts={:?}", counts);
+        }
+    }
+
+    /// Degenerate weights are a structured build-time error — NaN,
+    /// infinities and negatives name the offending index, and all-zero
+    /// masses are rejected as a whole.
+    #[test]
+    fn degenerate_weights_error_structurally(
+        raw in prop::collection::vec(0.0f64..1.0, 1..16),
+        poison_at in 0usize..16,
+        poison_kind in 0usize..3,
+    ) {
+        let mut weights = raw;
+        let at = poison_at % weights.len();
+        weights[at] = match poison_kind {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => -1.0,
+        };
+        match AliasTable::new(&weights).unwrap_err() {
+            WeightError::NonFinite { index, .. } => prop_assert_eq!(index, at),
+            WeightError::Negative { index, weight } => {
+                prop_assert_eq!(index, at);
+                prop_assert_eq!(weight, -1.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn zero_total_and_empty_are_rejected() {
+    assert_eq!(AliasTable::new(&[]).unwrap_err(), WeightError::Empty);
+    assert_eq!(
+        AliasTable::new(&[0.0; 5]).unwrap_err(),
+        WeightError::ZeroTotal
+    );
+}

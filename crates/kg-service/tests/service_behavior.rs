@@ -93,6 +93,59 @@ fn cache_miss_answers_are_identical_to_direct_batch_execution() {
     svc.shutdown();
 }
 
+/// The service's cache-miss path is bitwise-deterministic across rayon
+/// thread counts: the same workload drained through fresh (empty-cache)
+/// services under 1-, 2- and 4-thread pools produces identical estimates
+/// and intervals. `workers: 0` + [`Service::drain_once`] keeps execution
+/// on the calling thread, where the installed pool size applies.
+#[test]
+fn cache_miss_answers_are_bitwise_identical_across_thread_counts() {
+    let d = dataset();
+    let queries = workload();
+    let mut per_thread_count: Vec<(usize, Vec<kg_service::ServiceAnswer>)> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let svc = service(0, 64, &d);
+        let pending: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                svc.submit(QueryRequest::new(q.clone(), 0.05, 0.95))
+                    .expect("queue is large enough")
+            })
+            .collect();
+        pool.install(|| while svc.drain_once() > 0 {});
+        let answers: Vec<_> = pending
+            .into_iter()
+            .map(|handle| {
+                let got = handle.wait().expect("service answers");
+                assert_eq!(got.served_from, ServedFrom::Fresh);
+                got
+            })
+            .collect();
+        svc.shutdown();
+        per_thread_count.push((threads, answers));
+    }
+    for window in per_thread_count.windows(2) {
+        let (ta, a) = &window[0];
+        let (tb, b) = &window[1];
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(
+                x.answer.estimate.to_bits(),
+                y.answer.estimate.to_bits(),
+                "{ta} vs {tb} threads"
+            );
+            assert_eq!(x.answer.moe.to_bits(), y.answer.moe.to_bits());
+            assert_eq!(x.answer.sample_size, y.answer.sample_size);
+            for (key, value) in &x.answer.groups {
+                assert_eq!(value.to_bits(), y.answer.groups[key].to_bits());
+            }
+        }
+    }
+}
+
 /// Acceptance criterion: cache-hit answers provably satisfy the request's
 /// error/confidence targets.
 #[test]

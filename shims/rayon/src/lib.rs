@@ -1,80 +1,408 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — with **real threads**.
 //!
-//! `par_iter()` returns the plain sequential slice iterator, so the usual
-//! `.par_iter().map(..).collect()` chains compile and produce identical
-//! results — just without the parallel speed-up. The real dependency can
-//! be swapped back in without touching call sites.
+//! Earlier revisions of this shim degraded `par_iter()` to the sequential
+//! slice iterator. This revision keeps the same swap-back-compatible API
+//! surface (`prelude::*`, `map`/`collect`/`sum`/`for_each`,
+//! [`current_num_threads`], [`ThreadPoolBuilder`]) but executes the mapped
+//! stage on a scoped worker pool ([`std::thread::scope`]):
+//!
+//! * **Chunked, index-ordered execution.** The input is split into one
+//!   contiguous chunk per worker; each worker maps its chunk in input
+//!   order and the chunk outputs are re-concatenated in chunk order, so
+//!   `par_iter().map(f).collect()` produces *exactly* the sequence the
+//!   sequential pipeline would. Combined with per-item determinism at the
+//!   call sites (per-query / per-shard RNG streams), results are
+//!   bitwise-identical at every thread count.
+//! * **Thread count** comes from `RAYON_NUM_THREADS` (like real rayon),
+//!   defaulting to [`std::thread::available_parallelism`]. A scoped
+//!   override is available through [`ThreadPool::install`], mirroring the
+//!   real crate's per-pool installation — the determinism tests use it to
+//!   run the same workload at 1, 2 and N threads inside one process.
+//! * **Panic propagation.** A panicking worker propagates its payload to
+//!   the caller when the scope joins, matching rayon's behaviour.
+//!
+//! Differences from real rayon, all conservative: there is no global
+//! work-stealing pool (workers are scoped to one `collect`/`for_each`
+//! call), no nested-parallelism splitting — a parallel stage entered
+//! *while a multi-chunk stage is executing* runs sequentially (each
+//! worker, and the calling thread for its own chunk, carries a 1-thread
+//! override for the duration, so N outer workers never oversubscribe the
+//! machine; pinned by a test) — and `RAYON_NUM_THREADS` is re-read per
+//! call instead of once at pool construction. Swapping the real
+//! dependency back in changes none of the call sites.
 
-/// Mirrors `rayon::prelude`: import to get `.par_iter()` on slices/`Vec`s.
+use std::cell::Cell;
+use std::env;
+use std::thread;
+
+thread_local! {
+    /// Scoped thread-count override installed by [`ThreadPool::install`].
+    /// `0` means "no override". Worker threads never install overrides, so
+    /// a plain `Cell` is enough.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads a parallel stage will use: the innermost
+/// [`ThreadPool::install`] override if one is active on this thread, else
+/// `RAYON_NUM_THREADS` (values `>= 1`; unparsable or `0` is ignored, like
+/// real rayon treats `0` as "default"), else the machine's available
+/// parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        return installed;
+    }
+    if let Ok(raw) = env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`: the only knob the shim
+/// honours is [`Self::num_threads`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (ambient) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count of the pool (`0` keeps the ambient default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible in the shim; the `Result` mirrors the
+    /// real crate's signature so call sites swap back unchanged.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError`; never produced by
+/// the shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "pool" in the shim is a scoped thread-count override: workers are
+/// spawned per parallel stage, so the pool only has to remember how many.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count installed for every parallel
+    /// stage `op` executes (on the calling thread), restoring the previous
+    /// count afterwards — mirrors `rayon::ThreadPool::install`.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        if self.num_threads == 0 {
+            return op();
+        }
+        let previous = INSTALLED_THREADS.with(|cell| cell.replace(self.num_threads));
+        // Restore on unwind too, so a panicking workload does not leak the
+        // override into later work on this thread.
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|cell| cell.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        op()
+    }
+
+    /// The thread count parallel stages under [`Self::install`] will use.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+/// Maps `items` through `f` on the scoped worker pool, preserving input
+/// order: the backbone of every combinator in this shim. Chunks are
+/// contiguous, workers are joined in chunk order, and the first chunk runs
+/// on the calling thread (one spawn saved, and the single-thread case has
+/// no thread overhead at all).
+fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads();
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads.min(n));
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let mut ordered: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    thread::scope(|scope| {
+        let mut rest = chunks.into_iter();
+        let first = rest.next().expect("n >= 1 chunks");
+        let handles: Vec<_> = rest
+            .map(|chunk| {
+                scope.spawn(move || {
+                    // A nested parallel stage inside a worker runs
+                    // sequentially: the outer stage already owns the
+                    // machine's parallelism, and N workers each spawning
+                    // their own pool would oversubscribe it. (Thread-locals
+                    // are not inherited, so this must be set explicitly.)
+                    INSTALLED_THREADS.with(|cell| cell.set(1));
+                    chunk.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        // Same rule for the chunk the calling thread processes itself;
+        // restore its previous override afterwards (the workers die with
+        // their scope, so they need no restore).
+        {
+            let previous = INSTALLED_THREADS.with(|cell| cell.replace(1));
+            struct Restore(usize);
+            impl Drop for Restore {
+                fn drop(&mut self) {
+                    INSTALLED_THREADS.with(|cell| cell.set(self.0));
+                }
+            }
+            let _restore = Restore(previous);
+            ordered.push(first.into_iter().map(f).collect());
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(mapped) => ordered.push(mapped),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for mapped in ordered {
+        out.extend(mapped);
+    }
+    out
+}
+
+/// The lazy parallel-iterator pipeline: mirrors the subset of
+/// `rayon::iter::ParallelIterator` + `IndexedParallelIterator` this
+/// workspace uses. Every adaptor keeps input order, so `collect()` is
+/// deterministic regardless of thread count.
+pub trait ParallelIterator: Sized {
+    /// The element type produced by this stage.
+    type Item: Send;
+
+    /// Materialises the pipeline, running mapped stages on the worker pool.
+    /// (Shim-internal driver; the public combinators all go through it.)
+    #[doc(hidden)]
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps every element through `f` in parallel, preserving order.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects the elements in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+
+    /// Sums the elements (order-insensitive reduction over an
+    /// order-preserving pipeline, so it equals the sequential sum for
+    /// integer sums; float sums are summed in input order too).
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.drive().into_iter().sum()
+    }
+
+    /// Runs `f` on every element in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let f = &f;
+        parallel_map(self.drive(), move |item| f(item));
+    }
+
+    /// Number of elements in the pipeline.
+    fn count(self) -> usize {
+        self.drive().len()
+    }
+}
+
+/// Order-preserving parallel `map` stage (`rayon::iter::Map`).
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        parallel_map(self.base.drive(), self.f)
+    }
+}
+
+/// Borrowing source: `slice.par_iter()`.
+pub struct SliceParIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync + 'data> ParallelIterator for SliceParIter<'data, T> {
+    type Item = &'data T;
+
+    fn drive(self) -> Vec<&'data T> {
+        self.slice.iter().collect()
+    }
+}
+
+/// Mutably borrowing source: `slice.par_iter_mut()`.
+pub struct SliceParIterMut<'data, T> {
+    slice: &'data mut [T],
+}
+
+impl<'data, T: Send + 'data> ParallelIterator for SliceParIterMut<'data, T> {
+    type Item = &'data mut T;
+
+    fn drive(self) -> Vec<&'data mut T> {
+        self.slice.iter_mut().collect()
+    }
+}
+
+/// Consuming source: `vec.into_par_iter()`.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Mirrors `rayon::prelude`: import to get `.par_iter()` and friends on
+/// slices and `Vec`s.
 pub mod prelude {
-    /// Borrowing "parallel" iteration (`rayon::iter::IntoParallelRefIterator`).
+    pub use crate::{Map, ParallelIterator};
+
+    use crate::{SliceParIter, SliceParIterMut, VecParIter};
+
+    /// Borrowing parallel iteration (`rayon::iter::IntoParallelRefIterator`).
     pub trait IntoParallelRefIterator<'data> {
-        /// The iterator type (here: the sequential slice iterator).
-        type Iter: Iterator<Item = Self::Item>;
+        /// The parallel-iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
         /// The borrowed item type.
         type Item: 'data;
 
-        /// Returns a sequential iterator standing in for a parallel one.
+        /// Returns a parallel iterator over borrowed elements.
         fn par_iter(&'data self) -> Self::Iter;
     }
 
     impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = core::slice::Iter<'data, T>;
+        type Iter = SliceParIter<'data, T>;
         type Item = &'data T;
 
         fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+            SliceParIter { slice: self }
         }
     }
 
-    /// Mutably borrowing "parallel" iteration
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = SliceParIter<'data, T>;
+        type Item = &'data T;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            SliceParIter { slice: self }
+        }
+    }
+
+    /// Mutably borrowing parallel iteration
     /// (`rayon::iter::IntoParallelRefMutIterator`).
     pub trait IntoParallelRefMutIterator<'data> {
-        /// The iterator type (here: the sequential mutable slice iterator).
-        type Iter: Iterator<Item = Self::Item>;
+        /// The parallel-iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
         /// The mutably borrowed item type.
         type Item: 'data;
 
-        /// Returns a sequential mutable iterator standing in for a parallel
-        /// one.
+        /// Returns a parallel iterator over mutably borrowed elements.
         fn par_iter_mut(&'data mut self) -> Self::Iter;
     }
 
     impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
-        type Iter = core::slice::IterMut<'data, T>;
+        type Iter = SliceParIterMut<'data, T>;
         type Item = &'data mut T;
 
         fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.iter_mut()
+            SliceParIterMut { slice: self }
         }
     }
 
     impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
-        type Iter = core::slice::IterMut<'data, T>;
+        type Iter = SliceParIterMut<'data, T>;
         type Item = &'data mut T;
 
         fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.iter_mut()
+            SliceParIterMut { slice: self }
         }
     }
 
-    /// Consuming "parallel" iteration (`rayon::iter::IntoParallelIterator`).
+    /// Consuming parallel iteration (`rayon::iter::IntoParallelIterator`).
     pub trait IntoParallelIterator {
-        /// The iterator type (here: the sequential one).
-        type Iter: Iterator<Item = Self::Item>;
+        /// The parallel-iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
         /// The item type.
-        type Item;
+        type Item: Send;
 
-        /// Returns a sequential iterator standing in for a parallel one.
+        /// Returns a parallel iterator that consumes the collection.
         fn into_par_iter(self) -> Self::Iter;
     }
 
-    impl<T> IntoParallelIterator for Vec<T> {
-        type Iter = std::vec::IntoIter<T>;
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = VecParIter<T>;
         type Item = T;
 
         fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+            VecParIter { items: self }
         }
     }
 }
@@ -82,6 +410,17 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{current_num_threads, ThreadPoolBuilder};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    fn at_threads<R>(n: usize, op: impl FnOnce() -> R) -> R {
+        ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap()
+            .install(op)
+    }
 
     #[test]
     fn par_iter_matches_sequential() {
@@ -90,5 +429,124 @@ mod tests {
         assert_eq!(doubled, vec![2, 4, 6, 8]);
         let sum: i32 = v.into_par_iter().sum();
         assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn output_order_is_input_order_at_every_thread_count() {
+        let input: Vec<usize> = (0..257).collect();
+        let expected: Vec<usize> = input.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 5, 16, 64, 1000] {
+            let got: Vec<usize> =
+                at_threads(threads, || input.par_iter().map(|x| x * 3 + 1).collect());
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn work_actually_crosses_threads() {
+        let ids = Mutex::new(std::collections::HashSet::new());
+        let input: Vec<usize> = (0..64).collect();
+        let _: Vec<()> = at_threads(4, || {
+            input
+                .par_iter()
+                .map(|_| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                })
+                .collect()
+        });
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "4-thread stage over 64 items should use more than one thread"
+        );
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place_in_order() {
+        let mut v: Vec<usize> = (0..100).collect();
+        let seen: Vec<usize> = at_threads(4, || {
+            v.par_iter_mut()
+                .map(|x| {
+                    *x += 1;
+                    *x
+                })
+                .collect()
+        });
+        assert_eq!(v, (1..=100).collect::<Vec<_>>());
+        assert_eq!(seen, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_is_scoped_and_restored() {
+        let ambient = current_num_threads();
+        let inside = at_threads(3, current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), ambient);
+        // Nested installs: innermost wins, both restored.
+        let nested = at_threads(5, || at_threads(2, current_num_threads));
+        assert_eq!(nested, 2);
+        assert_eq!(current_num_threads(), ambient);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = at_threads(8, || empty.into_par_iter().map(|x| x).collect());
+        assert!(out.is_empty());
+        let one: Vec<u8> = at_threads(8, || vec![7u8].into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn nested_stages_inside_a_parallel_stage_run_sequentially() {
+        // While a multi-chunk parallel stage is in flight, every unit of
+        // work — on spawned workers and on the calling thread alike —
+        // must see a 1-thread pool, so nested parallel stages cannot
+        // oversubscribe the machine (or mislabel thread-count matrices).
+        let input: Vec<usize> = (0..16).collect();
+        let inner_counts: Vec<usize> = at_threads(4, || {
+            input.par_iter().map(|_| current_num_threads()).collect()
+        });
+        assert!(
+            inner_counts.iter().all(|&n| n == 1),
+            "nested stages saw pools of {inner_counts:?}"
+        );
+        // The override is gone once the stage completes.
+        let after = at_threads(4, current_num_threads);
+        assert_eq!(after, 4);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let hits = AtomicUsize::new(0);
+        let input: Vec<usize> = (0..1000).collect();
+        at_threads(4, || {
+            input.par_iter().for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let input: Vec<usize> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            at_threads(4, || {
+                input
+                    .par_iter()
+                    .map(|x| {
+                        if *x == 20 {
+                            panic!("boom");
+                        }
+                        *x
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        assert!(result.is_err());
+        // The install override must have been restored despite the panic.
+        let ambient = current_num_threads();
+        assert_eq!(at_threads(9, current_num_threads), 9);
+        assert_eq!(current_num_threads(), ambient);
     }
 }

@@ -94,7 +94,7 @@ proptest! {
         let store = oracle_store(&[
             (g.predicate_id("product").unwrap(), 0, 1.0),
         ]);
-        let sampler = prepare(&g, &q, &store, SamplingStrategy::SemanticAware, &SamplerConfig::default());
+        let sampler = prepare(&g, &q, &store, SamplingStrategy::SemanticAware, &SamplerConfig::default()).unwrap();
         prop_assert_eq!(sampler.candidate_count(), cars);
         let total: f64 = sampler.answer_distribution().iter().map(|a| a.probability).sum();
         prop_assert!((total - 1.0).abs() < 1e-6);
