@@ -42,7 +42,7 @@ pub use batch::{latency_percentile, BatchEngine, BatchStats};
 pub use config::EngineConfig;
 pub use engine::AqpEngine;
 pub use result::{QueryAnswer, RoundTrace, StepTimings};
-pub use session::InteractiveSession;
+pub use session::{InteractiveSession, RoundOutcome};
 pub use sharded::{ShardedSession, ShardedStats};
 
 /// Convenience re-exports for downstream users of the public API.

@@ -102,6 +102,27 @@ pub(crate) fn validate_entity<S: PredicateSimilarity + ?Sized>(
     (correct, sim)
 }
 
+/// Outcome of one refinement round of the sampling–estimation loop: did the
+/// round settle the query, exhaust its budget, or leave more work to do?
+/// Returned by [`InteractiveSession::step_with`] and
+/// [`crate::ShardedSession::step_with`] so a driver (the deadline-aware
+/// service scheduler, or [`InteractiveSession::refine_with`] itself) can
+/// decide round-by-round whether to keep going.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RoundOutcome {
+    /// The Theorem-2 guarantee holds for the requested error bound (or no
+    /// further draw can change the interval): refinement is complete and
+    /// `guarantee_met` is true.
+    Satisfied,
+    /// A budget cap (max sample size, or an empty answer distribution with
+    /// an unsatisfied bound) stops refinement short of the guarantee:
+    /// further rounds cannot help and `guarantee_met` is false.
+    Exhausted,
+    /// The guarantee is not yet met and more sample has been drawn: another
+    /// round would refine the interval further.
+    Continue,
+}
+
 /// An interactive query session: keeps the plan, the drawn sample and the
 /// validation cache so that the user can tighten the error bound at runtime
 /// and pay only the incremental cost (Fig. 6(a)).
@@ -118,6 +139,8 @@ pub struct InteractiveSession {
     shared_validation: Option<SharedValidationCache>,
     timings: StepTimings,
     rounds: Vec<RoundTrace>,
+    /// Whether the most recent round met the requested bound (Theorem 2).
+    guarantee_met: bool,
 }
 
 impl InteractiveSession {
@@ -142,6 +165,7 @@ impl InteractiveSession {
             shared_validation,
             timings,
             rounds: Vec::new(),
+            guarantee_met: false,
         }
     }
 
@@ -159,6 +183,23 @@ impl InteractiveSession {
     /// Current total sample size.
     pub fn sample_size(&self) -> usize {
         self.sample.len()
+    }
+
+    /// The session's engine configuration.
+    pub(crate) fn engine_config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of refinement rounds completed so far (across all
+    /// `refine_*`/`step_with` calls on this session).
+    pub fn rounds_completed(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether the most recently completed round met its requested error
+    /// bound (false before any round has run).
+    pub fn guarantee_met(&self) -> bool {
+        self.guarantee_met
     }
 
     fn draw(&mut self, count: usize) {
@@ -250,72 +291,113 @@ impl InteractiveSession {
         error_bound: f64,
         confidence: f64,
     ) -> QueryAnswer {
-        self.config.confidence = confidence;
         let wall = Instant::now();
+        for _round in 0..self.config.max_rounds.max(1) {
+            if self.step_with(graph, similarity, error_bound, confidence) != RoundOutcome::Continue
+            {
+                break;
+            }
+        }
+        let mut answer = self.snapshot_answer(graph);
+        answer.elapsed_ms = wall.elapsed().as_secs_f64() * 1e3 + self.plan.plan_ms;
+        answer
+    }
+
+    /// Runs exactly one round of the sampling–estimation loop: draw the
+    /// initial sample if none exists yet, validate, estimate, compute the
+    /// BLB interval, record a [`RoundTrace`], and (unless done) draw the
+    /// Eq.-12 increment for the next round. This is [`Self::refine_with`]
+    /// at round granularity: driving it in a loop performs the identical
+    /// operation and RNG sequence, so a driver that stops early (a deadline
+    /// scheduler) observes exactly the estimates a full refinement would
+    /// have produced at the same round boundary.
+    pub fn step_with<S: PredicateSimilarity + ?Sized>(
+        &mut self,
+        graph: &KnowledgeGraph,
+        similarity: &S,
+        error_bound: f64,
+        confidence: f64,
+    ) -> RoundOutcome {
+        self.config.confidence = confidence;
         if self.sample.is_empty() {
             let initial = self.config.initial_sample_size(self.plan.candidate_count);
             self.draw(initial);
         }
 
-        let mut estimate_value = 0.0;
-        let mut moe = 0.0;
-        let mut guarantee_met = false;
+        self.validate(graph, similarity);
+        let validated: Vec<ValidatedAnswer> = self
+            .validated_sample(graph)
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
 
-        for _round in 0..self.config.max_rounds.max(1) {
-            self.validate(graph, similarity);
-            let validated: Vec<ValidatedAnswer> = self
-                .validated_sample(graph)
-                .into_iter()
-                .map(|(_, v)| v)
-                .collect();
+        let est_start = Instant::now();
+        let estimate_value = estimate(&self.plan.aggregate, &validated);
+        self.timings.estimation_ms += est_start.elapsed().as_secs_f64() * 1e3;
 
-            let est_start = Instant::now();
-            estimate_value = estimate(&self.plan.aggregate, &validated);
-            self.timings.estimation_ms += est_start.elapsed().as_secs_f64() * 1e3;
+        let guar_start = Instant::now();
+        let moe = blb_moe(
+            &self.plan.aggregate,
+            &validated,
+            self.config.confidence,
+            &self.config.bootstrap,
+            &mut self.rng,
+        );
+        let satisfied = satisfies_error_bound(estimate_value, moe, error_bound);
+        self.timings.guarantee_ms += guar_start.elapsed().as_secs_f64() * 1e3;
 
-            let guar_start = Instant::now();
-            moe = blb_moe(
-                &self.plan.aggregate,
-                &validated,
-                self.config.confidence,
-                &self.config.bootstrap,
-                &mut self.rng,
-            );
-            let satisfied = satisfies_error_bound(estimate_value, moe, error_bound);
-            self.timings.guarantee_ms += guar_start.elapsed().as_secs_f64() * 1e3;
+        self.rounds.push(RoundTrace {
+            round: self.rounds.len() + 1,
+            estimate: estimate_value,
+            moe,
+            sample_size: self.sample.len(),
+            correct_size: validated.iter().filter(|v| v.correct).count(),
+        });
 
-            self.rounds.push(RoundTrace {
-                round: self.rounds.len() + 1,
-                estimate: estimate_value,
-                moe,
-                sample_size: self.sample.len(),
-                correct_size: validated.iter().filter(|v| v.correct).count(),
-            });
-
-            if satisfied || self.plan.distribution.is_empty() {
-                guarantee_met = satisfied;
-                break;
-            }
-            if self.sample.len() >= self.config.max_sample_size {
-                break;
-            }
-            let delta = match self.config.fixed_increment {
-                Some(fixed) => fixed,
-                None => additional_sample_size(
-                    self.sample.len(),
-                    moe,
-                    estimate_value,
-                    error_bound,
-                    self.config.bootstrap.blb_exponent,
-                    self.config.max_sample_size - self.sample.len(),
-                ),
+        if satisfied || self.plan.distribution.is_empty() {
+            self.guarantee_met = satisfied;
+            return if satisfied {
+                RoundOutcome::Satisfied
+            } else {
+                RoundOutcome::Exhausted
             };
-            if delta == 0 {
-                guarantee_met = true;
-                break;
-            }
-            self.draw(delta.min(self.config.max_sample_size - self.sample.len()));
         }
+        if self.sample.len() >= self.config.max_sample_size {
+            self.guarantee_met = false;
+            return RoundOutcome::Exhausted;
+        }
+        let delta = match self.config.fixed_increment {
+            Some(fixed) => fixed,
+            None => additional_sample_size(
+                self.sample.len(),
+                moe,
+                estimate_value,
+                error_bound,
+                self.config.bootstrap.blb_exponent,
+                self.config.max_sample_size - self.sample.len(),
+            ),
+        };
+        if delta == 0 {
+            self.guarantee_met = true;
+            return RoundOutcome::Satisfied;
+        }
+        self.draw(delta.min(self.config.max_sample_size - self.sample.len()));
+        self.guarantee_met = false;
+        RoundOutcome::Continue
+    }
+
+    /// Assembles a [`QueryAnswer`] from the session's current state — the
+    /// last round's estimate and interval, the full round trace, and the
+    /// GROUP-BY buckets over the validated sample. Used by step drivers to
+    /// materialise the best-so-far answer at any round boundary (e.g. when
+    /// a deadline fires); `elapsed_ms` is the accumulated step time, since
+    /// the session does not know its driver's wall-clock window.
+    pub fn snapshot_answer(&self, graph: &KnowledgeGraph) -> QueryAnswer {
+        let (estimate_value, moe) = self
+            .rounds
+            .last()
+            .map(|r| (r.estimate, r.moe))
+            .unwrap_or((0.0, 0.0));
 
         // GROUP-BY: estimate per bucket over the validated sample. Each
         // bucket is the subpopulation "correct AND in bucket", so its HT
@@ -360,13 +442,13 @@ impl InteractiveSession {
             estimate: estimate_value,
             moe,
             confidence: self.config.confidence,
-            guarantee_met,
+            guarantee_met: self.guarantee_met,
             rounds: self.rounds.clone(),
             groups,
             timings: self.timings,
             sample_size: self.sample.len(),
             candidate_count: self.plan.candidate_count,
-            elapsed_ms: wall.elapsed().as_secs_f64() * 1e3 + self.plan.plan_ms,
+            elapsed_ms: self.timings.total_ms(),
         }
     }
 }

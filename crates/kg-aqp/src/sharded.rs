@@ -31,7 +31,7 @@ use crate::config::EngineConfig;
 use crate::engine::{AqpEngine, ComponentValidator, QueryPlan};
 use crate::result::{QueryAnswer, RoundTrace, StepTimings};
 use crate::session::{
-    validate_entity, validation_config, InteractiveSession, SharedValidationCache,
+    validate_entity, validation_config, InteractiveSession, RoundOutcome, SharedValidationCache,
 };
 use kg_core::{EntityId, KgResult, ShardedGraph};
 use kg_embed::PredicateSimilarity;
@@ -105,6 +105,8 @@ struct StratifiedSession {
     /// Per-stratum variance contributions from the last merge, driving the
     /// next round's Neyman allocation.
     last_variances: Vec<f64>,
+    /// Whether the most recent round met the requested bound (Theorem 2).
+    guarantee_met: bool,
 }
 
 enum Inner {
@@ -193,6 +195,7 @@ pub(crate) fn open_sharded<S: PredicateSimilarity + ?Sized>(
             rounds: Vec::new(),
             merge_ms: 0.0,
             last_variances: vec![0.0; shard_count],
+            guarantee_met: false,
         })),
     })
 }
@@ -267,6 +270,83 @@ impl ShardedSession {
             Inner::Stratified(s) => s.refine_with(sharded, similarity, error_bound, confidence),
         }
     }
+
+    /// Runs exactly one refinement round (the sharded counterpart of
+    /// [`InteractiveSession::step_with`]): driving this in a loop of up to
+    /// `max_rounds` iterations is operation-for-operation identical to one
+    /// [`Self::refine_with`] call, so a deadline scheduler that stops at a
+    /// round boundary observes exactly the estimate a full refinement would
+    /// have produced at that round.
+    pub fn step_with<S: PredicateSimilarity + ?Sized + Sync>(
+        &mut self,
+        sharded: &ShardedGraph,
+        similarity: &S,
+        error_bound: f64,
+        confidence: f64,
+    ) -> RoundOutcome {
+        match &mut self.inner {
+            Inner::Single(s) => s.step_with(sharded.global(), similarity, error_bound, confidence),
+            Inner::Stratified(s) => s.step_with(sharded, similarity, error_bound, confidence),
+        }
+    }
+
+    /// The best-so-far answer at the current round boundary (estimate,
+    /// merged interval, trace, GROUP-BY buckets), without running any
+    /// further rounds. `guarantee_met` reflects the last completed round.
+    pub fn snapshot_answer(&self, sharded: &ShardedGraph) -> QueryAnswer {
+        match &self.inner {
+            Inner::Single(s) => s.snapshot_answer(sharded.global()),
+            Inner::Stratified(s) => s.snapshot_answer(sharded),
+        }
+    }
+
+    /// Number of refinement rounds completed so far on this session.
+    pub fn rounds_completed(&self) -> usize {
+        match &self.inner {
+            Inner::Single(s) => s.rounds_completed(),
+            Inner::Stratified(s) => s.rounds.len(),
+        }
+    }
+
+    /// Deadline-aware refinement driver: steps rounds exactly like
+    /// [`Self::refine_with`] but stops at the first round boundary at or
+    /// past `deadline`, returning the best-so-far answer and whether the
+    /// deadline truncated refinement (`true` iff more rounds would have
+    /// run). Because the check happens only *between* rounds, a truncated
+    /// answer is bitwise-identical to what a fresh refinement produces at
+    /// the same round count — anytime semantics with no new code path
+    /// through the estimators.
+    pub fn refine_deadline<S: PredicateSimilarity + ?Sized + Sync>(
+        &mut self,
+        sharded: &ShardedGraph,
+        similarity: &S,
+        error_bound: f64,
+        confidence: f64,
+        deadline: Instant,
+    ) -> (QueryAnswer, bool) {
+        let mut truncated = false;
+        for _round in 0..self.max_rounds() {
+            if self.step_with(sharded, similarity, error_bound, confidence)
+                != RoundOutcome::Continue
+            {
+                break;
+            }
+            if Instant::now() >= deadline {
+                truncated = true;
+                break;
+            }
+        }
+        (self.snapshot_answer(sharded), truncated)
+    }
+
+    /// The configured per-request round cap (`max_rounds`, at least 1).
+    pub fn max_rounds(&self) -> usize {
+        let config = match &self.inner {
+            Inner::Single(s) => s.engine_config(),
+            Inner::Stratified(s) => &s.config,
+        };
+        config.max_rounds.max(1)
+    }
 }
 
 impl StratifiedSession {
@@ -329,8 +409,33 @@ impl StratifiedSession {
         error_bound: f64,
         confidence: f64,
     ) -> QueryAnswer {
-        self.config.confidence = confidence;
         let wall = Instant::now();
+        for _round in 0..self.config.max_rounds.max(1) {
+            if self.step_with(sharded, similarity, error_bound, confidence)
+                != RoundOutcome::Continue
+            {
+                break;
+            }
+        }
+        let mut answer = self.snapshot_answer(sharded);
+        answer.elapsed_ms = wall.elapsed().as_secs_f64() * 1e3 + self.plan.plan_ms;
+        answer
+    }
+
+    /// One round of the stratified loop: per-shard validate + estimate +
+    /// bootstrap fanned out on the rayon pool, stratified merge, round
+    /// trace, then the Neyman-allocated draw for the next round (unless
+    /// done). The stratified counterpart of
+    /// [`InteractiveSession::step_with`] — identical operation and RNG
+    /// sequence to one iteration of the old monolithic refine loop.
+    fn step_with<S: PredicateSimilarity + ?Sized + Sync>(
+        &mut self,
+        sharded: &ShardedGraph,
+        similarity: &S,
+        error_bound: f64,
+        confidence: f64,
+    ) -> RoundOutcome {
+        self.config.confidence = confidence;
         if self.total_sample() == 0 {
             let initial = self.config.initial_sample_size(self.plan.candidate_count);
             let weights: Vec<f64> = self.strata.iter().map(|s| s.sampler.weight()).collect();
@@ -349,124 +454,136 @@ impl StratifiedSession {
         // merged interval needs no subsample machinery — and the guarantee
         // step costs `resamples`·n draws instead of BLB's t·`resamples`·n.
         let resamples = self.config.bootstrap.resamples.max(2);
-        let mut estimate_value = 0.0;
-        let mut moe = 0.0;
-        let mut guarantee_met = false;
 
-        for _round in 0..self.config.max_rounds.max(1) {
-            // Fan the per-shard refine step (validate, estimate, bootstrap)
-            // out across the rayon pool; strata are mutually disjoint.
-            let plan = &self.plan;
-            let config = &self.config;
-            let shared = self.shared_validation.as_ref();
-            let per_stratum: Vec<(StratumEstimate, f64, f64)> = self
-                .strata
-                .par_iter_mut()
-                .map(|stratum| {
-                    let global = sharded.global();
-                    let validate_start = Instant::now();
-                    for i in 0..stratum.sample.len() {
-                        let entity = stratum.sample[i].0;
-                        if stratum.validation.contains_key(&entity) {
-                            continue;
-                        }
-                        let outcome = validate_entity(
-                            plan,
-                            config.validate,
-                            &validation,
-                            global,
-                            similarity,
-                            entity,
-                            shared,
-                        );
-                        stratum.validation.insert(entity, outcome);
+        // Fan the per-shard refine step (validate, estimate, bootstrap)
+        // out across the rayon pool; strata are mutually disjoint.
+        let plan = &self.plan;
+        let config = &self.config;
+        let shared = self.shared_validation.as_ref();
+        let per_stratum: Vec<(StratumEstimate, f64, f64)> = self
+            .strata
+            .par_iter_mut()
+            .map(|stratum| {
+                let global = sharded.global();
+                let validate_start = Instant::now();
+                for i in 0..stratum.sample.len() {
+                    let entity = stratum.sample[i].0;
+                    if stratum.validation.contains_key(&entity) {
+                        continue;
                     }
-                    let validated = Self::validated_sample(stratum, plan, sharded);
-                    let validate_ms = validate_start.elapsed().as_secs_f64() * 1e3;
-                    let bootstrap_start = Instant::now();
-                    let summary = StratumEstimate::compute(
-                        &plan.aggregate,
-                        &validated,
-                        resamples,
-                        &mut stratum.rng,
+                    let outcome = validate_entity(
+                        plan,
+                        config.validate,
+                        &validation,
+                        global,
+                        similarity,
+                        entity,
+                        shared,
                     );
-                    let bootstrap_ms = bootstrap_start.elapsed().as_secs_f64() * 1e3;
-                    (summary, validate_ms, bootstrap_ms)
-                })
-                .collect();
+                    stratum.validation.insert(entity, outcome);
+                }
+                let validated = Self::validated_sample(stratum, plan, sharded);
+                let validate_ms = validate_start.elapsed().as_secs_f64() * 1e3;
+                let bootstrap_start = Instant::now();
+                let summary = StratumEstimate::compute(
+                    &plan.aggregate,
+                    &validated,
+                    resamples,
+                    &mut stratum.rng,
+                );
+                let bootstrap_ms = bootstrap_start.elapsed().as_secs_f64() * 1e3;
+                (summary, validate_ms, bootstrap_ms)
+            })
+            .collect();
 
-            self.timings.estimation_ms += per_stratum.iter().map(|(_, v, _)| v).sum::<f64>();
-            self.timings.guarantee_ms += per_stratum.iter().map(|(_, _, b)| b).sum::<f64>();
-            let summaries: Vec<StratumEstimate> =
-                per_stratum.into_iter().map(|(s, _, _)| s).collect();
+        self.timings.estimation_ms += per_stratum.iter().map(|(_, v, _)| v).sum::<f64>();
+        self.timings.guarantee_ms += per_stratum.iter().map(|(_, _, b)| b).sum::<f64>();
+        let summaries: Vec<StratumEstimate> = per_stratum.into_iter().map(|(s, _, _)| s).collect();
 
-            let merge_start = Instant::now();
-            let merged = merge_strata(&self.plan.aggregate, &summaries, self.config.confidence);
-            estimate_value = merged.estimate;
-            moe = merged.moe;
-            self.last_variances = merged.variances;
-            let satisfied = satisfies_error_bound(estimate_value, moe, error_bound);
-            let merge_elapsed = merge_start.elapsed().as_secs_f64() * 1e3;
-            self.merge_ms += merge_elapsed;
-            self.timings.guarantee_ms += merge_elapsed;
+        let merge_start = Instant::now();
+        let merged = merge_strata(&self.plan.aggregate, &summaries, self.config.confidence);
+        let estimate_value = merged.estimate;
+        let moe = merged.moe;
+        self.last_variances = merged.variances;
+        let satisfied = satisfies_error_bound(estimate_value, moe, error_bound);
+        let merge_elapsed = merge_start.elapsed().as_secs_f64() * 1e3;
+        self.merge_ms += merge_elapsed;
+        self.timings.guarantee_ms += merge_elapsed;
 
-            self.rounds.push(RoundTrace {
-                round: self.rounds.len() + 1,
-                estimate: estimate_value,
-                moe,
-                sample_size: merged.sample_size,
-                correct_size: merged.correct,
-            });
+        self.rounds.push(RoundTrace {
+            round: self.rounds.len() + 1,
+            estimate: estimate_value,
+            moe,
+            sample_size: merged.sample_size,
+            correct_size: merged.correct,
+        });
 
-            if satisfied || self.plan.distribution.is_empty() {
-                guarantee_met = satisfied;
-                break;
-            }
-            let total = self.total_sample();
-            if total >= self.config.max_sample_size {
-                break;
-            }
-            let delta = match self.config.fixed_increment {
-                Some(fixed) => fixed,
-                None => additional_sample_size(
-                    total,
-                    moe,
-                    estimate_value,
-                    error_bound,
-                    self.config.bootstrap.blb_exponent,
-                    self.config.max_sample_size - total,
-                ),
+        if satisfied || self.plan.distribution.is_empty() {
+            self.guarantee_met = satisfied;
+            return if satisfied {
+                RoundOutcome::Satisfied
+            } else {
+                RoundOutcome::Exhausted
             };
-            if delta == 0 {
-                guarantee_met = true;
-                break;
-            }
-            let delta = delta.min(self.config.max_sample_size - total);
-            // Neyman-style allocation: draws go to shards proportionally to
-            // their variance contribution, blended with a small fraction of
-            // stratum mass (see [`EXPLORATION_FLOOR`]); when every stratum
-            // reports zero variance (degenerate round), fall back to mass
-            // alone.
-            let var_total: f64 = self.last_variances.iter().sum();
-            let weights: Vec<f64> = self
-                .strata
-                .iter()
-                .zip(&self.last_variances)
-                .map(|(stratum, &var)| {
-                    let mass = stratum.sampler.weight();
-                    if var_total > 0.0 {
-                        var / var_total + EXPLORATION_FLOOR * mass
-                    } else {
-                        mass
-                    }
-                })
-                .collect();
-            let allocation = allocate_proportional(delta, &weights);
-            if allocation.iter().sum::<usize>() == 0 {
-                break;
-            }
-            self.draw(&allocation);
         }
+        let total = self.total_sample();
+        if total >= self.config.max_sample_size {
+            self.guarantee_met = false;
+            return RoundOutcome::Exhausted;
+        }
+        let delta = match self.config.fixed_increment {
+            Some(fixed) => fixed,
+            None => additional_sample_size(
+                total,
+                moe,
+                estimate_value,
+                error_bound,
+                self.config.bootstrap.blb_exponent,
+                self.config.max_sample_size - total,
+            ),
+        };
+        if delta == 0 {
+            self.guarantee_met = true;
+            return RoundOutcome::Satisfied;
+        }
+        let delta = delta.min(self.config.max_sample_size - total);
+        // Neyman-style allocation: draws go to shards proportionally to
+        // their variance contribution, blended with a small fraction of
+        // stratum mass (see [`EXPLORATION_FLOOR`]); when every stratum
+        // reports zero variance (degenerate round), fall back to mass
+        // alone.
+        let var_total: f64 = self.last_variances.iter().sum();
+        let weights: Vec<f64> = self
+            .strata
+            .iter()
+            .zip(&self.last_variances)
+            .map(|(stratum, &var)| {
+                let mass = stratum.sampler.weight();
+                if var_total > 0.0 {
+                    var / var_total + EXPLORATION_FLOOR * mass
+                } else {
+                    mass
+                }
+            })
+            .collect();
+        let allocation = allocate_proportional(delta, &weights);
+        if allocation.iter().sum::<usize>() == 0 {
+            self.guarantee_met = false;
+            return RoundOutcome::Exhausted;
+        }
+        self.draw(&allocation);
+        self.guarantee_met = false;
+        RoundOutcome::Continue
+    }
+
+    /// Assembles a [`QueryAnswer`] from the current merged state (the
+    /// stratified counterpart of [`InteractiveSession::snapshot_answer`]).
+    fn snapshot_answer(&self, sharded: &ShardedGraph) -> QueryAnswer {
+        let (estimate_value, moe) = self
+            .rounds
+            .last()
+            .map(|r| (r.estimate, r.moe))
+            .unwrap_or((0.0, 0.0));
 
         // Merged GROUP-BY: per bucket, each stratum contributes its HT terms
         // over the full stratum draw list with out-of-bucket draws marked
@@ -526,13 +643,13 @@ impl StratifiedSession {
             estimate: estimate_value,
             moe,
             confidence: self.config.confidence,
-            guarantee_met,
+            guarantee_met: self.guarantee_met,
             rounds: self.rounds.clone(),
             groups,
             timings: self.timings,
             sample_size: self.total_sample(),
             candidate_count: self.plan.candidate_count,
-            elapsed_ms: wall.elapsed().as_secs_f64() * 1e3 + self.plan.plan_ms,
+            elapsed_ms: self.timings.total_ms(),
         }
     }
 }

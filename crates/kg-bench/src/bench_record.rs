@@ -14,13 +14,20 @@ use serde_json::{Map, Value};
 use std::env;
 use std::path::PathBuf;
 
-/// Where bench sections are merged: `$KG_BENCH_OUTPUT` if set, else
-/// `BENCH_5.json` at the workspace root.
-pub fn bench_output_path() -> PathBuf {
+/// Where sections of bench artifact `bench_id` are merged:
+/// `$KG_BENCH_OUTPUT` if set, else `BENCH_{bench_id}.json` at the
+/// workspace root.
+pub fn bench_output_path_for(bench_id: &str) -> PathBuf {
     if let Ok(path) = env::var("KG_BENCH_OUTPUT") {
         return PathBuf::from(path);
     }
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_5.json")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../BENCH_{bench_id}.json"))
+}
+
+/// Where bench sections are merged: `$KG_BENCH_OUTPUT` if set, else
+/// `BENCH_5.json` at the workspace root.
+pub fn bench_output_path() -> PathBuf {
+    bench_output_path_for("5")
 }
 
 /// Context every section carries so recorded numbers are interpretable:
@@ -42,11 +49,18 @@ pub fn host_context() -> Value {
     Value::Object(obj)
 }
 
-/// Merges `section` into the bench output file, replacing any previous
-/// value under the same key and stamping the file's `bench` id. Errors are
-/// printed, not propagated — a read-only checkout must not fail a bench.
+/// Merges `section` into the bench output file for artifact `"5"` (the
+/// shard/thread-scaling perf story). See [`record_section_for`].
 pub fn record_section(section: &str, value: Value) {
-    let path = bench_output_path();
+    record_section_for("5", section, value);
+}
+
+/// Merges `section` into the output file of bench artifact `bench_id`,
+/// replacing any previous value under the same key and stamping the file's
+/// `bench` id. Errors are printed, not propagated — a read-only checkout
+/// must not fail a bench.
+pub fn record_section_for(bench_id: &str, section: &str, value: Value) {
+    let path = bench_output_path_for(bench_id);
     let mut root = std::fs::read_to_string(&path)
         .ok()
         .and_then(|text| serde_json::from_str(&text).ok())
@@ -55,7 +69,7 @@ pub fn record_section(section: &str, value: Value) {
             _ => None,
         })
         .unwrap_or_default();
-    root.insert("bench".to_string(), Value::String("5".to_string()));
+    root.insert("bench".to_string(), Value::String(bench_id.to_string()));
     root.insert("host".to_string(), host_context());
     root.insert(section.to_string(), value);
     let text = serde_json::to_string_pretty(&Value::Object(root)).expect("serialising is total");

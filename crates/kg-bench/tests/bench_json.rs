@@ -1,20 +1,28 @@
-//! The committed `BENCH_5.json` at the workspace root is the
-//! machine-readable perf record of this revision (thread-count ×
-//! shard-count matrices, alias-vs-search draw costs, service throughput).
-//! This test keeps it present and well-formed: regenerating it with
+//! The committed `BENCH_*.json` files at the workspace root are the
+//! machine-readable perf records of this revision: `BENCH_5.json` holds the
+//! thread-count × shard-count matrices, alias-vs-search draw costs and
+//! service throughput; `BENCH_6.json` holds the deadline-goodput curve.
+//! These tests keep them present and well-formed: regenerating one with
 //! `cargo bench -p kg-bench --bench <name>` must always produce a file
-//! this schema check accepts, and a stale/corrupt commit fails tier-1.
+//! the schema check accepts, and a stale/corrupt commit fails tier-1.
 
 use serde_json::Value;
 use std::path::PathBuf;
 
-fn committed_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_5.json")
+fn committed_doc(file: &str) -> Value {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../{file}"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{file} must be committed at the workspace root ({}): {e}",
+            path.display()
+        )
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("{file} parses as JSON: {e}"))
 }
 
 fn section<'doc>(doc: &'doc Value, name: &str) -> &'doc Value {
     doc.get(name)
-        .unwrap_or_else(|| panic!("BENCH_5.json is missing the {name:?} section"))
+        .unwrap_or_else(|| panic!("the bench json is missing the {name:?} section"))
 }
 
 fn positive_qps_rows(matrix: &Value, context: &str) {
@@ -36,14 +44,7 @@ fn positive_qps_rows(matrix: &Value, context: &str) {
 
 #[test]
 fn committed_bench_json_is_well_formed() {
-    let path = committed_path();
-    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "BENCH_5.json must be committed at the workspace root ({}): {e}",
-            path.display()
-        )
-    });
-    let doc: Value = serde_json::from_str(&text).expect("BENCH_5.json parses as JSON");
+    let doc = committed_doc("BENCH_5.json");
 
     assert_eq!(doc.get("bench").and_then(Value::as_str), Some("5"));
     let host = section(&doc, "host");
@@ -82,4 +83,65 @@ fn committed_bench_json_is_well_formed() {
         let v = alias.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN);
         assert!(v.is_finite() && v > 0.0, "alias_draw.{key} = {v}");
     }
+}
+
+/// `BENCH_6.json`: the deadline-goodput record. The burst that legacy
+/// admission control shed almost entirely must answer ≥ 90% with anytime
+/// answers at the tuned deadline, and the deadline-less baseline must still
+/// show the shed cliff (the 503 contract was not silently relaxed).
+#[test]
+fn committed_deadline_goodput_json_is_well_formed() {
+    let doc = committed_doc("BENCH_6.json");
+
+    assert_eq!(doc.get("bench").and_then(Value::as_str), Some("6"));
+    let goodput = section(&doc, "deadline_goodput");
+
+    let deadline_ms = goodput
+        .get("deadline_ms")
+        .and_then(Value::as_f64)
+        .unwrap_or(f64::NAN);
+    assert!(
+        (40.0..=100.0).contains(&deadline_ms),
+        "tuned deadline out of range: {deadline_ms}"
+    );
+
+    let curve = goodput
+        .get("curve")
+        .and_then(Value::as_array)
+        .expect("deadline_goodput.curve is an array");
+    assert!(curve.len() >= 2, "curve needs at least two client counts");
+    let mut saw_sixteen = false;
+    for cell in curve {
+        let clients = cell.get("clients").and_then(Value::as_f64).unwrap_or(0.0);
+        let ok_rate = cell
+            .get("ok_rate")
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::NAN);
+        let p95 = cell
+            .get("p95_ms")
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::NAN);
+        assert!(clients >= 1.0, "bad cell {cell}");
+        assert!((0.0..=1.0).contains(&ok_rate), "bad ok_rate in {cell}");
+        assert!(p95.is_finite() && p95 > 0.0, "bad p95 in {cell}");
+        if clients == 16.0 {
+            saw_sixteen = true;
+            assert!(
+                ok_rate >= 0.9,
+                "the 16-client anytime burst must answer ≥ 90%: {cell}"
+            );
+        }
+    }
+    assert!(saw_sixteen, "the curve must include the 16-client cell");
+
+    let baseline = section(goodput, "no_deadline_baseline");
+    let shed = baseline
+        .get("shed")
+        .and_then(Value::as_f64)
+        .unwrap_or(f64::NAN);
+    assert!(
+        shed > 0.0,
+        "the deadline-less baseline must still shed: {baseline}"
+    );
+    assert!(baseline.get("deadline_ms").is_some_and(Value::is_null));
 }

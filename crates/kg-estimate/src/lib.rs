@@ -39,7 +39,9 @@ pub mod validation;
 
 pub use confidence::{blb_moe, bootstrap_moe, normal_critical_value, BootstrapConfig};
 pub use estimators::{estimate, EstimateAccumulator, ValidatedAnswer};
-pub use refine::{additional_sample_size, moe_threshold, satisfies_error_bound};
+pub use refine::{
+    achieved_error_bound, additional_sample_size, moe_threshold, satisfies_error_bound,
+};
 pub use stratified::{
     allocate_proportional, merge_strata, stratified_point, MergedEstimate, StratumEstimate,
 };

@@ -13,6 +13,24 @@ pub fn satisfies_error_bound(estimate: f64, moe: f64, error_bound: f64) -> bool 
     moe <= moe_threshold(estimate, error_bound)
 }
 
+/// The smallest relative error bound the interval `V̂ ± ε` satisfies under
+/// Theorem 2 — the inverse of [`moe_threshold`]: solving `ε = V̂·eb/(1+eb)`
+/// for `eb` gives `eb = ε / (|V̂| − ε)`. Returns `0.0` for a degenerate
+/// zero-width interval and `f64::INFINITY` when `ε ≥ |V̂|` (no finite bound
+/// is met — the interval does not even exclude zero). This is the *achieved*
+/// bound reported for deadline-truncated anytime answers.
+pub fn achieved_error_bound(estimate: f64, moe: f64) -> f64 {
+    if moe <= 0.0 {
+        return 0.0;
+    }
+    let slack = estimate.abs() - moe;
+    if slack <= 0.0 {
+        f64::INFINITY
+    } else {
+        moe / slack
+    }
+}
+
 /// Error-based configuration of the additional sample size Δ|S_A| (Eq. 12):
 ///
 /// ```text
@@ -53,6 +71,29 @@ mod tests {
         assert!((thr - 578.0 * 0.01 / 1.01).abs() < 1e-9);
         assert!(!satisfies_error_bound(578.0, 6.5, 0.01));
         assert!(satisfies_error_bound(578.0, 5.0, 0.01));
+    }
+
+    #[test]
+    fn achieved_bound_inverts_the_threshold() {
+        // For any non-degenerate interval, the achieved bound is exactly the
+        // eb at which Theorem 2 flips from unsatisfied to satisfied.
+        for (est, moe) in [(578.0, 6.5), (100.0, 1.0), (-40.0, 3.5), (1e6, 0.25)] {
+            let achieved = achieved_error_bound(est, moe);
+            assert!(achieved.is_finite());
+            assert!(
+                satisfies_error_bound(est, moe, achieved * (1.0 + 1e-12)),
+                "est={est} moe={moe} achieved={achieved}"
+            );
+            assert!(
+                !satisfies_error_bound(est, moe, achieved * (1.0 - 1e-9)),
+                "achieved bound must be minimal (est={est} moe={moe})"
+            );
+        }
+        // Degenerate cases: perfect interval and an interval wider than the
+        // estimate itself.
+        assert_eq!(achieved_error_bound(578.0, 0.0), 0.0);
+        assert_eq!(achieved_error_bound(5.0, 5.0), f64::INFINITY);
+        assert_eq!(achieved_error_bound(0.0, 1.0), f64::INFINITY);
     }
 
     #[test]

@@ -3,7 +3,14 @@
 //! ```text
 //! kg-load [--addr 127.0.0.1:7878] [--queries 1] [--concurrency 1]
 //!         [--seed 42] [--error-bound 0.05] [--confidence 0.95]
+//!         [--deadline-ms D] [--tenants a,b,c] [--min-ok-rate R]
 //! ```
+//!
+//! `--deadline-ms` attaches a deadline to every request (the service then
+//! returns anytime answers rather than shedding); `--tenants` spreads the
+//! requests round-robin over a comma-separated tenant list; `--min-ok-rate`
+//! makes the run fail unless at least that fraction of requests came back
+//! HTTP 200 (asserting the anytime-goodput contract in CI).
 //!
 //! Regenerates the workload of the DBpedia-like profile with the same seed
 //! `kg-serve` used, so every query resolves against the server's graph. The
@@ -29,7 +36,8 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: kg-load [--addr HOST:PORT] [--queries N] [--concurrency N] \
-             [--seed N] [--error-bound EB] [--confidence C]"
+             [--seed N] [--error-bound EB] [--confidence C] [--deadline-ms D] \
+             [--tenants A,B,..] [--min-ok-rate R]"
         );
         return;
     }
@@ -39,6 +47,10 @@ fn main() {
     let seed: u64 = parse_flag(&args, "--seed", 42);
     let error_bound: f64 = parse_flag(&args, "--error-bound", 0.05);
     let confidence: f64 = parse_flag(&args, "--confidence", 0.95);
+    let deadline_ms: f64 = parse_flag(&args, "--deadline-ms", 0.0);
+    let tenants: String = parse_flag(&args, "--tenants", String::new());
+    let min_ok_rate: f64 = parse_flag(&args, "--min-ok-rate", 0.0);
+    let tenants: Vec<&str> = tenants.split(',').filter(|t| !t.is_empty()).collect();
     let timeout = Duration::from_secs(120);
 
     eprintln!("kg-load: regenerating workload (seed {seed})…");
@@ -52,7 +64,16 @@ fn main() {
         std::process::exit(1);
     }
     let requests: Vec<QueryRequest> = (0..queries)
-        .map(|i| workload[i % workload.len()].clone())
+        .map(|i| {
+            let mut request = workload[i % workload.len()].clone();
+            if deadline_ms > 0.0 {
+                request = request.with_deadline_ms(deadline_ms);
+            }
+            if !tenants.is_empty() {
+                request = request.with_tenant(tenants[i % tenants.len()]);
+            }
+            request
+        })
         .collect();
 
     // First query: assert the smoke contract explicitly.
@@ -92,6 +113,18 @@ fn main() {
         println!("kg-load: {report}");
         if report.failed > 0 {
             std::process::exit(1);
+        }
+        if min_ok_rate > 0.0 {
+            let ok_rate = report.ok as f64 / report.total().max(1) as f64;
+            if ok_rate < min_ok_rate {
+                eprintln!(
+                    "kg-load: ok rate {ok_rate:.3} below required {min_ok_rate:.3} \
+                     ({} ok of {})",
+                    report.ok,
+                    report.total(),
+                );
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -3,9 +3,17 @@
 //!
 //! ```text
 //! kg-serve [--addr 127.0.0.1:7878] [--seed 42] [--workers 4]
-//!          [--queue-capacity 256] [--error-bound 0.01] [--confidence 0.95]
-//!          [--shards 1]
+//!          [--queue-capacity 256] [--drain-batch 16]
+//!          [--error-bound 0.01] [--confidence 0.95] [--shards 1]
+//!          [--tenant-weight 1.0] [--tenant-quota 256]
+//!          [--tenant NAME=WEIGHT:QUOTA]...
 //! ```
+//!
+//! `--tenant-weight`/`--tenant-quota` set the default limits applied to any
+//! tenant the service has not been told about; each repeatable
+//! `--tenant NAME=WEIGHT:QUOTA` pins an explicit override (e.g.
+//! `--tenant acme=2:8` gives `acme` twice the refinement rounds of a
+//! weight-1 tenant and room for 8 queued deadline requests).
 //!
 //! The dataset is the DBpedia-like synthetic profile at tiny scale, so a
 //! client that generates the same profile with the same seed (`kg-load`
@@ -13,7 +21,6 @@
 //! `kg-serve listening on http://…` line once the socket is bound, then
 //! serves until killed.
 
-use kg_aqp::EngineConfig;
 use kg_datagen::{generate, profiles, DatasetScale};
 use kg_service::{HttpServer, Service, ServiceConfig};
 use std::sync::Arc;
@@ -26,12 +33,21 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
         .unwrap_or(default)
 }
 
+/// Parses one `NAME=WEIGHT:QUOTA` tenant override.
+fn parse_tenant_spec(spec: &str) -> Option<(String, f64, usize)> {
+    let (name, limits) = spec.split_once('=')?;
+    let (weight, quota) = limits.split_once(':')?;
+    Some((name.to_string(), weight.parse().ok()?, quota.parse().ok()?))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: kg-serve [--addr HOST:PORT] [--seed N] [--workers N] \
-             [--queue-capacity N] [--error-bound EB] [--confidence C] [--shards K]"
+             [--queue-capacity N] [--drain-batch N] [--error-bound EB] \
+             [--confidence C] [--shards K] [--tenant-weight W] \
+             [--tenant-quota N] [--tenant NAME=WEIGHT:QUOTA]..."
         );
         return;
     }
@@ -39,25 +55,46 @@ fn main() {
     let seed: u64 = parse_flag(&args, "--seed", 42);
     let workers: usize = parse_flag(&args, "--workers", 4);
     let queue_capacity: usize = parse_flag(&args, "--queue-capacity", 256);
+    let drain_batch: usize = parse_flag(&args, "--drain-batch", 16);
     let error_bound: f64 = parse_flag(&args, "--error-bound", 0.01);
     let confidence: f64 = parse_flag(&args, "--confidence", 0.95);
     let shards: usize = parse_flag(&args, "--shards", 1).max(1);
+    let tenant_weight: f64 = parse_flag(&args, "--tenant-weight", 1.0);
+    let tenant_quota: usize = parse_flag(&args, "--tenant-quota", 256);
+
+    let mut builder = ServiceConfig::builder()
+        .error_bound(error_bound)
+        .confidence(confidence)
+        .queue_capacity(queue_capacity)
+        .workers(workers.max(1))
+        .drain_batch(drain_batch)
+        .shards(shards)
+        .default_tenant_limits(tenant_weight, tenant_quota);
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--tenant" {
+            let Some(spec) = args.get(i + 1) else {
+                eprintln!("kg-serve: --tenant needs a NAME=WEIGHT:QUOTA value");
+                std::process::exit(2);
+            };
+            let Some((name, weight, quota)) = parse_tenant_spec(spec) else {
+                eprintln!("kg-serve: unparsable tenant spec {spec:?} (want NAME=WEIGHT:QUOTA)");
+                std::process::exit(2);
+            };
+            builder = builder.tenant(name, weight, quota);
+        }
+    }
+    let config = match builder.build() {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("kg-serve: invalid configuration: {e}");
+            std::process::exit(2);
+        }
+    };
 
     eprintln!("kg-serve: generating DBpedia-like dataset (tiny scale, seed {seed})…");
     let dataset = generate(&profiles::dbpedia_like(DatasetScale::tiny(), seed));
     let entities = dataset.graph.entity_count();
 
-    let config = ServiceConfig {
-        engine: EngineConfig {
-            error_bound,
-            confidence,
-            ..EngineConfig::default()
-        },
-        queue_capacity,
-        workers: workers.max(1),
-        shards,
-        ..ServiceConfig::default()
-    };
     let service = Arc::new(Service::new(
         Arc::new(dataset.graph),
         Arc::new(dataset.oracle),

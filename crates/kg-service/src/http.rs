@@ -10,11 +10,15 @@
 //!
 //! | Method & path | Behaviour |
 //! |---|---|
-//! | `POST /query` | Body `{"query": <wire query>, "error_bound"?, "confidence"?}` → `200` with `{"answer": ..}`, `400` malformed, `422` unresolvable, `503` shed |
+//! | `POST /query` | v2 body `{"v": 2, "query": .., "targets"?: {"error_bound"?, "confidence"?}, "deadline_ms"?, "tenant"?}` (the v1 flat shape is still accepted) → `200` with `{"answer": ..}`, `400` malformed, `422` unresolvable, `429` tenant quota, `503` shed, `504` deadline expired before planning |
 //! | `GET /metrics` | `200` with the [`crate::MetricsSnapshot`] JSON |
 //! | `GET /healthz` | `200` `{"status":"ok"}` |
 //!
-//! Every error body is structured: `{"error": {"kind": .., "message": ..}}`.
+//! Every error body is structured:
+//! `{"error": {"code": .., "kind": .., "message": ..}}`, where `code` is the
+//! stable machine-readable identifier from [`ServiceError::code`] (`kind` is
+//! its legacy alias). The full `ServiceError → (status, code)` table lives
+//! on [`ServiceError::http_status`].
 
 use crate::request::{QueryRequest, ServiceError};
 use crate::service::Service;
@@ -114,9 +118,10 @@ impl Response {
         Self { status, body }
     }
 
-    fn error(status: u16, kind: &str, message: impl Into<String>) -> Self {
+    fn error(status: u16, code: &str, message: impl Into<String>) -> Self {
         let mut inner = serde_json::Map::new();
-        inner.insert("kind".to_string(), Value::String(kind.to_string()));
+        inner.insert("code".to_string(), Value::String(code.to_string()));
+        inner.insert("kind".to_string(), Value::String(code.to_string()));
         inner.insert("message".to_string(), Value::String(message.into()));
         let mut map = serde_json::Map::new();
         map.insert("error".to_string(), Value::Object(inner));
@@ -132,6 +137,7 @@ fn status_text(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Internal Server Error",
@@ -279,13 +285,7 @@ fn handle_query(service: &Service, body: &str) -> Response {
 }
 
 fn service_error_response(error: &ServiceError) -> Response {
-    let status = match error {
-        ServiceError::Overloaded { .. } => 503,
-        ServiceError::Rejected(_) => 422,
-        ServiceError::InvalidTargets { .. } => 400,
-        ServiceError::ShuttingDown => 503,
-    };
-    Response::new(status, error.to_json())
+    Response::new(error.http_status(), error.to_json())
 }
 
 fn write_response(mut stream: TcpStream, response: &Response) {

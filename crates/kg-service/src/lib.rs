@@ -10,15 +10,21 @@
 //! A request travels:
 //!
 //! ```text
-//!   submit(query, eb, confidence)
-//!      │  queue full? ──► Err(Overloaded)            (admission control)
+//!   submit(query, eb, confidence [, deadline_ms, tenant])
+//!      │  no deadline, queue full? ──► Err(Overloaded)      (admission)
+//!      │  deadline, tenant quota full? ─► Err(TenantQuotaExceeded)
 //!      ▼
-//!   bounded queue ──► worker pool (drains through BatchEngine)
+//!   per-tenant weighted-fair queues ──► worker pool (WFQ checkout)
 //!      ▼
 //!   result cache, keyed by canonical query JSON
 //!      ├─ cached CI dominates targets ──► answer instantly   (cache hit)
 //!      ├─ component known, CI too wide ─► resume refinement  (cache resume)
-//!      └─ unknown ──► plan via lifetime SamplerCache, refine (fresh)
+//!      └─ unknown ──► plan via lifetime SamplerCache         (fresh)
+//!      ▼
+//!   round-interleaved refinement: each refinement round goes to the
+//!   smallest-virtual-time tenant; a deadline firing mid-refinement
+//!   returns the best round-boundary estimate (guarantee_met: false,
+//!   achieved error bound attached) instead of an error.
 //! ```
 //!
 //! The same [`Service`] is reachable in-process ([`Service::submit`] /
@@ -54,13 +60,20 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod config;
 pub mod http;
 pub mod loadgen;
 pub mod request;
+mod sched;
 pub mod service;
 
 pub use cache::{dominates, CacheDecision, ResultCache, ResultCacheStats};
+pub use config::{
+    ServiceConfig, ServiceConfigBuilder, ServiceConfigError, TenantLimits, TenantPolicy,
+};
 pub use http::HttpServer;
 pub use loadgen::{http_query, http_request, run_http, run_in_process, LoadReport};
-pub use request::{QueryRequest, ServedFrom, ServiceAnswer, ServiceError};
-pub use service::{MetricsSnapshot, PendingAnswer, Service, ServiceConfig};
+pub use request::{
+    QueryRequest, ServedFrom, ServiceAnswer, ServiceError, DEFAULT_TENANT, WIRE_VERSION,
+};
+pub use service::{MetricsSnapshot, PendingAnswer, Service, TenantMetrics, ACHIEVED_BOUND_BUCKETS};

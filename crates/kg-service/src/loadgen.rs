@@ -24,7 +24,12 @@ pub struct LoadReport {
     pub latencies_ms: Vec<f64>,
     /// Requests answered successfully.
     pub ok: usize,
-    /// Requests shed by admission control.
+    /// Completed answers whose accuracy guarantee was met.
+    pub guaranteed: usize,
+    /// Completed answers flagged `guarantee_met: false` (anytime answers
+    /// truncated by a deadline or a budget cap).
+    pub anytime: usize,
+    /// Requests shed by admission control (global capacity or tenant quota).
     pub shed: usize,
     /// Requests that failed for any other reason.
     pub failed: usize,
@@ -69,9 +74,11 @@ impl std::fmt::Display for LoadReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} ok / {} shed ({:.1}%) / {} failed in {:.0} ms ({:.1} q/s); \
-             latency ms p50={:.2} p95={:.2} p99={:.2}",
+            "{} ok ({} guaranteed, {} anytime) / {} shed ({:.1}%) / {} failed \
+             in {:.0} ms ({:.1} q/s); latency ms p50={:.2} p95={:.2} p99={:.2}",
             self.ok,
+            self.guaranteed,
+            self.anytime,
             self.shed,
             self.shed_rate() * 100.0,
             self.failed,
@@ -113,13 +120,20 @@ pub fn run_in_process(
                 match outcome {
                     Ok(answer) => {
                         report.ok += 1;
+                        if answer.answer.guarantee_met {
+                            report.guaranteed += 1;
+                        } else {
+                            report.anytime += 1;
+                        }
                         report.latencies_ms.push(latency_ms);
                         *report
                             .served_from
                             .entry(answer.served_from.name())
                             .or_insert(0) += 1;
                     }
-                    Err(ServiceError::Overloaded { .. }) => report.shed += 1,
+                    Err(
+                        ServiceError::Overloaded { .. } | ServiceError::TenantQuotaExceeded { .. },
+                    ) => report.shed += 1,
                     Err(_) => report.failed += 1,
                 }
             });
@@ -206,25 +220,28 @@ pub fn run_http(
                     Ok((200, body)) => {
                         report.ok += 1;
                         report.latencies_ms.push(latency_ms);
-                        let source = serde_json::from_str(&body)
-                            .ok()
-                            .and_then(|v: Value| {
-                                v["served_from"].as_str().map(|s| {
-                                    [
-                                        ServedFrom::Fresh,
-                                        ServedFrom::CacheHit,
-                                        ServedFrom::CacheResume,
-                                    ]
-                                    .into_iter()
-                                    .find(|sf| sf.name() == s)
-                                })
-                            })
-                            .flatten();
-                        if let Some(source) = source {
-                            *report.served_from.entry(source.name()).or_insert(0) += 1;
+                        let parsed: Result<Value, _> = serde_json::from_str(&body);
+                        if let Ok(v) = parsed {
+                            if v["answer"]["guarantee_met"].as_bool() == Some(false) {
+                                report.anytime += 1;
+                            } else {
+                                report.guaranteed += 1;
+                            }
+                            let source = v["served_from"].as_str().and_then(|s| {
+                                [
+                                    ServedFrom::Fresh,
+                                    ServedFrom::CacheHit,
+                                    ServedFrom::CacheResume,
+                                ]
+                                .into_iter()
+                                .find(|sf| sf.name() == s)
+                            });
+                            if let Some(source) = source {
+                                *report.served_from.entry(source.name()).or_insert(0) += 1;
+                            }
                         }
                     }
-                    Ok((503, _)) => report.shed += 1,
+                    Ok((503, _)) | Ok((429, _)) => report.shed += 1,
                     Ok(_) | Err(_) => report.failed += 1,
                 }
             });

@@ -1,4 +1,19 @@
 //! Requests, answers and errors of the service API.
+//!
+//! # Wire versions
+//!
+//! The request body is versioned by an optional `"v"` tag:
+//!
+//! * **v1 (legacy, no tag)** — the flat shape
+//!   `{"query": .., "error_bound": .., "confidence": ..}`. Still accepted:
+//!   it decodes into the same [`QueryRequest`] as the equivalent v2 body
+//!   (default tenant, no deadline), so cache keys are unaffected.
+//! * **v2 (`"v": 2`)** — accuracy targets nested under `"targets"`, plus
+//!   the scheduling fields: `{"v": 2, "query": .., "targets":
+//!   {"error_bound": .., "confidence": ..}, "deadline_ms": .., "tenant": ..}`.
+//!
+//! [`QueryRequest::to_json`] emits v2; [`QueryRequest::to_json_v1`] keeps
+//! the legacy encoder for compatibility tests and old clients.
 
 use kg_aqp::QueryAnswer;
 use kg_core::KgError;
@@ -7,9 +22,17 @@ use serde_json::Value;
 use std::fmt;
 use std::sync::Arc;
 
+/// The wire version emitted by [`QueryRequest::to_json`].
+pub const WIRE_VERSION: u64 = 2;
+
+/// Tenant name assumed when a request carries none.
+pub const DEFAULT_TENANT: &str = "default";
+
 /// One query submitted to the service, with its per-request accuracy
-/// contract: the answer's confidence interval must satisfy `error_bound`
-/// (Theorem 2's relative-error test) at `confidence`.
+/// contract — the answer's confidence interval must satisfy `error_bound`
+/// (Theorem 2's relative-error test) at `confidence` — and its scheduling
+/// envelope: an optional deadline (anytime answers) and the tenant whose
+/// weighted-fair queue admits it.
 #[derive(Clone, Debug)]
 pub struct QueryRequest {
     /// The aggregate query to answer.
@@ -18,29 +41,73 @@ pub struct QueryRequest {
     pub error_bound: f64,
     /// Confidence level 1 − α of the returned interval.
     pub confidence: f64,
+    /// Optional deadline in milliseconds from admission. When set, the
+    /// scheduler returns the best round-boundary estimate available at the
+    /// deadline (`guarantee_met: false` if the target was not yet met)
+    /// instead of refining to completion.
+    pub deadline_ms: Option<f64>,
+    /// Tenant this request is accounted to (weighted-fair scheduling and
+    /// per-tenant quotas). Defaults to [`DEFAULT_TENANT`].
+    pub tenant: String,
 }
 
 impl QueryRequest {
-    /// A request with explicit targets.
+    /// A request with explicit targets, no deadline, default tenant.
     pub fn new(query: AggregateQuery, error_bound: f64, confidence: f64) -> Self {
         Self {
             query,
             error_bound,
             confidence,
+            deadline_ms: None,
+            tenant: DEFAULT_TENANT.to_string(),
         }
     }
 
+    /// Sets a deadline in milliseconds from admission.
+    pub fn with_deadline_ms(mut self, deadline_ms: f64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Sets the tenant this request is accounted to.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
     /// True when the targets are usable: `error_bound > 0`,
-    /// `confidence ∈ (0, 1)`.
+    /// `confidence ∈ (0, 1)`, and the deadline (when present) is a positive
+    /// finite number of milliseconds.
     pub fn targets_valid(&self) -> bool {
         self.error_bound > 0.0
             && self.error_bound.is_finite()
             && self.confidence > 0.0
             && self.confidence < 1.0
+            && self.deadline_ms.map_or(true, |d| d.is_finite() && d > 0.0)
     }
 
-    /// Encodes as `{"query": <wire query>, "error_bound": eb, "confidence": c}`.
+    /// Encodes the current (v2) wire shape:
+    /// `{"v": 2, "query": .., "targets": {"error_bound": .., "confidence": ..},
+    /// "tenant": .., "deadline_ms": ..}` (`deadline_ms` omitted when unset).
     pub fn to_json(&self) -> Value {
+        let mut targets = serde_json::Map::new();
+        targets.insert("error_bound".to_string(), Value::Number(self.error_bound));
+        targets.insert("confidence".to_string(), Value::Number(self.confidence));
+        let mut map = serde_json::Map::new();
+        map.insert("v".to_string(), Value::Number(WIRE_VERSION as f64));
+        map.insert("query".to_string(), self.query.to_json());
+        map.insert("targets".to_string(), Value::Object(targets));
+        map.insert("tenant".to_string(), Value::String(self.tenant.clone()));
+        if let Some(deadline_ms) = self.deadline_ms {
+            map.insert("deadline_ms".to_string(), Value::Number(deadline_ms));
+        }
+        Value::Object(map)
+    }
+
+    /// Encodes the legacy flat v1 shape
+    /// `{"query": .., "error_bound": .., "confidence": ..}` (no deadline or
+    /// tenant — v1 predates both).
+    pub fn to_json_v1(&self) -> Value {
         let mut map = serde_json::Map::new();
         map.insert("query".to_string(), self.query.to_json());
         map.insert("error_bound".to_string(), Value::Number(self.error_bound));
@@ -48,28 +115,119 @@ impl QueryRequest {
         Value::Object(map)
     }
 
-    /// Decodes the [`Self::to_json`] encoding. `error_bound` / `confidence`
-    /// fall back to `defaults` when absent (the HTTP endpoint lets clients
-    /// omit them).
+    /// Decodes either wire shape, dispatching on the `"v"` tag: absent →
+    /// legacy v1 flat body, `2` → v2, anything else → [`WireError`].
+    /// Accuracy targets fall back to `defaults` when absent (the HTTP
+    /// endpoint lets clients omit them). Both shapes canonicalise into the
+    /// same [`QueryRequest`], so a v1 body and its v2 equivalent produce
+    /// identical cache keys.
     pub fn from_json(value: &Value, defaults: (f64, f64)) -> Result<Self, WireError> {
+        match value.get("v") {
+            None => Self::from_json_v1(value, defaults),
+            Some(tag) => {
+                let version = tag.as_f64().ok_or_else(|| WireError {
+                    path: "request.v".to_string(),
+                    expected: "a numeric wire version".to_string(),
+                })?;
+                if version != WIRE_VERSION as f64 {
+                    return Err(WireError {
+                        path: "request.v".to_string(),
+                        expected: format!("supported wire version {WIRE_VERSION}"),
+                    });
+                }
+                Self::from_json_v2(value, defaults)
+            }
+        }
+    }
+
+    fn parse_query(value: &Value) -> Result<AggregateQuery, WireError> {
         let query_value = value.get("query").ok_or_else(|| WireError {
             path: "request.query".to_string(),
             expected: "a wire-encoded aggregate query".to_string(),
         })?;
-        let query = AggregateQuery::from_json(query_value)?;
-        let number = |field: &str, fallback: f64| -> Result<f64, WireError> {
-            match value.get(field) {
-                None => Ok(fallback),
-                Some(v) => v.as_f64().ok_or_else(|| WireError {
-                    path: format!("request.{field}"),
-                    expected: "a number".to_string(),
-                }),
+        AggregateQuery::from_json(query_value)
+    }
+
+    fn number_field(
+        value: &Value,
+        field: &str,
+        path: &str,
+        fallback: f64,
+    ) -> Result<f64, WireError> {
+        match value.get(field) {
+            None => Ok(fallback),
+            Some(v) => v.as_f64().ok_or_else(|| WireError {
+                path: path.to_string(),
+                expected: "a number".to_string(),
+            }),
+        }
+    }
+
+    fn from_json_v1(value: &Value, defaults: (f64, f64)) -> Result<Self, WireError> {
+        Ok(Self {
+            query: Self::parse_query(value)?,
+            error_bound: Self::number_field(
+                value,
+                "error_bound",
+                "request.error_bound",
+                defaults.0,
+            )?,
+            confidence: Self::number_field(value, "confidence", "request.confidence", defaults.1)?,
+            deadline_ms: None,
+            tenant: DEFAULT_TENANT.to_string(),
+        })
+    }
+
+    fn from_json_v2(value: &Value, defaults: (f64, f64)) -> Result<Self, WireError> {
+        let query = Self::parse_query(value)?;
+        let (error_bound, confidence) = match value.get("targets") {
+            None => defaults,
+            Some(targets) => {
+                if !matches!(targets, Value::Object(_)) {
+                    return Err(WireError {
+                        path: "request.targets".to_string(),
+                        expected: "an object {error_bound, confidence}".to_string(),
+                    });
+                }
+                (
+                    Self::number_field(
+                        targets,
+                        "error_bound",
+                        "request.targets.error_bound",
+                        defaults.0,
+                    )?,
+                    Self::number_field(
+                        targets,
+                        "confidence",
+                        "request.targets.confidence",
+                        defaults.1,
+                    )?,
+                )
             }
+        };
+        let deadline_ms = match value.get("deadline_ms") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(v.as_f64().ok_or_else(|| WireError {
+                path: "request.deadline_ms".to_string(),
+                expected: "a number of milliseconds".to_string(),
+            })?),
+        };
+        let tenant = match value.get("tenant") {
+            None => DEFAULT_TENANT.to_string(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| WireError {
+                    path: "request.tenant".to_string(),
+                    expected: "a tenant name string".to_string(),
+                })?
+                .to_string(),
         };
         Ok(Self {
             query,
-            error_bound: number("error_bound", defaults.0)?,
-            confidence: number("confidence", defaults.1)?,
+            error_bound,
+            confidence,
+            deadline_ms,
+            tenant,
         })
     }
 }
@@ -108,10 +266,24 @@ pub struct ServiceAnswer {
     pub queue_ms: f64,
     /// Milliseconds from admission to completion.
     pub total_ms: f64,
+    /// The smallest relative error bound the returned interval satisfies
+    /// under Theorem 2 ([`kg_estimate::achieved_error_bound`]). For
+    /// `guarantee_met` answers this is ≤ the requested bound; for
+    /// deadline-truncated answers it is ≥ the requested bound (possibly
+    /// `f64::INFINITY`, encoded as JSON `null`).
+    pub achieved_error_bound: f64,
+    /// True when a deadline stopped refinement before the requested targets
+    /// were met: the answer is the best round-boundary estimate available
+    /// at the deadline.
+    pub deadline_hit: bool,
+    /// Tenant the request was accounted to.
+    pub tenant: String,
 }
 
 impl ServiceAnswer {
-    /// Encodes as `{"answer": .., "served_from": .., "queue_ms": .., "total_ms": ..}`.
+    /// Encodes as `{"answer": .., "served_from": .., "queue_ms": ..,
+    /// "total_ms": .., "achieved_error_bound": .., "deadline_hit": ..,
+    /// "tenant": ..}`. A non-finite achieved bound encodes as `null`.
     pub fn to_json(&self) -> Value {
         let mut map = serde_json::Map::new();
         map.insert("answer".to_string(), self.answer.to_json());
@@ -121,6 +293,16 @@ impl ServiceAnswer {
         );
         map.insert("queue_ms".to_string(), Value::Number(self.queue_ms));
         map.insert("total_ms".to_string(), Value::Number(self.total_ms));
+        map.insert(
+            "achieved_error_bound".to_string(),
+            if self.achieved_error_bound.is_finite() {
+                Value::Number(self.achieved_error_bound)
+            } else {
+                Value::Null
+            },
+        );
+        map.insert("deadline_hit".to_string(), Value::Bool(self.deadline_hit));
+        map.insert("tenant".to_string(), Value::String(self.tenant.clone()));
         Value::Object(map)
     }
 }
@@ -128,42 +310,86 @@ impl ServiceAnswer {
 /// Why the service did not answer a request.
 #[derive(Clone, Debug)]
 pub enum ServiceError {
-    /// The admission queue was full: the request was shed at the door
-    /// without consuming engine resources. Retry later.
+    /// The global admission queue was full: the (deadline-less) request was
+    /// shed at the door without consuming engine resources. Retry later.
     Overloaded {
         /// The configured admission-queue capacity that was exhausted.
         capacity: usize,
+    },
+    /// The tenant's own queue quota was exhausted: deadline-carrying
+    /// requests are never shed globally, but each tenant's backlog is
+    /// bounded so one tenant cannot monopolise the scheduler.
+    TenantQuotaExceeded {
+        /// The tenant whose quota was exhausted.
+        tenant: String,
+        /// The per-tenant queue quota that was exhausted.
+        quota: usize,
     },
     /// The query cannot be answered against the current graph (unknown
     /// entity / predicate / type / attribute). Retrying is pointless.
     /// (`Arc` because `KgError` owns an `io::Error` and cannot be cloned.)
     Rejected(Arc<KgError>),
-    /// The request's error bound or confidence is out of range.
+    /// The request's error bound, confidence or deadline is out of range.
     InvalidTargets {
         /// The offending error bound.
         error_bound: f64,
         /// The offending confidence.
         confidence: f64,
+        /// The offending deadline, when one was supplied.
+        deadline_ms: Option<f64>,
+    },
+    /// The deadline expired before query planning completed, so there is no
+    /// round-boundary estimate to return — the only way a deadline turns
+    /// into an error rather than an anytime answer.
+    DeadlineExceeded {
+        /// The requested deadline in milliseconds.
+        deadline_ms: f64,
     },
     /// The service is shutting down and will not answer.
     ShuttingDown,
 }
 
 impl ServiceError {
-    /// Stable machine-readable error kind for the wire format.
-    pub fn kind(&self) -> &'static str {
+    /// Stable machine-readable error code, carried in the `"code"` field of
+    /// every JSON error body. One row per variant; the HTTP status each code
+    /// maps to is [`Self::http_status`] — together they form the exhaustive
+    /// `ServiceError → (status, code)` table pinned by tests.
+    pub fn code(&self) -> &'static str {
         match self {
             ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::TenantQuotaExceeded { .. } => "tenant_quota_exceeded",
             ServiceError::Rejected(_) => "unresolvable_query",
             ServiceError::InvalidTargets { .. } => "invalid_targets",
+            ServiceError::DeadlineExceeded { .. } => "deadline_exceeded",
             ServiceError::ShuttingDown => "shutting_down",
         }
     }
 
-    /// Encodes as `{"error": {"kind": .., "message": ..}}`.
+    /// The HTTP status this error maps to: 503 overloaded / shutting down,
+    /// 429 per-tenant quota, 422 unresolvable query, 400 invalid targets,
+    /// 504 deadline expired before planning.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServiceError::Overloaded { .. } => 503,
+            ServiceError::TenantQuotaExceeded { .. } => 429,
+            ServiceError::Rejected(_) => 422,
+            ServiceError::InvalidTargets { .. } => 400,
+            ServiceError::DeadlineExceeded { .. } => 504,
+            ServiceError::ShuttingDown => 503,
+        }
+    }
+
+    /// Legacy alias of [`Self::code`] (the pre-v2 field name).
+    pub fn kind(&self) -> &'static str {
+        self.code()
+    }
+
+    /// Encodes as `{"error": {"code": .., "kind": .., "message": ..}}`
+    /// (`kind` duplicates `code` for v1 clients).
     pub fn to_json(&self) -> Value {
         let mut inner = serde_json::Map::new();
-        inner.insert("kind".to_string(), Value::String(self.kind().to_string()));
+        inner.insert("code".to_string(), Value::String(self.code().to_string()));
+        inner.insert("kind".to_string(), Value::String(self.code().to_string()));
         inner.insert("message".to_string(), Value::String(self.to_string()));
         let mut map = serde_json::Map::new();
         map.insert("error".to_string(), Value::Object(inner));
@@ -177,14 +403,30 @@ impl fmt::Display for ServiceError {
             ServiceError::Overloaded { capacity } => {
                 write!(f, "admission queue full ({capacity} requests); retry later")
             }
+            ServiceError::TenantQuotaExceeded { tenant, quota } => write!(
+                f,
+                "tenant {tenant:?} queue quota full ({quota} requests); retry later"
+            ),
             ServiceError::Rejected(e) => write!(f, "query cannot be planned: {e}"),
             ServiceError::InvalidTargets {
                 error_bound,
                 confidence,
-            } => write!(
+                deadline_ms,
+            } => {
+                write!(
+                    f,
+                    "invalid targets: error_bound {error_bound} (want > 0), \
+                     confidence {confidence} (want in (0, 1))"
+                )?;
+                if let Some(d) = deadline_ms {
+                    write!(f, ", deadline_ms {d} (want > 0)")?;
+                }
+                Ok(())
+            }
+            ServiceError::DeadlineExceeded { deadline_ms } => write!(
                 f,
-                "invalid targets: error_bound {error_bound} (want > 0), \
-                 confidence {confidence} (want in (0, 1))"
+                "deadline of {deadline_ms} ms expired before planning completed; \
+                 no estimate is available"
             ),
             ServiceError::ShuttingDown => f.write_str("service is shutting down"),
         }
@@ -210,17 +452,31 @@ mod tests {
     }
 
     #[test]
-    fn request_round_trips() {
-        let r = request();
+    fn v2_request_round_trips() {
+        let r = request().with_deadline_ms(50.0).with_tenant("acme");
         let back = QueryRequest::from_json(&r.to_json(), (0.01, 0.9)).unwrap();
         assert_eq!(back.query, r.query);
         assert_eq!(back.error_bound, 0.05);
         assert_eq!(back.confidence, 0.95);
+        assert_eq!(back.deadline_ms, Some(50.0));
+        assert_eq!(back.tenant, "acme");
+    }
+
+    #[test]
+    fn v1_request_round_trips_and_canonicalises() {
+        let r = request();
+        let back = QueryRequest::from_json(&r.to_json_v1(), (0.01, 0.9)).unwrap();
+        assert_eq!(back.query, r.query);
+        assert_eq!(back.error_bound, 0.05);
+        assert_eq!(back.confidence, 0.95);
+        assert_eq!(back.deadline_ms, None);
+        assert_eq!(back.tenant, DEFAULT_TENANT);
     }
 
     #[test]
     fn absent_targets_use_defaults() {
-        let mut json = request().to_json();
+        // v1: flat fields removed.
+        let mut json = request().to_json_v1();
         if let Value::Object(map) = &mut json {
             map.remove("error_bound");
             map.remove("confidence");
@@ -228,6 +484,69 @@ mod tests {
         let back = QueryRequest::from_json(&json, (0.02, 0.9)).unwrap();
         assert_eq!(back.error_bound, 0.02);
         assert_eq!(back.confidence, 0.9);
+
+        // v2: the whole targets object removed.
+        let mut json = request().to_json();
+        if let Value::Object(map) = &mut json {
+            map.remove("targets");
+        }
+        let back = QueryRequest::from_json(&json, (0.02, 0.9)).unwrap();
+        assert_eq!(back.error_bound, 0.02);
+        assert_eq!(back.confidence, 0.9);
+    }
+
+    #[test]
+    fn wire_field_names_are_pinned_for_both_shapes() {
+        // These literal key strings are the wire contract; renaming any of
+        // them breaks deployed clients.
+        let r = request().with_deadline_ms(75.0).with_tenant("acme");
+        let v2 = r.to_json();
+        assert_eq!(v2["v"].as_f64(), Some(2.0));
+        assert!(matches!(v2.get("query"), Some(Value::Object(_))));
+        assert_eq!(v2["targets"]["error_bound"].as_f64(), Some(0.05));
+        assert_eq!(v2["targets"]["confidence"].as_f64(), Some(0.95));
+        assert_eq!(v2["deadline_ms"].as_f64(), Some(75.0));
+        assert_eq!(v2["tenant"].as_str(), Some("acme"));
+
+        let v1 = r.to_json_v1();
+        assert!(v1.get("v").is_none(), "v1 bodies carry no version tag");
+        assert!(matches!(v1.get("query"), Some(Value::Object(_))));
+        assert_eq!(v1["error_bound"].as_f64(), Some(0.05));
+        assert_eq!(v1["confidence"].as_f64(), Some(0.95));
+        assert!(v1.get("deadline_ms").is_none());
+        assert!(v1.get("tenant").is_none());
+    }
+
+    #[test]
+    fn both_wire_shapes_canonicalise_to_the_same_cache_key() {
+        let r = request();
+        let from_v1 = QueryRequest::from_json(&r.to_json_v1(), (0.05, 0.95)).unwrap();
+        let from_v2 = QueryRequest::from_json(&r.to_json(), (0.05, 0.95)).unwrap();
+        assert_eq!(
+            from_v1.query.canonical_key(),
+            from_v2.query.canonical_key(),
+            "wire version must not leak into cache keys"
+        );
+        // Deadline and tenant are scheduling metadata, not identity: they
+        // must not perturb the key either.
+        let scheduled = QueryRequest::from_json(&r.to_json_v1(), (0.05, 0.95))
+            .unwrap()
+            .with_deadline_ms(10.0)
+            .with_tenant("acme");
+        assert_eq!(
+            scheduled.query.canonical_key(),
+            from_v1.query.canonical_key()
+        );
+    }
+
+    #[test]
+    fn unsupported_version_is_a_wire_error() {
+        let mut json = request().to_json();
+        if let Value::Object(map) = &mut json {
+            map.insert("v".to_string(), Value::Number(3.0));
+        }
+        let err = QueryRequest::from_json(&json, (0.01, 0.9)).unwrap_err();
+        assert_eq!(err.path, "request.v");
     }
 
     #[test]
@@ -239,17 +558,24 @@ mod tests {
         r.error_bound = 0.05;
         r.confidence = 1.0;
         assert!(!r.targets_valid());
+        r.confidence = 0.95;
+        r.deadline_ms = Some(0.0);
+        assert!(!r.targets_valid());
+        r.deadline_ms = Some(25.0);
+        assert!(r.targets_valid());
     }
 
     #[test]
-    fn errors_have_stable_kinds() {
+    fn errors_have_stable_codes() {
         assert_eq!(
-            ServiceError::Overloaded { capacity: 4 }.kind(),
+            ServiceError::Overloaded { capacity: 4 }.code(),
             "overloaded"
         );
         let e = ServiceError::Rejected(Arc::new(KgError::UnknownPredicate("made_of".into())));
-        assert_eq!(e.kind(), "unresolvable_query");
+        assert_eq!(e.code(), "unresolvable_query");
+        assert_eq!(e.kind(), e.code());
         let json = e.to_json();
+        assert_eq!(json["error"]["code"].as_str(), Some("unresolvable_query"));
         assert_eq!(json["error"]["kind"].as_str(), Some("unresolvable_query"));
         assert!(json["error"]["message"]
             .as_str()

@@ -1,65 +1,24 @@
-//! The long-running query service: bounded admission, worker pool, result
-//! cache, metrics.
+//! The long-running query service: two-tier admission (global capacity for
+//! open-ended requests, per-tenant quotas for deadline-bounded ones), a
+//! weighted-fair scheduler interleaving refinement rounds across admitted
+//! queries, anytime answers at deadlines, result cache, metrics.
 
 use crate::cache::{CacheDecision, ResultCache, ResultCacheStats};
+use crate::config::ServiceConfig;
 use crate::request::{QueryRequest, ServedFrom, ServiceAnswer, ServiceError};
-use kg_aqp::{BatchEngine, EngineConfig, QueryAnswer, ShardedSession, ShardedStats};
+use crate::sched::{Job, Scheduler};
+use kg_aqp::{BatchEngine, QueryAnswer, RoundOutcome, ShardedSession, ShardedStats};
 use kg_core::{DegreeBalancedPartitioner, KnowledgeGraph, ShardedGraph};
 use kg_embed::PredicateSimilarity;
+use kg_estimate::achieved_error_bound;
 use kg_query::AggregateQuery;
 use kg_sampling::{CacheStats, SamplerCache, ShardSamplerCache};
 use serde_json::{Map, Value};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
-
-/// Service configuration: the engine parameters plus the admission and
-/// worker-pool knobs.
-#[derive(Clone, Debug)]
-pub struct ServiceConfig {
-    /// Engine configuration shared by every session the service opens. Its
-    /// `error_bound` / `confidence` double as the per-request defaults when
-    /// a wire request omits them.
-    pub engine: EngineConfig,
-    /// Admission-queue bound: submissions beyond this depth are shed with
-    /// [`ServiceError::Overloaded`] instead of growing the queue without
-    /// limit (load-shedding keeps tail latency bounded under overload).
-    pub queue_capacity: usize,
-    /// Worker threads draining the queue. `0` spawns none: the queue is
-    /// then pumped explicitly with [`Service::drain_once`] (used by tests
-    /// and embedders that bring their own scheduler).
-    pub workers: usize,
-    /// Maximum jobs one worker checks out per drain; jobs drained together
-    /// share batch planning through [`BatchEngine`].
-    pub drain_batch: usize,
-    /// Number of graph shards K. The graph is partitioned with the
-    /// degree-balanced partitioner on startup and on every
-    /// [`Service::swap_graph`]; queries then run shard-parallel with
-    /// stratified estimate merging. `1` (the default) is the identity:
-    /// answers are bitwise those of the unsharded engine.
-    pub shards: usize,
-}
-
-impl Default for ServiceConfig {
-    fn default() -> Self {
-        Self {
-            engine: EngineConfig::default(),
-            queue_capacity: 256,
-            workers: 4,
-            drain_batch: 16,
-            shards: 1,
-        }
-    }
-}
-
-/// One admitted request waiting for a worker.
-struct Job {
-    request: QueryRequest,
-    admitted: Instant,
-    reply: mpsc::Sender<Result<ServiceAnswer, ServiceError>>,
-}
 
 /// Graph-dependent state, swapped atomically on [`Service::swap_graph`].
 struct EngineState {
@@ -79,11 +38,45 @@ struct EngineState {
 /// so a long-lived service reports recent percentiles, not all-time ones.
 const LATENCY_WINDOW: usize = 16_384;
 
+/// Upper bucket edges (inclusive) of the achieved-error-bound histogram in
+/// [`MetricsSnapshot::achieved_bound_hist`]; answers whose achieved bound
+/// exceeds the last edge — including the infinite bound of an interval that
+/// does not exclude zero — land in one final overflow bucket, so the
+/// histogram has `ACHIEVED_BOUND_BUCKETS.len() + 1` counters.
+pub const ACHIEVED_BOUND_BUCKETS: [f64; 9] = [0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.5, 1.0];
+
+/// Per-tenant service counters (a row of [`MetricsSnapshot::tenants`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantMetrics {
+    /// Requests offered under this tenant (including rejected ones).
+    pub submitted: u64,
+    /// Requests answered with HTTP-200 semantics.
+    pub completed: u64,
+    /// Goodput: completed answers whose Theorem-2 guarantee was met.
+    pub guaranteed: u64,
+    /// Completed answers flagged `guarantee_met: false` (deadline-truncated
+    /// or budget-capped anytime answers).
+    pub anytime: u64,
+    /// Deadline-less requests shed by the global capacity.
+    pub shed: u64,
+    /// Deadline requests rejected by this tenant's queue quota.
+    pub quota_shed: u64,
+    /// Requests whose deadline expired before planning completed.
+    pub deadline_exceeded: u64,
+    /// Requests that failed target validation or planning.
+    pub failed: u64,
+    /// Refinement rounds executed on this tenant's behalf.
+    pub rounds: u64,
+}
+
 #[derive(Default)]
 struct MetricsInner {
     submitted: u64,
     completed: u64,
     shed: u64,
+    quota_shed: u64,
+    deadline_exceeded: u64,
+    anytime: u64,
     failed: u64,
     max_queue_depth: usize,
     latencies_ms: Vec<f64>,
@@ -95,6 +88,28 @@ struct MetricsInner {
     shard_samples: Vec<u64>,
     /// Total milliseconds spent merging per-shard estimates.
     merge_overhead_ms: f64,
+    /// Histogram of achieved error bounds over completed answers (bucketed
+    /// by [`ACHIEVED_BOUND_BUCKETS`] plus an overflow slot).
+    achieved_hist: [u64; ACHIEVED_BOUND_BUCKETS.len() + 1],
+    tenants: BTreeMap<String, TenantMetrics>,
+}
+
+impl MetricsInner {
+    fn tenant(&mut self, name: &str) -> &mut TenantMetrics {
+        if !self.tenants.contains_key(name) {
+            self.tenants
+                .insert(name.to_string(), TenantMetrics::default());
+        }
+        self.tenants.get_mut(name).expect("inserted above")
+    }
+
+    fn record_achieved(&mut self, achieved: f64) {
+        let bucket = ACHIEVED_BOUND_BUCKETS
+            .iter()
+            .position(|&edge| achieved <= edge)
+            .unwrap_or(ACHIEVED_BOUND_BUCKETS.len());
+        self.achieved_hist[bucket] += 1;
+    }
 }
 
 fn record_windowed(samples: &mut Vec<f64>, slot: &mut usize, value: f64) {
@@ -116,9 +131,17 @@ pub struct MetricsSnapshot {
     pub completed: u64,
     /// Requests shed at admission ([`ServiceError::Overloaded`]).
     pub shed: u64,
+    /// Deadline requests rejected by a tenant quota
+    /// ([`ServiceError::TenantQuotaExceeded`]).
+    pub quota_shed: u64,
+    /// Requests whose deadline expired before planning completed
+    /// ([`ServiceError::DeadlineExceeded`]).
+    pub deadline_exceeded: u64,
+    /// Completed answers flagged `guarantee_met: false` (anytime answers).
+    pub anytime: u64,
     /// Requests that failed planning or validation of targets.
     pub failed: u64,
-    /// Current admission-queue depth.
+    /// Current admission-queue depth (all tenants).
     pub queue_depth: usize,
     /// Deepest the queue has been.
     pub max_queue_depth: usize,
@@ -140,15 +163,22 @@ pub struct MetricsSnapshot {
     /// Total milliseconds spent merging per-shard estimates into one
     /// interval (0 for unsharded deployments).
     pub merge_overhead_ms: f64,
+    /// Histogram of achieved error bounds over completed answers: one count
+    /// per [`ACHIEVED_BOUND_BUCKETS`] edge (`achieved ≤ edge`) plus a final
+    /// overflow bucket.
+    pub achieved_bound_hist: Vec<u64>,
+    /// Per-tenant counters, keyed by tenant name.
+    pub tenants: BTreeMap<String, TenantMetrics>,
 }
 
 impl MetricsSnapshot {
-    /// Fraction of submissions shed at admission.
+    /// Fraction of submissions shed at admission (global capacity plus
+    /// tenant quotas).
     pub fn shed_rate(&self) -> f64 {
         if self.submitted == 0 {
             0.0
         } else {
-            self.shed as f64 / self.submitted as f64
+            (self.shed + self.quota_shed) as f64 / self.submitted as f64
         }
     }
 
@@ -173,6 +203,12 @@ impl MetricsSnapshot {
         map.insert("submitted".into(), Value::Number(self.submitted as f64));
         map.insert("completed".into(), Value::Number(self.completed as f64));
         map.insert("shed".into(), Value::Number(self.shed as f64));
+        map.insert("quota_shed".into(), Value::Number(self.quota_shed as f64));
+        map.insert(
+            "deadline_exceeded".into(),
+            Value::Number(self.deadline_exceeded as f64),
+        );
+        map.insert("anytime".into(), Value::Number(self.anytime as f64));
         map.insert("failed".into(), Value::Number(self.failed as f64));
         map.insert("shed_rate".into(), Value::Number(self.shed_rate()));
         map.insert("queue_depth".into(), Value::Number(self.queue_depth as f64));
@@ -201,6 +237,41 @@ impl MetricsSnapshot {
             Value::Number(self.merge_overhead_ms),
         );
         map.insert("shards".into(), Value::Object(shards));
+        let mut hist = Map::new();
+        for (i, &edge) in ACHIEVED_BOUND_BUCKETS.iter().enumerate() {
+            hist.insert(
+                format!("le_{edge}"),
+                Value::Number(self.achieved_bound_hist.get(i).copied().unwrap_or(0) as f64),
+            );
+        }
+        hist.insert(
+            "overflow".into(),
+            Value::Number(
+                self.achieved_bound_hist
+                    .get(ACHIEVED_BOUND_BUCKETS.len())
+                    .copied()
+                    .unwrap_or(0) as f64,
+            ),
+        );
+        map.insert("achieved_bound_histogram".into(), Value::Object(hist));
+        let mut tenants = Map::new();
+        for (name, t) in &self.tenants {
+            let mut row = Map::new();
+            row.insert("submitted".into(), Value::Number(t.submitted as f64));
+            row.insert("completed".into(), Value::Number(t.completed as f64));
+            row.insert("guaranteed".into(), Value::Number(t.guaranteed as f64));
+            row.insert("anytime".into(), Value::Number(t.anytime as f64));
+            row.insert("shed".into(), Value::Number(t.shed as f64));
+            row.insert("quota_shed".into(), Value::Number(t.quota_shed as f64));
+            row.insert(
+                "deadline_exceeded".into(),
+                Value::Number(t.deadline_exceeded as f64),
+            );
+            row.insert("failed".into(), Value::Number(t.failed as f64));
+            row.insert("rounds".into(), Value::Number(t.rounds as f64));
+            tenants.insert(name.clone(), Value::Object(row));
+        }
+        map.insert("tenants".into(), Value::Object(tenants));
         Value::Object(map)
     }
 }
@@ -209,12 +280,13 @@ impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} submitted / {} completed / {} shed ({:.1}%) / {} failed; \
+            "{} submitted / {} completed ({} anytime) / {} shed ({:.1}%) / {} failed; \
              queue {} (max {}); cache {} hits + {} resumes / {} misses; \
              latency ms p50={:.2} p95={:.2} p99={:.2}",
             self.submitted,
             self.completed,
-            self.shed,
+            self.anytime,
+            self.shed + self.quota_shed,
             self.shed_rate() * 100.0,
             self.failed,
             self.queue_depth,
@@ -233,7 +305,7 @@ struct Inner {
     config: ServiceConfig,
     batch: BatchEngine,
     state: Mutex<EngineState>,
-    queue: Mutex<VecDeque<Job>>,
+    sched: Mutex<Scheduler>,
     available: Condvar,
     shutdown: AtomicBool,
     cache: ResultCache,
@@ -267,8 +339,9 @@ impl PendingAnswer {
 ///
 /// Owns the graph, a [`BatchEngine`], a lifetime-scoped sampler cache and
 /// the confidence-aware result cache; a pool of worker threads drains the
-/// bounded admission queue. See the [crate docs](crate) for the request
-/// lifecycle.
+/// per-tenant weighted-fair queues, interleaving refinement rounds across
+/// the checked-out queries so one expensive query cannot convoy the rest.
+/// See the [crate docs](crate) for the request lifecycle.
 pub struct Service {
     inner: Arc<Inner>,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
@@ -276,7 +349,8 @@ pub struct Service {
 
 impl Service {
     /// Starts a service (spawning `config.workers` worker threads) over
-    /// `graph`, validating answers with `similarity`.
+    /// `graph`, validating answers with `similarity`. Build `config` with
+    /// [`ServiceConfig::builder`] to get validation for free.
     pub fn new(
         graph: Arc<KnowledgeGraph>,
         similarity: Arc<dyn PredicateSimilarity>,
@@ -287,6 +361,7 @@ impl Service {
             config.engine.sampler_config(),
         ));
         let sharded = Arc::new(partition(graph, config.shards));
+        let sched = Scheduler::new(config.tenants.clone(), config.queue_capacity);
         let inner = Arc::new(Inner {
             batch: BatchEngine::new(config.engine.clone()),
             config,
@@ -296,7 +371,7 @@ impl Service {
                 samplers,
                 shard_samplers: Arc::new(ShardSamplerCache::new()),
             }),
-            queue: Mutex::new(VecDeque::new()),
+            sched: Mutex::new(sched),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             cache: ResultCache::new(),
@@ -317,13 +392,41 @@ impl Service {
         }
     }
 
+    /// Pre-builder constructor taking the knobs positionally. Kept for one
+    /// release as a thin shim over [`ServiceConfig::builder`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use ServiceConfig::builder() and Service::new instead"
+    )]
+    pub fn with_positional_config(
+        graph: Arc<KnowledgeGraph>,
+        similarity: Arc<dyn PredicateSimilarity>,
+        error_bound: f64,
+        confidence: f64,
+        queue_capacity: usize,
+        workers: usize,
+        shards: usize,
+    ) -> Self {
+        let config = ServiceConfig::builder()
+            .error_bound(error_bound)
+            .confidence(confidence)
+            .queue_capacity(queue_capacity)
+            .workers(workers)
+            .shards(shards)
+            .build()
+            .expect("positional service configuration invalid");
+        Self::new(graph, similarity, config)
+    }
+
     /// The service configuration.
     pub fn config(&self) -> &ServiceConfig {
         &self.inner.config
     }
 
     /// Submits a request. Returns immediately: `Ok` carries a handle to
-    /// wait on, `Err(Overloaded)` means the request was shed at the door.
+    /// wait on; `Err` is the admission outcome — `Overloaded` (global
+    /// capacity, deadline-less requests), `TenantQuotaExceeded` (tenant
+    /// quota, deadline requests) or `InvalidTargets`.
     pub fn submit(&self, request: QueryRequest) -> Result<PendingAnswer, ServiceError> {
         if self.inner.shutdown.load(Ordering::SeqCst) {
             return Err(ServiceError::ShuttingDown);
@@ -332,15 +435,23 @@ impl Service {
             let mut metrics = self.inner.metrics.lock().unwrap();
             metrics.submitted += 1;
             metrics.failed += 1;
+            let tenant = metrics.tenant(&request.tenant);
+            tenant.submitted += 1;
+            tenant.failed += 1;
             return Err(ServiceError::InvalidTargets {
                 error_bound: request.error_bound,
                 confidence: request.confidence,
+                deadline_ms: request.deadline_ms,
             });
         }
+        let admitted = Instant::now();
+        let deadline = request
+            .deadline_ms
+            .map(|ms| admitted + Duration::from_secs_f64(ms / 1e3));
         let (tx, rx) = mpsc::channel();
         {
-            let mut queue = self.inner.queue.lock().unwrap();
-            // Re-check under the queue lock: shutdown() drains leftovers
+            let mut sched = self.inner.sched.lock().unwrap();
+            // Re-check under the scheduler lock: shutdown() drains leftovers
             // under this lock after setting the flag, so a job enqueued
             // after that drain would never be answered.
             if self.inner.shutdown.load(Ordering::SeqCst) {
@@ -348,18 +459,28 @@ impl Service {
             }
             let mut metrics = self.inner.metrics.lock().unwrap();
             metrics.submitted += 1;
-            if queue.len() >= self.inner.config.queue_capacity {
-                metrics.shed += 1;
-                return Err(ServiceError::Overloaded {
-                    capacity: self.inner.config.queue_capacity,
-                });
-            }
-            queue.push_back(Job {
+            metrics.tenant(&request.tenant).submitted += 1;
+            let tenant_name = request.tenant.clone();
+            if let Err(e) = sched.try_enqueue(Job {
                 request,
-                admitted: Instant::now(),
+                admitted,
+                deadline,
                 reply: tx,
-            });
-            metrics.max_queue_depth = metrics.max_queue_depth.max(queue.len());
+            }) {
+                match &e {
+                    ServiceError::Overloaded { .. } => {
+                        metrics.shed += 1;
+                        metrics.tenant(&tenant_name).shed += 1;
+                    }
+                    ServiceError::TenantQuotaExceeded { .. } => {
+                        metrics.quota_shed += 1;
+                        metrics.tenant(&tenant_name).quota_shed += 1;
+                    }
+                    _ => metrics.failed += 1,
+                }
+                return Err(e);
+            }
+            metrics.max_queue_depth = metrics.max_queue_depth.max(sched.ready());
         }
         self.inner.available.notify_one();
         Ok(PendingAnswer { rx })
@@ -384,9 +505,8 @@ impl Service {
     /// deployments and deterministic tests.
     pub fn drain_once(&self) -> usize {
         let jobs: Vec<Job> = {
-            let mut queue = self.inner.queue.lock().unwrap();
-            let n = queue.len().min(self.inner.config.drain_batch.max(1));
-            queue.drain(..n).collect()
+            let mut sched = self.inner.sched.lock().unwrap();
+            sched.checkout(self.inner.config.drain_batch.max(1))
         };
         let n = jobs.len();
         if n > 0 {
@@ -395,9 +515,9 @@ impl Service {
         n
     }
 
-    /// Current admission-queue depth.
+    /// Current admission-queue depth across all tenants.
     pub fn queue_depth(&self) -> usize {
-        self.inner.queue.lock().unwrap().len()
+        self.inner.sched.lock().unwrap().ready()
     }
 
     /// Atomically replaces the graph (and its similarity provider): the
@@ -433,7 +553,7 @@ impl Service {
 
     /// Counter / percentile / cache snapshot.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let queue_depth = self.inner.queue.lock().unwrap().len();
+        let queue_depth = self.inner.sched.lock().unwrap().ready();
         // Copy the sample windows out and drop the metrics guard before
         // sorting: workers record completions under this lock, and a
         // scrape must not add sort time to their critical path.
@@ -441,24 +561,34 @@ impl Service {
             submitted,
             completed,
             shed,
+            quota_shed,
+            deadline_exceeded,
+            anytime,
             failed,
             max_queue_depth,
             mut latencies,
             mut queues,
             mut shard_samples,
             merge_overhead_ms,
+            achieved_hist,
+            tenants,
         ) = {
             let metrics = self.inner.metrics.lock().unwrap();
             (
                 metrics.submitted,
                 metrics.completed,
                 metrics.shed,
+                metrics.quota_shed,
+                metrics.deadline_exceeded,
+                metrics.anytime,
                 metrics.failed,
                 metrics.max_queue_depth,
                 metrics.latencies_ms.clone(),
                 metrics.queue_ms.clone(),
                 metrics.shard_samples.clone(),
                 metrics.merge_overhead_ms,
+                metrics.achieved_hist,
+                metrics.tenants.clone(),
             )
         };
         // A scrape before the first completion still reports one (zeroed)
@@ -479,6 +609,9 @@ impl Service {
             submitted,
             completed,
             shed,
+            quota_shed,
+            deadline_exceeded,
+            anytime,
             failed,
             queue_depth,
             max_queue_depth,
@@ -490,6 +623,8 @@ impl Service {
             queue_p95_ms: rank(&queues, 0.95),
             shard_samples,
             merge_overhead_ms,
+            achieved_bound_hist: achieved_hist.to_vec(),
+            tenants,
         }
     }
 
@@ -503,7 +638,7 @@ impl Service {
         for worker in workers {
             let _ = worker.join();
         }
-        let leftovers: Vec<Job> = self.inner.queue.lock().unwrap().drain(..).collect();
+        let leftovers: Vec<Job> = self.inner.sched.lock().unwrap().drain_all();
         for job in leftovers {
             let _ = job.reply.send(Err(ServiceError::ShuttingDown));
         }
@@ -519,22 +654,22 @@ impl Drop for Service {
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
         let jobs: Vec<Job> = {
-            let mut queue = inner.queue.lock().unwrap();
+            let mut sched = inner.sched.lock().unwrap();
             loop {
-                if !queue.is_empty() {
+                if sched.ready() > 0 {
                     break;
                 }
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = inner.available.wait(queue).unwrap();
+                sched = inner.available.wait(sched).unwrap();
             }
             // Fair share first, drain_batch as the ceiling: one worker
             // grabbing a whole burst would refine it serially while the
             // rest of the pool idles on an empty queue.
-            let fair = queue.len().div_ceil(inner.config.workers.max(1));
+            let fair = sched.ready().div_ceil(inner.config.workers.max(1));
             let n = fair.min(inner.config.drain_batch.max(1));
-            queue.drain(..n).collect()
+            sched.checkout(n)
         };
         // A panicking job (an engine invariant violated by one query) must
         // not take the worker thread down with it: the affected clients see
@@ -578,11 +713,31 @@ fn record_shard_stats(inner: &Inner, before: &ShardedStats, after: &ShardedStats
     metrics.merge_overhead_ms += (after.merge_ms - before.merge_ms).max(0.0);
 }
 
-/// Answers one checked-out set of jobs: result-cache triage first (hits
-/// answered instantly, resumable sessions refined incrementally), then the
-/// remaining misses planned together through the batch engine against the
-/// lifetime sampler caches, refined shard-parallel against the sharded
-/// graph snapshot.
+/// One checked-out request whose session is being refined round-by-round.
+struct ActiveTask {
+    job: Job,
+    key: String,
+    queue_ms: f64,
+    served_from: ServedFrom,
+    session: Box<ShardedSession>,
+    before: ShardedStats,
+    rounds_used: usize,
+}
+
+fn deadline_expired(job: &Job) -> bool {
+    job.deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// Answers one checked-out set of jobs. Result-cache triage first (hits
+/// answered instantly), then the remaining misses are planned together
+/// through the batch engine. The resulting sessions — fresh and resumed —
+/// are then refined **round-by-round**, each round granted to the tenant
+/// with the smallest virtual time (WFQ), with deadlines checked at round
+/// boundaries only: a query whose deadline fires mid-refinement is answered
+/// with its best round-boundary estimate (`guarantee_met: false`, achieved
+/// bound attached) rather than shed. [`ServiceError::DeadlineExceeded`] is
+/// reserved for deadlines that expire before planning has produced any
+/// round at all.
 fn handle_jobs(inner: &Arc<Inner>, jobs: Vec<Job>) {
     // Snapshot graph state and the cache generation *together*: swap_graph
     // bumps the generation under the same lock, so a worker can never pair
@@ -599,6 +754,123 @@ fn handle_jobs(inner: &Arc<Inner>, jobs: Vec<Job>) {
     };
     let similarity: &dyn PredicateSimilarity = &*similarity;
 
+    let mut tasks: BTreeMap<String, VecDeque<ActiveTask>> = BTreeMap::new();
+    triage_jobs(
+        inner,
+        &sharded,
+        similarity,
+        &samplers,
+        &shard_samplers,
+        generation,
+        jobs,
+        &mut tasks,
+    );
+
+    // Round-interleaved refinement: every iteration grants ONE refinement
+    // round to the front task of the tenant with the smallest virtual time.
+    // Planning is done, so every task runs at least one round before a
+    // deadline can end it — the anytime contract.
+    loop {
+        // Late admission: absorb deadline-carrying jobs that arrived while
+        // this batch was refining, so their queue wait is bounded by one
+        // refinement round instead of the whole batch's runtime. Without
+        // this, a deadline can expire in the queue behind a long batch and
+        // turn an answerable request into a 504. Deadline-less jobs are NOT
+        // taken here — they keep the original batch-drain semantics and the
+        // `queue_capacity` backpressure contract.
+        let late = {
+            let mut sched = inner.sched.lock().unwrap();
+            sched.checkout_deadline(inner.config.drain_batch.max(1))
+        };
+        if !late.is_empty() {
+            triage_jobs(
+                inner,
+                &sharded,
+                similarity,
+                &samplers,
+                &shard_samplers,
+                generation,
+                late,
+                &mut tasks,
+            );
+        }
+
+        // Tasks whose deadline has passed and that already own at least one
+        // round (resumed sessions, or tasks truncated between rounds) are
+        // finalised with their best-so-far estimate.
+        let mut expired: Vec<ActiveTask> = Vec::new();
+        for deque in tasks.values_mut() {
+            let mut keep = VecDeque::new();
+            while let Some(task) = deque.pop_front() {
+                if task.session.rounds_completed() > 0 && deadline_expired(&task.job) {
+                    expired.push(task);
+                } else {
+                    keep.push_back(task);
+                }
+            }
+            *deque = keep;
+        }
+        tasks.retain(|_, deque| !deque.is_empty());
+        for task in expired {
+            finalize(inner, &sharded, generation, task, true);
+        }
+        if tasks.is_empty() {
+            break;
+        }
+
+        // BTreeMap keys are sorted, so WFQ tie-breaks are deterministic.
+        let names: Vec<String> = tasks.keys().cloned().collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let picked = inner.sched.lock().unwrap().pick_and_charge(&refs);
+        let tenant = &names[picked];
+        let deque = tasks.get_mut(tenant).expect("picked from keys");
+        let mut task = deque.pop_front().expect("non-empty by retain");
+
+        let outcome = task.session.step_with(
+            &sharded,
+            similarity,
+            task.job.request.error_bound,
+            task.job.request.confidence,
+        );
+        task.rounds_used += 1;
+        let round_cap = task.session.max_rounds();
+
+        if outcome != RoundOutcome::Continue || task.rounds_used >= round_cap {
+            // Natural completion: the guarantee was met, the budget caps
+            // were hit, or this request's round allowance is spent —
+            // exactly the refine_with termination conditions.
+            finalize(inner, &sharded, generation, task, false);
+        } else if deadline_expired(&task.job) {
+            finalize(inner, &sharded, generation, task, true);
+        } else {
+            deque.push_back(task);
+        }
+        tasks.retain(|_, deque| !deque.is_empty());
+    }
+}
+
+/// Triages checked-out jobs into the active-task table: cache hits reply
+/// immediately, resumable sessions and freshly planned queries become
+/// [`ActiveTask`]s, deadline-expired misses get the one deadline→error
+/// path, and unplannable queries are rejected.
+#[allow(clippy::too_many_arguments)]
+fn triage_jobs(
+    inner: &Arc<Inner>,
+    sharded: &Arc<ShardedGraph>,
+    similarity: &dyn PredicateSimilarity,
+    samplers: &SamplerCache,
+    shard_samplers: &ShardSamplerCache,
+    generation: u64,
+    jobs: Vec<Job>,
+    tasks: &mut BTreeMap<String, VecDeque<ActiveTask>>,
+) {
+    let push_task = |tasks: &mut BTreeMap<String, VecDeque<ActiveTask>>, task: ActiveTask| {
+        tasks
+            .entry(task.job.request.tenant.clone())
+            .or_default()
+            .push_back(task);
+    };
+
     let mut fresh: Vec<(Job, String, f64)> = Vec::new();
     for job in jobs {
         let queue_ms = job.admitted.elapsed().as_secs_f64() * 1e3;
@@ -609,68 +881,134 @@ fn handle_jobs(inner: &Arc<Inner>, jobs: Vec<Job>) {
             job.request.error_bound,
             job.request.confidence,
         ) {
-            CacheDecision::Hit(answer) => {
-                respond(inner, job, ServedFrom::CacheHit, answer, queue_ms);
+            CacheDecision::Hit(mut answer) => {
+                // The cached interval satisfies the *requested* targets
+                // (that is what a Hit means), so the served copy carries the
+                // guarantee even if the stored run was itself truncated.
+                answer.guarantee_met = true;
+                respond(inner, job, ServedFrom::CacheHit, answer, queue_ms, false, 0);
             }
-            CacheDecision::Resume(mut session) => {
+            CacheDecision::Resume(session) => {
                 let before = session.sharded_stats();
-                let answer = session.refine_with(
-                    &sharded,
-                    similarity,
-                    job.request.error_bound,
-                    job.request.confidence,
+                push_task(
+                    tasks,
+                    ActiveTask {
+                        job,
+                        key,
+                        queue_ms,
+                        served_from: ServedFrom::CacheResume,
+                        session,
+                        before,
+                        rounds_used: 0,
+                    },
                 );
-                record_shard_stats(inner, &before, &session.sharded_stats());
-                inner
-                    .cache
-                    .finish(key, generation, *session, answer.clone());
-                respond(inner, job, ServedFrom::CacheResume, answer, queue_ms);
             }
-            CacheDecision::Miss => fresh.push((job, key, queue_ms)),
+            CacheDecision::Miss => {
+                if deadline_expired(&job) {
+                    // The deadline ran out while the request sat queued,
+                    // before planning even started: there is no estimate to
+                    // return. The only deadline→error path.
+                    respond_deadline_exceeded(inner, job);
+                } else {
+                    fresh.push((job, key, queue_ms));
+                }
+            }
         }
     }
-    if fresh.is_empty() {
-        return;
-    }
 
-    let queries: Vec<AggregateQuery> = fresh
-        .iter()
-        .map(|(job, _, _)| job.request.query.clone())
-        .collect();
-    let (sessions, _) = inner.batch.open_sharded_sessions_cached(
-        &sharded,
-        &queries,
-        similarity,
-        &samplers,
-        &shard_samplers,
-    );
-    let untouched = ShardedStats::default();
-    for ((job, key, queue_ms), session) in fresh.into_iter().zip(sessions) {
-        match session {
-            Err(e) => {
-                inner.metrics.lock().unwrap().failed += 1;
-                let _ = job.reply.send(Err(ServiceError::Rejected(Arc::new(e))));
-            }
-            Ok(mut session) => {
-                let answer = session.refine_with(
-                    &sharded,
-                    similarity,
-                    job.request.error_bound,
-                    job.request.confidence,
-                );
-                record_shard_stats(inner, &untouched, &session.sharded_stats());
-                inner.cache.finish(key, generation, session, answer.clone());
-                respond(inner, job, ServedFrom::Fresh, answer, queue_ms);
+    if !fresh.is_empty() {
+        let queries: Vec<AggregateQuery> = fresh
+            .iter()
+            .map(|(job, _, _)| job.request.query.clone())
+            .collect();
+        let (sessions, _) = inner.batch.open_sharded_sessions_cached(
+            sharded,
+            &queries,
+            similarity,
+            samplers,
+            shard_samplers,
+        );
+        for ((job, key, queue_ms), session) in fresh.into_iter().zip(sessions) {
+            match session {
+                Err(e) => {
+                    {
+                        let mut metrics = inner.metrics.lock().unwrap();
+                        metrics.failed += 1;
+                        metrics.tenant(&job.request.tenant).failed += 1;
+                    }
+                    let _ = job.reply.send(Err(ServiceError::Rejected(Arc::new(e))));
+                }
+                Ok(session) => push_task(
+                    tasks,
+                    ActiveTask {
+                        job,
+                        key,
+                        queue_ms,
+                        served_from: ServedFrom::Fresh,
+                        session: Box::new(session),
+                        before: ShardedStats::default(),
+                        rounds_used: 0,
+                    },
+                ),
             }
         }
     }
 }
 
-fn respond(inner: &Inner, job: Job, served_from: ServedFrom, answer: QueryAnswer, queue_ms: f64) {
+/// Snapshots a task's best-so-far answer, returns its session to the cache
+/// and replies to the client.
+fn finalize(
+    inner: &Inner,
+    sharded: &ShardedGraph,
+    generation: u64,
+    task: ActiveTask,
+    deadline_hit: bool,
+) {
+    let answer = task.session.snapshot_answer(sharded);
+    record_shard_stats(inner, &task.before, &task.session.sharded_stats());
+    // Deadline-truncated answers are cached too: their live session resumes
+    // on the next request for the key, and the stored interval serves
+    // directly only requests it dominates (see `crate::cache::dominates`).
+    inner
+        .cache
+        .finish(task.key, generation, *task.session, answer.clone());
+    respond(
+        inner,
+        task.job,
+        task.served_from,
+        answer,
+        task.queue_ms,
+        deadline_hit,
+        task.rounds_used,
+    );
+}
+
+fn respond(
+    inner: &Inner,
+    job: Job,
+    served_from: ServedFrom,
+    answer: QueryAnswer,
+    queue_ms: f64,
+    deadline_hit: bool,
+    rounds: usize,
+) {
     let total_ms = job.admitted.elapsed().as_secs_f64() * 1e3;
+    let achieved = achieved_error_bound(answer.estimate, answer.moe);
     {
         let mut metrics = inner.metrics.lock().unwrap();
         metrics.completed += 1;
+        if !answer.guarantee_met {
+            metrics.anytime += 1;
+        }
+        metrics.record_achieved(achieved);
+        let tenant = metrics.tenant(&job.request.tenant);
+        tenant.completed += 1;
+        tenant.rounds += rounds as u64;
+        if answer.guarantee_met {
+            tenant.guaranteed += 1;
+        } else {
+            tenant.anytime += 1;
+        }
         let MetricsInner {
             latencies_ms,
             latency_slot,
@@ -681,13 +1019,32 @@ fn respond(inner: &Inner, job: Job, served_from: ServedFrom, answer: QueryAnswer
         record_windowed(latencies_ms, latency_slot, total_ms);
         record_windowed(queue_samples, queue_slot, queue_ms);
     }
+    let tenant = job.request.tenant.clone();
     // The client may have given up; a dead receiver is not an error.
     let _ = job.reply.send(Ok(ServiceAnswer {
         answer,
         served_from,
         queue_ms,
         total_ms,
+        achieved_error_bound: achieved,
+        deadline_hit,
+        tenant,
     }));
+}
+
+fn respond_deadline_exceeded(inner: &Inner, job: Job) {
+    {
+        let mut metrics = inner.metrics.lock().unwrap();
+        metrics.failed += 1;
+        metrics.deadline_exceeded += 1;
+        let tenant = metrics.tenant(&job.request.tenant);
+        tenant.failed += 1;
+        tenant.deadline_exceeded += 1;
+    }
+    let deadline_ms = job.request.deadline_ms.unwrap_or(0.0);
+    let _ = job
+        .reply
+        .send(Err(ServiceError::DeadlineExceeded { deadline_ms }));
 }
 
 // `ShardedSession` must stay shippable between the cache and workers.

@@ -144,13 +144,152 @@ fn unknown_routes_and_bad_targets() {
     assert_eq!(status, 405);
     assert!(body.contains("method_not_allowed"));
 
+    // Bad targets in the v2 nested shape…
     let mut json = QueryRequest::new(count_query(), 0.05, 0.95).to_json();
+    if let Value::Object(map) = &mut json {
+        let mut targets = serde_json::Map::new();
+        targets.insert("error_bound".to_string(), Value::Number(-0.5));
+        map.insert("targets".to_string(), Value::Object(targets));
+    }
+    let (status, parsed) = post_query(addr, &serde_json::to_string(&json).unwrap());
+    assert_eq!(status, 400, "{parsed}");
+    assert_eq!(parsed["error"]["kind"].as_str(), Some("invalid_targets"));
+    assert_eq!(parsed["error"]["code"].as_str(), Some("invalid_targets"));
+
+    // …and in the legacy v1 flat shape.
+    let mut json = QueryRequest::new(count_query(), 0.05, 0.95).to_json_v1();
     if let Value::Object(map) = &mut json {
         map.insert("error_bound".to_string(), Value::Number(-0.5));
     }
     let (status, parsed) = post_query(addr, &serde_json::to_string(&json).unwrap());
     assert_eq!(status, 400, "{parsed}");
-    assert_eq!(parsed["error"]["kind"].as_str(), Some("invalid_targets"));
+    assert_eq!(parsed["error"]["code"].as_str(), Some("invalid_targets"));
+
+    // A non-positive deadline is a target error too.
+    let mut json = QueryRequest::new(count_query(), 0.05, 0.95).to_json();
+    if let Value::Object(map) = &mut json {
+        map.insert("deadline_ms".to_string(), Value::Number(-5.0));
+    }
+    let (status, parsed) = post_query(addr, &serde_json::to_string(&json).unwrap());
+    assert_eq!(status, 400, "{parsed}");
+    assert_eq!(parsed["error"]["code"].as_str(), Some("invalid_targets"));
     server.shutdown();
     service.shutdown();
+}
+
+#[test]
+fn tenant_quota_overflow_is_a_structured_429() {
+    // Deadline-carrying requests are admitted under the per-tenant quota,
+    // not the global capacity: with quota 1 and no workers, the second
+    // deadline request from the same tenant is rejected 429 while the
+    // global queue (capacity 64) is nowhere near full.
+    let d = generate(&GeneratorConfig::new(
+        "http-test-quota",
+        DatasetScale::tiny(),
+        vec![domains::automotive(&["Germany"])],
+        29,
+    ));
+    let config = ServiceConfig::builder()
+        .error_bound(0.05)
+        .queue_capacity(64)
+        .workers(0)
+        .default_tenant_limits(1.0, 1)
+        .build()
+        .unwrap();
+    let service = Arc::new(Service::new(Arc::new(d.graph), Arc::new(d.oracle), config));
+    let server = HttpServer::serve(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let mut server = server;
+
+    let filler = service
+        .submit(QueryRequest::new(count_query(), 0.05, 0.95).with_deadline_ms(10_000.0))
+        .expect("first deadline request is admitted");
+    let body = QueryRequest::new(count_query(), 0.05, 0.95)
+        .with_deadline_ms(10_000.0)
+        .to_json();
+    let (status, parsed) = post_query(addr, &serde_json::to_string(&body).unwrap());
+    assert_eq!(status, 429, "{parsed}");
+    assert_eq!(
+        parsed["error"]["code"].as_str(),
+        Some("tenant_quota_exceeded")
+    );
+    assert!(parsed["error"]["message"]
+        .as_str()
+        .unwrap()
+        .contains("default"));
+
+    // A deadline-less request from the same tenant still goes through the
+    // global queue and is admitted.
+    let ok = service.submit(QueryRequest::new(count_query(), 0.05, 0.95));
+    assert!(ok.is_ok(), "global capacity admits deadline-less requests");
+
+    drop(filler);
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn expired_deadline_before_planning_is_a_structured_504() {
+    // No workers: the request sits queued past its (tiny) deadline; when
+    // drain_once finally triages it there is no estimate to return yet, so
+    // this — and only this — deadline path is an error.
+    let (service, mut server, _addr) = start(0, 64);
+    let pending = service
+        .submit(QueryRequest::new(count_query(), 0.05, 0.95).with_deadline_ms(0.01))
+        .expect("admitted");
+    std::thread::sleep(Duration::from_millis(5));
+    assert_eq!(service.drain_once(), 1);
+    let err = pending.wait().expect_err("deadline expired while queued");
+    assert_eq!(err.code(), "deadline_exceeded");
+    let json = err.to_json();
+    assert_eq!(json["error"]["code"].as_str(), Some("deadline_exceeded"));
+    let metrics = service.metrics();
+    assert_eq!(metrics.deadline_exceeded, 1);
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn the_service_error_table_is_stable() {
+    use kg_service::ServiceError;
+    let cases: [(ServiceError, u16, &str); 6] = [
+        (ServiceError::Overloaded { capacity: 4 }, 503, "overloaded"),
+        (
+            ServiceError::TenantQuotaExceeded {
+                tenant: "t".into(),
+                quota: 2,
+            },
+            429,
+            "tenant_quota_exceeded",
+        ),
+        (
+            ServiceError::Rejected(Arc::new(kg_core::KgError::UnknownEntity("x".into()))),
+            422,
+            "unresolvable_query",
+        ),
+        (
+            ServiceError::InvalidTargets {
+                error_bound: -1.0,
+                confidence: 0.95,
+                deadline_ms: None,
+            },
+            400,
+            "invalid_targets",
+        ),
+        (
+            ServiceError::DeadlineExceeded { deadline_ms: 1.0 },
+            504,
+            "deadline_exceeded",
+        ),
+        (ServiceError::ShuttingDown, 503, "shutting_down"),
+    ];
+    for (error, status, code) in cases {
+        assert_eq!(error.http_status(), status, "{error}");
+        assert_eq!(error.code(), code, "{error}");
+        let json = error.to_json();
+        assert_eq!(json["error"]["code"].as_str(), Some(code));
+        // "kind" stays as a legacy alias of "code" for one release.
+        assert_eq!(json["error"]["kind"].as_str(), Some(code));
+        assert!(json["error"]["message"].as_str().is_some());
+    }
 }
