@@ -105,6 +105,33 @@ impl GraphBuilder {
         self.add_edge(s, predicate, o)
     }
 
+    /// Removes **every occurrence** of the exact triple
+    /// `subject --predicate--> object` added so far, returning how many were
+    /// removed (0 when the predicate was never interned or no occurrence
+    /// exists). Remaining triples keep their relative order — the builder
+    /// counterpart of [`KnowledgeGraph::delete_edge`], so replaying a
+    /// write schedule through a builder reproduces the overlay's state
+    /// bit-for-bit (ids included, since a removed edge's predicate stays
+    /// interned in both).
+    pub fn remove_edge(&mut self, subject: EntityId, predicate: &str, object: EntityId) -> usize {
+        let Some(p) = self.predicates.get(predicate) else {
+            return 0;
+        };
+        let before = self.triples.len();
+        self.triples
+            .retain(|t| !(t.subject == subject && t.predicate == p && t.object == object));
+        before - self.triples.len()
+    }
+
+    /// Name-addressed variant of [`Self::remove_edge`]; returns 0 when any
+    /// name is unknown.
+    pub fn remove_edge_by_name(&mut self, subject: &str, predicate: &str, object: &str) -> usize {
+        match (self.name_index.get(subject), self.name_index.get(object)) {
+            (Some(s), Some(o)) => self.remove_edge(s, predicate, o),
+            _ => 0,
+        }
+    }
+
     /// Number of entities added so far.
     pub fn entity_count(&self) -> usize {
         self.entities.len()
@@ -136,6 +163,7 @@ impl GraphBuilder {
             attrs: self.attrs,
             name_index: self.name_index,
             type_index,
+            delta: None,
         }
     }
 }

@@ -1,0 +1,462 @@
+//! Log-structured mutation overlay for [`KnowledgeGraph`].
+//!
+//! The CSR arrays of a built graph are immutable — that is what makes
+//! [`KnowledgeGraph::neighbors`] a zero-cost slice. A live deployment still
+//! has to absorb a stream of entity/edge upserts and deletions without
+//! rebuilding the whole graph per write, so mutation is layered *on top* of
+//! the frozen CSR:
+//!
+//! * a [`GraphDelta`] records every edge upsert and tombstone in an
+//!   append-only **op log** (the compaction input), and
+//! * keeps a **merged adjacency row** for every node a write touched: a
+//!   copy of the node's base CSR slice with deletions removed and inserts
+//!   appended. [`KnowledgeGraph::neighbors`] serves the merged row when one
+//!   exists and the base slice otherwise, so untouched nodes keep the
+//!   zero-copy fast path and touched nodes pay one `HashMap` probe.
+//!
+//! Entity upserts (new nodes, added types) are applied **eagerly** to the
+//! entity table and the name/type indexes — those structures are cheap to
+//! mutate in place and append-only in their id spaces, so every id handed
+//! out before a write stays valid after it.
+//!
+//! [`KnowledgeGraph::compact`] folds the overlay back into a fresh CSR via
+//! the same counting sort [`crate::GraphBuilder::build`] uses, preserving
+//! per-node entry order: base survivors first (base order), then surviving
+//! inserts (log order) — exactly the order the merged rows already serve,
+//! so reads are bitwise unchanged across a compaction.
+//!
+//! # Ordering and equivalence
+//!
+//! The overlay is **provably equivalent** to a from-scratch rebuild at the
+//! same logical state (pinned by `tests/delta_equivalence.rs`): replaying
+//! the same op schedule through a [`crate::GraphBuilder`] — including
+//! [`crate::GraphBuilder::remove_edge`] for tombstones — yields a graph
+//! whose adjacency, ids and indexes are bitwise identical, because both
+//! representations intern names in chronological first-seen order and both
+//! keep per-node entries in surviving-insertion order.
+//!
+//! # Deletion semantics
+//!
+//! A tombstone removes **every live occurrence** of the exact triple at the
+//! time of the delete (duplicate parallel edges die together); an identical
+//! edge re-inserted *after* the tombstone is live again. Compaction applies
+//! the same rule through a last-tombstone-position scan of the log.
+
+use crate::graph::{Direction, EdgeRef, KnowledgeGraph};
+use crate::ids::{EntityId, TypeId};
+use crate::triple::Triple;
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+/// One entry of the overlay's op log.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// An edge appended after the base CSR was built.
+    Insert(Triple),
+    /// A tombstone removing every then-live occurrence of the triple.
+    Delete(Triple),
+}
+
+impl DeltaOp {
+    /// The triple this op concerns.
+    pub fn triple(&self) -> Triple {
+        match self {
+            DeltaOp::Insert(t) | DeltaOp::Delete(t) => *t,
+        }
+    }
+}
+
+/// The pending mutation overlay of a [`KnowledgeGraph`]: the edge op log
+/// plus merged adjacency rows for touched nodes. See the [module
+/// docs](self) for the layout and ordering rules.
+#[derive(Clone, Debug, Default)]
+pub struct GraphDelta {
+    /// Edge ops since the last compaction, in application order.
+    log: Vec<DeltaOp>,
+    /// Copy-on-write merged adjacency rows, one per touched node.
+    rows: HashMap<EntityId, Vec<EdgeRef>>,
+    /// Live edge count (base triples ± log effects), kept incrementally so
+    /// [`KnowledgeGraph::edge_count`] stays O(1) under a live overlay.
+    live_edges: usize,
+}
+
+impl GraphDelta {
+    fn new(live_edges: usize) -> Self {
+        Self {
+            log: Vec::new(),
+            rows: HashMap::new(),
+            live_edges,
+        }
+    }
+
+    /// The edge ops recorded since the last compaction, in order.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.log
+    }
+
+    /// Number of nodes with a merged (copy-on-write) adjacency row.
+    pub fn touched_nodes(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// Materialises the live triple list: base survivors in base order, then
+/// surviving inserts in log order. A base occurrence survives iff the
+/// triple was never tombstoned; an insert at log position `i` survives iff
+/// the triple's last tombstone (if any) sits before `i`.
+fn live_after(base: &[Triple], log: &[DeltaOp]) -> Vec<Triple> {
+    let mut last_delete: HashMap<Triple, usize> = HashMap::new();
+    for (i, op) in log.iter().enumerate() {
+        if let DeltaOp::Delete(t) = op {
+            last_delete.insert(*t, i);
+        }
+    }
+    let mut live: Vec<Triple> = base
+        .iter()
+        .copied()
+        .filter(|t| !last_delete.contains_key(t))
+        .collect();
+    for (i, op) in log.iter().enumerate() {
+        if let DeltaOp::Insert(t) = op {
+            if !last_delete.get(t).is_some_and(|&d| d >= i) {
+                live.push(*t);
+            }
+        }
+    }
+    live
+}
+
+impl KnowledgeGraph {
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Upserts an entity by name: returns the existing id (merging the given
+    /// types into its type set) or appends a new entity. New entities join
+    /// the graph with an empty adjacency list; ids already handed out are
+    /// unaffected (the entity id space is append-only).
+    pub fn upsert_entity(&mut self, name: &str, type_names: &[&str]) -> EntityId {
+        let type_ids: Vec<TypeId> = type_names
+            .iter()
+            .map(|t| TypeId::new(self.types.intern(t)))
+            .collect();
+        if let Some(id) = self.name_index.get(name) {
+            for ty in type_ids {
+                if !self.entities[id.index()].has_type(ty) {
+                    self.entities[id.index()].add_type(ty);
+                    self.type_index.add(ty, id);
+                }
+            }
+            return id;
+        }
+        let id = EntityId::from(self.entities.len());
+        self.entities.push(crate::Entity::new(name, type_ids));
+        self.name_index.insert(name.to_owned(), id);
+        for &ty in &self.entities[id.index()].types {
+            self.type_index.add(ty, id);
+        }
+        // The new id lies beyond the base CSR offsets; an (initially empty)
+        // overlay makes `neighbors` treat it as a zero-degree node until the
+        // next compaction widens the offset array.
+        self.ensure_delta();
+        id
+    }
+
+    /// Inserts the edge `subject --predicate--> object`, interning the
+    /// predicate on first sight. Parallel duplicates and self-loops are
+    /// permitted, exactly as in [`crate::GraphBuilder::add_edge`].
+    ///
+    /// # Panics
+    /// Panics when either endpoint id is out of range.
+    pub fn upsert_edge(&mut self, subject: EntityId, predicate: &str, object: EntityId) -> Triple {
+        assert!(
+            subject.index() < self.entities.len() && object.index() < self.entities.len(),
+            "upsert_edge endpoint out of range"
+        );
+        let p = self.predicates.intern(predicate);
+        let t = Triple::new(subject, p, object);
+        self.merged_row_mut(subject).push(EdgeRef {
+            neighbor: object,
+            predicate: p,
+            direction: Direction::Outgoing,
+        });
+        if subject != object {
+            self.merged_row_mut(object).push(EdgeRef {
+                neighbor: subject,
+                predicate: p,
+                direction: Direction::Incoming,
+            });
+        }
+        let delta = self.ensure_delta();
+        delta.live_edges += 1;
+        delta.log.push(DeltaOp::Insert(t));
+        t
+    }
+
+    /// Inserts an edge referring to entities by name, upserting untyped
+    /// endpoints on demand (the streaming-ingest counterpart of
+    /// [`crate::GraphBuilder::add_edge_by_name`]).
+    pub fn upsert_edge_by_name(&mut self, subject: &str, predicate: &str, object: &str) -> Triple {
+        let s = self.upsert_entity(subject, &[]);
+        let o = self.upsert_entity(object, &[]);
+        self.upsert_edge(s, predicate, o)
+    }
+
+    /// Deletes **every live occurrence** of the exact triple
+    /// `subject --predicate--> object`, returning how many were removed
+    /// (0 when the predicate is unknown or no occurrence is live — a no-op
+    /// delete records nothing).
+    ///
+    /// # Panics
+    /// Panics when either endpoint id is out of range.
+    pub fn delete_edge(&mut self, subject: EntityId, predicate: &str, object: EntityId) -> usize {
+        assert!(
+            subject.index() < self.entities.len() && object.index() < self.entities.len(),
+            "delete_edge endpoint out of range"
+        );
+        let Some(p) = self.predicates.get(predicate) else {
+            return 0;
+        };
+        let t = Triple::new(subject, p, object);
+        let row = self.merged_row_mut(subject);
+        let before = row.len();
+        row.retain(|e| {
+            !(e.neighbor == object && e.predicate == p && e.direction == Direction::Outgoing)
+        });
+        let removed = before - row.len();
+        if removed == 0 {
+            return 0;
+        }
+        if subject != object {
+            self.merged_row_mut(object).retain(|e| {
+                !(e.neighbor == subject && e.predicate == p && e.direction == Direction::Incoming)
+            });
+        }
+        let delta = self.ensure_delta();
+        delta.live_edges -= removed;
+        delta.log.push(DeltaOp::Delete(t));
+        removed
+    }
+
+    /// Name-addressed variant of [`Self::delete_edge`]; returns 0 when any
+    /// name is unknown.
+    pub fn delete_edge_by_name(&mut self, subject: &str, predicate: &str, object: &str) -> usize {
+        match (self.name_index.get(subject), self.name_index.get(object)) {
+            (Some(s), Some(o)) => self.delete_edge(s, predicate, o),
+            _ => 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Overlay state
+    // ------------------------------------------------------------------
+
+    /// True when the graph carries an uncompacted overlay (pending edge ops
+    /// or entities appended after the last CSR build).
+    pub fn has_pending_delta(&self) -> bool {
+        self.delta.is_some()
+    }
+
+    /// Number of edge ops pending compaction (the compaction-trigger
+    /// gauge; entity upserts mutate eagerly and are not counted).
+    pub fn delta_ops(&self) -> usize {
+        self.delta.as_ref().map_or(0, |d| d.log.len())
+    }
+
+    /// The pending overlay, when one exists.
+    pub fn delta(&self) -> Option<&GraphDelta> {
+        self.delta.as_deref()
+    }
+
+    /// The live triple list: the base list when no edge op is pending,
+    /// otherwise a materialised copy — base survivors in base order, then
+    /// surviving inserts in log order (the order [`Self::compact`] freezes
+    /// and per-node merged rows already serve).
+    pub fn live_triples(&self) -> Cow<'_, [Triple]> {
+        match &self.delta {
+            Some(d) if !d.log.is_empty() => Cow::Owned(live_after(&self.triples, &d.log)),
+            _ => Cow::Borrowed(&self.triples),
+        }
+    }
+
+    /// Folds the overlay into a fresh CSR (same counting sort as
+    /// [`crate::GraphBuilder::build`]) and clears it. Reads are bitwise
+    /// unchanged: per-node entry order is preserved, and every entity,
+    /// predicate, type and attribute id remains valid (id spaces are
+    /// append-only). No-op when nothing is pending.
+    pub fn compact(&mut self) {
+        let Some(delta) = self.delta.take() else {
+            return;
+        };
+        if delta.log.is_empty() && self.entities.len() + 1 == self.offsets.len() {
+            return;
+        }
+        let live = if delta.log.is_empty() {
+            std::mem::take(&mut self.triples)
+        } else {
+            live_after(&self.triples, &delta.log)
+        };
+        let (edges, offsets) = crate::builder::build_csr(self.entities.len(), &live);
+        self.edges = edges;
+        self.offsets = offsets;
+        self.triples = live;
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn ensure_delta(&mut self) -> &mut GraphDelta {
+        let base_edges = self.triples.len();
+        self.delta
+            .get_or_insert_with(|| Box::new(GraphDelta::new(base_edges)))
+    }
+
+    /// The base CSR row of `id`; empty for entities appended after the last
+    /// compaction (their ids lie beyond the offset array).
+    fn base_row(&self, id: EntityId) -> &[EdgeRef] {
+        let i = id.index();
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The merged (copy-on-write) adjacency row of `id`, seeding it from the
+    /// base CSR slice on first touch.
+    fn merged_row_mut(&mut self, id: EntityId) -> &mut Vec<EdgeRef> {
+        let need_seed = match &self.delta {
+            Some(d) => !d.rows.contains_key(&id),
+            None => true,
+        };
+        let seed: Vec<EdgeRef> = if need_seed {
+            self.base_row(id).to_vec()
+        } else {
+            Vec::new()
+        };
+        self.ensure_delta().rows.entry(id).or_insert(seed)
+    }
+
+    /// The merged row of `id` when the overlay holds one (read path of
+    /// [`Self::neighbors`]).
+    pub(crate) fn delta_row(&self, id: EntityId) -> Option<&[EdgeRef]> {
+        self.delta
+            .as_ref()
+            .and_then(|d| d.rows.get(&id))
+            .map(Vec::as_slice)
+    }
+
+    /// Live edge count maintained by the overlay, when one exists.
+    pub(crate) fn delta_live_edges(&self) -> Option<usize> {
+        self.delta.as_ref().map(|d| d.live_edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn base() -> KnowledgeGraph {
+        let mut b = GraphBuilder::new();
+        let de = b.add_entity("Germany", &["Country"]);
+        let bmw = b.add_entity("BMW_320", &["Automobile"]);
+        let audi = b.add_entity("Audi_TT", &["Automobile"]);
+        b.add_edge(de, "product", bmw);
+        b.add_edge(de, "product", audi);
+        b.build()
+    }
+
+    #[test]
+    fn upsert_edge_appends_to_both_rows_in_order() {
+        let mut g = base();
+        let de = g.entity_by_name("Germany").unwrap();
+        let bmw = g.entity_by_name("BMW_320").unwrap();
+        g.upsert_edge(bmw, "assembly", de);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_pending_delta());
+        let row = g.neighbors(de);
+        assert_eq!(row.len(), 3);
+        // Base entries first (insertion order), then the new insert.
+        assert_eq!(row[2].neighbor, bmw);
+        assert_eq!(row[2].direction, Direction::Incoming);
+        assert_eq!(g.neighbors(bmw).len(), 2);
+    }
+
+    #[test]
+    fn delete_removes_all_live_duplicates_and_reinsert_revives() {
+        let mut g = base();
+        let de = g.entity_by_name("Germany").unwrap();
+        let bmw = g.entity_by_name("BMW_320").unwrap();
+        g.upsert_edge(de, "product", bmw); // duplicate of a base edge
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.delete_edge(de, "product", bmw), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(bmw), 0);
+        // Unknown predicate or dead edge: no-op, nothing logged.
+        assert_eq!(g.delete_edge(de, "made_of", bmw), 0);
+        assert_eq!(g.delete_edge(de, "product", bmw), 0);
+        assert_eq!(g.delta_ops(), 2);
+        // Re-insert after the tombstone: live again, also after compaction.
+        g.upsert_edge(de, "product", bmw);
+        assert_eq!(g.edge_count(), 2);
+        g.compact();
+        assert!(!g.has_pending_delta());
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(bmw), 1);
+    }
+
+    #[test]
+    fn upserted_entity_is_queryable_before_and_after_compaction() {
+        let mut g = base();
+        let vw = g.upsert_entity("Volkswagen", &["Company", "Automobile"]);
+        assert_eq!(g.neighbors(vw), &[]);
+        assert_eq!(g.degree(vw), 0);
+        let auto = g.type_id("Automobile").unwrap();
+        assert!(g.entities_with_type(auto).contains(&vw));
+        // Type lists stay ascending (TypeIndex::build order).
+        let listed = g.entities_with_type(auto);
+        assert!(listed.windows(2).all(|w| w[0] < w[1]));
+        // Upsert of an existing name merges types in place.
+        assert_eq!(g.upsert_entity("Germany", &["State"]), EntityId::new(0));
+        let state = g.type_id("State").unwrap();
+        assert_eq!(g.entities_with_type(state), &[EntityId::new(0)]);
+        g.compact();
+        assert_eq!(g.neighbors(vw), &[]);
+        assert!(g.entities_with_type(auto).contains(&vw));
+    }
+
+    #[test]
+    fn compaction_matches_builder_replay() {
+        let mut g = base();
+        let mut replay = GraphBuilder::new();
+        let de = replay.add_entity("Germany", &["Country"]);
+        let bmw = replay.add_entity("BMW_320", &["Automobile"]);
+        let audi = replay.add_entity("Audi_TT", &["Automobile"]);
+        replay.add_edge(de, "product", bmw);
+        replay.add_edge(de, "product", audi);
+
+        g.upsert_edge_by_name("Volkswagen", "owns", "Audi_TT");
+        replay.add_edge_by_name("Volkswagen", "owns", "Audi_TT");
+        g.delete_edge_by_name("Germany", "product", "BMW_320");
+        replay.remove_edge_by_name("Germany", "product", "BMW_320");
+
+        g.compact();
+        let reference = replay.build();
+        assert_eq!(g.live_triples().as_ref(), reference.triples());
+        for id in g.entity_ids() {
+            assert_eq!(g.neighbors(id), reference.neighbors(id));
+        }
+    }
+
+    #[test]
+    fn live_triples_borrows_when_no_edge_ops_pending() {
+        let mut g = base();
+        assert!(matches!(g.live_triples(), Cow::Borrowed(_)));
+        g.upsert_entity("Volkswagen", &[]);
+        // Entity-only overlay: still no edge ops to materialise.
+        assert!(matches!(g.live_triples(), Cow::Borrowed(_)));
+        g.upsert_edge_by_name("Volkswagen", "owns", "Audi_TT");
+        assert!(matches!(g.live_triples(), Cow::Owned(_)));
+    }
+}

@@ -69,6 +69,10 @@ pub struct KnowledgeGraph {
     pub(crate) attrs: StringInterner,
     pub(crate) name_index: NameIndex,
     pub(crate) type_index: TypeIndex,
+    /// Pending mutation overlay, if any (see [`crate::delta`]); boxed so the
+    /// common frozen graph pays one pointer. `None` right after a build or a
+    /// [`Self::compact`].
+    pub(crate) delta: Option<Box<crate::delta::GraphDelta>>,
 }
 
 impl KnowledgeGraph {
@@ -81,9 +85,10 @@ impl KnowledgeGraph {
         self.entities.len()
     }
 
-    /// Number of triples (|E_G|).
+    /// Number of live triples (|E_G|), including pending overlay inserts and
+    /// excluding tombstoned edges.
     pub fn edge_count(&self) -> usize {
-        self.triples.len()
+        self.delta_live_edges().unwrap_or(self.triples.len())
     }
 
     /// Number of distinct node types.
@@ -122,7 +127,9 @@ impl KnowledgeGraph {
         (0..self.entities.len()).map(EntityId::from)
     }
 
-    /// Iterates all triples.
+    /// Iterates the triples of the **base CSR** — pending overlay writes are
+    /// not reflected here. Use [`Self::live_triples`] for the logical triple
+    /// set under a live overlay.
     pub fn triples(&self) -> &[Triple] {
         &self.triples
     }
@@ -192,16 +199,31 @@ impl KnowledgeGraph {
     // Topology
     // ------------------------------------------------------------------
 
-    /// The (undirected) adjacency list of `id`: a zero-cost slice into the
-    /// flat CSR edge array.
+    /// The (undirected) adjacency list of `id`. For a frozen graph this is a
+    /// zero-cost slice into the flat CSR edge array; under a live overlay
+    /// ([`crate::delta`]) a node touched by a write serves its merged
+    /// copy-on-write row instead (same entry order a from-scratch rebuild
+    /// would produce), and an entity appended after the last compaction
+    /// serves an empty slice until an edge touches it.
     pub fn neighbors(&self, id: EntityId) -> &[EdgeRef] {
+        if self.delta.is_some() {
+            if let Some(row) = self.delta_row(id) {
+                return row;
+            }
+            if id.index() + 1 >= self.offsets.len() {
+                return &[];
+            }
+        }
         let i = id.index();
         &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Degree of `id` in the undirected view (each triple counts once per
-    /// endpoint).
+    /// endpoint), overlay-aware like [`Self::neighbors`].
     pub fn degree(&self, id: EntityId) -> usize {
+        if self.delta.is_some() {
+            return self.neighbors(id).len();
+        }
         let i = id.index();
         (self.offsets[i + 1] - self.offsets[i]) as usize
     }
@@ -213,7 +235,7 @@ impl KnowledgeGraph {
             return 0.0;
         }
         // Each triple contributes two adjacency entries.
-        (2.0 * self.triples.len() as f64) / self.entities.len() as f64
+        (2.0 * self.edge_count() as f64) / self.entities.len() as f64
     }
 
     /// All entities carrying type `ty`.

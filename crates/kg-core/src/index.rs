@@ -68,6 +68,17 @@ impl TypeIndex {
         self.map.get(&ty).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Records that entity `id` carries type `ty`, keeping the per-type list
+    /// sorted ascending — the order [`Self::build`] produces, so incremental
+    /// upserts ([`crate::delta`]) and a from-scratch rebuild agree. No-op
+    /// when the pair is already indexed.
+    pub fn add(&mut self, ty: TypeId, id: EntityId) {
+        let list = self.map.entry(ty).or_default();
+        if let Err(pos) = list.binary_search(&id) {
+            list.insert(pos, id);
+        }
+    }
+
     /// All entities carrying at least one of `types`, de-duplicated.
     pub fn entities_with_any_type(&self, types: &[TypeId]) -> Vec<EntityId> {
         let mut out: Vec<EntityId> = types

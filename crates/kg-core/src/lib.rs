@@ -32,6 +32,7 @@
 
 pub mod attributes;
 pub mod builder;
+pub mod delta;
 pub mod entity;
 pub mod error;
 pub mod graph;
@@ -48,6 +49,7 @@ pub mod triple;
 
 pub use attributes::{AttrValue, AttributeSet};
 pub use builder::GraphBuilder;
+pub use delta::{DeltaOp, GraphDelta};
 pub use entity::Entity;
 pub use error::{KgError, KgResult};
 pub use graph::{Direction, EdgeRef, KnowledgeGraph};

@@ -193,7 +193,11 @@ impl ShardedGraph {
         let mut triples_per_shard: Vec<Vec<Triple>> = vec![Vec::new(); k];
         let mut cut_per_shard = vec![0usize; k];
         let mut cut_edges = 0usize;
-        for t in global.triples() {
+        // Live triples, not the base list: a graph carrying a mutation
+        // overlay ([`crate::delta`]) shards its *logical* state, so shard
+        // graphs materialise pending writes.
+        let live = global.live_triples();
+        for t in live.iter() {
             let s = assignment[t.subject.index()] as usize;
             let o = assignment[t.object.index()] as usize;
             triples_per_shard[s].push(*t);
@@ -204,6 +208,7 @@ impl ShardedGraph {
                 cut_edges += 1;
             }
         }
+        drop(live);
 
         let shards: Vec<GraphShard> = owned_per_shard
             .into_iter()
@@ -283,6 +288,39 @@ impl ShardedGraph {
     /// from a different partitioning of the same graph.
     pub fn partition_id(&self) -> u64 {
         self.partition_id
+    }
+
+    /// Re-shards an updated snapshot of the same logical graph while
+    /// **preserving the existing entity→shard assignment**: every entity
+    /// this sharding knows keeps its shard, and — because per-shard owned
+    /// lists are ascending-global-id order and entity ids are append-only —
+    /// its local id too. Entities appended after this sharding was built
+    /// (higher global ids) are assigned to the shard with the fewest owned
+    /// entities (ties to the lowest shard id, deterministically), landing at
+    /// the tail of that shard's owned list. In-flight per-stratum state
+    /// therefore stays valid across a write: stratum candidates are owned
+    /// entities, and their local ids do not move.
+    ///
+    /// # Panics
+    /// Panics when `global` has fewer entities than this sharding covers —
+    /// the snapshot must be a forward evolution of the same graph.
+    pub fn repartition_preserving(&self, global: Arc<KnowledgeGraph>) -> Self {
+        assert!(
+            global.entity_count() >= self.assignment.len(),
+            "repartition_preserving needs a forward snapshot: {} entities < {} assigned",
+            global.entity_count(),
+            self.assignment.len()
+        );
+        let k = self.shards.len();
+        let mut assignment = self.assignment.clone();
+        let mut owned_counts: Vec<usize> =
+            self.shards.iter().map(GraphShard::owned_count).collect();
+        for _ in assignment.len()..global.entity_count() {
+            let target = (0..k).min_by_key(|&s| owned_counts[s]).unwrap_or(0);
+            assignment.push(target as u32);
+            owned_counts[target] += 1;
+        }
+        Self::from_assignment(global, assignment, k, self.partitioner)
     }
 
     /// Balance and replication diagnostics.
@@ -365,6 +403,7 @@ fn build_shard(
         attrs: global.attrs.clone(),
         name_index,
         type_index,
+        delta: None,
     };
     GraphShard {
         graph,
@@ -414,6 +453,30 @@ mod tests {
         assert_eq!(local_total, sharded.global().edge_count() + stats.cut_edges);
         assert!(stats.replication_factor >= 1.0);
         assert_eq!(stats.partitioner, "degree-balanced");
+    }
+
+    #[test]
+    fn repartition_preserving_keeps_ids_and_materialises_writes() {
+        let sharded = ShardedGraph::new(chain(10), &DegreeBalancedPartitioner, 3);
+        let mut updated = (**sharded.global()).clone();
+        updated.upsert_edge_by_name("n11", "next", "n0");
+        let updated = Arc::new(updated);
+        let re = sharded.repartition_preserving(Arc::clone(&updated));
+        assert_eq!(re.shard_count(), 3);
+        assert_ne!(re.partition_id(), sharded.partition_id());
+        // Pre-existing entities keep both shard and local id.
+        for i in 0..10usize {
+            let g = EntityId::from(i);
+            assert_eq!(re.to_local(g), sharded.to_local(g));
+        }
+        // The new entity is owned somewhere and its delta edge is sharded.
+        let new_id = updated.entity_by_name("n11").unwrap();
+        let (shard, local) = re.to_local(new_id);
+        assert!(re.shard(shard).is_owned(local));
+        let owned_total: usize = re.shards().iter().map(GraphShard::owned_count).sum();
+        assert_eq!(owned_total, 11);
+        let local_total: usize = re.shards().iter().map(GraphShard::edge_count).sum();
+        assert_eq!(local_total, updated.edge_count() + re.stats().cut_edges);
     }
 
     #[test]

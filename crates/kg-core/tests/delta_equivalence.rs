@@ -1,0 +1,228 @@
+//! Differential property suite for the mutation overlay (`kg_core::delta`).
+//!
+//! For random interleaved upsert/delete/compact schedules, a graph mutated
+//! through the overlay must be **bitwise indistinguishable** from a graph
+//! built from scratch by replaying the same schedule through
+//! [`GraphBuilder`] — adjacency (entry order included), live triple list,
+//! ids, name/type indexes, and derived statistics. Compaction at arbitrary
+//! points must not change any observable either. Self-loops, duplicate
+//! parallel edges, tombstoned-then-revived edges, and touched-but-empty
+//! nodes all arise from the schedule space and are additionally pinned by
+//! directed regression tests.
+
+use kg_core::{GraphBuilder, KnowledgeGraph};
+use proptest::prelude::*;
+
+/// Name universe: wider than any base prefix so schedules create entities
+/// both before and after the CSR freeze.
+fn entity_name(i: u8) -> String {
+    format!("e{}", i % 12)
+}
+
+fn predicate_name(i: u8) -> String {
+    format!("p{}", i % 4)
+}
+
+fn type_name(i: u8) -> String {
+    format!("T{}", i % 3)
+}
+
+/// One schedule step, decoded from a generated `(code, s, p, o)` tuple.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    InsertEdge(u8, u8, u8),
+    DeleteEdge(u8, u8, u8),
+    UpsertEntity(u8, u8),
+    Compact,
+}
+
+fn decode(steps: &[(u8, u8, u8, u8)]) -> Vec<Op> {
+    steps
+        .iter()
+        .map(|&(code, s, p, o)| match code {
+            0..=4 => Op::InsertEdge(s, p, o),
+            5 | 6 => Op::DeleteEdge(s, p, o),
+            7 => Op::UpsertEntity(s, p),
+            8 => Op::Compact,
+            // Forced self-loop insert, so loops are not rare events.
+            _ => Op::InsertEdge(s, p, s),
+        })
+        .collect()
+}
+
+/// Applies one op to the from-scratch reference builder. `Compact` is a
+/// physical reorganisation only, so it is a logical no-op here.
+fn apply_to_builder(b: &mut GraphBuilder, op: Op) {
+    match op {
+        Op::InsertEdge(s, p, o) => {
+            b.add_edge_by_name(&entity_name(s), &predicate_name(p), &entity_name(o));
+        }
+        Op::DeleteEdge(s, p, o) => {
+            b.remove_edge_by_name(&entity_name(s), &predicate_name(p), &entity_name(o));
+        }
+        Op::UpsertEntity(s, p) => {
+            b.add_entity(&entity_name(s), &[&type_name(p)]);
+        }
+        Op::Compact => {}
+    }
+}
+
+/// Applies one op to the live overlay graph.
+fn apply_to_graph(g: &mut KnowledgeGraph, op: Op) {
+    match op {
+        Op::InsertEdge(s, p, o) => {
+            g.upsert_edge_by_name(&entity_name(s), &predicate_name(p), &entity_name(o));
+        }
+        Op::DeleteEdge(s, p, o) => {
+            g.delete_edge_by_name(&entity_name(s), &predicate_name(p), &entity_name(o));
+        }
+        Op::UpsertEntity(s, p) => {
+            g.upsert_entity(&entity_name(s), &[&type_name(p)]);
+        }
+        Op::Compact => g.compact(),
+    }
+}
+
+/// Asserts every observable of `overlay` matches the from-scratch
+/// `reference`, bitwise.
+fn assert_equivalent(overlay: &KnowledgeGraph, reference: &KnowledgeGraph) {
+    assert_eq!(overlay.entity_count(), reference.entity_count());
+    assert_eq!(overlay.edge_count(), reference.edge_count());
+    assert_eq!(overlay.predicate_count(), reference.predicate_count());
+    assert_eq!(overlay.type_count(), reference.type_count());
+    assert_eq!(overlay.live_triples().as_ref(), reference.triples());
+    assert_eq!(
+        overlay.average_degree().to_bits(),
+        reference.average_degree().to_bits(),
+        "average_degree must be bitwise identical"
+    );
+    for id in reference.entity_ids() {
+        assert_eq!(
+            overlay.neighbors(id),
+            reference.neighbors(id),
+            "adjacency of entity {id:?} diverged"
+        );
+        assert_eq!(overlay.degree(id), reference.degree(id));
+        assert_eq!(overlay.entity(id).name, reference.entity(id).name);
+        assert_eq!(overlay.entity(id).types, reference.entity(id).types);
+        assert_eq!(
+            overlay.entity_by_name(&reference.entity(id).name),
+            Some(id),
+            "name index diverged for {:?}",
+            reference.entity(id).name
+        );
+    }
+    for (ty, name) in reference.types() {
+        assert_eq!(overlay.type_id(name), Some(ty));
+        assert_eq!(
+            overlay.entities_with_type(ty),
+            reference.entities_with_type(ty),
+            "type index diverged for type {name:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random schedule, split at a random point: the prefix becomes the
+    /// frozen base CSR, the suffix runs through the overlay (with compaction
+    /// interleaved wherever the schedule says). At every step boundary the
+    /// overlay graph must equal the reference builder's from-scratch build,
+    /// and a final forced compaction must change nothing.
+    #[test]
+    fn overlay_matches_from_scratch_rebuild(
+        steps in prop::collection::vec((0u8..10, 0u8..12, 0u8..6, 0u8..12), 0..48),
+        split in 0usize..24,
+    ) {
+        let ops = decode(&steps);
+        let split = split.min(ops.len());
+
+        // Both worlds ingest the base prefix identically.
+        let mut reference = GraphBuilder::new();
+        let mut base = GraphBuilder::new();
+        for &op in &ops[..split] {
+            apply_to_builder(&mut reference, op);
+            apply_to_builder(&mut base, op);
+        }
+        let mut overlay = base.build();
+
+        // The suffix is live write traffic against the frozen base.
+        for &op in &ops[split..] {
+            apply_to_builder(&mut reference, op);
+            apply_to_graph(&mut overlay, op);
+            assert_equivalent(&overlay, &reference.clone().build());
+        }
+
+        // Compaction folds the overlay away without observable change.
+        overlay.compact();
+        assert!(!overlay.has_pending_delta());
+        assert_equivalent(&overlay, &reference.build());
+    }
+}
+
+#[test]
+fn touched_but_empty_node_reads_as_isolated() {
+    let mut b = GraphBuilder::new();
+    b.add_edge_by_name("a", "p0", "b");
+    let mut g = b.build();
+    let a = g.entity_by_name("a").unwrap();
+    let b_id = g.entity_by_name("b").unwrap();
+    // Deleting a's only edge leaves a touched node with an empty merged row —
+    // it must read exactly like a never-connected entity.
+    assert_eq!(g.delete_edge(a, "p0", b_id), 1);
+    assert_eq!(g.neighbors(a), &[]);
+    assert_eq!(g.degree(a), 0);
+    assert_eq!(g.edge_count(), 0);
+    g.compact();
+    assert_eq!(g.neighbors(a), &[]);
+    assert_eq!(g.degree(a), 0);
+}
+
+#[test]
+fn self_loops_and_duplicates_round_trip_through_overlay_and_compaction() {
+    let mut reference = GraphBuilder::new();
+    let mut base = GraphBuilder::new();
+    for b in [&mut reference, &mut base] {
+        b.add_entity("u", &["T0"]);
+        b.add_edge_by_name("u", "loop", "u");
+    }
+    let mut overlay = base.build();
+
+    // Duplicate self-loop plus duplicate parallel edges through the overlay.
+    overlay.upsert_edge_by_name("u", "loop", "u");
+    reference.add_edge_by_name("u", "loop", "u");
+    overlay.upsert_edge_by_name("u", "p0", "v");
+    reference.add_edge_by_name("u", "p0", "v");
+    overlay.upsert_edge_by_name("u", "p0", "v");
+    reference.add_edge_by_name("u", "p0", "v");
+    assert_equivalent(&overlay, &reference.clone().build());
+
+    // One tombstone kills both parallel copies; both worlds agree.
+    assert_eq!(overlay.delete_edge_by_name("u", "p0", "v"), 2);
+    reference.remove_edge_by_name("u", "p0", "v");
+    assert_equivalent(&overlay, &reference.clone().build());
+
+    overlay.compact();
+    assert_equivalent(&overlay, &reference.build());
+}
+
+#[test]
+fn entity_upsert_after_freeze_is_immediately_queryable() {
+    let mut b = GraphBuilder::new();
+    b.add_edge_by_name("a", "p0", "b");
+    let mut g = b.build();
+    let c = g.upsert_entity("c", &["T0", "T1"]);
+    assert_eq!(g.neighbors(c), &[]);
+    assert_eq!(g.entity_by_name("c"), Some(c));
+    let t0 = g.type_id("T0").unwrap();
+    assert_eq!(g.entities_with_type(t0), &[c]);
+    // First edge through the new entity wires both endpoints.
+    g.upsert_edge_by_name("c", "p0", "a");
+    assert_eq!(g.degree(c), 1);
+    let a = g.entity_by_name("a").unwrap();
+    assert_eq!(g.degree(a), 2);
+    g.compact();
+    assert_eq!(g.degree(c), 1);
+    assert_eq!(g.degree(a), 2);
+}

@@ -2,7 +2,7 @@
 //! (Definition 2 and §V-A).
 
 use crate::filter::{Filter, ResolvedFilter};
-use crate::query_graph::SimpleQuery;
+use crate::query_graph::{QueryNode, SimpleQuery};
 use crate::shapes::ComplexQuery;
 use kg_core::{AttrId, EntityId, KgError, KgResult, KnowledgeGraph};
 use serde::{Deserialize, Serialize};
@@ -210,6 +210,111 @@ impl AggregateQuery {
     pub fn resolve_filters(&self, graph: &KnowledgeGraph) -> KgResult<Vec<ResolvedFilter>> {
         self.filters.iter().map(|f| f.resolve(graph)).collect()
     }
+
+    /// The name-level footprint of this query: every entity name, predicate
+    /// name and type name its query graph mentions. A write whose own
+    /// footprint shares no name on any axis cannot change which subgraph
+    /// the query anchors on — the overlap test component-scoped cache
+    /// invalidation is built on (see [`QueryFootprint`]).
+    pub fn footprint(&self) -> QueryFootprint {
+        let mut fp = QueryFootprint::default();
+        match &self.query {
+            QuerySpec::Simple(s) => fp.add_simple(s),
+            QuerySpec::Complex(c) => {
+                for component in &c.components {
+                    match component {
+                        crate::shapes::QueryComponent::Simple(s) => fp.add_simple(s),
+                        crate::shapes::QueryComponent::Chain(chain) => {
+                            fp.add_node(&chain.specific);
+                            for hop in &chain.hops {
+                                fp.predicates.push(hop.predicate.clone());
+                                fp.types.extend(hop.node_types.iter().cloned());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        fp.normalise();
+        fp
+    }
+}
+
+/// The set of names a query (or a write) touches, one sorted-deduplicated
+/// axis per id space: entity names, predicate names, type names.
+///
+/// Footprints drive **component-scoped cache invalidation**: a cached
+/// answer or prepared sampler only has to die when a write's footprint
+/// [`intersects`](Self::intersects) the query's. Names rather than ids keep
+/// the comparison valid across graph snapshots — a write may intern new
+/// names whose ids the cached query's graph never saw.
+///
+/// The test is deliberately conservative in one direction only (a shared
+/// name forces eviction even when the write turns out to be harmless) and
+/// relies on the graph being component-disjoint in the other: a write
+/// *inside* the n-bounded scope of a query that mentions none of its names
+/// can still shift that query's walk, so callers that require strict
+/// never-stale semantics must keep unrelated workloads on disconnected
+/// components (see ARCHITECTURE.md, "Mutability & epochs").
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryFootprint {
+    /// Entity names, sorted and deduplicated.
+    pub entities: Vec<String>,
+    /// Predicate names, sorted and deduplicated.
+    pub predicates: Vec<String>,
+    /// Type names, sorted and deduplicated.
+    pub types: Vec<String>,
+}
+
+impl QueryFootprint {
+    /// Builds a footprint from raw name lists, normalising each axis.
+    pub fn new(entities: Vec<String>, predicates: Vec<String>, types: Vec<String>) -> Self {
+        let mut fp = Self {
+            entities,
+            predicates,
+            types,
+        };
+        fp.normalise();
+        fp
+    }
+
+    /// True when the two footprints share at least one name on any axis.
+    pub fn intersects(&self, other: &Self) -> bool {
+        fn overlap(a: &[String], b: &[String]) -> bool {
+            // Both sides are sorted; walk the shorter, probe the longer.
+            let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+            small.iter().any(|x| large.binary_search(x).is_ok())
+        }
+        overlap(&self.entities, &other.entities)
+            || overlap(&self.predicates, &other.predicates)
+            || overlap(&self.types, &other.types)
+    }
+
+    /// True when no axis holds any name (such a footprint intersects
+    /// nothing).
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty() && self.predicates.is_empty() && self.types.is_empty()
+    }
+
+    fn add_node(&mut self, node: &QueryNode) {
+        if let Some(name) = &node.name {
+            self.entities.push(name.clone());
+        }
+        self.types.extend(node.types.iter().cloned());
+    }
+
+    fn add_simple(&mut self, query: &SimpleQuery) {
+        self.add_node(&query.specific);
+        self.add_node(&query.target);
+        self.predicates.push(query.predicate.clone());
+    }
+
+    fn normalise(&mut self) {
+        for axis in [&mut self.entities, &mut self.predicates, &mut self.types] {
+            axis.sort_unstable();
+            axis.dedup();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +396,56 @@ mod tests {
         let (attr, width) = gb_price.resolve(&g).unwrap();
         assert_eq!(g.attr_name(attr), "price");
         assert_eq!(width, 50_000.0);
+    }
+
+    #[test]
+    fn footprints_collect_names_and_detect_overlap() {
+        use crate::shapes::{ChainHop, ChainQuery, ComplexQuery};
+
+        let simple = AggregateQuery::simple(
+            SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+            AggregateFunction::Count,
+        );
+        let fp = simple.footprint();
+        assert_eq!(fp.entities, vec!["Germany".to_string()]);
+        assert_eq!(fp.predicates, vec!["product".to_string()]);
+        assert_eq!(
+            fp.types,
+            vec!["Automobile".to_string(), "Country".to_string()]
+        );
+        assert!(!fp.is_empty());
+
+        let chain = AggregateQuery::complex(
+            ComplexQuery::chain(ChainQuery::new(
+                "Germany",
+                &["Country"],
+                vec![
+                    ChainHop::new("product", &["Automobile"]),
+                    ChainHop::new("made_of", &["Material"]),
+                ],
+            )),
+            AggregateFunction::Count,
+        );
+        let chain_fp = chain.footprint();
+        assert_eq!(
+            chain_fp.predicates,
+            vec!["made_of".to_string(), "product".to_string()]
+        );
+        assert!(fp.intersects(&chain_fp), "shared predicate and entity");
+
+        // Disjoint on all three axes: no intersection either way.
+        let other = AggregateQuery::simple(
+            SimpleQuery::new("Japan", &["Island"], "builds", &["Ship"]),
+            AggregateFunction::Count,
+        )
+        .footprint();
+        assert!(!fp.intersects(&other));
+        assert!(!other.intersects(&fp));
+
+        // A write footprint touching only one type name still intersects.
+        let write = QueryFootprint::new(vec![], vec![], vec!["Automobile".into()]);
+        assert!(write.intersects(&fp));
+        assert!(!QueryFootprint::default().intersects(&fp));
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub mod similarity;
 pub mod ssb;
 pub mod wire;
 
-pub use aggregate::{AggregateFunction, AggregateQuery, GroupBy, QuerySpec, ResolvedAggregate};
+pub use aggregate::{
+    AggregateFunction, AggregateQuery, GroupBy, QueryFootprint, QuerySpec, ResolvedAggregate,
+};
 pub use baselines::{
     complex_answers, evaluate_with_engine, BaselineResult, FactoidEngine, FactoidEngineKind,
 };

@@ -6,7 +6,7 @@
 //!          [--queue-capacity 256] [--drain-batch 16]
 //!          [--error-bound 0.01] [--confidence 0.95] [--shards 1]
 //!          [--tenant-weight 1.0] [--tenant-quota 256]
-//!          [--tenant NAME=WEIGHT:QUOTA]...
+//!          [--tenant NAME=WEIGHT:QUOTA]... [--compact-threshold 4096]
 //! ```
 //!
 //! `--tenant-weight`/`--tenant-quota` set the default limits applied to any
@@ -47,7 +47,8 @@ fn main() {
             "usage: kg-serve [--addr HOST:PORT] [--seed N] [--workers N] \
              [--queue-capacity N] [--drain-batch N] [--error-bound EB] \
              [--confidence C] [--shards K] [--tenant-weight W] \
-             [--tenant-quota N] [--tenant NAME=WEIGHT:QUOTA]..."
+             [--tenant-quota N] [--tenant NAME=WEIGHT:QUOTA]... \
+             [--compact-threshold N]"
         );
         return;
     }
@@ -61,6 +62,7 @@ fn main() {
     let shards: usize = parse_flag(&args, "--shards", 1).max(1);
     let tenant_weight: f64 = parse_flag(&args, "--tenant-weight", 1.0);
     let tenant_quota: usize = parse_flag(&args, "--tenant-quota", 256);
+    let compact_threshold: usize = parse_flag(&args, "--compact-threshold", 4096);
 
     let mut builder = ServiceConfig::builder()
         .error_bound(error_bound)
@@ -69,7 +71,8 @@ fn main() {
         .workers(workers.max(1))
         .drain_batch(drain_batch)
         .shards(shards)
-        .default_tenant_limits(tenant_weight, tenant_quota);
+        .default_tenant_limits(tenant_weight, tenant_quota)
+        .compact_threshold(compact_threshold);
     for (i, arg) in args.iter().enumerate() {
         if arg == "--tenant" {
             let Some(spec) = args.get(i + 1) else {

@@ -25,11 +25,27 @@
 //! so stale estimates can never be served, and a worker that raced an
 //! invalidation cannot re-insert a stale session ([`ResultCache::finish`]
 //! checks the stamp).
+//!
+//! Delta writes are finer-grained than a swap: [`ResultCache::note_write`]
+//! records the write's [`QueryFootprint`] under a monotone **write
+//! sequence** and evicts only the entries whose stored footprint intersects
+//! it — cached answers of untouched components survive the write. The same
+//! sequence closes the racing-insert window: a worker snapshots
+//! [`ResultCache::write_seq`] together with the graph, and
+//! [`ResultCache::finish`] drops the insert when an intersecting write
+//! landed after that snapshot (or when the bounded write log can no longer
+//! prove there wasn't one) — a write either precedes the snapshot a result
+//! was computed on or kills that result, never a torn mixture.
 
 use kg_aqp::{QueryAnswer, ShardedSession};
 use kg_estimate::satisfies_error_bound;
-use std::collections::HashMap;
+use kg_query::QueryFootprint;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
+
+/// Number of recent write footprints [`ResultCache::finish`] can consult;
+/// inserts whose snapshot predates the window are conservatively dropped.
+const WRITE_LOG_WINDOW: usize = 1024;
 
 /// The cache-reuse rule: can `answer` be served for targets
 /// `(error_bound, confidence)` without further refinement?
@@ -64,6 +80,8 @@ pub struct ResultCacheStats {
     pub misses: usize,
     /// Times the cache was invalidated (graph/config generation bumps).
     pub invalidations: u64,
+    /// Entries evicted by footprint-scoped writes ([`ResultCache::note_write`]).
+    pub write_evictions: u64,
 }
 
 impl ResultCacheStats {
@@ -92,6 +110,17 @@ pub enum CacheDecision {
 struct Entry {
     session: ShardedSession,
     answer: QueryAnswer,
+    /// The query's name footprint, kept so a later write can decide whether
+    /// this entry could observe it.
+    footprint: QueryFootprint,
+}
+
+/// Recent write history: a monotone sequence number plus a bounded log of
+/// `(seq, footprint)` pairs (see the [module docs](self)).
+#[derive(Default)]
+struct WriteState {
+    seq: u64,
+    log: VecDeque<(u64, QueryFootprint)>,
 }
 
 /// Confidence-aware result cache; see the [module docs](self).
@@ -100,6 +129,7 @@ pub struct ResultCache {
     entries: Mutex<HashMap<String, Entry>>,
     stats: Mutex<ResultCacheStats>,
     generation: Mutex<u64>,
+    writes: Mutex<WriteState>,
 }
 
 impl ResultCache {
@@ -151,14 +181,47 @@ impl ResultCache {
         }
     }
 
+    /// The current write sequence number. Callers snapshot this together
+    /// with the graph (under the same state lock the write path mutates
+    /// both under), and pass it back to [`Self::finish`] so a racing write
+    /// can be detected.
+    pub fn write_seq(&self) -> u64 {
+        self.writes.lock().unwrap().seq
+    }
+
+    /// Records a delta write's footprint and evicts exactly the cached
+    /// entries whose own footprint intersects it; everything else — and the
+    /// generation — survives. Returns the number of entries evicted.
+    pub fn note_write(&self, footprint: &QueryFootprint) -> usize {
+        let mut writes = self.writes.lock().unwrap();
+        writes.seq += 1;
+        let seq = writes.seq;
+        writes.log.push_back((seq, footprint.clone()));
+        while writes.log.len() > WRITE_LOG_WINDOW {
+            writes.log.pop_front();
+        }
+        let mut entries = self.entries.lock().unwrap();
+        let before = entries.len();
+        entries.retain(|_, entry| !entry.footprint.intersects(footprint));
+        let evicted = before - entries.len();
+        self.stats.lock().unwrap().write_evictions += evicted as u64;
+        evicted
+    }
+
     /// Stores (or returns) a session with its freshest answer. `generation`
-    /// must be the stamp observed when work began; if the cache has been
-    /// invalidated in between, the entry is dropped instead of poisoning the
-    /// new generation.
+    /// and `snapshot_seq` must be the generation stamp and write sequence
+    /// observed when work began: the entry is dropped — instead of
+    /// poisoning the cache with a torn result — when the cache has been
+    /// invalidated since, when a write whose footprint intersects the
+    /// query's landed after the snapshot, or when the bounded write log has
+    /// been trimmed past the snapshot and can no longer prove no such write
+    /// happened.
     pub fn finish(
         &self,
         key: String,
         generation: u64,
+        snapshot_seq: u64,
+        footprint: QueryFootprint,
         session: ShardedSession,
         answer: QueryAnswer,
     ) {
@@ -166,10 +229,27 @@ impl ResultCache {
         if *current != generation {
             return;
         }
-        self.entries
-            .lock()
-            .unwrap()
-            .insert(key, Entry { session, answer });
+        {
+            let writes = self.writes.lock().unwrap();
+            if writes.seq.saturating_sub(snapshot_seq) > writes.log.len() as u64 {
+                return;
+            }
+            if writes
+                .log
+                .iter()
+                .any(|(seq, fp)| *seq > snapshot_seq && fp.intersects(&footprint))
+            {
+                return;
+            }
+        }
+        self.entries.lock().unwrap().insert(
+            key,
+            Entry {
+                session,
+                answer,
+                footprint,
+            },
+        );
     }
 
     /// Drops every entry and bumps the generation: cached intervals were
@@ -250,37 +330,128 @@ mod tests {
         assert_eq!(cache.stats().misses, 1);
     }
 
-    #[test]
-    fn invalidation_discards_racing_inserts() {
-        let cache = ResultCache::new();
-        let generation = cache.generation();
-        // A worker computes against generation 0 while the graph is swapped…
-        cache.invalidate();
-        // …its insert must be dropped.
-        let config = kg_aqp::EngineConfig::default();
-        let engine = kg_aqp::AqpEngine::new(config);
-        // Build a real session for the entry (cheapest available path).
+    /// Builds a real session plus the query it belongs to (cheapest
+    /// available path to a [`ShardedSession`] for cache-entry tests).
+    fn session_for(query: &kg_query::AggregateQuery) -> (ShardedSession, kg_query::QueryFootprint) {
+        let engine = kg_aqp::AqpEngine::new(kg_aqp::EngineConfig::default());
         let d = kg_datagen::generate(&kg_datagen::GeneratorConfig::new(
             "cache-test",
             kg_datagen::DatasetScale::tiny(),
             vec![kg_datagen::domains::automotive(&["Germany"])],
             3,
         ));
-        let q = kg_query::AggregateQuery::simple(
-            kg_query::SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
-            kg_query::AggregateFunction::Count,
-        );
         let sharded = kg_core::ShardedGraph::single(std::sync::Arc::new(d.graph.clone()));
         let session = engine
-            .open_sharded_session(&sharded, &q, &d.oracle)
+            .open_sharded_session(&sharded, query, &d.oracle)
             .unwrap();
+        (session, query.footprint())
+    }
+
+    fn product_query() -> kg_query::AggregateQuery {
+        kg_query::AggregateQuery::simple(
+            kg_query::SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+            kg_query::AggregateFunction::Count,
+        )
+    }
+
+    #[test]
+    fn invalidation_discards_racing_inserts() {
+        let cache = ResultCache::new();
+        let generation = cache.generation();
+        let write_seq = cache.write_seq();
+        // A worker computes against generation 0 while the graph is swapped…
+        cache.invalidate();
+        // …its insert must be dropped.
+        let (session, footprint) = session_for(&product_query());
         cache.finish(
             "k".to_string(),
             generation,
+            write_seq,
+            footprint,
             session,
             answer(1.0, 0.0, 0.95, true),
         );
         assert!(cache.is_empty(), "stale insert survived invalidation");
         assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn intersecting_delta_write_discards_racing_inserts() {
+        // The delta-write analogue of the swap race above: a worker computes
+        // against a pre-write snapshot while a write touching its component
+        // lands. The insert must be dropped (its session refined pre-write
+        // state), while a worker whose component the write cannot touch may
+        // insert — its snapshot is still the write's "after" state.
+        let cache = ResultCache::new();
+        let generation = cache.generation();
+        let snapshot_seq = cache.write_seq();
+        let (session, footprint) = session_for(&product_query());
+
+        let write =
+            kg_query::QueryFootprint::new(vec!["Germany".into()], vec!["product".into()], vec![]);
+        assert_eq!(cache.note_write(&write), 0, "nothing cached yet");
+        cache.finish(
+            "touched".to_string(),
+            generation,
+            snapshot_seq,
+            footprint,
+            session,
+            answer(1.0, 0.0, 0.95, true),
+        );
+        assert!(
+            cache.is_empty(),
+            "torn insert survived an intersecting write"
+        );
+        // Generation did NOT move: delta writes are not swaps.
+        assert_eq!(cache.generation(), generation);
+        assert_eq!(cache.stats().invalidations, 0);
+
+        let (session, footprint) = session_for(&product_query());
+        // Disjoint write footprint: the racing insert is provably untouched.
+        let unrelated = kg_query::QueryFootprint::new(
+            vec!["Japan".into()],
+            vec!["builds".into()],
+            vec!["Ship".into()],
+        );
+        let snapshot_seq = cache.write_seq();
+        cache.note_write(&unrelated);
+        cache.finish(
+            "untouched".to_string(),
+            generation,
+            snapshot_seq,
+            footprint,
+            session,
+            answer(1.0, 0.0, 0.95, true),
+        );
+        assert_eq!(cache.len(), 1, "disjoint write must not drop the insert");
+
+        // A later intersecting write evicts the stored entry itself.
+        assert_eq!(cache.note_write(&write), 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().write_evictions, 1);
+    }
+
+    #[test]
+    fn snapshot_older_than_write_log_window_is_dropped() {
+        let cache = ResultCache::new();
+        let generation = cache.generation();
+        let stale_seq = cache.write_seq();
+        let disjoint = kg_query::QueryFootprint::new(vec!["x".into()], vec![], vec![]);
+        // Push the log far past the window; every logged footprint is
+        // disjoint from the query's, but the insert's snapshot can no longer
+        // be proven clean, so it must still be dropped.
+        for _ in 0..(super::WRITE_LOG_WINDOW + 8) {
+            cache.note_write(&disjoint);
+        }
+        let (session, footprint) = session_for(&product_query());
+        cache.finish(
+            "k".to_string(),
+            generation,
+            stale_seq,
+            footprint,
+            session,
+            answer(1.0, 0.0, 0.95, true),
+        );
+        assert!(cache.is_empty(), "unprovable insert survived a trimmed log");
     }
 }

@@ -91,6 +91,12 @@ pub struct ServiceConfig {
     pub shards: usize,
     /// Per-tenant weights and quotas for the weighted-fair scheduler.
     pub tenants: TenantPolicy,
+    /// Automatic compaction trigger for the write path: when a
+    /// [`crate::Service::apply_write`] leaves at least this many pending
+    /// delta ops on the graph, the write compacts the overlay into a fresh
+    /// CSR before installing the snapshot. Must be at least 1 (a request
+    /// can still force compaction explicitly).
+    pub compact_threshold: usize,
 }
 
 impl Default for ServiceConfig {
@@ -102,6 +108,7 @@ impl Default for ServiceConfig {
             drain_batch: 16,
             shards: 1,
             tenants: TenantPolicy::default(),
+            compact_threshold: 4096,
         }
     }
 }
@@ -232,6 +239,12 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Pending-delta-op count at which a write auto-compacts the overlay.
+    pub fn compact_threshold(mut self, compact_threshold: usize) -> Self {
+        self.config.compact_threshold = compact_threshold;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ServiceConfig, ServiceConfigError> {
         let config = self.config;
@@ -243,6 +256,9 @@ impl ServiceConfigBuilder {
         }
         if config.shards == 0 {
             return Err(ServiceConfigError::ZeroKnob("shards"));
+        }
+        if config.compact_threshold == 0 {
+            return Err(ServiceConfigError::ZeroKnob("compact_threshold"));
         }
         let eb = config.engine.error_bound;
         let conf = config.engine.confidence;
@@ -304,6 +320,13 @@ mod tests {
         assert_eq!(
             ServiceConfig::builder().shards(0).build().unwrap_err(),
             ServiceConfigError::ZeroKnob("shards")
+        );
+        assert_eq!(
+            ServiceConfig::builder()
+                .compact_threshold(0)
+                .build()
+                .unwrap_err(),
+            ServiceConfigError::ZeroKnob("compact_threshold")
         );
         assert!(matches!(
             ServiceConfig::builder().error_bound(-0.1).build(),

@@ -11,6 +11,7 @@
 //! | Method & path | Behaviour |
 //! |---|---|
 //! | `POST /query` | v2 body `{"v": 2, "query": .., "targets"?: {"error_bound"?, "confidence"?}, "deadline_ms"?, "tenant"?}` (the v1 flat shape is still accepted) → `200` with `{"answer": ..}`, `400` malformed, `422` unresolvable, `429` tenant quota, `503` shed, `504` deadline expired before planning |
+//! | `POST /v2/write` | body `{"v"?: 2, "ops": [{"op": "upsert_entity"\|"upsert_edge"\|"delete_edge", ..}, ..], "compact"?: bool}` → `200` with the [`crate::WriteOutcome`] JSON (applied counts, compaction, component-scoped evictions, write epoch), `400` malformed, `503` shutting down |
 //! | `GET /metrics` | `200` with the [`crate::MetricsSnapshot`] JSON |
 //! | `GET /healthz` | `200` `{"status":"ok"}` |
 //!
@@ -20,7 +21,7 @@
 //! its legacy alias). The full `ServiceError → (status, code)` table lives
 //! on [`ServiceError::http_status`].
 
-use crate::request::{QueryRequest, ServiceError};
+use crate::request::{QueryRequest, ServiceError, WriteRequest};
 use crate::service::Service;
 use serde_json::Value;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -245,6 +246,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, St
 fn route(service: &Service, method: &str, path: &str, body: &str) -> Response {
     match (method, path) {
         ("POST", "/query") => handle_query(service, body),
+        ("POST", "/v2/write") => handle_write(service, body),
         ("GET", "/metrics") => Response::new(200, service.metrics().to_json()),
         ("GET", "/healthz") => {
             let mut map = serde_json::Map::new();
@@ -281,6 +283,21 @@ fn handle_query(service: &Service, body: &str) -> Response {
             "timeout",
             "the worker pool did not answer in time; the request may still complete",
         ),
+    }
+}
+
+fn handle_write(service: &Service, body: &str) -> Response {
+    let parsed: Value = match serde_json::from_str(body) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, "malformed_json", e.to_string()),
+    };
+    let write = match WriteRequest::from_json(&parsed) {
+        Ok(w) => w,
+        Err(e) => return Response::error(400, "invalid_write", e.to_string()),
+    };
+    match service.apply_write(write) {
+        Ok(outcome) => Response::new(200, outcome.to_json()),
+        Err(e) => service_error_response(&e),
     }
 }
 

@@ -74,6 +74,7 @@ pub use config::{
 pub use http::HttpServer;
 pub use loadgen::{http_query, http_request, run_http, run_in_process, LoadReport};
 pub use request::{
-    QueryRequest, ServedFrom, ServiceAnswer, ServiceError, DEFAULT_TENANT, WIRE_VERSION,
+    QueryRequest, ServedFrom, ServiceAnswer, ServiceError, WriteOp, WriteOutcome, WriteRequest,
+    DEFAULT_TENANT, WIRE_VERSION,
 };
 pub use service::{MetricsSnapshot, PendingAnswer, Service, TenantMetrics, ACHIEVED_BOUND_BUCKETS};

@@ -232,6 +232,270 @@ impl QueryRequest {
     }
 }
 
+/// One mutation of a [`WriteRequest`] (the `/v2/write` ingest endpoint).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Create an entity (or merge types into an existing one).
+    UpsertEntity {
+        /// Unique entity name.
+        name: String,
+        /// Type names to attach (may be empty).
+        types: Vec<String>,
+    },
+    /// Insert the edge `subject --predicate--> object`, creating untyped
+    /// endpoints on demand.
+    UpsertEdge {
+        /// Subject entity name.
+        subject: String,
+        /// Predicate name (interned on first sight).
+        predicate: String,
+        /// Object entity name.
+        object: String,
+    },
+    /// Delete every live occurrence of the exact edge; a no-op when the
+    /// edge (or either endpoint) is unknown.
+    DeleteEdge {
+        /// Subject entity name.
+        subject: String,
+        /// Predicate name.
+        predicate: String,
+        /// Object entity name.
+        object: String,
+    },
+}
+
+impl WriteOp {
+    fn string_field(value: &Value, field: &str, path: usize) -> Result<String, WireError> {
+        value
+            .get(field)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| WireError {
+                path: format!("write.ops[{path}].{field}"),
+                expected: "a name string".to_string(),
+            })
+    }
+
+    fn from_json(value: &Value, index: usize) -> Result<Self, WireError> {
+        let op = value
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| WireError {
+                path: format!("write.ops[{index}].op"),
+                expected: "one of \"upsert_entity\", \"upsert_edge\", \"delete_edge\"".to_string(),
+            })?;
+        match op {
+            "upsert_entity" => {
+                let name = Self::string_field(value, "name", index)?;
+                let types = match value.get("types") {
+                    None | Some(Value::Null) => Vec::new(),
+                    Some(Value::Array(items)) => items
+                        .iter()
+                        .map(|t| {
+                            t.as_str().map(str::to_string).ok_or_else(|| WireError {
+                                path: format!("write.ops[{index}].types"),
+                                expected: "an array of type name strings".to_string(),
+                            })
+                        })
+                        .collect::<Result<_, _>>()?,
+                    Some(_) => {
+                        return Err(WireError {
+                            path: format!("write.ops[{index}].types"),
+                            expected: "an array of type name strings".to_string(),
+                        })
+                    }
+                };
+                Ok(WriteOp::UpsertEntity { name, types })
+            }
+            "upsert_edge" | "delete_edge" => {
+                let subject = Self::string_field(value, "subject", index)?;
+                let predicate = Self::string_field(value, "predicate", index)?;
+                let object = Self::string_field(value, "object", index)?;
+                if op == "upsert_edge" {
+                    Ok(WriteOp::UpsertEdge {
+                        subject,
+                        predicate,
+                        object,
+                    })
+                } else {
+                    Ok(WriteOp::DeleteEdge {
+                        subject,
+                        predicate,
+                        object,
+                    })
+                }
+            }
+            _ => Err(WireError {
+                path: format!("write.ops[{index}].op"),
+                expected: "one of \"upsert_entity\", \"upsert_edge\", \"delete_edge\"".to_string(),
+            }),
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        let mut map = serde_json::Map::new();
+        match self {
+            WriteOp::UpsertEntity { name, types } => {
+                map.insert("op".to_string(), Value::String("upsert_entity".to_string()));
+                map.insert("name".to_string(), Value::String(name.clone()));
+                map.insert(
+                    "types".to_string(),
+                    Value::Array(types.iter().map(|t| Value::String(t.clone())).collect()),
+                );
+            }
+            WriteOp::UpsertEdge {
+                subject,
+                predicate,
+                object,
+            }
+            | WriteOp::DeleteEdge {
+                subject,
+                predicate,
+                object,
+            } => {
+                let op = if matches!(self, WriteOp::UpsertEdge { .. }) {
+                    "upsert_edge"
+                } else {
+                    "delete_edge"
+                };
+                map.insert("op".to_string(), Value::String(op.to_string()));
+                map.insert("subject".to_string(), Value::String(subject.clone()));
+                map.insert("predicate".to_string(), Value::String(predicate.clone()));
+                map.insert("object".to_string(), Value::String(object.clone()));
+            }
+        }
+        Value::Object(map)
+    }
+}
+
+/// A batch of mutations applied atomically by
+/// [`crate::Service::apply_write`]: every query admitted after the write
+/// returns sees all of its ops (read-your-writes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WriteRequest {
+    /// The mutations, applied in order.
+    pub ops: Vec<WriteOp>,
+    /// Force folding the delta overlay into a fresh CSR even below the
+    /// configured `compact_threshold`.
+    pub compact: bool,
+}
+
+impl WriteRequest {
+    /// A write of the given ops, without forced compaction.
+    pub fn new(ops: Vec<WriteOp>) -> Self {
+        Self {
+            ops,
+            compact: false,
+        }
+    }
+
+    /// Forces compaction after applying the ops (builder style).
+    pub fn with_compact(mut self) -> Self {
+        self.compact = true;
+        self
+    }
+
+    /// Decodes `{"v": 2?, "ops": [..], "compact": bool?}`. The `v` tag is
+    /// optional (the endpoint is v2-only); `compact` defaults to false.
+    pub fn from_json(value: &Value) -> Result<Self, WireError> {
+        if let Some(tag) = value.get("v") {
+            if tag.as_f64() != Some(WIRE_VERSION as f64) {
+                return Err(WireError {
+                    path: "write.v".to_string(),
+                    expected: format!("supported wire version {WIRE_VERSION}"),
+                });
+            }
+        }
+        let ops = match value.get("ops") {
+            Some(Value::Array(items)) => items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| WriteOp::from_json(v, i))
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => {
+                return Err(WireError {
+                    path: "write.ops".to_string(),
+                    expected: "an array of write ops".to_string(),
+                })
+            }
+        };
+        let compact = match value.get("compact") {
+            None | Some(Value::Null) => false,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => {
+                return Err(WireError {
+                    path: "write.compact".to_string(),
+                    expected: "a boolean".to_string(),
+                })
+            }
+        };
+        Ok(Self { ops, compact })
+    }
+
+    /// Encodes the wire shape accepted by [`Self::from_json`].
+    pub fn to_json(&self) -> Value {
+        let mut map = serde_json::Map::new();
+        map.insert("v".to_string(), Value::Number(WIRE_VERSION as f64));
+        map.insert(
+            "ops".to_string(),
+            Value::Array(self.ops.iter().map(WriteOp::to_json).collect()),
+        );
+        map.insert("compact".to_string(), Value::Bool(self.compact));
+        Value::Object(map)
+    }
+}
+
+/// What a [`crate::Service::apply_write`] did, returned to the writer (and
+/// encoded as the `/v2/write` response body).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WriteOutcome {
+    /// Ops applied (always the full batch).
+    pub applied: usize,
+    /// Total live edge occurrences removed by the batch's delete ops.
+    pub edges_deleted: usize,
+    /// True when this write folded the overlay into a fresh CSR.
+    pub compacted: bool,
+    /// Delta ops still pending on the installed graph (0 after compaction).
+    pub delta_ops: usize,
+    /// Cached answers evicted because their footprint intersected the
+    /// write's.
+    pub evicted_answers: usize,
+    /// Prepared samplers evicted for the same reason.
+    pub evicted_samplers: usize,
+    /// The write sequence number this write landed at: any answer computed
+    /// at a later sequence sees it.
+    pub epoch: u64,
+}
+
+impl WriteOutcome {
+    /// Encodes as `{"applied": .., "edges_deleted": .., "compacted": ..,
+    /// "delta_ops": .., "evicted_answers": .., "evicted_samplers": ..,
+    /// "epoch": ..}`.
+    pub fn to_json(&self) -> Value {
+        let mut map = serde_json::Map::new();
+        map.insert("applied".to_string(), Value::Number(self.applied as f64));
+        map.insert(
+            "edges_deleted".to_string(),
+            Value::Number(self.edges_deleted as f64),
+        );
+        map.insert("compacted".to_string(), Value::Bool(self.compacted));
+        map.insert(
+            "delta_ops".to_string(),
+            Value::Number(self.delta_ops as f64),
+        );
+        map.insert(
+            "evicted_answers".to_string(),
+            Value::Number(self.evicted_answers as f64),
+        );
+        map.insert(
+            "evicted_samplers".to_string(),
+            Value::Number(self.evicted_samplers as f64),
+        );
+        map.insert("epoch".to_string(), Value::Number(self.epoch as f64));
+        Value::Object(map)
+    }
+}
+
 /// How the service produced an answer.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum ServedFrom {
@@ -563,6 +827,92 @@ mod tests {
         assert!(!r.targets_valid());
         r.deadline_ms = Some(25.0);
         assert!(r.targets_valid());
+    }
+
+    #[test]
+    fn write_request_round_trips_and_rejects_malformed_ops() {
+        let w = WriteRequest::new(vec![
+            WriteOp::UpsertEntity {
+                name: "Volkswagen".into(),
+                types: vec!["Company".into()],
+            },
+            WriteOp::UpsertEdge {
+                subject: "Volkswagen".into(),
+                predicate: "owns".into(),
+                object: "Audi_TT".into(),
+            },
+            WriteOp::DeleteEdge {
+                subject: "Germany".into(),
+                predicate: "product".into(),
+                object: "BMW_320".into(),
+            },
+        ])
+        .with_compact();
+        let json = w.to_json();
+        assert_eq!(json["v"].as_f64(), Some(2.0));
+        assert_eq!(json["ops"][0]["op"].as_str(), Some("upsert_entity"));
+        assert_eq!(json["ops"][1]["op"].as_str(), Some("upsert_edge"));
+        assert_eq!(json["ops"][2]["op"].as_str(), Some("delete_edge"));
+        assert_eq!(json["compact"].as_bool(), Some(true));
+        let back = WriteRequest::from_json(&json).unwrap();
+        assert_eq!(back, w);
+
+        // `v` absent and `compact` absent are accepted.
+        let minimal: Value =
+            serde_json::from_str(r#"{"ops": [{"op": "upsert_entity", "name": "X"}]}"#).unwrap();
+        let back = WriteRequest::from_json(&minimal).unwrap();
+        assert!(!back.compact);
+        assert_eq!(
+            back.ops,
+            vec![WriteOp::UpsertEntity {
+                name: "X".into(),
+                types: vec![]
+            }]
+        );
+
+        // Malformed bodies name the offending path.
+        let missing_ops: Value = serde_json::from_str(r#"{"compact": true}"#).unwrap();
+        assert_eq!(
+            WriteRequest::from_json(&missing_ops).unwrap_err().path,
+            "write.ops"
+        );
+        let bad_op: Value = serde_json::from_str(r#"{"ops": [{"op": "truncate_graph"}]}"#).unwrap();
+        assert_eq!(
+            WriteRequest::from_json(&bad_op).unwrap_err().path,
+            "write.ops[0].op"
+        );
+        let missing_field: Value =
+            serde_json::from_str(r#"{"ops": [{"op": "upsert_edge", "subject": "a"}]}"#).unwrap();
+        assert_eq!(
+            WriteRequest::from_json(&missing_field).unwrap_err().path,
+            "write.ops[0].predicate"
+        );
+        let bad_version: Value = serde_json::from_str(r#"{"v": 3, "ops": []}"#).unwrap();
+        assert_eq!(
+            WriteRequest::from_json(&bad_version).unwrap_err().path,
+            "write.v"
+        );
+    }
+
+    #[test]
+    fn write_outcome_wire_fields_are_pinned() {
+        let outcome = WriteOutcome {
+            applied: 3,
+            edges_deleted: 1,
+            compacted: true,
+            delta_ops: 0,
+            evicted_answers: 2,
+            evicted_samplers: 4,
+            epoch: 7,
+        };
+        let json = outcome.to_json();
+        assert_eq!(json["applied"].as_f64(), Some(3.0));
+        assert_eq!(json["edges_deleted"].as_f64(), Some(1.0));
+        assert_eq!(json["compacted"].as_bool(), Some(true));
+        assert_eq!(json["delta_ops"].as_f64(), Some(0.0));
+        assert_eq!(json["evicted_answers"].as_f64(), Some(2.0));
+        assert_eq!(json["evicted_samplers"].as_f64(), Some(4.0));
+        assert_eq!(json["epoch"].as_f64(), Some(7.0));
     }
 
     #[test]

@@ -4,14 +4,18 @@
 //! queries, anytime answers at deadlines, result cache, metrics.
 
 use crate::cache::{CacheDecision, ResultCache, ResultCacheStats};
-use crate::config::ServiceConfig;
-use crate::request::{QueryRequest, ServedFrom, ServiceAnswer, ServiceError};
+use crate::config::{ServiceConfig, ServiceConfigError};
+use crate::request::{
+    QueryRequest, ServedFrom, ServiceAnswer, ServiceError, WriteOp, WriteOutcome, WriteRequest,
+};
 use crate::sched::{Job, Scheduler};
 use kg_aqp::{BatchEngine, QueryAnswer, RoundOutcome, ShardedSession, ShardedStats};
-use kg_core::{DegreeBalancedPartitioner, KnowledgeGraph, ShardedGraph};
+use kg_core::{
+    DegreeBalancedPartitioner, EntityId, KnowledgeGraph, PredicateId, ShardedGraph, TypeId,
+};
 use kg_embed::PredicateSimilarity;
 use kg_estimate::achieved_error_bound;
-use kg_query::AggregateQuery;
+use kg_query::{AggregateQuery, QueryFootprint};
 use kg_sampling::{CacheStats, SamplerCache, ShardSamplerCache};
 use serde_json::{Map, Value};
 use std::collections::{BTreeMap, VecDeque};
@@ -92,6 +96,21 @@ struct MetricsInner {
     /// by [`ACHIEVED_BOUND_BUCKETS`] plus an overflow slot).
     achieved_hist: [u64; ACHIEVED_BOUND_BUCKETS.len() + 1],
     tenants: BTreeMap<String, TenantMetrics>,
+    /// Writes applied through [`Service::apply_write`].
+    writes: u64,
+    /// Total operations across those writes.
+    write_ops: u64,
+    /// Writes that compacted the delta overlay into a fresh CSR.
+    compactions: u64,
+    /// Cached answers evicted by write footprints (cumulative).
+    answers_evicted: u64,
+    /// Prepared samplers evicted by write footprints (cumulative).
+    samplers_evicted: u64,
+    /// Per-component write epochs, keyed by predicate name: bumped once per
+    /// write for every predicate the write touched, so `/metrics` shows
+    /// which components have churned and tests can assert a write to one
+    /// component left another's epoch alone.
+    component_epochs: BTreeMap<String, u64>,
 }
 
 impl MetricsInner {
@@ -169,6 +188,24 @@ pub struct MetricsSnapshot {
     pub achieved_bound_hist: Vec<u64>,
     /// Per-tenant counters, keyed by tenant name.
     pub tenants: BTreeMap<String, TenantMetrics>,
+    /// Writes applied through [`Service::apply_write`].
+    pub writes: u64,
+    /// Total operations across those writes.
+    pub write_ops: u64,
+    /// Writes that compacted the delta overlay into a fresh CSR.
+    pub compactions: u64,
+    /// Cached answers evicted by write footprints (cumulative; generation
+    /// invalidations from [`Service::swap_graph`] are counted separately in
+    /// `cache.invalidations`).
+    pub answers_evicted: u64,
+    /// Prepared samplers evicted by write footprints (cumulative).
+    pub samplers_evicted: u64,
+    /// Pending delta operations on the live graph (a gauge: 0 right after a
+    /// compaction).
+    pub delta_ops: usize,
+    /// Per-component write epochs, keyed by predicate name: how many writes
+    /// have touched each predicate's component.
+    pub component_epochs: BTreeMap<String, u64>,
 }
 
 impl MetricsSnapshot {
@@ -272,6 +309,25 @@ impl MetricsSnapshot {
             tenants.insert(name.clone(), Value::Object(row));
         }
         map.insert("tenants".into(), Value::Object(tenants));
+        let mut writes = Map::new();
+        writes.insert("applied".into(), Value::Number(self.writes as f64));
+        writes.insert("ops".into(), Value::Number(self.write_ops as f64));
+        writes.insert("compactions".into(), Value::Number(self.compactions as f64));
+        writes.insert(
+            "answers_evicted".into(),
+            Value::Number(self.answers_evicted as f64),
+        );
+        writes.insert(
+            "samplers_evicted".into(),
+            Value::Number(self.samplers_evicted as f64),
+        );
+        writes.insert("delta_ops".into(), Value::Number(self.delta_ops as f64));
+        let mut epochs = Map::new();
+        for (component, &epoch) in &self.component_epochs {
+            epochs.insert(component.clone(), Value::Number(epoch as f64));
+        }
+        writes.insert("epochs".into(), Value::Object(epochs));
+        map.insert("writes".into(), Value::Object(writes));
         Value::Object(map)
     }
 }
@@ -393,11 +449,16 @@ impl Service {
     }
 
     /// Pre-builder constructor taking the knobs positionally. Kept for one
-    /// release as a thin shim over [`ServiceConfig::builder`].
+    /// release as a thin shim over [`ServiceConfig::builder`]: every knob —
+    /// including the per-tenant `(name, weight, quota)` overrides — is
+    /// routed through the builder so positional callers get exactly the
+    /// validation [`Service::new`] callers do, as a
+    /// [`ServiceConfigError`] instead of a panic.
     #[deprecated(
         since = "0.6.0",
         note = "use ServiceConfig::builder() and Service::new instead"
     )]
+    #[allow(clippy::too_many_arguments)]
     pub fn with_positional_config(
         graph: Arc<KnowledgeGraph>,
         similarity: Arc<dyn PredicateSimilarity>,
@@ -406,16 +467,18 @@ impl Service {
         queue_capacity: usize,
         workers: usize,
         shards: usize,
-    ) -> Self {
-        let config = ServiceConfig::builder()
+        tenant_overrides: &[(&str, f64, usize)],
+    ) -> Result<Self, ServiceConfigError> {
+        let mut builder = ServiceConfig::builder()
             .error_bound(error_bound)
             .confidence(confidence)
             .queue_capacity(queue_capacity)
             .workers(workers)
-            .shards(shards)
-            .build()
-            .expect("positional service configuration invalid");
-        Self::new(graph, similarity, config)
+            .shards(shards);
+        for &(tenant, weight, quota) in tenant_overrides {
+            builder = builder.tenant(tenant, weight, quota);
+        }
+        Ok(Self::new(graph, similarity, builder.build()?))
     }
 
     /// The service configuration.
@@ -551,6 +614,161 @@ impl Service {
         self.inner.cache.invalidate();
     }
 
+    /// Applies a batch of delta writes to the live graph.
+    ///
+    /// The whole batch is one atomic snapshot switch: the global graph is
+    /// cloned, every op applied to the clone through the kg-core delta
+    /// overlay, and the result installed as the new sharded view —
+    /// read-your-writes, since any query submitted after this returns
+    /// snapshots the new state. Compaction (folding the overlay into a
+    /// fresh CSR) happens when the request asks for it or when the pending
+    /// op count reaches `config.compact_threshold`.
+    ///
+    /// Invalidation is **component-scoped**, not global: the write's name
+    /// footprint (touched entities, predicates, endpoint types) evicts only
+    /// the cached answers and prepared samplers whose own footprint
+    /// intersects it. Cached answers, live sessions and samplers of
+    /// untouched components survive, and the cache generation does not move
+    /// — in-flight queries on unrelated components complete and cache
+    /// normally. Sharded deployments re-partition preservingly: existing
+    /// entities keep their shard and local ids, new entities join the
+    /// least-loaded shard.
+    pub fn apply_write(&self, write: WriteRequest) -> Result<WriteOutcome, ServiceError> {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let applied = write.ops.len();
+        let mut edges_deleted = 0usize;
+        let mut entities: Vec<String> = Vec::new();
+        let mut predicates: Vec<String> = Vec::new();
+        let mut types: Vec<String> = Vec::new();
+        let (footprint, compacted, delta_ops, evicted_answers, evicted_samplers, epoch) = {
+            let mut state = self.inner.state.lock().unwrap();
+            let mut graph = (**state.sharded.global()).clone();
+            for op in &write.ops {
+                match op {
+                    WriteOp::UpsertEntity { name, types: tys } => {
+                        let type_refs: Vec<&str> = tys.iter().map(String::as_str).collect();
+                        graph.upsert_entity(name, &type_refs);
+                        entities.push(name.clone());
+                        types.extend(tys.iter().cloned());
+                    }
+                    WriteOp::UpsertEdge {
+                        subject,
+                        predicate,
+                        object,
+                    } => {
+                        let triple = graph.upsert_edge_by_name(subject, predicate, object);
+                        entities.push(subject.clone());
+                        entities.push(object.clone());
+                        predicates.push(predicate.clone());
+                        // Endpoint types read *after* application, so types
+                        // attached earlier in this same batch count too.
+                        for id in [triple.subject, triple.object] {
+                            for &ty in &graph.entity(id).types {
+                                types.push(graph.type_name(ty).to_string());
+                            }
+                        }
+                    }
+                    WriteOp::DeleteEdge {
+                        subject,
+                        predicate,
+                        object,
+                    } => {
+                        let n = graph.delete_edge_by_name(subject, predicate, object);
+                        edges_deleted += n;
+                        // A no-op delete changes nothing, so it must not
+                        // widen the invalidation footprint either.
+                        if n > 0 {
+                            entities.push(subject.clone());
+                            entities.push(object.clone());
+                            predicates.push(predicate.clone());
+                        }
+                    }
+                }
+            }
+            let compacted =
+                write.compact || graph.delta_ops() >= self.inner.config.compact_threshold;
+            if compacted {
+                graph.compact();
+            }
+            let delta_ops = graph.delta_ops();
+            let footprint = QueryFootprint::new(entities, predicates, types);
+            let new_global = Arc::new(graph);
+            let sharded = if state.sharded.shard_count() <= 1 {
+                ShardedGraph::single(Arc::clone(&new_global))
+            } else {
+                state
+                    .sharded
+                    .repartition_preserving(Arc::clone(&new_global))
+            };
+            // Resolve the footprint names against the post-write graph (new
+            // names intern during application) and evict only the prepared
+            // samplers whose key touches them; per-shard restrictions are
+            // rebuilt wholesale — they are cheap derived views and the
+            // shard layout may have changed.
+            let touched_predicates: Vec<PredicateId> = footprint
+                .predicates
+                .iter()
+                .filter_map(|p| new_global.predicate_id(p))
+                .collect();
+            let touched_types: Vec<TypeId> = footprint
+                .types
+                .iter()
+                .filter_map(|t| new_global.type_id(t))
+                .collect();
+            let touched_entities: Vec<EntityId> = footprint
+                .entities
+                .iter()
+                .filter_map(|e| new_global.entity_by_name(e))
+                .collect();
+            let evicted_samplers = state.samplers.evict_touching(
+                &touched_predicates,
+                &touched_types,
+                &touched_entities,
+            );
+            state.shard_samplers = Arc::new(ShardSamplerCache::new());
+            state.sharded = Arc::new(sharded);
+            // Still under the state lock: a worker snapshotting (sharded,
+            // write_seq) can never pair the new graph with the old seq.
+            let evicted_answers = self.inner.cache.note_write(&footprint);
+            let epoch = self.inner.cache.write_seq();
+            (
+                footprint,
+                compacted,
+                delta_ops,
+                evicted_answers,
+                evicted_samplers,
+                epoch,
+            )
+        };
+        {
+            let mut metrics = self.inner.metrics.lock().unwrap();
+            metrics.writes += 1;
+            metrics.write_ops += applied as u64;
+            if compacted {
+                metrics.compactions += 1;
+            }
+            metrics.answers_evicted += evicted_answers as u64;
+            metrics.samplers_evicted += evicted_samplers as u64;
+            for predicate in &footprint.predicates {
+                *metrics
+                    .component_epochs
+                    .entry(predicate.clone())
+                    .or_insert(0) += 1;
+            }
+        }
+        Ok(WriteOutcome {
+            applied,
+            edges_deleted,
+            compacted,
+            delta_ops,
+            evicted_answers,
+            evicted_samplers,
+            epoch,
+        })
+    }
+
     /// Counter / percentile / cache snapshot.
     pub fn metrics(&self) -> MetricsSnapshot {
         let queue_depth = self.inner.sched.lock().unwrap().ready();
@@ -572,6 +790,12 @@ impl Service {
             merge_overhead_ms,
             achieved_hist,
             tenants,
+            writes,
+            write_ops,
+            compactions,
+            answers_evicted,
+            samplers_evicted,
+            component_epochs,
         ) = {
             let metrics = self.inner.metrics.lock().unwrap();
             (
@@ -589,6 +813,12 @@ impl Service {
                 metrics.merge_overhead_ms,
                 metrics.achieved_hist,
                 metrics.tenants.clone(),
+                metrics.writes,
+                metrics.write_ops,
+                metrics.compactions,
+                metrics.answers_evicted,
+                metrics.samplers_evicted,
+                metrics.component_epochs.clone(),
             )
         };
         // A scrape before the first completion still reports one (zeroed)
@@ -604,7 +834,10 @@ impl Service {
             }
             sorted[((q * sorted.len() as f64).ceil() as usize).max(1) - 1]
         };
-        let sampler_cache = self.inner.state.lock().unwrap().samplers.stats();
+        let (sampler_cache, delta_ops) = {
+            let state = self.inner.state.lock().unwrap();
+            (state.samplers.stats(), state.sharded.global().delta_ops())
+        };
         MetricsSnapshot {
             submitted,
             completed,
@@ -625,6 +858,13 @@ impl Service {
             merge_overhead_ms,
             achieved_bound_hist: achieved_hist.to_vec(),
             tenants,
+            writes,
+            write_ops,
+            compactions,
+            answers_evicted,
+            samplers_evicted,
+            delta_ops,
+            component_epochs,
         }
     }
 
@@ -717,6 +957,10 @@ fn record_shard_stats(inner: &Inner, before: &ShardedStats, after: &ShardedStats
 struct ActiveTask {
     job: Job,
     key: String,
+    /// Name footprint of the query, matched against the footprints of delta
+    /// writes that land while this task refines: an intersecting write means
+    /// the finished session must not be cached (see [`ResultCache::finish`]).
+    footprint: QueryFootprint,
     queue_ms: f64,
     served_from: ServedFrom,
     session: Box<ShardedSession>,
@@ -739,10 +983,11 @@ fn deadline_expired(job: &Job) -> bool {
 /// reserved for deadlines that expire before planning has produced any
 /// round at all.
 fn handle_jobs(inner: &Arc<Inner>, jobs: Vec<Job>) {
-    // Snapshot graph state and the cache generation *together*: swap_graph
-    // bumps the generation under the same lock, so a worker can never pair
-    // a new graph with an old stamp (or vice versa).
-    let (sharded, similarity, samplers, shard_samplers, generation) = {
+    // Snapshot graph state, the cache generation and the write sequence
+    // *together*: swap_graph bumps the generation and apply_write bumps the
+    // write seq under the same lock, so a worker can never pair a new graph
+    // with an old stamp (or vice versa).
+    let (sharded, similarity, samplers, shard_samplers, generation, snapshot_seq) = {
         let state = inner.state.lock().unwrap();
         (
             Arc::clone(&state.sharded),
@@ -750,6 +995,7 @@ fn handle_jobs(inner: &Arc<Inner>, jobs: Vec<Job>) {
             Arc::clone(&state.samplers),
             Arc::clone(&state.shard_samplers),
             inner.cache.generation(),
+            inner.cache.write_seq(),
         )
     };
     let similarity: &dyn PredicateSimilarity = &*similarity;
@@ -812,7 +1058,7 @@ fn handle_jobs(inner: &Arc<Inner>, jobs: Vec<Job>) {
         }
         tasks.retain(|_, deque| !deque.is_empty());
         for task in expired {
-            finalize(inner, &sharded, generation, task, true);
+            finalize(inner, &sharded, generation, snapshot_seq, task, true);
         }
         if tasks.is_empty() {
             break;
@@ -839,9 +1085,9 @@ fn handle_jobs(inner: &Arc<Inner>, jobs: Vec<Job>) {
             // Natural completion: the guarantee was met, the budget caps
             // were hit, or this request's round allowance is spent —
             // exactly the refine_with termination conditions.
-            finalize(inner, &sharded, generation, task, false);
+            finalize(inner, &sharded, generation, snapshot_seq, task, false);
         } else if deadline_expired(&task.job) {
-            finalize(inner, &sharded, generation, task, true);
+            finalize(inner, &sharded, generation, snapshot_seq, task, true);
         } else {
             deque.push_back(task);
         }
@@ -890,11 +1136,13 @@ fn triage_jobs(
             }
             CacheDecision::Resume(session) => {
                 let before = session.sharded_stats();
+                let footprint = job.request.query.footprint();
                 push_task(
                     tasks,
                     ActiveTask {
                         job,
                         key,
+                        footprint,
                         queue_ms,
                         served_from: ServedFrom::CacheResume,
                         session,
@@ -938,18 +1186,22 @@ fn triage_jobs(
                     }
                     let _ = job.reply.send(Err(ServiceError::Rejected(Arc::new(e))));
                 }
-                Ok(session) => push_task(
-                    tasks,
-                    ActiveTask {
-                        job,
-                        key,
-                        queue_ms,
-                        served_from: ServedFrom::Fresh,
-                        session: Box::new(session),
-                        before: ShardedStats::default(),
-                        rounds_used: 0,
-                    },
-                ),
+                Ok(session) => {
+                    let footprint = job.request.query.footprint();
+                    push_task(
+                        tasks,
+                        ActiveTask {
+                            job,
+                            key,
+                            footprint,
+                            queue_ms,
+                            served_from: ServedFrom::Fresh,
+                            session: Box::new(session),
+                            before: ShardedStats::default(),
+                            rounds_used: 0,
+                        },
+                    )
+                }
             }
         }
     }
@@ -961,6 +1213,7 @@ fn finalize(
     inner: &Inner,
     sharded: &ShardedGraph,
     generation: u64,
+    snapshot_seq: u64,
     task: ActiveTask,
     deadline_hit: bool,
 ) {
@@ -969,9 +1222,17 @@ fn finalize(
     // Deadline-truncated answers are cached too: their live session resumes
     // on the next request for the key, and the stored interval serves
     // directly only requests it dominates (see `crate::cache::dominates`).
-    inner
-        .cache
-        .finish(task.key, generation, *task.session, answer.clone());
+    // `finish` drops the entry instead if a delta write intersecting this
+    // query's footprint landed after `snapshot_seq` — the session refined
+    // against a pre-write snapshot and must not outlive it.
+    inner.cache.finish(
+        task.key,
+        generation,
+        snapshot_seq,
+        task.footprint,
+        *task.session,
+        answer.clone(),
+    );
     respond(
         inner,
         task.job,
