@@ -54,10 +54,16 @@ use kg_sampling::{CacheStats, SamplerCache, ShardSamplerCache};
 use rayon::prelude::*;
 use std::sync::Arc;
 
-/// Nearest-rank percentile over latency samples (`q` in `[0, 1]`), tolerant
-/// of unsorted input and returning 0 for an empty set. One code path serves
-/// [`BatchStats`]'s `Display`, the service metrics snapshot and the bench
-/// report, so the three always agree on what "p95" means.
+/// Exact nearest-rank percentile over latency samples (`q` in `[0, 1]`),
+/// tolerant of unsorted input and returning 0 for an empty set.
+///
+/// Retained as the *reference implementation*: production call sites
+/// ([`BatchStats`], the service metrics snapshot, the load-generator
+/// report) now go through [`kg_telemetry::Histogram`], which records
+/// lock-free and answers quantiles from fixed buckets instead of sorting
+/// the whole `Vec` per call. The histogram parity test in this module
+/// pins that both agree up to bucket resolution, which is why this exact
+/// path sticks around.
 pub fn latency_percentile(samples: &[f64], q: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
@@ -98,15 +104,20 @@ pub struct BatchStats {
 
 impl BatchStats {
     /// Nearest-rank percentile of the per-query latencies (`q` in `[0, 1]`),
-    /// over successful queries only (failure slots hold `NaN`).
+    /// over successful queries only (failure slots hold `NaN`), resolved on
+    /// the shared log2 latency ladder (no per-call sort; quantiles report
+    /// the upper edge of the bucket holding the rank).
     pub fn percentile_ms(&self, q: f64) -> f64 {
-        let finite: Vec<f64> = self
-            .per_query_ms
-            .iter()
-            .copied()
-            .filter(|ms| ms.is_finite())
-            .collect();
-        latency_percentile(&finite, q)
+        self.latency_histogram().quantile(q)
+    }
+
+    /// The per-query latencies bucketed on the shared
+    /// [`kg_telemetry::Histogram::latency_log2`] ladder (failure slots
+    /// hold `NaN` and are skipped).
+    pub fn latency_histogram(&self) -> kg_telemetry::Histogram {
+        let hist = kg_telemetry::Histogram::latency_log2();
+        hist.observe_finite(self.per_query_ms.iter().copied());
+        hist
     }
 }
 
@@ -576,6 +587,51 @@ mod tests {
         assert_eq!(latency_percentile(&samples, 1.0), 5.0);
         assert_eq!(latency_percentile(&samples, 0.95), 5.0);
         assert_eq!(latency_percentile(&[], 0.5), 0.0);
+    }
+
+    /// Parity between the exact sorted reference and the shared telemetry
+    /// histogram: for every quantile, the histogram must report exactly
+    /// the upper edge of the bucket the exact nearest-rank value falls in
+    /// (bucketing groups the sorted order, so the rank lands in the same
+    /// bucket either way).
+    #[test]
+    fn histogram_percentiles_agree_with_exact_reference_up_to_bucket_resolution() {
+        let mut samples = Vec::new();
+        let mut x = 0.37_f64;
+        for i in 0..500 {
+            // Deterministic spread over ~0.05..5000 ms without an RNG.
+            x = (x * 997.0 + i as f64).rem_euclid(1.0);
+            samples.push(0.05 * (1.0 + x * 99_999.0));
+        }
+        let hist = kg_telemetry::Histogram::latency_log2();
+        hist.observe_finite(samples.iter().copied());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let exact = latency_percentile(&samples, q);
+            let snap = hist.snapshot();
+            let expected_edge = snap.edge_value(hist.bucket_index(exact));
+            assert_eq!(
+                hist.quantile(q),
+                expected_edge,
+                "q={q}: exact {exact} must resolve to its bucket edge"
+            );
+            assert!(
+                exact <= hist.quantile(q),
+                "bucket edge bounds the exact value"
+            );
+        }
+        // BatchStats::percentile_ms routes through the same ladder and
+        // skips NaN failure slots exactly like the old filter did.
+        let stats = BatchStats {
+            queries: samples.len() + 1,
+            per_query_ms: {
+                let mut with_failure = samples.clone();
+                with_failure.push(f64::NAN);
+                with_failure
+            },
+            ..BatchStats::default()
+        };
+        assert_eq!(stats.percentile_ms(0.95), hist.quantile(0.95));
+        assert_eq!(stats.latency_histogram().count(), samples.len() as u64);
     }
 
     #[test]

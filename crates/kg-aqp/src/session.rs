@@ -346,13 +346,25 @@ impl InteractiveSession {
         let satisfied = satisfies_error_bound(estimate_value, moe, error_bound);
         self.timings.guarantee_ms += guar_start.elapsed().as_secs_f64() * 1e3;
 
+        let correct_size = validated.iter().filter(|v| v.correct).count();
         self.rounds.push(RoundTrace {
             round: self.rounds.len() + 1,
             estimate: estimate_value,
             moe,
             sample_size: self.sample.len(),
-            correct_size: validated.iter().filter(|v| v.correct).count(),
+            correct_size,
         });
+        kg_telemetry::point(
+            "aqp.round",
+            &[
+                ("round", self.rounds.len().into()),
+                ("estimate", estimate_value.into()),
+                ("moe", moe.into()),
+                ("sample_size", self.sample.len().into()),
+                ("validated", validated.len().into()),
+                ("correct_size", correct_size.into()),
+            ],
+        );
 
         if satisfied || self.plan.distribution.is_empty() {
             self.guarantee_met = satisfied;

@@ -517,6 +517,18 @@ impl StratifiedSession {
             sample_size: merged.sample_size,
             correct_size: merged.correct,
         });
+        kg_telemetry::point(
+            "aqp.round",
+            &[
+                ("round", self.rounds.len().into()),
+                ("estimate", estimate_value.into()),
+                ("moe", moe.into()),
+                ("sample_size", merged.sample_size.into()),
+                ("correct_size", merged.correct.into()),
+                ("shards", self.strata.len().into()),
+                ("merge_ms", merge_elapsed.into()),
+            ],
+        );
 
         if satisfied || self.plan.distribution.is_empty() {
             self.guarantee_met = satisfied;
@@ -567,6 +579,21 @@ impl StratifiedSession {
             })
             .collect();
         let allocation = allocate_proportional(delta, &weights);
+        if kg_telemetry::enabled() {
+            let per_shard = allocation
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            kg_telemetry::point(
+                "aqp.allocation",
+                &[
+                    ("round", self.rounds.len().into()),
+                    ("delta", delta.into()),
+                    ("per_shard", per_shard.into()),
+                ],
+            );
+        }
         if allocation.iter().sum::<usize>() == 0 {
             self.guarantee_met = false;
             return RoundOutcome::Exhausted;

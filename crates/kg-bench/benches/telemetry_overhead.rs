@@ -1,0 +1,200 @@
+//! Telemetry overhead: what instrumentation costs when it is off, when the
+//! event ring records, and when every request additionally asks for a
+//! `trace: true` trajectory.
+//!
+//! Three macro cells run the same service workload (fresh service per
+//! burst, closed-loop clients):
+//!
+//! * `off` — recorder disabled (the shipped default): instrumentation
+//!   reduces to one relaxed atomic load per site (target < 2% overhead),
+//! * `ring` — recorder enabled, no trace flags: spans and points land in
+//!   the bounded in-process ring buffer,
+//! * `full` — recorder enabled and every request traced with a request ID
+//!   (target < 10% overhead vs `off`),
+//!
+//! plus micro cells timing a single `point()` call in the disabled and
+//! enabled states. Everything merges into `BENCH_8.json` (override with
+//! `KG_BENCH_OUTPUT`). Run with
+//! `cargo bench -p kg-bench --bench telemetry_overhead`.
+//!
+//! Overhead percentages are recorded, not asserted: shared CI hosts are too
+//! noisy for a hard sub-10% gate, and the committed record documents the
+//! measured ratio instead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kg_aqp::EngineConfig;
+use kg_bench::bench_record::{num, record_section_for, row};
+use kg_datagen::{
+    build_workload, generate, profiles, DatasetScale, GeneratedDataset, WorkloadConfig,
+};
+use kg_service::{run_in_process, QueryRequest, Service, ServiceConfig};
+use serde_json::Value;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ERROR_BOUND: f64 = 0.02;
+const CONFIDENCE: f64 = 0.95;
+const CLIENTS: usize = 4;
+const WORKERS: usize = 2;
+
+/// Which telemetry posture a burst runs under.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Mode {
+    Off,
+    Ring,
+    Full,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Off => "off",
+            Mode::Ring => "ring",
+            Mode::Full => "full",
+        }
+    }
+}
+
+fn dataset_and_requests() -> (GeneratedDataset, Vec<QueryRequest>) {
+    let dataset = generate(&profiles::dbpedia_like(DatasetScale::tiny(), 11));
+    let requests: Vec<QueryRequest> = build_workload(&dataset, &WorkloadConfig::default())
+        .into_iter()
+        .map(|q| QueryRequest::new(q.query, ERROR_BOUND, CONFIDENCE))
+        .collect();
+    assert!(!requests.is_empty());
+    (dataset, requests)
+}
+
+/// One cold burst under the given telemetry mode; returns wall ms. The
+/// recorder ring is cleared afterwards so one mode's events never inflate
+/// the next mode's buffer handling.
+fn burst(dataset: &GeneratedDataset, base: &[QueryRequest], mode: Mode) -> f64 {
+    match mode {
+        Mode::Off => kg_telemetry::disable(),
+        Mode::Ring | Mode::Full => kg_telemetry::enable(),
+    }
+    let requests: Vec<QueryRequest> = base
+        .iter()
+        .enumerate()
+        .map(|(i, r)| match mode {
+            Mode::Full => r.clone().with_request_id(format!("bench-{i}")).with_trace(),
+            _ => r.clone(),
+        })
+        .collect();
+    let svc = Service::new(
+        Arc::new(dataset.graph.clone()),
+        Arc::new(dataset.oracle.clone()),
+        ServiceConfig {
+            engine: EngineConfig {
+                error_bound: ERROR_BOUND,
+                confidence: CONFIDENCE,
+                ..EngineConfig::default()
+            },
+            workers: WORKERS,
+            ..ServiceConfig::default()
+        },
+    );
+    let report = run_in_process(&svc, &requests, CLIENTS);
+    svc.shutdown();
+    assert_eq!(report.failed, 0, "telemetry bursts must not fail requests");
+    kg_telemetry::global().clear();
+    kg_telemetry::disable();
+    report.wall_ms
+}
+
+/// Median wall ms over `reps` bursts (cold service each time, so all three
+/// modes pay identical cache-warming costs).
+fn median_burst_ms(
+    dataset: &GeneratedDataset,
+    base: &[QueryRequest],
+    mode: Mode,
+    reps: usize,
+) -> f64 {
+    let mut samples: Vec<f64> = (0..reps).map(|_| burst(dataset, base, mode)).collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Nanoseconds per `point()` call in the current recorder state, measured
+/// over `n` calls.
+fn point_ns(n: u64) -> f64 {
+    let start = Instant::now();
+    for i in 0..n {
+        kg_telemetry::point("bench.point", &[("i", i.into())]);
+    }
+    start.elapsed().as_secs_f64() * 1e9 / n as f64
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let (dataset, base) = dataset_and_requests();
+    let reps = if std::env::var("KG_BENCH_QUICK").is_ok() {
+        3
+    } else {
+        7
+    };
+
+    // Criterion cells: the off and full bursts, timed.
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    for mode in [Mode::Off, Mode::Full] {
+        group.bench_function(format!("burst/{}", mode.name()), |b| {
+            b.iter(|| burst(&dataset, &base, mode))
+        });
+    }
+    group.finish();
+
+    // Instrumented medians for the committed record.
+    let off_ms = median_burst_ms(&dataset, &base, Mode::Off, reps);
+    let ring_ms = median_burst_ms(&dataset, &base, Mode::Ring, reps);
+    let full_ms = median_burst_ms(&dataset, &base, Mode::Full, reps);
+    let ring_overhead_pct = (ring_ms / off_ms - 1.0) * 100.0;
+    let full_overhead_pct = (full_ms / off_ms - 1.0) * 100.0;
+    println!(
+        "telemetry_overhead: off {off_ms:.2} ms, ring {ring_ms:.2} ms ({ring_overhead_pct:+.1}%), \
+         full {full_ms:.2} ms ({full_overhead_pct:+.1}%)"
+    );
+
+    // Micro cells: the per-call cost of a disabled and an enabled point.
+    kg_telemetry::disable();
+    let disabled_point_ns = point_ns(1_000_000);
+    kg_telemetry::enable();
+    let enabled_point_ns = point_ns(100_000);
+    kg_telemetry::global().clear();
+    kg_telemetry::disable();
+    println!(
+        "telemetry_overhead: point() disabled {disabled_point_ns:.1} ns, \
+         enabled {enabled_point_ns:.1} ns"
+    );
+
+    record_section_for(
+        "8",
+        "telemetry_overhead",
+        row(&[
+            ("queries", num(base.len() as f64)),
+            ("clients", num(CLIENTS as f64)),
+            ("workers", num(WORKERS as f64)),
+            ("reps", num(reps as f64)),
+            ("off_ms", num(off_ms)),
+            ("ring_ms", num(ring_ms)),
+            ("full_ms", num(full_ms)),
+            ("ring_overhead_pct", num(ring_overhead_pct)),
+            ("full_overhead_pct", num(full_overhead_pct)),
+            ("target_off_overhead_pct", num(2.0)),
+            ("target_full_overhead_pct", num(10.0)),
+            ("point_disabled_ns", num(disabled_point_ns)),
+            ("point_enabled_ns", num(enabled_point_ns)),
+            (
+                "modes",
+                Value::Array(
+                    [Mode::Off, Mode::Ring, Mode::Full]
+                        .iter()
+                        .map(|m| Value::String(m.name().to_string()))
+                        .collect(),
+                ),
+            ),
+        ]),
+    );
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -1,8 +1,9 @@
 //! The committed `BENCH_*.json` files at the workspace root are the
 //! machine-readable perf records of this revision: `BENCH_5.json` holds the
 //! thread-count × shard-count matrices, alias-vs-search draw costs and
-//! service throughput; `BENCH_6.json` holds the deadline-goodput curve.
-//! These tests keep them present and well-formed: regenerating one with
+//! service throughput; `BENCH_6.json` holds the deadline-goodput curve;
+//! `BENCH_8.json` holds the telemetry overhead record (instrumented vs
+//! disabled). These tests keep them present and well-formed: regenerating one with
 //! `cargo bench -p kg-bench --bench <name>` must always produce a file
 //! the schema check accepts, and a stale/corrupt commit fails tier-1.
 
@@ -144,4 +145,73 @@ fn committed_deadline_goodput_json_is_well_formed() {
         "the deadline-less baseline must still shed: {baseline}"
     );
     assert!(baseline.get("deadline_ms").is_some_and(Value::is_null));
+}
+
+/// `BENCH_8.json`: the telemetry overhead record. Burst medians for the
+/// three recorder postures must be present and positive, the overhead
+/// percentages finite (run-to-run noise can make them negative, so no lower
+/// bound), and the per-call `point()` costs must show the disabled path is
+/// cheaper than the recording path.
+#[test]
+fn committed_telemetry_overhead_json_is_well_formed() {
+    let doc = committed_doc("BENCH_8.json");
+
+    assert_eq!(doc.get("bench").and_then(Value::as_str), Some("8"));
+    let overhead = section(&doc, "telemetry_overhead");
+
+    for key in ["off_ms", "ring_ms", "full_ms"] {
+        let v = overhead
+            .get(key)
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::NAN);
+        assert!(v.is_finite() && v > 0.0, "telemetry_overhead.{key} = {v}");
+    }
+    for key in ["ring_overhead_pct", "full_overhead_pct"] {
+        let v = overhead
+            .get(key)
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::NAN);
+        assert!(v.is_finite(), "telemetry_overhead.{key} = {v}");
+        assert!(
+            v < 50.0,
+            "telemetry_overhead.{key} = {v}: instrumentation cost blew past any noise margin"
+        );
+    }
+    // The targets the record documents itself against.
+    assert_eq!(
+        overhead
+            .get("target_off_overhead_pct")
+            .and_then(Value::as_f64),
+        Some(2.0)
+    );
+    assert_eq!(
+        overhead
+            .get("target_full_overhead_pct")
+            .and_then(Value::as_f64),
+        Some(10.0)
+    );
+
+    let disabled_ns = overhead
+        .get("point_disabled_ns")
+        .and_then(Value::as_f64)
+        .unwrap_or(f64::NAN);
+    let enabled_ns = overhead
+        .get("point_enabled_ns")
+        .and_then(Value::as_f64)
+        .unwrap_or(f64::NAN);
+    assert!(disabled_ns.is_finite() && disabled_ns > 0.0);
+    assert!(enabled_ns.is_finite() && enabled_ns > 0.0);
+    assert!(
+        disabled_ns < enabled_ns,
+        "the disabled fast path ({disabled_ns} ns) must undercut recording ({enabled_ns} ns)"
+    );
+
+    let modes = overhead
+        .get("modes")
+        .and_then(Value::as_array)
+        .expect("telemetry_overhead.modes is an array");
+    assert_eq!(
+        modes.iter().filter_map(Value::as_str).collect::<Vec<_>>(),
+        ["off", "ring", "full"]
+    );
 }

@@ -100,10 +100,18 @@ impl SamplerCache {
         let key = SamplerKey::of(query);
         if let Some(sampler) = self.entries.lock().unwrap().get(&key) {
             self.stats.lock().unwrap().hits += 1;
+            kg_telemetry::point(
+                "sampler.cache_hit",
+                &[
+                    ("predicate", key.predicate.0.into()),
+                    ("specific", key.specific.0.into()),
+                ],
+            );
             return Ok(Arc::clone(sampler));
         }
         // Prepare outside the lock; racing preparations of the same key
         // produce identical values, and the first insert wins.
+        let prepare_start = std::time::Instant::now();
         let sampler = Arc::new(prepare(
             graph,
             query,
@@ -111,6 +119,18 @@ impl SamplerCache {
             self.strategy,
             &self.config,
         )?);
+        kg_telemetry::point(
+            "sampler.prepare",
+            &[
+                ("predicate", key.predicate.0.into()),
+                ("specific", key.specific.0.into()),
+                ("candidates", sampler.candidate_count().into()),
+                (
+                    "prepare_ms",
+                    (prepare_start.elapsed().as_secs_f64() * 1e3).into(),
+                ),
+            ],
+        );
         self.stats.lock().unwrap().misses += 1;
         Ok(Arc::clone(
             self.entries.lock().unwrap().entry(key).or_insert(sampler),
@@ -139,7 +159,11 @@ impl SamplerCache {
                 || entities.contains(&key.specific)
                 || key.target_types.iter().any(|t| types.contains(t)))
         });
-        before - entries.len()
+        let evicted = before - entries.len();
+        if evicted > 0 {
+            kg_telemetry::point("sampler.evict", &[("evicted", evicted.into())]);
+        }
+        evicted
     }
 
     /// Number of distinct components prepared so far.

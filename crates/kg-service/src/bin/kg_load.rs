@@ -3,14 +3,20 @@
 //! ```text
 //! kg-load [--addr 127.0.0.1:7878] [--queries 1] [--concurrency 1]
 //!         [--seed 42] [--error-bound 0.05] [--confidence 0.95]
-//!         [--deadline-ms D] [--tenants a,b,c] [--min-ok-rate R]
+//!         [--deadline-ms D] [--tenants a,b,c] [--min-ok-rate R] [--trace]
 //! ```
 //!
 //! `--deadline-ms` attaches a deadline to every request (the service then
 //! returns anytime answers rather than shedding); `--tenants` spreads the
 //! requests round-robin over a comma-separated tenant list; `--min-ok-rate`
 //! makes the run fail unless at least that fraction of requests came back
-//! HTTP 200 (asserting the anytime-goodput contract in CI).
+//! HTTP 200 (asserting the anytime-goodput contract in CI). `--trace` sends
+//! the first query with `"trace": true` and a client request ID, then
+//! asserts the response echoes the ID and embeds a well-formed refinement
+//! trajectory with at least one round.
+//!
+//! Multi-tenant runs print a per-tenant latency breakdown under the
+//! aggregate report line.
 //!
 //! Regenerates the workload of the DBpedia-like profile with the same seed
 //! `kg-serve` used, so every query resolves against the server's graph. The
@@ -37,7 +43,7 @@ fn main() {
         eprintln!(
             "usage: kg-load [--addr HOST:PORT] [--queries N] [--concurrency N] \
              [--seed N] [--error-bound EB] [--confidence C] [--deadline-ms D] \
-             [--tenants A,B,..] [--min-ok-rate R]"
+             [--tenants A,B,..] [--min-ok-rate R] [--trace]"
         );
         return;
     }
@@ -50,6 +56,7 @@ fn main() {
     let deadline_ms: f64 = parse_flag(&args, "--deadline-ms", 0.0);
     let tenants: String = parse_flag(&args, "--tenants", String::new());
     let min_ok_rate: f64 = parse_flag(&args, "--min-ok-rate", 0.0);
+    let trace = args.iter().any(|a| a == "--trace");
     let tenants: Vec<&str> = tenants.split(',').filter(|t| !t.is_empty()).collect();
     let timeout = Duration::from_secs(120);
 
@@ -76,8 +83,17 @@ fn main() {
         })
         .collect();
 
-    // First query: assert the smoke contract explicitly.
-    let (status, body) = match http_query(addr.as_str(), &requests[0], timeout) {
+    // First query: assert the smoke contract explicitly (with the traced
+    // variant when --trace is given, so CI exercises the trajectory path).
+    let first = if trace {
+        requests[0]
+            .clone()
+            .with_request_id("kg-load-smoke")
+            .with_trace()
+    } else {
+        requests[0].clone()
+    };
+    let (status, body) = match http_query(addr.as_str(), &first, timeout) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("kg-load: request failed: {e}");
@@ -107,6 +123,31 @@ fn main() {
         moe.unwrap(),
         parsed["served_from"].as_str().unwrap(),
     );
+    if trace {
+        if parsed["request_id"].as_str() != Some("kg-load-smoke") {
+            eprintln!("kg-load: request_id not echoed: {body}");
+            std::process::exit(1);
+        }
+        let rounds = parsed["trace"]["rounds"].as_array();
+        let well_formed = rounds.is_some_and(|rounds| {
+            !rounds.is_empty()
+                && rounds.iter().enumerate().all(|(i, r)| {
+                    r["round"].as_f64() == Some((i + 1) as f64)
+                        && r["estimate"].as_f64().is_some()
+                        && r["moe"].as_f64().is_some()
+                        && r["sample_size"].as_f64().is_some_and(|n| n > 0.0)
+                })
+        });
+        if !well_formed {
+            eprintln!("kg-load: trace trajectory missing or malformed: {body}");
+            std::process::exit(1);
+        }
+        println!(
+            "kg-load: trace ok: {} round(s), served_from={}",
+            rounds.map(|r| r.len()).unwrap_or(0),
+            parsed["trace"]["served_from"].as_str().unwrap_or("?"),
+        );
+    }
 
     if requests.len() > 1 {
         let report = run_http(addr.as_str(), &requests[1..], concurrency, timeout);

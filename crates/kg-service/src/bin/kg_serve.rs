@@ -7,6 +7,7 @@
 //!          [--error-bound 0.01] [--confidence 0.95] [--shards 1]
 //!          [--tenant-weight 1.0] [--tenant-quota 256]
 //!          [--tenant NAME=WEIGHT:QUOTA]... [--compact-threshold 4096]
+//!          [--slow-query-ms MS]
 //! ```
 //!
 //! `--tenant-weight`/`--tenant-quota` set the default limits applied to any
@@ -14,6 +15,13 @@
 //! `--tenant NAME=WEIGHT:QUOTA` pins an explicit override (e.g.
 //! `--tenant acme=2:8` gives `acme` twice the refinement rounds of a
 //! weight-1 tenant and room for 8 queued deadline requests).
+//!
+//! `--slow-query-ms MS` logs one JSON line (tagged `"slow_query": true`,
+//! with the request ID and full refinement trajectory) to stderr for every
+//! completed request slower than the threshold; 0 (the default) disables
+//! the log. Structured event recording (`kg-telemetry`) is switched on, so
+//! spans and points land in the in-process ring buffer for trace-correlated
+//! debugging.
 //!
 //! The dataset is the DBpedia-like synthetic profile at tiny scale, so a
 //! client that generates the same profile with the same seed (`kg-load`
@@ -48,7 +56,7 @@ fn main() {
              [--queue-capacity N] [--drain-batch N] [--error-bound EB] \
              [--confidence C] [--shards K] [--tenant-weight W] \
              [--tenant-quota N] [--tenant NAME=WEIGHT:QUOTA]... \
-             [--compact-threshold N]"
+             [--compact-threshold N] [--slow-query-ms MS]"
         );
         return;
     }
@@ -63,6 +71,11 @@ fn main() {
     let tenant_weight: f64 = parse_flag(&args, "--tenant-weight", 1.0);
     let tenant_quota: usize = parse_flag(&args, "--tenant-quota", 256);
     let compact_threshold: usize = parse_flag(&args, "--compact-threshold", 4096);
+    let slow_query_ms: f64 = parse_flag(&args, "--slow-query-ms", 0.0);
+
+    // Event recording is a bounded in-process ring buffer; the slow-query
+    // log below works regardless of this flag.
+    kg_telemetry::enable();
 
     let mut builder = ServiceConfig::builder()
         .error_bound(error_bound)
@@ -72,7 +85,8 @@ fn main() {
         .drain_batch(drain_batch)
         .shards(shards)
         .default_tenant_limits(tenant_weight, tenant_quota)
-        .compact_threshold(compact_threshold);
+        .compact_threshold(compact_threshold)
+        .slow_query_ms(slow_query_ms);
     for (i, arg) in args.iter().enumerate() {
         if arg == "--tenant" {
             let Some(spec) = args.get(i + 1) else {

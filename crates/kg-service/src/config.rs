@@ -97,6 +97,12 @@ pub struct ServiceConfig {
     /// CSR before installing the snapshot. Must be at least 1 (a request
     /// can still force compaction explicitly).
     pub compact_threshold: usize,
+    /// Slow-query log threshold in milliseconds: a completed request whose
+    /// end-to-end latency reaches it is written to the kg-telemetry
+    /// JSON-lines sink (stderr when no sink is installed) with its full
+    /// refinement trajectory. `0` (the default) disables the log. Must be
+    /// finite and non-negative.
+    pub slow_query_ms: f64,
 }
 
 impl Default for ServiceConfig {
@@ -109,6 +115,7 @@ impl Default for ServiceConfig {
             shards: 1,
             tenants: TenantPolicy::default(),
             compact_threshold: 4096,
+            slow_query_ms: 0.0,
         }
     }
 }
@@ -134,6 +141,11 @@ pub enum ServiceConfigError {
         /// The offending confidence.
         confidence: f64,
     },
+    /// `slow_query_ms` is negative or non-finite.
+    InvalidSlowQueryThreshold {
+        /// The offending threshold.
+        slow_query_ms: f64,
+    },
     /// A tenant's weight or quota is out of range.
     InvalidTenantLimits {
         /// The tenant the limits were set for (empty for the defaults).
@@ -156,6 +168,10 @@ impl fmt::Display for ServiceConfigError {
                 f,
                 "default targets invalid: error_bound {error_bound} (want > 0), \
                  confidence {confidence} (want in (0, 1))"
+            ),
+            ServiceConfigError::InvalidSlowQueryThreshold { slow_query_ms } => write!(
+                f,
+                "slow_query_ms {slow_query_ms} invalid (want finite ≥ 0; 0 disables the log)"
             ),
             ServiceConfigError::InvalidTenantLimits { tenant, limits } => write!(
                 f,
@@ -245,6 +261,13 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// End-to-end latency (milliseconds) at which a completed request is
+    /// written to the slow-query log (0 disables it).
+    pub fn slow_query_ms(mut self, slow_query_ms: f64) -> Self {
+        self.config.slow_query_ms = slow_query_ms;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ServiceConfig, ServiceConfigError> {
         let config = self.config;
@@ -266,6 +289,11 @@ impl ServiceConfigBuilder {
             return Err(ServiceConfigError::InvalidDefaultTargets {
                 error_bound: eb,
                 confidence: conf,
+            });
+        }
+        if !(config.slow_query_ms >= 0.0 && config.slow_query_ms.is_finite()) {
+            return Err(ServiceConfigError::InvalidSlowQueryThreshold {
+                slow_query_ms: config.slow_query_ms,
             });
         }
         let valid = |l: &TenantLimits| l.weight > 0.0 && l.weight.is_finite() && l.quota >= 1;
@@ -339,6 +367,22 @@ mod tests {
         assert!(matches!(
             ServiceConfig::builder().tenant("t", 0.0, 4).build(),
             Err(ServiceConfigError::InvalidTenantLimits { .. })
+        ));
+        assert_eq!(
+            ServiceConfig::builder()
+                .slow_query_ms(250.0)
+                .build()
+                .unwrap()
+                .slow_query_ms,
+            250.0
+        );
+        assert!(matches!(
+            ServiceConfig::builder().slow_query_ms(-1.0).build(),
+            Err(ServiceConfigError::InvalidSlowQueryThreshold { .. })
+        ));
+        assert!(matches!(
+            ServiceConfig::builder().slow_query_ms(f64::NAN).build(),
+            Err(ServiceConfigError::InvalidSlowQueryThreshold { .. })
         ));
         assert!(matches!(
             ServiceConfig::builder().tenant("t", 1.0, 0).build(),

@@ -13,6 +13,7 @@
 //! | `POST /query` | v2 body `{"v": 2, "query": .., "targets"?: {"error_bound"?, "confidence"?}, "deadline_ms"?, "tenant"?}` (the v1 flat shape is still accepted) → `200` with `{"answer": ..}`, `400` malformed, `422` unresolvable, `429` tenant quota, `503` shed, `504` deadline expired before planning |
 //! | `POST /v2/write` | body `{"v"?: 2, "ops": [{"op": "upsert_entity"\|"upsert_edge"\|"delete_edge", ..}, ..], "compact"?: bool}` → `200` with the [`crate::WriteOutcome`] JSON (applied counts, compaction, component-scoped evictions, write epoch), `400` malformed, `503` shutting down |
 //! | `GET /metrics` | `200` with the [`crate::MetricsSnapshot`] JSON |
+//! | `GET /metrics.prom` | `200` with the same snapshot in the Prometheus text exposition format (`text/plain; version=0.0.4`) |
 //! | `GET /healthz` | `200` `{"status":"ok"}` |
 //!
 //! Every error body is structured:
@@ -109,14 +110,31 @@ fn accept_loop(listener: TcpListener, service: Arc<Service>, stop: Arc<AtomicBoo
     }
 }
 
+/// Response payload: JSON for every API route, plain text for the
+/// Prometheus exposition endpoint.
+enum Body {
+    Json(Value),
+    Text(String),
+}
+
 struct Response {
     status: u16,
-    body: Value,
+    body: Body,
 }
 
 impl Response {
     fn new(status: u16, body: Value) -> Self {
-        Self { status, body }
+        Self {
+            status,
+            body: Body::Json(body),
+        }
+    }
+
+    fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            body: Body::Text(body),
+        }
     }
 
     fn error(status: u16, code: &str, message: impl Into<String>) -> Self {
@@ -248,6 +266,7 @@ fn route(service: &Service, method: &str, path: &str, body: &str) -> Response {
         ("POST", "/query") => handle_query(service, body),
         ("POST", "/v2/write") => handle_write(service, body),
         ("GET", "/metrics") => Response::new(200, service.metrics().to_json()),
+        ("GET", "/metrics.prom") => Response::text(200, service.metrics().to_prometheus()),
         ("GET", "/healthz") => {
             let mut map = serde_json::Map::new();
             map.insert("status".to_string(), Value::String("ok".to_string()));
@@ -306,11 +325,19 @@ fn service_error_response(error: &ServiceError) -> Response {
 }
 
 fn write_response(mut stream: TcpStream, response: &Response) {
-    let body = serde_json::to_string(&response.body).expect("shim serialiser is total");
+    let (content_type, body) = match &response.body {
+        Body::Json(value) => (
+            "application/json",
+            serde_json::to_string(value).expect("shim serialiser is total"),
+        ),
+        // The Prometheus text exposition format, version 0.0.4.
+        Body::Text(text) => ("text/plain; version=0.0.4", text.clone()),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         response.status,
         status_text(response.status),
+        content_type,
         body.len(),
     );
     let _ = stream.write_all(head.as_bytes());

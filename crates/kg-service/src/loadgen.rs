@@ -8,7 +8,6 @@
 
 use crate::request::{QueryRequest, ServedFrom, ServiceError};
 use crate::service::Service;
-use kg_aqp::latency_percentile;
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -22,6 +21,9 @@ use std::time::{Duration, Instant};
 pub struct LoadReport {
     /// Per-request client latency in milliseconds (completed requests only).
     pub latencies_ms: Vec<f64>,
+    /// The same latencies broken down by tenant, so multi-tenant runs can
+    /// report per-tenant percentiles alongside the aggregate ones.
+    pub tenant_latencies_ms: BTreeMap<String, Vec<f64>>,
     /// Requests answered successfully.
     pub ok: usize,
     /// Completed answers whose accuracy guarantee was met.
@@ -46,9 +48,31 @@ impl LoadReport {
         self.ok + self.shed + self.failed
     }
 
-    /// Latency percentile over completed requests (`q` in `[0, 1]`).
+    /// Latency percentile over completed requests (`q` in `[0, 1]`),
+    /// resolved on the shared log2 latency ladder (quantiles report the
+    /// upper edge of the bucket holding the nearest rank — no per-call
+    /// sort; `kg_aqp::latency_percentile` remains the exact reference).
     pub fn percentile_ms(&self, q: f64) -> f64 {
-        latency_percentile(&self.latencies_ms, q)
+        self.latency_histogram().quantile(q)
+    }
+
+    /// The client latencies bucketed on the shared
+    /// [`kg_telemetry::Histogram::latency_log2`] ladder.
+    pub fn latency_histogram(&self) -> kg_telemetry::Histogram {
+        let hist = kg_telemetry::Histogram::latency_log2();
+        hist.observe_finite(self.latencies_ms.iter().copied());
+        hist
+    }
+
+    /// Latency percentile over one tenant's completed requests (0 when the
+    /// tenant completed none), on the same bucket ladder as
+    /// [`LoadReport::percentile_ms`].
+    pub fn tenant_percentile_ms(&self, tenant: &str, q: f64) -> f64 {
+        let hist = kg_telemetry::Histogram::latency_log2();
+        if let Some(latencies) = self.tenant_latencies_ms.get(tenant) {
+            hist.observe_finite(latencies.iter().copied());
+        }
+        hist.quantile(q)
     }
 
     /// Fraction of requests shed.
@@ -91,6 +115,19 @@ impl std::fmt::Display for LoadReport {
         for (source, count) in &self.served_from {
             write!(f, "; {source}={count}")?;
         }
+        // Per-tenant breakdown only when the run actually spans tenants.
+        if self.tenant_latencies_ms.len() > 1 {
+            for (tenant, latencies) in &self.tenant_latencies_ms {
+                write!(
+                    f,
+                    "\n  tenant {tenant}: {} ok, latency ms p50={:.2} p95={:.2} p99={:.2}",
+                    latencies.len(),
+                    self.tenant_percentile_ms(tenant, 0.50),
+                    self.tenant_percentile_ms(tenant, 0.95),
+                    self.tenant_percentile_ms(tenant, 0.99),
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -126,6 +163,11 @@ pub fn run_in_process(
                             report.anytime += 1;
                         }
                         report.latencies_ms.push(latency_ms);
+                        report
+                            .tenant_latencies_ms
+                            .entry(request.tenant.clone())
+                            .or_default()
+                            .push(latency_ms);
                         *report
                             .served_from
                             .entry(answer.served_from.name())
@@ -220,6 +262,11 @@ pub fn run_http(
                     Ok((200, body)) => {
                         report.ok += 1;
                         report.latencies_ms.push(latency_ms);
+                        report
+                            .tenant_latencies_ms
+                            .entry(request.tenant.clone())
+                            .or_default()
+                            .push(latency_ms);
                         let parsed: Result<Value, _> = serde_json::from_str(&body);
                         if let Ok(v) = parsed {
                             if v["answer"]["guarantee_met"].as_bool() == Some(false) {

@@ -49,6 +49,17 @@ pub struct QueryRequest {
     /// Tenant this request is accounted to (weighted-fair scheduling and
     /// per-tenant quotas). Defaults to [`DEFAULT_TENANT`].
     pub tenant: String,
+    /// Client-supplied request correlation ID (the X-Request-Id idiom,
+    /// carried in the body since the wire is JSON-first). Echoed verbatim on
+    /// the answer and stamped on every telemetry event the request emits;
+    /// the service generates one when absent. Identity metadata only — it
+    /// never participates in cache keys.
+    pub request_id: Option<String>,
+    /// When true the answer embeds the per-round refinement trajectory
+    /// (estimate, CI half-width, sample size, validation counts per round)
+    /// under a `trace` key. Diagnostic metadata only: it never perturbs
+    /// refinement, RNG streams or cache keys.
+    pub trace: bool,
 }
 
 impl QueryRequest {
@@ -60,6 +71,8 @@ impl QueryRequest {
             confidence,
             deadline_ms: None,
             tenant: DEFAULT_TENANT.to_string(),
+            request_id: None,
+            trace: false,
         }
     }
 
@@ -72,6 +85,19 @@ impl QueryRequest {
     /// Sets the tenant this request is accounted to.
     pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
         self.tenant = tenant.into();
+        self
+    }
+
+    /// Sets the correlation ID echoed on the answer and stamped on
+    /// telemetry events.
+    pub fn with_request_id(mut self, request_id: impl Into<String>) -> Self {
+        self.request_id = Some(request_id.into());
+        self
+    }
+
+    /// Asks for the per-round refinement trajectory on the answer.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 
@@ -88,7 +114,9 @@ impl QueryRequest {
 
     /// Encodes the current (v2) wire shape:
     /// `{"v": 2, "query": .., "targets": {"error_bound": .., "confidence": ..},
-    /// "tenant": .., "deadline_ms": ..}` (`deadline_ms` omitted when unset).
+    /// "tenant": .., "deadline_ms": .., "request_id": .., "trace": ..}`
+    /// (`deadline_ms` and `request_id` omitted when unset, `trace` omitted
+    /// when false).
     pub fn to_json(&self) -> Value {
         let mut targets = serde_json::Map::new();
         targets.insert("error_bound".to_string(), Value::Number(self.error_bound));
@@ -100,6 +128,12 @@ impl QueryRequest {
         map.insert("tenant".to_string(), Value::String(self.tenant.clone()));
         if let Some(deadline_ms) = self.deadline_ms {
             map.insert("deadline_ms".to_string(), Value::Number(deadline_ms));
+        }
+        if let Some(request_id) = &self.request_id {
+            map.insert("request_id".to_string(), Value::String(request_id.clone()));
+        }
+        if self.trace {
+            map.insert("trace".to_string(), Value::Bool(true));
         }
         Value::Object(map)
     }
@@ -175,6 +209,8 @@ impl QueryRequest {
             confidence: Self::number_field(value, "confidence", "request.confidence", defaults.1)?,
             deadline_ms: None,
             tenant: DEFAULT_TENANT.to_string(),
+            request_id: None,
+            trace: false,
         })
     }
 
@@ -222,12 +258,35 @@ impl QueryRequest {
                 })?
                 .to_string(),
         };
+        let request_id = match value.get("request_id") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| WireError {
+                        path: "request.request_id".to_string(),
+                        expected: "a correlation ID string".to_string(),
+                    })?
+                    .to_string(),
+            ),
+        };
+        let trace = match value.get("trace") {
+            None | Some(Value::Null) => false,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => {
+                return Err(WireError {
+                    path: "request.trace".to_string(),
+                    expected: "a boolean".to_string(),
+                })
+            }
+        };
         Ok(Self {
             query,
             error_bound,
             confidence,
             deadline_ms,
             tenant,
+            request_id,
+            trace,
         })
     }
 }
@@ -542,12 +601,21 @@ pub struct ServiceAnswer {
     pub deadline_hit: bool,
     /// Tenant the request was accounted to.
     pub tenant: String,
+    /// Correlation ID: the client's `request_id` echoed verbatim, or the
+    /// service-generated one when the request carried none. Matches the
+    /// `trace` field stamped on this request's telemetry events.
+    pub request_id: String,
+    /// Per-round refinement trajectory, present only when the request asked
+    /// for it with `trace: true` (see [`QueryRequest::trace`]).
+    pub trace: Option<Value>,
 }
 
 impl ServiceAnswer {
     /// Encodes as `{"answer": .., "served_from": .., "queue_ms": ..,
     /// "total_ms": .., "achieved_error_bound": .., "deadline_hit": ..,
-    /// "tenant": ..}`. A non-finite achieved bound encodes as `null`.
+    /// "tenant": .., "request_id": .., "trace"?: ..}`. A non-finite
+    /// achieved bound encodes as `null`; `trace` is omitted unless the
+    /// request opted in.
     pub fn to_json(&self) -> Value {
         let mut map = serde_json::Map::new();
         map.insert("answer".to_string(), self.answer.to_json());
@@ -567,6 +635,13 @@ impl ServiceAnswer {
         );
         map.insert("deadline_hit".to_string(), Value::Bool(self.deadline_hit));
         map.insert("tenant".to_string(), Value::String(self.tenant.clone()));
+        map.insert(
+            "request_id".to_string(),
+            Value::String(self.request_id.clone()),
+        );
+        if let Some(trace) = &self.trace {
+            map.insert("trace".to_string(), trace.clone());
+        }
         Value::Object(map)
     }
 }
@@ -717,13 +792,41 @@ mod tests {
 
     #[test]
     fn v2_request_round_trips() {
-        let r = request().with_deadline_ms(50.0).with_tenant("acme");
+        let r = request()
+            .with_deadline_ms(50.0)
+            .with_tenant("acme")
+            .with_request_id("req-1234")
+            .with_trace();
         let back = QueryRequest::from_json(&r.to_json(), (0.01, 0.9)).unwrap();
         assert_eq!(back.query, r.query);
         assert_eq!(back.error_bound, 0.05);
         assert_eq!(back.confidence, 0.95);
         assert_eq!(back.deadline_ms, Some(50.0));
         assert_eq!(back.tenant, "acme");
+        assert_eq!(back.request_id.as_deref(), Some("req-1234"));
+        assert!(back.trace);
+
+        // Absent request_id/trace decode to their defaults.
+        let plain = QueryRequest::from_json(&request().to_json(), (0.01, 0.9)).unwrap();
+        assert_eq!(plain.request_id, None);
+        assert!(!plain.trace);
+    }
+
+    #[test]
+    fn malformed_request_id_and_trace_name_their_paths() {
+        let mut json = request().to_json();
+        if let Value::Object(map) = &mut json {
+            map.insert("request_id".to_string(), Value::Number(7.0));
+        }
+        let err = QueryRequest::from_json(&json, (0.01, 0.9)).unwrap_err();
+        assert_eq!(err.path, "request.request_id");
+
+        let mut json = request().to_json();
+        if let Value::Object(map) = &mut json {
+            map.insert("trace".to_string(), Value::String("yes".to_string()));
+        }
+        let err = QueryRequest::from_json(&json, (0.01, 0.9)).unwrap_err();
+        assert_eq!(err.path, "request.trace");
     }
 
     #[test]
@@ -796,10 +899,13 @@ mod tests {
         let scheduled = QueryRequest::from_json(&r.to_json_v1(), (0.05, 0.95))
             .unwrap()
             .with_deadline_ms(10.0)
-            .with_tenant("acme");
+            .with_tenant("acme")
+            .with_request_id("req-aaaa")
+            .with_trace();
         assert_eq!(
             scheduled.query.canonical_key(),
-            from_v1.query.canonical_key()
+            from_v1.query.canonical_key(),
+            "request_id/trace are observability metadata, not identity"
         );
     }
 

@@ -17,10 +17,11 @@ use kg_embed::PredicateSimilarity;
 use kg_estimate::achieved_error_bound;
 use kg_query::{AggregateQuery, QueryFootprint};
 use kg_sampling::{CacheStats, SamplerCache, ShardSamplerCache};
+use kg_telemetry::{Histogram, HistogramSnapshot, MetricFamily, MetricKind};
 use serde_json::{Map, Value};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -38,16 +39,42 @@ struct EngineState {
     shard_samplers: Arc<ShardSamplerCache>,
 }
 
-/// Sliding window size of the latency recorders: old samples are overwritten
-/// so a long-lived service reports recent percentiles, not all-time ones.
-const LATENCY_WINDOW: usize = 16_384;
-
 /// Upper bucket edges (inclusive) of the achieved-error-bound histogram in
 /// [`MetricsSnapshot::achieved_bound_hist`]; answers whose achieved bound
 /// exceeds the last edge — including the infinite bound of an interval that
 /// does not exclude zero — land in one final overflow bucket, so the
-/// histogram has `ACHIEVED_BOUND_BUCKETS.len() + 1` counters.
+/// histogram has `ACHIEVED_BOUND_BUCKETS.len() + 1` counters. Identical to
+/// [`kg_telemetry::ERROR_BOUND_DECADE_EDGES`] (pinned by test) so the
+/// `/metrics` JSON `le_*` keys and the Prometheus `le` labels agree.
 pub const ACHIEVED_BOUND_BUCKETS: [f64; 9] = [0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.5, 1.0];
+
+/// Generates a service-side request correlation ID for requests that
+/// arrived without one: a per-process monotone counter under a coarse
+/// startup timestamp (no RNG — telemetry must never touch the engine's
+/// random streams).
+fn next_request_id() -> String {
+    static BASE: OnceLock<u64> = OnceLock::new();
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    let base = *BASE.get_or_init(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!("req-{base:x}-{n:x}")
+}
+
+/// FNV-1a hash of a request ID: the numeric trace ID stamped on telemetry
+/// events (0 is reserved for "no trace", so the hash is nudged off it).
+fn trace_id_of(request_id: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in request_id.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash.max(1)
+}
 
 /// Per-tenant service counters (a row of [`MetricsSnapshot::tenants`]).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -73,7 +100,6 @@ pub struct TenantMetrics {
     pub rounds: u64,
 }
 
-#[derive(Default)]
 struct MetricsInner {
     submitted: u64,
     completed: u64,
@@ -83,18 +109,21 @@ struct MetricsInner {
     anytime: u64,
     failed: u64,
     max_queue_depth: usize,
-    latencies_ms: Vec<f64>,
-    latency_slot: usize,
-    queue_ms: Vec<f64>,
-    queue_slot: usize,
+    /// End-to-end latency (admission → answer) in a fixed log2-bucket
+    /// histogram: O(1) to record, O(buckets) to scrape — replaces the old
+    /// sort-the-window percentile path.
+    latency_hist: Histogram,
+    /// Time spent queued, same bucket ladder as `latency_hist`.
+    queue_hist: Histogram,
     /// Cumulative sample draws per shard (indexed by shard id), so shard
     /// imbalance is visible in `/metrics`.
     shard_samples: Vec<u64>,
     /// Total milliseconds spent merging per-shard estimates.
     merge_overhead_ms: f64,
     /// Histogram of achieved error bounds over completed answers (bucketed
-    /// by [`ACHIEVED_BOUND_BUCKETS`] plus an overflow slot).
-    achieved_hist: [u64; ACHIEVED_BOUND_BUCKETS.len() + 1],
+    /// by [`ACHIEVED_BOUND_BUCKETS`] plus an overflow slot; infinite bounds
+    /// — intervals not excluding zero — land in the overflow bucket).
+    achieved_hist: Histogram,
     tenants: BTreeMap<String, TenantMetrics>,
     /// Writes applied through [`Service::apply_write`].
     writes: u64,
@@ -113,6 +142,35 @@ struct MetricsInner {
     component_epochs: BTreeMap<String, u64>,
 }
 
+impl Default for MetricsInner {
+    // Manual because `Histogram` deliberately has no `Default` (a bucket
+    // ladder must be chosen, not defaulted).
+    fn default() -> Self {
+        Self {
+            submitted: 0,
+            completed: 0,
+            shed: 0,
+            quota_shed: 0,
+            deadline_exceeded: 0,
+            anytime: 0,
+            failed: 0,
+            max_queue_depth: 0,
+            latency_hist: Histogram::latency_log2(),
+            queue_hist: Histogram::latency_log2(),
+            shard_samples: Vec::new(),
+            merge_overhead_ms: 0.0,
+            achieved_hist: Histogram::error_bound_decades(),
+            tenants: BTreeMap::new(),
+            writes: 0,
+            write_ops: 0,
+            compactions: 0,
+            answers_evicted: 0,
+            samplers_evicted: 0,
+            component_epochs: BTreeMap::new(),
+        }
+    }
+}
+
 impl MetricsInner {
     fn tenant(&mut self, name: &str) -> &mut TenantMetrics {
         if !self.tenants.contains_key(name) {
@@ -121,23 +179,6 @@ impl MetricsInner {
         }
         self.tenants.get_mut(name).expect("inserted above")
     }
-
-    fn record_achieved(&mut self, achieved: f64) {
-        let bucket = ACHIEVED_BOUND_BUCKETS
-            .iter()
-            .position(|&edge| achieved <= edge)
-            .unwrap_or(ACHIEVED_BOUND_BUCKETS.len());
-        self.achieved_hist[bucket] += 1;
-    }
-}
-
-fn record_windowed(samples: &mut Vec<f64>, slot: &mut usize, value: f64) {
-    if samples.len() < LATENCY_WINDOW {
-        samples.push(value);
-    } else {
-        samples[*slot % LATENCY_WINDOW] = value;
-    }
-    *slot += 1;
 }
 
 /// A point-in-time view of the service counters, percentiles and cache
@@ -168,7 +209,8 @@ pub struct MetricsSnapshot {
     pub cache: ResultCacheStats,
     /// Prepared-sampler cache counters (current graph generation).
     pub sampler_cache: CacheStats,
-    /// Median end-to-end latency (admission → answer) in milliseconds.
+    /// Median end-to-end latency (admission → answer) in milliseconds
+    /// (bucket-edge quantile of [`MetricsSnapshot::latency_hist`]).
     pub latency_p50_ms: f64,
     /// 95th-percentile end-to-end latency in milliseconds.
     pub latency_p95_ms: f64,
@@ -176,6 +218,13 @@ pub struct MetricsSnapshot {
     pub latency_p99_ms: f64,
     /// 95th-percentile time spent queued, in milliseconds.
     pub queue_p95_ms: f64,
+    /// Full end-to-end latency histogram (log2 millisecond buckets).
+    pub latency_hist: HistogramSnapshot,
+    /// Full queue-wait histogram (log2 millisecond buckets).
+    pub queue_hist: HistogramSnapshot,
+    /// Full achieved-error-bound histogram (decade buckets; same edges as
+    /// [`ACHIEVED_BOUND_BUCKETS`]).
+    pub achieved_hist: HistogramSnapshot,
     /// Cumulative sample draws per shard (one slot per configured shard;
     /// a single slot for an unsharded deployment).
     pub shard_samples: Vec<u64>,
@@ -329,6 +378,146 @@ impl MetricsSnapshot {
         writes.insert("epochs".into(), Value::Object(epochs));
         map.insert("writes".into(), Value::Object(writes));
         Value::Object(map)
+    }
+
+    /// Encodes the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4) for the `/metrics.prom` endpoint. The output parses
+    /// back through [`kg_telemetry::prometheus::parse`] (pinned by test).
+    pub fn to_prometheus(&self) -> String {
+        let mut requests = MetricFamily::new(
+            "kg_requests_total",
+            MetricKind::Counter,
+            "Requests by tenant and admission/completion outcome.",
+        );
+        let mut rounds = MetricFamily::new(
+            "kg_rounds_total",
+            MetricKind::Counter,
+            "Refinement rounds executed per tenant.",
+        );
+        for (name, t) in &self.tenants {
+            for (outcome, value) in [
+                ("submitted", t.submitted),
+                ("completed", t.completed),
+                ("guaranteed", t.guaranteed),
+                ("anytime", t.anytime),
+                ("shed", t.shed),
+                ("quota_shed", t.quota_shed),
+                ("deadline_exceeded", t.deadline_exceeded),
+                ("failed", t.failed),
+            ] {
+                requests.push("", &[("tenant", name), ("outcome", outcome)], value as f64);
+            }
+            rounds.push("", &[("tenant", name)], t.rounds as f64);
+        }
+
+        let mut latency = MetricFamily::new(
+            "kg_request_latency_ms",
+            MetricKind::Histogram,
+            "End-to-end request latency (admission to answer), milliseconds.",
+        );
+        latency.push_histogram(&[], &self.latency_hist);
+        let mut queue_wait = MetricFamily::new(
+            "kg_queue_wait_ms",
+            MetricKind::Histogram,
+            "Time requests spent in the admission queue, milliseconds.",
+        );
+        queue_wait.push_histogram(&[], &self.queue_hist);
+        let mut achieved = MetricFamily::new(
+            "kg_achieved_error_bound",
+            MetricKind::Histogram,
+            "Achieved relative error bound of completed answers.",
+        );
+        achieved.push_histogram(&[], &self.achieved_hist);
+
+        let mut queue_depth = MetricFamily::new(
+            "kg_queue_depth",
+            MetricKind::Gauge,
+            "Current admission-queue depth across all tenants.",
+        );
+        queue_depth.push("", &[], self.queue_depth as f64);
+        queue_depth.push("", &[("window", "max")], self.max_queue_depth as f64);
+
+        let mut result_cache = MetricFamily::new(
+            "kg_result_cache_total",
+            MetricKind::Counter,
+            "Result-cache lookups and invalidations by event.",
+        );
+        for (event, value) in [
+            ("hit", self.cache.hits),
+            ("resume", self.cache.resumes),
+            ("miss", self.cache.misses),
+            ("invalidation", self.cache.invalidations as usize),
+        ] {
+            result_cache.push("", &[("event", event)], value as f64);
+        }
+        let mut sampler_cache = MetricFamily::new(
+            "kg_sampler_cache_total",
+            MetricKind::Counter,
+            "Prepared-sampler cache lookups by event (current generation).",
+        );
+        sampler_cache.push("", &[("event", "hit")], self.sampler_cache.hits as f64);
+        sampler_cache.push("", &[("event", "miss")], self.sampler_cache.misses as f64);
+
+        let mut shard_samples = MetricFamily::new(
+            "kg_shard_samples_total",
+            MetricKind::Counter,
+            "Cumulative sample draws per shard.",
+        );
+        for (shard, &n) in self.shard_samples.iter().enumerate() {
+            let label = shard.to_string();
+            shard_samples.push("", &[("shard", &label)], n as f64);
+        }
+        let mut merge_overhead = MetricFamily::new(
+            "kg_merge_overhead_ms_total",
+            MetricKind::Counter,
+            "Milliseconds spent merging per-shard estimates.",
+        );
+        merge_overhead.push("", &[], self.merge_overhead_ms);
+
+        let mut writes = MetricFamily::new(
+            "kg_writes_total",
+            MetricKind::Counter,
+            "Delta writes applied, by effect.",
+        );
+        for (effect, value) in [
+            ("applied", self.writes),
+            ("ops", self.write_ops),
+            ("compactions", self.compactions),
+            ("answers_evicted", self.answers_evicted),
+            ("samplers_evicted", self.samplers_evicted),
+        ] {
+            writes.push("", &[("effect", effect)], value as f64);
+        }
+        let mut delta_ops = MetricFamily::new(
+            "kg_delta_ops",
+            MetricKind::Gauge,
+            "Pending delta operations on the live graph (0 after compaction).",
+        );
+        delta_ops.push("", &[], self.delta_ops as f64);
+        let mut epochs = MetricFamily::new(
+            "kg_write_epoch",
+            MetricKind::Gauge,
+            "Writes that have touched each predicate's component.",
+        );
+        for (predicate, &epoch) in &self.component_epochs {
+            epochs.push("", &[("predicate", predicate)], epoch as f64);
+        }
+
+        kg_telemetry::prometheus::encode(&[
+            requests,
+            rounds,
+            latency,
+            queue_wait,
+            achieved,
+            queue_depth,
+            result_cache,
+            sampler_cache,
+            shard_samples,
+            merge_overhead,
+            writes,
+            delta_ops,
+            epochs,
+        ])
     }
 }
 
@@ -490,9 +679,28 @@ impl Service {
     /// wait on; `Err` is the admission outcome — `Overloaded` (global
     /// capacity, deadline-less requests), `TenantQuotaExceeded` (tenant
     /// quota, deadline requests) or `InvalidTargets`.
-    pub fn submit(&self, request: QueryRequest) -> Result<PendingAnswer, ServiceError> {
+    pub fn submit(&self, mut request: QueryRequest) -> Result<PendingAnswer, ServiceError> {
         if self.inner.shutdown.load(Ordering::SeqCst) {
             return Err(ServiceError::ShuttingDown);
+        }
+        // Every request carries a correlation ID from here on: the client's
+        // if it sent one, a service-generated one otherwise. It is identity
+        // metadata only — never part of the cache key.
+        if request.request_id.is_none() {
+            request.request_id = Some(next_request_id());
+        }
+        if kg_telemetry::enabled() {
+            let request_id = request.request_id.as_deref().unwrap_or("");
+            let _trace = kg_telemetry::with_trace(trace_id_of(request_id));
+            kg_telemetry::point(
+                "service.request",
+                &[
+                    ("tenant", request.tenant.as_str().into()),
+                    ("request_id", request_id.into()),
+                    ("deadline_ms", request.deadline_ms.unwrap_or(0.0).into()),
+                    ("error_bound", request.error_bound.into()),
+                ],
+            );
         }
         if !request.targets_valid() {
             let mut metrics = self.inner.metrics.lock().unwrap();
@@ -758,6 +966,16 @@ impl Service {
                     .or_insert(0) += 1;
             }
         }
+        kg_telemetry::point(
+            "write.epoch",
+            &[
+                ("epoch", epoch.into()),
+                ("ops", applied.into()),
+                ("evicted_answers", evicted_answers.into()),
+                ("evicted_samplers", evicted_samplers.into()),
+                ("compacted", u64::from(compacted).into()),
+            ],
+        );
         Ok(WriteOutcome {
             applied,
             edges_deleted,
@@ -772,9 +990,9 @@ impl Service {
     /// Counter / percentile / cache snapshot.
     pub fn metrics(&self) -> MetricsSnapshot {
         let queue_depth = self.inner.sched.lock().unwrap().ready();
-        // Copy the sample windows out and drop the metrics guard before
-        // sorting: workers record completions under this lock, and a
-        // scrape must not add sort time to their critical path.
+        // Snapshotting a fixed-bucket histogram is an O(buckets) copy, so
+        // the whole scrape holds the metrics lock only briefly — the old
+        // path cloned and sorted a 16k-sample window per scrape.
         let (
             submitted,
             completed,
@@ -784,8 +1002,8 @@ impl Service {
             anytime,
             failed,
             max_queue_depth,
-            mut latencies,
-            mut queues,
+            latency_hist,
+            queue_hist,
             mut shard_samples,
             merge_overhead_ms,
             achieved_hist,
@@ -807,11 +1025,11 @@ impl Service {
                 metrics.anytime,
                 metrics.failed,
                 metrics.max_queue_depth,
-                metrics.latencies_ms.clone(),
-                metrics.queue_ms.clone(),
+                metrics.latency_hist.snapshot(),
+                metrics.queue_hist.snapshot(),
                 metrics.shard_samples.clone(),
                 metrics.merge_overhead_ms,
-                metrics.achieved_hist,
+                metrics.achieved_hist.snapshot(),
                 metrics.tenants.clone(),
                 metrics.writes,
                 metrics.write_ops,
@@ -824,16 +1042,6 @@ impl Service {
         // A scrape before the first completion still reports one (zeroed)
         // slot per configured shard.
         shard_samples.resize(shard_samples.len().max(self.inner.config.shards.max(1)), 0);
-        latencies.sort_by(f64::total_cmp);
-        queues.sort_by(f64::total_cmp);
-        // Nearest-rank over an already-sorted window (same rule as
-        // `latency_percentile`, without the per-call sort).
-        let rank = |sorted: &[f64], q: f64| -> f64 {
-            if sorted.is_empty() {
-                return 0.0;
-            }
-            sorted[((q * sorted.len() as f64).ceil() as usize).max(1) - 1]
-        };
         let (sampler_cache, delta_ops) = {
             let state = self.inner.state.lock().unwrap();
             (state.samplers.stats(), state.sharded.global().delta_ops())
@@ -850,13 +1058,16 @@ impl Service {
             max_queue_depth,
             cache: self.inner.cache.stats(),
             sampler_cache,
-            latency_p50_ms: rank(&latencies, 0.50),
-            latency_p95_ms: rank(&latencies, 0.95),
-            latency_p99_ms: rank(&latencies, 0.99),
-            queue_p95_ms: rank(&queues, 0.95),
+            latency_p50_ms: latency_hist.quantile(0.50),
+            latency_p95_ms: latency_hist.quantile(0.95),
+            latency_p99_ms: latency_hist.quantile(0.99),
+            queue_p95_ms: queue_hist.quantile(0.95),
+            latency_hist,
+            queue_hist,
             shard_samples,
             merge_overhead_ms,
-            achieved_bound_hist: achieved_hist.to_vec(),
+            achieved_bound_hist: achieved_hist.counts.clone(),
+            achieved_hist,
             tenants,
             writes,
             write_ops,
@@ -1072,12 +1283,23 @@ fn handle_jobs(inner: &Arc<Inner>, jobs: Vec<Job>) {
         let deque = tasks.get_mut(tenant).expect("picked from keys");
         let mut task = deque.pop_front().expect("non-empty by retain");
 
-        let outcome = task.session.step_with(
-            &sharded,
-            similarity,
-            task.job.request.error_bound,
-            task.job.request.confidence,
-        );
+        // The span carries this request's trace ID, so the "aqp.round" and
+        // sampler-cache events the step emits nest under it.
+        let outcome = {
+            let _trace = kg_telemetry::enabled().then(|| {
+                kg_telemetry::with_trace(trace_id_of(
+                    task.job.request.request_id.as_deref().unwrap_or(""),
+                ))
+            });
+            let _round =
+                kg_telemetry::span("service.round", &[("round", (task.rounds_used + 1).into())]);
+            task.session.step_with(
+                &sharded,
+                similarity,
+                task.job.request.error_bound,
+                task.job.request.confidence,
+            )
+        };
         task.rounds_used += 1;
         let round_cap = task.session.max_rounds();
 
@@ -1121,6 +1343,19 @@ fn triage_jobs(
     for job in jobs {
         let queue_ms = job.admitted.elapsed().as_secs_f64() * 1e3;
         let key = job.request.query.canonical_key();
+        // Scope the WFQ grant and the cache decision to the request's trace.
+        let _trace = kg_telemetry::enabled().then(|| {
+            let request_id = job.request.request_id.as_deref().unwrap_or("");
+            let guard = kg_telemetry::with_trace(trace_id_of(request_id));
+            kg_telemetry::point(
+                "sched.grant",
+                &[
+                    ("tenant", job.request.tenant.as_str().into()),
+                    ("queue_ms", queue_ms.into()),
+                ],
+            );
+            guard
+        });
         match inner.cache.begin(
             &key,
             generation,
@@ -1128,6 +1363,7 @@ fn triage_jobs(
             job.request.confidence,
         ) {
             CacheDecision::Hit(mut answer) => {
+                kg_telemetry::point("cache.hit", &[("queue_ms", queue_ms.into())]);
                 // The cached interval satisfies the *requested* targets
                 // (that is what a Hit means), so the served copy carries the
                 // guarantee even if the stored run was itself truncated.
@@ -1135,6 +1371,10 @@ fn triage_jobs(
                 respond(inner, job, ServedFrom::CacheHit, answer, queue_ms, false, 0);
             }
             CacheDecision::Resume(session) => {
+                kg_telemetry::point(
+                    "cache.resume",
+                    &[("rounds_completed", session.rounds_completed().into())],
+                );
                 let before = session.sharded_stats();
                 let footprint = job.request.query.footprint();
                 push_task(
@@ -1152,6 +1392,7 @@ fn triage_jobs(
                 );
             }
             CacheDecision::Miss => {
+                kg_telemetry::point("cache.miss", &[("queue_ms", queue_ms.into())]);
                 if deadline_expired(&job) {
                     // The deadline ran out while the request sat queued,
                     // before planning even started: there is no estimate to
@@ -1244,6 +1485,77 @@ fn finalize(
     );
 }
 
+/// The `trace: true` payload: the per-round refinement trajectory the
+/// session already recorded (deterministic — it is derived from the answer,
+/// not from the telemetry ring), plus the service-side scheduling context.
+fn trajectory_json(
+    answer: &QueryAnswer,
+    served_from: ServedFrom,
+    queue_ms: f64,
+    total_ms: f64,
+    rounds_used: usize,
+) -> Value {
+    let rounds: Vec<Value> = answer
+        .rounds
+        .iter()
+        .map(|r| {
+            let mut row = Map::new();
+            row.insert("round".into(), Value::Number(r.round as f64));
+            row.insert("estimate".into(), Value::Number(r.estimate));
+            row.insert("moe".into(), Value::Number(r.moe));
+            row.insert("sample_size".into(), Value::Number(r.sample_size as f64));
+            row.insert("correct_size".into(), Value::Number(r.correct_size as f64));
+            Value::Object(row)
+        })
+        .collect();
+    let mut map = Map::new();
+    map.insert(
+        "served_from".into(),
+        Value::String(served_from.name().to_string()),
+    );
+    map.insert("queue_ms".into(), Value::Number(queue_ms));
+    map.insert("total_ms".into(), Value::Number(total_ms));
+    map.insert("rounds_used".into(), Value::Number(rounds_used as f64));
+    map.insert("rounds".into(), Value::Array(rounds));
+    Value::Object(map)
+}
+
+/// One slow-query log line (JSON, tagged `"slow_query": true` so operators
+/// can grep for it), carrying the full refinement trajectory.
+#[allow(clippy::too_many_arguments)]
+fn slow_query_line(
+    request_id: &str,
+    tenant: &str,
+    answer: &QueryAnswer,
+    served_from: ServedFrom,
+    queue_ms: f64,
+    total_ms: f64,
+    achieved: f64,
+    rounds_used: usize,
+) -> String {
+    let mut map = Map::new();
+    map.insert("slow_query".into(), Value::Bool(true));
+    map.insert("request_id".into(), Value::String(request_id.to_string()));
+    map.insert(
+        "trace_id".into(),
+        Value::String(kg_telemetry::trace_hex(trace_id_of(request_id))),
+    );
+    map.insert("tenant".into(), Value::String(tenant.to_string()));
+    map.insert(
+        "achieved_error_bound".into(),
+        if achieved.is_finite() {
+            Value::Number(achieved)
+        } else {
+            Value::Null
+        },
+    );
+    map.insert(
+        "trajectory".into(),
+        trajectory_json(answer, served_from, queue_ms, total_ms, rounds_used),
+    );
+    serde_json::to_string(&Value::Object(map)).unwrap_or_default()
+}
+
 fn respond(
     inner: &Inner,
     job: Job,
@@ -1261,7 +1573,9 @@ fn respond(
         if !answer.guarantee_met {
             metrics.anytime += 1;
         }
-        metrics.record_achieved(achieved);
+        metrics.achieved_hist.observe(achieved);
+        metrics.latency_hist.observe(total_ms);
+        metrics.queue_hist.observe(queue_ms);
         let tenant = metrics.tenant(&job.request.tenant);
         tenant.completed += 1;
         tenant.rounds += rounds as u64;
@@ -1270,16 +1584,40 @@ fn respond(
         } else {
             tenant.anytime += 1;
         }
-        let MetricsInner {
-            latencies_ms,
-            latency_slot,
-            queue_ms: queue_samples,
-            queue_slot,
-            ..
-        } = &mut *metrics;
-        record_windowed(latencies_ms, latency_slot, total_ms);
-        record_windowed(queue_samples, queue_slot, queue_ms);
     }
+    let request_id = job.request.request_id.clone().unwrap_or_default();
+    if kg_telemetry::enabled() {
+        let _trace = kg_telemetry::with_trace(trace_id_of(&request_id));
+        kg_telemetry::point(
+            "service.respond",
+            &[
+                ("tenant", job.request.tenant.as_str().into()),
+                ("served_from", served_from.name().into()),
+                ("total_ms", total_ms.into()),
+                ("rounds", rounds.into()),
+                ("guarantee_met", u64::from(answer.guarantee_met).into()),
+            ],
+        );
+    }
+    // The slow-query log is independent of the recorder's enabled flag:
+    // `log_line` writes to the sink (stderr by default) even while event
+    // recording is off, so `kg-serve --slow-query-ms` works standalone.
+    if inner.config.slow_query_ms > 0.0 && total_ms >= inner.config.slow_query_ms {
+        kg_telemetry::global().log_line(&slow_query_line(
+            &request_id,
+            &job.request.tenant,
+            &answer,
+            served_from,
+            queue_ms,
+            total_ms,
+            achieved,
+            rounds,
+        ));
+    }
+    let trace = job
+        .request
+        .trace
+        .then(|| trajectory_json(&answer, served_from, queue_ms, total_ms, rounds));
     let tenant = job.request.tenant.clone();
     // The client may have given up; a dead receiver is not an error.
     let _ = job.reply.send(Ok(ServiceAnswer {
@@ -1290,6 +1628,8 @@ fn respond(
         achieved_error_bound: achieved,
         deadline_hit,
         tenant,
+        request_id,
+        trace,
     }));
 }
 
@@ -1313,3 +1653,30 @@ const _: fn() = || {
     fn assert_send<T: Send>() {}
     assert_send::<ShardedSession>();
 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn achieved_buckets_match_the_telemetry_decade_ladder() {
+        // The `/metrics` JSON `le_*` keys and the Prometheus `le` labels
+        // must describe the same buckets.
+        assert_eq!(
+            ACHIEVED_BOUND_BUCKETS,
+            kg_telemetry::ERROR_BOUND_DECADE_EDGES
+        );
+    }
+
+    #[test]
+    fn generated_request_ids_are_unique_and_trace_ids_nonzero() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert_ne!(a, b);
+        assert!(a.starts_with("req-"));
+        assert_ne!(trace_id_of(&a), 0);
+        assert_ne!(trace_id_of(""), 0);
+        assert_eq!(trace_id_of(&a), trace_id_of(&a));
+        assert_ne!(trace_id_of(&a), trace_id_of(&b));
+    }
+}

@@ -1,0 +1,86 @@
+//! The slow-query log: one JSON line per completed request slower than
+//! `ServiceConfig::slow_query_ms`, written through the telemetry sink even
+//! while event recording is disabled.
+//!
+//! This file owns the process-global telemetry sink, so it holds exactly
+//! one test (integration-test files are separate processes).
+
+use kg_datagen::{domains, generate, DatasetScale, GeneratorConfig};
+use kg_query::{AggregateFunction, AggregateQuery, SimpleQuery};
+use kg_service::{QueryRequest, Service, ServiceConfig};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A `Write` sink backed by a shared buffer, so the test can read back what
+/// the service logged.
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn slow_queries_log_structured_lines_with_their_trajectory() {
+    let d = generate(&GeneratorConfig::new(
+        "slow-query-test",
+        DatasetScale::tiny(),
+        vec![domains::automotive(&["Germany"])],
+        17,
+    ));
+    let buffer = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    kg_telemetry::global().set_sink(Some(Box::new(buffer.clone())));
+
+    // Threshold far below any real completion latency: every completed
+    // request is "slow". Recording stays disabled — the log is independent.
+    assert!(!kg_telemetry::enabled());
+    let svc = Service::new(
+        Arc::new(d.graph.clone()),
+        Arc::new(d.oracle.clone()),
+        ServiceConfig::builder()
+            .error_bound(0.05)
+            .workers(1)
+            .slow_query_ms(1e-6)
+            .build()
+            .unwrap(),
+    );
+    let query = AggregateQuery::simple(
+        SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]),
+        AggregateFunction::Count,
+    );
+    let answer = svc
+        .execute(
+            QueryRequest::new(query, 0.05, 0.95)
+                .with_request_id("slow-1")
+                .with_tenant("acme"),
+        )
+        .expect("service answers");
+    svc.shutdown();
+    kg_telemetry::global().set_sink(None);
+
+    let logged = String::from_utf8(buffer.0.lock().unwrap().clone()).unwrap();
+    let line = logged
+        .lines()
+        .find(|l| l.contains("\"slow_query\""))
+        .unwrap_or_else(|| panic!("no slow-query line in: {logged:?}"));
+    let parsed: serde_json::Value = serde_json::from_str(line).expect("log line is JSON");
+    assert_eq!(parsed["slow_query"].as_bool(), Some(true));
+    assert_eq!(parsed["request_id"].as_str(), Some("slow-1"));
+    assert_eq!(parsed["tenant"].as_str(), Some("acme"));
+    assert_eq!(parsed["trace_id"].as_str().map(str::len), Some(16));
+    let trajectory = &parsed["trajectory"];
+    assert_eq!(
+        trajectory["served_from"].as_str(),
+        Some(answer.served_from.name())
+    );
+    let rounds = trajectory["rounds"].as_array().expect("rounds array");
+    assert!(!rounds.is_empty());
+    assert!(trajectory["total_ms"].as_f64().unwrap() >= 0.0);
+}

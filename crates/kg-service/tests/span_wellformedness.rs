@@ -1,0 +1,163 @@
+//! Structural invariants of the event stream the service emits: spans
+//! balance, parents precede children, sequence numbers are a total order —
+//! under both a 1-thread and a 4-thread rayon pool.
+//!
+//! This file owns the process-global recorder flag, so it holds exactly one
+//! test (integration-test files are separate processes).
+
+use kg_datagen::{domains, generate, DatasetScale, GeneratedDataset, GeneratorConfig};
+use kg_query::{AggregateFunction, AggregateQuery, SimpleQuery};
+use kg_service::{QueryRequest, Service, ServiceConfig};
+use kg_telemetry::{Event, EventKind};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn dataset() -> GeneratedDataset {
+    generate(&GeneratorConfig::new(
+        "span-test",
+        DatasetScale::tiny(),
+        vec![domains::automotive(&["Germany", "China"])],
+        17,
+    ))
+}
+
+fn workload() -> Vec<AggregateQuery> {
+    let de = SimpleQuery::new("Germany", &["Country"], "product", &["Automobile"]);
+    let cn = SimpleQuery::new("China", &["Country"], "product", &["Automobile"]);
+    vec![
+        AggregateQuery::simple(de.clone(), AggregateFunction::Count),
+        AggregateQuery::simple(de, AggregateFunction::Avg("price".into())),
+        AggregateQuery::simple(cn, AggregateFunction::Count),
+    ]
+}
+
+/// Drains the workload through a `workers: 0` service inside an explicit
+/// rayon pool and returns the recorded events.
+fn run_under_pool(d: &GeneratedDataset, threads: usize) -> Vec<Event> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap();
+    let svc = Service::new(
+        Arc::new(d.graph.clone()),
+        Arc::new(d.oracle.clone()),
+        ServiceConfig::builder()
+            .error_bound(0.05)
+            .workers(0)
+            .build()
+            .unwrap(),
+    );
+    let pending: Vec<_> = workload()
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| {
+            svc.submit(
+                QueryRequest::new(q, 0.05, 0.95)
+                    .with_request_id(format!("span-{threads}-{i}"))
+                    .with_trace(),
+            )
+            .expect("queue is large enough")
+        })
+        .collect();
+    kg_telemetry::global().clear();
+    pool.install(|| while svc.drain_once() > 0 {});
+    let events = kg_telemetry::global().drain();
+    for p in pending {
+        p.wait().expect("service answers");
+    }
+    svc.shutdown();
+    events
+}
+
+fn assert_well_formed(events: &[Event], threads: usize) {
+    assert!(!events.is_empty(), "threads={threads}: no events recorded");
+
+    // Sequence numbers are a strict total order across threads.
+    for pair in events.windows(2) {
+        assert!(
+            pair[0].seq < pair[1].seq,
+            "threads={threads}: seq not strictly increasing"
+        );
+    }
+
+    // Spans balance per span_id: one start, one end, start first, same
+    // name, same thread (guards are scoped values, not moved across).
+    let mut starts: BTreeMap<u64, &Event> = BTreeMap::new();
+    let mut ends: BTreeMap<u64, &Event> = BTreeMap::new();
+    for event in events {
+        match event.kind {
+            EventKind::SpanStart => {
+                assert!(
+                    starts.insert(event.span_id, event).is_none(),
+                    "threads={threads}: span {} started twice",
+                    event.span_id
+                );
+            }
+            EventKind::SpanEnd => {
+                assert!(
+                    ends.insert(event.span_id, event).is_none(),
+                    "threads={threads}: span {} ended twice",
+                    event.span_id
+                );
+            }
+            EventKind::Point => {}
+        }
+    }
+    for (span_id, end) in &ends {
+        let start = starts
+            .get(span_id)
+            .unwrap_or_else(|| panic!("threads={threads}: span {span_id} ends without a start"));
+        assert_eq!(start.name, end.name);
+        assert_eq!(start.thread, end.thread);
+        assert!(start.seq < end.seq, "threads={threads}: end precedes start");
+        assert!(start.at_ns <= end.at_ns);
+        assert!(
+            end.fields.iter().any(|(k, _)| *k == "duration_ns"),
+            "threads={threads}: span end lacks duration"
+        );
+    }
+    // Every service.round span both started and ended (the ring is larger
+    // than this workload's event count, so nothing was overwritten).
+    let round_starts = starts
+        .values()
+        .filter(|e| e.name == "service.round")
+        .count();
+    let round_ends = ends.values().filter(|e| e.name == "service.round").count();
+    assert!(round_starts > 0, "threads={threads}: no refinement spans");
+    assert_eq!(round_starts, round_ends);
+
+    // Parents precede their children on the same thread, and a child
+    // inherits its parent's trace.
+    for event in events {
+        if event.parent_id != 0 && event.kind != EventKind::SpanEnd {
+            let parent = starts.get(&event.parent_id).unwrap_or_else(|| {
+                panic!("threads={threads}: orphan child of {}", event.parent_id)
+            });
+            assert!(parent.seq < event.seq);
+            assert_eq!(parent.thread, event.thread);
+            if parent.trace_id != 0 {
+                assert_eq!(parent.trace_id, event.trace_id);
+            }
+        }
+    }
+
+    // The per-request "aqp.round" points recorded under the round spans
+    // carry the request's trace ID.
+    assert!(
+        events
+            .iter()
+            .any(|e| e.name == "aqp.round" && e.trace_id != 0),
+        "threads={threads}: refinement points lost their trace"
+    );
+}
+
+#[test]
+fn spans_are_well_formed_under_1_and_4_rayon_threads() {
+    let d = dataset();
+    kg_telemetry::enable();
+    for threads in [1usize, 4] {
+        let events = run_under_pool(&d, threads);
+        assert_well_formed(&events, threads);
+    }
+    kg_telemetry::disable();
+}

@@ -1,0 +1,57 @@
+//! First-party observability for the knowledge-graph AQP stack.
+//!
+//! Three pieces, all std-only (this crate sits at the bottom of the
+//! workspace DAG and deliberately has no dependencies):
+//!
+//! * [`recorder`] — structured spans and events: a thread-safe
+//!   [`Recorder`] with ring-buffer retention, span IDs with parent links,
+//!   request-scoped trace IDs, monotonic timestamps, and a JSON-lines
+//!   sink. Disabled by default; the disabled emit path is a single relaxed
+//!   atomic load, so instrumenting hot loops is effectively free, and the
+//!   recorder never draws randomness so results stay bitwise-identical
+//!   with tracing on.
+//! * [`histogram`] — fixed-bucket [`Histogram`]s (latency in log2
+//!   buckets, achieved error bound in 1-2-5 decades) with lock-free
+//!   recording and nearest-rank quantiles, replacing the
+//!   sort-the-whole-`Vec` percentile code previously duplicated across
+//!   the service metrics, batch stats, and the load-generator report.
+//! * [`prometheus`] — the text exposition format: [`MetricFamily`]
+//!   encoding for `GET /metrics.prom`, plus a strict parser that pins the
+//!   grammar (names, label escaping, histogram ladders) in tests.
+//!
+//! # Example
+//!
+//! ```
+//! use kg_telemetry::{Histogram, MetricFamily, MetricKind, Recorder};
+//!
+//! let recorder = Recorder::new(64);
+//! recorder.set_enabled(true);
+//! {
+//!     let _trace = recorder.with_trace(0x5eed);
+//!     let _span = recorder.span("demo.round", &[("round", 1u64.into())]);
+//!     recorder.point("demo.tick", &[("draws", 128u64.into())]);
+//! }
+//! assert_eq!(recorder.drain().len(), 3); // start, point, end
+//!
+//! let latency = Histogram::latency_log2();
+//! latency.observe(3.2);
+//! assert_eq!(latency.quantile(0.5), 4.0); // upper edge of the 2..4 ms bucket
+//!
+//! let mut family = MetricFamily::new("demo_latency_ms", MetricKind::Histogram, "demo");
+//! family.push_histogram(&[], &latency.snapshot());
+//! let text = kg_telemetry::prometheus::encode(&[family]);
+//! assert!(text.contains("demo_latency_ms_bucket"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod prometheus;
+pub mod recorder;
+
+pub use histogram::{Histogram, HistogramSnapshot, ERROR_BOUND_DECADE_EDGES, LATENCY_LOG2_EDGES};
+pub use prometheus::{encode, parse, MetricFamily, MetricKind, PromParseError, Sample};
+pub use recorder::{
+    disable, enable, enabled, global, point, span, trace_hex, with_trace, Event, EventKind,
+    FieldValue, Recorder, SpanGuard, TraceGuard, DEFAULT_CAPACITY,
+};

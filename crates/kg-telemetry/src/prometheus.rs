@@ -1,0 +1,494 @@
+//! Prometheus text-exposition format (version 0.0.4): encoder and a
+//! strict parser used to pin the grammar in tests.
+//!
+//! The encoder renders a list of [`MetricFamily`] values as the classic
+//! text format: a `# HELP` line (help text with `\\` and `\n` escaped), a
+//! `# TYPE` line, then one sample line per labelled series. Histograms are
+//! first-class: [`MetricFamily::push_histogram`] expands a
+//! [`HistogramSnapshot`] into the cumulative `_bucket{le=...}` ladder
+//! (ending at `le="+Inf"`) plus `_sum` and `_count`, the shape every
+//! Prometheus client library emits.
+//!
+//! The parser accepts exactly what the encoder produces (names matching
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*`, label values with `\\`, `\"` and `\n`
+//! escapes, values as shortest-round-trip floats or `±Inf`/`NaN`), so
+//! `parse(encode(x)) == x` is a meaningful grammar pin, not a tautology.
+
+use crate::histogram::HistogramSnapshot;
+use std::fmt;
+
+/// The metric kinds this workspace exposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// A value that can go up and down.
+    Gauge,
+    /// Cumulative fixed-bucket distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The `# TYPE` keyword for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "counter" => Some(MetricKind::Counter),
+            "gauge" => Some(MetricKind::Gauge),
+            "histogram" => Some(MetricKind::Histogram),
+            _ => None,
+        }
+    }
+}
+
+/// One sample line: `name<suffix>{labels} value`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Name suffix appended to the family name (`""`, `"_bucket"`,
+    /// `"_sum"`, `"_count"`).
+    pub suffix: String,
+    /// Label pairs in emission order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A metric family: `# HELP` + `# TYPE` + its samples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricFamily {
+    /// Family name, matching `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+    pub name: String,
+    /// The declared kind.
+    pub kind: MetricKind,
+    /// Help text (escaped on the wire).
+    pub help: String,
+    /// Sample lines in emission order.
+    pub samples: Vec<Sample>,
+}
+
+impl MetricFamily {
+    /// Creates an empty family.
+    ///
+    /// # Panics
+    /// Panics if `name` is not a valid Prometheus metric name.
+    pub fn new(name: &str, kind: MetricKind, help: &str) -> Self {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        MetricFamily {
+            name: name.to_string(),
+            kind,
+            help: help.to_string(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends one sample with the given name suffix and labels.
+    ///
+    /// # Panics
+    /// Panics if a label name is not a valid Prometheus label name.
+    pub fn push(&mut self, suffix: &str, labels: &[(&str, &str)], value: f64) {
+        for (label, _) in labels {
+            assert!(valid_label(label), "invalid label name: {label:?}");
+        }
+        self.samples.push(Sample {
+            suffix: suffix.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        });
+    }
+
+    /// Appends a full histogram series: the cumulative `_bucket` ladder
+    /// (with `le` labels, ending at `+Inf`), `_sum`, and `_count`.
+    pub fn push_histogram(&mut self, labels: &[(&str, &str)], snapshot: &HistogramSnapshot) {
+        for (edge, cumulative) in snapshot.cumulative() {
+            let le = format_value(edge);
+            let mut bucket_labels: Vec<(&str, &str)> = labels.to_vec();
+            bucket_labels.push(("le", le.as_str()));
+            self.push("_bucket", &bucket_labels, cumulative as f64);
+        }
+        self.push("_sum", labels, snapshot.sum);
+        self.push("_count", labels, snapshot.count() as f64);
+    }
+}
+
+/// Renders families in the text exposition format (ends with a newline).
+pub fn encode(families: &[MetricFamily]) -> String {
+    let mut out = String::new();
+    for family in families {
+        out.push_str("# HELP ");
+        out.push_str(&family.name);
+        out.push(' ');
+        out.push_str(&escape_help(&family.help));
+        out.push('\n');
+        out.push_str("# TYPE ");
+        out.push_str(&family.name);
+        out.push(' ');
+        out.push_str(family.kind.as_str());
+        out.push('\n');
+        for sample in &family.samples {
+            out.push_str(&family.name);
+            out.push_str(&sample.suffix);
+            if !sample.labels.is_empty() {
+                out.push('{');
+                for (i, (label, value)) in sample.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(label);
+                    out.push_str("=\"");
+                    out.push_str(&escape_label_value(value));
+                    out.push('"');
+                }
+                out.push('}');
+            }
+            out.push(' ');
+            out.push_str(&format_value(sample.value));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// A parse failure with its 1-based line number.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromParseError {
+    /// 1-based line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PromParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PromParseError {}
+
+/// Parses text produced by [`encode`] back into metric families.
+pub fn parse(text: &str) -> Result<Vec<MetricFamily>, PromParseError> {
+    let mut families: Vec<MetricFamily> = Vec::new();
+    let mut pending_help: Option<(String, String)> = None;
+    for (index, raw) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let err = |message: String| PromParseError {
+            line: line_no,
+            message,
+        };
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+            if !valid_name(name) {
+                return Err(err(format!("invalid metric name {name:?}")));
+            }
+            pending_help = Some((name.to_string(), unescape_help(help)));
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind_text) = rest
+                .split_once(' ')
+                .ok_or_else(|| err("TYPE line missing kind".to_string()))?;
+            let kind = MetricKind::from_str(kind_text)
+                .ok_or_else(|| err(format!("unknown metric kind {kind_text:?}")))?;
+            let help = match pending_help.take() {
+                Some((help_name, help)) if help_name == name => help,
+                _ => return Err(err(format!("TYPE {name} without a preceding HELP"))),
+            };
+            if !valid_name(name) {
+                return Err(err(format!("invalid metric name {name:?}")));
+            }
+            families.push(MetricFamily::new(name, kind, &help));
+        } else if line.starts_with('#') {
+            continue; // plain comment
+        } else {
+            let family = families
+                .last_mut()
+                .ok_or_else(|| err("sample before any TYPE line".to_string()))?;
+            let sample = parse_sample(line, &family.name).map_err(err)?;
+            family.samples.push(sample);
+        }
+    }
+    Ok(families)
+}
+
+fn parse_sample(line: &str, family: &str) -> Result<Sample, String> {
+    let rest = line
+        .strip_prefix(family)
+        .ok_or_else(|| format!("sample name does not extend family {family:?}: {line:?}"))?;
+    let brace = rest.find('{');
+    let (suffix, mut tail) = match brace {
+        Some(pos) => (&rest[..pos], &rest[pos..]),
+        None => match rest.find(' ') {
+            Some(pos) => (&rest[..pos], &rest[pos..]),
+            None => return Err(format!("sample line missing value: {line:?}")),
+        },
+    };
+    if !suffix.is_empty()
+        && !suffix
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        return Err(format!("invalid name suffix {suffix:?}"));
+    }
+    let mut labels = Vec::new();
+    if tail.starts_with('{') {
+        tail = &tail[1..];
+        loop {
+            if let Some(after) = tail.strip_prefix('}') {
+                tail = after;
+                break;
+            }
+            let eq = tail
+                .find('=')
+                .ok_or_else(|| format!("label missing '=': {tail:?}"))?;
+            let label = &tail[..eq];
+            if !valid_label(label) {
+                return Err(format!("invalid label name {label:?}"));
+            }
+            tail = tail[eq + 1..]
+                .strip_prefix('"')
+                .ok_or_else(|| format!("label value must be quoted after {label:?}"))?;
+            let (value, after) = unescape_label_value(tail)?;
+            labels.push((label.to_string(), value));
+            tail = after.strip_prefix(',').unwrap_or(after);
+        }
+    }
+    let value_text = tail.trim_start();
+    let value = parse_value(value_text)?;
+    Ok(Sample {
+        suffix: suffix.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value {other:?}")),
+    }
+}
+
+/// Formats a value the way the exposition format spells it.
+pub fn format_value(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        value.to_string()
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unescape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    let mut chars = help.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Consumes an escaped label value up to its closing quote; returns the
+/// unescaped value and the remaining input after the quote.
+fn unescape_label_value(input: &str) -> Result<(String, &str), String> {
+    let mut out = String::new();
+    let mut chars = input.char_indices();
+    while let Some((index, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &input[index + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '"')) => out.push('"'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, other)) => return Err(format!("bad escape \\{other}")),
+                None => return Err("dangling escape in label value".to_string()),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated label value".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    fn sample_families() -> Vec<MetricFamily> {
+        let mut requests = MetricFamily::new(
+            "kg_requests_total",
+            MetricKind::Counter,
+            "Requests by tenant and outcome",
+        );
+        requests.push("", &[("tenant", "gold"), ("outcome", "completed")], 41.0);
+        requests.push("", &[("tenant", "bronze"), ("outcome", "shed")], 3.0);
+
+        let mut epoch = MetricFamily::new(
+            "kg_write_epoch",
+            MetricKind::Gauge,
+            "Per-predicate write epoch",
+        );
+        epoch.push("", &[("predicate", "product")], 7.0);
+
+        let hist = Histogram::with_edges(&[1.0, 2.0, 4.0]);
+        hist.observe_finite([0.5, 1.5, 3.0, 9.0]);
+        let mut latency = MetricFamily::new(
+            "kg_request_latency_ms",
+            MetricKind::Histogram,
+            "End-to-end request latency",
+        );
+        latency.push_histogram(&[("tenant", "gold")], &hist.snapshot());
+        vec![requests, epoch, latency]
+    }
+
+    #[test]
+    fn encode_emits_help_type_and_samples() {
+        let text = encode(&sample_families());
+        assert!(text.contains("# HELP kg_requests_total Requests by tenant and outcome\n"));
+        assert!(text.contains("# TYPE kg_requests_total counter\n"));
+        assert!(text.contains("kg_requests_total{tenant=\"gold\",outcome=\"completed\"} 41\n"));
+        assert!(text.contains("# TYPE kg_request_latency_ms histogram\n"));
+        assert!(text.contains("kg_request_latency_ms_bucket{tenant=\"gold\",le=\"1\"} 1\n"));
+        assert!(text.contains("kg_request_latency_ms_bucket{tenant=\"gold\",le=\"+Inf\"} 4\n"));
+        assert!(text.contains("kg_request_latency_ms_sum{tenant=\"gold\"} 14\n"));
+        assert!(text.contains("kg_request_latency_ms_count{tenant=\"gold\"} 4\n"));
+        assert!(text.ends_with('\n'));
+    }
+
+    /// The grammar pin: everything the encoder can produce must survive a
+    /// parse → compare round trip, including escaping edge cases.
+    #[test]
+    fn round_trip_preserves_families() {
+        let families = sample_families();
+        let parsed = parse(&encode(&families)).unwrap();
+        assert_eq!(parsed, families);
+    }
+
+    #[test]
+    fn round_trip_preserves_escaped_label_values_and_help() {
+        let mut family = MetricFamily::new(
+            "kg_escapes",
+            MetricKind::Gauge,
+            "help with \\ backslash and\nnewline",
+        );
+        family.push("", &[("query", "a\"quoted\" \\slash\\ multi\nline")], 1.5);
+        family.push("", &[], f64::INFINITY);
+        let text = encode(std::slice::from_ref(&family));
+        assert!(text.contains("# HELP kg_escapes help with \\\\ backslash and\\nnewline\n"));
+        assert!(text.contains("{query=\"a\\\"quoted\\\" \\\\slash\\\\ multi\\nline\"} 1.5\n"));
+        assert!(text.contains("kg_escapes +Inf\n"));
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, vec![family]);
+    }
+
+    #[test]
+    fn values_round_trip_exactly() {
+        for v in [0.0625, 1.0 / 3.0, 12345.678, 1e-9, 16384.0] {
+            assert_eq!(parse_value(&format_value(v)).unwrap(), v);
+        }
+        assert_eq!(parse_value("+Inf").unwrap(), f64::INFINITY);
+        assert!(parse_value("NaN").unwrap().is_nan());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse("kg_orphan 1\n").is_err(), "sample before TYPE");
+        assert!(
+            parse("# TYPE kg_x counter\nkg_x 1\n").is_err(),
+            "TYPE without HELP"
+        );
+        assert!(
+            parse("# HELP kg_x h\n# TYPE kg_x exotic\n").is_err(),
+            "unknown kind"
+        );
+        assert!(
+            parse("# HELP kg_x h\n# TYPE kg_x gauge\nkg_x{l=unquoted} 1\n").is_err(),
+            "unquoted label value"
+        );
+        assert!(
+            parse("# HELP kg_x h\n# TYPE kg_x gauge\nother_name 1\n").is_err(),
+            "sample not extending the family name"
+        );
+        let err = parse("# HELP 0bad h\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("invalid metric name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_are_rejected_at_build_time() {
+        MetricFamily::new("0starts_with_digit", MetricKind::Gauge, "");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid label name")]
+    fn invalid_label_names_are_rejected_at_build_time() {
+        let mut family = MetricFamily::new("kg_ok", MetricKind::Gauge, "");
+        family.push("", &[("le\"", "1")], 1.0);
+    }
+}
