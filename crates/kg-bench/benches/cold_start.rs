@@ -1,0 +1,211 @@
+//! Cold start: what it costs to get a *query-ready* engine into memory —
+//! graph, similarity store, and the samplers the workload draws from.
+//!
+//! Three cells per dataset:
+//!
+//! * `parse_build` — the full path every boot paid before snapshots
+//!   existed: parse the TSV dump from disk, intern the vocabularies,
+//!   freeze the CSR, then prepare the workload's samplers (bounded
+//!   subgraph walks, stationary distributions via power iteration, alias
+//!   tables),
+//! * `snapshot_load` — open a prebuilt snapshot bundle of the same state:
+//!   read the file, validate header + per-section checksums, reinterpret
+//!   the arrays and the stored alias tables (no re-parse, no re-sort, no
+//!   walks, no power iteration, no alias rebuild),
+//! * `compressed_load` — same, from the delta-varint compressed CSR
+//!   variant (smaller file, extra decode pass).
+//!
+//! Two datasets: `ssb` (the DBpedia-like synthetic profile at the large
+//! benchmark scale, standing in for an SSB-sized load) and `automotive`
+//! (the three-country automotive domain at tiny scale). The headline
+//! number — committed to `BENCH_9.json`, schema-pinned in tier-1 — is
+//! `speedup` = parse+build ms / snapshot-load ms; the acceptance floor is
+//! 10× on `ssb`. Run with `cargo bench -p kg-bench --bench cold_start`
+//! (`KG_BENCH_OUTPUT` overrides the artifact path, `KG_BENCH_QUICK` cuts
+//! reps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kg_bench::bench_record::{median, num, record_section_for, row};
+use kg_core::loader::{load_tsv, save_tsv};
+use kg_core::snapshot::SnapshotOptions;
+use kg_core::KnowledgeGraph;
+use kg_datagen::{
+    build_workload, domains, generate, profiles, DatasetScale, GeneratorConfig, WorkloadConfig,
+    WorkloadQuery,
+};
+use kg_embed::PredicateVectorStore;
+use kg_query::QuerySpec;
+use kg_sampling::{open_bundle, write_bundle, SamplerCache, SamplerConfig, SamplingStrategy};
+use serde_json::Value;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn datasets() -> Vec<(&'static str, &'static str, GeneratorConfig)> {
+    vec![
+        (
+            "ssb",
+            "dbpedia_like/large",
+            profiles::dbpedia_like(DatasetScale::large(), 11),
+        ),
+        (
+            "automotive",
+            "automotive/tiny",
+            GeneratorConfig::new(
+                "automotive-bench",
+                DatasetScale::tiny(),
+                vec![domains::automotive(&["Germany", "China", "Korea"])],
+                11,
+            ),
+        ),
+    ]
+}
+
+fn temp_path(tag: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("kg-cold-start-{tag}-{}.{ext}", std::process::id()))
+}
+
+/// Prepares samplers for every simple query of the workload (distinct
+/// components dedup through the cache); returns the cache size.
+fn warm_samplers(
+    cache: &SamplerCache,
+    graph: &KnowledgeGraph,
+    oracle: &PredicateVectorStore,
+    queries: &[WorkloadQuery],
+) -> usize {
+    for wq in queries {
+        let QuerySpec::Simple(sq) = &wq.query.query else {
+            continue;
+        };
+        let Ok(resolved) = sq.resolve(graph) else {
+            continue;
+        };
+        let _ = cache.get_or_prepare(graph, &resolved, oracle);
+    }
+    cache.len()
+}
+
+/// Median wall ms of `op` over `reps` runs.
+fn timed_ms<R>(reps: usize, mut op: impl FnMut() -> R) -> f64 {
+    let samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            let out = op();
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            drop(out);
+            ms
+        })
+        .collect();
+    median(&samples)
+}
+
+fn bench_cold_start(c: &mut Criterion) {
+    let quick = std::env::var("KG_BENCH_QUICK").is_ok();
+    let (build_reps, load_reps) = if quick { (3, 9) } else { (5, 15) };
+
+    let mut rows: Vec<Value> = Vec::new();
+    let mut group = c.benchmark_group("cold_start");
+    group.sample_size(if quick { 3 } else { 10 });
+
+    for (name, profile, config) in datasets() {
+        // Reference state: generated dataset, its TSV dump, a warmed
+        // sampler cache, and the two snapshot bundles of that exact state.
+        let dataset = generate(&config);
+        let queries = build_workload(&dataset, &WorkloadConfig::default());
+        let samplers = SamplerCache::new(SamplingStrategy::SemanticAware, SamplerConfig::default());
+        let warmed = warm_samplers(&samplers, &dataset.graph, &dataset.oracle, &queries);
+
+        let tsv_path = temp_path(name, "tsv");
+        save_tsv(&dataset.graph, &tsv_path).expect("write tsv");
+        let plain_path = temp_path(&format!("{name}-plain"), "kgsnap");
+        let packed_path = temp_path(&format!("{name}-packed"), "kgsnap");
+        write_bundle(
+            &plain_path,
+            &dataset.graph,
+            &SnapshotOptions {
+                compress_csr: false,
+            },
+            Some(&dataset.oracle),
+            Some(&samplers),
+        )
+        .expect("write snapshot");
+        write_bundle(
+            &packed_path,
+            &dataset.graph,
+            &SnapshotOptions { compress_csr: true },
+            Some(&dataset.oracle),
+            Some(&samplers),
+        )
+        .expect("write compressed snapshot");
+        let tsv_bytes = std::fs::metadata(&tsv_path).unwrap().len();
+        let snapshot_bytes = std::fs::metadata(&plain_path).unwrap().len();
+        let compressed_bytes = std::fs::metadata(&packed_path).unwrap().len();
+
+        // The parse+build path: TSV from disk to CSR, then sampler prep.
+        let parse_build = || {
+            let graph = load_tsv(&tsv_path).expect("parse tsv");
+            let cache =
+                SamplerCache::new(SamplingStrategy::SemanticAware, SamplerConfig::default());
+            warm_samplers(&cache, &graph, &dataset.oracle, &queries);
+            (graph, cache)
+        };
+
+        group.bench_function(format!("{name}/parse_build"), |b| b.iter(parse_build));
+        group.bench_function(format!("{name}/snapshot_load"), |b| {
+            b.iter(|| open_bundle(&plain_path).expect("load"))
+        });
+        group.bench_function(format!("{name}/compressed_load"), |b| {
+            b.iter(|| open_bundle(&packed_path).expect("load"))
+        });
+
+        // Instrumented medians for the committed record, parse and warm
+        // split out so the record shows where the build time goes.
+        let parse_ms = timed_ms(build_reps, || load_tsv(&tsv_path).expect("parse tsv"));
+        let build_ms = timed_ms(build_reps, parse_build);
+        let load_ms = timed_ms(load_reps, || open_bundle(&plain_path).expect("load"));
+        let packed_ms = timed_ms(load_reps, || open_bundle(&packed_path).expect("load"));
+        std::fs::remove_file(&tsv_path).ok();
+        std::fs::remove_file(&plain_path).ok();
+        std::fs::remove_file(&packed_path).ok();
+
+        let speedup = build_ms / load_ms;
+        let compressed_speedup = build_ms / packed_ms;
+        println!(
+            "cold_start/{name}: parse+build {build_ms:.2} ms (parse {parse_ms:.2} ms, \
+             {warmed} samplers), snapshot load {load_ms:.3} ms ({speedup:.0}x), \
+             compressed load {packed_ms:.3} ms ({compressed_speedup:.0}x), \
+             {snapshot_bytes} B plain / {compressed_bytes} B compressed"
+        );
+
+        rows.push(row(&[
+            ("dataset", Value::String(name.to_string())),
+            ("profile", Value::String(profile.to_string())),
+            ("entities", num(dataset.graph.entity_count() as f64)),
+            ("edges", num(dataset.graph.edge_count() as f64)),
+            ("warmed_samplers", num(warmed as f64)),
+            ("parse_ms", num(parse_ms)),
+            ("build_ms", num(build_ms)),
+            ("snapshot_load_ms", num(load_ms)),
+            ("compressed_load_ms", num(packed_ms)),
+            ("speedup", num(speedup)),
+            ("compressed_speedup", num(compressed_speedup)),
+            ("tsv_bytes", num(tsv_bytes as f64)),
+            ("snapshot_bytes", num(snapshot_bytes as f64)),
+            ("compressed_bytes", num(compressed_bytes as f64)),
+            ("target_speedup", num(10.0)),
+        ]));
+    }
+    group.finish();
+
+    record_section_for(
+        "9",
+        "cold_start",
+        row(&[
+            ("build_reps", num(build_reps as f64)),
+            ("load_reps", num(load_reps as f64)),
+            ("datasets", Value::Array(rows)),
+        ]),
+    );
+}
+
+criterion_group!(benches, bench_cold_start);
+criterion_main!(benches);

@@ -94,6 +94,52 @@ pub fn num(v: f64) -> Value {
     Value::Number(v)
 }
 
+/// Median of a sample set (empty → NaN).
+pub fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted[sorted.len() / 2]
+}
+
+/// Run-to-run noise of a repeated measurement, as a percentage of its
+/// median: the full min→max spread of the samples relative to the median.
+/// This is the floor below which a derived overhead/speedup percentage is
+/// indistinguishable from measurement noise — a shared CI host routinely
+/// shows 10–20% here, which is how a committed record once showed a
+/// *negative* instrumentation overhead. Empty/degenerate input → NaN.
+pub fn noise_pct(samples: &[f64]) -> f64 {
+    let m = median(samples);
+    if !m.is_finite() || m <= 0.0 {
+        return f64::NAN;
+    }
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &s in samples {
+        min = min.min(s);
+        max = max.max(s);
+    }
+    (max - min) / m * 100.0
+}
+
+/// An overhead percentage interpreted against the run's noise floor.
+/// Records the raw reading verbatim, a clamped headline value (an overhead
+/// cannot be negative — a below-zero reading is noise, not speedup), and
+/// whether the reading's magnitude is within the noise floor (in which
+/// case the headline number means "indistinguishable from zero").
+pub fn overhead_reading(raw_pct: f64, noise_pct: f64) -> Value {
+    row(&[
+        ("raw_pct", num(raw_pct)),
+        ("pct", num(raw_pct.max(0.0))),
+        ("noise_pct", num(noise_pct)),
+        (
+            "within_noise",
+            Value::Bool(raw_pct.is_finite() && noise_pct.is_finite() && raw_pct.abs() <= noise_pct),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +174,29 @@ mod tests {
         assert_eq!(parsed.get("a").and_then(Value::as_f64), Some(3.0));
         assert_eq!(parsed.get("b").and_then(Value::as_f64), Some(2.0));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn noise_floor_and_clamped_overheads() {
+        // 10% spread around a median of 100.
+        let samples = [95.0, 100.0, 105.0];
+        let noise = noise_pct(&samples);
+        assert!((noise - 10.0).abs() < 1e-9, "noise = {noise}");
+        assert!((median(&samples) - 100.0).abs() < 1e-12);
+
+        // A −9% reading under a 10% noise floor: clamped and flagged.
+        let r = overhead_reading(-9.0, noise);
+        assert_eq!(r.get("raw_pct").and_then(Value::as_f64), Some(-9.0));
+        assert_eq!(r.get("pct").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(r.get("within_noise").and_then(Value::as_bool), Some(true));
+
+        // A +25% reading over the same floor: kept, not flagged.
+        let r = overhead_reading(25.0, noise);
+        assert_eq!(r.get("pct").and_then(Value::as_f64), Some(25.0));
+        assert_eq!(r.get("within_noise").and_then(Value::as_bool), Some(false));
+
+        assert!(noise_pct(&[]).is_nan());
+        assert!(noise_pct(&[0.0]).is_nan());
     }
 
     #[test]

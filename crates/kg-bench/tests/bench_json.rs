@@ -3,7 +3,9 @@
 //! thread-count × shard-count matrices, alias-vs-search draw costs and
 //! service throughput; `BENCH_6.json` holds the deadline-goodput curve;
 //! `BENCH_8.json` holds the telemetry overhead record (instrumented vs
-//! disabled). These tests keep them present and well-formed: regenerating one with
+//! disabled, read against a measured noise floor); `BENCH_9.json` holds the
+//! cold-start record (parse+build+sampler-prep vs snapshot load). These
+//! tests keep them present and well-formed: regenerating one with
 //! `cargo bench -p kg-bench --bench <name>` must always produce a file
 //! the schema check accepts, and a stale/corrupt commit fails tier-1.
 
@@ -148,10 +150,11 @@ fn committed_deadline_goodput_json_is_well_formed() {
 }
 
 /// `BENCH_8.json`: the telemetry overhead record. Burst medians for the
-/// three recorder postures must be present and positive, the overhead
-/// percentages finite (run-to-run noise can make them negative, so no lower
-/// bound), and the per-call `point()` costs must show the disabled path is
-/// cheaper than the recording path.
+/// three recorder postures must be present and positive, each overhead is an
+/// `{raw_pct, pct, noise_pct, within_noise}` object whose headline `pct` is
+/// clamped to ≥ 0 (a negative raw reading is run-to-run noise, not speedup),
+/// the run's noise floor is recorded, and the per-call `point()` costs must
+/// show the disabled path is cheaper than the recording path.
 #[test]
 fn committed_telemetry_overhead_json_is_well_formed() {
     let doc = committed_doc("BENCH_8.json");
@@ -159,22 +162,53 @@ fn committed_telemetry_overhead_json_is_well_formed() {
     assert_eq!(doc.get("bench").and_then(Value::as_str), Some("8"));
     let overhead = section(&doc, "telemetry_overhead");
 
-    for key in ["off_ms", "ring_ms", "full_ms"] {
+    for key in ["off_ms", "ring_ms", "full_ms", "noise_pct"] {
         let v = overhead
             .get(key)
             .and_then(Value::as_f64)
             .unwrap_or(f64::NAN);
         assert!(v.is_finite() && v > 0.0, "telemetry_overhead.{key} = {v}");
     }
-    for key in ["ring_overhead_pct", "full_overhead_pct"] {
-        let v = overhead
-            .get(key)
+    let noise = overhead
+        .get("noise_pct")
+        .and_then(Value::as_f64)
+        .unwrap_or(f64::NAN);
+    for key in ["ring_overhead", "full_overhead"] {
+        let reading = section(overhead, key);
+        let raw = reading
+            .get("raw_pct")
             .and_then(Value::as_f64)
             .unwrap_or(f64::NAN);
-        assert!(v.is_finite(), "telemetry_overhead.{key} = {v}");
+        let pct = reading
+            .get("pct")
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::NAN);
+        assert!(raw.is_finite(), "telemetry_overhead.{key}.raw_pct = {raw}");
         assert!(
-            v < 50.0,
-            "telemetry_overhead.{key} = {v}: instrumentation cost blew past any noise margin"
+            pct.is_finite() && pct >= 0.0,
+            "telemetry_overhead.{key}.pct must be a clamped headline: {pct}"
+        );
+        assert!(
+            (pct - raw.max(0.0)).abs() < 1e-9,
+            "{key}: pct != max(raw, 0)"
+        );
+        assert!(
+            pct < 50.0,
+            "telemetry_overhead.{key}.pct = {pct}: instrumentation cost blew past any noise margin"
+        );
+        assert_eq!(
+            reading.get("noise_pct").and_then(Value::as_f64),
+            Some(noise),
+            "{key}: reading must carry the run's noise floor"
+        );
+        let within = reading
+            .get("within_noise")
+            .and_then(Value::as_bool)
+            .unwrap_or_else(|| panic!("{key}.within_noise is a bool"));
+        assert_eq!(
+            within,
+            raw.abs() <= noise,
+            "{key}: within_noise inconsistent with raw_pct {raw} vs noise {noise}"
         );
     }
     // The targets the record documents itself against.
@@ -213,5 +247,68 @@ fn committed_telemetry_overhead_json_is_well_formed() {
     assert_eq!(
         modes.iter().filter_map(Value::as_str).collect::<Vec<_>>(),
         ["off", "ring", "full"]
+    );
+}
+
+/// `BENCH_9.json`: the cold-start record. Each dataset row compares the
+/// parse+build+sampler-prep path against loading a prebuilt snapshot bundle
+/// (graph + similarity + alias tables); the acceptance floor is a 10×
+/// speedup on the SSB-scale dataset, and the record must show it.
+#[test]
+fn committed_cold_start_json_is_well_formed() {
+    let doc = committed_doc("BENCH_9.json");
+
+    assert_eq!(doc.get("bench").and_then(Value::as_str), Some("9"));
+    let cold = section(&doc, "cold_start");
+
+    let datasets = cold
+        .get("datasets")
+        .and_then(Value::as_array)
+        .expect("cold_start.datasets is an array");
+    let mut names = Vec::new();
+    for row in datasets {
+        let name = row
+            .get("dataset")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("row without dataset name: {row}"));
+        names.push(name.to_string());
+        for key in [
+            "parse_ms",
+            "build_ms",
+            "snapshot_load_ms",
+            "compressed_load_ms",
+            "speedup",
+            "compressed_speedup",
+            "entities",
+            "edges",
+            "warmed_samplers",
+            "tsv_bytes",
+            "snapshot_bytes",
+            "compressed_bytes",
+        ] {
+            let v = row.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN);
+            assert!(v.is_finite() && v > 0.0, "cold_start/{name}.{key} = {v}");
+        }
+        let build_ms = row.get("build_ms").and_then(Value::as_f64).unwrap();
+        let parse_ms = row.get("parse_ms").and_then(Value::as_f64).unwrap();
+        assert!(
+            parse_ms < build_ms,
+            "cold_start/{name}: parse is a component of build ({parse_ms} vs {build_ms})"
+        );
+        assert_eq!(
+            row.get("target_speedup").and_then(Value::as_f64),
+            Some(10.0)
+        );
+        if name == "ssb" {
+            let speedup = row.get("speedup").and_then(Value::as_f64).unwrap();
+            assert!(
+                speedup >= 10.0,
+                "the SSB-scale snapshot load must be ≥ 10× faster than parse+build: {speedup}"
+            );
+        }
+    }
+    assert!(
+        names.contains(&"ssb".to_string()) && names.contains(&"automotive".to_string()),
+        "cold_start must cover both datasets: {names:?}"
     );
 }

@@ -38,6 +38,18 @@ pub enum KgError {
         /// The offending weight value.
         weight: f64,
     },
+    /// A binary snapshot failed validation or (de)serialization: truncated
+    /// file, checksum mismatch, format version skew, misaligned or
+    /// out-of-bounds section, or structurally inconsistent content. The
+    /// loader fails closed with this error — a bad snapshot never panics
+    /// and never produces a partially-initialised graph.
+    Snapshot {
+        /// The failing section (`"header"`, `"toc"`, or a section name such
+        /// as `"csr_edges"` — see `snapshot::section_kind::name`).
+        section: String,
+        /// What failed, with stored-vs-computed detail where applicable.
+        message: String,
+    },
     /// Underlying I/O failure while loading or saving.
     Io(io::Error),
 }
@@ -57,6 +69,9 @@ impl fmt::Display for KgError {
                 "degenerate sampling weight at answer index {index}: {weight} \
                  (weights must be finite and non-negative)"
             ),
+            KgError::Snapshot { section, message } => {
+                write!(f, "snapshot section {section:?}: {message}")
+            }
             KgError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

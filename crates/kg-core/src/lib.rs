@@ -44,6 +44,7 @@ pub mod neighborhood;
 pub mod partition;
 pub mod predicate;
 pub mod shard;
+pub mod snapshot;
 pub mod stats;
 pub mod triple;
 
@@ -64,5 +65,6 @@ pub use neighborhood::{
 pub use partition::{DegreeBalancedPartitioner, HashPartitioner, Partitioner};
 pub use predicate::PredicateVocabulary;
 pub use shard::{GraphShard, ShardedGraph, ShardingStats};
+pub use snapshot::{SectionInfo, Snapshot, SnapshotOptions, SnapshotWriter, FORMAT_VERSION};
 pub use stats::GraphStats;
 pub use triple::Triple;

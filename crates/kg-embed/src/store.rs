@@ -2,7 +2,8 @@
 
 use crate::similarity::{cosine_similarity, PredicateSimilarity};
 use crate::vector::Vector;
-use kg_core::PredicateId;
+use kg_core::snapshot::{put_u64, snapshot_error, SectionReader};
+use kg_core::{KgResult, PredicateId};
 use serde::{Deserialize, Serialize};
 
 /// One embedding vector per predicate.
@@ -77,6 +78,76 @@ impl PredicateVectorStore {
     pub fn stored_floats(&self) -> usize {
         self.vectors.iter().map(Vector::dim).sum::<usize>() + self.table.len()
     }
+
+    // ------------------------------------------------------------------
+    // Binary snapshot section (kind `kg_core::snapshot::section_kind::
+    // SIMILARITY`)
+    // ------------------------------------------------------------------
+
+    /// Encodes the store for the binary snapshot format: predicate count,
+    /// dimension, the vectors and the precomputed similarity table, all as
+    /// exact `f64` bit patterns. The table is stored verbatim (not
+    /// recomputed on load) so a snapshot-booted service serves bitwise the
+    /// same similarities as the service that wrote it.
+    pub fn to_snapshot_section(&self) -> Vec<u8> {
+        let dim = self.dimension();
+        let mut out = Vec::with_capacity(16 + 8 * (self.count * dim + self.table.len()));
+        put_u64(&mut out, self.count as u64);
+        put_u64(&mut out, dim as u64);
+        for v in &self.vectors {
+            for &x in v.as_slice() {
+                put_u64(&mut out, x.to_bits());
+            }
+        }
+        for &x in &self.table {
+            put_u64(&mut out, x.to_bits());
+        }
+        out
+    }
+
+    /// Decodes a store written by [`Self::to_snapshot_section`], validating
+    /// the declared geometry against the payload length. Fails closed with
+    /// a structured error — a corrupt section never yields a partially
+    /// initialised store.
+    pub fn from_snapshot_section(bytes: &[u8]) -> KgResult<Self> {
+        const SECTION: &str = "similarity";
+        let mut c = SectionReader::new(bytes, SECTION);
+        let count = c.u64()? as usize;
+        let dim = c.u64()? as usize;
+        let floats = count
+            .checked_mul(dim)
+            .and_then(|v| count.checked_mul(count).map(|t| (v, t)))
+            .ok_or_else(|| snapshot_error(SECTION, "geometry overflows"))?;
+        let expected = 16 + 8 * (floats.0 + floats.1);
+        if bytes.len() != expected {
+            return Err(snapshot_error(
+                SECTION,
+                format!(
+                    "length mismatch: {} bytes for {count} predicates × dim {dim} \
+                     (expected {expected})",
+                    bytes.len()
+                ),
+            ));
+        }
+        let mut vectors = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut v = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                v.push(f64::from_bits(c.u64()?));
+            }
+            vectors.push(Vector(v));
+        }
+        let mut table = Vec::with_capacity(count * count);
+        for _ in 0..count * count {
+            table.push(f64::from_bits(c.u64()?));
+        }
+        c.expect_done()?;
+        Ok(Self {
+            vectors,
+            table,
+            count,
+        })
+    }
 }
 
 impl PredicateSimilarity for PredicateVectorStore {
@@ -133,6 +204,31 @@ mod tests {
         assert_eq!(store.predicate_count(), 3);
         assert_eq!(store.similarity(p(1), p(0)), 0.0);
         assert_eq!(store.similarity(p(2), p(2)), 1.0);
+    }
+
+    #[test]
+    fn snapshot_section_round_trips_bitwise() {
+        let store = PredicateVectorStore::from_vectors(vec![
+            (p(0), Vector(vec![1.0, 0.25])),
+            (p(2), Vector(vec![-0.5, 1e-300])),
+        ]);
+        let bytes = store.to_snapshot_section();
+        let loaded = PredicateVectorStore::from_snapshot_section(&bytes).unwrap();
+        assert_eq!(loaded.predicate_count(), store.predicate_count());
+        assert_eq!(loaded.dimension(), store.dimension());
+        for (a, b) in store.vectors.iter().zip(&loaded.vectors) {
+            let ab: Vec<u64> = a.as_slice().iter().map(|x| x.to_bits()).collect();
+            let bb: Vec<u64> = b.as_slice().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(ab, bb);
+        }
+        let ta: Vec<u64> = store.table.iter().map(|x| x.to_bits()).collect();
+        let tb: Vec<u64> = loaded.table.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(ta, tb);
+        // Re-encoding is byte-identical.
+        assert_eq!(loaded.to_snapshot_section(), bytes);
+        // Truncation fails closed.
+        let err = PredicateVectorStore::from_snapshot_section(&bytes[..bytes.len() - 1]);
+        assert!(err.unwrap_err().to_string().contains("similarity"));
     }
 
     #[test]

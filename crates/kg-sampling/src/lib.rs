@@ -62,6 +62,7 @@ pub mod alias;
 pub mod cache;
 pub mod sampler;
 pub mod shard;
+pub mod snapshot;
 pub mod strategies;
 pub mod transition;
 
@@ -69,5 +70,6 @@ pub use alias::{AliasTable, WeightError};
 pub use cache::{CacheStats, SamplerCache};
 pub use sampler::{prepare, PreparedSampler, SampledAnswer, SamplerConfig};
 pub use shard::{ShardSampler, ShardSamplerCache};
+pub use snapshot::{bundle_bytes, bundle_from_snapshot, open_bundle, write_bundle, SnapshotBundle};
 pub use strategies::SamplingStrategy;
 pub use transition::TransitionMatrix;

@@ -49,13 +49,13 @@ pub struct SampledAnswer {
 /// answers from it is cheap and i.i.d. (Theorem 1).
 #[derive(Clone, Debug)]
 pub struct PreparedSampler {
-    scope: BoundedSubgraph,
-    stationary: HashMap<EntityId, f64>,
+    pub(crate) scope: BoundedSubgraph,
+    pub(crate) stationary: HashMap<EntityId, f64>,
     /// Candidate answers with their π_A probabilities (sums to 1).
-    answers: Vec<SampledAnswer>,
+    pub(crate) answers: Vec<SampledAnswer>,
     /// O(1) draw table over the answer probabilities; `None` when the
     /// scope holds no candidate answers.
-    table: Option<AliasTable>,
+    pub(crate) table: Option<AliasTable>,
     /// Number of Eq. 6 iterations until convergence.
     pub iterations: usize,
     /// Number of transition-matrix entries (the |E_G'| of the cost model).

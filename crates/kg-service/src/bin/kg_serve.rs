@@ -1,5 +1,5 @@
-//! `kg-serve`: stand up the query service over a generated dataset and
-//! expose it over HTTP/1.1 + JSON.
+//! `kg-serve`: stand up the query service over a generated dataset — or a
+//! prebuilt binary snapshot — and expose it over HTTP/1.1 + JSON.
 //!
 //! ```text
 //! kg-serve [--addr 127.0.0.1:7878] [--seed 42] [--workers 4]
@@ -7,8 +7,18 @@
 //!          [--error-bound 0.01] [--confidence 0.95] [--shards 1]
 //!          [--tenant-weight 1.0] [--tenant-quota 256]
 //!          [--tenant NAME=WEIGHT:QUOTA]... [--compact-threshold 4096]
-//!          [--slow-query-ms MS]
+//!          [--slow-query-ms MS] [--snapshot PATH] [--write-snapshot PATH]
 //! ```
+//!
+//! `--snapshot PATH` boots from a snapshot written by `kg-snap build` (or a
+//! previous `--write-snapshot` run) instead of generating the dataset:
+//! checksum-validated zero-copy load of the graph, the predicate-similarity
+//! store and any prepared alias tables — no parse, no CSR rebuild, no
+//! random walks. The served answers are bitwise identical to a generate
+//! boot of the same data. `--write-snapshot PATH` writes a snapshot at boot
+//! and re-writes it on every compacting delta write, so the next cold start
+//! can use `--snapshot`. Snapshot provenance (format version, load ms) and
+//! the write counter appear in `/metrics` and `/metrics.prom`.
 //!
 //! `--tenant-weight`/`--tenant-quota` set the default limits applied to any
 //! tenant the service has not been told about; each repeatable
@@ -30,6 +40,8 @@
 //! serves until killed.
 
 use kg_datagen::{generate, profiles, DatasetScale};
+use kg_embed::PredicateVectorStore;
+use kg_sampling::SamplerCache;
 use kg_service::{HttpServer, Service, ServiceConfig};
 use std::sync::Arc;
 
@@ -56,7 +68,8 @@ fn main() {
              [--queue-capacity N] [--drain-batch N] [--error-bound EB] \
              [--confidence C] [--shards K] [--tenant-weight W] \
              [--tenant-quota N] [--tenant NAME=WEIGHT:QUOTA]... \
-             [--compact-threshold N] [--slow-query-ms MS]"
+             [--compact-threshold N] [--slow-query-ms MS] \
+             [--snapshot PATH] [--write-snapshot PATH]"
         );
         return;
     }
@@ -72,6 +85,8 @@ fn main() {
     let tenant_quota: usize = parse_flag(&args, "--tenant-quota", 256);
     let compact_threshold: usize = parse_flag(&args, "--compact-threshold", 4096);
     let slow_query_ms: f64 = parse_flag(&args, "--slow-query-ms", 0.0);
+    let snapshot_path: String = parse_flag(&args, "--snapshot", String::new());
+    let write_snapshot_path: String = parse_flag(&args, "--write-snapshot", String::new());
 
     // Event recording is a bounded in-process ring buffer; the slow-query
     // log below works regardless of this flag.
@@ -108,15 +123,77 @@ fn main() {
         }
     };
 
-    eprintln!("kg-serve: generating DBpedia-like dataset (tiny scale, seed {seed})…");
-    let dataset = generate(&profiles::dbpedia_like(DatasetScale::tiny(), seed));
-    let entities = dataset.graph.entity_count();
+    // Either a millisecond cold start from a prebuilt snapshot, or the
+    // generate-from-scratch path. Both yield the same graph for the same
+    // seed, so clients (kg-load) cannot tell them apart.
+    let (graph, oracle, samplers, loaded) = if snapshot_path.is_empty() {
+        eprintln!("kg-serve: generating DBpedia-like dataset (tiny scale, seed {seed})…");
+        let dataset = generate(&profiles::dbpedia_like(DatasetScale::tiny(), seed));
+        (
+            Arc::new(dataset.graph),
+            Arc::new(dataset.oracle),
+            None,
+            None,
+        )
+    } else {
+        let t0 = std::time::Instant::now();
+        let bundle = match kg_sampling::open_bundle(&snapshot_path) {
+            Ok(bundle) => bundle,
+            Err(e) => {
+                eprintln!("kg-serve: cannot load snapshot {snapshot_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let Some(similarity) = bundle.similarity else {
+            eprintln!(
+                "kg-serve: snapshot {snapshot_path} has no similarity section; \
+                 rebuild it with kg-snap build"
+            );
+            std::process::exit(1);
+        };
+        eprintln!(
+            "kg-serve: loaded snapshot {snapshot_path} in {load_ms:.2} ms \
+             (format v{}, {} prepared sampler(s))",
+            bundle.version,
+            bundle.samplers.as_ref().map_or(0, SamplerCache::len),
+        );
+        (
+            Arc::new(bundle.graph),
+            Arc::new(similarity),
+            bundle.samplers,
+            Some((bundle.version, load_ms)),
+        )
+    };
+    let entities = graph.entity_count();
 
     let service = Arc::new(Service::new(
-        Arc::new(dataset.graph),
-        Arc::new(dataset.oracle),
+        graph,
+        Arc::clone(&oracle) as Arc<dyn kg_embed::PredicateSimilarity>,
         config,
     ));
+    if let Some((version, load_ms)) = loaded {
+        service.record_snapshot_load(version, load_ms);
+    }
+    if let Some(samplers) = samplers {
+        if let Err(e) = service.install_samplers(samplers) {
+            eprintln!("kg-serve: ignoring snapshot samplers: {e}");
+        }
+    }
+    if !write_snapshot_path.is_empty() {
+        service.enable_snapshot_writes(
+            write_snapshot_path.as_str(),
+            Arc::<PredicateVectorStore>::clone(&oracle),
+            false,
+        );
+        match service.write_snapshot_now() {
+            Ok(()) => eprintln!("kg-serve: wrote boot snapshot to {write_snapshot_path}"),
+            Err(e) => {
+                eprintln!("kg-serve: cannot write snapshot {write_snapshot_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let server = match HttpServer::serve(Arc::clone(&service), addr.as_str()) {
         Ok(server) => server,
         Err(e) => {

@@ -10,16 +10,19 @@ use crate::request::{
 };
 use crate::sched::{Job, Scheduler};
 use kg_aqp::{BatchEngine, QueryAnswer, RoundOutcome, ShardedSession, ShardedStats};
+use kg_core::snapshot::SnapshotOptions;
 use kg_core::{
     DegreeBalancedPartitioner, EntityId, KnowledgeGraph, PredicateId, ShardedGraph, TypeId,
 };
-use kg_embed::PredicateSimilarity;
+use kg_core::{KgError, KgResult};
+use kg_embed::{PredicateSimilarity, PredicateVectorStore};
 use kg_estimate::achieved_error_bound;
 use kg_query::{AggregateQuery, QueryFootprint};
-use kg_sampling::{CacheStats, SamplerCache, ShardSamplerCache};
+use kg_sampling::{write_bundle, CacheStats, SamplerCache, ShardSamplerCache};
 use kg_telemetry::{Histogram, HistogramSnapshot, MetricFamily, MetricKind};
 use serde_json::{Map, Value};
 use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread;
@@ -37,6 +40,27 @@ struct EngineState {
     /// Per-(component, shard) restrictions of prepared samplers, recreated
     /// with the sampler cache on every swap.
     shard_samplers: Arc<ShardSamplerCache>,
+}
+
+/// Where and how compaction writes snapshots once
+/// [`Service::enable_snapshot_writes`] arms the sink.
+struct SnapshotSink {
+    path: PathBuf,
+    /// The concrete similarity store serialized into the snapshot (the
+    /// service itself only holds a `dyn PredicateSimilarity`, which cannot
+    /// be serialized).
+    similarity: Arc<PredicateVectorStore>,
+    options: SnapshotOptions,
+}
+
+/// How this service process obtained its graph at boot, when it came from a
+/// binary snapshot (surfaced in `/metrics` and `/metrics.prom`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SnapshotLoadInfo {
+    /// Format version of the loaded snapshot file.
+    pub format_version: u32,
+    /// Wall-clock milliseconds from open to fully decoded bundle.
+    pub load_ms: f64,
 }
 
 /// Upper bucket edges (inclusive) of the achieved-error-bound histogram in
@@ -140,6 +164,9 @@ struct MetricsInner {
     /// which components have churned and tests can assert a write to one
     /// component left another's epoch alone.
     component_epochs: BTreeMap<String, u64>,
+    /// Snapshots written by the compaction sink (and by
+    /// [`Service::write_snapshot_now`]).
+    snapshot_writes: u64,
 }
 
 impl Default for MetricsInner {
@@ -167,6 +194,7 @@ impl Default for MetricsInner {
             answers_evicted: 0,
             samplers_evicted: 0,
             component_epochs: BTreeMap::new(),
+            snapshot_writes: 0,
         }
     }
 }
@@ -255,6 +283,11 @@ pub struct MetricsSnapshot {
     /// Per-component write epochs, keyed by predicate name: how many writes
     /// have touched each predicate's component.
     pub component_epochs: BTreeMap<String, u64>,
+    /// Boot-snapshot provenance: `Some` when the graph was loaded from a
+    /// binary snapshot ([`Service::record_snapshot_load`]).
+    pub snapshot_load: Option<SnapshotLoadInfo>,
+    /// Snapshots written by the compaction sink so far.
+    pub snapshot_writes: u64,
 }
 
 impl MetricsSnapshot {
@@ -377,6 +410,16 @@ impl MetricsSnapshot {
         }
         writes.insert("epochs".into(), Value::Object(epochs));
         map.insert("writes".into(), Value::Object(writes));
+        let mut snapshot = Map::new();
+        snapshot.insert("writes".into(), Value::Number(self.snapshot_writes as f64));
+        if let Some(info) = &self.snapshot_load {
+            snapshot.insert(
+                "format_version".into(),
+                Value::Number(info.format_version as f64),
+            );
+            snapshot.insert("load_ms".into(), Value::Number(info.load_ms));
+        }
+        map.insert("snapshot".into(), Value::Object(snapshot));
         Value::Object(map)
     }
 
@@ -503,7 +546,13 @@ impl MetricsSnapshot {
             epochs.push("", &[("predicate", predicate)], epoch as f64);
         }
 
-        kg_telemetry::prometheus::encode(&[
+        let mut snapshot_writes = MetricFamily::new(
+            "kg_snapshot_writes_total",
+            MetricKind::Counter,
+            "Snapshots written by the compaction sink.",
+        );
+        snapshot_writes.push("", &[], self.snapshot_writes as f64);
+        let mut families = vec![
             requests,
             rounds,
             latency,
@@ -517,7 +566,25 @@ impl MetricsSnapshot {
             writes,
             delta_ops,
             epochs,
-        ])
+            snapshot_writes,
+        ];
+        if let Some(info) = &self.snapshot_load {
+            let mut version = MetricFamily::new(
+                "kg_snapshot_format_version",
+                MetricKind::Gauge,
+                "Format version of the snapshot this service booted from.",
+            );
+            version.push("", &[], info.format_version as f64);
+            let mut load_ms = MetricFamily::new(
+                "kg_snapshot_load_ms",
+                MetricKind::Gauge,
+                "Milliseconds spent loading the boot snapshot.",
+            );
+            load_ms.push("", &[], info.load_ms);
+            families.push(version);
+            families.push(load_ms);
+        }
+        kg_telemetry::prometheus::encode(&families)
     }
 }
 
@@ -555,6 +622,11 @@ struct Inner {
     shutdown: AtomicBool,
     cache: ResultCache,
     metrics: Mutex<MetricsInner>,
+    /// Armed by [`Service::enable_snapshot_writes`]; compactions then
+    /// persist the freshly compacted graph as a snapshot bundle.
+    snapshot_sink: Mutex<Option<SnapshotSink>>,
+    /// Boot-snapshot provenance ([`Service::record_snapshot_load`]).
+    snapshot_load: Mutex<Option<SnapshotLoadInfo>>,
 }
 
 /// A submitted request's handle: redeem it with [`PendingAnswer::wait`].
@@ -621,6 +693,8 @@ impl Service {
             shutdown: AtomicBool::new(false),
             cache: ResultCache::new(),
             metrics: Mutex::new(MetricsInner::default()),
+            snapshot_sink: Mutex::new(None),
+            snapshot_load: Mutex::new(None),
         });
         let workers = (0..inner.config.workers)
             .map(|i| {
@@ -822,6 +896,106 @@ impl Service {
         self.inner.cache.invalidate();
     }
 
+    /// Arms the compaction snapshot sink: every [`Service::apply_write`]
+    /// that compacts the delta overlay also persists the freshly compacted
+    /// graph — together with `similarity` and the current prepared-sampler
+    /// cache — as a snapshot bundle at `path` (atomic tmp-and-rename, so a
+    /// reader never sees a half-written file). The concrete vector store is
+    /// required because the service itself only holds the type-erased
+    /// `dyn PredicateSimilarity`, which cannot be serialized.
+    pub fn enable_snapshot_writes(
+        &self,
+        path: impl Into<PathBuf>,
+        similarity: Arc<PredicateVectorStore>,
+        compress_csr: bool,
+    ) {
+        *self.inner.snapshot_sink.lock().unwrap() = Some(SnapshotSink {
+            path: path.into(),
+            similarity,
+            options: SnapshotOptions { compress_csr },
+        });
+    }
+
+    /// Writes a snapshot of the current graph (plus the sink's similarity
+    /// store and the live sampler cache) through the armed sink right now —
+    /// the boot-time write behind `kg-serve --write-snapshot`. Errors if the
+    /// sink is not armed or the live graph has pending (uncompacted) delta
+    /// operations.
+    pub fn write_snapshot_now(&self) -> KgResult<()> {
+        let sink = self.inner.snapshot_sink.lock().unwrap();
+        let Some(sink) = &*sink else {
+            return Err(KgError::Snapshot {
+                section: "header".into(),
+                message: "snapshot writes are not enabled on this service".into(),
+            });
+        };
+        let (graph, samplers) = {
+            let state = self.inner.state.lock().unwrap();
+            (
+                Arc::clone(state.sharded.global()),
+                Arc::clone(&state.samplers),
+            )
+        };
+        write_bundle(
+            &sink.path,
+            &graph,
+            &sink.options,
+            Some(&sink.similarity),
+            Some(&samplers),
+        )?;
+        self.inner.metrics.lock().unwrap().snapshot_writes += 1;
+        kg_telemetry::point("snapshot.write", &[("boot", 1u64.into())]);
+        Ok(())
+    }
+
+    /// Records that this process booted its graph from a binary snapshot,
+    /// surfacing the format version and load time in `/metrics` and
+    /// `/metrics.prom`.
+    pub fn record_snapshot_load(&self, format_version: u32, load_ms: f64) {
+        *self.inner.snapshot_load.lock().unwrap() = Some(SnapshotLoadInfo {
+            format_version,
+            load_ms,
+        });
+        kg_telemetry::point(
+            "snapshot.load",
+            &[
+                ("format_version", u64::from(format_version).into()),
+                ("load_ms", load_ms.into()),
+            ],
+        );
+    }
+
+    /// Installs a pre-populated sampler cache — the snapshot boot path,
+    /// where the alias tables come from the snapshot instead of a fresh
+    /// random walk. Fails closed when the cache was prepared under a
+    /// different strategy or sampler configuration than this service runs
+    /// with: mixing them would serve answers from walks the configuration
+    /// says never ran.
+    pub fn install_samplers(&self, samplers: SamplerCache) -> KgResult<()> {
+        let engine = &self.inner.config.engine;
+        let ours = engine.sampler_config();
+        let theirs = samplers.config();
+        let config_matches = ours.n_bound == theirs.n_bound
+            && ours.self_loop_weight.to_bits() == theirs.self_loop_weight.to_bits()
+            && ours.tolerance.to_bits() == theirs.tolerance.to_bits()
+            && ours.max_iterations == theirs.max_iterations;
+        if samplers.strategy() != engine.strategy || !config_matches {
+            return Err(KgError::Snapshot {
+                section: "samplers".into(),
+                message: format!(
+                    "snapshot samplers were prepared with strategy {} and a \
+                     different configuration than this service ({})",
+                    samplers.strategy().name(),
+                    engine.strategy.name()
+                ),
+            });
+        }
+        let mut state = self.inner.state.lock().unwrap();
+        state.samplers = Arc::new(samplers);
+        state.shard_samplers = Arc::new(ShardSamplerCache::new());
+        Ok(())
+    }
+
     /// Applies a batch of delta writes to the live graph.
     ///
     /// The whole batch is one atomic snapshot switch: the global graph is
@@ -850,7 +1024,7 @@ impl Service {
         let mut entities: Vec<String> = Vec::new();
         let mut predicates: Vec<String> = Vec::new();
         let mut types: Vec<String> = Vec::new();
-        let (footprint, compacted, delta_ops, evicted_answers, evicted_samplers, epoch) = {
+        let (footprint, compacted, delta_ops, evicted_answers, evicted_samplers, epoch, to_persist) = {
             let mut state = self.inner.state.lock().unwrap();
             let mut graph = (**state.sharded.global()).clone();
             for op in &write.ops {
@@ -941,6 +1115,11 @@ impl Service {
             // write_seq) can never pair the new graph with the old seq.
             let evicted_answers = self.inner.cache.note_write(&footprint);
             let epoch = self.inner.cache.write_seq();
+            // A compacted graph has no pending delta, so it is exactly what
+            // the snapshot sink can persist; the file write itself happens
+            // after the state lock is released.
+            let to_persist =
+                compacted.then(|| (Arc::clone(&new_global), Arc::clone(&state.samplers)));
             (
                 footprint,
                 compacted,
@@ -948,8 +1127,32 @@ impl Service {
                 evicted_answers,
                 evicted_samplers,
                 epoch,
+                to_persist,
             )
         };
+        if let Some((graph, samplers)) = to_persist {
+            let sink = self.inner.snapshot_sink.lock().unwrap();
+            if let Some(sink) = &*sink {
+                match write_bundle(
+                    &sink.path,
+                    &graph,
+                    &sink.options,
+                    Some(&sink.similarity),
+                    Some(&samplers),
+                ) {
+                    Ok(()) => {
+                        self.inner.metrics.lock().unwrap().snapshot_writes += 1;
+                        kg_telemetry::point("snapshot.write", &[("compaction", 1u64.into())]);
+                    }
+                    // A failed background persist must not fail the write
+                    // itself — the in-memory state is already switched.
+                    Err(e) => eprintln!(
+                        "kg-service: snapshot write to {} failed: {e}",
+                        sink.path.display()
+                    ),
+                }
+            }
+        }
         {
             let mut metrics = self.inner.metrics.lock().unwrap();
             metrics.writes += 1;
@@ -1014,6 +1217,7 @@ impl Service {
             answers_evicted,
             samplers_evicted,
             component_epochs,
+            snapshot_writes,
         ) = {
             let metrics = self.inner.metrics.lock().unwrap();
             (
@@ -1037,6 +1241,7 @@ impl Service {
                 metrics.answers_evicted,
                 metrics.samplers_evicted,
                 metrics.component_epochs.clone(),
+                metrics.snapshot_writes,
             )
         };
         // A scrape before the first completion still reports one (zeroed)
@@ -1076,6 +1281,8 @@ impl Service {
             samplers_evicted,
             delta_ops,
             component_epochs,
+            snapshot_load: *self.inner.snapshot_load.lock().unwrap(),
+            snapshot_writes,
         }
     }
 

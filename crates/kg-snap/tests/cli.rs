@@ -1,0 +1,156 @@
+//! End-to-end tests of the `kg-snap` binary: the build → verify → inspect
+//! happy path, and the exit-code contract on corruption — every section
+//! kind, when a single byte is flipped, must fail `verify` with a non-zero
+//! exit and the failing section named on stderr.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn kg_snap(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_kg-snap"))
+        .args(args)
+        .output()
+        .expect("spawn kg-snap")
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("kg-snap-cli-{tag}-{}.kgsnap", std::process::id()))
+}
+
+fn build_snapshot(tag: &str, extra: &[&str]) -> PathBuf {
+    let path = temp_path(tag);
+    let path_str = path.to_str().unwrap();
+    let mut args = vec!["build", path_str, "--seed", "7", "--warm", "2"];
+    args.extend_from_slice(extra);
+    let out = kg_snap(&args);
+    assert!(
+        out.status.success(),
+        "build failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    path
+}
+
+#[test]
+fn build_verify_inspect_round_trip() {
+    let path = build_snapshot("ok", &[]);
+    let path_str = path.to_str().unwrap();
+
+    let verify = kg_snap(&["verify", path_str]);
+    assert!(
+        verify.status.success(),
+        "verify failed: {}",
+        String::from_utf8_lossy(&verify.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&verify.stdout);
+    assert!(stdout.contains("OK"), "stdout: {stdout}");
+    assert!(stdout.contains("format v1"), "stdout: {stdout}");
+
+    let inspect = kg_snap(&["inspect", path_str]);
+    assert!(inspect.status.success());
+    let stdout = String::from_utf8_lossy(&inspect.stdout);
+    for section in [
+        "meta",
+        "entity_names",
+        "csr_offsets",
+        "csr_edges",
+        "similarity",
+        "samplers",
+    ] {
+        assert!(stdout.contains(section), "missing {section}: {stdout}");
+    }
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// The regression demanded by the exit-code contract: flip one byte in the
+/// middle of *each* section and assert `verify` exits non-zero naming that
+/// very section on stderr.
+#[test]
+fn verify_names_the_corrupted_section() {
+    let path = build_snapshot("flip", &[]);
+    let bytes = std::fs::read(&path).unwrap();
+    let snap = kg_core::snapshot::Snapshot::from_bytes(bytes.clone()).unwrap();
+    let sections: Vec<(String, u64, u64)> = snap
+        .sections()
+        .iter()
+        .map(|s| (s.name().to_string(), s.offset, s.len))
+        .collect();
+    assert!(sections.len() >= 10, "expected a full bundle: {sections:?}");
+
+    for (name, offset, len) in sections {
+        let mut corrupt = bytes.clone();
+        let target = (offset + len / 2) as usize;
+        corrupt[target] ^= 0x01;
+        let corrupt_path = temp_path(&format!("flip-{name}"));
+        std::fs::write(&corrupt_path, &corrupt).unwrap();
+        let out = kg_snap(&["verify", corrupt_path.to_str().unwrap()]);
+        std::fs::remove_file(&corrupt_path).unwrap();
+        assert!(
+            !out.status.success(),
+            "corrupted {name} still verified cleanly"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&name),
+            "stderr does not name section {name}: {stderr}"
+        );
+    }
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn verify_rejects_header_corruption_and_truncation() {
+    let path = build_snapshot("hdr", &[]);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    // Bad magic.
+    let mut corrupt = bytes.clone();
+    corrupt[0] ^= 0xFF;
+    let p = temp_path("bad-magic");
+    std::fs::write(&p, &corrupt).unwrap();
+    let out = kg_snap(&["verify", p.to_str().unwrap()]);
+    std::fs::remove_file(&p).unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("header"));
+
+    // Truncated to half.
+    let p = temp_path("truncated");
+    std::fs::write(&p, &bytes[..bytes.len() / 2]).unwrap();
+    let out = kg_snap(&["verify", p.to_str().unwrap()]);
+    std::fs::remove_file(&p).unwrap();
+    assert!(!out.status.success());
+
+    // Version skew: bump the version field and re-checksum the header so
+    // only the skew itself is the failure.
+    let mut skewed = bytes.clone();
+    skewed[8..12].copy_from_slice(&2u32.to_le_bytes());
+    let crc = kg_core::snapshot::crc64(&skewed[..48]);
+    skewed[48..56].copy_from_slice(&crc.to_le_bytes());
+    let p = temp_path("skewed");
+    std::fs::write(&p, &skewed).unwrap();
+    let out = kg_snap(&["verify", p.to_str().unwrap()]);
+    std::fs::remove_file(&p).unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("rebuild"), "stderr: {stderr}");
+}
+
+#[test]
+fn compressed_build_verifies_and_reports_flag() {
+    let path = build_snapshot("gz", &["--compress"]);
+    let path_str = path.to_str().unwrap();
+    let verify = kg_snap(&["verify", path_str]);
+    assert!(
+        verify.status.success(),
+        "verify failed: {}",
+        String::from_utf8_lossy(&verify.stderr)
+    );
+    let inspect = kg_snap(&["inspect", path_str]);
+    let stdout = String::from_utf8_lossy(&inspect.stdout);
+    assert!(stdout.contains("compressed_csr=true"), "stdout: {stdout}");
+    assert!(stdout.contains("csr_edges_varint"), "stdout: {stdout}");
+    std::fs::remove_file(&path).unwrap();
+}
