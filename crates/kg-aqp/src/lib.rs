@@ -33,6 +33,7 @@
 pub mod batch;
 pub mod config;
 pub mod engine;
+pub mod remote;
 pub mod result;
 pub mod session;
 pub mod sharded;
@@ -41,6 +42,11 @@ pub mod wire;
 pub use batch::{latency_percentile, BatchEngine, BatchStats};
 pub use config::EngineConfig;
 pub use engine::AqpEngine;
+pub use remote::{
+    config_fingerprint, graph_fingerprint, FaultAction, FaultPlan, FleetPolicy, InProcessTransport,
+    RemoteMetrics, RemoteMetricsSnapshot, ShardCallError, ShardFleet, ShardServerCore,
+    ShardTransport, TcpTransport, TransportError,
+};
 pub use result::{QueryAnswer, RoundTrace, StepTimings};
 pub use session::{InteractiveSession, RoundOutcome};
 pub use sharded::{ShardedSession, ShardedStats};

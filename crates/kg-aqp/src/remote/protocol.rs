@@ -1,0 +1,471 @@
+//! The coordinator ↔ shard-server request/response envelope.
+//!
+//! Every message travels inside a `kg_core::frame` (magic + codec byte +
+//! length prefix) and is available in both codecs: **JSON** for the
+//! handshake and debuggability, **binary** for the latency-sensitive
+//! per-round fan-out. A server always answers in the codec of the request.
+//!
+//! Responses are pure functions of their requests — the server replays a
+//! stratum to the requested `(draws, steps)` point deterministically — so a
+//! hedged or retried request returns byte-identical payloads, which is what
+//! lets the fleet layer race duplicates without affecting results.
+
+use kg_core::{ByteReader, ByteWriter, Codec, DecodeError};
+use kg_query::wire::{as_array, as_str, as_usize, get_field, object, WireError};
+use kg_sampling::{BucketTerm, StratumReport, StratumTask};
+use serde_json::Value;
+
+/// A coordinator → shard-server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardRequest {
+    /// Handshake: verify the server hosts the same graph, partitioning and
+    /// engine configuration as the coordinator (fingerprints are FNV-1a
+    /// digests; see `fingerprint` helpers in the server module).
+    Ping {
+        /// Coordinator's graph + partitioning fingerprint.
+        graph_fp: u64,
+        /// Coordinator's engine-config fingerprint.
+        config_fp: u64,
+    },
+    /// Advance one stratum by one validate+estimate round and return its
+    /// [`StratumReport`]. `query` is the canonical JSON encoding of the
+    /// `AggregateQuery` (the server plans it locally and deterministically).
+    Step {
+        /// Canonical query JSON.
+        query: String,
+        /// Replay point + new round draws for the addressed stratum.
+        task: StratumTask,
+    },
+    /// Replay one stratum to the requested point **without** running a new
+    /// estimate round and return its GROUP-BY bucket terms (empty for a
+    /// query without GROUP-BY; the bucketing attribute and width come from
+    /// the server's own — deterministic, identical — plan).
+    Snapshot {
+        /// Canonical query JSON.
+        query: String,
+        /// Replay point for the addressed stratum.
+        task: StratumTask,
+    },
+}
+
+/// A shard-server → coordinator message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardResponse {
+    /// Handshake accepted: the server's own fingerprints.
+    Pong {
+        /// Server's graph + partitioning fingerprint.
+        graph_fp: u64,
+        /// Server's engine-config fingerprint.
+        config_fp: u64,
+        /// Number of shards the server partitioned into.
+        shards: usize,
+    },
+    /// A completed [`ShardRequest::Step`].
+    Estimate(StratumReport),
+    /// A completed [`ShardRequest::Snapshot`]: per-bucket terms, sorted by
+    /// key, only for buckets this stratum contributes to.
+    Buckets(Vec<BucketTerm>),
+    /// The server could not serve the request (bad query, fingerprint
+    /// mismatch, malformed task). Carried as data, not a transport failure,
+    /// so the coordinator can distinguish "shard unreachable" from "shard
+    /// rejected".
+    Error {
+        /// Stable machine-readable code (e.g. `bad_request`, `mismatch`).
+        code: String,
+        /// Human-oriented detail.
+        message: String,
+    },
+}
+
+const REQ_PING: u8 = 0;
+const REQ_STEP: u8 = 1;
+const REQ_SNAPSHOT: u8 = 2;
+const RESP_PONG: u8 = 0;
+const RESP_ESTIMATE: u8 = 1;
+const RESP_BUCKETS: u8 = 2;
+const RESP_ERROR: u8 = 3;
+
+fn u64_to_json(v: u64) -> Value {
+    // Fingerprints exceed 2^53; carry them as decimal strings in JSON.
+    Value::String(v.to_string())
+}
+
+fn u64_from_json(value: &Value, path: &str) -> Result<u64, WireError> {
+    as_str(value, path)?
+        .parse::<u64>()
+        .map_err(|_| WireError::new(path, "a decimal u64 string"))
+}
+
+impl ShardRequest {
+    /// Encodes into the payload bytes for `codec`.
+    pub fn encode(&self, codec: Codec) -> Vec<u8> {
+        match codec {
+            Codec::Json => self.to_json().to_string().into_bytes(),
+            Codec::Binary => {
+                let mut w = ByteWriter::new();
+                match self {
+                    Self::Ping {
+                        graph_fp,
+                        config_fp,
+                    } => {
+                        w.put_u8(REQ_PING);
+                        w.put_u64(*graph_fp);
+                        w.put_u64(*config_fp);
+                    }
+                    Self::Step { query, task } => {
+                        w.put_u8(REQ_STEP);
+                        w.put_str(query);
+                        task.encode(&mut w);
+                    }
+                    Self::Snapshot { query, task } => {
+                        w.put_u8(REQ_SNAPSHOT);
+                        w.put_str(query);
+                        task.encode(&mut w);
+                    }
+                }
+                w.into_bytes()
+            }
+        }
+    }
+
+    /// Decodes payload bytes in `codec`; errors are structured strings
+    /// suitable for a `ShardResponse::Error`.
+    pub fn decode(codec: Codec, payload: &[u8]) -> Result<Self, String> {
+        match codec {
+            Codec::Json => {
+                let text = std::str::from_utf8(payload).map_err(|e| e.to_string())?;
+                let value: Value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+                Self::from_json(&value).map_err(|e| e.to_string())
+            }
+            Codec::Binary => {
+                let mut r = ByteReader::new(payload);
+                let decoded = Self::decode_binary(&mut r).map_err(|e| e.to_string())?;
+                r.finish().map_err(|e| e.to_string())?;
+                Ok(decoded)
+            }
+        }
+    }
+
+    fn decode_binary(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            REQ_PING => Ok(Self::Ping {
+                graph_fp: r.u64()?,
+                config_fp: r.u64()?,
+            }),
+            REQ_STEP => Ok(Self::Step {
+                query: r.str()?,
+                task: StratumTask::decode(r)?,
+            }),
+            REQ_SNAPSHOT => Ok(Self::Snapshot {
+                query: r.str()?,
+                task: StratumTask::decode(r)?,
+            }),
+            tag => Err(DecodeError {
+                offset: 0,
+                message: format!("unknown request tag {tag}"),
+            }),
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        match self {
+            Self::Ping {
+                graph_fp,
+                config_fp,
+            } => object(vec![
+                ("kind", Value::String("ping".to_string())),
+                ("graph_fp", u64_to_json(*graph_fp)),
+                ("config_fp", u64_to_json(*config_fp)),
+            ]),
+            Self::Step { query, task } => object(vec![
+                ("kind", Value::String("step".to_string())),
+                ("query", Value::String(query.clone())),
+                ("task", task.to_json()),
+            ]),
+            Self::Snapshot { query, task } => object(vec![
+                ("kind", Value::String("snapshot".to_string())),
+                ("query", Value::String(query.clone())),
+                ("task", task.to_json()),
+            ]),
+        }
+    }
+
+    fn from_json(value: &Value) -> Result<Self, WireError> {
+        let kind = as_str(get_field(value, "request", "kind")?, "request.kind")?;
+        match kind.as_str() {
+            "ping" => Ok(Self::Ping {
+                graph_fp: u64_from_json(
+                    get_field(value, "request", "graph_fp")?,
+                    "request.graph_fp",
+                )?,
+                config_fp: u64_from_json(
+                    get_field(value, "request", "config_fp")?,
+                    "request.config_fp",
+                )?,
+            }),
+            "step" => Ok(Self::Step {
+                query: as_str(get_field(value, "request", "query")?, "request.query")?,
+                task: StratumTask::from_json(get_field(value, "request", "task")?, "request.task")?,
+            }),
+            "snapshot" => Ok(Self::Snapshot {
+                query: as_str(get_field(value, "request", "query")?, "request.query")?,
+                task: StratumTask::from_json(get_field(value, "request", "task")?, "request.task")?,
+            }),
+            _ => Err(WireError::new("request.kind", "ping|step|snapshot")),
+        }
+    }
+}
+
+impl ShardResponse {
+    /// Encodes into the payload bytes for `codec`.
+    pub fn encode(&self, codec: Codec) -> Vec<u8> {
+        match codec {
+            Codec::Json => self.to_json().to_string().into_bytes(),
+            Codec::Binary => {
+                let mut w = ByteWriter::new();
+                match self {
+                    Self::Pong {
+                        graph_fp,
+                        config_fp,
+                        shards,
+                    } => {
+                        w.put_u8(RESP_PONG);
+                        w.put_u64(*graph_fp);
+                        w.put_u64(*config_fp);
+                        w.put_u64(*shards as u64);
+                    }
+                    Self::Estimate(report) => {
+                        w.put_u8(RESP_ESTIMATE);
+                        report.encode(&mut w);
+                    }
+                    Self::Buckets(terms) => {
+                        w.put_u8(RESP_BUCKETS);
+                        w.put_len(terms.len());
+                        for term in terms {
+                            term.encode(&mut w);
+                        }
+                    }
+                    Self::Error { code, message } => {
+                        w.put_u8(RESP_ERROR);
+                        w.put_str(code);
+                        w.put_str(message);
+                    }
+                }
+                w.into_bytes()
+            }
+        }
+    }
+
+    /// Decodes payload bytes in `codec`.
+    pub fn decode(codec: Codec, payload: &[u8]) -> Result<Self, String> {
+        match codec {
+            Codec::Json => {
+                let text = std::str::from_utf8(payload).map_err(|e| e.to_string())?;
+                let value: Value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+                Self::from_json(&value).map_err(|e| e.to_string())
+            }
+            Codec::Binary => {
+                let mut r = ByteReader::new(payload);
+                let decoded = Self::decode_binary(&mut r).map_err(|e| e.to_string())?;
+                r.finish().map_err(|e| e.to_string())?;
+                Ok(decoded)
+            }
+        }
+    }
+
+    fn decode_binary(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            RESP_PONG => Ok(Self::Pong {
+                graph_fp: r.u64()?,
+                config_fp: r.u64()?,
+                shards: r.u64()? as usize,
+            }),
+            RESP_ESTIMATE => Ok(Self::Estimate(StratumReport::decode(r)?)),
+            RESP_BUCKETS => {
+                let n = r.len(24, "bucket terms")?;
+                let mut terms = Vec::with_capacity(n);
+                for _ in 0..n {
+                    terms.push(BucketTerm::decode(r)?);
+                }
+                Ok(Self::Buckets(terms))
+            }
+            RESP_ERROR => Ok(Self::Error {
+                code: r.str()?,
+                message: r.str()?,
+            }),
+            tag => Err(DecodeError {
+                offset: 0,
+                message: format!("unknown response tag {tag}"),
+            }),
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        match self {
+            Self::Pong {
+                graph_fp,
+                config_fp,
+                shards,
+            } => object(vec![
+                ("kind", Value::String("pong".to_string())),
+                ("graph_fp", u64_to_json(*graph_fp)),
+                ("config_fp", u64_to_json(*config_fp)),
+                ("shards", Value::Number(*shards as f64)),
+            ]),
+            Self::Estimate(report) => object(vec![
+                ("kind", Value::String("estimate".to_string())),
+                ("report", report.to_json()),
+            ]),
+            Self::Buckets(terms) => object(vec![
+                ("kind", Value::String("buckets".to_string())),
+                (
+                    "terms",
+                    Value::Array(terms.iter().map(BucketTerm::to_json).collect()),
+                ),
+            ]),
+            Self::Error { code, message } => object(vec![
+                ("kind", Value::String("error".to_string())),
+                ("code", Value::String(code.clone())),
+                ("message", Value::String(message.clone())),
+            ]),
+        }
+    }
+
+    fn from_json(value: &Value) -> Result<Self, WireError> {
+        let kind = as_str(get_field(value, "response", "kind")?, "response.kind")?;
+        match kind.as_str() {
+            "pong" => Ok(Self::Pong {
+                graph_fp: u64_from_json(
+                    get_field(value, "response", "graph_fp")?,
+                    "response.graph_fp",
+                )?,
+                config_fp: u64_from_json(
+                    get_field(value, "response", "config_fp")?,
+                    "response.config_fp",
+                )?,
+                shards: as_usize(get_field(value, "response", "shards")?, "response.shards")?,
+            }),
+            "estimate" => Ok(Self::Estimate(StratumReport::from_json(
+                get_field(value, "response", "report")?,
+                "response.report",
+            )?)),
+            "buckets" => {
+                let terms = as_array(get_field(value, "response", "terms")?, "response.terms")?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| BucketTerm::from_json(v, &format!("response.terms[{i}]")))
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                Ok(Self::Buckets(terms))
+            }
+            "error" => Ok(Self::Error {
+                code: as_str(get_field(value, "response", "code")?, "response.code")?,
+                message: as_str(get_field(value, "response", "message")?, "response.message")?,
+            }),
+            _ => Err(WireError::new(
+                "response.kind",
+                "pong|estimate|buckets|error",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn requests() -> Vec<ShardRequest> {
+        vec![
+            ShardRequest::Ping {
+                graph_fp: u64::MAX - 3,
+                config_fp: 0x1234_5678_9ABC_DEF0,
+            },
+            ShardRequest::Step {
+                query: "{\"agg\":\"count\"}".to_string(),
+                task: StratumTask {
+                    shard: 2,
+                    draws: vec![64, 0, 31],
+                    steps: 2,
+                    resamples: 50,
+                },
+            },
+            ShardRequest::Snapshot {
+                query: "{}".to_string(),
+                task: StratumTask {
+                    shard: 0,
+                    draws: vec![16],
+                    steps: 1,
+                    resamples: 2,
+                },
+            },
+        ]
+    }
+
+    fn responses() -> Vec<ShardResponse> {
+        vec![
+            ShardResponse::Pong {
+                graph_fp: 1,
+                config_fp: u64::MAX,
+                shards: 4,
+            },
+            ShardResponse::Estimate(StratumReport {
+                primary: f64::NAN,
+                secondary: -0.0,
+                replicates: vec![(0.5, 1.5)],
+                sample_size: 10,
+                correct: 7,
+                validate_ms: 0.5,
+                bootstrap_ms: 0.25,
+            }),
+            ShardResponse::Buckets(vec![BucketTerm {
+                key: -9,
+                primary: 2.5,
+                secondary: 0.0,
+            }]),
+            ShardResponse::Error {
+                code: "mismatch".to_string(),
+                message: "graph fingerprint differs".to_string(),
+            },
+        ]
+    }
+
+    fn assert_response_eq(a: &ShardResponse, b: &ShardResponse) {
+        // PartialEq on f64 treats NaN != NaN; compare via encoded bytes,
+        // which carry floats bitwise in the binary codec.
+        assert_eq!(a.encode(Codec::Binary), b.encode(Codec::Binary));
+    }
+
+    #[test]
+    fn requests_round_trip_both_codecs() {
+        for req in requests() {
+            for codec in [Codec::Json, Codec::Binary] {
+                let bytes = req.encode(codec);
+                assert_eq!(ShardRequest::decode(codec, &bytes).unwrap(), req);
+            }
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_both_codecs() {
+        for resp in responses() {
+            for codec in [Codec::Json, Codec::Binary] {
+                let bytes = resp.encode(codec);
+                let decoded = ShardResponse::decode(codec, &bytes).unwrap();
+                assert_response_eq(&decoded, &resp);
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_payloads_are_structured_errors() {
+        for codec in [Codec::Json, Codec::Binary] {
+            assert!(ShardRequest::decode(codec, b"\xFF\xFE\x00garbage").is_err());
+            assert!(ShardResponse::decode(codec, b"").is_err());
+        }
+        // Unknown binary tag.
+        assert!(ShardRequest::decode(Codec::Binary, &[9]).is_err());
+        // Trailing bytes after a valid binary message are rejected.
+        let mut bytes = requests()[0].encode(Codec::Binary);
+        bytes.push(0);
+        assert!(ShardRequest::decode(Codec::Binary, &bytes).is_err());
+    }
+}

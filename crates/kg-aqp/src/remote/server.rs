@@ -1,0 +1,541 @@
+//! The shard-server execution core: deterministic, stateless-replayable
+//! stratum advancement.
+//!
+//! A shard server loads the **same** graph as the coordinator, partitions it
+//! identically (the partitioners are deterministic), and plans each query
+//! with its own engine — planning is deterministic, so the server's
+//! per-shard answer distribution, alias table and RNG seed are
+//! bit-identical to what the in-process [`crate::ShardedSession`] builds.
+//!
+//! The protocol is *replay-based*: every [`ShardRequest::Step`] carries the
+//! full history of per-round draw counts plus the number of completed
+//! rounds, so any replica — warm or cold — can reconstruct the exact
+//! stratum state. A warm server applies only the incremental tail; a cold
+//! one replays from scratch, burning the identical RNG stream (draws via
+//! the alias table, bootstrap index draws via dummy discarded estimates —
+//! [`StratumEstimate::compute`] consumes RNG as a function of sample length
+//! and replicate count only). Responses are therefore pure functions of
+//! requests: retries, hedges and failovers all observe identical bytes.
+
+use crate::config::EngineConfig;
+use crate::engine::{AqpEngine, ComponentValidator, QueryPlan};
+use crate::remote::protocol::{ShardRequest, ShardResponse};
+use crate::session::{validate_entity, validation_config};
+use crate::sharded::{validated_sample, Stratum};
+use kg_core::{Codec, ShardedGraph};
+use kg_embed::PredicateSimilarity;
+use kg_estimate::{stratum_point_terms, StratumEstimate, ValidatedAnswer};
+use kg_query::AggregateQuery;
+use kg_sampling::ShardSamplerCache;
+use kg_sampling::{BucketTerm, SamplerCache, ShardSampler, StratumReport, StratumTask};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// FNV-1a over a sequence of u64 words (little-endian byte order).
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in words {
+        for byte in word.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Digest of the graph + partitioning a process executes against. Two
+/// processes with equal fingerprints built the same shards from the same
+/// graph, so their per-shard plans and RNG streams line up.
+///
+/// Deliberately **content-based** — global and per-shard sizes plus the
+/// partitioner's name (partitioners are deterministic, so equal inputs and
+/// algorithm imply an equal assignment). The process-local
+/// [`ShardedGraph::partition_id`] must NOT be hashed here: it is an
+/// in-process cache-identity counter, so independently partitioned copies
+/// of the same graph — the normal coordinator/shard deployment — would
+/// never match.
+pub fn graph_fingerprint(sharded: &ShardedGraph) -> u64 {
+    let mut words = vec![
+        sharded.global().entity_count() as u64,
+        sharded.global().edge_count() as u64,
+        sharded.shard_count() as u64,
+    ];
+    words.extend(
+        sharded
+            .partitioner()
+            .as_bytes()
+            .iter()
+            .map(|&b| u64::from(b)),
+    );
+    for shard in sharded.shards() {
+        words.push(shard.owned_count() as u64);
+        words.push(shard.edge_count() as u64);
+    }
+    fnv1a(words)
+}
+
+/// Digest of every [`EngineConfig`] field that influences planning,
+/// sampling, validation or estimation — a coordinator refuses to use a
+/// shard server whose config fingerprint differs.
+pub fn config_fingerprint(config: &EngineConfig) -> u64 {
+    let (strategy_tag, strategy_p, strategy_q) = match config.strategy {
+        kg_sampling::SamplingStrategy::SemanticAware => (0u64, 0, 0),
+        kg_sampling::SamplingStrategy::Cnarw => (1, 0, 0),
+        kg_sampling::SamplingStrategy::Node2Vec { p, q } => (2, p.to_bits(), q.to_bits()),
+        kg_sampling::SamplingStrategy::Uniform => (3, 0, 0),
+    };
+    fnv1a([
+        config.tau.to_bits(),
+        config.error_bound.to_bits(),
+        config.n_bound as u64,
+        config.repeat_factor as u64,
+        config.desired_sample_ratio.to_bits(),
+        strategy_tag,
+        strategy_p,
+        strategy_q,
+        config.bootstrap.resamples as u64,
+        config.bootstrap.blb_subsamples as u64,
+        config.bootstrap.blb_exponent.to_bits(),
+        config.max_rounds as u64,
+        config.max_sample_size as u64,
+        config.validate as u64,
+        config.fixed_increment.map(|v| v as u64 + 1).unwrap_or(0),
+        config.aggregation as u64,
+        config.chain_anchor_limit as u64,
+        config.seed,
+    ])
+}
+
+/// Session table keyed by `(query_key, shard)`; each entry is shared so a
+/// retried request can re-serve the cached response without holding the map.
+type SessionTable = Mutex<HashMap<(String, usize), Arc<Mutex<SessionState>>>>;
+
+/// One cached stratum session: the replayable state plus the last response
+/// for idempotent re-serving of duplicate (retried / hedged) requests.
+struct SessionState {
+    plan: Arc<QueryPlan>,
+    stratum: Stratum,
+    /// Draw counts applied so far, in order.
+    applied: Vec<u64>,
+    /// Validate+estimate rounds completed so far (including discarded
+    /// replay rounds).
+    steps: usize,
+    /// `(is_snapshot, task)` of the last request served, with its response.
+    last: Option<(bool, StratumTask, ShardResponse)>,
+}
+
+impl SessionState {
+    /// Whether the cached state lies on the replay trajectory of a request
+    /// targeting `(draws, replay_steps)` — i.e. the state an interleaved
+    /// draw/estimate replay passes through. A state that is *ahead* of the
+    /// target (e.g. the coordinator skipped a round this server completed,
+    /// after a lost response) is off-trajectory and forces a cold rebuild.
+    fn on_trajectory(&self, draws: &[u64], replay_steps: usize) -> bool {
+        let d = self.applied.len();
+        if d > draws.len() || self.applied[..] != draws[..d] {
+            return false;
+        }
+        if self.steps < replay_steps {
+            d == self.steps || d == self.steps + 1
+        } else {
+            self.steps == replay_steps && d >= self.steps
+        }
+    }
+}
+
+/// The in-process execution core of a shard server: everything `kg-shard`
+/// does except listening on a socket. Tests and the fault-injection
+/// transport drive it directly.
+pub struct ShardServerCore {
+    engine: AqpEngine,
+    sharded: Arc<ShardedGraph>,
+    similarity: Arc<dyn PredicateSimilarity + Send + Sync>,
+    sampler_cache: SamplerCache,
+    shard_cache: ShardSamplerCache,
+    plans: Mutex<HashMap<String, Arc<QueryPlan>>>,
+    sessions: SessionTable,
+    graph_fp: u64,
+    config_fp: u64,
+}
+
+impl ShardServerCore {
+    /// Builds a core over an already-partitioned graph. `config` must match
+    /// the coordinator's (enforced by the handshake fingerprint).
+    pub fn new(
+        config: EngineConfig,
+        sharded: Arc<ShardedGraph>,
+        similarity: Arc<dyn PredicateSimilarity + Send + Sync>,
+    ) -> Self {
+        let graph_fp = graph_fingerprint(&sharded);
+        let config_fp = config_fingerprint(&config);
+        let sampler_cache = SamplerCache::new(config.strategy, config.sampler_config());
+        Self {
+            engine: AqpEngine::new(config),
+            sharded,
+            similarity,
+            sampler_cache,
+            shard_cache: ShardSamplerCache::new(),
+            plans: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+            graph_fp,
+            config_fp,
+        }
+    }
+
+    /// The server's graph + partitioning fingerprint.
+    pub fn graph_fp(&self) -> u64 {
+        self.graph_fp
+    }
+
+    /// The server's engine-config fingerprint.
+    pub fn config_fp(&self) -> u64 {
+        self.config_fp
+    }
+
+    /// Serves one framed request payload, answering in the same codec.
+    /// Never panics on malformed input: decode failures come back as
+    /// [`ShardResponse::Error`].
+    pub fn serve(&self, codec: Codec, payload: &[u8]) -> Vec<u8> {
+        let response = match ShardRequest::decode(codec, payload) {
+            Err(message) => ShardResponse::Error {
+                code: "bad_request".to_string(),
+                message,
+            },
+            Ok(request) => self.handle(request),
+        };
+        response.encode(codec)
+    }
+
+    /// Serves one already-decoded request.
+    pub fn handle(&self, request: ShardRequest) -> ShardResponse {
+        match request {
+            ShardRequest::Ping {
+                graph_fp,
+                config_fp,
+            } => {
+                if graph_fp != self.graph_fp || config_fp != self.config_fp {
+                    ShardResponse::Error {
+                        code: "mismatch".to_string(),
+                        message: format!(
+                            "fingerprint mismatch: peer graph={graph_fp:#x} config={config_fp:#x}, \
+                             local graph={:#x} config={:#x}",
+                            self.graph_fp, self.config_fp
+                        ),
+                    }
+                } else {
+                    ShardResponse::Pong {
+                        graph_fp: self.graph_fp,
+                        config_fp: self.config_fp,
+                        shards: self.sharded.shard_count(),
+                    }
+                }
+            }
+            ShardRequest::Step { query, task } => self
+                .step(&query, &task)
+                .unwrap_or_else(|(code, message)| ShardResponse::Error { code, message }),
+            ShardRequest::Snapshot { query, task } => self
+                .snapshot(&query, &task)
+                .unwrap_or_else(|(code, message)| ShardResponse::Error { code, message }),
+        }
+    }
+
+    /// Plans `query_text` (cached by its canonical text — the coordinator
+    /// always sends the canonical encoding).
+    fn plan_for(&self, query_text: &str) -> Result<Arc<QueryPlan>, (String, String)> {
+        if let Some(plan) = self.plans.lock().unwrap().get(query_text) {
+            return Ok(Arc::clone(plan));
+        }
+        let value: serde_json::Value = serde_json::from_str(query_text)
+            .map_err(|e| ("bad_query".to_string(), e.to_string()))?;
+        let query = AggregateQuery::from_json(&value)
+            .map_err(|e| ("bad_query".to_string(), e.to_string()))?;
+        let plan = self
+            .engine
+            .plan_with_cache(
+                self.sharded.global(),
+                &query,
+                self.similarity.as_ref(),
+                Some(&self.sampler_cache),
+            )
+            .map_err(|e| ("plan_failed".to_string(), e.to_string()))?;
+        let plan = Arc::new(plan);
+        self.plans
+            .lock()
+            .unwrap()
+            .insert(query_text.to_string(), Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    fn session(
+        &self,
+        query_text: &str,
+        task: &StratumTask,
+    ) -> Result<Arc<Mutex<SessionState>>, (String, String)> {
+        if task.shard >= self.sharded.shard_count() {
+            return Err((
+                "bad_task".to_string(),
+                format!(
+                    "shard {} out of range (K = {})",
+                    task.shard,
+                    self.sharded.shard_count()
+                ),
+            ));
+        }
+        let plan = self.plan_for(query_text)?;
+        let mut sessions = self.sessions.lock().unwrap();
+        let key = (query_text.to_string(), task.shard);
+        if let Some(state) = sessions.get(&key) {
+            return Ok(Arc::clone(state));
+        }
+        let state = Arc::new(Mutex::new(self.fresh_state(plan, task.shard)));
+        sessions.insert(key, Arc::clone(&state));
+        Ok(state)
+    }
+
+    fn fresh_state(&self, plan: Arc<QueryPlan>, shard: usize) -> SessionState {
+        let sharded = &self.sharded;
+        let owned = |e| sharded.shard_of(e) == shard;
+        // Same single-simple-component memoisation as the coordinator: the
+        // distribution (hence the stratum sampler) is a pure function of
+        // the prepared component sampler.
+        let component_key = match plan.components.as_slice() {
+            [single] => match &single.validator {
+                ComponentValidator::Simple { sampler, .. } => Some(Arc::as_ptr(sampler) as usize),
+                ComponentValidator::Chain { .. } => None,
+            },
+            _ => None,
+        };
+        let sampler = match component_key {
+            Some(key) => {
+                self.shard_cache
+                    .get_or_insert_with(key, sharded.partition_id(), shard, || {
+                        ShardSampler::from_distribution(shard, &plan.distribution, owned)
+                    })
+            }
+            None => Arc::new(ShardSampler::from_distribution(
+                shard,
+                &plan.distribution,
+                owned,
+            )),
+        };
+        SessionState {
+            stratum: Stratum::new(shard, sampler, self.engine.config().seed),
+            plan,
+            applied: Vec::new(),
+            steps: 0,
+            last: None,
+        }
+    }
+
+    /// Advances `state` along the replay trajectory to `(draws,
+    /// replay_steps)`: interleaved draw/estimate rounds up to
+    /// `replay_steps` (estimates discarded — they exist to burn the
+    /// identical RNG stream), then any trailing draws. Rebuilds from
+    /// scratch first if the cached state is off-trajectory.
+    fn advance(&self, state: &mut SessionState, task: &StratumTask) {
+        let replay_steps = task.steps;
+        if !state.on_trajectory(&task.draws, replay_steps) {
+            *state = self.fresh_state(Arc::clone(&state.plan), task.shard);
+        }
+        let resamples = task.resamples.max(2);
+        while state.steps < replay_steps {
+            if state.applied.len() == state.steps {
+                Self::apply_draw(state, task.draws[state.applied.len()]);
+            }
+            // Discarded estimate: RNG consumption depends only on the
+            // sample length and replicate count, so a dummy sample of the
+            // right length reproduces the stream without validation work.
+            let n = state.stratum.sample.len();
+            let dummy = vec![
+                ValidatedAnswer {
+                    probability: 1.0,
+                    value: None,
+                    correct: false,
+                    similarity: 0.0,
+                };
+                n
+            ];
+            let _ = StratumEstimate::compute(
+                &state.plan.aggregate,
+                &dummy,
+                resamples,
+                &mut state.stratum.rng,
+            );
+            state.steps += 1;
+        }
+        while state.applied.len() < task.draws.len() {
+            Self::apply_draw(state, task.draws[state.applied.len()]);
+        }
+    }
+
+    fn apply_draw(state: &mut SessionState, count: u64) {
+        if count > 0 {
+            let drawn = state
+                .stratum
+                .sampler
+                .draw(&mut state.stratum.rng, count as usize);
+            state
+                .stratum
+                .sample
+                .extend(drawn.iter().map(|a| (a.entity, a.probability)));
+        }
+        state.applied.push(count);
+    }
+
+    /// Validates every not-yet-validated entity among the first
+    /// `upto` draws, in draw order (validation consumes no RNG, so doing it
+    /// lazily here matches the in-process incremental schedule exactly).
+    fn validate_prefix(&self, state: &mut SessionState, upto: usize) {
+        let validation = validation_config(self.engine.config());
+        let global = self.sharded.global();
+        for i in 0..upto.min(state.stratum.sample.len()) {
+            let entity = state.stratum.sample[i].0;
+            if state.stratum.validation.contains_key(&entity) {
+                continue;
+            }
+            let outcome = validate_entity(
+                &state.plan,
+                self.engine.config().validate,
+                &validation,
+                global,
+                self.similarity.as_ref(),
+                entity,
+                None,
+            );
+            state.stratum.validation.insert(entity, outcome);
+        }
+    }
+
+    fn step(
+        &self,
+        query_text: &str,
+        task: &StratumTask,
+    ) -> Result<ShardResponse, (String, String)> {
+        if task.draws.len() != task.steps + 1 {
+            return Err((
+                "bad_task".to_string(),
+                format!(
+                    "step task needs draws.len() == steps + 1, got {} and {}",
+                    task.draws.len(),
+                    task.steps
+                ),
+            ));
+        }
+        let session = self.session(query_text, task)?;
+        let mut state = session.lock().unwrap();
+        if let Some((false, last_task, response)) = &state.last {
+            if last_task == task {
+                return Ok(response.clone());
+            }
+        }
+        self.advance(&mut state, task);
+        let resamples = task.resamples.max(2);
+
+        let validate_start = Instant::now();
+        self.validate_prefix(&mut state, usize::MAX);
+        let validated = validated_sample(&state.stratum, &state.plan, &self.sharded);
+        let validate_ms = validate_start.elapsed().as_secs_f64() * 1e3;
+        let bootstrap_start = Instant::now();
+        let state = &mut *state;
+        let summary = StratumEstimate::compute(
+            &state.plan.aggregate,
+            &validated,
+            resamples,
+            &mut state.stratum.rng,
+        );
+        let bootstrap_ms = bootstrap_start.elapsed().as_secs_f64() * 1e3;
+        state.steps += 1;
+
+        let response = ShardResponse::Estimate(StratumReport {
+            primary: summary.primary,
+            secondary: summary.secondary,
+            replicates: summary.replicates,
+            sample_size: summary.sample_size,
+            correct: summary.correct,
+            validate_ms,
+            bootstrap_ms,
+        });
+        state.last = Some((false, task.clone(), response.clone()));
+        Ok(response)
+    }
+
+    fn snapshot(
+        &self,
+        query_text: &str,
+        task: &StratumTask,
+    ) -> Result<ShardResponse, (String, String)> {
+        if task.draws.len() < task.steps || task.draws.len() > task.steps + 1 {
+            return Err((
+                "bad_task".to_string(),
+                format!(
+                    "snapshot task needs draws.len() in [steps, steps + 1], got {} and {}",
+                    task.draws.len(),
+                    task.steps
+                ),
+            ));
+        }
+        let session = self.session(query_text, task)?;
+        let mut state = session.lock().unwrap();
+        if let Some((true, last_task, response)) = &state.last {
+            if last_task == task {
+                return Ok(response.clone());
+            }
+        }
+        self.advance(&mut state, task);
+        // Only the draws of *completed* rounds were validated by the
+        // in-process session at this point; trailing draws default to
+        // incorrect (the deadline-truncation contract).
+        let validated_upto: usize = task.draws[..task.steps].iter().sum::<u64>() as usize;
+        self.validate_prefix(&mut state, validated_upto);
+
+        let (attr, width) = match state.plan.group_by {
+            Some(group_by) => group_by,
+            None => {
+                // Not a GROUP-BY query: no buckets to report.
+                let response = ShardResponse::Buckets(Vec::new());
+                state.last = Some((true, task.clone(), response.clone()));
+                return Ok(response);
+            }
+        };
+        let shard_graph = self.sharded.shard(state.stratum.shard).graph();
+        let validated = validated_sample(&state.stratum, &state.plan, &self.sharded);
+        let keyed: Vec<(Option<i64>, ValidatedAnswer)> = validated
+            .into_iter()
+            .zip(&state.stratum.sample)
+            .map(|(answer, (entity, _))| {
+                let (_, local) = self.sharded.to_local(*entity);
+                let key = shard_graph
+                    .attribute_value(local, attr)
+                    .map(|v| (v / width).floor() as i64);
+                (key, answer)
+            })
+            .collect();
+        let keys: BTreeSet<i64> = keyed
+            .iter()
+            .filter(|(_, a)| a.correct)
+            .filter_map(|(k, _)| *k)
+            .collect();
+        let terms = keys
+            .into_iter()
+            .map(|key| {
+                let bucket: Vec<ValidatedAnswer> = keyed
+                    .iter()
+                    .map(|(k, a)| ValidatedAnswer {
+                        correct: a.correct && *k == Some(key),
+                        ..*a
+                    })
+                    .collect();
+                let (primary, secondary) = stratum_point_terms(&state.plan.aggregate, &bucket);
+                BucketTerm {
+                    key,
+                    primary,
+                    secondary,
+                }
+            })
+            .collect();
+        let response = ShardResponse::Buckets(terms);
+        state.last = Some((true, task.clone(), response.clone()));
+        Ok(response)
+    }
+}

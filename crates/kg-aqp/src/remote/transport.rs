@@ -1,0 +1,262 @@
+//! Shard transports: real TCP and a deterministic in-process fake with
+//! scripted fault injection.
+//!
+//! A [`ShardTransport`] carries one framed request to one endpoint and
+//! returns the decoded response payload. The fleet layer above it owns all
+//! policy (deadlines are passed down; retries, hedging and failover happen
+//! above), which keeps the transports dumb enough that the in-process fake
+//! and the TCP implementation are interchangeable in tests.
+//!
+//! [`FaultPlan`] scripts per-endpoint failure schedules — delays, drops,
+//! disconnects, garbage bytes, and whole-endpoint kills — so every failure
+//! mode the fleet must survive is driven deterministically by tests rather
+//! than by timing luck. Garbage frames are run through the real
+//! `kg_core::read_frame` decoder, exercising the same error path a hostile
+//! or corrupted peer would hit on the wire.
+
+use crate::remote::server::ShardServerCore;
+use kg_core::{read_frame, write_frame, Codec, FrameError};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a transport call failed. Every variant is retryable from the
+/// fleet's perspective; the distinction feeds metrics and tests.
+#[derive(Clone, Debug)]
+pub enum TransportError {
+    /// Could not connect (refused, unreachable, endpoint unknown).
+    Connect(String),
+    /// The per-request deadline elapsed before a full response arrived.
+    TimedOut,
+    /// The connection dropped mid-exchange.
+    Disconnected(String),
+    /// The peer sent bytes that failed frame decoding.
+    Garbage(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Connect(e) => write!(f, "connect failed: {e}"),
+            Self::TimedOut => write!(f, "request deadline elapsed"),
+            Self::Disconnected(e) => write!(f, "connection dropped: {e}"),
+            Self::Garbage(e) => write!(f, "malformed frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+fn classify(err: FrameError) -> TransportError {
+    match err {
+        FrameError::Io(e) => {
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut
+            {
+                TransportError::TimedOut
+            } else {
+                TransportError::Disconnected(e.to_string())
+            }
+        }
+        FrameError::Truncated { .. } => TransportError::Disconnected(err.to_string()),
+        other => TransportError::Garbage(other.to_string()),
+    }
+}
+
+/// One request/response exchange with a shard endpoint.
+pub trait ShardTransport: Send + Sync {
+    /// Sends `payload` (already protocol-encoded in `codec`) to `endpoint`
+    /// and returns the response payload with its codec. Must return — not
+    /// block past — `deadline`.
+    fn call(
+        &self,
+        endpoint: &str,
+        codec: Codec,
+        payload: &[u8],
+        deadline: Instant,
+    ) -> Result<(Codec, Vec<u8>), TransportError>;
+}
+
+/// Real TCP transport: one connection per request (the per-round payloads
+/// are small and the coordinator fans out to K endpoints, so connection
+/// reuse buys little next to the simplicity of a crash-safe stateless
+/// exchange).
+pub struct TcpTransport;
+
+impl ShardTransport for TcpTransport {
+    fn call(
+        &self,
+        endpoint: &str,
+        codec: Codec,
+        payload: &[u8],
+        deadline: Instant,
+    ) -> Result<(Codec, Vec<u8>), TransportError> {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .ok_or(TransportError::TimedOut)?;
+        let addr = endpoint
+            .parse::<std::net::SocketAddr>()
+            .map_err(|e| TransportError::Connect(format!("bad endpoint {endpoint}: {e}")))?;
+        let stream = TcpStream::connect_timeout(&addr, remaining)
+            .map_err(|e| TransportError::Connect(e.to_string()))?;
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .ok_or(TransportError::TimedOut)?;
+        stream
+            .set_write_timeout(Some(remaining))
+            .and_then(|()| stream.set_read_timeout(Some(remaining)))
+            .map_err(|e| TransportError::Connect(e.to_string()))?;
+        let mut stream = stream;
+        write_frame(&mut stream, codec, payload).map_err(classify)?;
+        stream.flush().map_err(|e| classify(FrameError::Io(e)))?;
+        read_frame(&mut stream).map_err(classify)
+    }
+}
+
+/// A scripted fault for one future request to one endpoint.
+#[derive(Clone, Debug)]
+pub enum FaultAction {
+    /// Delay the response by this many milliseconds (still answering if
+    /// the deadline allows; a delay past the deadline becomes a timeout).
+    Delay(u64),
+    /// Swallow the request: the caller observes a deadline timeout.
+    Drop,
+    /// Sever the connection mid-response.
+    Disconnect,
+    /// Answer with garbage bytes (fed through the real frame decoder).
+    Garbage,
+}
+
+/// Deterministic per-endpoint fault schedules, injectable into
+/// [`InProcessTransport`]. Each request to an endpoint pops the next
+/// scheduled action (no action → healthy service). Killed endpoints fail
+/// every request until revived — the in-process analogue of a dead shard
+/// process.
+#[derive(Default)]
+pub struct FaultPlan {
+    schedules: Mutex<HashMap<String, VecDeque<FaultAction>>>,
+    killed: Mutex<HashSet<String>>,
+}
+
+impl FaultPlan {
+    /// An empty plan: every request is served healthily.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `action` to `endpoint`'s schedule (FIFO; one action is
+    /// consumed per request).
+    pub fn push(&self, endpoint: &str, action: FaultAction) {
+        self.schedules
+            .lock()
+            .unwrap()
+            .entry(endpoint.to_string())
+            .or_default()
+            .push_back(action);
+    }
+
+    /// Marks `endpoint` dead: every request fails with a connect error
+    /// until [`Self::revive`].
+    pub fn kill(&self, endpoint: &str) {
+        self.killed.lock().unwrap().insert(endpoint.to_string());
+    }
+
+    /// Brings a killed endpoint back to life.
+    pub fn revive(&self, endpoint: &str) {
+        self.killed.lock().unwrap().remove(endpoint);
+    }
+
+    fn is_killed(&self, endpoint: &str) -> bool {
+        self.killed.lock().unwrap().contains(endpoint)
+    }
+
+    fn next_action(&self, endpoint: &str) -> Option<FaultAction> {
+        self.schedules
+            .lock()
+            .unwrap()
+            .get_mut(endpoint)
+            .and_then(VecDeque::pop_front)
+    }
+}
+
+/// In-process transport: endpoints map straight onto [`ShardServerCore`]s,
+/// with a shared [`FaultPlan`] interposed. Requests and responses still
+/// pass through real frame encode/decode so the garbage and truncation
+/// paths exercise production code.
+pub struct InProcessTransport {
+    endpoints: HashMap<String, Arc<ShardServerCore>>,
+    faults: Arc<FaultPlan>,
+}
+
+impl InProcessTransport {
+    /// Builds a transport over named endpoint → server-core bindings.
+    pub fn new(endpoints: HashMap<String, Arc<ShardServerCore>>, faults: Arc<FaultPlan>) -> Self {
+        Self { endpoints, faults }
+    }
+}
+
+impl ShardTransport for InProcessTransport {
+    fn call(
+        &self,
+        endpoint: &str,
+        codec: Codec,
+        payload: &[u8],
+        deadline: Instant,
+    ) -> Result<(Codec, Vec<u8>), TransportError> {
+        if self.faults.is_killed(endpoint) {
+            return Err(TransportError::Connect(format!(
+                "{endpoint}: connection refused (killed)"
+            )));
+        }
+        let core = self
+            .endpoints
+            .get(endpoint)
+            .ok_or_else(|| TransportError::Connect(format!("{endpoint}: unknown endpoint")))?;
+        match self.faults.next_action(endpoint) {
+            Some(FaultAction::Delay(ms)) => {
+                let wake = Instant::now() + Duration::from_millis(ms);
+                if wake > deadline {
+                    // Sleep only to the deadline: the caller's read would
+                    // have timed out there.
+                    let until = deadline.saturating_duration_since(Instant::now());
+                    std::thread::sleep(until);
+                    return Err(TransportError::TimedOut);
+                }
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            Some(FaultAction::Drop) => {
+                let until = deadline.saturating_duration_since(Instant::now());
+                std::thread::sleep(until);
+                return Err(TransportError::TimedOut);
+            }
+            Some(FaultAction::Disconnect) => {
+                return Err(TransportError::Disconnected(format!(
+                    "{endpoint}: connection reset by peer"
+                )));
+            }
+            Some(FaultAction::Garbage) => {
+                // Hand hostile bytes to the *real* frame decoder, same as a
+                // corrupted TCP stream would.
+                let garbage = b"\xDE\xAD\xBE\xEF not a frame at all";
+                let result = read_frame(&mut &garbage[..]);
+                return Err(classify(result.expect_err("garbage must not decode")));
+            }
+            None => {}
+        }
+        if Instant::now() >= deadline {
+            return Err(TransportError::TimedOut);
+        }
+        // Round-trip through real framing so oversized/truncated handling
+        // stays on the production path.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, codec, payload).map_err(classify)?;
+        let (codec, request) = read_frame(&mut wire.as_slice()).map_err(classify)?;
+        let response = core.serve(codec, &request);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, codec, &response).map_err(classify)?;
+        read_frame(&mut wire.as_slice()).map_err(classify)
+    }
+}

@@ -63,9 +63,19 @@ pub struct QueryAnswer {
     pub candidate_count: usize,
     /// Total wall-clock time in milliseconds.
     pub elapsed_ms: f64,
+    /// Shards whose strata could not contribute to this answer (remote
+    /// execution only; always empty in-process). Non-empty means the
+    /// estimate covers the surviving strata — a *degraded* answer with a
+    /// wider interval rather than an error.
+    pub missing_shards: Vec<usize>,
 }
 
 impl QueryAnswer {
+    /// Whether any stratum was unreachable when this answer was assembled
+    /// (see [`Self::missing_shards`]).
+    pub fn is_degraded(&self) -> bool {
+        !self.missing_shards.is_empty()
+    }
     /// The confidence interval as a `(low, high)` pair.
     pub fn confidence_interval(&self) -> (f64, f64) {
         (self.estimate - self.moe, self.estimate + self.moe)
@@ -116,6 +126,7 @@ mod tests {
             sample_size: 100,
             candidate_count: 500,
             elapsed_ms: 6.5,
+            missing_shards: Vec::new(),
         }
     }
 

@@ -461,6 +461,7 @@ impl InteractiveSession {
             sample_size: self.sample.len(),
             candidate_count: self.plan.candidate_count,
             elapsed_ms: self.timings.total_ms(),
+            missing_shards: Vec::new(),
         }
     }
 }

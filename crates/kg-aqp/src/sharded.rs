@@ -29,6 +29,7 @@
 
 use crate::config::EngineConfig;
 use crate::engine::{AqpEngine, ComponentValidator, QueryPlan};
+use crate::remote::session::RemoteSession;
 use crate::result::{QueryAnswer, RoundTrace, StepTimings};
 use crate::session::{
     validate_entity, validation_config, InteractiveSession, RoundOutcome, SharedValidationCache,
@@ -52,7 +53,7 @@ use std::time::Instant;
 /// deterministic run-to-run (shard membership itself is deterministic — the
 /// partitioners tie-break by entity id), and equal to the engine seed for
 /// shard 0 so the K=1 stream lines up with the unsharded one.
-fn shard_seed(seed: u64, shard: usize) -> u64 {
+pub(crate) fn shard_seed(seed: u64, shard: usize) -> u64 {
     seed.wrapping_add((shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
@@ -62,12 +63,12 @@ fn shard_seed(seed: u64, shard: usize) -> u64 {
 /// pure variance-proportional allocation would then starve it forever and
 /// the merged interval would be overconfident about a biased estimate.
 /// Matches the 16-draw floor of [`EngineConfig::initial_sample_size`].
-const MIN_STRATUM_DRAWS: usize = 16;
+pub(crate) const MIN_STRATUM_DRAWS: usize = 16;
 
 /// Fraction of stratum mass blended into the Neyman weights each
 /// refinement round, so every stratum keeps receiving a trickle of draws
 /// and zero-observed-variance strata can reveal their true variance.
-const EXPLORATION_FLOOR: f64 = 0.25;
+pub(crate) const EXPLORATION_FLOOR: f64 = 0.25;
 
 /// Per-shard observability of one sharded session: how many draws each
 /// shard performed and how long stratified merging took — the numbers that
@@ -81,16 +82,62 @@ pub struct ShardedStats {
     pub merge_ms: f64,
 }
 
-/// One stratum's mutable sampling state.
-struct Stratum {
-    shard: usize,
-    sampler: Arc<ShardSampler>,
-    rng: SmallRng,
+/// One stratum's mutable sampling state (shared with the remote shard
+/// server, which replays the identical draw/validate/estimate sequence).
+pub(crate) struct Stratum {
+    pub(crate) shard: usize,
+    pub(crate) sampler: Arc<ShardSampler>,
+    pub(crate) rng: SmallRng,
     /// Draws so far: global entity id plus within-stratum probability π'_k.
-    sample: Vec<(EntityId, f64)>,
+    pub(crate) sample: Vec<(EntityId, f64)>,
     /// Validation outcomes per distinct entity (strata own disjoint
     /// candidates, so these caches never overlap across strata).
-    validation: HashMap<EntityId, (bool, f64)>,
+    pub(crate) validation: HashMap<EntityId, (bool, f64)>,
+}
+
+impl Stratum {
+    /// A fresh stratum for `shard`, RNG-anchored at the engine seed exactly
+    /// like [`open_sharded`] builds them.
+    pub(crate) fn new(shard: usize, sampler: Arc<ShardSampler>, engine_seed: u64) -> Self {
+        Self {
+            shard,
+            sampler,
+            rng: SmallRng::seed_from_u64(shard_seed(engine_seed, shard)),
+            sample: Vec::new(),
+            validation: HashMap::new(),
+        }
+    }
+}
+
+/// Builds the validated sample of one stratum, reading attributes and
+/// filters through the shard-local graph; entities absent from the
+/// stratum's validation cache default to incorrect (the deadline-truncation
+/// contract: drawn-but-not-yet-validated answers never contribute).
+pub(crate) fn validated_sample(
+    stratum: &Stratum,
+    plan: &QueryPlan,
+    sharded: &ShardedGraph,
+) -> Vec<ValidatedAnswer> {
+    let shard_graph = sharded.shard(stratum.shard).graph();
+    stratum
+        .sample
+        .iter()
+        .map(|(entity, probability)| {
+            let (valid, similarity) = stratum
+                .validation
+                .get(entity)
+                .copied()
+                .unwrap_or((false, 0.0));
+            let (_, local) = sharded.to_local(*entity);
+            let passes_filters = matches_all(shard_graph, local, &plan.filters);
+            ValidatedAnswer {
+                probability: *probability,
+                value: plan.aggregate.value_of(shard_graph, local),
+                correct: valid && passes_filters,
+                similarity,
+            }
+        })
+        .collect()
 }
 
 /// The stratified counterpart of [`InteractiveSession`] (K ≥ 2).
@@ -114,6 +161,16 @@ enum Inner {
     Single(Box<InteractiveSession>),
     /// K ≥ 2: stratified execution.
     Stratified(Box<StratifiedSession>),
+    /// Strata executed by remote shard servers (any K).
+    Remote(Box<RemoteSession>),
+}
+
+/// Wraps a [`RemoteSession`] in the public session type (the remote module
+/// cannot name [`Inner`] directly).
+pub(crate) fn open_sharded_inner(session: RemoteSession) -> ShardedSession {
+    ShardedSession {
+        inner: Inner::Remote(Box::new(session)),
+    }
 }
 
 /// An interactive query session over a sharded graph; see the
@@ -173,13 +230,7 @@ pub(crate) fn open_sharded<S: PredicateSimilarity + ?Sized>(
                     owned,
                 )),
             };
-            Stratum {
-                shard,
-                sampler,
-                rng: SmallRng::seed_from_u64(shard_seed(config.seed, shard)),
-                sample: Vec::new(),
-                validation: HashMap::new(),
-            }
+            Stratum::new(shard, sampler, config.seed)
         })
         .collect();
     let mut timings = StepTimings::default();
@@ -206,6 +257,7 @@ impl ShardedSession {
         match &self.inner {
             Inner::Single(s) => s.candidate_count(),
             Inner::Stratified(s) => s.plan.candidate_count,
+            Inner::Remote(s) => s.candidate_count(),
         }
     }
 
@@ -214,6 +266,7 @@ impl ShardedSession {
         match &self.inner {
             Inner::Single(s) => s.sample_size(),
             Inner::Stratified(s) => s.total_sample(),
+            Inner::Remote(s) => s.total_draws(),
         }
     }
 
@@ -222,6 +275,7 @@ impl ShardedSession {
         match &self.inner {
             Inner::Single(_) => 1,
             Inner::Stratified(s) => s.strata.len(),
+            Inner::Remote(s) => s.shard_count(),
         }
     }
 
@@ -235,6 +289,10 @@ impl ShardedSession {
             Inner::Stratified(s) => ShardedStats {
                 per_shard_samples: s.per_shard_samples(),
                 merge_ms: s.merge_ms,
+            },
+            Inner::Remote(s) => ShardedStats {
+                per_shard_samples: s.per_shard_samples(),
+                merge_ms: s.merge_ms(),
             },
         }
     }
@@ -250,6 +308,7 @@ impl ShardedSession {
         let confidence = match &self.inner {
             Inner::Single(s) => s.confidence(),
             Inner::Stratified(s) => s.config.confidence,
+            Inner::Remote(s) => s.config().confidence,
         };
         self.refine_with(sharded, similarity, error_bound, confidence)
     }
@@ -268,6 +327,7 @@ impl ShardedSession {
                 s.refine_with(sharded.global(), similarity, error_bound, confidence)
             }
             Inner::Stratified(s) => s.refine_with(sharded, similarity, error_bound, confidence),
+            Inner::Remote(s) => s.refine_with(error_bound, confidence),
         }
     }
 
@@ -287,6 +347,7 @@ impl ShardedSession {
         match &mut self.inner {
             Inner::Single(s) => s.step_with(sharded.global(), similarity, error_bound, confidence),
             Inner::Stratified(s) => s.step_with(sharded, similarity, error_bound, confidence),
+            Inner::Remote(s) => s.step_with(error_bound, confidence),
         }
     }
 
@@ -297,6 +358,7 @@ impl ShardedSession {
         match &self.inner {
             Inner::Single(s) => s.snapshot_answer(sharded.global()),
             Inner::Stratified(s) => s.snapshot_answer(sharded),
+            Inner::Remote(s) => s.snapshot_answer(),
         }
     }
 
@@ -305,6 +367,7 @@ impl ShardedSession {
         match &self.inner {
             Inner::Single(s) => s.rounds_completed(),
             Inner::Stratified(s) => s.rounds.len(),
+            Inner::Remote(s) => s.rounds_completed(),
         }
     }
 
@@ -344,6 +407,7 @@ impl ShardedSession {
         let config = match &self.inner {
             Inner::Single(s) => s.engine_config(),
             Inner::Stratified(s) => &s.config,
+            Inner::Remote(s) => s.config(),
         };
         config.max_rounds.max(1)
     }
@@ -371,35 +435,6 @@ impl StratifiedSession {
                 .extend(drawn.iter().map(|a| (a.entity, a.probability)));
         }
         self.timings.sampling_ms += start.elapsed().as_secs_f64() * 1e3;
-    }
-
-    /// Builds the validated sample of one stratum, reading attributes and
-    /// filters through the shard-local graph.
-    fn validated_sample(
-        stratum: &Stratum,
-        plan: &QueryPlan,
-        sharded: &ShardedGraph,
-    ) -> Vec<ValidatedAnswer> {
-        let shard_graph = sharded.shard(stratum.shard).graph();
-        stratum
-            .sample
-            .iter()
-            .map(|(entity, probability)| {
-                let (valid, similarity) = stratum
-                    .validation
-                    .get(entity)
-                    .copied()
-                    .unwrap_or((false, 0.0));
-                let (_, local) = sharded.to_local(*entity);
-                let passes_filters = matches_all(shard_graph, local, &plan.filters);
-                ValidatedAnswer {
-                    probability: *probability,
-                    value: plan.aggregate.value_of(shard_graph, local),
-                    correct: valid && passes_filters,
-                    similarity,
-                }
-            })
-            .collect()
     }
 
     fn refine_with<S: PredicateSimilarity + ?Sized + Sync>(
@@ -482,7 +517,7 @@ impl StratifiedSession {
                     );
                     stratum.validation.insert(entity, outcome);
                 }
-                let validated = Self::validated_sample(stratum, plan, sharded);
+                let validated = validated_sample(stratum, plan, sharded);
                 let validate_ms = validate_start.elapsed().as_secs_f64() * 1e3;
                 let bootstrap_start = Instant::now();
                 let summary = StratumEstimate::compute(
@@ -625,7 +660,7 @@ impl StratifiedSession {
                     .iter()
                     .map(|stratum| {
                         let shard_graph = sharded.shard(stratum.shard).graph();
-                        Self::validated_sample(stratum, &self.plan, sharded)
+                        validated_sample(stratum, &self.plan, sharded)
                             .into_iter()
                             .zip(&stratum.sample)
                             .map(|(answer, (entity, _))| {
@@ -677,6 +712,7 @@ impl StratifiedSession {
             sample_size: self.total_sample(),
             candidate_count: self.plan.candidate_count,
             elapsed_ms: self.timings.total_ms(),
+            missing_shards: Vec::new(),
         }
     }
 }

@@ -91,6 +91,19 @@ impl QueryAnswer {
             ("moe", Value::Number(self.moe)),
             ("confidence", Value::Number(self.confidence)),
             ("guarantee_met", Value::Bool(self.guarantee_met)),
+            // `degraded` is derived from `missing_shards` — emitted
+            // separately so consumers can branch on one boolean without
+            // knowing the shard topology.
+            ("degraded", Value::Bool(self.is_degraded())),
+            (
+                "missing_shards",
+                Value::Array(
+                    self.missing_shards
+                        .iter()
+                        .map(|s| Value::Number(*s as f64))
+                        .collect(),
+                ),
+            ),
             (
                 "rounds",
                 Value::Array(self.rounds.iter().map(RoundTrace::to_json).collect()),
@@ -132,6 +145,16 @@ impl QueryAnswer {
             })?;
             groups.insert(bucket, as_f64(v, &format!("{path}.groups.{key}"))?);
         }
+        let missing_shards = get_field(value, path, "missing_shards")?
+            .as_array()
+            .ok_or_else(|| WireError {
+                path: format!("{path}.missing_shards"),
+                expected: "an array".to_string(),
+            })?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| as_usize(v, &format!("{path}.missing_shards[{i}]")))
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(Self {
             estimate: as_f64(
                 get_field(value, path, "estimate")?,
@@ -161,6 +184,7 @@ impl QueryAnswer {
                 get_field(value, path, "elapsed_ms")?,
                 &format!("{path}.elapsed_ms"),
             )?,
+            missing_shards,
         })
     }
 }
@@ -203,6 +227,7 @@ mod tests {
             sample_size: 240,
             candidate_count: 1900,
             elapsed_ms: 4.75,
+            missing_shards: Vec::new(),
         }
     }
 
@@ -222,6 +247,20 @@ mod tests {
         assert_eq!(back.sample_size, a.sample_size);
         assert_eq!(back.candidate_count, a.candidate_count);
         assert_eq!(back.elapsed_ms, a.elapsed_ms);
+        assert_eq!(back.missing_shards, a.missing_shards);
+    }
+
+    #[test]
+    fn degraded_answers_flag_and_round_trip_the_missing_shards() {
+        let mut a = answer();
+        a.missing_shards = vec![1, 3];
+        assert!(a.is_degraded());
+        let json = a.to_json();
+        assert_eq!(json["degraded"].as_bool(), Some(true));
+        let back = QueryAnswer::from_json(&json).unwrap();
+        assert_eq!(back.missing_shards, vec![1, 3]);
+        assert!(back.is_degraded());
+        assert_eq!(answer().to_json()["degraded"].as_bool(), Some(false));
     }
 
     /// Pins the wire field names so a service consumer can rely on them.
@@ -235,10 +274,12 @@ mod tests {
             [
                 "candidate_count",
                 "confidence",
+                "degraded",
                 "elapsed_ms",
                 "estimate",
                 "groups",
                 "guarantee_met",
+                "missing_shards",
                 "moe",
                 "rounds",
                 "sample_size",

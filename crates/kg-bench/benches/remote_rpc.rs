@@ -1,0 +1,154 @@
+//! Distributed scatter-gather round-trip cost: JSON vs binary framing.
+//!
+//! A coordinator opens remote sessions against a loopback `kg-shard`
+//! protocol listener (real TCP, real frames) and drives a small workload to
+//! its accuracy target under each codec. Every refine round is one
+//! scatter-gather over the shard fleet, so the measured per-pass wall time
+//! is dominated by request/response encode + frame + decode — exactly the
+//! cost the compact binary codec exists to cut. Both codecs are pinned
+//! answer-equivalent (`kg-aqp/tests/remote_equivalence.rs`); this bench
+//! records what the equivalence costs.
+//!
+//! Results go to `BENCH_10.json` (section `remote_rpc`) next to the
+//! write-load axis from `service_throughput`; run with
+//! `cargo bench -p kg-bench --bench remote_rpc`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kg_aqp::{AqpEngine, EngineConfig, FleetPolicy, ShardFleet, ShardServerCore, TcpTransport};
+use kg_bench::bench_record::{median, num, record_section_for, row};
+use kg_core::{Codec, DegreeBalancedPartitioner, ShardedGraph};
+use kg_datagen::{build_workload, generate, profiles, DatasetScale, WorkloadConfig};
+use kg_query::AggregateQuery;
+use serde_json::Value;
+use std::sync::Arc;
+use std::time::Instant;
+
+const ERROR_BOUND: f64 = 0.05;
+const SHARDS: usize = 2;
+
+struct Setup {
+    sharded: Arc<ShardedGraph>,
+    oracle: kg_embed::PredicateVectorStore,
+    queries: Vec<AggregateQuery>,
+    engine: AqpEngine,
+    _listener: kg_shard::ShardListener,
+    endpoint: String,
+}
+
+fn setup() -> Setup {
+    let dataset = generate(&profiles::dbpedia_like(DatasetScale::tiny(), 11));
+    let queries: Vec<AggregateQuery> = build_workload(&dataset, &WorkloadConfig::default())
+        .into_iter()
+        .map(|q| q.query)
+        .take(8)
+        .collect();
+    assert!(!queries.is_empty());
+    let config = EngineConfig {
+        error_bound: ERROR_BOUND,
+        ..EngineConfig::default()
+    };
+    let sharded = Arc::new(ShardedGraph::new(
+        Arc::new(dataset.graph.clone()),
+        &DegreeBalancedPartitioner,
+        SHARDS,
+    ));
+    let core = Arc::new(ShardServerCore::new(
+        config.clone(),
+        Arc::clone(&sharded),
+        Arc::new(dataset.oracle.clone()),
+    ));
+    let listener = kg_shard::serve_protocol(core, "127.0.0.1:0").expect("bind loopback listener");
+    let endpoint = listener.local_addr().to_string();
+    Setup {
+        sharded,
+        oracle: dataset.oracle,
+        queries,
+        engine: AqpEngine::new(config),
+        _listener: listener,
+        endpoint,
+    }
+}
+
+fn fleet(endpoint: &str, codec: Codec) -> Arc<ShardFleet> {
+    Arc::new(ShardFleet::new(
+        Arc::new(TcpTransport),
+        vec![vec![endpoint.to_string()]; SHARDS],
+        FleetPolicy {
+            codec,
+            ..FleetPolicy::default()
+        },
+    ))
+}
+
+/// One full pass: open a remote session per query and refine each to the
+/// accuracy target. Returns the fleet's RPC count for the pass.
+fn run_pass(s: &Setup, codec: Codec) -> u64 {
+    let fleet = fleet(&s.endpoint, codec);
+    for query in &s.queries {
+        let mut session = s
+            .engine
+            .open_remote_session(&s.sharded, query, &s.oracle, Arc::clone(&fleet))
+            .expect("open remote session");
+        let answer = session.refine_to(&s.sharded, &s.oracle, ERROR_BOUND);
+        assert!(answer.estimate.is_finite());
+    }
+    fleet.metrics().snapshot().requests
+}
+
+fn bench_remote_rpc(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("remote_rpc");
+    group.sample_size(10);
+    group.bench_function(format!("scatter_gather/json/{}q", s.queries.len()), |b| {
+        b.iter(|| run_pass(&s, Codec::Json))
+    });
+    group.bench_function(format!("scatter_gather/binary/{}q", s.queries.len()), |b| {
+        b.iter(|| run_pass(&s, Codec::Binary))
+    });
+    group.finish();
+
+    // Instrumented record: repeated timed passes per codec, medians into
+    // BENCH_10.json. Both codecs answer identically, so the ratio is pure
+    // wire + codec cost.
+    let reps = 5;
+    let mut rows: Vec<Value> = Vec::new();
+    let mut medians = [0.0f64; 2];
+    for (slot, codec) in [Codec::Json, Codec::Binary].into_iter().enumerate() {
+        let mut pass_ms = Vec::with_capacity(reps);
+        let mut rpcs = 0;
+        for _ in 0..reps {
+            let start = Instant::now();
+            rpcs = run_pass(&s, codec);
+            pass_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        let med = median(&pass_ms);
+        medians[slot] = med;
+        let name = match codec {
+            Codec::Json => "json",
+            Codec::Binary => "binary",
+        };
+        println!(
+            "remote_rpc: {name} codec → {med:.2} ms per {}-query pass ({rpcs} RPCs)",
+            s.queries.len(),
+        );
+        rows.push(row(&[
+            ("codec", Value::String(name.to_string())),
+            ("queries", num(s.queries.len() as f64)),
+            ("shards", num(SHARDS as f64)),
+            ("rpcs", num(rpcs as f64)),
+            ("pass_ms_median", num(med)),
+            ("ms_per_rpc", num(med / (rpcs as f64).max(1.0))),
+        ]));
+    }
+    record_section_for(
+        "10",
+        "remote_rpc",
+        row(&[
+            ("codecs", Value::Array(rows)),
+            ("json_vs_binary", num(medians[0] / medians[1].max(1e-9))),
+        ]),
+    );
+}
+
+criterion_group!(benches, bench_remote_rpc);
+criterion_main!(benches);

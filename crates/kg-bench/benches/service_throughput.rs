@@ -12,15 +12,21 @@
 //!   rate, and the cold/warm throughput ratio) from one instrumented run of
 //!   each mode plus an overload burst against a tiny admission queue.
 //!
+//! Plus the sustained-QPS-at-X-writes/sec axis: a paced writer streams
+//! delta writes (edges into a queried component) into the live graph while
+//! the query drivers run, sweeping the write rate — the cost of
+//! component-scoped invalidation under churn, recorded in `BENCH_10.json`
+//! (section `write_load`).
+//!
 //! Run with `cargo bench -p kg-bench --bench service_throughput`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use kg_aqp::EngineConfig;
-use kg_bench::bench_record::{num, record_section, row};
+use kg_bench::bench_record::{num, record_section, record_section_for, row};
 use kg_datagen::{
     build_workload, generate, profiles, DatasetScale, GeneratedDataset, WorkloadConfig,
 };
-use kg_service::{run_in_process, QueryRequest, Service, ServiceConfig};
+use kg_service::{run_in_process, QueryRequest, Service, ServiceConfig, WriteOp, WriteRequest};
 use serde_json::Value;
 use std::sync::Arc;
 use std::time::Instant;
@@ -194,6 +200,87 @@ fn bench_service_throughput(c: &mut Criterion) {
             ("p95_ms", num(report.percentile_ms(0.95))),
         ]));
     }
+    // ------------------------------------------------------------------
+    // Sustained-QPS-at-X-writes/sec axis (the bench axis left open by
+    // ROADMAP item 1): a paced writer streams delta writes into the live
+    // graph while the closed-loop query drivers run. Each write upserts an
+    // edge incident to a queried component ("Germany" sits in the
+    // automotive workload), so component-scoped invalidation — not just
+    // overlay bookkeeping — is on the hot path. Recorded in BENCH_10.json
+    // next to the distributed round-trip bench.
+    // ------------------------------------------------------------------
+    let write_rates: &[f64] = if std::env::var("KG_BENCH_QUICK").is_ok() {
+        &[0.0, 50.0]
+    } else {
+        &[0.0, 50.0, 200.0]
+    };
+    let mut write_rows: Vec<Value> = Vec::new();
+    for &rate in write_rates {
+        let svc = service(&dataset, 1024, CONCURRENCY);
+        // Warm pass first: with a cold cache every query re-samples anyway
+        // and the write-induced evictions would be invisible.
+        let warmup = run_in_process(&svc, &requests, CONCURRENCY);
+        assert_eq!(warmup.ok, requests.len());
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let writes_applied = std::sync::atomic::AtomicUsize::new(0);
+        let (report, elapsed) = std::thread::scope(|scope| {
+            if rate > 0.0 {
+                scope.spawn(|| {
+                    let interval = std::time::Duration::from_secs_f64(1.0 / rate);
+                    let mut i = 0usize;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let write = WriteRequest {
+                            ops: vec![WriteOp::UpsertEdge {
+                                subject: "Germany".to_string(),
+                                predicate: "product".to_string(),
+                                object: format!("bench_write_car_{i}"),
+                            }],
+                            compact: false,
+                        };
+                        if svc.apply_write(write).is_ok() {
+                            writes_applied.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        i += 1;
+                        std::thread::sleep(interval);
+                    }
+                });
+            }
+            let start = Instant::now();
+            let report = run_in_process(&svc, &requests, CONCURRENCY);
+            let elapsed = start.elapsed().as_secs_f64();
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            (report, elapsed)
+        });
+        svc.shutdown();
+        assert_eq!(report.ok, requests.len());
+        let writes = writes_applied.load(std::sync::atomic::Ordering::Relaxed);
+        let qps = report.ok as f64 / elapsed;
+        println!(
+            "service_throughput: {rate:.0} writes/s target ({writes} applied, \
+             {:.1}/s achieved) → {qps:.1} q/s (p95 {:.2} ms)",
+            writes as f64 / elapsed,
+            report.percentile_ms(0.95),
+        );
+        write_rows.push(row(&[
+            ("target_writes_per_sec", num(rate)),
+            ("writes_applied", num(writes as f64)),
+            ("achieved_writes_per_sec", num(writes as f64 / elapsed)),
+            ("queries", num(report.ok as f64)),
+            ("seconds", num(elapsed)),
+            ("qps", num(qps)),
+            ("p50_ms", num(report.percentile_ms(0.50))),
+            ("p95_ms", num(report.percentile_ms(0.95))),
+        ]));
+    }
+    record_section_for(
+        "10",
+        "write_load",
+        row(&[
+            ("concurrency", num(CONCURRENCY as f64)),
+            ("matrix", Value::Array(write_rows)),
+        ]),
+    );
+
     record_section(
         "service_throughput",
         row(&[

@@ -4,8 +4,10 @@
 //! service throughput; `BENCH_6.json` holds the deadline-goodput curve;
 //! `BENCH_8.json` holds the telemetry overhead record (instrumented vs
 //! disabled, read against a measured noise floor); `BENCH_9.json` holds the
-//! cold-start record (parse+build+sampler-prep vs snapshot load). These
-//! tests keep them present and well-formed: regenerating one with
+//! cold-start record (parse+build+sampler-prep vs snapshot load);
+//! `BENCH_10.json` holds the distributed-execution record (scatter-gather
+//! round-trip medians per wire codec, and the sustained-QPS-at-X-writes/sec
+//! matrix). These tests keep them present and well-formed: regenerating one with
 //! `cargo bench -p kg-bench --bench <name>` must always produce a file
 //! the schema check accepts, and a stale/corrupt commit fails tier-1.
 
@@ -310,5 +312,76 @@ fn committed_cold_start_json_is_well_formed() {
     assert!(
         names.contains(&"ssb".to_string()) && names.contains(&"automotive".to_string()),
         "cold_start must cover both datasets: {names:?}"
+    );
+}
+
+/// `BENCH_10.json`: the distributed-execution record. `remote_rpc` holds
+/// the scatter-gather round-trip medians for both wire codecs (same RPC
+/// count — the codecs are answer-equivalent, so the ratio is pure wire +
+/// codec cost); `write_load` holds the sustained-QPS-at-X-writes/sec
+/// matrix, which must include the zero-write baseline.
+#[test]
+fn committed_remote_and_write_load_json_is_well_formed() {
+    let doc = committed_doc("BENCH_10.json");
+
+    assert_eq!(doc.get("bench").and_then(Value::as_str), Some("10"));
+    let rpc = section(&doc, "remote_rpc");
+    let codecs = rpc
+        .get("codecs")
+        .and_then(Value::as_array)
+        .expect("remote_rpc.codecs is an array");
+    let mut names = Vec::new();
+    let mut rpcs_seen = Vec::new();
+    for row in codecs {
+        let name = row
+            .get("codec")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("codec row without name: {row}"));
+        names.push(name.to_string());
+        for key in ["queries", "shards", "rpcs", "pass_ms_median", "ms_per_rpc"] {
+            let v = row.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN);
+            assert!(v.is_finite() && v > 0.0, "remote_rpc/{name}.{key} = {v}");
+        }
+        rpcs_seen.push(row.get("rpcs").and_then(Value::as_f64).unwrap());
+    }
+    assert_eq!(names, ["json", "binary"], "both codecs must be recorded");
+    assert_eq!(
+        rpcs_seen[0], rpcs_seen[1],
+        "equivalent codecs must issue identical RPC counts"
+    );
+    let ratio = rpc
+        .get("json_vs_binary")
+        .and_then(Value::as_f64)
+        .unwrap_or(f64::NAN);
+    assert!(ratio.is_finite() && ratio > 0.0, "json_vs_binary = {ratio}");
+
+    let write_load = section(&doc, "write_load");
+    let matrix = write_load
+        .get("matrix")
+        .and_then(Value::as_array)
+        .expect("write_load.matrix is an array");
+    assert!(matrix.len() >= 2, "write_load needs ≥ 2 rates");
+    let mut saw_baseline = false;
+    for row in matrix {
+        let rate = row
+            .get("target_writes_per_sec")
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::NAN);
+        assert!(rate.is_finite() && rate >= 0.0, "bad rate in {row}");
+        let qps = row.get("qps").and_then(Value::as_f64).unwrap_or(f64::NAN);
+        assert!(qps.is_finite() && qps > 0.0, "bad qps in {row}");
+        if rate == 0.0 {
+            saw_baseline = true;
+        } else {
+            let applied = row
+                .get("writes_applied")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            assert!(applied > 0.0, "a nonzero rate must apply writes: {row}");
+        }
+    }
+    assert!(
+        saw_baseline,
+        "write_load must include the 0-writes baseline"
     );
 }

@@ -35,6 +35,7 @@ pub mod builder;
 pub mod delta;
 pub mod entity;
 pub mod error;
+pub mod frame;
 pub mod graph;
 pub mod ids;
 pub mod index;
@@ -53,6 +54,10 @@ pub use builder::GraphBuilder;
 pub use delta::{DeltaOp, GraphDelta};
 pub use entity::Entity;
 pub use error::{KgError, KgResult};
+pub use frame::{
+    read_frame, write_frame, ByteReader, ByteWriter, Codec, DecodeError, FrameError, FRAME_MAGIC,
+    MAX_FRAME_LEN,
+};
 pub use graph::{Direction, EdgeRef, KnowledgeGraph};
 pub use ids::{AttrId, EntityId, PredicateId, TypeId};
 pub use index::{NameIndex, TypeIndex};

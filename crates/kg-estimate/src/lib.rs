@@ -43,6 +43,7 @@ pub use refine::{
     achieved_error_bound, additional_sample_size, moe_threshold, satisfies_error_bound,
 };
 pub use stratified::{
-    allocate_proportional, merge_strata, stratified_point, MergedEstimate, StratumEstimate,
+    allocate_proportional, combine_point_terms, merge_strata, neutral_point_terms,
+    stratified_point, stratum_point_terms, MergedEstimate, StratumEstimate,
 };
 pub use validation::{validate_answer, ValidationConfig, ValidationOutcome};

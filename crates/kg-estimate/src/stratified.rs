@@ -266,47 +266,82 @@ pub fn merge_strata(
     }
 }
 
+/// The `(primary, secondary)` terms of a stratum that contributes nothing
+/// to a merged point estimate: what [`stratum_point_terms`] returns for an
+/// empty sample, and — bitwise — for a non-empty sample in which no answer
+/// contributes (`0.0 / n == 0.0` exactly for the linear families; the
+/// extremes carry `NaN`). Remote execution leans on this identity: a shard
+/// reports bucket terms only for buckets it actually touches, and the
+/// coordinator fills the rest with these neutral terms.
+pub fn neutral_point_terms(aggregate: &ResolvedAggregate) -> (f64, f64) {
+    match CombineKind::of(aggregate) {
+        CombineKind::Max | CombineKind::Min => (f64::NAN, 0.0),
+        _ => (0.0, 0.0),
+    }
+}
+
+/// One stratum's `(primary, secondary)` point terms over its full draw
+/// list: the HT sums of contributing answers divided by the stratum sample
+/// size for the linear families, the contributing extreme (or `NaN`) for
+/// MAX/MIN. The per-stratum half of [`stratified_point`], public so a
+/// shard server can compute its own terms and ship them over the wire.
+pub fn stratum_point_terms(
+    aggregate: &ResolvedAggregate,
+    sample: &[ValidatedAnswer],
+) -> (f64, f64) {
+    let kind = CombineKind::of(aggregate);
+    let n = sample.len();
+    if n == 0 {
+        return neutral_point_terms(aggregate);
+    }
+    let mut primary = match kind {
+        CombineKind::Max => f64::NEG_INFINITY,
+        CombineKind::Min => f64::INFINITY,
+        _ => 0.0,
+    };
+    let mut secondary = 0.0;
+    let mut any = false;
+    for a in sample.iter() {
+        let pa = PreparedAnswer::of(aggregate, a);
+        if !pa.contributes {
+            continue;
+        }
+        any = true;
+        match kind {
+            CombineKind::Linear | CombineKind::Ratio => {
+                primary += pa.primary;
+                secondary += pa.secondary;
+            }
+            CombineKind::Max => primary = primary.max(pa.primary),
+            CombineKind::Min => primary = primary.min(pa.primary),
+        }
+    }
+    match kind {
+        CombineKind::Linear | CombineKind::Ratio => (primary / n as f64, secondary / n as f64),
+        CombineKind::Max | CombineKind::Min => (if any { primary } else { f64::NAN }, 0.0),
+    }
+}
+
+/// Combines per-stratum point terms (from [`stratum_point_terms`]) into the
+/// merged point estimate — the merge half of [`stratified_point`], public
+/// so a coordinator can merge terms received over the wire.
+pub fn combine_point_terms(
+    aggregate: &ResolvedAggregate,
+    terms: impl Iterator<Item = (f64, f64)>,
+) -> f64 {
+    finite_or_zero(combine_terms(CombineKind::of(aggregate), terms))
+}
+
 /// Merged stratified **point** estimate without interval work — the cheap
 /// path for per-bucket GROUP-BY estimates, where the interval is only
 /// computed for the top-level answer.
 pub fn stratified_point(aggregate: &ResolvedAggregate, strata: &[&[ValidatedAnswer]]) -> f64 {
-    let kind = CombineKind::of(aggregate);
-    let terms = strata.iter().map(|sample| {
-        let n = sample.len();
-        if n == 0 {
-            return match kind {
-                CombineKind::Max | CombineKind::Min => (f64::NAN, 0.0),
-                _ => (0.0, 0.0),
-            };
-        }
-        let mut primary = match kind {
-            CombineKind::Max => f64::NEG_INFINITY,
-            CombineKind::Min => f64::INFINITY,
-            _ => 0.0,
-        };
-        let mut secondary = 0.0;
-        let mut any = false;
-        for a in sample.iter() {
-            let pa = PreparedAnswer::of(aggregate, a);
-            if !pa.contributes {
-                continue;
-            }
-            any = true;
-            match kind {
-                CombineKind::Linear | CombineKind::Ratio => {
-                    primary += pa.primary;
-                    secondary += pa.secondary;
-                }
-                CombineKind::Max => primary = primary.max(pa.primary),
-                CombineKind::Min => primary = primary.min(pa.primary),
-            }
-        }
-        match kind {
-            CombineKind::Linear | CombineKind::Ratio => (primary / n as f64, secondary / n as f64),
-            CombineKind::Max | CombineKind::Min => (if any { primary } else { f64::NAN }, 0.0),
-        }
-    });
-    finite_or_zero(combine_terms(kind, terms))
+    combine_point_terms(
+        aggregate,
+        strata
+            .iter()
+            .map(|sample| stratum_point_terms(aggregate, sample)),
+    )
 }
 
 /// Splits `total` units across strata proportionally to `weights` with the
@@ -485,6 +520,48 @@ mod tests {
             merged.variances
         );
         assert!(merged.moe > 0.0);
+    }
+
+    /// The identity the remote GROUP-BY protocol rests on: a stratum whose
+    /// sample contains no contributing answer produces terms bitwise-equal
+    /// to the neutral terms of an empty stratum, for every estimator
+    /// family — so a coordinator can fill unreported buckets with neutral
+    /// terms and merge to the identical bits.
+    #[test]
+    fn non_contributing_strata_terms_equal_the_neutral_terms() {
+        for f in [
+            AggregateFunction::Count,
+            AggregateFunction::Sum("x".into()),
+            AggregateFunction::Avg("x".into()),
+            AggregateFunction::Max("x".into()),
+            AggregateFunction::Min("x".into()),
+        ] {
+            let agg = resolved(f);
+            let wrong: Vec<ValidatedAnswer> = (0..5)
+                .map(|i| answer(0.2, 10.0 * i as f64, false))
+                .collect();
+            let neutral = neutral_point_terms(&agg);
+            let computed = stratum_point_terms(&agg, &wrong);
+            assert_eq!(
+                computed.0.to_bits(),
+                neutral.0.to_bits(),
+                "{:?}",
+                agg.function
+            );
+            assert_eq!(computed.1.to_bits(), neutral.1.to_bits());
+            assert_eq!(
+                stratum_point_terms(&agg, &[]).0.to_bits(),
+                neutral.0.to_bits()
+            );
+            // And the split helpers recompose to stratified_point exactly.
+            let mixed = vec![answer(0.5, 10.0, true), answer(0.5, 20.0, false)];
+            let via_split = combine_point_terms(
+                &agg,
+                [stratum_point_terms(&agg, &mixed), neutral].into_iter(),
+            );
+            let direct = stratified_point(&agg, &[&mixed, &[]]);
+            assert_eq!(via_split.to_bits(), direct.to_bits(), "{:?}", agg.function);
+        }
     }
 
     #[test]

@@ -65,11 +65,16 @@ pub mod shard;
 pub mod snapshot;
 pub mod strategies;
 pub mod transition;
+pub mod wire;
 
 pub use alias::{AliasTable, WeightError};
 pub use cache::{CacheStats, SamplerCache};
 pub use sampler::{prepare, PreparedSampler, SampledAnswer, SamplerConfig};
 pub use shard::{ShardSampler, ShardSamplerCache};
-pub use snapshot::{bundle_bytes, bundle_from_snapshot, open_bundle, write_bundle, SnapshotBundle};
+pub use snapshot::{
+    bundle_bytes, bundle_from_snapshot, open_bundle, snapshot_boot_error, write_bundle,
+    SnapshotBundle,
+};
 pub use strategies::SamplingStrategy;
 pub use transition::TransitionMatrix;
+pub use wire::{f64_from_json, f64_to_json, BucketTerm, StratumReport, StratumTask};

@@ -425,6 +425,32 @@ pub fn open_bundle(path: impl AsRef<Path>) -> KgResult<SnapshotBundle> {
     bundle_from_snapshot(&snap)
 }
 
+/// One structured JSON line describing a snapshot boot failure: the path
+/// that was opened and the section-level cause (`"open"` for filesystem
+/// errors — missing or unreadable path — otherwise the failing snapshot
+/// section). Server binaries print exactly this line to stderr before
+/// exiting, so operators and supervisors get a machine-parseable reason
+/// instead of a stack trace or a bare I/O message.
+pub fn snapshot_boot_error(path: &str, err: &kg_core::KgError) -> String {
+    let (section, cause) = match err {
+        kg_core::KgError::Snapshot { section, message } => (section.clone(), message.clone()),
+        kg_core::KgError::Io(e) => ("open".to_string(), e.to_string()),
+        other => ("decode".to_string(), other.to_string()),
+    };
+    let mut line = serde_json::Map::new();
+    line.insert(
+        "error".to_string(),
+        serde_json::Value::String("snapshot_load_failed".to_string()),
+    );
+    line.insert(
+        "path".to_string(),
+        serde_json::Value::String(path.to_string()),
+    );
+    line.insert("section".to_string(), serde_json::Value::String(section));
+    line.insert("cause".to_string(), serde_json::Value::String(cause));
+    serde_json::to_string(&serde_json::Value::Object(line)).expect("boot error line serialises")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +459,29 @@ mod tests {
     use kg_query::SimpleQuery;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn boot_error_line_names_path_and_section() {
+        // A missing path is an I/O failure: section "open".
+        let err = open_bundle("/no/such/snapshot.kgsnap").unwrap_err();
+        let line = snapshot_boot_error("/no/such/snapshot.kgsnap", &err);
+        let parsed: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(parsed["error"].as_str(), Some("snapshot_load_failed"));
+        assert_eq!(parsed["path"].as_str(), Some("/no/such/snapshot.kgsnap"));
+        assert_eq!(parsed["section"].as_str(), Some("open"));
+        assert!(!parsed["cause"].as_str().unwrap().is_empty());
+        assert!(!line.contains('\n'), "must be a single line");
+
+        // A validation failure carries the failing snapshot section.
+        let err = kg_core::KgError::Snapshot {
+            section: "header".to_string(),
+            message: "bad magic".to_string(),
+        };
+        let line = snapshot_boot_error("x.kgsnap", &err);
+        let parsed: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(parsed["section"].as_str(), Some("header"));
+        assert_eq!(parsed["cause"].as_str(), Some("bad magic"));
+    }
 
     fn setup() -> (KnowledgeGraph, PredicateVectorStore, SamplerCache) {
         let mut b = GraphBuilder::new();

@@ -4,7 +4,15 @@
 //! kg-load [--addr 127.0.0.1:7878] [--queries 1] [--concurrency 1]
 //!         [--seed 42] [--error-bound 0.05] [--confidence 0.95]
 //!         [--deadline-ms D] [--tenants a,b,c] [--min-ok-rate R] [--trace]
+//!         [--max-degraded N] [--min-degraded N]
 //! ```
+//!
+//! `--max-degraded` / `--min-degraded` bound how many answers across the
+//! whole run (first query included) may / must come back flagged
+//! `degraded: true` — the fault-injection smoke job uses them to assert
+//! that killing one shard of a coordinator-mode fleet degrades *some*
+//! answers (`--min-degraded 1`) while a healthy or recovered fleet
+//! degrades none (`--max-degraded 0`).
 //!
 //! `--deadline-ms` attaches a deadline to every request (the service then
 //! returns anytime answers rather than shedding); `--tenants` spreads the
@@ -43,7 +51,8 @@ fn main() {
         eprintln!(
             "usage: kg-load [--addr HOST:PORT] [--queries N] [--concurrency N] \
              [--seed N] [--error-bound EB] [--confidence C] [--deadline-ms D] \
-             [--tenants A,B,..] [--min-ok-rate R] [--trace]"
+             [--tenants A,B,..] [--min-ok-rate R] [--trace] \
+             [--max-degraded N] [--min-degraded N]"
         );
         return;
     }
@@ -56,6 +65,8 @@ fn main() {
     let deadline_ms: f64 = parse_flag(&args, "--deadline-ms", 0.0);
     let tenants: String = parse_flag(&args, "--tenants", String::new());
     let min_ok_rate: f64 = parse_flag(&args, "--min-ok-rate", 0.0);
+    let max_degraded: i64 = parse_flag(&args, "--max-degraded", -1);
+    let min_degraded: usize = parse_flag(&args, "--min-degraded", 0);
     let trace = args.iter().any(|a| a == "--trace");
     let tenants: Vec<&str> = tenants.split(',').filter(|t| !t.is_empty()).collect();
     let timeout = Duration::from_secs(120);
@@ -117,11 +128,17 @@ fn main() {
         eprintln!("kg-load: answer JSON is missing estimate/moe/served_from: {body}");
         std::process::exit(1);
     }
+    let mut degraded_total = usize::from(parsed["answer"]["degraded"].as_bool() == Some(true));
     println!(
-        "kg-load: first answer ok: estimate={} moe={} served_from={}",
+        "kg-load: first answer ok: estimate={} moe={} served_from={}{}",
         estimate.unwrap(),
         moe.unwrap(),
         parsed["served_from"].as_str().unwrap(),
+        if degraded_total > 0 {
+            " (degraded)"
+        } else {
+            ""
+        },
     );
     if trace {
         if parsed["request_id"].as_str() != Some("kg-load-smoke") {
@@ -167,5 +184,16 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        degraded_total += report.degraded;
+    }
+    if max_degraded >= 0 && degraded_total > max_degraded as usize {
+        eprintln!("kg-load: {degraded_total} degraded answer(s) exceed the allowed {max_degraded}");
+        std::process::exit(1);
+    }
+    if degraded_total < min_degraded {
+        eprintln!(
+            "kg-load: only {degraded_total} degraded answer(s), required at least {min_degraded}"
+        );
+        std::process::exit(1);
     }
 }

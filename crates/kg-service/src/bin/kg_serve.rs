@@ -8,7 +8,19 @@
 //!          [--tenant-weight 1.0] [--tenant-quota 256]
 //!          [--tenant NAME=WEIGHT:QUOTA]... [--compact-threshold 4096]
 //!          [--slow-query-ms MS] [--snapshot PATH] [--write-snapshot PATH]
+//!          [--shard-endpoint SHARD=HOST:PORT[,HOST:PORT]]...
+//!          [--request-timeout-ms 2000] [--hedge-after-ms 150]
+//!          [--retry-budget 2] [--shard-codec binary|json]
 //! ```
+//!
+//! Repeatable `--shard-endpoint SHARD=HOST:PORT[,HOST:PORT]` flags switch
+//! the process into **coordinator mode**: refinement rounds scatter to the
+//! named `kg-shard` processes (comma-separated addresses are replicas of
+//! the same shard, tried in order on failure) instead of in-process shard
+//! CSRs. One flag per shard in `0..K` is required, with `--shards K`
+//! matching. Boot handshakes every endpoint — retrying while the fleet
+//! comes up — and verifies graph and config fingerprints before the
+//! readiness line prints. `POST /v2/write` answers `501` in this mode.
 //!
 //! `--snapshot PATH` boots from a snapshot written by `kg-snap build` (or a
 //! previous `--write-snapshot` run) instead of generating the dataset:
@@ -42,7 +54,7 @@
 use kg_datagen::{generate, profiles, DatasetScale};
 use kg_embed::PredicateVectorStore;
 use kg_sampling::SamplerCache;
-use kg_service::{HttpServer, Service, ServiceConfig};
+use kg_service::{HttpServer, RemoteTopology, Service, ServiceConfig};
 use std::sync::Arc;
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
@@ -60,6 +72,22 @@ fn parse_tenant_spec(spec: &str) -> Option<(String, f64, usize)> {
     Some((name.to_string(), weight.parse().ok()?, quota.parse().ok()?))
 }
 
+/// Parses one `SHARD=HOST:PORT[,HOST:PORT]` shard-endpoint spec into the
+/// shard index and its replica endpoints (failover order as written).
+fn parse_shard_endpoint(spec: &str) -> Option<(usize, Vec<String>)> {
+    let (shard, endpoints) = spec.split_once('=')?;
+    let replicas: Vec<String> = endpoints
+        .split(',')
+        .map(str::trim)
+        .filter(|e| !e.is_empty())
+        .map(str::to_string)
+        .collect();
+    if replicas.is_empty() {
+        return None;
+    }
+    Some((shard.trim().parse().ok()?, replicas))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -69,7 +97,10 @@ fn main() {
              [--confidence C] [--shards K] [--tenant-weight W] \
              [--tenant-quota N] [--tenant NAME=WEIGHT:QUOTA]... \
              [--compact-threshold N] [--slow-query-ms MS] \
-             [--snapshot PATH] [--write-snapshot PATH]"
+             [--snapshot PATH] [--write-snapshot PATH] \
+             [--shard-endpoint SHARD=HOST:PORT[,HOST:PORT]]... \
+             [--request-timeout-ms MS] [--hedge-after-ms MS] \
+             [--retry-budget N] [--shard-codec binary|json]"
         );
         return;
     }
@@ -87,6 +118,65 @@ fn main() {
     let slow_query_ms: f64 = parse_flag(&args, "--slow-query-ms", 0.0);
     let snapshot_path: String = parse_flag(&args, "--snapshot", String::new());
     let write_snapshot_path: String = parse_flag(&args, "--write-snapshot", String::new());
+    let request_timeout_ms: u64 = parse_flag(&args, "--request-timeout-ms", 2000);
+    let hedge_after_ms: u64 = parse_flag(&args, "--hedge-after-ms", 150);
+    let retry_budget: u32 = parse_flag(&args, "--retry-budget", 2);
+    let shard_codec: String = parse_flag(&args, "--shard-codec", "binary".to_string());
+    let binary_codec = match shard_codec.as_str() {
+        "binary" => true,
+        "json" => false,
+        other => {
+            eprintln!("kg-serve: unknown --shard-codec {other:?} (want binary or json)");
+            std::process::exit(2);
+        }
+    };
+
+    // Collect the coordinator topology: one `--shard-endpoint` per shard,
+    // each naming that shard's replicas in failover order.
+    let mut shard_endpoints: Vec<Option<Vec<String>>> = vec![None; shards];
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--shard-endpoint" {
+            let Some(spec) = args.get(i + 1) else {
+                eprintln!("kg-serve: --shard-endpoint needs a SHARD=HOST:PORT[,HOST:PORT] value");
+                std::process::exit(2);
+            };
+            let Some((shard, replicas)) = parse_shard_endpoint(spec) else {
+                eprintln!(
+                    "kg-serve: unparsable shard endpoint {spec:?} \
+                     (want SHARD=HOST:PORT[,HOST:PORT])"
+                );
+                std::process::exit(2);
+            };
+            if shard >= shards {
+                eprintln!("kg-serve: --shard-endpoint {spec:?} names shard {shard}, but --shards is {shards}");
+                std::process::exit(2);
+            }
+            shard_endpoints[shard] = Some(replicas);
+        }
+    }
+    let remote_mode = shard_endpoints.iter().any(Option::is_some);
+    let topology = if remote_mode {
+        let mut replicas = Vec::with_capacity(shards);
+        for (shard, endpoints) in shard_endpoints.into_iter().enumerate() {
+            let Some(endpoints) = endpoints else {
+                eprintln!(
+                    "kg-serve: coordinator mode needs an endpoint for every shard; \
+                     shard {shard} of {shards} has none"
+                );
+                std::process::exit(2);
+            };
+            replicas.push(endpoints);
+        }
+        Some(RemoteTopology {
+            replicas,
+            request_timeout_ms,
+            hedge_after_ms,
+            retry_budget,
+            binary_codec,
+        })
+    } else {
+        None
+    };
 
     // Event recording is a bounded in-process ring buffer; the slow-query
     // log below works regardless of this flag.
@@ -102,6 +192,9 @@ fn main() {
         .default_tenant_limits(tenant_weight, tenant_quota)
         .compact_threshold(compact_threshold)
         .slow_query_ms(slow_query_ms);
+    if let Some(topology) = topology {
+        builder = builder.remote(topology);
+    }
     for (i, arg) in args.iter().enumerate() {
         if arg == "--tenant" {
             let Some(spec) = args.get(i + 1) else {
@@ -140,15 +233,29 @@ fn main() {
         let bundle = match kg_sampling::open_bundle(&snapshot_path) {
             Ok(bundle) => bundle,
             Err(e) => {
-                eprintln!("kg-serve: cannot load snapshot {snapshot_path}: {e}");
+                // One structured line naming the path and the failing
+                // section, so a crash-looping deployment is diagnosable
+                // from its last log line alone.
+                eprintln!(
+                    "kg-serve: {}",
+                    kg_sampling::snapshot_boot_error(&snapshot_path, &e)
+                );
                 std::process::exit(1);
             }
         };
         let load_ms = t0.elapsed().as_secs_f64() * 1e3;
         let Some(similarity) = bundle.similarity else {
             eprintln!(
-                "kg-serve: snapshot {snapshot_path} has no similarity section; \
-                 rebuild it with kg-snap build"
+                "kg-serve: {}",
+                kg_sampling::snapshot_boot_error(
+                    &snapshot_path,
+                    &kg_core::KgError::Snapshot {
+                        section: "similarity".into(),
+                        message:
+                            "snapshot has no similarity section; rebuild it with kg-snap build"
+                                .into(),
+                    },
+                )
             );
             std::process::exit(1);
         };
@@ -175,6 +282,17 @@ fn main() {
     if let Some((version, load_ms)) = loaded {
         service.record_snapshot_load(version, load_ms);
     }
+    // Bind before the remaining boot work: `/livez` (and `/healthz`) answer
+    // 200 from here on while `/readyz` stays 503 until sampler install, the
+    // boot snapshot write and — in coordinator mode — the fleet handshake
+    // have all completed.
+    let server = match HttpServer::serve(Arc::clone(&service), addr.as_str()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("kg-serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
     if let Some(samplers) = samplers {
         if let Err(e) = service.install_samplers(samplers) {
             eprintln!("kg-serve: ignoring snapshot samplers: {e}");
@@ -194,19 +312,38 @@ fn main() {
             }
         }
     }
-    let server = match HttpServer::serve(Arc::clone(&service), addr.as_str()) {
-        Ok(server) => server,
-        Err(e) => {
-            eprintln!("kg-serve: cannot bind {addr}: {e}");
-            std::process::exit(1);
+    if service.is_remote() {
+        // The fleet usually boots alongside the coordinator, so retry the
+        // handshake while the shard processes come up; a fingerprint
+        // mismatch is permanent and exits immediately.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            match service.remote_handshake() {
+                Ok(()) => break,
+                Err(e) if e.contains("rejected") => {
+                    eprintln!("kg-serve: shard fleet handshake failed: {e}");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    if std::time::Instant::now() >= deadline {
+                        eprintln!("kg-serve: shard fleet never became reachable: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("kg-serve: waiting for shard fleet: {e}");
+                    std::thread::sleep(std::time::Duration::from_millis(250));
+                }
+            }
         }
-    };
+        eprintln!("kg-serve: shard fleet handshake ok ({shards} shard(s))");
+    }
+    service.mark_ready();
     // The readiness line the CI smoke job and the load driver wait for.
     println!(
-        "kg-serve listening on http://{} ({} entities, {shards} shard(s), \
+        "kg-serve listening on http://{} ({} entities, {shards} shard(s){}, \
          eb {error_bound}, confidence {confidence})",
         server.local_addr(),
         entities,
+        if service.is_remote() { ", remote" } else { "" },
     );
 
     loop {

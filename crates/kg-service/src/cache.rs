@@ -294,6 +294,7 @@ mod tests {
             sample_size: 100,
             candidate_count: 1000,
             elapsed_ms: 1.0,
+            missing_shards: Vec::new(),
         }
     }
 

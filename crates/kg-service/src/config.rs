@@ -103,6 +103,51 @@ pub struct ServiceConfig {
     /// refinement trajectory. `0` (the default) disables the log. Must be
     /// finite and non-negative.
     pub slow_query_ms: f64,
+    /// Remote shard topology. `None` (the default) runs every shard
+    /// in-process. `Some` turns the service into a distributed coordinator:
+    /// per-shard refine steps are scattered to `kg-shard` replica processes
+    /// over TCP, with hedging, retries and failover per the topology's
+    /// policy knobs. The service still loads the full graph itself — for
+    /// planning, fingerprint handshakes and stratum weights — but never
+    /// samples locally, and the write endpoint is disabled (shard replicas
+    /// would diverge silently).
+    pub remote: Option<RemoteTopology>,
+}
+
+/// Per-shard replica endpoints plus the fleet policy knobs, for running the
+/// service as a distributed coordinator. Maps onto `kg_aqp::FleetPolicy`;
+/// the knobs repeated here are the ones operators tune per deployment, the
+/// rest keep the fleet defaults.
+#[derive(Clone, Debug)]
+pub struct RemoteTopology {
+    /// `replicas[shard]` is that shard's ordered endpoint list
+    /// (`"host:port"`); index 0 is the preferred primary. Must have exactly
+    /// `shards` entries, each non-empty.
+    pub replicas: Vec<Vec<String>>,
+    /// Per-request deadline in milliseconds.
+    pub request_timeout_ms: u64,
+    /// Hedge a second request to the next replica after this many
+    /// milliseconds without a response; `0` disables hedging.
+    pub hedge_after_ms: u64,
+    /// Retries after the first failed attempt before the shard is declared
+    /// unreachable for the round (the answer then degrades rather than
+    /// erroring).
+    pub retry_budget: u32,
+    /// Use the compact binary codec on the wire (JSON when false — slower,
+    /// trivially inspectable).
+    pub binary_codec: bool,
+}
+
+impl Default for RemoteTopology {
+    fn default() -> Self {
+        Self {
+            replicas: Vec::new(),
+            request_timeout_ms: 2_000,
+            hedge_after_ms: 150,
+            retry_budget: 2,
+            binary_codec: true,
+        }
+    }
 }
 
 impl Default for ServiceConfig {
@@ -116,6 +161,7 @@ impl Default for ServiceConfig {
             tenants: TenantPolicy::default(),
             compact_threshold: 4096,
             slow_query_ms: 0.0,
+            remote: None,
         }
     }
 }
@@ -153,6 +199,14 @@ pub enum ServiceConfigError {
         /// The offending limits.
         limits: TenantLimits,
     },
+    /// The remote topology does not provide endpoints for every shard (or
+    /// lists a shard with no replicas).
+    InvalidRemoteTopology {
+        /// The configured shard count.
+        shards: usize,
+        /// How many shards the topology lists endpoints for.
+        endpoints: usize,
+    },
 }
 
 impl fmt::Display for ServiceConfigError {
@@ -178,6 +232,12 @@ impl fmt::Display for ServiceConfigError {
                 "tenant {tenant:?} limits invalid: weight {} (want finite > 0), \
                  quota {} (want ≥ 1)",
                 limits.weight, limits.quota
+            ),
+            ServiceConfigError::InvalidRemoteTopology { shards, endpoints } => write!(
+                f,
+                "remote topology lists endpoints for {endpoints} shard(s) but the \
+                 service is configured for {shards}; every shard needs at least \
+                 one replica endpoint"
             ),
         }
     }
@@ -268,11 +328,26 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Runs the service as a distributed coordinator over `topology`
+    /// (validated against `shards` at [`Self::build`]).
+    pub fn remote(mut self, topology: RemoteTopology) -> Self {
+        self.config.remote = Some(topology);
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ServiceConfig, ServiceConfigError> {
         let config = self.config;
         if config.queue_capacity == 0 {
             return Err(ServiceConfigError::ZeroKnob("queue_capacity"));
+        }
+        if let Some(remote) = &config.remote {
+            if remote.replicas.len() != config.shards || remote.replicas.iter().any(Vec::is_empty) {
+                return Err(ServiceConfigError::InvalidRemoteTopology {
+                    shards: config.shards,
+                    endpoints: remote.replicas.len(),
+                });
+            }
         }
         if config.drain_batch == 0 {
             return Err(ServiceConfigError::ZeroKnob("drain_batch"));

@@ -14,7 +14,9 @@
 //! | `POST /v2/write` | body `{"v"?: 2, "ops": [{"op": "upsert_entity"\|"upsert_edge"\|"delete_edge", ..}, ..], "compact"?: bool}` → `200` with the [`crate::WriteOutcome`] JSON (applied counts, compaction, component-scoped evictions, write epoch), `400` malformed, `503` shutting down |
 //! | `GET /metrics` | `200` with the [`crate::MetricsSnapshot`] JSON |
 //! | `GET /metrics.prom` | `200` with the same snapshot in the Prometheus text exposition format (`text/plain; version=0.0.4`) |
-//! | `GET /healthz` | `200` `{"status":"ok"}` |
+//! | `GET /livez` | liveness: `200` `{"status":"alive"}` as soon as the listener is up |
+//! | `GET /healthz` | legacy alias of `/livez` (kept as `200` `{"status":"ok"}` for existing probes) |
+//! | `GET /readyz` | readiness: `503` `{"status":"starting"}` until boot (snapshot load, partitioning, sampler prewarm, remote handshake) completes, then `200` `{"status":"ready"}`; flips back to `503` on shutdown |
 //!
 //! Every error body is structured:
 //! `{"error": {"code": .., "kind": .., "message": ..}}`, where `code` is the
@@ -157,6 +159,7 @@ fn status_text(status: u16) -> &'static str {
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Internal Server Error",
@@ -267,10 +270,30 @@ fn route(service: &Service, method: &str, path: &str, body: &str) -> Response {
         ("POST", "/v2/write") => handle_write(service, body),
         ("GET", "/metrics") => Response::new(200, service.metrics().to_json()),
         ("GET", "/metrics.prom") => Response::text(200, service.metrics().to_prometheus()),
+        // Liveness ("is the process up?") and readiness ("may traffic be
+        // routed here?") are deliberately separate: a booting coordinator is
+        // alive long before its snapshot is loaded and its shard fleet has
+        // answered the handshake. `/healthz` stays as a liveness alias for
+        // probes configured against the pre-split route.
+        ("GET", "/livez") => {
+            let mut map = serde_json::Map::new();
+            map.insert("status".to_string(), Value::String("alive".to_string()));
+            Response::new(200, Value::Object(map))
+        }
         ("GET", "/healthz") => {
             let mut map = serde_json::Map::new();
             map.insert("status".to_string(), Value::String("ok".to_string()));
             Response::new(200, Value::Object(map))
+        }
+        ("GET", "/readyz") => {
+            let (status, text) = if service.is_ready() {
+                (200, "ready")
+            } else {
+                (503, "starting")
+            };
+            let mut map = serde_json::Map::new();
+            map.insert("status".to_string(), Value::String(text.to_string()));
+            Response::new(status, Value::Object(map))
         }
         ("POST", _) | ("GET", _) => {
             Response::error(404, "not_found", format!("no route for {method} {path}"))

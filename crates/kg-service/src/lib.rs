@@ -69,7 +69,8 @@ pub mod service;
 
 pub use cache::{dominates, CacheDecision, ResultCache, ResultCacheStats};
 pub use config::{
-    ServiceConfig, ServiceConfigBuilder, ServiceConfigError, TenantLimits, TenantPolicy,
+    RemoteTopology, ServiceConfig, ServiceConfigBuilder, ServiceConfigError, TenantLimits,
+    TenantPolicy,
 };
 pub use http::HttpServer;
 pub use loadgen::{http_query, http_request, run_http, run_in_process, LoadReport};

@@ -31,6 +31,10 @@ pub struct LoadReport {
     /// Completed answers flagged `guarantee_met: false` (anytime answers
     /// truncated by a deadline or a budget cap).
     pub anytime: usize,
+    /// Completed answers flagged `degraded: true` (one or more shard
+    /// strata unreachable in a coordinator-mode deployment; always 0
+    /// against an in-process service).
+    pub degraded: usize,
     /// Requests shed by admission control (global capacity or tenant quota).
     pub shed: usize,
     /// Requests that failed for any other reason.
@@ -112,6 +116,9 @@ impl std::fmt::Display for LoadReport {
             self.percentile_ms(0.95),
             self.percentile_ms(0.99),
         )?;
+        if self.degraded > 0 {
+            write!(f, "; {} degraded", self.degraded)?;
+        }
         for (source, count) in &self.served_from {
             write!(f, "; {source}={count}")?;
         }
@@ -161,6 +168,9 @@ pub fn run_in_process(
                             report.guaranteed += 1;
                         } else {
                             report.anytime += 1;
+                        }
+                        if answer.answer.is_degraded() {
+                            report.degraded += 1;
                         }
                         report.latencies_ms.push(latency_ms);
                         report
@@ -273,6 +283,9 @@ pub fn run_http(
                                 report.anytime += 1;
                             } else {
                                 report.guaranteed += 1;
+                            }
+                            if v["answer"]["degraded"].as_bool() == Some(true) {
+                                report.degraded += 1;
                             }
                             let source = v["served_from"].as_str().and_then(|s| {
                                 [

@@ -686,6 +686,10 @@ pub enum ServiceError {
     },
     /// The service is shutting down and will not answer.
     ShuttingDown,
+    /// This process runs as a remote-shard coordinator, where the
+    /// authoritative graph lives in the `kg-shard` fleet; accepting a write
+    /// on the coordinator's local copy would fork the graph fingerprints.
+    RemoteWriteUnsupported,
 }
 
 impl ServiceError {
@@ -701,12 +705,13 @@ impl ServiceError {
             ServiceError::InvalidTargets { .. } => "invalid_targets",
             ServiceError::DeadlineExceeded { .. } => "deadline_exceeded",
             ServiceError::ShuttingDown => "shutting_down",
+            ServiceError::RemoteWriteUnsupported => "remote_write_unsupported",
         }
     }
 
     /// The HTTP status this error maps to: 503 overloaded / shutting down,
     /// 429 per-tenant quota, 422 unresolvable query, 400 invalid targets,
-    /// 504 deadline expired before planning.
+    /// 504 deadline expired before planning, 501 write in coordinator mode.
     pub fn http_status(&self) -> u16 {
         match self {
             ServiceError::Overloaded { .. } => 503,
@@ -715,6 +720,7 @@ impl ServiceError {
             ServiceError::InvalidTargets { .. } => 400,
             ServiceError::DeadlineExceeded { .. } => 504,
             ServiceError::ShuttingDown => 503,
+            ServiceError::RemoteWriteUnsupported => 501,
         }
     }
 
@@ -768,6 +774,10 @@ impl fmt::Display for ServiceError {
                  no estimate is available"
             ),
             ServiceError::ShuttingDown => f.write_str("service is shutting down"),
+            ServiceError::RemoteWriteUnsupported => f.write_str(
+                "writes are not supported in remote shard mode; \
+                 apply writes to the shard fleet's source graph and restart",
+            ),
         }
     }
 }

@@ -9,10 +9,13 @@ use crate::request::{
     QueryRequest, ServedFrom, ServiceAnswer, ServiceError, WriteOp, WriteOutcome, WriteRequest,
 };
 use crate::sched::{Job, Scheduler};
-use kg_aqp::{BatchEngine, QueryAnswer, RoundOutcome, ShardedSession, ShardedStats};
+use kg_aqp::{
+    config_fingerprint, graph_fingerprint, AqpEngine, BatchEngine, FleetPolicy, QueryAnswer,
+    RemoteMetricsSnapshot, RoundOutcome, ShardFleet, ShardedSession, ShardedStats, TcpTransport,
+};
 use kg_core::snapshot::SnapshotOptions;
 use kg_core::{
-    DegreeBalancedPartitioner, EntityId, KnowledgeGraph, PredicateId, ShardedGraph, TypeId,
+    Codec, DegreeBalancedPartitioner, EntityId, KnowledgeGraph, PredicateId, ShardedGraph, TypeId,
 };
 use kg_core::{KgError, KgResult};
 use kg_embed::{PredicateSimilarity, PredicateVectorStore};
@@ -167,6 +170,9 @@ struct MetricsInner {
     /// Snapshots written by the compaction sink (and by
     /// [`Service::write_snapshot_now`]).
     snapshot_writes: u64,
+    /// Completed answers served degraded (one or more shards missing) in
+    /// remote-coordinator mode. Always 0 in-process.
+    degraded_answers: u64,
 }
 
 impl Default for MetricsInner {
@@ -195,6 +201,7 @@ impl Default for MetricsInner {
             samplers_evicted: 0,
             component_epochs: BTreeMap::new(),
             snapshot_writes: 0,
+            degraded_answers: 0,
         }
     }
 }
@@ -288,6 +295,12 @@ pub struct MetricsSnapshot {
     pub snapshot_load: Option<SnapshotLoadInfo>,
     /// Snapshots written by the compaction sink so far.
     pub snapshot_writes: u64,
+    /// Completed answers served degraded (one or more shards unreachable
+    /// past the retry budget). Always 0 outside remote-coordinator mode.
+    pub degraded_answers: u64,
+    /// Remote-fleet RPC counters (requests, retries, hedges, failovers,
+    /// ejections, …); `None` outside remote-coordinator mode.
+    pub remote: Option<RemoteMetricsSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -420,6 +433,28 @@ impl MetricsSnapshot {
             snapshot.insert("load_ms".into(), Value::Number(info.load_ms));
         }
         map.insert("snapshot".into(), Value::Object(snapshot));
+        map.insert(
+            "degraded_answers".into(),
+            Value::Number(self.degraded_answers as f64),
+        );
+        if let Some(remote) = &self.remote {
+            let mut row = Map::new();
+            for (event, value) in [
+                ("requests", remote.requests),
+                ("retries", remote.retries),
+                ("hedges", remote.hedges),
+                ("hedge_wins", remote.hedge_wins),
+                ("failovers", remote.failovers),
+                ("ejections", remote.ejections),
+                ("readmissions", remote.readmissions),
+                ("timeouts", remote.timeouts),
+                ("garbage", remote.garbage),
+                ("degraded_rounds", remote.degraded_rounds),
+            ] {
+                row.insert(event.into(), Value::Number(value as f64));
+            }
+            map.insert("remote".into(), Value::Object(row));
+        }
         Value::Object(map)
     }
 
@@ -584,6 +619,35 @@ impl MetricsSnapshot {
             families.push(version);
             families.push(load_ms);
         }
+        let mut degraded = MetricFamily::new(
+            "kg_degraded_answers_total",
+            MetricKind::Counter,
+            "Completed answers served degraded (one or more shards missing).",
+        );
+        degraded.push("", &[], self.degraded_answers as f64);
+        families.push(degraded);
+        if let Some(remote) = &self.remote {
+            let mut rpcs = MetricFamily::new(
+                "kg_remote_shard_rpcs_total",
+                MetricKind::Counter,
+                "Coordinator-to-shard RPC outcomes and recovery events.",
+            );
+            for (event, value) in [
+                ("requests", remote.requests),
+                ("retries", remote.retries),
+                ("hedges", remote.hedges),
+                ("hedge_wins", remote.hedge_wins),
+                ("failovers", remote.failovers),
+                ("ejections", remote.ejections),
+                ("readmissions", remote.readmissions),
+                ("timeouts", remote.timeouts),
+                ("garbage", remote.garbage),
+                ("degraded_rounds", remote.degraded_rounds),
+            ] {
+                rpcs.push("", &[("event", event)], value as f64);
+            }
+            families.push(rpcs);
+        }
         kg_telemetry::prometheus::encode(&families)
     }
 }
@@ -613,6 +677,13 @@ impl std::fmt::Display for MetricsSnapshot {
     }
 }
 
+/// Coordinator-mode execution state: the shard fleet plus the engine that
+/// opens remote sessions against it. Present iff `config.remote` is `Some`.
+struct RemoteExec {
+    fleet: Arc<ShardFleet>,
+    engine: AqpEngine,
+}
+
 struct Inner {
     config: ServiceConfig,
     batch: BatchEngine,
@@ -627,6 +698,12 @@ struct Inner {
     snapshot_sink: Mutex<Option<SnapshotSink>>,
     /// Boot-snapshot provenance ([`Service::record_snapshot_load`]).
     snapshot_load: Mutex<Option<SnapshotLoadInfo>>,
+    /// Coordinator mode: scatter refinement rounds to remote `kg-shard`
+    /// processes instead of the in-process shard CSRs.
+    remote: Option<RemoteExec>,
+    /// Readiness gate for `/readyz`: false until boot (snapshot load,
+    /// partitioning, sampler prewarm, remote handshake) completes.
+    ready: AtomicBool,
 }
 
 /// A submitted request's handle: redeem it with [`PendingAnswer::wait`].
@@ -679,6 +756,27 @@ impl Service {
         ));
         let sharded = Arc::new(partition(graph, config.shards));
         let sched = Scheduler::new(config.tenants.clone(), config.queue_capacity);
+        let remote = config.remote.as_ref().map(|topology| {
+            let policy = FleetPolicy {
+                codec: if topology.binary_codec {
+                    Codec::Binary
+                } else {
+                    Codec::Json
+                },
+                request_timeout_ms: topology.request_timeout_ms,
+                hedge_after_ms: topology.hedge_after_ms,
+                retry_budget: topology.retry_budget,
+                ..FleetPolicy::default()
+            };
+            RemoteExec {
+                fleet: Arc::new(ShardFleet::new(
+                    Arc::new(TcpTransport),
+                    topology.replicas.clone(),
+                    policy,
+                )),
+                engine: AqpEngine::new(config.engine.clone()),
+            }
+        });
         let inner = Arc::new(Inner {
             batch: BatchEngine::new(config.engine.clone()),
             config,
@@ -695,6 +793,8 @@ impl Service {
             metrics: Mutex::new(MetricsInner::default()),
             snapshot_sink: Mutex::new(None),
             snapshot_load: Mutex::new(None),
+            remote,
+            ready: AtomicBool::new(false),
         });
         let workers = (0..inner.config.workers)
             .map(|i| {
@@ -1019,6 +1119,12 @@ impl Service {
         if self.inner.shutdown.load(Ordering::SeqCst) {
             return Err(ServiceError::ShuttingDown);
         }
+        // Coordinator mode: the authoritative graph lives in the kg-shard
+        // processes; mutating only the coordinator's copy would silently
+        // fork the fingerprints and poison every subsequent handshake.
+        if self.inner.remote.is_some() {
+            return Err(ServiceError::RemoteWriteUnsupported);
+        }
         let applied = write.ops.len();
         let mut edges_deleted = 0usize;
         let mut entities: Vec<String> = Vec::new();
@@ -1218,6 +1324,7 @@ impl Service {
             samplers_evicted,
             component_epochs,
             snapshot_writes,
+            degraded_answers,
         ) = {
             let metrics = self.inner.metrics.lock().unwrap();
             (
@@ -1242,6 +1349,7 @@ impl Service {
                 metrics.samplers_evicted,
                 metrics.component_epochs.clone(),
                 metrics.snapshot_writes,
+                metrics.degraded_answers,
             )
         };
         // A scrape before the first completion still reports one (zeroed)
@@ -1283,7 +1391,55 @@ impl Service {
             component_epochs,
             snapshot_load: *self.inner.snapshot_load.lock().unwrap(),
             snapshot_writes,
+            degraded_answers,
+            remote: self
+                .inner
+                .remote
+                .as_ref()
+                .map(|remote| remote.fleet.metrics().snapshot()),
         }
+    }
+
+    /// Whether this service runs in coordinator mode (scattering refinement
+    /// rounds to remote `kg-shard` processes instead of in-process CSRs).
+    pub fn is_remote(&self) -> bool {
+        self.inner.remote.is_some()
+    }
+
+    /// Coordinator mode: handshakes every configured shard endpoint,
+    /// verifying each remote process serves the same graph (by fingerprint)
+    /// under the same engine configuration. `Err` carries a one-line,
+    /// operator-facing description of the first failure. No-op (`Ok`) when
+    /// the service is not in remote mode.
+    pub fn remote_handshake(&self) -> Result<(), String> {
+        let Some(remote) = &self.inner.remote else {
+            return Ok(());
+        };
+        let (graph_fp, config_fp) = {
+            let state = self.inner.state.lock().unwrap();
+            (
+                graph_fingerprint(&state.sharded),
+                config_fingerprint(&self.inner.config.engine),
+            )
+        };
+        remote
+            .fleet
+            .ping_all(graph_fp, config_fp)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Flips the readiness gate: `/readyz` answers 200 from here on. Called
+    /// by the binary once boot (snapshot load, partitioning, sampler
+    /// prewarm, remote handshake) completes.
+    pub fn mark_ready(&self) {
+        self.inner.ready.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether boot has completed ([`Service::mark_ready`]); gates
+    /// `/readyz`. Shutdown flips it back off so a draining process stops
+    /// receiving new traffic from its balancer.
+    pub fn is_ready(&self) -> bool {
+        self.inner.ready.load(Ordering::SeqCst) && !self.inner.shutdown.load(Ordering::SeqCst)
     }
 
     /// Stops accepting work, lets the workers drain the queue, and joins
@@ -1617,13 +1773,34 @@ fn triage_jobs(
             .iter()
             .map(|(job, _, _)| job.request.query.clone())
             .collect();
-        let (sessions, _) = inner.batch.open_sharded_sessions_cached(
-            sharded,
-            &queries,
-            similarity,
-            samplers,
-            shard_samplers,
-        );
+        // Coordinator mode scatters refinement to the shard fleet; the
+        // in-process path plans the whole batch at once through the batch
+        // engine. Both yield the same per-query `ShardedSession` surface.
+        let sessions: Vec<KgResult<ShardedSession>> = if let Some(remote) = &inner.remote {
+            queries
+                .iter()
+                .map(|query| {
+                    remote.engine.open_remote_session_cached(
+                        sharded,
+                        query,
+                        similarity,
+                        Arc::clone(&remote.fleet),
+                        Some(samplers),
+                        Some(shard_samplers),
+                        None,
+                    )
+                })
+                .collect()
+        } else {
+            let (sessions, _) = inner.batch.open_sharded_sessions_cached(
+                sharded,
+                &queries,
+                similarity,
+                samplers,
+                shard_samplers,
+            );
+            sessions
+        };
         for ((job, key, queue_ms), session) in fresh.into_iter().zip(sessions) {
             match session {
                 Err(e) => {
@@ -1667,20 +1844,34 @@ fn finalize(
 ) {
     let answer = task.session.snapshot_answer(sharded);
     record_shard_stats(inner, &task.before, &task.session.sharded_stats());
-    // Deadline-truncated answers are cached too: their live session resumes
-    // on the next request for the key, and the stored interval serves
-    // directly only requests it dominates (see `crate::cache::dominates`).
-    // `finish` drops the entry instead if a delta write intersecting this
-    // query's footprint landed after `snapshot_seq` — the session refined
-    // against a pre-write snapshot and must not outlive it.
-    inner.cache.finish(
-        task.key,
-        generation,
-        snapshot_seq,
-        task.footprint,
-        *task.session,
-        answer.clone(),
-    );
+    if answer.is_degraded() {
+        // A degraded answer (one or more shard strata unreachable past their
+        // retry budget) is served to its requester — flagged, widened, never
+        // an error — but must not enter the result cache: its interval is
+        // conditioned on the outage, and a later request deserves a
+        // whole-fleet answer once the shard recovers.
+        inner.metrics.lock().unwrap().degraded_answers += 1;
+        kg_telemetry::point(
+            "service.degraded",
+            &[("missing_shards", answer.missing_shards.len().into())],
+        );
+    } else {
+        // Deadline-truncated answers are cached too: their live session
+        // resumes on the next request for the key, and the stored interval
+        // serves directly only requests it dominates (see
+        // `crate::cache::dominates`). `finish` drops the entry instead if a
+        // delta write intersecting this query's footprint landed after
+        // `snapshot_seq` — the session refined against a pre-write snapshot
+        // and must not outlive it.
+        inner.cache.finish(
+            task.key,
+            generation,
+            snapshot_seq,
+            task.footprint,
+            *task.session,
+            answer.clone(),
+        );
+    }
     respond(
         inner,
         task.job,

@@ -70,6 +70,7 @@ fn synthetic_answer(estimate: f64, moe: f64, confidence: f64, guarantee_met: boo
         sample_size: 64,
         candidate_count: 512,
         elapsed_ms: 0.0,
+        missing_shards: Vec::new(),
     }
 }
 

@@ -252,7 +252,7 @@ fn expired_deadline_before_planning_is_a_structured_504() {
 #[test]
 fn the_service_error_table_is_stable() {
     use kg_service::ServiceError;
-    let cases: [(ServiceError, u16, &str); 6] = [
+    let cases: [(ServiceError, u16, &str); 7] = [
         (ServiceError::Overloaded { capacity: 4 }, 503, "overloaded"),
         (
             ServiceError::TenantQuotaExceeded {
@@ -282,6 +282,11 @@ fn the_service_error_table_is_stable() {
             "deadline_exceeded",
         ),
         (ServiceError::ShuttingDown, 503, "shutting_down"),
+        (
+            ServiceError::RemoteWriteUnsupported,
+            501,
+            "remote_write_unsupported",
+        ),
     ];
     for (error, status, code) in cases {
         assert_eq!(error.http_status(), status, "{error}");
